@@ -1,0 +1,76 @@
+//! Figure 10 — validation sweeps for the allocation algorithm.
+//!
+//! (a) maximum throughput vs the Tomcat thread-pool size on
+//!     `1/2/1/2(400-#-200)` — the paper's optimum is 13;
+//! (b) maximum throughput vs the Tomcat DB-connection-pool size on
+//!     `1/4/1/4(400-200-#)` — the paper's optimum is 8.
+//!
+//! "Maximum throughput" = the best throughput over a workload sweep around
+//! the knee, as in the paper's methodology.
+
+use bench::{banner, run_sweep, save_json};
+use ntier_core::{HardwareConfig, SoftAllocation};
+
+fn max_tp(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) -> f64 {
+    run_sweep(hw, soft, users)
+        .iter()
+        .map(|r| r.throughput)
+        .fold(f64::MIN, f64::max)
+}
+
+fn main() {
+    banner(
+        "Figure 10 — validation of the optimal soft-resource allocation",
+        "(a) max TP vs Tomcat thread pool, 1/2/1/2; (b) max TP vs DB conn pool, 1/4/1/4",
+    );
+
+    println!("\nFig 10(a) — 1/2/1/2(400-#-200), Tomcat thread pool sweep");
+    let hw = HardwareConfig::one_two_one_two();
+    let users = [5600u32, 6200, 6800];
+    let pools_a = [6usize, 8, 10, 13, 16, 20, 40, 100, 200];
+    println!("{:>10} {:>14}", "pool size", "max TP [req/s]");
+    let mut series_a = Vec::new();
+    for &p in &pools_a {
+        let tp = max_tp(hw, SoftAllocation::new(400, p, 200), &users);
+        println!("{p:>10} {tp:>14.1}");
+        series_a.push(tp);
+    }
+    let best_a = pools_a[series_a
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .expect("non-empty")
+        .0];
+    println!("  optimum ≈ {best_a} threads per Tomcat (paper: 13)");
+
+    println!("\nFig 10(b) — 1/4/1/4(400-200-#), Tomcat DB connection pool sweep");
+    let hw = HardwareConfig::one_four_one_four();
+    let users = [6300u32, 6900, 7500];
+    let pools_b = [1usize, 2, 3, 4, 6, 8, 10, 12, 16, 20];
+    println!("{:>10} {:>14}", "pool size", "max TP [req/s]");
+    let mut series_b = Vec::new();
+    for &p in &pools_b {
+        let tp = max_tp(hw, SoftAllocation::new(400, 200, p), &users);
+        println!("{p:>10} {tp:>14.1}");
+        series_b.push(tp);
+    }
+    let best_b = pools_b[series_b
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .expect("non-empty")
+        .0];
+    println!("  optimum ≈ {best_b} DB connections per Tomcat (paper: 8)");
+
+    save_json(
+        "fig10",
+        &serde_json::json!({
+            "thread_pools": pools_a,
+            "max_tp_threads": series_a,
+            "conn_pools": pools_b,
+            "max_tp_conns": series_b,
+            "optimum_threads": best_a,
+            "optimum_conns": best_b,
+        }),
+    );
+}

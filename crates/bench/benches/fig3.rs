@@ -1,0 +1,105 @@
+//! Figure 3 — performance degradation due to over-allocation on `1/4/1/4`.
+//!
+//! The same two allocations as Figure 2, but on `1/4/1/4`, where C-JDBC is
+//! the critical resource: `400-150-60` wins at moderate workload (better
+//! hardware utilization), then a **crossover** appears and the conservative
+//! `400-6-6` wins near saturation (smaller CPU consumption — GC and
+//! scheduling — of the smaller pools). Panel (c): the response-time
+//! distribution at 7 000 users.
+
+use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json, spec};
+use metrics::rt_dist::BIN_LABELS;
+use ntier_core::{run_experiment, HardwareConfig, SoftAllocation};
+
+fn main() {
+    let hw = HardwareConfig::one_four_one_four();
+    let users: Vec<u32> = (0..7).map(|i| 6000 + i * 300).collect();
+    let liberal = SoftAllocation::rule_of_thumb(); // 400-150-60
+    let conservative = SoftAllocation::conservative(); // 400-6-6
+
+    banner(
+        "Figure 3 — over-allocation crossover, 1/4/1/4",
+        "lines: 1/4/1/4(400-6-6) vs 1/4/1/4(400-150-60); crossover expected mid-range",
+    );
+
+    let runs_lib = run_sweep(hw, liberal, &users);
+    let runs_con = run_sweep(hw, conservative, &users);
+
+    for (panel, thr) in [("(a)", 0.5), ("(b)", 1.0)] {
+        println!("\nFig 3{panel} — threshold {thr} s");
+        let l = goodput_series(&runs_lib, thr);
+        let c = goodput_series(&runs_con, thr);
+        print_series(
+            "users",
+            &users,
+            &[format!("{hw}({conservative})"), format!("{hw}({liberal})")],
+            &[c.clone(), l.clone()],
+            "goodput req/s",
+        );
+        // Locate the crossover: first workload where conservative overtakes.
+        let cross = users
+            .iter()
+            .zip(c.iter().zip(&l))
+            .find(|(_, (c, l))| c > l)
+            .map(|(u, _)| *u);
+        match cross {
+            Some(u) => println!("  crossover at ~{u} users"),
+            None => println!("  no crossover in this range"),
+        }
+        if let Some(i) = (0..users.len()).rev().find(|&i| l[i] > 5.0 && c[i] > 5.0) {
+            println!(
+                "  @{} users: {} is {:.0}% higher than {}",
+                users[i],
+                conservative,
+                pct_diff(c[i], l[i]),
+                liberal
+            );
+        }
+    }
+
+    // Panel (c): RT distribution at WL 7000.
+    println!("\nFig 3(c) — response-time distribution @ 7000 users");
+    let at = |soft| run_experiment(&spec(hw, soft, 7000));
+    let out_con = at(conservative);
+    let out_lib = at(liberal);
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "bin", "400-6-6", "400-150-60"
+    );
+    let tot = |c: &[u64; 8]| c.iter().sum::<u64>().max(1) as f64;
+    let tc = tot(&out_con.rt_dist_counts);
+    let tl = tot(&out_lib.rt_dist_counts);
+    for (i, label) in BIN_LABELS.iter().enumerate() {
+        println!(
+            "{label:>10} {:>15.1}% {:>15.1}%",
+            out_con.rt_dist_counts[i] as f64 / tc * 100.0,
+            out_lib.rt_dist_counts[i] as f64 / tl * 100.0
+        );
+    }
+    let sub02 = |counts: &[u64; 8], total: f64, w: f64| counts[0] as f64 / total * w;
+    let g_con = sub02(&out_con.rt_dist_counts, out_con.window_secs, 1.0) * out_con.completed as f64
+        / out_con.window_secs
+        / tot(&out_con.rt_dist_counts)
+        * out_con.window_secs;
+    let _ = g_con;
+    println!(
+        "  goodput @0.2s: 400-6-6 = {:.1}, 400-150-60 = {:.1} req/s ({:+.0}%)",
+        out_con.rt_dist_counts[0] as f64 / out_con.window_secs,
+        out_lib.rt_dist_counts[0] as f64 / out_lib.window_secs,
+        pct_diff(
+            out_con.rt_dist_counts[0] as f64,
+            out_lib.rt_dist_counts[0] as f64
+        )
+    );
+
+    save_json(
+        "fig3",
+        &serde_json::json!({
+            "users": users,
+            "liberal": runs_lib.iter().map(|r| &r.goodput).collect::<Vec<_>>(),
+            "conservative": runs_con.iter().map(|r| &r.goodput).collect::<Vec<_>>(),
+            "rt_dist_7000_conservative": out_con.rt_dist_counts,
+            "rt_dist_7000_liberal": out_lib.rt_dist_counts,
+        }),
+    );
+}

@@ -1,0 +1,82 @@
+//! Figure 5 — over-allocation of the Tomcat DB connection pool on `1/4/1/4`.
+//!
+//! Apache 400 threads, Tomcat 200 threads; DB connection pool per Tomcat
+//! ∈ {10, 50, 100, 200} (so the C-JDBC server carries 40–800 connection
+//! threads). Shows: (a) the *smallest* pool achieves the best goodput near
+//! saturation; (b) C-JDBC CPU utilization growing super-linearly with the
+//! connection count; (c) total JVM garbage-collection time on C-JDBC
+//! (the paper: ~1% of the runtime for 40 connections, ~10% for 800).
+
+use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json};
+use ntier_core::{HardwareConfig, SoftAllocation, Tier};
+
+fn main() {
+    let hw = HardwareConfig::one_four_one_four();
+    let users: Vec<u32> = (0..7).map(|i| 6000 + i * 300).collect();
+    let pools = [10usize, 50, 100, 200];
+
+    banner(
+        "Figure 5 — DB connection pool over-allocation, 1/4/1/4 (400-200-#)",
+        "(a) goodput; (b) C-JDBC CPU; (c) total GC time on C-JDBC",
+    );
+
+    let sweeps: Vec<_> = pools
+        .iter()
+        .map(|&p| run_sweep(hw, SoftAllocation::new(400, 200, p), &users))
+        .collect();
+    let labels: Vec<String> = pools.iter().map(|p| format!("400-200-{p}")).collect();
+
+    println!("\nFig 5(a) — goodput (threshold 2 s)");
+    let goodputs: Vec<Vec<f64>> = sweeps.iter().map(|s| goodput_series(s, 2.0)).collect();
+    print_series("users", &users, &labels, &goodputs, "goodput req/s");
+    let last = users.len() - 1;
+    if let Some(i) = (0..users.len()).rev().find(|&i| goodputs[3][i] > 5.0) {
+        println!(
+            "  @{} users: 400-200-10 is {:.0}% higher than 400-200-200 (paper: ~34%)",
+            users[i],
+            pct_diff(goodputs[0][i], goodputs[3][i])
+        );
+    }
+
+    println!("\nFig 5(b) — C-JDBC CPU utilization [%] (includes GC)");
+    let cpu: Vec<Vec<f64>> = sweeps
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|r| r.tier_nodes(Tier::Cmw)[0].cpu_util * 100.0)
+                .collect()
+        })
+        .collect();
+    print_series("users", &users, &labels, &cpu, "CPU %");
+
+    println!("\nFig 5(c) — total JVM GC time on C-JDBC over the measured window");
+    let gc: Vec<Vec<f64>> = sweeps
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|r| r.tier_nodes(Tier::Cmw)[0].gc_seconds)
+                .collect()
+        })
+        .collect();
+    print_series("users", &users, &labels, &gc, "GC seconds");
+    let window = sweeps[0][0].window_secs;
+    println!(
+        "  @{} users: GC fraction of the {:.0}s window: pool10 {:.1}%  pool200 {:.1}%",
+        users[last],
+        window,
+        gc[0][last] / window * 100.0,
+        gc[3][last] / window * 100.0
+    );
+
+    save_json(
+        "fig5",
+        &serde_json::json!({
+            "users": users,
+            "pools": pools,
+            "goodput_2s": goodputs,
+            "cjdbc_cpu": cpu,
+            "gc_seconds": gc,
+            "window_secs": window,
+        }),
+    );
+}

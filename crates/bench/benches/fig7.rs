@@ -1,0 +1,118 @@
+//! Figures 7 and 8 — Apache server internals under a small vs large worker
+//! pool (`1/4/1/4`, Tomcat fixed at 60 threads / 20 connections).
+//!
+//! Per-second timelines of the first Apache server:
+//! * processed requests (panel a/d),
+//! * `PT_total` (mean worker busy time per completed request) vs
+//!   `PT_connectingTomcat` (time interacting with the Tomcat tier) (b/e),
+//! * `Threads_active` vs `Threads_connectingTomcat` (c/f).
+//!
+//! Paper: with 30 workers at 7 400 users, FIN-wait stragglers drive
+//! `PT_total` peaks while `Threads_connectingTomcat` collapses (Fig. 7);
+//! with 400 workers the interaction-thread count stays far above the 24
+//! Tomcat threads and throughput is stable (Fig. 8).
+
+use bench::{banner, save_json, spec};
+use ntier_core::{run_experiment, HardwareConfig, RunOutput, SoftAllocation};
+
+fn summarize(name: &str, out: &RunOutput) {
+    let p = &out.apache_probes;
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let peak = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    println!("\n--- {name} ---");
+    println!(
+        "{:>28} {:>10} {:>10}",
+        "series (per-second)", "mean", "peak"
+    );
+    println!(
+        "{:>28} {:>10.1} {:>10.1}",
+        "processed req/s",
+        mean(&p.processed_per_sec),
+        peak(&p.processed_per_sec)
+    );
+    println!(
+        "{:>28} {:>10.1} {:>10.1}",
+        "PT_total [ms]",
+        mean(&p.pt_total_ms),
+        peak(&p.pt_total_ms)
+    );
+    println!(
+        "{:>28} {:>10.1} {:>10.1}",
+        "PT_connectingTomcat [ms]",
+        mean(&p.pt_tomcat_ms),
+        peak(&p.pt_tomcat_ms)
+    );
+    println!(
+        "{:>28} {:>10.1} {:>10.1}",
+        "Threads_active",
+        mean(&p.threads_active),
+        peak(&p.threads_active)
+    );
+    println!(
+        "{:>28} {:>10.1} {:>10.1}",
+        "Threads_connectingTomcat",
+        mean(&p.threads_tomcat),
+        peak(&p.threads_tomcat)
+    );
+    // A 60-second excerpt of the two thread series, like the paper's plots.
+    let n = p.threads_active.len().min(60);
+    println!("  60 s excerpt (active / interacting):");
+    print!("  ");
+    for i in 0..n {
+        print!("{:>3.0}/{:<3.0}", p.threads_active[i], p.threads_tomcat[i]);
+        if (i + 1) % 10 == 0 {
+            print!("\n  ");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let hw = HardwareConfig::one_four_one_four();
+    let small = SoftAllocation::new(30, 60, 20);
+    let large = SoftAllocation::new(400, 60, 20);
+
+    banner(
+        "Figures 7/8 — Apache internals: 30 vs 400 workers, 1/4/1/4",
+        "FIN-wait stragglers starve the back-end when the worker pool is small",
+    );
+
+    let f7_low = run_experiment(&spec(hw, small, 6000));
+    let f7_high = run_experiment(&spec(hw, small, 7400));
+    let f8 = run_experiment(&spec(hw, large, 7400));
+
+    summarize("Fig 7(a-c): 30-60-20 @ 6000 users", &f7_low);
+    summarize("Fig 7(d-f): 30-60-20 @ 7400 users", &f7_high);
+    summarize("Fig 8(a-c): 400-60-20 @ 7400 users", &f8);
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("\nConclusions:");
+    println!(
+        "  30 workers: interacting threads {:.1} @6000 → {:.1} @7400 (starvation)",
+        mean(&f7_low.apache_probes.threads_tomcat),
+        mean(&f7_high.apache_probes.threads_tomcat)
+    );
+    println!(
+        "  400 workers @7400: interacting threads {:.1} (>> 24 = total Tomcat threads)",
+        mean(&f8.apache_probes.threads_tomcat)
+    );
+    println!(
+        "  throughput: {:.0} vs {:.0} req/s (30 vs 400 workers @7400)",
+        f7_high.throughput, f8.throughput
+    );
+
+    save_json(
+        "fig7_8",
+        &serde_json::json!({
+            "fig7_low": f7_low.apache_probes,
+            "fig7_high": f7_high.apache_probes,
+            "fig8": f8.apache_probes,
+        }),
+    );
+}

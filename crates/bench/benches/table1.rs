@@ -1,0 +1,121 @@
+//! Table I — output of Algorithm 1 for `1/2/1/2` and `1/4/1/4`.
+//!
+//! Runs the full soft-resource allocation algorithm against the simulated
+//! testbed and prints the paper's table: critical hardware resource,
+//! saturation workload, per-tier RTT / TP / average jobs (Little's law),
+//! `Req_ratio`, and the recommended thread/connection pool sizes. Then
+//! validates the recommendation the way §IV-C does: by comparing the
+//! recommended goodput against the naive strategies.
+
+use bench::{banner, save_json, spec};
+use ntier_core::algorithm::{AlgorithmConfig, SoftResourceTuner};
+use ntier_core::experiment::{Schedule, SimTestbed};
+use ntier_core::{run_experiment, HardwareConfig, SoftAllocation, Strategy, Tier};
+
+fn run_for(hw: HardwareConfig) -> ntier_core::AlgorithmReport {
+    let testbed = SimTestbed::new(hw, Schedule::Default);
+    let cfg = AlgorithmConfig {
+        step: 1000,
+        small_step: 400,
+        ..AlgorithmConfig::default()
+    };
+    SoftResourceTuner::new(testbed, cfg)
+        .run()
+        .expect("algorithm should expose a critical resource on this testbed")
+}
+
+fn print_report(hw: HardwareConfig, rep: &ntier_core::AlgorithmReport) {
+    println!("\n=== Hardware configuration {hw} ===");
+    println!(
+        "Critical hardware resource : {} CPU (util {:.2})",
+        rep.critical_tier, rep.critical_util
+    );
+    println!("Saturation workload        : {} users", rep.saturation_workload);
+    println!("Req_ratio                  : {:.2}", rep.req_ratio);
+    println!("Pool doublings needed      : {}", rep.doublings);
+    println!("Experiments used           : {}", rep.runs_used);
+    println!(
+        "\n{:>10} {:>10} {:>14} {:>12} {:>12}",
+        "tier", "RTT [ms]", "TP/server", "jobs/server", "jobs total"
+    );
+    for t in &rep.per_tier {
+        println!(
+            "{:>10} {:>10.1} {:>14.1} {:>12.1} {:>12.1}",
+            t.tier.server_name(),
+            t.rtt * 1e3,
+            t.tp_per_server,
+            t.jobs_per_server,
+            t.total_jobs
+        );
+    }
+    println!(
+        "\nRecommended allocation     : {} (web-threads - app-threads - db-conns)",
+        rep.recommended
+    );
+}
+
+fn validate(hw: HardwareConfig, rep: &ntier_core::AlgorithmReport, users: u32) {
+    println!("\nValidation @ {users} users (goodput at the 2 s threshold):");
+    let mut rows: Vec<(String, SoftAllocation)> = Strategy::ALL
+        .iter()
+        .map(|s| (s.name().to_string(), s.allocation(hw)))
+        .collect();
+    rows.push(("algorithm".to_string(), rep.recommended));
+    let mut results = Vec::new();
+    for (name, soft) in rows {
+        let out = run_experiment(&spec(hw, soft, users));
+        println!(
+            "{:>28} {:>12} goodput {:>8.1} req/s  (tp {:>8.1}, mean RT {:>6.0} ms)",
+            name,
+            soft.to_string(),
+            out.goodput_at(2.0),
+            out.throughput,
+            out.mean_rt * 1e3,
+        );
+        results.push((name, soft.to_string(), out.goodput_at(2.0)));
+    }
+    let algo = results.last().expect("non-empty").2;
+    let best_naive = results[..results.len() - 1]
+        .iter()
+        .map(|r| r.2)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "  algorithm vs best naive strategy: {:+.1}%",
+        (algo - best_naive) / best_naive * 100.0
+    );
+}
+
+fn main() {
+    banner(
+        "Table I — output of the allocation algorithm",
+        "FindCriticalResource → InferMinConcurrentJobs → CalculateMinAllocation",
+    );
+
+    let hw12 = HardwareConfig::one_two_one_two();
+    let rep12 = run_for(hw12);
+    print_report(hw12, &rep12);
+    assert_eq!(
+        rep12.critical_tier,
+        Tier::App,
+        "paper: Tomcat CPU is critical under 1/2/1/2"
+    );
+    validate(hw12, &rep12, rep12.saturation_workload);
+
+    let hw14 = HardwareConfig::one_four_one_four();
+    let rep14 = run_for(hw14);
+    print_report(hw14, &rep14);
+    assert_eq!(
+        rep14.critical_tier,
+        Tier::Cmw,
+        "paper: C-JDBC CPU is critical under 1/4/1/4"
+    );
+    validate(hw14, &rep14, rep14.saturation_workload);
+
+    save_json(
+        "table1",
+        &serde_json::json!({
+            "1/2/1/2": rep12,
+            "1/4/1/4": rep14,
+        }),
+    );
+}

@@ -1,0 +1,58 @@
+//! Calibration probe: sweep workloads on both paper topologies and print
+//! throughput, goodput, and per-tier utilization so the service-demand
+//! constants can be checked against DESIGN.md §4 (knees near 5 800 / 6 200
+//! users, Tomcat critical in 1/2/1/2, C-JDBC critical in 1/4/1/4).
+
+use tiers::{run_system, HardwareConfig, SoftAllocation, SystemConfig, Tier};
+
+fn sweep(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) {
+    println!("\n=== {hw}({soft}) ===");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "users", "tp", "good2s", "good1s", "good.5s", "rt_ms", "web%", "app%", "cmw%", "db%", "gc_cmw%"
+    );
+    for &u in users {
+        let cfg = SystemConfig::new(hw, soft, u);
+        let out = run_system(cfg);
+        let cmw_gc = out.tier_nodes(Tier::Cmw)[0].gc_fraction;
+        println!(
+            "{:>6} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>7.1} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.3}",
+            u,
+            out.throughput,
+            out.goodput[2],
+            out.goodput[1],
+            out.goodput[0],
+            out.mean_rt * 1e3,
+            out.tier_cpu_util(Tier::Web),
+            out.tier_cpu_util(Tier::App),
+            out.tier_cpu_util(Tier::Cmw),
+            out.tier_cpu_util(Tier::Db),
+            cmw_gc,
+        );
+    }
+}
+
+fn main() {
+    let users: Vec<u32> = (0..8).map(|i| 5000 + i * 400).collect();
+    sweep(
+        HardwareConfig::one_two_one_two(),
+        SoftAllocation::new(400, 150, 60),
+        &users,
+    );
+    sweep(
+        HardwareConfig::one_two_one_two(),
+        SoftAllocation::new(400, 6, 6),
+        &users,
+    );
+    let users14: Vec<u32> = (0..8).map(|i| 6000 + i * 300).collect();
+    sweep(
+        HardwareConfig::one_four_one_four(),
+        SoftAllocation::new(400, 150, 60),
+        &users14,
+    );
+    sweep(
+        HardwareConfig::one_four_one_four(),
+        SoftAllocation::new(400, 6, 6),
+        &users14,
+    );
+}

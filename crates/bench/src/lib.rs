@@ -1,0 +1,122 @@
+//! Shared helpers for the figure/table regeneration harnesses.
+//!
+//! Each `[[bench]]` target regenerates one table or figure of the paper:
+//! it sweeps the same configurations, prints the same series, and saves a
+//! machine-readable JSON copy under `target/paper-results/`.
+
+use ntier_core::{ExperimentSpec, HardwareConfig, RunOutput, SoftAllocation};
+use std::fs;
+use std::path::PathBuf;
+
+/// Schedule used by all figure harnesses (30 s ramp, 120 s measured window).
+pub use ntier_core::experiment::Schedule;
+
+/// Build one spec with the bench schedule.
+pub fn spec(hw: HardwareConfig, soft: SoftAllocation, users: u32) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(hw, soft, users);
+    s.schedule = Schedule::Default;
+    s
+}
+
+/// Run a workload sweep for one allocation.
+pub fn run_sweep(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) -> Vec<RunOutput> {
+    let specs: Vec<ExperimentSpec> = users.iter().map(|&u| spec(hw, soft, u)).collect();
+    ntier_core::sweep(&specs)
+}
+
+/// Print a header for a figure/table.
+pub fn banner(title: &str, caption: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{caption}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Print one labeled series as an aligned table: rows = workloads,
+/// columns = one per configuration.
+pub fn print_series(
+    row_label: &str,
+    rows: &[u32],
+    col_labels: &[String],
+    columns: &[Vec<f64>],
+    unit: &str,
+) {
+    print!("{row_label:>8}");
+    for l in col_labels {
+        print!(" {l:>22}");
+    }
+    println!("   [{unit}]");
+    for (i, r) in rows.iter().enumerate() {
+        print!("{r:>8}");
+        for col in columns {
+            print!(" {:>22.1}", col[i]);
+        }
+        println!();
+    }
+}
+
+/// Percentage difference `(a-b)/b`, as the paper quotes ("X% higher").
+pub fn pct_diff(a: f64, b: f64) -> f64 {
+    if b <= 0.0 {
+        return f64::INFINITY;
+    }
+    (a - b) / b * 100.0
+}
+
+/// Save a JSON artifact next to the printed table (always under the
+/// workspace root's `target/paper-results/`, independent of the bench
+/// binary's working directory).
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target/paper-results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if fs::write(&path, s).is_ok() {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize {name}: {e}"),
+    }
+}
+
+/// Extract the goodput series at the threshold nearest `secs`.
+pub fn goodput_series(runs: &[RunOutput], secs: f64) -> Vec<f64> {
+    runs.iter().map(|r| r.goodput_at(secs)).collect()
+}
+
+/// Extract total throughput series.
+pub fn throughput_series(runs: &[RunOutput]) -> Vec<f64> {
+    runs.iter().map(|r| r.throughput).collect()
+}
+
+/// Mean CPU utilization series of a tier (×100).
+pub fn tier_cpu_series(runs: &[RunOutput], tier: ntier_core::Tier) -> Vec<f64> {
+    runs.iter().map(|r| r.tier_cpu_util(tier) * 100.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_diff_matches_paper_convention() {
+        assert!((pct_diff(128.0, 100.0) - 28.0).abs() < 1e-12);
+        assert_eq!(pct_diff(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn spec_uses_bench_schedule() {
+        let s = spec(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::conservative(),
+            1000,
+        );
+        assert_eq!(s.schedule, Schedule::Default);
+        assert_eq!(s.users, 1000);
+    }
+}

@@ -1,0 +1,474 @@
+//! Algorithm 1 — the paper's soft-resource allocation algorithm.
+//!
+//! Three procedures (§IV-B):
+//!
+//! 1. **`FindCriticalResource`** — ramp the workload in steps, monitoring
+//!    hardware (`B_h`) and soft (`B_s`) saturation. Hardware saturation
+//!    exposes the *critical hardware resource*; soft saturation means the
+//!    current allocation hides it, so every pool is doubled (`S = 2S`) and
+//!    the ramp restarts; otherwise the workload is increased. The loop runs
+//!    while throughput still grows (`TP_curr > TP_max`).
+//! 2. **`InferMinConcurrentJobs`** — re-ramp in small steps logging per-tier
+//!    RTT and TP; run the statistical intervention analysis on the
+//!    SLO-satisfaction series to find the minimum saturating workload
+//!    `WL_min`; the optimal concurrency of the critical server is then
+//!    `minjobs = TP[WL_min] · RTT[WL_min]` (Little's law).
+//! 3. **`CalculateMinAllocation`** — size the other tiers from the critical
+//!    tier's concurrency using Little's law + the Forced Flow law
+//!    (`L_front = L_crit · RTT_ratio / Req_ratio`, paper Formula 3); front
+//!    tiers additionally get a buffer factor (§III-C: high allocation in
+//!    front tiers stabilizes bursty request flows).
+
+use crate::experiment::{Observation, Testbed};
+use crate::stats::{find_intervention, Intervention};
+use serde::{Deserialize, Serialize};
+use tiers::{SoftAllocation, Tier};
+
+/// Tunables of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct AlgorithmConfig {
+    /// Initial soft allocation `S_0`.
+    pub initial_soft: SoftAllocation,
+    /// Workload step of `FindCriticalResource`.
+    pub step: u32,
+    /// Workload step of `InferMinConcurrentJobs`.
+    pub small_step: u32,
+    /// Significance level of the intervention analysis.
+    pub alpha: f64,
+    /// Minimum practically relevant SLO-satisfaction drop.
+    pub min_drop: f64,
+    /// Safety factor applied to tiers in front of the critical tier
+    /// (the §III-C buffering effect).
+    pub front_buffer: f64,
+    /// Slack factor for tiers *behind* the critical tier ("the back-end
+    /// tiers need to provide enough soft resources to avoid request
+    /// congestion in the critical tier", §IV-B.3) — a connection is held a
+    /// little longer than the downstream server residence it covers.
+    pub back_slack: f64,
+    /// Hard cap on experiments (guards the doubling loop).
+    pub max_runs: u32,
+}
+
+impl Default for AlgorithmConfig {
+    fn default() -> Self {
+        AlgorithmConfig {
+            initial_soft: SoftAllocation::new(16, 4, 4),
+            step: 500,
+            small_step: 250,
+            alpha: 0.01,
+            min_drop: 0.05,
+            front_buffer: 3.0,
+            back_slack: 1.5,
+            max_runs: 64,
+        }
+    }
+}
+
+/// Little's-law inference for one tier at the saturation workload (one row
+/// of the paper's Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TierInference {
+    /// Tier.
+    pub tier: Tier,
+    /// Mean per-server residence time (s).
+    pub rtt: f64,
+    /// Per-server throughput (req/s or queries/s).
+    pub tp_per_server: f64,
+    /// Servers in the tier.
+    pub servers: usize,
+    /// Average jobs inside one server (`L = X·R`).
+    pub jobs_per_server: f64,
+    /// Average jobs across the tier.
+    pub total_jobs: f64,
+}
+
+/// One experiment in the algorithm's trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Procedure (1 or 2).
+    pub phase: u8,
+    /// Users offered.
+    pub users: u32,
+    /// Allocation used.
+    pub soft: String,
+    /// Measured throughput.
+    pub throughput: f64,
+    /// What the run concluded.
+    pub note: String,
+}
+
+/// Output of Algorithm 1 (the content of the paper's Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgorithmReport {
+    /// The critical hardware resource (tier of the saturating CPU).
+    pub critical_tier: Tier,
+    /// Its utilization when exposed.
+    pub critical_util: f64,
+    /// Minimum saturating workload found by the intervention analysis.
+    pub saturation_workload: u32,
+    /// Minimum concurrent jobs that saturate the critical server (per server).
+    pub minjobs_per_server: f64,
+    /// Per-tier Little's-law inferences at the saturation workload.
+    pub per_tier: Vec<TierInference>,
+    /// Average SQL queries per servlet request.
+    pub req_ratio: f64,
+    /// The recommended soft allocation.
+    pub recommended: SoftAllocation,
+    /// How many times the pools had to be doubled to expose the hardware.
+    pub doublings: u32,
+    /// Experiments performed.
+    pub runs_used: u32,
+    /// Full experiment trace.
+    pub trace: Vec<TraceEntry>,
+}
+
+/// Errors the algorithm can report instead of guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgorithmError {
+    /// Throughput stopped growing but neither a hardware nor a soft resource
+    /// saturated — the multi-bottleneck case the paper excludes (§IV-B,
+    /// assumption 1).
+    NoCriticalResource,
+    /// The experiment budget was exhausted.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for AlgorithmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgorithmError::NoCriticalResource => write!(
+                f,
+                "throughput saturated without a single saturated resource \
+                 (possible multi-bottleneck; outside this algorithm's scope)"
+            ),
+            AlgorithmError::BudgetExhausted => write!(f, "experiment budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for AlgorithmError {}
+
+/// The tuner: Algorithm 1 bound to a testbed.
+pub struct SoftResourceTuner<T: Testbed> {
+    testbed: T,
+    config: AlgorithmConfig,
+    trace: Vec<TraceEntry>,
+    runs: u32,
+}
+
+impl<T: Testbed> SoftResourceTuner<T> {
+    /// Bind the algorithm to a testbed.
+    pub fn new(testbed: T, config: AlgorithmConfig) -> Self {
+        SoftResourceTuner {
+            testbed,
+            config,
+            trace: Vec::new(),
+            runs: 0,
+        }
+    }
+
+    fn run_once(
+        &mut self,
+        phase: u8,
+        soft: SoftAllocation,
+        users: u32,
+        note: impl Into<String>,
+    ) -> Result<Observation, AlgorithmError> {
+        if self.runs >= self.config.max_runs {
+            return Err(AlgorithmError::BudgetExhausted);
+        }
+        self.runs += 1;
+        let obs = self.testbed.run(soft, users);
+        self.trace.push(TraceEntry {
+            phase,
+            users,
+            soft: soft.to_string(),
+            throughput: obs.throughput,
+            note: note.into(),
+        });
+        Ok(obs)
+    }
+
+    /// Execute all three procedures and produce the report.
+    pub fn run(mut self) -> Result<AlgorithmReport, AlgorithmError> {
+        let (critical, critical_util, reserve, doublings) = self.find_critical_resource()?;
+        let (wl_min, minjobs, inferences) =
+            self.infer_min_concurrent_jobs(critical, reserve)?;
+        let req_ratio = self.testbed.req_ratio();
+        let recommended =
+            self.calculate_min_allocation(critical, minjobs, &inferences, req_ratio);
+        Ok(AlgorithmReport {
+            critical_tier: critical,
+            critical_util,
+            saturation_workload: wl_min,
+            minjobs_per_server: minjobs,
+            per_tier: inferences,
+            req_ratio,
+            recommended,
+            doublings,
+            runs_used: self.runs,
+            trace: self.trace,
+        })
+    }
+
+    /// Procedure 1: expose the critical hardware resource.
+    fn find_critical_resource(
+        &mut self,
+    ) -> Result<(Tier, f64, SoftAllocation, u32), AlgorithmError> {
+        let mut soft = self.config.initial_soft;
+        let mut workload = self.config.step;
+        let mut tp_max = -1.0f64;
+        let mut doublings = 0u32;
+        loop {
+            let obs = self.run_once(1, soft, workload, "ramp")?;
+            if let Some(&(tier, _, util)) =
+                obs.hw_saturated.iter().max_by(|a, b| {
+                    a.2.partial_cmp(&b.2).expect("no NaN utilizations")
+                })
+            {
+                self.trace.last_mut().expect("just pushed").note =
+                    format!("hardware saturated: {tier} @ {util:.2}");
+                return Ok((tier, util, soft, doublings));
+            }
+            if !obs.soft_saturated.is_empty() {
+                let (t, _, pool, frac) = obs.soft_saturated[0];
+                self.trace.last_mut().expect("just pushed").note =
+                    format!("soft saturated: {t} {pool} ({frac:.2}) → S = 2S");
+                soft = soft.doubled();
+                workload = self.config.step;
+                tp_max = -1.0;
+                doublings += 1;
+                continue;
+            }
+            if obs.throughput <= tp_max {
+                // Saturated with no single culprit: the excluded case.
+                return Err(AlgorithmError::NoCriticalResource);
+            }
+            tp_max = obs.throughput;
+            workload += self.config.step;
+        }
+    }
+
+    /// Procedure 2: find `WL_min` and the minimum concurrent jobs.
+    fn infer_min_concurrent_jobs(
+        &mut self,
+        critical: Tier,
+        reserve: SoftAllocation,
+    ) -> Result<(u32, f64, Vec<TierInference>), AlgorithmError> {
+        let mut workload = self.config.small_step;
+        let mut tp_max = -1.0f64;
+        let mut workloads = Vec::new();
+        let mut slo_series: Vec<Vec<f64>> = Vec::new();
+        let mut observations = Vec::new();
+        loop {
+            let obs = self.run_once(2, reserve, workload, "small-step ramp")?;
+            let tp = obs.throughput;
+            workloads.push(workload);
+            slo_series.push(obs.slo_samples.clone());
+            observations.push(obs);
+            if tp <= tp_max {
+                break;
+            }
+            tp_max = tp;
+            workload += self.config.small_step;
+        }
+        // Intervention analysis on the SLO-satisfaction series.
+        let idx = match find_intervention(&slo_series, self.config.alpha, self.config.min_drop)
+        {
+            Intervention::DeterioratesAt(i) => i,
+            // No deterioration seen: the last (highest) workload is the best
+            // estimate of the saturation onset.
+            Intervention::Stable => workloads.len() - 1,
+        };
+        // Little's law at the LAST PRE-INTERVENTION workload: the paper wants
+        // the minimum jobs that (just) saturate the critical resource, before
+        // the queues blow up.
+        let onset = idx.saturating_sub(1);
+        let obs = &observations[onset];
+        let wl_min = workloads[onset];
+        let crit = obs
+            .tier_logs
+            .get(&critical)
+            .expect("critical tier has logs");
+        let minjobs = crit.jobs_per_server().max(1.0);
+        let inferences = obs
+            .tier_logs
+            .iter()
+            .map(|(&tier, log)| TierInference {
+                tier,
+                rtt: log.rtt,
+                tp_per_server: log.tp_per_server,
+                servers: log.servers,
+                jobs_per_server: log.jobs_per_server(),
+                total_jobs: log.total_jobs(),
+            })
+            .collect();
+        self.trace.last_mut().expect("just pushed").note = format!(
+            "WL_min = {wl_min}; minjobs/server({critical}) = {minjobs:.1}"
+        );
+        Ok((wl_min, minjobs, inferences))
+    }
+
+    /// Procedure 3: allocate every tier from the critical tier's concurrency.
+    fn calculate_min_allocation(
+        &self,
+        critical: Tier,
+        _minjobs: f64,
+        inferences: &[TierInference],
+        _req_ratio: f64,
+    ) -> SoftAllocation {
+        // The measured per-tier L = X·R already embodies the Forced Flow +
+        // Little's-law composition of the paper's Formula 3 (X_front =
+        // X_crit / Req_ratio and R ratios are measured directly), so each
+        // tier's minimum allocation is its own measured concurrency at
+        // WL_min; tiers in front of the critical tier get the buffer factor.
+        let jobs = |tier: Tier| -> f64 {
+            inferences
+                .iter()
+                .find(|i| i.tier == tier)
+                .map(|i| i.jobs_per_server)
+                .unwrap_or(1.0)
+        };
+        let buffer = self.config.front_buffer;
+        let is_front = |tier: Tier| tier < critical;
+        let back_slack = self.config.back_slack;
+        let size = |tier: Tier| -> usize {
+            let raw = jobs(tier);
+            let factored = if is_front(tier) {
+                raw * buffer
+            } else if tier > critical {
+                raw * back_slack
+            } else {
+                raw
+            };
+            factored.ceil().max(2.0) as usize
+        };
+        // Web threads additionally must cover the linger/buffering occupancy
+        // (§III-C): never fewer than the total downstream thread count.
+        let app_threads = size(Tier::App);
+        let cmw_jobs_per_server = jobs(Tier::Cmw);
+        let app_servers = inferences
+            .iter()
+            .find(|i| i.tier == Tier::App)
+            .map(|i| i.servers)
+            .unwrap_or(1);
+        let cmw_servers = inferences
+            .iter()
+            .find(|i| i.tier == Tier::Cmw)
+            .map(|i| i.servers)
+            .unwrap_or(1);
+        let web = size(Tier::Web).max((app_threads * app_servers * 2).max(8));
+        // DB connections per Tomcat: the C-JDBC concurrency divided across
+        // the app servers (the paper's 32 total → 8 per Tomcat), buffered if
+        // C-JDBC is behind the critical tier... it never is in front of App.
+        let mut total_cmw_jobs = cmw_jobs_per_server * cmw_servers as f64;
+        if critical < Tier::Cmw {
+            // C-JDBC sits behind the critical tier: a connection is held for
+            // the C-JDBC residence plus transfer time, so give it slack.
+            total_cmw_jobs *= back_slack;
+        }
+        let conns_per_app = (total_cmw_jobs / app_servers as f64).ceil().max(2.0) as usize;
+        // A thread can hold at most one connection; more conns than threads
+        // is waste, fewer starves the back-end.
+        let conns = conns_per_app.min(app_threads.max(2));
+        SoftAllocation::new(web, app_threads, conns.max(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::AnalyticTestbed;
+    use tiers::HardwareConfig;
+
+    fn tune(hw: HardwareConfig) -> AlgorithmReport {
+        let tb = AnalyticTestbed::calibrated(hw);
+        let cfg = AlgorithmConfig {
+            step: 1000,
+            small_step: 500,
+            ..AlgorithmConfig::default()
+        };
+        SoftResourceTuner::new(tb, cfg).run().expect("algorithm succeeds")
+    }
+
+    #[test]
+    fn finds_tomcat_critical_on_1_2_1_2() {
+        let rep = tune(HardwareConfig::one_two_one_two());
+        assert_eq!(rep.critical_tier, Tier::App, "{:?}", rep.trace);
+        assert!(rep.critical_util >= 0.95);
+        assert!(rep.saturation_workload > 2000);
+        assert!(rep.minjobs_per_server >= 1.0);
+        assert_eq!(rep.per_tier.len(), 4);
+    }
+
+    #[test]
+    fn finds_cjdbc_critical_on_1_4_1_4() {
+        let rep = tune(HardwareConfig::one_four_one_four());
+        assert_eq!(rep.critical_tier, Tier::Cmw, "{:?}", rep.trace);
+    }
+
+    #[test]
+    fn doubles_pools_out_of_soft_bottlenecks() {
+        // Start with a pathologically small S0 so the soft resources hide
+        // the hardware; the algorithm must double its way out.
+        let tb = AnalyticTestbed::calibrated(HardwareConfig::one_two_one_two());
+        let cfg = AlgorithmConfig {
+            initial_soft: SoftAllocation::new(2, 2, 2),
+            step: 1000,
+            small_step: 500,
+            ..AlgorithmConfig::default()
+        };
+        let rep = SoftResourceTuner::new(tb, cfg).run().expect("succeeds");
+        assert!(rep.doublings >= 1, "doublings={} {:?}", rep.doublings, rep.trace);
+        assert_eq!(rep.critical_tier, Tier::App);
+    }
+
+    #[test]
+    fn recommendation_is_consistent_with_inferences() {
+        let rep = tune(HardwareConfig::one_two_one_two());
+        let app = rep
+            .per_tier
+            .iter()
+            .find(|i| i.tier == Tier::App)
+            .expect("app inference");
+        // Critical tier gets exactly its measured concurrency (ceil).
+        assert_eq!(
+            rep.recommended.app_threads,
+            app.jobs_per_server.ceil().max(2.0) as usize
+        );
+        // Front tier is buffered.
+        assert!(rep.recommended.web_threads >= rep.recommended.app_threads);
+        // Conns never exceed threads.
+        assert!(rep.recommended.app_db_conns <= rep.recommended.app_threads.max(2));
+    }
+
+    #[test]
+    fn littles_law_identity_in_report() {
+        let rep = tune(HardwareConfig::one_four_one_four());
+        for t in &rep.per_tier {
+            let l = t.tp_per_server * t.rtt;
+            assert!((l - t.jobs_per_server).abs() < 1e-9);
+            assert!((t.total_jobs - l * t.servers as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let tb = AnalyticTestbed::calibrated(HardwareConfig::one_two_one_two());
+        let cfg = AlgorithmConfig {
+            step: 10, // would need hundreds of runs to reach saturation
+            max_runs: 5,
+            ..AlgorithmConfig::default()
+        };
+        let err = SoftResourceTuner::new(tb, cfg).run().unwrap_err();
+        assert_eq!(err, AlgorithmError::BudgetExhausted);
+    }
+
+    #[test]
+    fn trace_records_every_run() {
+        let rep = tune(HardwareConfig::one_two_one_two());
+        assert_eq!(rep.trace.len() as u32, rep.runs_used);
+        assert!(rep.trace.iter().any(|t| t.phase == 1));
+        assert!(rep.trace.iter().any(|t| t.phase == 2));
+    }
+}

@@ -1,0 +1,182 @@
+//! A feedback-control / hill-climbing tuner — the "feedback-control
+//! approach" baseline from the paper's related work (§V, refs. [19]–[21]).
+//!
+//! The controller knows nothing about queueing laws: it repeatedly runs the
+//! system at a fixed workload and nudges one pool at a time, keeping changes
+//! that improve goodput. The paper's criticism — "feedback-control
+//! approaches are crucially dependent on system operators choosing correct
+//! control parameters" and risk both over- and under-allocation — becomes
+//! measurable here: the benches compare its experiment budget and final
+//! allocation against Algorithm 1's.
+
+use crate::experiment::Testbed;
+use serde::{Deserialize, Serialize};
+use tiers::SoftAllocation;
+
+/// Knobs the controller can adjust.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Knob {
+    WebThreads,
+    AppThreads,
+    DbConns,
+}
+
+const KNOBS: [Knob; 3] = [Knob::AppThreads, Knob::DbConns, Knob::WebThreads];
+
+fn apply(soft: SoftAllocation, knob: Knob, factor: f64) -> SoftAllocation {
+    let scale = |v: usize| ((v as f64 * factor).round() as usize).max(2);
+    match knob {
+        Knob::WebThreads => SoftAllocation::new(scale(soft.web_threads), soft.app_threads, soft.app_db_conns),
+        Knob::AppThreads => SoftAllocation::new(soft.web_threads, scale(soft.app_threads), soft.app_db_conns),
+        Knob::DbConns => SoftAllocation::new(soft.web_threads, soft.app_threads, scale(soft.app_db_conns)),
+    }
+}
+
+/// Configuration of the feedback tuner.
+#[derive(Debug, Clone)]
+pub struct FeedbackConfig {
+    /// Starting allocation.
+    pub initial: SoftAllocation,
+    /// Workload (users) at which to tune — the operator must guess this;
+    /// Algorithm 1 *finds* its saturation workload instead.
+    pub users: u32,
+    /// Multiplicative step for increases.
+    pub up_factor: f64,
+    /// Multiplicative step for decreases.
+    pub down_factor: f64,
+    /// Minimum relative goodput improvement to accept a move.
+    pub min_gain: f64,
+    /// Experiment budget.
+    pub max_runs: u32,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            initial: SoftAllocation::new(64, 16, 16),
+            users: 6000,
+            up_factor: 1.5,
+            down_factor: 0.67,
+            min_gain: 0.01,
+            max_runs: 32,
+        }
+    }
+}
+
+/// Result of a feedback-tuning session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedbackReport {
+    /// Final allocation.
+    pub allocation: SoftAllocation,
+    /// Goodput achieved by the final allocation at the tuning workload.
+    pub goodput: f64,
+    /// Experiments consumed.
+    pub runs_used: u32,
+    /// (allocation, goodput) trace of accepted states.
+    pub accepted: Vec<(String, f64)>,
+}
+
+/// Hill-climb the allocation on a testbed.
+pub fn feedback_tune<T: Testbed>(testbed: &mut T, cfg: &FeedbackConfig) -> FeedbackReport {
+    let mut runs = 0u32;
+    let mut eval = |soft: SoftAllocation, runs: &mut u32| -> f64 {
+        *runs += 1;
+        testbed.run(soft, cfg.users).goodput
+    };
+    let mut current = cfg.initial;
+    let mut best = eval(current, &mut runs);
+    let mut accepted = vec![(current.to_string(), best)];
+    let mut improved = true;
+    while improved && runs < cfg.max_runs {
+        improved = false;
+        'knobs: for knob in KNOBS {
+            for factor in [cfg.up_factor, cfg.down_factor] {
+                if runs >= cfg.max_runs {
+                    break 'knobs;
+                }
+                let candidate = apply(current, knob, factor);
+                if candidate == current {
+                    continue;
+                }
+                let g = eval(candidate, &mut runs);
+                if g > best * (1.0 + cfg.min_gain) {
+                    current = candidate;
+                    best = g;
+                    accepted.push((current.to_string(), best));
+                    improved = true;
+                    // Greedy: restart the knob scan from the new state.
+                    break 'knobs;
+                }
+            }
+        }
+    }
+    FeedbackReport {
+        allocation: current,
+        goodput: best,
+        runs_used: runs,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::AnalyticTestbed;
+    use tiers::HardwareConfig;
+
+    #[test]
+    fn climbs_out_of_a_thread_starved_start() {
+        let mut tb = AnalyticTestbed::calibrated(HardwareConfig::one_two_one_two());
+        let cfg = FeedbackConfig {
+            initial: SoftAllocation::new(64, 3, 8),
+            users: 7000,
+            max_runs: 40,
+            ..FeedbackConfig::default()
+        };
+        let rep = feedback_tune(&mut tb, &cfg);
+        assert!(
+            rep.allocation.app_threads > 3,
+            "should have grown the thread pool: {}",
+            rep.allocation
+        );
+        assert!(rep.goodput > rep.accepted[0].1 * 1.2, "{:?}", rep.accepted);
+    }
+
+    #[test]
+    fn shrinks_a_gc_heavy_connection_pool() {
+        let mut tb = AnalyticTestbed::calibrated(HardwareConfig::one_four_one_four());
+        let cfg = FeedbackConfig {
+            initial: SoftAllocation::new(400, 200, 200),
+            users: 9000,
+            max_runs: 40,
+            ..FeedbackConfig::default()
+        };
+        let rep = feedback_tune(&mut tb, &cfg);
+        assert!(
+            rep.allocation.app_db_conns < 200,
+            "should have shrunk the conn pool: {}",
+            rep.allocation
+        );
+    }
+
+    #[test]
+    fn respects_experiment_budget() {
+        let mut tb = AnalyticTestbed::calibrated(HardwareConfig::one_two_one_two());
+        let cfg = FeedbackConfig {
+            max_runs: 5,
+            ..FeedbackConfig::default()
+        };
+        let rep = feedback_tune(&mut tb, &cfg);
+        assert!(rep.runs_used <= 5);
+    }
+
+    #[test]
+    fn accepted_trace_is_monotone_in_goodput() {
+        let mut tb = AnalyticTestbed::calibrated(HardwareConfig::one_two_one_two());
+        let rep = feedback_tune(&mut tb, &FeedbackConfig::default());
+        assert!(rep
+            .accepted
+            .windows(2)
+            .all(|w| w[1].1 >= w[0].1), "{:?}", rep.accepted);
+    }
+}

@@ -1,0 +1,152 @@
+//! Operational laws (Denning & Buzen, "The operational analysis of queueing
+//! network models" — the paper's reference [12]).
+//!
+//! These are distribution-free identities over measured quantities, which is
+//! exactly why the paper's algorithm can combine them with monitoring data:
+//!
+//! * **Utilization law**: `U = X · S` (throughput × service demand).
+//! * **Little's law**: `L = X · R` (jobs inside = throughput × residence).
+//! * **Forced Flow law**: `X_k = V_k · X` (visit ratio couples per-resource
+//!   throughput to system throughput).
+//! * **Interactive Response Time law**: `R = N/X − Z` for a closed system of
+//!   `N` clients with think time `Z`.
+//!
+//! The allocation rule of §IV-B.3 follows from combining them:
+//! `L_front = L_crit · RTT_ratio / Req_ratio` (paper Formula 3).
+
+/// Utilization law: `U = X · S`.
+#[inline]
+pub fn utilization(throughput: f64, service_demand: f64) -> f64 {
+    throughput * service_demand
+}
+
+/// Little's law: `L = X · R`.
+#[inline]
+pub fn littles_law_jobs(throughput: f64, residence: f64) -> f64 {
+    throughput * residence
+}
+
+/// Little's law solved for residence time: `R = L / X`.
+#[inline]
+pub fn littles_law_residence(jobs: f64, throughput: f64) -> f64 {
+    if throughput <= 0.0 {
+        return 0.0;
+    }
+    jobs / throughput
+}
+
+/// Forced Flow law: `X_k = V_k · X`.
+#[inline]
+pub fn forced_flow(system_throughput: f64, visit_ratio: f64) -> f64 {
+    system_throughput * visit_ratio
+}
+
+/// Interactive Response Time law: `R = N/X − Z`.
+#[inline]
+pub fn interactive_response_time(users: f64, throughput: f64, think: f64) -> f64 {
+    if throughput <= 0.0 {
+        return f64::INFINITY;
+    }
+    (users / throughput - think).max(0.0)
+}
+
+/// Interactive throughput bound: `X ≤ N / (Z + R)`.
+#[inline]
+pub fn interactive_throughput(users: f64, think: f64, response: f64) -> f64 {
+    users / (think + response)
+}
+
+/// The paper's Formula 3: minimum soft-resource allocation of an upstream
+/// tier, given the critical tier's concurrency.
+///
+/// `L_up = L_crit · (RTT_up / RTT_crit) / Req_ratio`, where `Req_ratio` is
+/// the average number of downstream requests (SQL queries) per upstream
+/// request (servlet execution).
+#[inline]
+pub fn upstream_allocation(
+    crit_jobs: f64,
+    rtt_upstream: f64,
+    rtt_critical: f64,
+    req_ratio: f64,
+) -> f64 {
+    assert!(req_ratio > 0.0, "Req_ratio must be positive");
+    assert!(rtt_critical > 0.0, "critical tier RTT must be positive");
+    crit_jobs * (rtt_upstream / rtt_critical) / req_ratio
+}
+
+/// Asymptotic bound analysis for a closed interactive system: the saturation
+/// population `N* = (Z + Σ demands) / max demand`, the knee the paper's
+/// workload ramps look for.
+#[inline]
+pub fn saturation_population(think: f64, total_demand: f64, max_demand: f64) -> f64 {
+    assert!(max_demand > 0.0);
+    (think + total_demand) / max_demand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_law() {
+        // 800 req/s at 1.2 ms/req ⇒ 96% utilization.
+        assert!((utilization(800.0, 0.0012) - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_round_trip() {
+        let jobs = littles_law_jobs(397.0, 0.0327);
+        assert!((jobs - 12.98).abs() < 0.01); // the paper's Tomcat ≈ 13 jobs
+        let r = littles_law_residence(jobs, 397.0);
+        assert!((r - 0.0327).abs() < 1e-12);
+        assert_eq!(littles_law_residence(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn forced_flow_law() {
+        // 800 req/s with 2.44 queries per request ⇒ 1952 q/s at the DB tier.
+        assert!((forced_flow(800.0, 2.44) - 1952.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interactive_laws_are_consistent() {
+        let users = 5800.0;
+        let think = 7.0;
+        let x = 800.0;
+        let r = interactive_response_time(users, x, think);
+        let x2 = interactive_throughput(users, think, r);
+        assert!((x - x2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interactive_rt_clamps_at_zero() {
+        // Underloaded: N/X < Z would give negative R.
+        assert_eq!(interactive_response_time(10.0, 100.0, 7.0), 0.0);
+        assert_eq!(interactive_response_time(10.0, 0.0, 7.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn upstream_allocation_formula() {
+        // Fig. 9's example: Tomcat RTT T, C-JDBC RTT t1+t2; N jobs at C-JDBC
+        // require N·T/(t1+t2)/Req_ratio connections upstream — with
+        // Req_ratio = 1 visit this is the plain RTT ratio.
+        let l = upstream_allocation(8.0, 0.030, 0.010, 2.5);
+        assert!((l - 9.6).abs() < 1e-12);
+        // More downstream visits per upstream request ⇒ fewer upstream jobs.
+        assert!(upstream_allocation(8.0, 0.030, 0.010, 5.0) < l);
+    }
+
+    #[test]
+    fn saturation_population_knee() {
+        // Z=7s, demands sum ≈ 30ms, max demand 2.4ms/2 servers = 1.2ms
+        // ⇒ N* ≈ 5860 — the 1/2/1/2 knee of DESIGN.md §4.
+        let n = saturation_population(7.0, 0.030, 0.0012);
+        assert!((n - 5858.3).abs() < 1.0, "n={n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Req_ratio")]
+    fn zero_req_ratio_rejected() {
+        let _ = upstream_allocation(1.0, 1.0, 1.0, 0.0);
+    }
+}

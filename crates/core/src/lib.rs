@@ -1,0 +1,52 @@
+//! # ntier-core — the paper's primary contribution
+//!
+//! Everything above the simulator: the experiment driver, the operational
+//! laws, the statistical intervention analysis, and **Algorithm 1** — the
+//! practical soft-resource allocation algorithm of
+//! *"The Impact of Soft Resource Allocation on n-Tier Application
+//! Scalability"* (IPDPS 2011) — plus the naive allocation strategies it is
+//! evaluated against.
+//!
+//! ## Structure
+//!
+//! * [`laws`] — Little's law, the Forced Flow law, the Utilization law, and
+//!   the Interactive Response Time law (operational analysis, Denning &
+//!   Buzen), which the algorithm combines with measurements.
+//! * [`stats`] — Welch's two-sample t-test and the intervention analysis
+//!   used to find the saturation workload from SLO-satisfaction series.
+//! * [`experiment`] — `RunExperiment` (the driver Algorithm 1 calls), with a
+//!   rayon-parallel sweep helper for the figure harnesses.
+//! * [`algorithm`] — the three procedures of Algorithm 1:
+//!   `FindCriticalResource`, `InferMinConcurrentJobs`,
+//!   `CalculateMinAllocation`.
+//! * [`strategies`] — baseline allocation policies: conservative
+//!   minimization, liberal maximization, and the practitioners' rule of
+//!   thumb (`400-150-60`).
+//! * [`mva`] — exact Mean Value Analysis: the hardware-only analytical model
+//!   the related work uses, kept here as a measurable comparator.
+//! * [`feedback`] — a hill-climbing feedback controller, the related work's
+//!   other approach, as an algorithmic baseline.
+//! * [`notation`] — parsing of the paper's `#W/#A/#C/#D` and
+//!   `#W_T-#A_T-#A_C` notations.
+
+pub mod algorithm;
+pub mod experiment;
+pub mod feedback;
+pub mod laws;
+pub mod mva;
+pub mod notation;
+pub mod stats;
+pub mod strategies;
+
+pub use algorithm::{AlgorithmConfig, AlgorithmReport, SoftResourceTuner};
+pub use experiment::{run_experiment, sweep, ExperimentSpec};
+pub use feedback::{feedback_tune, FeedbackConfig, FeedbackReport};
+pub use mva::{MvaModel, MvaSolution, Station};
+pub use notation::{parse_hardware, parse_soft, parse_spec};
+pub use strategies::Strategy;
+
+// Re-export the simulator surface so downstream users need one import.
+pub use tiers::{
+    run_system, HardwareConfig, NodeReport, RunOutput, ServiceParams, SoftAllocation,
+    SystemConfig, Tier,
+};

@@ -1,0 +1,308 @@
+//! Exact Mean Value Analysis (MVA) for closed, single-class queueing
+//! networks — the "analytical model-based approach" of the paper's related
+//! work (§V, refs. [4][18]).
+//!
+//! The paper argues such models "are typically hard to generalize" because
+//! they disregard multi-threading overheads (context switching, JVM GC) and
+//! soft-resource limits. This module exists to make that comparison
+//! *measurable*: the MVA model predicts the hardware-only behaviour of the
+//! 4-tier testbed, and the benches show exactly where the simulator (and the
+//! paper's testbed) diverge from it — at soft-resource bottlenecks and at
+//! over-allocated configurations.
+//!
+//! The classic exact MVA recursion for N customers, stations `k` with
+//! service demand `D_k` (visit ratio folded in) and a delay station `Z`:
+//!
+//! ```text
+//! R_k(n) = D_k · (1 + Q_k(n−1))        (queueing station)
+//! X(n)   = n / (Z + Σ R_k(n))
+//! Q_k(n) = X(n) · R_k(n)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Station kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StationKind {
+    /// Queueing (PS or FCFS with exponential service — MVA treats them
+    /// identically for single-class workloads).
+    Queueing,
+    /// Pure delay (no queueing; e.g. network latency).
+    Delay,
+}
+
+/// One service station.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Station {
+    /// Display name.
+    pub name: String,
+    /// Total service demand per interaction at this station (seconds) —
+    /// per-visit service time × visit ratio.
+    pub demand: f64,
+    /// Kind.
+    pub kind: StationKind,
+}
+
+impl Station {
+    /// Queueing station.
+    pub fn queueing(name: impl Into<String>, demand: f64) -> Self {
+        Station {
+            name: name.into(),
+            demand,
+            kind: StationKind::Queueing,
+        }
+    }
+
+    /// Delay station.
+    pub fn delay(name: impl Into<String>, demand: f64) -> Self {
+        Station {
+            name: name.into(),
+            demand,
+            kind: StationKind::Delay,
+        }
+    }
+}
+
+/// A closed single-class queueing network with think time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MvaModel {
+    /// Stations (order is preserved in solutions).
+    pub stations: Vec<Station>,
+    /// Client think time (seconds).
+    pub think: f64,
+}
+
+/// Solution for one population size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MvaSolution {
+    /// Population.
+    pub n: u32,
+    /// System throughput (interactions/second).
+    pub throughput: f64,
+    /// System response time (seconds, excluding think).
+    pub response: f64,
+    /// Per-station residence times (seconds).
+    pub residence: Vec<f64>,
+    /// Per-station mean queue lengths.
+    pub queue: Vec<f64>,
+    /// Per-station utilizations.
+    pub utilization: Vec<f64>,
+}
+
+impl MvaModel {
+    /// Build a model; demands must be non-negative and at least one station
+    /// is required.
+    pub fn new(stations: Vec<Station>, think: f64) -> Self {
+        assert!(!stations.is_empty(), "need at least one station");
+        assert!(
+            stations.iter().all(|s| s.demand >= 0.0),
+            "demands must be non-negative"
+        );
+        assert!(think >= 0.0);
+        MvaModel { stations, think }
+    }
+
+    /// The 4-tier testbed as a hardware-only queueing model: one queueing
+    /// station per server (tier demand split across its servers by perfect
+    /// load balancing) plus a delay station for the network hops.
+    pub fn four_tier(
+        servers: [usize; 4],
+        tier_demand: [f64; 4],
+        network_delay: f64,
+        think: f64,
+    ) -> Self {
+        let names = ["Apache", "Tomcat", "C-JDBC", "MySQL"];
+        let mut stations = Vec::new();
+        for t in 0..4 {
+            for i in 0..servers[t] {
+                stations.push(Station::queueing(
+                    format!("{}-{}", names[t], i),
+                    tier_demand[t] / servers[t] as f64,
+                ));
+            }
+        }
+        stations.push(Station::delay("network", network_delay));
+        MvaModel::new(stations, think)
+    }
+
+    /// Exact MVA for population `n` (O(n·K)).
+    pub fn solve(&self, n: u32) -> MvaSolution {
+        let k = self.stations.len();
+        let mut q = vec![0.0f64; k];
+        let mut x = 0.0;
+        let mut residence = vec![0.0f64; k];
+        for pop in 1..=n {
+            let mut total_r = 0.0;
+            for (i, s) in self.stations.iter().enumerate() {
+                residence[i] = match s.kind {
+                    StationKind::Queueing => s.demand * (1.0 + q[i]),
+                    StationKind::Delay => s.demand,
+                };
+                total_r += residence[i];
+            }
+            x = pop as f64 / (self.think + total_r);
+            for i in 0..k {
+                q[i] = x * residence[i];
+            }
+        }
+        let response: f64 = residence.iter().sum();
+        let utilization: Vec<f64> = self
+            .stations
+            .iter()
+            .map(|s| (x * s.demand).min(1.0))
+            .collect();
+        MvaSolution {
+            n,
+            throughput: x,
+            response,
+            residence,
+            queue: q,
+            utilization,
+        }
+    }
+
+    /// Sweep populations (each solved exactly).
+    pub fn sweep(&self, populations: &[u32]) -> Vec<MvaSolution> {
+        populations.iter().map(|&n| self.solve(n)).collect()
+    }
+
+    /// Asymptotic throughput bound `1 / max D_k` (the hardware capacity).
+    pub fn throughput_bound(&self) -> f64 {
+        let dmax = self
+            .stations
+            .iter()
+            .filter(|s| s.kind == StationKind::Queueing)
+            .map(|s| s.demand)
+            .fold(0.0f64, f64::max);
+        if dmax > 0.0 {
+            1.0 / dmax
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Asymptotic knee population `N* = (Z + Σ D_k) / max D_k`.
+    pub fn knee_population(&self) -> f64 {
+        let total: f64 = self.stations.iter().map(|s| s.demand).sum();
+        let bound = self.throughput_bound();
+        if bound.is_finite() {
+            (self.think + total) * bound
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Index and name of the bottleneck station.
+    pub fn bottleneck(&self) -> (usize, &str) {
+        let (i, s) = self
+            .stations
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == StationKind::Queueing)
+            .max_by(|a, b| a.1.demand.partial_cmp(&b.1.demand).expect("no NaN demands"))
+            .expect("at least one queueing station");
+        (i, &s.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single queueing station, no think time: the machine-repairman model,
+    /// which MVA must solve exactly: with N=1, X = 1/(D); queue grows with N
+    /// until X → 1/D.
+    #[test]
+    fn single_station_limits() {
+        let m = MvaModel::new(vec![Station::queueing("cpu", 0.1)], 0.0);
+        let s1 = m.solve(1);
+        assert!((s1.throughput - 10.0).abs() < 1e-9);
+        assert!((s1.response - 0.1).abs() < 1e-12);
+        let s100 = m.solve(100);
+        assert!((s100.throughput - 10.0).abs() < 1e-6);
+        assert!((s100.queue[0] - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn delay_station_never_queues() {
+        let m = MvaModel::new(
+            vec![Station::queueing("cpu", 0.01), Station::delay("net", 0.05)],
+            0.0,
+        );
+        let s = m.solve(50);
+        // Residence at the delay station is its demand regardless of load.
+        assert!((s.residence[1] - 0.05).abs() < 1e-12);
+        assert!(s.residence[0] > 0.01);
+    }
+
+    #[test]
+    fn think_time_caps_offered_load() {
+        let m = MvaModel::new(vec![Station::queueing("cpu", 0.001)], 7.0);
+        let s = m.solve(700);
+        // Far below saturation: X ≈ N / (Z + D) ≈ 100.
+        assert!((s.throughput - 700.0 / 7.001).abs() < 0.5);
+        assert!(s.utilization[0] < 0.2);
+    }
+
+    #[test]
+    fn four_tier_model_matches_calibration_targets() {
+        // DESIGN.md §4: 1/2/1/2 caps ≈ 830 req/s with a knee near 5 800.
+        let m = MvaModel::four_tier(
+            [1, 2, 1, 2],
+            [0.00075, 0.0024, 0.0011, 0.0019],
+            0.022,
+            7.0,
+        );
+        let bound = m.throughput_bound();
+        assert!((bound - 833.3).abs() < 1.0, "bound={bound}");
+        let knee = m.knee_population();
+        assert!((5700.0..6100.0).contains(&knee), "knee={knee}");
+        let (_, name) = m.bottleneck();
+        assert!(name.starts_with("Tomcat"), "bottleneck={name}");
+        // 1/4/1/4 moves the bottleneck to C-JDBC.
+        let m = MvaModel::four_tier(
+            [1, 4, 1, 4],
+            [0.00075, 0.0024, 0.0011, 0.0019],
+            0.022,
+            7.0,
+        );
+        assert!(m.bottleneck().1.starts_with("C-JDBC"));
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_population() {
+        let m = MvaModel::four_tier(
+            [1, 2, 1, 2],
+            [0.00075, 0.0024, 0.0011, 0.0019],
+            0.022,
+            7.0,
+        );
+        let sweep = m.sweep(&[1000, 3000, 5000, 7000, 9000]);
+        for w in sweep.windows(2) {
+            assert!(w[1].throughput >= w[0].throughput - 1e-9);
+        }
+        // And bounded by the asymptote.
+        assert!(sweep.last().unwrap().throughput <= m.throughput_bound() + 1e-9);
+    }
+
+    #[test]
+    fn littles_law_inside_the_solution() {
+        let m = MvaModel::new(
+            vec![Station::queueing("a", 0.02), Station::queueing("b", 0.01)],
+            1.0,
+        );
+        let s = m.solve(20);
+        for i in 0..2 {
+            assert!((s.queue[i] - s.throughput * s.residence[i]).abs() < 1e-9);
+        }
+        // Population conservation: Σ Q + X·Z = N.
+        let total: f64 = s.queue.iter().sum::<f64>() + s.throughput * 1.0;
+        assert!((total - 20.0).abs() < 1e-6, "total={total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn empty_network_rejected() {
+        let _ = MvaModel::new(vec![], 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Parsing the paper's configuration notation.
+//!
+//! * Hardware: `#W/#A/#C/#D`, e.g. `1/2/1/2`.
+//! * Soft allocation: `#W_T-#A_T-#A_C`, e.g. `400-150-60`.
+//! * Combined: `1/2/1/2(400-150-60)`.
+
+use tiers::{HardwareConfig, SoftAllocation};
+
+/// Error from notation parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "notation parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_parts(s: &str, sep: char, n: usize, what: &str) -> Result<Vec<usize>, ParseError> {
+    let parts: Vec<&str> = s.split(sep).collect();
+    if parts.len() != n {
+        return Err(ParseError(format!(
+            "{what} '{s}' must have {n} '{sep}'-separated fields"
+        )));
+    }
+    parts
+        .iter()
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| ParseError(format!("{what} '{s}': '{p}' is not a number")))
+        })
+        .collect()
+}
+
+/// Parse `#W/#A/#C/#D` into a [`HardwareConfig`].
+pub fn parse_hardware(s: &str) -> Result<HardwareConfig, ParseError> {
+    let v = parse_parts(s.trim(), '/', 4, "hardware config")?;
+    if v.contains(&0) {
+        return Err(ParseError(format!(
+            "hardware config '{s}': every tier needs at least one server"
+        )));
+    }
+    Ok(HardwareConfig::new(v[0], v[1], v[2], v[3]))
+}
+
+/// Parse `#W_T-#A_T-#A_C` into a [`SoftAllocation`].
+pub fn parse_soft(s: &str) -> Result<SoftAllocation, ParseError> {
+    let v = parse_parts(s.trim(), '-', 3, "soft allocation")?;
+    if v.contains(&0) {
+        return Err(ParseError(format!(
+            "soft allocation '{s}': every pool needs at least one unit"
+        )));
+    }
+    Ok(SoftAllocation::new(v[0], v[1], v[2]))
+}
+
+/// Parse the combined `#W/#A/#C/#D(#W_T-#A_T-#A_C)` notation.
+pub fn parse_spec(s: &str) -> Result<(HardwareConfig, SoftAllocation), ParseError> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| ParseError(format!("spec '{s}' is missing '('")))?;
+    if !s.ends_with(')') {
+        return Err(ParseError(format!("spec '{s}' is missing trailing ')'")));
+    }
+    let hw = parse_hardware(&s[..open])?;
+    let soft = parse_soft(&s[open + 1..s.len() - 1])?;
+    Ok((hw, soft))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_round_trip() {
+        let hw = parse_hardware("1/2/1/2").unwrap();
+        assert_eq!(hw, HardwareConfig::one_two_one_two());
+        assert_eq!(hw.to_string(), "1/2/1/2");
+        assert_eq!(parse_hardware(" 1/4/1/4 ").unwrap().app, 4);
+    }
+
+    #[test]
+    fn soft_round_trip() {
+        let soft = parse_soft("400-150-60").unwrap();
+        assert_eq!(soft, SoftAllocation::rule_of_thumb());
+        assert_eq!(soft.to_string(), "400-150-60");
+    }
+
+    #[test]
+    fn combined_spec() {
+        let (hw, soft) = parse_spec("1/4/1/4(400-6-6)").unwrap();
+        assert_eq!(hw, HardwareConfig::one_four_one_four());
+        assert_eq!(soft, SoftAllocation::conservative());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_hardware("1/2/1").is_err());
+        assert!(parse_hardware("1/2/x/2").is_err());
+        assert!(parse_hardware("0/2/1/2").is_err());
+        assert!(parse_soft("400-150").is_err());
+        assert!(parse_soft("400-0-60").is_err());
+        assert!(parse_spec("1/2/1/2").is_err());
+        assert!(parse_spec("1/2/1/2(400-150-60").is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let err = parse_hardware("1/2/x/2").unwrap_err();
+        assert!(err.to_string().contains("'x'"), "{err}");
+    }
+}

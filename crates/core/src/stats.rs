@@ -1,0 +1,353 @@
+//! Statistical machinery: Welch's t-test and the intervention analysis.
+//!
+//! The paper (§IV-B.2) finds the minimum saturating workload with a
+//! "statistical intervention analysis on the SLO-satisfaction of a system"
+//! (their reference [11], Malkowski et al., DSOM'07): the SLO-satisfaction
+//! is nearly constant under low workload and deteriorates significantly once
+//! the critical resource saturates. We detect that change point with a
+//! one-sided Welch two-sample t-test per candidate workload against the
+//! baseline, requiring the deterioration to be *persistent* (every higher
+//! workload also deteriorated) so a single noisy run cannot trigger it.
+
+/// Summary of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct WelchTest {
+    /// t statistic (positive when sample A's mean exceeds sample B's).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// One-sided p-value for the alternative `mean(A) > mean(B)`.
+    pub p_a_greater: f64,
+    /// Mean of sample A.
+    pub mean_a: f64,
+    /// Mean of sample B.
+    pub mean_b: f64,
+}
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// Welch's two-sample t-test. Requires at least two observations per sample.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchTest {
+    assert!(a.len() >= 2 && b.len() >= 2, "need n >= 2 per sample");
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        // Identical constants: no evidence of difference unless means differ.
+        let t = if ma == mb {
+            0.0
+        } else if ma > mb {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
+        return WelchTest {
+            t,
+            df: na + nb - 2.0,
+            p_a_greater: if ma > mb { 0.0 } else { 1.0 },
+            mean_a: ma,
+            mean_b: mb,
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let p = 1.0 - student_t_cdf(t, df);
+    WelchTest {
+        t,
+        df,
+        p_a_greater: p,
+        mean_a: ma,
+        mean_b: mb,
+    }
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz continued
+/// fraction (Numerical Recipes `betai`/`betacf`).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+        + a * x.ln()
+        + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma needs x > 0");
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Result of the intervention analysis over an ascending workload ramp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intervention {
+    /// SLO-satisfaction deteriorated starting at this run index.
+    DeterioratesAt(usize),
+    /// No significant, persistent deterioration found.
+    Stable,
+}
+
+/// Find the first run whose SLO-satisfaction samples are significantly and
+/// persistently below the baseline (run 0).
+///
+/// * `series[i]` — per-second SLO-satisfaction samples of run `i` (ascending
+///   workloads).
+/// * `alpha` — significance level of the one-sided Welch test.
+/// * `min_drop` — minimum practically-relevant drop in mean satisfaction.
+pub fn find_intervention(series: &[Vec<f64>], alpha: f64, min_drop: f64) -> Intervention {
+    if series.len() < 2 {
+        return Intervention::Stable;
+    }
+    let baseline = &series[0];
+    if baseline.len() < 2 {
+        return Intervention::Stable;
+    }
+    let deteriorated: Vec<bool> = series
+        .iter()
+        .skip(1)
+        .map(|s| {
+            if s.len() < 2 {
+                return true; // so few completions that satisfaction is moot
+            }
+            let test = welch_t_test(baseline, s);
+            test.p_a_greater < alpha && (test.mean_a - test.mean_b) >= min_drop
+        })
+        .collect();
+    // First index from which every subsequent run is deteriorated.
+    let mut start = None;
+    for (i, &bad) in deteriorated.iter().enumerate().rev() {
+        if bad {
+            start = Some(i + 1); // +1: deteriorated[i] corresponds to series[i+1]
+        } else {
+            break;
+        }
+    }
+    match start {
+        Some(i) => Intervention::DeterioratesAt(i),
+        None => Intervention::Stable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry_and_bounds() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let x = 0.37;
+        let lhs = incomplete_beta(2.5, 1.5, x);
+        let rhs = 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+        // I_x(1,1) = x (uniform).
+        assert!((incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn student_t_cdf_known_values() {
+        // Symmetry and the median.
+        assert!((student_t_cdf(0.0, 5.0) - 0.5).abs() < 1e-12);
+        // t=1.0, df=∞-ish behaves like the normal CDF ≈ 0.8413.
+        assert!((student_t_cdf(1.0, 1e6) - 0.8413).abs() < 1e-3);
+        // Classic table value: t_{0.95, 10} ≈ 1.812.
+        assert!((student_t_cdf(1.812, 10.0) - 0.95).abs() < 2e-3);
+        // Heavy tails at df=1 (Cauchy): CDF(1) = 0.75.
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-9);
+        assert!((student_t_cdf(-1.0, 1.0) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_detects_separated_means() {
+        let a: Vec<f64> = (0..30).map(|i| 1.0 + 0.001 * (i as f64 % 7.0)).collect();
+        let b: Vec<f64> = (0..30).map(|i| 0.6 + 0.001 * (i as f64 % 5.0)).collect();
+        let t = welch_t_test(&a, &b);
+        assert!(t.p_a_greater < 1e-6, "p={}", t.p_a_greater);
+        assert!(t.t > 10.0);
+    }
+
+    #[test]
+    fn welch_sees_no_difference_in_identical_noise() {
+        let a: Vec<f64> = (0..50).map(|i| ((i * 37 % 100) as f64) / 100.0).collect();
+        let b: Vec<f64> = (0..50).map(|i| ((i * 53 % 100) as f64) / 100.0).collect();
+        let t = welch_t_test(&a, &b);
+        assert!(t.p_a_greater > 0.05, "p={}", t.p_a_greater);
+    }
+
+    #[test]
+    fn welch_constant_samples() {
+        let a = vec![1.0; 10];
+        let b = vec![1.0; 10];
+        assert_eq!(welch_t_test(&a, &b).p_a_greater, 1.0);
+        let c = vec![0.5; 10];
+        assert_eq!(welch_t_test(&a, &c).p_a_greater, 0.0);
+    }
+
+    fn flat(n: usize, level: f64, noise: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| level + noise * (((i * 31 % 17) as f64 / 17.0) - 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn intervention_finds_persistent_drop() {
+        // Satisfaction ~1.0 for three runs, then drops and stays dropped.
+        let series = vec![
+            flat(60, 0.99, 0.01),
+            flat(60, 0.99, 0.01),
+            flat(60, 0.985, 0.01),
+            flat(60, 0.80, 0.05),
+            flat(60, 0.45, 0.10),
+            flat(60, 0.10, 0.05),
+        ];
+        assert_eq!(
+            find_intervention(&series, 0.01, 0.05),
+            Intervention::DeterioratesAt(3)
+        );
+    }
+
+    #[test]
+    fn intervention_ignores_transient_dip() {
+        // A single dip that recovers is not an intervention.
+        let series = vec![
+            flat(60, 0.99, 0.01),
+            flat(60, 0.70, 0.05), // transient
+            flat(60, 0.99, 0.01),
+            flat(60, 0.99, 0.01),
+        ];
+        assert_eq!(find_intervention(&series, 0.01, 0.05), Intervention::Stable);
+    }
+
+    #[test]
+    fn intervention_stable_when_flat() {
+        let series = vec![flat(60, 0.98, 0.02); 5];
+        assert_eq!(find_intervention(&series, 0.01, 0.05), Intervention::Stable);
+    }
+
+    #[test]
+    fn intervention_requires_practical_drop() {
+        // Statistically significant but tiny drop: filtered by min_drop.
+        let series = vec![flat(200, 0.990, 0.001), flat(200, 0.985, 0.001)];
+        assert_eq!(find_intervention(&series, 0.01, 0.05), Intervention::Stable);
+    }
+
+    #[test]
+    fn intervention_handles_empty_tail_runs() {
+        // A fully saturated run may have too few completions for samples.
+        let series = vec![flat(60, 0.99, 0.01), flat(60, 0.5, 0.05), vec![]];
+        assert_eq!(
+            find_intervention(&series, 0.01, 0.05),
+            Intervention::DeterioratesAt(1)
+        );
+    }
+}

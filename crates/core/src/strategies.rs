@@ -1,0 +1,88 @@
+//! Baseline allocation strategies the paper evaluates against.
+//!
+//! §III analyzes two naive strategies — straight-forward *minimization*
+//! ("choose a small capacity to not overload the system") and *maximization*
+//! ("choose a large capacity to enable full hardware utilization") — plus the
+//! industry rule of thumb `400-150-60`. The algorithmic strategy is
+//! [`crate::SoftResourceTuner`].
+
+use serde::{Deserialize, Serialize};
+use tiers::{HardwareConfig, SoftAllocation};
+
+/// A static soft-resource allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Resource minimization: small pools to minimize overhead (§III-A).
+    Conservative,
+    /// The practitioners' rule of thumb, `400-150-60` (§II-C).
+    RuleOfThumb,
+    /// Resource maximization: big pools for full utilization (§III-B).
+    Liberal,
+}
+
+impl Strategy {
+    /// All static strategies.
+    pub const ALL: [Strategy; 3] = [
+        Strategy::Conservative,
+        Strategy::RuleOfThumb,
+        Strategy::Liberal,
+    ];
+
+    /// The allocation this strategy picks (independent of the hardware —
+    /// that independence is exactly the paper's criticism: "static
+    /// rule-of-thumb allocations will be almost always sub-optimal").
+    pub fn allocation(self, _hardware: HardwareConfig) -> SoftAllocation {
+        match self {
+            Strategy::Conservative => SoftAllocation::new(400, 6, 6),
+            Strategy::RuleOfThumb => SoftAllocation::new(400, 150, 60),
+            Strategy::Liberal => SoftAllocation::new(400, 200, 200),
+        }
+    }
+
+    /// Short name for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Conservative => "conservative (400-6-6)",
+            Strategy::RuleOfThumb => "rule-of-thumb (400-150-60)",
+            Strategy::Liberal => "liberal (400-200-200)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_give_paper_allocations() {
+        let hw = HardwareConfig::one_two_one_two();
+        assert_eq!(
+            Strategy::Conservative.allocation(hw),
+            SoftAllocation::conservative()
+        );
+        assert_eq!(
+            Strategy::RuleOfThumb.allocation(hw),
+            SoftAllocation::rule_of_thumb()
+        );
+        let lib = Strategy::Liberal.allocation(hw);
+        assert!(lib.app_db_conns >= 200);
+    }
+
+    #[test]
+    fn allocation_is_hardware_independent() {
+        // The point of the paper: static strategies ignore the hardware.
+        for s in Strategy::ALL {
+            assert_eq!(
+                s.allocation(HardwareConfig::one_two_one_two()),
+                s.allocation(HardwareConfig::one_four_one_four())
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            Strategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,246 @@
+//! Multi-bottleneck classification — the case Algorithm 1 excludes.
+//!
+//! The paper's first assumption is a *single* hardware bottleneck; "in a
+//! multi-bottleneck scenario the saturation of hardware resources may
+//! oscillate among multiple servers located in different tiers" (§IV-B,
+//! citing Malkowski et al., IISWC'09). This module implements the
+//! corresponding detector over per-second utilization series, so the
+//! algorithm can *refuse* with a diagnosis instead of mis-tuning:
+//!
+//! * **StableSaturated** — high average utilization, rarely below the
+//!   saturation band: the classic single bottleneck.
+//! * **Oscillating** — the resource repeatedly enters and leaves the
+//!   saturation band: a participant in a multi-bottleneck.
+//! * **Unsaturated** — never a constraint.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of one resource's utilization series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SaturationClass {
+    /// Persistently saturated: the single-bottleneck case.
+    StableSaturated,
+    /// Alternates between saturated and idle: multi-bottleneck participant.
+    Oscillating,
+    /// Not a constraint.
+    Unsaturated,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BottleneckDetector {
+    /// Utilization at or above which a sample counts as saturated.
+    pub saturation_level: f64,
+    /// Fraction of saturated samples above which the resource is considered
+    /// persistently saturated.
+    pub stable_fraction: f64,
+    /// Fraction of saturated samples below which the resource is considered
+    /// unsaturated.
+    pub idle_fraction: f64,
+    /// Minimum number of saturation episodes (entries into the band) for the
+    /// oscillation diagnosis.
+    pub min_episodes: usize,
+}
+
+impl Default for BottleneckDetector {
+    fn default() -> Self {
+        BottleneckDetector {
+            saturation_level: 0.95,
+            stable_fraction: 0.85,
+            idle_fraction: 0.15,
+            min_episodes: 3,
+        }
+    }
+}
+
+/// Per-resource analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaturationAnalysis {
+    /// Classification.
+    pub class: SaturationClass,
+    /// Fraction of samples in the saturation band.
+    pub saturated_fraction: f64,
+    /// Number of distinct saturation episodes.
+    pub episodes: usize,
+    /// Mean utilization.
+    pub mean_util: f64,
+}
+
+impl BottleneckDetector {
+    /// Classify one per-second utilization series.
+    pub fn classify(&self, series: &[f64]) -> SaturationAnalysis {
+        if series.is_empty() {
+            return SaturationAnalysis {
+                class: SaturationClass::Unsaturated,
+                saturated_fraction: 0.0,
+                episodes: 0,
+                mean_util: 0.0,
+            };
+        }
+        let n = series.len() as f64;
+        let saturated: Vec<bool> = series.iter().map(|&u| u >= self.saturation_level).collect();
+        let frac = saturated.iter().filter(|&&s| s).count() as f64 / n;
+        let mut episodes = 0usize;
+        let mut prev = false;
+        for &s in &saturated {
+            if s && !prev {
+                episodes += 1;
+            }
+            prev = s;
+        }
+        let mean_util = series.iter().sum::<f64>() / n;
+        let class = if frac >= self.stable_fraction {
+            SaturationClass::StableSaturated
+        } else if frac <= self.idle_fraction && episodes < self.min_episodes {
+            SaturationClass::Unsaturated
+        } else if episodes >= self.min_episodes {
+            SaturationClass::Oscillating
+        } else if frac > self.idle_fraction {
+            // A single long saturated stretch covering a middling fraction:
+            // treat as oscillating (entering and leaving the band once is
+            // still not a stable bottleneck).
+            SaturationClass::Oscillating
+        } else {
+            SaturationClass::Unsaturated
+        };
+        SaturationAnalysis {
+            class,
+            saturated_fraction: frac,
+            episodes,
+            mean_util,
+        }
+    }
+
+    /// Diagnose a whole system: returns `(index, analysis)` per series and
+    /// whether the system is a clean single-bottleneck case.
+    pub fn diagnose(&self, series: &[(&str, &[f64])]) -> SystemDiagnosis {
+        let per_resource: Vec<(String, SaturationAnalysis)> = series
+            .iter()
+            .map(|(name, s)| ((*name).to_string(), self.classify(s)))
+            .collect();
+        let stable: Vec<&String> = per_resource
+            .iter()
+            .filter(|(_, a)| a.class == SaturationClass::StableSaturated)
+            .map(|(n, _)| n)
+            .collect();
+        let oscillating: Vec<&String> = per_resource
+            .iter()
+            .filter(|(_, a)| a.class == SaturationClass::Oscillating)
+            .map(|(n, _)| n)
+            .collect();
+        let verdict = match (stable.len(), oscillating.len()) {
+            (1, 0) => SystemVerdict::SingleBottleneck,
+            (0, 0) => SystemVerdict::NoBottleneck,
+            (0, _) => SystemVerdict::MultiBottleneck,
+            (1, _) => SystemVerdict::MultiBottleneck,
+            _ => SystemVerdict::MultiBottleneck,
+        };
+        SystemDiagnosis {
+            verdict,
+            per_resource,
+        }
+    }
+}
+
+/// Overall system verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemVerdict {
+    /// Exactly one persistently saturated resource: Algorithm 1 applies.
+    SingleBottleneck,
+    /// Saturation oscillates or spans multiple resources: Algorithm 1's
+    /// assumption is violated.
+    MultiBottleneck,
+    /// Nothing saturated: increase the workload.
+    NoBottleneck,
+}
+
+/// Diagnosis of a whole monitored system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemDiagnosis {
+    /// System-level verdict.
+    pub verdict: SystemVerdict,
+    /// Per-resource analyses.
+    pub per_resource: Vec<(String, SaturationAnalysis)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> BottleneckDetector {
+        BottleneckDetector::default()
+    }
+
+    #[test]
+    fn stable_saturation_detected() {
+        let series: Vec<f64> = (0..120).map(|i| 0.97 + 0.02 * ((i % 3) as f64) / 3.0).collect();
+        let a = det().classify(&series);
+        assert_eq!(a.class, SaturationClass::StableSaturated);
+        assert!(a.saturated_fraction > 0.9);
+        assert_eq!(a.episodes, 1);
+    }
+
+    #[test]
+    fn idle_resource_unsaturated() {
+        let series = vec![0.4; 120];
+        let a = det().classify(&series);
+        assert_eq!(a.class, SaturationClass::Unsaturated);
+        assert_eq!(a.episodes, 0);
+        assert!((a.mean_util - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillation_detected() {
+        // 10 s saturated / 10 s idle, repeated — the IISWC'09 signature.
+        let mut series = Vec::new();
+        for cycle in 0..6 {
+            let _ = cycle;
+            series.extend(std::iter::repeat_n(0.99, 10));
+            series.extend(std::iter::repeat_n(0.30, 10));
+        }
+        let a = det().classify(&series);
+        assert_eq!(a.class, SaturationClass::Oscillating);
+        assert_eq!(a.episodes, 6);
+    }
+
+    #[test]
+    fn empty_series_is_unsaturated() {
+        let a = det().classify(&[]);
+        assert_eq!(a.class, SaturationClass::Unsaturated);
+    }
+
+    #[test]
+    fn single_bottleneck_system_diagnosis() {
+        let busy: Vec<f64> = vec![0.99; 60];
+        let idle: Vec<f64> = vec![0.5; 60];
+        let d = det().diagnose(&[("tomcat", &busy), ("cjdbc", &idle), ("mysql", &idle)]);
+        assert_eq!(d.verdict, SystemVerdict::SingleBottleneck);
+    }
+
+    #[test]
+    fn multi_bottleneck_system_diagnosis() {
+        // Two resources alternating in anti-phase.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for cycle in 0..6 {
+            let _ = cycle;
+            a.extend(std::iter::repeat_n(0.99, 10));
+            a.extend(std::iter::repeat_n(0.40, 10));
+            b.extend(std::iter::repeat_n(0.40, 10));
+            b.extend(std::iter::repeat_n(0.99, 10));
+        }
+        let d = det().diagnose(&[("tomcat", &a), ("mysql", &b)]);
+        assert_eq!(d.verdict, SystemVerdict::MultiBottleneck);
+        assert!(d
+            .per_resource
+            .iter()
+            .all(|(_, an)| an.class == SaturationClass::Oscillating));
+    }
+
+    #[test]
+    fn no_bottleneck_system_diagnosis() {
+        let idle: Vec<f64> = vec![0.5; 60];
+        let d = det().diagnose(&[("a", &idle), ("b", &idle)]);
+        assert_eq!(d.verdict, SystemVerdict::NoBottleneck);
+    }
+}

@@ -1,0 +1,150 @@
+//! Utilization density graphs.
+//!
+//! The paper's Fig. 4(b,c,e,f) plot, for each workload, the probability
+//! density of the per-second thread-pool utilization samples — this exposes
+//! *soft-resource saturation* (probability mass piling up at 100%) that a
+//! plain time-average would smear out. [`UtilDensity`] accumulates one run's
+//! samples; the bench harness assembles one density per workload point.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of utilization bins (5% each, plus an exact-100% bin).
+pub const BINS: usize = 21;
+
+/// A probability density over utilization samples in `[0,1]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilDensity {
+    counts: [u64; BINS],
+    total: u64,
+}
+
+impl UtilDensity {
+    /// New empty density.
+    pub fn new() -> Self {
+        UtilDensity {
+            counts: [0; BINS],
+            total: 0,
+        }
+    }
+
+    /// Record one utilization sample (clamped into `[0,1]`). Samples at or
+    /// above 99.5% land in the dedicated saturation bin.
+    pub fn add(&mut self, util: f64) {
+        let u = util.clamp(0.0, 1.0);
+        let idx = if u >= 0.995 {
+            BINS - 1
+        } else {
+            (u * 20.0).floor() as usize
+        };
+        self.counts[idx.min(BINS - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The normalized density (sums to 1.0; all zeros when empty).
+    pub fn pdf(&self) -> [f64; BINS] {
+        let t = self.total.max(1) as f64;
+        std::array::from_fn(|i| self.counts[i] as f64 / t)
+    }
+
+    /// Probability mass at (essentially) full utilization — the paper's
+    /// saturation indicator.
+    pub fn saturation_mass(&self) -> f64 {
+        self.pdf()[BINS - 1]
+    }
+
+    /// Mean utilization of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let pdf = self.pdf();
+        let mut mean = 0.0;
+        for (i, p) in pdf.iter().enumerate() {
+            let center = if i == BINS - 1 {
+                1.0
+            } else {
+                (i as f64 + 0.5) / 20.0
+            };
+            mean += center * p;
+        }
+        mean
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64; BINS] {
+        &self.counts
+    }
+}
+
+impl Default for UtilDensity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_expected_bins() {
+        let mut d = UtilDensity::new();
+        d.add(0.0); // bin 0
+        d.add(0.049); // bin 0
+        d.add(0.05); // bin 1
+        d.add(0.52); // bin 10
+        d.add(0.999); // saturation bin
+        d.add(1.0); // saturation bin
+        assert_eq!(d.counts()[0], 2);
+        assert_eq!(d.counts()[1], 1);
+        assert_eq!(d.counts()[10], 1);
+        assert_eq!(d.counts()[BINS - 1], 2);
+        assert_eq!(d.total(), 6);
+    }
+
+    #[test]
+    fn pdf_sums_to_one() {
+        let mut d = UtilDensity::new();
+        for i in 0..997 {
+            d.add(i as f64 / 1000.0);
+        }
+        let sum: f64 = d.pdf().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_mass_detects_bottleneck() {
+        let mut sat = UtilDensity::new();
+        let mut unsat = UtilDensity::new();
+        for _ in 0..100 {
+            sat.add(1.0);
+            unsat.add(0.6);
+        }
+        assert!(sat.saturation_mass() > 0.99);
+        assert!(unsat.saturation_mass() < 0.01);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamped() {
+        let mut d = UtilDensity::new();
+        d.add(-0.3);
+        d.add(1.7);
+        assert_eq!(d.counts()[0], 1);
+        assert_eq!(d.counts()[BINS - 1], 1);
+    }
+
+    #[test]
+    fn mean_is_reasonable() {
+        let mut d = UtilDensity::new();
+        for _ in 0..10 {
+            d.add(0.5);
+        }
+        assert!((d.mean() - 0.525).abs() < 0.03); // bin-center quantization
+        assert_eq!(UtilDensity::new().mean(), 0.0);
+    }
+}

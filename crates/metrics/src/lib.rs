@@ -1,0 +1,37 @@
+//! # metrics — SLA model, distributions, and monitoring observables
+//!
+//! The paper's performance model splits throughput by a response-time
+//! threshold into **goodput** (requests within the SLA bound) and **badput**
+//! (the rest); "the sum of goodput and badput amounts to the traditional
+//! definition of throughput" (§II-B). This crate provides:
+//!
+//! * [`SlaModel`] / [`SlaCounts`] — goodput/badput accounting at one or more
+//!   thresholds (the paper uses 0.5 s, 1 s, and 2 s).
+//! * [`RtDistribution`] — the fixed-bin response-time distribution of
+//!   Fig. 3(c): `[0,.2] [.2,.4] [.4,.6] [.6,.8] [.8,1] [1,1.5] [1.5,2] >2`.
+//! * [`UtilDensity`] — per-run utilization probability densities, the
+//!   building block of the resource-utilization density graphs (Fig. 4).
+//! * [`ServerLog`] — per-server response-time/throughput logging (the
+//!   Log4j-style logs that Algorithm 1 consumes: per-tier RTT and TP).
+//! * [`SloSeries`] — per-second SLO-satisfaction series feeding the
+//!   statistical intervention analysis.
+//! * [`RevenueModel`] — the §II-B stepped SLA revenue schedule (earnings for
+//!   compliance minus penalties for violations).
+//! * [`BottleneckDetector`] — the multi-bottleneck classifier (stable vs
+//!   oscillatory saturation; the paper's excluded case, ref. [9]).
+
+pub mod bottleneck;
+pub mod density;
+pub mod revenue;
+pub mod rt_dist;
+pub mod server_log;
+pub mod sla;
+pub mod slo_series;
+
+pub use bottleneck::{BottleneckDetector, SaturationClass, SystemVerdict};
+pub use density::UtilDensity;
+pub use revenue::{RevenueModel, RevenueStep};
+pub use rt_dist::RtDistribution;
+pub use server_log::ServerLog;
+pub use sla::{SlaCounts, SlaModel};
+pub use slo_series::SloSeries;

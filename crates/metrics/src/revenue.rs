@@ -1,0 +1,224 @@
+//! The SLA revenue model of §II-B.
+//!
+//! "The SLA document usually contains the service provider's revenue model,
+//! determining the earnings of the provider for SLA compliance (when request
+//! response times are within the limit) as well as the penalties in case of
+//! failure. The provider's revenue is the sum of all earnings minus all
+//! penalties."
+//!
+//! The paper works with the *simplified* model (a single threshold splitting
+//! goodput from badput); this module implements the general stepped model of
+//! their earlier work ([1], CloudXplor) so revenue-based comparisons between
+//! allocations are possible: a request earns `earn(rt)` from a descending
+//! step schedule and incurs `penalty` beyond the last step.
+
+use serde::{Deserialize, Serialize};
+
+/// One revenue step: requests with `rt <= threshold_secs` (and above the
+/// previous step's threshold) earn `earning` monetary units.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RevenueStep {
+    /// Response-time bound of this step (seconds).
+    pub threshold_secs: f64,
+    /// Earning per request landing in this step.
+    pub earning: f64,
+}
+
+/// A stepped SLA revenue schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RevenueModel {
+    steps: Vec<RevenueStep>,
+    /// Penalty charged per request slower than the last step.
+    penalty: f64,
+    // accounting
+    earned: f64,
+    penalized: f64,
+    requests: u64,
+}
+
+impl RevenueModel {
+    /// Build from ascending-threshold steps with non-increasing earnings
+    /// (faster responses can never be worth less) and a non-negative penalty.
+    pub fn new(steps: &[RevenueStep], penalty: f64) -> Self {
+        assert!(!steps.is_empty(), "need at least one revenue step");
+        assert!(penalty >= 0.0, "penalty must be non-negative");
+        assert!(
+            steps.windows(2).all(|w| w[0].threshold_secs < w[1].threshold_secs),
+            "thresholds must ascend"
+        );
+        assert!(
+            steps.windows(2).all(|w| w[0].earning >= w[1].earning),
+            "earnings must not increase with response time"
+        );
+        RevenueModel {
+            steps: steps.to_vec(),
+            penalty,
+            earned: 0.0,
+            penalized: 0.0,
+            requests: 0,
+        }
+    }
+
+    /// The paper's simplified single-threshold model: earn 1 within the
+    /// bound, pay `penalty` beyond it.
+    pub fn simplified(threshold_secs: f64, penalty: f64) -> Self {
+        RevenueModel::new(
+            &[RevenueStep {
+                threshold_secs,
+                earning: 1.0,
+            }],
+            penalty,
+        )
+    }
+
+    /// An e-commerce-style schedule: fast pages worth more, with the
+    /// Aberdeen-style 5 s abandonment point as the penalty edge.
+    pub fn ecommerce() -> Self {
+        RevenueModel::new(
+            &[
+                RevenueStep { threshold_secs: 0.5, earning: 1.00 },
+                RevenueStep { threshold_secs: 1.0, earning: 0.75 },
+                RevenueStep { threshold_secs: 2.0, earning: 0.40 },
+                RevenueStep { threshold_secs: 5.0, earning: 0.10 },
+            ],
+            0.50,
+        )
+    }
+
+    /// Earning (or negative penalty) of a single response time.
+    pub fn value_of(&self, rt_secs: f64) -> f64 {
+        for s in &self.steps {
+            if rt_secs <= s.threshold_secs {
+                return s.earning;
+            }
+        }
+        -self.penalty
+    }
+
+    /// Record one completed request.
+    pub fn record(&mut self, rt_secs: f64) {
+        let v = self.value_of(rt_secs);
+        if v >= 0.0 {
+            self.earned += v;
+        } else {
+            self.penalized += -v;
+        }
+        self.requests += 1;
+    }
+
+    /// Total earnings so far.
+    pub fn earned(&self) -> f64 {
+        self.earned
+    }
+
+    /// Total penalties so far.
+    pub fn penalties(&self) -> f64 {
+        self.penalized
+    }
+
+    /// Net revenue = earnings − penalties.
+    pub fn revenue(&self) -> f64 {
+        self.earned - self.penalized
+    }
+
+    /// Requests recorded.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Net revenue per second over a window.
+    pub fn revenue_rate(&self, window_secs: f64) -> f64 {
+        assert!(window_secs > 0.0);
+        self.revenue() / window_secs
+    }
+
+    /// Evaluate a whole response-time sample in one call.
+    pub fn evaluate(mut self, rts: &[f64]) -> f64 {
+        for &rt in rts {
+            self.record(rt);
+        }
+        self.revenue()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simplified_model_matches_goodput_semantics() {
+        let mut m = RevenueModel::simplified(1.0, 0.0);
+        m.record(0.5); // good: +1
+        m.record(1.0); // boundary: good (§II-B: equal-or-below satisfies)
+        m.record(3.0); // bad: no penalty configured
+        assert_eq!(m.revenue(), 2.0);
+        assert_eq!(m.requests(), 3);
+    }
+
+    #[test]
+    fn penalties_subtract() {
+        let mut m = RevenueModel::simplified(1.0, 0.5);
+        m.record(0.5);
+        m.record(2.0);
+        m.record(2.0);
+        assert!((m.earned() - 1.0).abs() < 1e-12);
+        assert!((m.penalties() - 1.0).abs() < 1e-12);
+        assert!((m.revenue() + 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepped_schedule_values() {
+        let m = RevenueModel::ecommerce();
+        assert_eq!(m.value_of(0.1), 1.00);
+        assert_eq!(m.value_of(0.9), 0.75);
+        assert_eq!(m.value_of(1.5), 0.40);
+        assert_eq!(m.value_of(4.0), 0.10);
+        assert_eq!(m.value_of(10.0), -0.50);
+    }
+
+    #[test]
+    fn revenue_prefers_fast_distributions() {
+        // Same throughput, different RT distributions: revenue must favor
+        // the faster one — the paper's core argument that "increasing
+        // throughput without other considerations leads to significant drops
+        // in provider revenue".
+        let fast: Vec<f64> = (0..100).map(|i| 0.2 + 0.003 * i as f64).collect();
+        let slow: Vec<f64> = (0..100).map(|i| 2.0 + 0.05 * i as f64).collect();
+        let r_fast = RevenueModel::ecommerce().evaluate(&fast);
+        let r_slow = RevenueModel::ecommerce().evaluate(&slow);
+        assert!(r_fast > r_slow * 2.0, "fast {r_fast} vs slow {r_slow}");
+    }
+
+    #[test]
+    fn revenue_rate() {
+        let mut m = RevenueModel::simplified(1.0, 0.0);
+        for _ in 0..120 {
+            m.record(0.1);
+        }
+        assert!((m.revenue_rate(60.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unsorted_steps_rejected() {
+        let _ = RevenueModel::new(
+            &[
+                RevenueStep { threshold_secs: 2.0, earning: 1.0 },
+                RevenueStep { threshold_secs: 1.0, earning: 0.5 },
+            ],
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not increase")]
+    fn increasing_earnings_rejected() {
+        let _ = RevenueModel::new(
+            &[
+                RevenueStep { threshold_secs: 1.0, earning: 0.5 },
+                RevenueStep { threshold_secs: 2.0, earning: 1.0 },
+            ],
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-server request logging — the observables Algorithm 1 consumes.
+//!
+//! The paper instruments every server so that "each individual server
+//! response time for every request is logged" (§IV-B, assumption 3). From
+//! these logs the algorithm derives per-tier throughput `TP`, residence time
+//! `RTT`, and — via Little's law — the average number of jobs inside the
+//! server (Table I).
+
+use serde::{Deserialize, Serialize};
+use simcore::stats::Welford;
+use simcore::SimTime;
+
+/// Request log of a single server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerLog {
+    name: String,
+    rtt: Welford,
+    completions: u64,
+}
+
+impl ServerLog {
+    /// New empty log for a named server.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServerLog {
+            name: name.into(),
+            rtt: Welford::new(),
+            completions: 0,
+        }
+    }
+
+    /// Server name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record one request that resided in this server from `enter` to `leave`
+    /// (residence includes any queueing for the server's soft resources —
+    /// the job is "inside the server" the whole time, as in Fig. 9).
+    pub fn record(&mut self, enter: SimTime, leave: SimTime) {
+        debug_assert!(leave >= enter);
+        self.rtt.add(leave.saturating_sub(enter).as_secs_f64());
+        self.completions += 1;
+    }
+
+    /// Record a precomputed residence time in seconds.
+    pub fn record_secs(&mut self, rtt_secs: f64) {
+        self.rtt.add(rtt_secs.max(0.0));
+        self.completions += 1;
+    }
+
+    /// Completions in the window.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Mean residence time (seconds).
+    pub fn mean_rtt(&self) -> f64 {
+        self.rtt.mean()
+    }
+
+    /// Throughput over a window of `window_secs`.
+    pub fn throughput(&self, window_secs: f64) -> f64 {
+        assert!(window_secs > 0.0);
+        self.completions as f64 / window_secs
+    }
+
+    /// Average number of jobs inside the server by Little's law:
+    /// `L = TP · RTT`.
+    pub fn mean_jobs(&self, window_secs: f64) -> f64 {
+        self.throughput(window_secs) * self.mean_rtt()
+    }
+
+    /// Reset for a new measurement window.
+    pub fn reset(&mut self) {
+        self.rtt = Welford::new();
+        self.completions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn records_rtt_and_completions() {
+        let mut log = ServerLog::new("tomcat-0");
+        log.record(t(0), t(100));
+        log.record(t(50), t(250));
+        assert_eq!(log.completions(), 2);
+        assert!((log.mean_rtt() - 0.150).abs() < 1e-9);
+        assert_eq!(log.name(), "tomcat-0");
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let mut log = ServerLog::new("s");
+        // 100 requests over a 10 s window, each residing 0.2 s.
+        for i in 0..100 {
+            let start = t(i * 100);
+            log.record(start, start + t(200));
+        }
+        let tp = log.throughput(10.0);
+        assert!((tp - 10.0).abs() < 1e-9);
+        let jobs = log.mean_jobs(10.0);
+        assert!((jobs - 2.0).abs() < 1e-9, "L = X*R = 10*0.2 = 2, got {jobs}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut log = ServerLog::new("s");
+        log.record(t(0), t(10));
+        log.reset();
+        assert_eq!(log.completions(), 0);
+        assert_eq!(log.mean_rtt(), 0.0);
+    }
+
+    #[test]
+    fn record_secs_clamps_negative() {
+        let mut log = ServerLog::new("s");
+        log.record_secs(-1.0);
+        assert_eq!(log.mean_rtt(), 0.0);
+        assert_eq!(log.completions(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! The simplified SLA model: goodput vs badput at response-time thresholds.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of response-time thresholds (seconds), e.g. `[0.5, 1.0, 2.0]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlaModel {
+    thresholds: Vec<f64>,
+}
+
+impl SlaModel {
+    /// Build from ascending positive thresholds.
+    pub fn new(thresholds: &[f64]) -> Self {
+        assert!(!thresholds.is_empty(), "need at least one threshold");
+        assert!(
+            thresholds.iter().all(|&t| t > 0.0)
+                && thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must be positive and ascending"
+        );
+        SlaModel {
+            thresholds: thresholds.to_vec(),
+        }
+    }
+
+    /// The paper's three thresholds: 0.5 s, 1 s, 2 s.
+    pub fn paper() -> Self {
+        SlaModel::new(&[0.5, 1.0, 2.0])
+    }
+
+    /// The thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Fresh counters for this model.
+    pub fn counters(&self) -> SlaCounts {
+        SlaCounts {
+            thresholds: self.thresholds.clone(),
+            good: vec![0; self.thresholds.len()],
+            total: 0,
+        }
+    }
+}
+
+/// Goodput/badput counters for one run under an [`SlaModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlaCounts {
+    thresholds: Vec<f64>,
+    good: Vec<u64>,
+    total: u64,
+}
+
+impl SlaCounts {
+    /// Record a completed request with response time `rt_secs`.
+    pub fn record(&mut self, rt_secs: f64) {
+        self.total += 1;
+        for (i, &t) in self.thresholds.iter().enumerate() {
+            if rt_secs <= t {
+                self.good[i] += 1;
+            }
+        }
+    }
+
+    /// Requests completed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Requests within the `i`-th threshold.
+    pub fn good(&self, i: usize) -> u64 {
+        self.good[i]
+    }
+
+    /// Requests beyond the `i`-th threshold.
+    pub fn bad(&self, i: usize) -> u64 {
+        self.total - self.good[i]
+    }
+
+    /// Goodput in requests/second over a window of `window_secs`.
+    pub fn goodput(&self, i: usize, window_secs: f64) -> f64 {
+        assert!(window_secs > 0.0);
+        self.good[i] as f64 / window_secs
+    }
+
+    /// Badput in requests/second over a window of `window_secs`.
+    pub fn badput(&self, i: usize, window_secs: f64) -> f64 {
+        assert!(window_secs > 0.0);
+        self.bad(i) as f64 / window_secs
+    }
+
+    /// Total throughput in requests/second over a window.
+    pub fn throughput(&self, window_secs: f64) -> f64 {
+        assert!(window_secs > 0.0);
+        self.total as f64 / window_secs
+    }
+
+    /// Fraction of requests within the `i`-th threshold (1.0 when empty —
+    /// an idle system violates no SLA).
+    pub fn satisfaction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.good[i] as f64 / self.total as f64
+        }
+    }
+
+    /// The threshold values (seconds).
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_badput_partition_throughput() {
+        let model = SlaModel::paper();
+        let mut c = model.counters();
+        for rt in [0.1, 0.4, 0.7, 1.5, 3.0] {
+            c.record(rt);
+        }
+        assert_eq!(c.total(), 5);
+        // threshold 0.5: good = {0.1, 0.4}
+        assert_eq!(c.good(0), 2);
+        assert_eq!(c.bad(0), 3);
+        // threshold 1.0: + {0.7}
+        assert_eq!(c.good(1), 3);
+        // threshold 2.0: + {1.5}
+        assert_eq!(c.good(2), 4);
+        // Partition identity at every threshold.
+        for i in 0..3 {
+            assert_eq!(c.good(i) + c.bad(i), c.total());
+            let w = 10.0;
+            assert!((c.goodput(i, w) + c.badput(i, w) - c.throughput(w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn boundary_value_counts_as_good() {
+        // "Requests with response time equal or below the threshold satisfy
+        // the SLA" (§II-B).
+        let model = SlaModel::new(&[1.0]);
+        let mut c = model.counters();
+        c.record(1.0);
+        assert_eq!(c.good(0), 1);
+    }
+
+    #[test]
+    fn satisfaction_fraction() {
+        let model = SlaModel::new(&[1.0]);
+        let mut c = model.counters();
+        assert_eq!(c.satisfaction(0), 1.0);
+        c.record(0.5);
+        c.record(2.0);
+        assert!((c.satisfaction(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_thresholds_rejected() {
+        let _ = SlaModel::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_thresholds_rejected() {
+        let _ = SlaModel::new(&[]);
+    }
+}

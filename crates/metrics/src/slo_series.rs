@@ -1,0 +1,122 @@
+//! Per-interval SLO-satisfaction series.
+//!
+//! The intervention analysis of Algorithm 1 ("evaluate the stability of the
+//! SLO-satisfaction of the system as workload increases") consumes, for each
+//! run, per-second samples of the fraction of completing requests that met
+//! the SLA threshold. An interval with no completions is recorded as fully
+//! satisfied only if the system is genuinely idle — the caller decides by
+//! supplying `min_samples`.
+
+use serde::{Deserialize, Serialize};
+use simcore::stats::IntervalSeries;
+use simcore::SimTime;
+
+/// Per-interval (good, total) completion counts at one SLA threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloSeries {
+    threshold_secs: f64,
+    good: IntervalSeries,
+    total: IntervalSeries,
+}
+
+impl SloSeries {
+    /// New series with 1 s buckets starting at `origin`.
+    pub fn new(origin: SimTime, threshold_secs: f64) -> Self {
+        assert!(threshold_secs > 0.0);
+        SloSeries {
+            threshold_secs,
+            good: IntervalSeries::new(origin, SimTime::from_secs(1)),
+            total: IntervalSeries::new(origin, SimTime::from_secs(1)),
+        }
+    }
+
+    /// Record a completion at time `t` with response time `rt_secs`.
+    pub fn record(&mut self, t: SimTime, rt_secs: f64) {
+        self.total.incr(t);
+        if rt_secs <= self.threshold_secs {
+            self.good.incr(t);
+        }
+    }
+
+    /// The SLA threshold (seconds).
+    pub fn threshold(&self) -> f64 {
+        self.threshold_secs
+    }
+
+    /// Per-interval satisfaction fractions; intervals with fewer than
+    /// `min_samples` completions are skipped.
+    pub fn satisfaction_samples(&self, min_samples: u64) -> Vec<f64> {
+        let n = self.total.buckets().len().max(self.good.buckets().len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let total = self.total.buckets().get(i).copied().unwrap_or(0.0);
+            if (total as u64) < min_samples || total <= 0.0 {
+                continue;
+            }
+            let good = self.good.buckets().get(i).copied().unwrap_or(0.0);
+            out.push(good / total);
+        }
+        out
+    }
+
+    /// Overall satisfaction fraction (1.0 when nothing completed).
+    pub fn overall(&self) -> f64 {
+        let total: f64 = self.total.buckets().iter().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let good: f64 = self.good.buckets().iter().sum();
+        good / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn per_second_fractions() {
+        let mut sl = SloSeries::new(SimTime::ZERO, 1.0);
+        // Second 0: 2 good, 1 bad. Second 1: all good. Second 2: empty.
+        sl.record(SimTime::from_millis(100), 0.5);
+        sl.record(SimTime::from_millis(500), 0.9);
+        sl.record(SimTime::from_millis(900), 2.0);
+        sl.record(s(1), 0.2);
+        sl.record(s(3), 0.2);
+        let samples = sl.satisfaction_samples(1);
+        assert_eq!(samples.len(), 3);
+        assert!((samples[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(samples[1], 1.0);
+        assert_eq!(samples[2], 1.0);
+    }
+
+    #[test]
+    fn min_samples_filters_sparse_intervals() {
+        let mut sl = SloSeries::new(SimTime::ZERO, 1.0);
+        sl.record(SimTime::from_millis(100), 0.1);
+        sl.record(s(1), 0.1);
+        sl.record(s(1), 0.1);
+        let samples = sl.satisfaction_samples(2);
+        assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn overall_fraction() {
+        let mut sl = SloSeries::new(SimTime::ZERO, 1.0);
+        assert_eq!(sl.overall(), 1.0);
+        sl.record(s(0), 0.5);
+        sl.record(s(0), 5.0);
+        assert!((sl.overall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_counts_as_good() {
+        let mut sl = SloSeries::new(SimTime::ZERO, 1.0);
+        sl.record(s(0), 1.0);
+        assert_eq!(sl.overall(), 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests of the SLA/metrics invariants the paper's methodology
+//! rests on.
+
+use metrics::{RtDistribution, ServerLog, SlaModel, SloSeries, UtilDensity};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+proptest! {
+    /// Goodput + badput = throughput at every threshold, for any response
+    /// times (§II-B: "the sum of goodput and badput amounts to the
+    /// traditional definition of throughput").
+    #[test]
+    fn goodput_badput_partition(rts in prop::collection::vec(0.0f64..20.0, 0..500)) {
+        let model = SlaModel::paper();
+        let mut c = model.counters();
+        for &rt in &rts {
+            c.record(rt);
+        }
+        let w = 42.0;
+        for i in 0..model.thresholds().len() {
+            prop_assert_eq!(c.good(i) + c.bad(i), c.total());
+            prop_assert!((c.goodput(i, w) + c.badput(i, w) - c.throughput(w)).abs() < 1e-9);
+        }
+        // Wider threshold ⇒ goodput can only grow.
+        prop_assert!(c.good(0) <= c.good(1) && c.good(1) <= c.good(2));
+    }
+
+    /// The Fig. 3(c) distribution conserves counts and its fractions sum to 1.
+    #[test]
+    fn rt_distribution_conserves(rts in prop::collection::vec(0.0f64..10.0, 1..400)) {
+        let mut d = RtDistribution::new();
+        for &rt in &rts {
+            d.record(rt);
+        }
+        prop_assert_eq!(d.total(), rts.len() as u64);
+        prop_assert_eq!(d.counts().iter().sum::<u64>(), rts.len() as u64);
+        let sum: f64 = d.fractions().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// The SLA counters and the RT distribution agree on the 2 s boundary.
+    #[test]
+    fn sla_and_distribution_agree(rts in prop::collection::vec(0.0f64..10.0, 1..300)) {
+        let model = SlaModel::new(&[2.0]);
+        let mut c = model.counters();
+        let mut d = RtDistribution::new();
+        for &rt in &rts {
+            c.record(rt);
+            d.record(rt);
+        }
+        // Everything beyond the last bin edge (2 s) is badput…
+        // modulo the boundary: SLA counts rt == 2.0 as good, the histogram
+        // bins it as overflow, so allow that off-by-boundary count.
+        let over = d.counts()[7];
+        let boundary = rts.iter().filter(|&&rt| rt == 2.0).count() as u64;
+        prop_assert_eq!(c.bad(0), over - boundary);
+    }
+
+    /// Utilization density: pdf sums to 1 and the mean lies in [0,1].
+    #[test]
+    fn density_pdf_normalized(samples in prop::collection::vec(-0.5f64..1.5, 1..300)) {
+        let mut d = UtilDensity::new();
+        for &s in &samples {
+            d.add(s);
+        }
+        let sum: f64 = d.pdf().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&d.mean()));
+        prop_assert!((0.0..=1.0).contains(&d.saturation_mass()));
+    }
+
+    /// ServerLog: Little's law identity over arbitrary request logs.
+    #[test]
+    fn server_log_littles_identity(
+        residencies in prop::collection::vec(1u64..10_000, 1..300),
+    ) {
+        let mut log = ServerLog::new("s");
+        for (i, &ms) in residencies.iter().enumerate() {
+            let start = SimTime::from_millis(i as u64 * 10);
+            log.record(start, start + SimTime::from_millis(ms));
+        }
+        let window = 100.0;
+        let jobs = log.mean_jobs(window);
+        let manual = log.throughput(window) * log.mean_rtt();
+        prop_assert!((jobs - manual).abs() < 1e-9);
+        prop_assert_eq!(log.completions(), residencies.len() as u64);
+    }
+
+    /// SloSeries satisfaction samples are valid fractions and the overall
+    /// satisfaction equals good/total.
+    #[test]
+    fn slo_series_fractions(
+        events in prop::collection::vec((0u64..60_000, 0.0f64..5.0), 1..300),
+    ) {
+        let mut s = SloSeries::new(SimTime::ZERO, 1.0);
+        let mut good = 0u64;
+        for &(at_ms, rt) in &events {
+            s.record(SimTime::from_millis(at_ms), rt);
+            if rt <= 1.0 {
+                good += 1;
+            }
+        }
+        let overall = s.overall();
+        prop_assert!((overall - good as f64 / events.len() as f64).abs() < 1e-12);
+        for f in s.satisfaction_samples(1) {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

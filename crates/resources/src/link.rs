@@ -1,0 +1,140 @@
+//! Network link with propagation latency and bandwidth serialization.
+//!
+//! The Emulab testbed uses 1 Gbps links, which are never the bottleneck in
+//! the paper — but the link model keeps response-time composition honest
+//! (every tier hop adds sub-millisecond latency) and lets future experiments
+//! explore bandwidth-constrained topologies.
+//!
+//! A transfer of `bytes` entering at `now` leaves the wire at
+//! `max(now, wire_free) + bytes/bandwidth` and arrives after an additional
+//! propagation `latency` (store-and-forward).
+
+use simcore::SimTime;
+
+/// A simplex network link.
+#[derive(Debug)]
+pub struct NetLink {
+    name: &'static str,
+    /// One-way propagation delay.
+    latency: SimTime,
+    /// Bytes per second; `f64::INFINITY` disables serialization delay.
+    bandwidth_bps: f64,
+    wire_free: SimTime,
+    bytes_carried: u64,
+    transfers: u64,
+}
+
+impl NetLink {
+    /// Create a link with the given latency and bandwidth (bytes/second).
+    pub fn new(name: &'static str, latency: SimTime, bandwidth_bps: f64) -> Self {
+        assert!(bandwidth_bps > 0.0, "link '{name}' needs positive bandwidth");
+        NetLink {
+            name,
+            latency,
+            bandwidth_bps,
+            wire_free: SimTime::ZERO,
+            bytes_carried: 0,
+            transfers: 0,
+        }
+    }
+
+    /// A 1 Gbps LAN link with the given one-way latency.
+    pub fn gigabit(name: &'static str, latency: SimTime) -> Self {
+        NetLink::new(name, latency, 125_000_000.0)
+    }
+
+    /// Link name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Send `bytes` at `now`; returns the absolute arrival time at the far end.
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let serialization = if self.bandwidth_bps.is_finite() {
+            SimTime::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+        } else {
+            SimTime::ZERO
+        };
+        let wire_start = now.max(self.wire_free);
+        let wire_done = wire_start + serialization;
+        self.wire_free = wire_done;
+        self.bytes_carried += bytes;
+        self.transfers += 1;
+        wire_done + self.latency
+    }
+
+    /// One-way latency.
+    pub fn latency(&self) -> SimTime {
+        self.latency
+    }
+
+    /// Total bytes carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Total transfers.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Mean link utilization over a window, from carried bytes.
+    pub fn utilization(&self, window: SimTime) -> f64 {
+        let span = window.as_secs_f64();
+        if span <= 0.0 || !self.bandwidth_bps.is_finite() {
+            return 0.0;
+        }
+        (self.bytes_carried as f64 / self.bandwidth_bps / span).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn latency_only_for_tiny_payloads() {
+        let mut l = NetLink::new("lan", ms(1), f64::INFINITY);
+        assert_eq!(l.send(ms(10), 1500), ms(11));
+    }
+
+    #[test]
+    fn serialization_delay_accumulates() {
+        // 1000 bytes/s → 1 s per KB.
+        let mut l = NetLink::new("slow", SimTime::ZERO, 1000.0);
+        assert_eq!(l.send(SimTime::ZERO, 1000), SimTime::from_secs(1));
+        // Second packet queues behind the first on the wire.
+        assert_eq!(l.send(SimTime::ZERO, 1000), SimTime::from_secs(2));
+        // After the wire drains, no queueing.
+        assert_eq!(l.send(SimTime::from_secs(10), 500), SimTime::from_millis(10_500));
+    }
+
+    #[test]
+    fn gigabit_is_fast() {
+        let mut l = NetLink::gigabit("lan", SimTime::from_micros(100));
+        let arrival = l.send(SimTime::ZERO, 1500);
+        // 1500 B at 125 MB/s = 12 µs wire + 100 µs latency.
+        assert_eq!(arrival, SimTime::from_micros(112));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut l = NetLink::gigabit("lan", SimTime::ZERO);
+        l.send(SimTime::ZERO, 1000);
+        l.send(SimTime::ZERO, 2000);
+        assert_eq!(l.bytes_carried(), 3000);
+        assert_eq!(l.transfers(), 2);
+        let u = l.utilization(SimTime::from_secs(1));
+        assert!(u > 0.0 && u < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = NetLink::new("bad", SimTime::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Soft-resource pools: worker threads, DB connections.
+//!
+//! A [`SoftPool`] is a counted resource with FIFO waiting. It records exactly
+//! the observables the paper's methodology needs:
+//!
+//! * time-weighted **occupancy** (pool utilization — Fig. 4(b,c,e,f) density
+//!   graphs are built from 1 s samples of this),
+//! * the fraction of time the pool is **saturated** (all units in use with a
+//!   non-empty wait queue ⇒ the soft resource is the bottleneck, the `B_s`
+//!   condition of Algorithm 1),
+//! * waiter queue length and wait-time statistics (the "waiting to obtain a
+//!   Tomcat connection" component of Fig. 7(b)/8(b)).
+
+use crate::JobId;
+use simcore::stats::{TimeWeighted, Welford};
+use simcore::SimTime;
+use std::collections::VecDeque;
+
+/// Result of a non-blocking acquire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// A unit was granted immediately.
+    Granted,
+    /// All units are busy; the job was appended to the FIFO wait queue at the
+    /// given position (0 = next in line).
+    Enqueued { position: usize },
+}
+
+/// Snapshot of pool statistics over a measurement window.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Time-average of `in_use / capacity`.
+    pub mean_occupancy: f64,
+    /// Fraction of time with every unit in use.
+    pub full_fraction: f64,
+    /// Fraction of time with every unit in use *and* jobs waiting.
+    pub saturated_fraction: f64,
+    /// Time-average wait-queue length.
+    pub mean_queue_len: f64,
+    /// Mean wait of jobs that had to queue (seconds; 0 if none).
+    pub mean_wait_secs: f64,
+    /// Number of acquisitions granted in the window (immediate + after wait).
+    pub grants: u64,
+    /// Number of acquisitions that had to wait.
+    pub waits: u64,
+}
+
+/// A counted soft resource with FIFO waiters.
+#[derive(Debug)]
+pub struct SoftPool {
+    name: &'static str,
+    capacity: usize,
+    in_use: usize,
+    waiters: VecDeque<(JobId, SimTime)>,
+    occupancy: TimeWeighted,
+    full: TimeWeighted,
+    saturated: TimeWeighted,
+    queue_len: TimeWeighted,
+    wait_time: Welford,
+    grants: u64,
+    waits: u64,
+    window_start: SimTime,
+    occ_window_integral: f64,
+    occ_window_last: SimTime,
+}
+
+impl SoftPool {
+    /// Create a pool of `capacity` units.
+    ///
+    /// # Panics
+    /// If `capacity` is zero — a zero-sized pool would deadlock every caller.
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        assert!(capacity > 0, "pool '{name}' must have capacity >= 1");
+        SoftPool {
+            name,
+            capacity,
+            in_use: 0,
+            waiters: VecDeque::new(),
+            occupancy: TimeWeighted::new(SimTime::ZERO, 0.0),
+            full: TimeWeighted::new(SimTime::ZERO, 0.0),
+            saturated: TimeWeighted::new(SimTime::ZERO, 0.0),
+            queue_len: TimeWeighted::new(SimTime::ZERO, 0.0),
+            wait_time: Welford::new(),
+            grants: 0,
+            waits: 0,
+            window_start: SimTime::ZERO,
+            occ_window_integral: 0.0,
+            occ_window_last: SimTime::ZERO,
+        }
+    }
+
+    /// Pool name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Units currently held.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Jobs currently waiting.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Units free right now.
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    fn touch(&mut self, now: SimTime) {
+        let occ = self.in_use as f64 / self.capacity as f64;
+        // Fold the window integral before the level changes.
+        let dt = now.saturating_sub(self.occ_window_last).as_secs_f64();
+        self.occ_window_integral += self.occupancy.current() * dt;
+        self.occ_window_last = now;
+
+        self.occupancy.set(now, occ);
+        self.full
+            .set(now, if self.in_use == self.capacity { 1.0 } else { 0.0 });
+        self.saturated.set(
+            now,
+            if self.in_use == self.capacity && !self.waiters.is_empty() {
+                1.0
+            } else {
+                0.0
+            },
+        );
+        self.queue_len.set(now, self.waiters.len() as f64);
+    }
+
+    /// Try to acquire a unit for `job`; FIFO-queue it if the pool is full.
+    pub fn acquire(&mut self, now: SimTime, job: JobId) -> Acquire {
+        if self.in_use < self.capacity && self.waiters.is_empty() {
+            self.in_use += 1;
+            self.grants += 1;
+            self.touch(now);
+            Acquire::Granted
+        } else {
+            self.waiters.push_back((job, now));
+            self.waits += 1;
+            let position = self.waiters.len() - 1;
+            self.touch(now);
+            Acquire::Enqueued { position }
+        }
+    }
+
+    /// Release one unit. If a job is waiting, the unit is handed directly to
+    /// the FIFO head and its id is returned (with its wait recorded); the
+    /// caller resumes that job. Otherwise the unit returns to the free set.
+    ///
+    /// # Panics
+    /// If no unit is held.
+    pub fn release(&mut self, now: SimTime) -> Option<JobId> {
+        assert!(self.in_use > 0, "pool '{}': release without acquire", self.name);
+        if let Some((job, since)) = self.waiters.pop_front() {
+            // Unit changes hands; in_use stays the same.
+            self.wait_time.add(now.saturating_sub(since).as_secs_f64());
+            self.grants += 1;
+            self.touch(now);
+            Some(job)
+        } else {
+            self.in_use -= 1;
+            self.touch(now);
+            None
+        }
+    }
+
+    /// Remove a waiting job (e.g. timeout/abandonment). Returns true if found.
+    pub fn cancel_waiter(&mut self, now: SimTime, job: JobId) -> bool {
+        if let Some(pos) = self.waiters.iter().position(|&(j, _)| j == job) {
+            self.waiters.remove(pos);
+            self.touch(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Begin a measurement window at `now`.
+    pub fn begin_measurement(&mut self, now: SimTime) {
+        self.touch(now);
+        self.occupancy.reset_window(now);
+        self.full.reset_window(now);
+        self.saturated.reset_window(now);
+        self.queue_len.reset_window(now);
+        self.wait_time = Welford::new();
+        self.grants = 0;
+        self.waits = 0;
+        self.window_start = now;
+        self.occ_window_integral = 0.0;
+        self.occ_window_last = now;
+    }
+
+    /// Statistics over the current measurement window.
+    pub fn stats(&mut self, now: SimTime) -> PoolStats {
+        self.touch(now);
+        PoolStats {
+            capacity: self.capacity,
+            mean_occupancy: self.occupancy.average_until(now),
+            full_fraction: self.full.average_until(now),
+            saturated_fraction: self.saturated.average_until(now),
+            mean_queue_len: self.queue_len.average_until(now),
+            mean_wait_secs: self.wait_time.mean(),
+            grants: self.grants,
+            waits: self.waits,
+        }
+    }
+
+    /// Average occupancy since the previous call, restarting the sampling
+    /// window (the 1 s pool-utilization sampler for the density graphs).
+    pub fn take_window_sample(&mut self, now: SimTime) -> f64 {
+        self.touch(now);
+        let span = now.saturating_sub(self.window_start).as_secs_f64();
+        let avg = if span > 0.0 {
+            self.occ_window_integral / span
+        } else {
+            self.occupancy.current()
+        };
+        self.window_start = now;
+        self.occ_window_integral = 0.0;
+        self.occ_window_last = now;
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn grants_until_capacity_then_queues() {
+        let mut p = SoftPool::new("threads", 2);
+        assert_eq!(p.acquire(t(0), 1), Acquire::Granted);
+        assert_eq!(p.acquire(t(0), 2), Acquire::Granted);
+        assert_eq!(p.acquire(t(0), 3), Acquire::Enqueued { position: 0 });
+        assert_eq!(p.acquire(t(0), 4), Acquire::Enqueued { position: 1 });
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.waiting(), 2);
+        assert_eq!(p.available(), 0);
+    }
+
+    #[test]
+    fn release_hands_off_fifo() {
+        let mut p = SoftPool::new("threads", 1);
+        assert_eq!(p.acquire(t(0), 10), Acquire::Granted);
+        p.acquire(t(1), 11);
+        p.acquire(t(2), 12);
+        assert_eq!(p.release(t(5)), Some(11));
+        assert_eq!(p.in_use(), 1); // unit changed hands
+        assert_eq!(p.release(t(9)), Some(12));
+        assert_eq!(p.release(t(12)), None);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn waiters_block_new_arrivals_even_with_free_units() {
+        // FIFO fairness: a releasing unit goes to the queue head, and a new
+        // arrival may not overtake existing waiters.
+        let mut p = SoftPool::new("conns", 2);
+        p.acquire(t(0), 1);
+        p.acquire(t(0), 2);
+        p.acquire(t(0), 3); // waiter
+        assert_eq!(p.release(t(1)), Some(3));
+        // Now in_use == 2 again, queue empty; a new arrival queues only if full.
+        assert_eq!(p.acquire(t(2), 4), Acquire::Enqueued { position: 0 });
+        // Make room: 4 gets the unit.
+        assert_eq!(p.release(t(3)), Some(4));
+    }
+
+    #[test]
+    fn wait_times_are_recorded() {
+        let mut p = SoftPool::new("threads", 1);
+        p.acquire(t(0), 1);
+        p.acquire(t(100), 2);
+        p.release(t(400)); // job 2 waited 300 ms
+        let st = p.stats(t(500));
+        assert_eq!(st.waits, 1);
+        assert_eq!(st.grants, 2);
+        assert!((st.mean_wait_secs - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_and_saturation_fractions() {
+        let mut p = SoftPool::new("threads", 2);
+        p.begin_measurement(t(0));
+        p.acquire(t(0), 1); // occ 0.5
+        p.acquire(t(250), 2); // occ 1.0, not saturated (no waiters)
+        p.acquire(t(500), 3); // occ 1.0 + waiter → saturated
+        p.release(t(750)); // 3 takes over; queue empty → occ 1.0
+        p.release(t(750));
+        p.release(t(750)); // all free
+        let st = p.stats(t(1000));
+        // occupancy: 0.5*0.25 + 1.0*0.5 + 0*0.25 = 0.625
+        assert!((st.mean_occupancy - 0.625).abs() < 1e-9, "{st:?}");
+        // full: 500..750 → wait, full from t=500? at 250 occ hits 1.0: full 250..750 = 0.5
+        assert!((st.full_fraction - 0.5).abs() < 1e-9, "{st:?}");
+        assert!((st.saturated_fraction - 0.25).abs() < 1e-9, "{st:?}");
+        assert!((st.mean_queue_len - 0.25).abs() < 1e-9, "{st:?}");
+    }
+
+    #[test]
+    fn cancel_waiter_removes_job() {
+        let mut p = SoftPool::new("threads", 1);
+        p.acquire(t(0), 1);
+        p.acquire(t(0), 2);
+        p.acquire(t(0), 3);
+        assert!(p.cancel_waiter(t(1), 2));
+        assert!(!p.cancel_waiter(t(1), 99));
+        assert_eq!(p.release(t(2)), Some(3));
+    }
+
+    #[test]
+    fn window_sampling_resets() {
+        let mut p = SoftPool::new("threads", 1);
+        p.begin_measurement(t(0));
+        p.acquire(t(0), 1);
+        let s1 = p.take_window_sample(t(1000)); // busy whole second
+        p.release(t(1500));
+        let s2 = p.take_window_sample(t(2000)); // busy half the second
+        assert!((s1 - 1.0).abs() < 1e-9);
+        assert!((s2 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn release_without_acquire_panics() {
+        let mut p = SoftPool::new("threads", 1);
+        p.release(t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = SoftPool::new("threads", 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests of the resource models' invariants.
+
+use proptest::prelude::*;
+use resources::{Acquire, CpuConfig, FcfsServer, PsCpu, SoftPool};
+use simcore::SimTime;
+
+/// Drive a CPU to quiescence, popping at announced completion times.
+fn drain(cpu: &mut PsCpu, mut now: SimTime) -> Vec<(SimTime, u64)> {
+    let mut out = Vec::new();
+    let mut guard = 0;
+    while let Some(next) = cpu.next_completion(now) {
+        assert!(next >= now, "completion in the past");
+        now = next;
+        for j in cpu.pop_due(now) {
+            out.push((now, j));
+        }
+        guard += 1;
+        assert!(guard < 100_000, "CPU failed to drain");
+    }
+    out
+}
+
+proptest! {
+    /// The PS CPU completes exactly the work submitted, for any arrival
+    /// pattern, demand mix, and core count (work conservation).
+    #[test]
+    fn cpu_work_conservation(
+        cores in 1u32..4,
+        jobs in prop::collection::vec((0u64..2_000_000, 1u64..200_000), 1..60),
+    ) {
+        let mut cpu = PsCpu::new(CpuConfig { cores, csw_overhead_per_job: 0.0 });
+        let mut arrivals: Vec<(SimTime, f64)> = jobs
+            .iter()
+            .map(|&(at_us, demand_us)| (SimTime::from_micros(at_us), demand_us as f64 / 1e6))
+            .collect();
+        arrivals.sort_by_key(|&(at, _)| at);
+        let mut last = SimTime::ZERO;
+        let mut done: Vec<(SimTime, u64)> = Vec::new();
+        for (i, &(at, demand)) in arrivals.iter().enumerate() {
+            // Pop anything that completed before this arrival.
+            while let Some(next) = cpu.next_completion(last) {
+                if next > at { break; }
+                last = next;
+                for j in cpu.pop_due(last) {
+                    done.push((last, j));
+                }
+            }
+            cpu.submit(at, i as u64, demand);
+            last = at;
+        }
+        done.extend(drain(&mut cpu, last));
+        let total: f64 = arrivals.iter().map(|&(_, d)| d).sum();
+        prop_assert!((cpu.work_done() - total).abs() < 1e-4,
+            "work done {} vs submitted {}", cpu.work_done(), total);
+        prop_assert_eq!(cpu.active_jobs(), 0);
+        // Every job completed exactly once.
+        let mut ids: Vec<u64> = done.iter().map(|&(_, j)| j).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), arrivals.len());
+    }
+
+    /// No job finishes before its bare demand (the CPU cannot run faster than
+    /// one core per job), and completions never precede submission.
+    #[test]
+    fn cpu_no_superluminal_jobs(
+        demands in prop::collection::vec(1u64..500_000, 1..40),
+    ) {
+        let mut cpu = PsCpu::new(CpuConfig { cores: 1, csw_overhead_per_job: 0.0 });
+        for (i, &d_us) in demands.iter().enumerate() {
+            cpu.submit(SimTime::ZERO, i as u64, d_us as f64 / 1e6);
+        }
+        let done = drain(&mut cpu, SimTime::ZERO);
+        for (at, id) in done {
+            let demand_us = demands[id as usize];
+            // Tolerate the 1 µs event-grid rounding.
+            prop_assert!(at.as_micros() + 2 >= demand_us,
+                "job {} finished at {}us with demand {}us", id, at.as_micros(), demand_us);
+        }
+    }
+
+    /// A frozen CPU makes no progress: completions shift by exactly the
+    /// freeze duration.
+    #[test]
+    fn cpu_freeze_shifts_completions(
+        demand_us in 1_000u64..1_000_000,
+        freeze_at_frac in 0.0f64..1.0,
+        freeze_us in 0u64..2_000_000,
+    ) {
+        let demand = demand_us as f64 / 1e6;
+        // Baseline: no freeze.
+        let mut a = PsCpu::new(CpuConfig::default());
+        a.submit(SimTime::ZERO, 0, demand);
+        let base = drain(&mut a, SimTime::ZERO)[0].0;
+
+        let freeze_at = SimTime::from_micros(((demand_us as f64) * freeze_at_frac) as u64);
+        let mut b = PsCpu::new(CpuConfig::default());
+        b.submit(SimTime::ZERO, 0, demand);
+        b.freeze(freeze_at);
+        let resume = freeze_at + SimTime::from_micros(freeze_us);
+        b.unfreeze(resume);
+        let shifted = drain(&mut b, resume)[0].0;
+        let expected = base + SimTime::from_micros(freeze_us);
+        let delta = shifted.as_micros() as i64 - expected.as_micros() as i64;
+        prop_assert!(delta.abs() <= 2, "delta {delta}us");
+    }
+
+    /// SoftPool: in_use never exceeds capacity, every enqueued job is granted
+    /// exactly once in FIFO order, and nothing is lost.
+    #[test]
+    fn pool_fifo_and_capacity(
+        capacity in 1usize..8,
+        ops in prop::collection::vec(prop::bool::ANY, 1..200),
+    ) {
+        let mut pool = SoftPool::new("p", capacity);
+        let mut now = SimTime::ZERO;
+        let mut next_job = 0u64;
+        let mut queued = std::collections::VecDeque::new();
+        let mut held = 0usize;
+        let mut granted = Vec::new();
+
+        for op in ops {
+            now += SimTime::from_millis(1);
+            if op {
+                let job = next_job;
+                next_job += 1;
+                match pool.acquire(now, job) {
+                    Acquire::Granted => { held += 1; granted.push(job); }
+                    Acquire::Enqueued { .. } => queued.push_back(job),
+                }
+            } else if held > 0 {
+                match pool.release(now) {
+                    Some(job) => {
+                        let expected = queued.pop_front().expect("pool granted a phantom waiter");
+                        prop_assert_eq!(job, expected, "FIFO violated");
+                        granted.push(job);
+                    }
+                    None => {
+                        prop_assert!(queued.is_empty(), "pool idled a unit past waiters");
+                        held -= 1;
+                    }
+                }
+            }
+            prop_assert!(pool.in_use() <= capacity);
+            prop_assert_eq!(pool.in_use(), held);
+            prop_assert_eq!(pool.waiting(), queued.len());
+        }
+        // Conservation: grants + still-waiting = all acquisitions.
+        prop_assert_eq!(granted.len() + queued.len(), next_job as usize);
+    }
+
+    /// FCFS: completions are monotone and total busy time equals total demand.
+    #[test]
+    fn fcfs_monotone_and_conservative(
+        jobs in prop::collection::vec((0u64..1_000_000, 1u64..100_000), 1..60),
+    ) {
+        let mut s = FcfsServer::new("d");
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|&(at, _)| at);
+        let mut prev_done = SimTime::ZERO;
+        let mut total = SimTime::ZERO;
+        for &(at_us, d_us) in &sorted {
+            let at = SimTime::from_micros(at_us);
+            let d = SimTime::from_micros(d_us);
+            let done = s.submit(at, d);
+            prop_assert!(done >= at + d);
+            prop_assert!(done >= prev_done, "FCFS completions must be monotone");
+            prev_done = done;
+            total += d;
+        }
+        prop_assert!(s.free_at() >= total, "busy time can't compress demand");
+        prop_assert_eq!(s.served(), sorted.len() as u64);
+    }
+}

@@ -1,0 +1,396 @@
+//! The event-list simulation engine.
+//!
+//! The engine is generic over the model's event type. A [`Model`] is a plain
+//! mutable state machine; the engine owns the pending-event heap and the clock.
+//! Events scheduled for the same instant are delivered in insertion order
+//! (FIFO), which makes simulations deterministic and makes causality easy to
+//! reason about ("the release I scheduled before the acquire runs first").
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation model: the domain state machine driven by the engine.
+///
+/// `handle` receives one event and may schedule any number of future events
+/// through the [`EventQueue`]. Scheduling in the past is a programming error
+/// and panics.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Process one event at simulated time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event;
+    /// ties broken by insertion sequence for FIFO same-time delivery.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event set, exposed to models for scheduling.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            now: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is before the current time.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after a delay relative to now.
+    #[inline]
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.heap.push(Scheduled {
+            at: self.now + delay,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` to run at the current instant, after all events already
+    /// queued for this instant (a "call me back immediately" idiom).
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_after(SimTime::ZERO, event);
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+/// Outcome of [`Engine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// One event was processed.
+    Progressed,
+    /// The event queue is empty; the simulation is quiescent.
+    Exhausted,
+    /// The next event lies beyond the requested horizon (clock left unchanged).
+    HorizonReached,
+}
+
+/// The simulation engine: owns the model, the clock, and the event heap.
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    events_processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine around `model` with an empty queue at time zero.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for setup and post-run inspection).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the engine and return the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedule an event from outside the model (setup code, drivers).
+    pub fn schedule(&mut self, at: SimTime, event: M::Event) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Access the queue directly (e.g. to seed many initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
+        &mut self.queue
+    }
+
+    /// Process a single event, if one exists at or before `horizon`.
+    pub fn step(&mut self, horizon: SimTime) -> StepResult {
+        match self.queue.heap.peek() {
+            None => StepResult::Exhausted,
+            Some(next) if next.at > horizon => StepResult::HorizonReached,
+            Some(_) => {
+                let sched = self.queue.heap.pop().expect("peeked event vanished");
+                debug_assert!(sched.at >= self.queue.now, "event queue time went backwards");
+                self.queue.now = sched.at;
+                self.model.handle(sched.at, sched.event, &mut self.queue);
+                self.events_processed += 1;
+                StepResult::Progressed
+            }
+        }
+    }
+
+    /// Run until the queue empties or the clock would pass `until`.
+    ///
+    /// On return the clock is `min(until, time of last processed event)`; if
+    /// the horizon stopped the run, the clock is advanced to `until` so that
+    /// subsequent scheduling is relative to the horizon.
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            match self.step(until) {
+                StepResult::Progressed => continue,
+                StepResult::Exhausted => return,
+                StepResult::HorizonReached => break,
+            }
+        }
+        // Events remain beyond the horizon: advance the clock to the horizon
+        // so that subsequent external scheduling is relative to it.
+        if self.queue.now < until {
+            self.queue.now = until;
+        }
+    }
+
+    /// Run to quiescence (empty queue). Guards against runaway models with an
+    /// event budget; panics if exceeded.
+    pub fn run_to_quiescence(&mut self, max_events: u64) {
+        let start = self.events_processed;
+        while let StepResult::Progressed = self.step(SimTime::MAX) {
+            assert!(
+                self.events_processed - start <= max_events,
+                "simulation exceeded event budget of {max_events}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model that records the order events arrive in.
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+        chain_remaining: u32,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Tag(u32),
+        Chain,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+            match event {
+                Ev::Tag(id) => self.seen.push((now.as_micros(), id)),
+                Ev::Chain => {
+                    self.seen.push((now.as_micros(), 999));
+                    if self.chain_remaining > 0 {
+                        self.chain_remaining -= 1;
+                        queue.schedule_after(SimTime::from_micros(10), Ev::Chain);
+                    }
+                }
+            }
+        }
+    }
+
+    fn engine() -> Engine<Recorder> {
+        Engine::new(Recorder {
+            seen: Vec::new(),
+            chain_remaining: 0,
+        })
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut e = engine();
+        e.schedule(SimTime::from_micros(30), Ev::Tag(3));
+        e.schedule(SimTime::from_micros(10), Ev::Tag(1));
+        e.schedule(SimTime::from_micros(20), Ev::Tag(2));
+        e.run_until(SimTime::MAX);
+        assert_eq!(e.model().seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut e = engine();
+        for id in 0..100 {
+            e.schedule(SimTime::from_micros(5), Ev::Tag(id));
+        }
+        e.run_until(SimTime::MAX);
+        let ids: Vec<u32> = e.model().seen.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_stops_and_advances_clock() {
+        let mut e = engine();
+        e.schedule(SimTime::from_micros(10), Ev::Tag(1));
+        e.schedule(SimTime::from_micros(100), Ev::Tag(2));
+        e.run_until(SimTime::from_micros(50));
+        assert_eq!(e.model().seen, vec![(10, 1)]);
+        assert_eq!(e.now(), SimTime::from_micros(50));
+        // The future event is still pending and runs on the next call.
+        e.run_until(SimTime::MAX);
+        assert_eq!(e.model().seen.len(), 2);
+    }
+
+    #[test]
+    fn chained_scheduling_from_inside_handle() {
+        let mut e = engine();
+        e.model_mut().chain_remaining = 5;
+        e.schedule(SimTime::from_micros(0), Ev::Chain);
+        e.run_until(SimTime::MAX);
+        assert_eq!(e.model().seen.len(), 6);
+        assert_eq!(e.now(), SimTime::from_micros(50));
+        assert_eq!(e.events_processed(), 6);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_events() {
+        struct M {
+            order: Vec<u32>,
+        }
+        enum E2 {
+            First,
+            Second,
+            Injected,
+        }
+        impl Model for M {
+            type Event = E2;
+            fn handle(&mut self, _now: SimTime, ev: E2, q: &mut EventQueue<E2>) {
+                match ev {
+                    E2::First => {
+                        self.order.push(1);
+                        q.schedule_now(E2::Injected);
+                    }
+                    E2::Second => self.order.push(2),
+                    E2::Injected => self.order.push(3),
+                }
+            }
+        }
+        let mut e = Engine::new(M { order: vec![] });
+        e.schedule(SimTime::ZERO, E2::First);
+        e.schedule(SimTime::ZERO, E2::Second);
+        e.run_until(SimTime::MAX);
+        // Injected runs after Second (FIFO at the same instant), not before.
+        assert_eq!(e.model().order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = engine();
+        e.schedule(SimTime::from_micros(10), Ev::Tag(1));
+        e.run_until(SimTime::MAX);
+        e.schedule(SimTime::from_micros(5), Ev::Tag(2));
+    }
+
+    #[test]
+    fn run_to_quiescence_respects_budget() {
+        let mut e = engine();
+        e.model_mut().chain_remaining = 1000;
+        e.schedule(SimTime::ZERO, Ev::Chain);
+        e.run_to_quiescence(2000);
+        assert_eq!(e.model().seen.len(), 1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn run_to_quiescence_panics_over_budget() {
+        let mut e = engine();
+        e.model_mut().chain_remaining = 1000;
+        e.schedule(SimTime::ZERO, Ev::Chain);
+        e.run_to_quiescence(10);
+    }
+
+    #[test]
+    fn queue_introspection() {
+        let mut e = engine();
+        assert!(e.queue_mut().is_empty());
+        e.schedule(SimTime::from_micros(7), Ev::Tag(0));
+        assert_eq!(e.queue_mut().len(), 1);
+        assert_eq!(e.queue_mut().peek_time(), Some(SimTime::from_micros(7)));
+    }
+}

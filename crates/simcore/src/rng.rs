@@ -1,0 +1,269 @@
+//! Deterministic, forkable random-number streams.
+//!
+//! Every experiment run owns a [`RunRng`] seeded from an experiment-level seed;
+//! components fork private sub-streams by *name*, so adding a new consumer of
+//! randomness never perturbs the draws seen by existing components. This is
+//! what makes (a) runs reproducible bit-for-bit and (b) rayon-parallel sweeps
+//! produce the same numbers as serial sweeps.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal, Zipf};
+
+/// SplitMix64 step — used to derive independent seeds from (seed, stream-id).
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a stream name, so forks are identified by stable strings.
+#[inline]
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic random stream with convenience samplers for the
+/// distributions the simulator needs.
+pub struct RunRng {
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl RunRng {
+    /// Create the root stream for an experiment.
+    pub fn new(seed: u64) -> Self {
+        RunRng {
+            seed,
+            rng: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fork an independent named sub-stream.
+    pub fn fork(&self, name: &str) -> RunRng {
+        let child = splitmix64(self.seed ^ fnv1a(name).rotate_left(17));
+        RunRng {
+            seed: child,
+            rng: SmallRng::seed_from_u64(splitmix64(child)),
+        }
+    }
+
+    /// Fork an independent indexed sub-stream (e.g. one per client session).
+    pub fn fork_indexed(&self, name: &str, index: u64) -> RunRng {
+        let child = splitmix64(self.seed ^ fnv1a(name).rotate_left(17) ^ splitmix64(index + 1));
+        RunRng {
+            seed: child,
+            rng: SmallRng::seed_from_u64(splitmix64(child)),
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform01() < p
+        }
+    }
+
+    /// Exponential with the given mean (clamped to a positive mean).
+    #[inline]
+    pub fn exp_mean(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        Exp::new(1.0 / mean)
+            .expect("positive rate")
+            .sample(&mut self.rng)
+    }
+
+    /// Log-normal parameterized by its *linear-scale* mean and coefficient of
+    /// variation. Service-time jitter in the tier models uses this: positive,
+    /// right-skewed, mean-preserving.
+    #[inline]
+    pub fn lognormal_mean_cv(&mut self, mean: f64, cv: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        if cv <= 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+            .expect("valid lognormal")
+            .sample(&mut self.rng)
+    }
+
+    /// Zipf-distributed rank in `[1, n]` with exponent `s` (item popularity).
+    #[inline]
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        Zipf::new(n, s).expect("valid zipf").sample(&mut self.rng) as u64
+    }
+
+    /// Pick an index according to a weight table (weights need not sum to 1).
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0, "weighted_index needs positive total weight");
+        let mut x = self.uniform01() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Access the raw RNG for anything not covered above.
+    pub fn raw(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RunRng::new(42);
+        let mut b = RunRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform01().to_bits(), b.uniform01().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RunRng::new(1);
+        let mut b = RunRng::new(2);
+        let same = (0..32).filter(|_| a.uniform01() == b.uniform01()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let parent1 = RunRng::new(7);
+        let mut parent2 = RunRng::new(7);
+        // Consuming from one parent must not change what its forks produce.
+        let _ = parent2.uniform01();
+        let mut f1 = parent1.fork("apache");
+        let mut f2 = parent2.fork("apache");
+        for _ in 0..32 {
+            assert_eq!(f1.uniform01().to_bits(), f2.uniform01().to_bits());
+        }
+    }
+
+    #[test]
+    fn named_forks_differ() {
+        let root = RunRng::new(9);
+        let mut a = root.fork("alpha");
+        let mut b = root.fork("beta");
+        let same = (0..32).filter(|_| a.uniform01() == b.uniform01()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn indexed_forks_differ() {
+        let root = RunRng::new(9);
+        let mut a = root.fork_indexed("client", 0);
+        let mut b = root.fork_indexed("client", 1);
+        let same = (0..32).filter(|_| a.uniform01() == b.uniform01()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exp_mean_matches_requested_mean() {
+        let mut r = RunRng::new(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exp_mean(7.0)).sum::<f64>() / n as f64;
+        assert!((mean - 7.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn lognormal_matches_mean_and_is_positive() {
+        let mut r = RunRng::new(6);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.lognormal_mean_cv(2.0, 0.5)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_deterministic() {
+        let mut r = RunRng::new(6);
+        assert_eq!(r.lognormal_mean_cv(3.5, 0.0), 3.5);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RunRng::new(11);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = RunRng::new(13);
+        let w = [1.0, 3.0];
+        let ones = (0..40_000).filter(|_| r.weighted_index(&w) == 1).count();
+        let frac = ones as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac was {frac}");
+    }
+
+    #[test]
+    fn weighted_index_handles_trailing_zero_weight() {
+        let mut r = RunRng::new(14);
+        for _ in 0..1000 {
+            let i = r.weighted_index(&[1.0, 0.0]);
+            assert_eq!(i, 0);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut r = RunRng::new(15);
+        let n = 20_000;
+        let low = (0..n).filter(|_| r.zipf(100, 1.0) <= 10).count();
+        assert!(low as f64 / n as f64 > 0.4);
+    }
+}

@@ -1,0 +1,570 @@
+//! Streaming statistics primitives.
+//!
+//! The paper's analyses are built from a handful of observables: averages and
+//! distributions of response times, time-weighted utilizations sampled at one
+//! second granularity, and per-interval counters. This module provides the
+//! corresponding accumulators, all O(1) per observation and allocation-free on
+//! the hot path.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Welford / summary statistics
+// ---------------------------------------------------------------------------
+
+/// Streaming count/mean/variance/min/max via Welford's algorithm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-bin histogram
+// ---------------------------------------------------------------------------
+
+/// Histogram over explicit bin edges (used for the paper's Fig. 3(c)
+/// response-time distribution: `[0,.2] [.2,.4] ... [1.5,2] >2`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+}
+
+impl Histogram {
+    /// Build from ascending edges; bin `i` covers `[edges[i], edges[i+1])`.
+    ///
+    /// # Panics
+    /// If fewer than two edges are supplied or the edges are not ascending.
+    pub fn with_edges(edges: &[f64]) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() - 1],
+            overflow: 0,
+            underflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.edges[0] {
+            self.underflow += 1;
+            return;
+        }
+        if x >= *self.edges.last().expect("non-empty edges") {
+            self.overflow += 1;
+            return;
+        }
+        // Binary search for the containing bin.
+        let idx = match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&x).expect("no NaN edges"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let last = self.counts.len() - 1;
+        self.counts[idx.min(last)] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Observations above the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Observations below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow + self.underflow
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-scale histogram with quantiles
+// ---------------------------------------------------------------------------
+
+/// Logarithmic histogram for positive values (response times), supporting
+/// approximate quantiles with bounded relative error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Smallest representable value; anything below lands in bucket 0.
+    floor: f64,
+    /// Per-bucket growth factor.
+    growth: f64,
+    log_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// `floor` = resolution floor (e.g. 1 µs = 1e-6 s); `growth` = per-bucket
+    /// factor (1.02 ⇒ ≤ 2% relative quantile error); `buckets` = bucket count.
+    pub fn new(floor: f64, growth: f64, buckets: usize) -> Self {
+        assert!(floor > 0.0 && growth > 1.0 && buckets >= 2);
+        LogHistogram {
+            floor,
+            growth,
+            log_growth: growth.ln(),
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// A sensible default for response times in seconds: 10 µs floor, 2%
+    /// buckets, covering up to ~10⁵ s.
+    pub fn response_times() -> Self {
+        LogHistogram::new(1e-5, 1.02, 1200)
+    }
+
+    /// Record a value (non-positive values count into the lowest bucket).
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let idx = if x <= self.floor {
+            0
+        } else {
+            (((x / self.floor).ln() / self.log_growth) as usize).min(self.counts.len() - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` (`None` if empty).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Geometric midpoint of the bucket.
+                let lo = self.floor * self.growth.powi(i as i32);
+                return Some(lo * self.growth.sqrt());
+            }
+        }
+        Some(self.floor * self.growth.powi(self.counts.len() as i32))
+    }
+
+    /// Fraction of observations at or below `x`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let hi = self.floor * self.growth.powi(i as i32 + 1);
+            if hi <= x {
+                acc += c;
+            } else {
+                break;
+            }
+        }
+        acc as f64 / self.total as f64
+    }
+
+    /// Merge another histogram with identical geometry.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        assert!((self.floor - other.floor).abs() < 1e-12);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time-weighted value (utilization integrals)
+// ---------------------------------------------------------------------------
+
+/// Integrates a piecewise-constant signal over simulated time — the primitive
+/// behind CPU-utilization and pool-occupancy averages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    value: f64,
+    integral: f64,
+    peak: f64,
+    started: SimTime,
+}
+
+impl TimeWeighted {
+    /// Start integrating at `t0` with initial value `v0`.
+    pub fn new(t0: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            last_t: t0,
+            value: v0,
+            integral: 0.0,
+            peak: v0,
+            started: t0,
+        }
+    }
+
+    /// Set the signal to `v` at time `t` (accumulating the previous segment).
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        debug_assert!(t >= self.last_t, "time went backwards in TimeWeighted");
+        self.integral += self.value * t.saturating_sub(self.last_t).as_secs_f64();
+        self.last_t = t;
+        self.value = v;
+        if v > self.peak {
+            self.peak = v;
+        }
+    }
+
+    /// Current signal value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-average over `[start, t]`, closing the running segment at `t`.
+    pub fn average_until(&self, t: SimTime) -> f64 {
+        let span = t.saturating_sub(self.started).as_secs_f64();
+        if span <= 0.0 {
+            return self.value;
+        }
+        (self.integral + self.value * t.saturating_sub(self.last_t).as_secs_f64()) / span
+    }
+
+    /// Reset the integration window to start at `t` (value is retained).
+    pub fn reset_window(&mut self, t: SimTime) {
+        self.integral = 0.0;
+        self.last_t = t;
+        self.started = t;
+        self.peak = self.value;
+    }
+
+    /// Raw integral so far (value·seconds), not closing the running segment.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-interval series (the "SysStat" sampler)
+// ---------------------------------------------------------------------------
+
+/// Accumulates values into fixed-width time buckets — e.g. requests processed
+/// per second (paper Fig. 7(a)) or per-second CPU utilization samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalSeries {
+    interval: SimTime,
+    origin: SimTime,
+    buckets: Vec<f64>,
+}
+
+impl IntervalSeries {
+    /// New series with buckets of width `interval`, starting at `origin`.
+    pub fn new(origin: SimTime, interval: SimTime) -> Self {
+        assert!(interval > SimTime::ZERO);
+        IntervalSeries {
+            interval,
+            origin,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Add `amount` to the bucket containing time `t` (events before the
+    /// origin are ignored — they belong to ramp-up).
+    pub fn add(&mut self, t: SimTime, amount: f64) {
+        if t < self.origin {
+            return;
+        }
+        let idx = ((t - self.origin).as_micros() / self.interval.as_micros()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += amount;
+    }
+
+    /// Count one occurrence at time `t`.
+    pub fn incr(&mut self, t: SimTime) {
+        self.add(t, 1.0);
+    }
+
+    /// The per-bucket totals.
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Bucket width.
+    pub fn interval(&self) -> SimTime {
+        self.interval
+    }
+
+    /// Mean across buckets `[from, to)` (clamped to available data).
+    pub fn mean_over(&self, from: usize, to: usize) -> f64 {
+        let hi = to.min(self.buckets.len());
+        let lo = from.min(hi);
+        if hi == lo {
+            return 0.0;
+        }
+        self.buckets[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_basic() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+        assert!((w.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_empty_is_sane() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::with_edges(&[0.0, 0.2, 0.4, 1.0]);
+        h.add(0.1); // bin 0
+        h.add(0.2); // bin 1 (left-closed)
+        h.add(0.39); // bin 1
+        h.add(0.5); // bin 2
+        h.add(2.0); // overflow
+        h.add(-0.1); // underflow
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_edges() {
+        let _ = Histogram::with_edges(&[0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn log_histogram_quantiles() {
+        let mut h = LogHistogram::response_times();
+        for i in 1..=1000 {
+            h.add(i as f64 / 1000.0); // 1ms..1s uniform
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 0.5).abs() / 0.5 < 0.05, "p50={p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 0.99).abs() / 0.99 < 0.05, "p99={p99}");
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn log_histogram_fraction_le() {
+        let mut h = LogHistogram::response_times();
+        for i in 1..=100 {
+            h.add(i as f64); // 1..100 s
+        }
+        let f = h.fraction_le(50.0);
+        assert!((f - 0.5).abs() < 0.05, "fraction={f}");
+        assert_eq!(h.fraction_le(0.0001), 0.0);
+        assert!((h.fraction_le(1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_merge() {
+        let mut a = LogHistogram::response_times();
+        let mut b = LogHistogram::response_times();
+        a.add(0.1);
+        b.add(10.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.fraction_le(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(10), 1.0); // 0 for 10s
+        tw.set(SimTime::from_secs(30), 0.5); // 1 for 20s
+        let avg = tw.average_until(SimTime::from_secs(40)); // 0.5 for 10s
+        // (0*10 + 1*20 + 0.5*10) / 40 = 25/40
+        assert!((avg - 0.625).abs() < 1e-12);
+        assert_eq!(tw.peak(), 1.0);
+        assert_eq!(tw.current(), 0.5);
+    }
+
+    #[test]
+    fn time_weighted_window_reset() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.set(SimTime::from_secs(5), 0.0);
+        tw.reset_window(SimTime::from_secs(5));
+        let avg = tw.average_until(SimTime::from_secs(10));
+        assert_eq!(avg, 0.0);
+    }
+
+    #[test]
+    fn interval_series_buckets() {
+        let mut s = IntervalSeries::new(SimTime::from_secs(10), SimTime::from_secs(1));
+        s.incr(SimTime::from_secs(9)); // before origin: ignored
+        s.incr(SimTime::from_millis(10_100));
+        s.incr(SimTime::from_millis(10_900));
+        s.incr(SimTime::from_millis(12_000));
+        assert_eq!(s.buckets(), &[2.0, 0.0, 1.0]);
+        assert!((s.mean_over(0, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(s.mean_over(5, 9), 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Simulated time as integer microseconds.
+//!
+//! Using an integer representation keeps the event queue totally ordered and
+//! free of floating-point accumulation error; microsecond resolution is ample
+//! for millisecond-scale service times while still allowing multi-hour runs
+//! (`u64` microseconds covers ~584 000 years).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in microseconds.
+///
+/// `SimTime` is used both as an absolute timestamp and as a duration; the
+/// arithmetic provided is the natural one for both readings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero timestamp / empty duration.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future — useful as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+    /// Number of microseconds in one second.
+    pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * Self::MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest microsecond.
+    ///
+    /// Negative and non-finite inputs clamp to zero: service-time samplers can
+    /// in principle produce tiny negative values after arithmetic and a
+    /// simulation must never schedule into the past.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * Self::MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Construct from fractional milliseconds (clamped like [`from_secs_f64`](Self::from_secs_f64)).
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// Raw microsecond count.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in seconds as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / Self::MICROS_PER_SEC as f64
+    }
+
+    /// Value in milliseconds as a float.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction (useful for elapsed-time computations).
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Multiply a duration by a float factor (rounding; clamped at zero).
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> SimTime {
+        SimTime::from_secs_f64(self.as_secs_f64() * k)
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Panics on underflow in debug builds, like integer subtraction.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(3), SimTime::from_millis(3_000));
+        assert_eq!(SimTime::from_millis(2), SimTime::from_micros(2_000));
+        assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_millis(1_500));
+        assert_eq!(SimTime::from_millis_f64(0.25), SimTime::from_micros(250));
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(2);
+        let b = SimTime::from_secs(5);
+        assert_eq!(a + b, SimTime::from_secs(7));
+        assert_eq!(b - a, SimTime::from_secs(3));
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(a * 3, SimTime::from_secs(6));
+        assert_eq!(b / 5, SimTime::from_secs(1));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn round_trips() {
+        let t = SimTime::from_micros(1_234_567);
+        assert!((t.as_secs_f64() - 1.234_567).abs() < 1e-12);
+        assert!((t.as_millis_f64() - 1234.567).abs() < 1e-9);
+        assert_eq!(SimTime::from_secs_f64(t.as_secs_f64()), t);
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let t = SimTime::from_secs(10);
+        assert_eq!(t.mul_f64(0.5), SimTime::from_secs(5));
+        assert_eq!(t.mul_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=4).map(SimTime::from_secs).sum();
+        assert_eq!(total, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(SimTime::from_millis(1_500).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,98 @@
+//! Identifiers: tiers, nodes, and CPU job tokens.
+
+use serde::{Deserialize, Serialize};
+
+/// The four server tiers of the topology (clients are not a tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Apache web server.
+    Web,
+    /// Tomcat application server.
+    App,
+    /// C-JDBC clustering middleware.
+    Cmw,
+    /// MySQL database server.
+    Db,
+}
+
+impl Tier {
+    /// All tiers front-to-back.
+    pub const ALL: [Tier; 4] = [Tier::Web, Tier::App, Tier::Cmw, Tier::Db];
+
+    /// Human-readable server name for this tier.
+    pub fn server_name(self) -> &'static str {
+        match self {
+            Tier::Web => "Apache",
+            Tier::App => "Tomcat",
+            Tier::Cmw => "C-JDBC",
+            Tier::Db => "MySQL",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.server_name())
+    }
+}
+
+/// Handle of an in-flight HTTP request.
+pub type ReqId = u32;
+/// Handle of an in-flight SQL query.
+pub type QueryId = u32;
+
+/// A CPU job token: either a request or a query, encoded into the
+/// [`resources::JobId`] namespace (bit 63 tags queries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// An HTTP request (Apache/Tomcat CPU work).
+    Req(ReqId),
+    /// A SQL query (C-JDBC/MySQL CPU work).
+    Query(QueryId),
+}
+
+const QUERY_TAG: u64 = 1 << 63;
+
+impl Token {
+    /// Encode for use as a CPU job id.
+    pub fn encode(self) -> u64 {
+        match self {
+            Token::Req(r) => r as u64,
+            Token::Query(q) => q as u64 | QUERY_TAG,
+        }
+    }
+
+    /// Decode a CPU job id back into a token.
+    pub fn decode(job: u64) -> Token {
+        if job & QUERY_TAG != 0 {
+            Token::Query((job & !QUERY_TAG) as u32)
+        } else {
+            Token::Req(job as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trip() {
+        for id in [0u32, 1, 12345, u32::MAX] {
+            assert_eq!(Token::decode(Token::Req(id).encode()), Token::Req(id));
+            assert_eq!(Token::decode(Token::Query(id).encode()), Token::Query(id));
+        }
+    }
+
+    #[test]
+    fn req_and_query_namespaces_disjoint() {
+        assert_ne!(Token::Req(7).encode(), Token::Query(7).encode());
+    }
+
+    #[test]
+    fn tier_names() {
+        assert_eq!(Tier::Web.server_name(), "Apache");
+        assert_eq!(Tier::Cmw.to_string(), "C-JDBC");
+        assert_eq!(Tier::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tiers — the 4-tier application simulator
+//!
+//! This crate assembles the substrate crates into the paper's testbed:
+//!
+//! ```text
+//! clients ⇄ Apache (web) ⇄ Tomcat (app) ⇄ C-JDBC (clustering) ⇄ MySQL (db)
+//! ```
+//!
+//! * **Apache** — a worker-MPM web server: a worker-thread [`resources::SoftPool`],
+//!   per-request static-content CPU work, and a **lingering-close** phase in
+//!   which the worker waits for the client's TCP FIN after the response is
+//!   sent (the mechanism behind the paper's buffering effect, §III-C).
+//! * **Tomcat** — servlet container: thread pool + *shared global DB
+//!   connection pool* (the paper modified RUBBoS this way), CPU slices
+//!   interleaved with SQL queries, and an attached JVM heap.
+//! * **C-JDBC** — clustering middleware: one implicit thread per Tomcat DB
+//!   connection (the paper's one-connection-one-thread coupling), read
+//!   load-balancing and write broadcast across MySQL replicas, and the JVM
+//!   whose garbage collector dominates over-allocated configurations.
+//! * **MySQL** — per-connection threads, CPU demand per query, and a
+//!   buffer-pool/disk model.
+//!
+//! [`System`] implements [`simcore::Model`]; [`run_system`] executes a full
+//! trial (ramp-up → measured runtime → ramp-down) and returns a [`RunOutput`]
+//! with every observable the paper's figures and algorithm need.
+
+pub mod config;
+pub mod ids;
+pub mod linger;
+pub mod nodes;
+pub mod output;
+pub mod request;
+pub mod slab;
+pub mod system;
+
+pub use config::{HardwareConfig, ServiceParams, SoftAllocation, SystemConfig};
+pub use ids::Tier;
+pub use linger::LingerConfig;
+pub use output::{ApacheProbes, NodeReport, PoolReport, RunOutput};
+pub use system::{run_system, System};

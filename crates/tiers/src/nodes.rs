@@ -1,0 +1,329 @@
+//! Per-server state: CPU, soft pools, JVM, disk, logs, and probes.
+
+use crate::config::{ServiceParams, SoftAllocation, SystemConfig};
+use crate::ids::Tier;
+use crate::output::{NodeReport, PoolReport};
+use jvm_gc::JvmGc;
+use metrics::{ServerLog, UtilDensity};
+use resources::{CpuConfig, FcfsServer, PsCpu, SoftPool};
+use simcore::stats::IntervalSeries;
+use simcore::SimTime;
+
+/// One physical server and its soft resources.
+#[derive(Debug)]
+pub struct Node {
+    /// Which tier this server belongs to.
+    pub tier: Tier,
+    /// Index within the tier.
+    pub idx: u16,
+    /// The server's CPU.
+    pub cpu: PsCpu,
+    /// Generation counter for CPU-completion events (stale-event guard).
+    pub cpu_gen: u32,
+    /// Worker/servlet thread pool (Apache, Tomcat).
+    pub pool: Option<SoftPool>,
+    /// DB connection pool (Tomcat only).
+    pub conn_pool: Option<SoftPool>,
+    /// Attached JVM (Tomcat, C-JDBC).
+    pub jvm: Option<JvmGc>,
+    /// Disk (MySQL only).
+    pub disk: Option<FcfsServer>,
+    /// Per-server request log (per-tier RTT / TP for Table I).
+    pub log: ServerLog,
+    /// Per-second CPU utilization samples (measurement window).
+    pub cpu_series: Vec<f64>,
+    /// Per-second thread-pool occupancy samples.
+    pub pool_series: Vec<f64>,
+    /// Thread-pool occupancy density.
+    pub pool_density: UtilDensity,
+    /// Per-second conn-pool occupancy samples.
+    pub conn_series: Vec<f64>,
+    /// Conn-pool occupancy density.
+    pub conn_density: UtilDensity,
+    /// Disk busy-seconds measurement-window start.
+    pub disk_window_start: SimTime,
+}
+
+impl Node {
+    fn new(tier: Tier, idx: u16, params: &ServiceParams) -> Self {
+        Node {
+            tier,
+            idx,
+            cpu: PsCpu::new(CpuConfig {
+                cores: params.cores,
+                csw_overhead_per_job: params.csw_overhead_per_job,
+            }),
+            cpu_gen: 0,
+            pool: None,
+            conn_pool: None,
+            jvm: None,
+            disk: None,
+            log: ServerLog::new(format!("{}-{}", tier.server_name(), idx)),
+            cpu_series: Vec::new(),
+            pool_series: Vec::new(),
+            pool_density: UtilDensity::new(),
+            conn_series: Vec::new(),
+            conn_density: UtilDensity::new(),
+            disk_window_start: SimTime::ZERO,
+        }
+    }
+
+    /// Build an Apache web server node.
+    pub fn apache(idx: u16, cfg: &SystemConfig) -> Self {
+        let mut n = Node::new(Tier::Web, idx, &cfg.params);
+        n.pool = Some(SoftPool::new("apache-workers", cfg.soft.web_threads));
+        n
+    }
+
+    /// Build a Tomcat application server node.
+    pub fn tomcat(idx: u16, cfg: &SystemConfig) -> Self {
+        let mut n = Node::new(Tier::App, idx, &cfg.params);
+        n.pool = Some(SoftPool::new("tomcat-threads", cfg.soft.app_threads));
+        n.conn_pool = Some(SoftPool::new("tomcat-dbconns", cfg.soft.app_db_conns));
+        let mut jvm = JvmGc::new(cfg.tomcat_gc.clone());
+        jvm.set_threads(cfg.soft.app_threads);
+        jvm.set_conns(cfg.soft.app_db_conns);
+        n.jvm = Some(jvm);
+        n
+    }
+
+    /// Build a C-JDBC clustering-middleware node. Its implicit thread count is
+    /// the total DB connections opened by all Tomcat servers (the paper's
+    /// one-connection-one-thread coupling).
+    pub fn cjdbc(idx: u16, cfg: &SystemConfig, soft: &SoftAllocation) -> Self {
+        let mut n = Node::new(Tier::Cmw, idx, &cfg.params);
+        let total_conns = soft.app_db_conns * cfg.hardware.app;
+        let mut jvm = JvmGc::new(cfg.cjdbc_gc.clone());
+        jvm.set_threads(total_conns);
+        jvm.set_conns(total_conns);
+        n.jvm = Some(jvm);
+        n
+    }
+
+    /// Build a MySQL database server node.
+    pub fn mysql(idx: u16, cfg: &SystemConfig) -> Self {
+        let mut n = Node::new(Tier::Db, idx, &cfg.params);
+        n.disk = Some(FcfsServer::new("mysql-disk"));
+        n
+    }
+
+    /// Display name, e.g. `Tomcat-0`.
+    pub fn name(&self) -> String {
+        format!("{}-{}", self.tier.server_name(), self.idx)
+    }
+
+    /// Open the measurement window on every sub-resource.
+    pub fn begin_measurement(&mut self, now: SimTime) {
+        self.cpu.begin_measurement(now);
+        if let Some(p) = &mut self.pool {
+            p.begin_measurement(now);
+        }
+        if let Some(p) = &mut self.conn_pool {
+            p.begin_measurement(now);
+        }
+        if let Some(j) = &mut self.jvm {
+            j.begin_measurement();
+        }
+        if let Some(d) = &mut self.disk {
+            d.begin_measurement(now);
+        }
+        self.disk_window_start = now;
+        self.log.reset();
+        self.cpu_series.clear();
+        self.pool_series.clear();
+        self.conn_series.clear();
+        self.pool_density = UtilDensity::new();
+        self.conn_density = UtilDensity::new();
+    }
+
+    /// Take the 1 s monitoring sample (CPU + pools).
+    pub fn sample(&mut self, now: SimTime) {
+        let cpu = self.cpu.take_window_sample(now);
+        self.cpu_series.push(cpu);
+        if let Some(p) = &mut self.pool {
+            let occ = p.take_window_sample(now);
+            self.pool_series.push(occ);
+            self.pool_density.add(occ);
+        }
+        if let Some(p) = &mut self.conn_pool {
+            let occ = p.take_window_sample(now);
+            self.conn_series.push(occ);
+            self.conn_density.add(occ);
+        }
+    }
+
+    /// Close the measurement window and produce the report.
+    pub fn report(&mut self, now: SimTime) -> NodeReport {
+        let pool_report = |p: &mut SoftPool,
+                           series: &[f64],
+                           density: &UtilDensity| {
+            let st = p.stats(now);
+            PoolReport {
+                capacity: st.capacity,
+                mean_occupancy: st.mean_occupancy,
+                full_fraction: st.full_fraction,
+                saturated_fraction: st.saturated_fraction,
+                mean_wait_secs: st.mean_wait_secs,
+                waits: st.waits,
+                series: series.to_vec(),
+                density: density.clone(),
+            }
+        };
+        let thread_pool = self
+            .pool
+            .as_mut()
+            .map(|p| pool_report(p, &self.pool_series, &self.pool_density));
+        let conn_pool = self
+            .conn_pool
+            .as_mut()
+            .map(|p| pool_report(p, &self.conn_series, &self.conn_density));
+        NodeReport {
+            tier: self.tier,
+            idx: self.idx,
+            name: self.name(),
+            cpu_util: self.cpu.utilization(now),
+            gc_fraction: self.cpu.frozen_fraction(now),
+            gc_seconds: self.cpu.frozen_seconds(now),
+            gc_collections: self.jvm.as_ref().map_or(0, |j| j.collections()),
+            cpu_series: self.cpu_series.clone(),
+            thread_pool,
+            conn_pool,
+            mean_rtt: self.log.mean_rtt(),
+            completions: self.log.completions(),
+            disk_util: self
+                .disk
+                .as_ref()
+                .map_or(0.0, |d| d.utilization(self.disk_window_start, now)),
+        }
+    }
+}
+
+/// Per-second Apache internals collector (Figs. 7/8).
+#[derive(Debug)]
+pub struct ApacheProbe {
+    /// Workers currently interacting (or waiting to interact) with the Tomcat
+    /// tier.
+    pub interacting: u32,
+    /// Responses sent per second.
+    pub processed: IntervalSeries,
+    /// Sum of worker busy times (acquire → release) per second, ms.
+    pub pt_total_sum: IntervalSeries,
+    /// Completion counts backing the busy-time averages.
+    pub pt_total_cnt: IntervalSeries,
+    /// Sum of Tomcat-interaction times per second, ms.
+    pub pt_tomcat_sum: IntervalSeries,
+    /// Completion counts backing the interaction-time averages.
+    pub pt_tomcat_cnt: IntervalSeries,
+    /// Sampled busy workers.
+    pub threads_active: Vec<f64>,
+    /// Sampled workers interacting with Tomcat.
+    pub threads_tomcat: Vec<f64>,
+}
+
+impl ApacheProbe {
+    /// New probe with 1 s buckets starting at `origin`.
+    pub fn new(origin: SimTime) -> Self {
+        let mk = || IntervalSeries::new(origin, SimTime::from_secs(1));
+        ApacheProbe {
+            interacting: 0,
+            processed: mk(),
+            pt_total_sum: mk(),
+            pt_total_cnt: mk(),
+            pt_tomcat_sum: mk(),
+            pt_tomcat_cnt: mk(),
+            threads_active: Vec::new(),
+            threads_tomcat: Vec::new(),
+        }
+    }
+
+    /// Per-second mean of a (sum, count) series pair.
+    pub fn means(sum: &IntervalSeries, cnt: &IntervalSeries) -> Vec<f64> {
+        let n = sum.buckets().len().max(cnt.buckets().len());
+        (0..n)
+            .map(|i| {
+                let s = sum.buckets().get(i).copied().unwrap_or(0.0);
+                let c = cnt.buckets().get(i).copied().unwrap_or(0.0);
+                if c > 0.0 {
+                    s / c
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HardwareConfig, SoftAllocation, SystemConfig};
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::new(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::new(400, 150, 60),
+            1000,
+        )
+    }
+
+    #[test]
+    fn node_construction_per_tier() {
+        let c = cfg();
+        let a = Node::apache(0, &c);
+        assert!(a.pool.is_some() && a.conn_pool.is_none() && a.jvm.is_none());
+        assert_eq!(a.pool.as_ref().unwrap().capacity(), 400);
+
+        let t = Node::tomcat(1, &c);
+        assert_eq!(t.pool.as_ref().unwrap().capacity(), 150);
+        assert_eq!(t.conn_pool.as_ref().unwrap().capacity(), 60);
+        assert!(t.jvm.is_some());
+        assert_eq!(t.name(), "Tomcat-1");
+
+        let j = Node::cjdbc(0, &c, &c.soft);
+        // 2 Tomcats × 60 conns feed the C-JDBC JVM live set.
+        assert!(j.jvm.as_ref().unwrap().live_bytes() > 0.0);
+        assert!(j.pool.is_none());
+
+        let m = Node::mysql(0, &c);
+        assert!(m.disk.is_some() && m.jvm.is_none());
+        assert_eq!(m.name(), "MySQL-0");
+    }
+
+    #[test]
+    fn cjdbc_live_set_scales_with_total_conns() {
+        let c = cfg();
+        let small = Node::cjdbc(0, &c, &SoftAllocation::new(400, 200, 10));
+        let large = Node::cjdbc(0, &c, &SoftAllocation::new(400, 200, 200));
+        assert!(
+            large.jvm.as_ref().unwrap().live_bytes()
+                > small.jvm.as_ref().unwrap().live_bytes()
+        );
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let c = cfg();
+        let mut n = Node::tomcat(0, &c);
+        n.begin_measurement(SimTime::ZERO);
+        n.cpu.submit(SimTime::ZERO, 1, 0.5);
+        n.sample(SimTime::from_secs(1));
+        let rep = n.report(SimTime::from_secs(1));
+        assert_eq!(rep.tier, Tier::App);
+        // The 0.5 s job ran over a 1 s window.
+        assert!((rep.cpu_util - 0.5).abs() < 1e-6, "util={}", rep.cpu_util);
+        assert_eq!(rep.cpu_series.len(), 1);
+        assert!(rep.thread_pool.is_some());
+        assert!(rep.conn_pool.is_some());
+    }
+
+    #[test]
+    fn probe_means() {
+        let mut p = ApacheProbe::new(SimTime::ZERO);
+        p.pt_total_sum.add(SimTime::from_millis(500), 30.0);
+        p.pt_total_sum.add(SimTime::from_millis(800), 50.0);
+        p.pt_total_cnt.add(SimTime::from_millis(500), 1.0);
+        p.pt_total_cnt.add(SimTime::from_millis(800), 1.0);
+        let m = ApacheProbe::means(&p.pt_total_sum, &p.pt_total_cnt);
+        assert_eq!(m, vec![40.0]);
+    }
+}

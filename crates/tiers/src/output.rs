@@ -1,0 +1,348 @@
+//! Run observables: telemetry collected during the measurement window and the
+//! [`RunOutput`] summary every figure/table harness consumes.
+
+use metrics::{RtDistribution, SlaCounts, SloSeries, UtilDensity};
+use serde::{Deserialize, Serialize};
+use simcore::stats::{IntervalSeries, LogHistogram, Welford};
+use simcore::SimTime;
+
+use crate::ids::Tier;
+
+/// Request-level telemetry accumulated during the measurement window.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Goodput/badput counters per SLA threshold.
+    pub sla: SlaCounts,
+    /// The paper's Fig. 3(c) bins.
+    pub rt_dist: RtDistribution,
+    /// Log-scale response-time histogram (quantiles).
+    pub rt_hist: LogHistogram,
+    /// Streaming response-time moments.
+    pub rt_stats: Welford,
+    /// Per-second SLO-satisfaction series (at the *last* = widest threshold).
+    pub slo: SloSeries,
+    /// Requests completed per second.
+    pub completed_series: IntervalSeries,
+}
+
+impl Telemetry {
+    /// Create telemetry for a window starting at `origin` with the given SLA
+    /// counters (built from the run's `SlaModel`).
+    pub fn new(origin: SimTime, sla: SlaCounts, slo_threshold: f64) -> Self {
+        Telemetry {
+            sla,
+            rt_dist: RtDistribution::new(),
+            rt_hist: LogHistogram::response_times(),
+            rt_stats: Welford::new(),
+            slo: SloSeries::new(origin, slo_threshold),
+            completed_series: IntervalSeries::new(origin, SimTime::from_secs(1)),
+        }
+    }
+
+    /// Record a request completing at `now` with response time `rt_secs`.
+    pub fn record(&mut self, now: SimTime, rt_secs: f64) {
+        self.sla.record(rt_secs);
+        self.rt_dist.record(rt_secs);
+        self.rt_hist.add(rt_secs);
+        self.rt_stats.add(rt_secs);
+        self.slo.record(now, rt_secs);
+        self.completed_series.incr(now);
+    }
+}
+
+/// Statistics of one soft pool over the measurement window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolReport {
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Time-average occupancy fraction.
+    pub mean_occupancy: f64,
+    /// Fraction of time fully occupied.
+    pub full_fraction: f64,
+    /// Fraction of time fully occupied with waiters (soft bottleneck).
+    pub saturated_fraction: f64,
+    /// Mean wait of queued acquisitions (seconds).
+    pub mean_wait_secs: f64,
+    /// Acquisitions that had to queue.
+    pub waits: u64,
+    /// Per-second occupancy samples.
+    pub series: Vec<f64>,
+    /// Occupancy sample density (the Fig. 4 density graphs).
+    pub density: UtilDensity,
+}
+
+/// Everything observed about one server over the measurement window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Server tier.
+    pub tier: Tier,
+    /// Index within the tier.
+    pub idx: u16,
+    /// Display name, e.g. `Tomcat-1`.
+    pub name: String,
+    /// Time-average CPU utilization (including GC time).
+    pub cpu_util: f64,
+    /// Fraction of the window spent in stop-the-world GC.
+    pub gc_fraction: f64,
+    /// Absolute stop-the-world seconds in the window (Fig. 5(c)).
+    pub gc_seconds: f64,
+    /// Number of collections in the window.
+    pub gc_collections: u64,
+    /// Per-second CPU utilization samples.
+    pub cpu_series: Vec<f64>,
+    /// Worker/servlet thread pool (absent for C-JDBC and MySQL).
+    pub thread_pool: Option<PoolReport>,
+    /// DB connection pool (Tomcat only).
+    pub conn_pool: Option<PoolReport>,
+    /// Per-server request log: mean residence time (seconds).
+    pub mean_rtt: f64,
+    /// Per-server request log: completions in the window.
+    pub completions: u64,
+    /// Disk utilization (MySQL only; 0 elsewhere).
+    pub disk_util: f64,
+}
+
+impl NodeReport {
+    /// Per-server throughput over a window of `window_secs`.
+    pub fn throughput(&self, window_secs: f64) -> f64 {
+        self.completions as f64 / window_secs
+    }
+
+    /// Average jobs inside the server by Little's law.
+    pub fn mean_jobs(&self, window_secs: f64) -> f64 {
+        self.throughput(window_secs) * self.mean_rtt
+    }
+}
+
+/// Per-second Apache internals (Figs. 7 and 8).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ApacheProbes {
+    /// Requests whose response was sent, per second (Fig. 7(a)).
+    pub processed_per_sec: Vec<f64>,
+    /// Mean worker busy time (acquire → release, ms) of requests completing
+    /// in each second (`PT_total`, Fig. 7(b)).
+    pub pt_total_ms: Vec<f64>,
+    /// Mean time interacting with the Tomcat tier (ms) per completing request
+    /// (`PT_connectingTomcat`).
+    pub pt_tomcat_ms: Vec<f64>,
+    /// Sampled busy worker threads (`Threads_active`, Fig. 7(c)).
+    pub threads_active: Vec<f64>,
+    /// Sampled workers interacting with the Tomcat tier
+    /// (`Threads_connectingTomcat`).
+    pub threads_tomcat: Vec<f64>,
+}
+
+/// Complete result of one simulated trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutput {
+    /// Configuration label, e.g. `1/2/1/2(400-150-60)@5800`.
+    pub label: String,
+    /// Emulated users.
+    pub users: u32,
+    /// Measurement-window length (seconds).
+    pub window_secs: f64,
+    /// SLA thresholds (seconds, ascending).
+    pub sla_thresholds: Vec<f64>,
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// Total throughput (req/s).
+    pub throughput: f64,
+    /// Goodput (req/s) per SLA threshold.
+    pub goodput: Vec<f64>,
+    /// Badput (req/s) per SLA threshold.
+    pub badput: Vec<f64>,
+    /// SLO satisfaction fraction per threshold.
+    pub satisfaction: Vec<f64>,
+    /// Mean response time (seconds).
+    pub mean_rt: f64,
+    /// Response-time quantiles (p50, p90, p99) in seconds.
+    pub rt_quantiles: [f64; 3],
+    /// Fig. 3(c) response-time distribution counts.
+    pub rt_dist_counts: [u64; 8],
+    /// Per-second SLO-satisfaction samples (at the widest threshold).
+    pub slo_samples: Vec<f64>,
+    /// Requests completed per second.
+    pub completed_per_sec: Vec<f64>,
+    /// Per-server reports, front tier first.
+    pub nodes: Vec<NodeReport>,
+    /// Apache internals of the first web server.
+    pub apache_probes: ApacheProbes,
+    /// Simulation events processed (engine health metric).
+    pub events_processed: u64,
+}
+
+impl RunOutput {
+    /// All node reports of one tier.
+    pub fn tier_nodes(&self, tier: Tier) -> Vec<&NodeReport> {
+        self.nodes.iter().filter(|n| n.tier == tier).collect()
+    }
+
+    /// Mean CPU utilization across a tier.
+    pub fn tier_cpu_util(&self, tier: Tier) -> f64 {
+        let nodes = self.tier_nodes(tier);
+        if nodes.is_empty() {
+            return 0.0;
+        }
+        nodes.iter().map(|n| n.cpu_util).sum::<f64>() / nodes.len() as f64
+    }
+
+    /// The hardware resource with the highest utilization, as
+    /// `(tier, index, utilization)` — the candidate critical resource.
+    pub fn max_cpu(&self) -> (Tier, u16, f64) {
+        self.nodes
+            .iter()
+            .map(|n| (n.tier, n.idx, n.cpu_util))
+            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN utilizations"))
+            .expect("at least one node")
+    }
+
+    /// Whether any soft pool spent more than `frac` of the window saturated
+    /// (full with waiters): the `B_s ≠ ∅` condition of Algorithm 1.
+    pub fn soft_saturated(&self, frac: f64) -> Vec<(Tier, u16, &'static str, f64)> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            if let Some(p) = &n.thread_pool {
+                if p.saturated_fraction > frac {
+                    out.push((n.tier, n.idx, "threads", p.saturated_fraction));
+                }
+            }
+            if let Some(p) = &n.conn_pool {
+                if p.saturated_fraction > frac {
+                    out.push((n.tier, n.idx, "db-conns", p.saturated_fraction));
+                }
+            }
+        }
+        out
+    }
+
+    /// Goodput at the threshold closest to `secs`.
+    pub fn goodput_at(&self, secs: f64) -> f64 {
+        let i = self
+            .sla_thresholds
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - secs)
+                    .abs()
+                    .partial_cmp(&(b.1 - secs).abs())
+                    .expect("no NaN thresholds")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one threshold");
+        self.goodput[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::SlaModel;
+
+    #[test]
+    fn telemetry_records_consistently() {
+        let model = SlaModel::paper();
+        let mut t = Telemetry::new(SimTime::ZERO, model.counters(), 2.0);
+        t.record(SimTime::from_millis(500), 0.3);
+        t.record(SimTime::from_millis(800), 1.4);
+        t.record(SimTime::from_millis(1500), 3.0);
+        assert_eq!(t.sla.total(), 3);
+        assert_eq!(t.sla.good(0), 1); // ≤0.5
+        assert_eq!(t.sla.good(2), 2); // ≤2.0
+        assert_eq!(t.rt_dist.total(), 3);
+        assert_eq!(t.completed_series.buckets(), &[2.0, 1.0]);
+        assert!((t.slo.overall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    fn dummy_node(tier: Tier, idx: u16, util: f64, sat: f64) -> NodeReport {
+        NodeReport {
+            tier,
+            idx,
+            name: format!("{}-{}", tier.server_name(), idx),
+            cpu_util: util,
+            gc_fraction: 0.0,
+            gc_seconds: 0.0,
+            gc_collections: 0,
+            cpu_series: vec![],
+            thread_pool: Some(PoolReport {
+                capacity: 10,
+                mean_occupancy: 0.5,
+                full_fraction: sat,
+                saturated_fraction: sat,
+                mean_wait_secs: 0.0,
+                waits: 0,
+                series: vec![],
+                density: metrics::UtilDensity::new(),
+            }),
+            conn_pool: None,
+            mean_rtt: 0.02,
+            completions: 1200,
+            disk_util: 0.0,
+        }
+    }
+
+    fn dummy_output() -> RunOutput {
+        RunOutput {
+            label: "test".into(),
+            users: 100,
+            window_secs: 120.0,
+            sla_thresholds: vec![0.5, 1.0, 2.0],
+            completed: 1200,
+            throughput: 10.0,
+            goodput: vec![8.0, 9.0, 9.5],
+            badput: vec![2.0, 1.0, 0.5],
+            satisfaction: vec![0.8, 0.9, 0.95],
+            mean_rt: 0.1,
+            rt_quantiles: [0.05, 0.2, 0.9],
+            rt_dist_counts: [0; 8],
+            slo_samples: vec![],
+            completed_per_sec: vec![],
+            nodes: vec![
+                dummy_node(Tier::Web, 0, 0.4, 0.0),
+                dummy_node(Tier::App, 0, 0.96, 0.7),
+                dummy_node(Tier::App, 1, 0.94, 0.6),
+                dummy_node(Tier::Cmw, 0, 0.80, 0.0),
+            ],
+            apache_probes: ApacheProbes::default(),
+            events_processed: 0,
+        }
+    }
+
+    #[test]
+    fn max_cpu_finds_critical_candidate() {
+        let out = dummy_output();
+        let (tier, idx, util) = out.max_cpu();
+        assert_eq!((tier, idx), (Tier::App, 0));
+        assert!((util - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tier_helpers() {
+        let out = dummy_output();
+        assert_eq!(out.tier_nodes(Tier::App).len(), 2);
+        assert!((out.tier_cpu_util(Tier::App) - 0.95).abs() < 1e-12);
+        assert_eq!(out.tier_cpu_util(Tier::Db), 0.0);
+    }
+
+    #[test]
+    fn soft_saturation_detection() {
+        let out = dummy_output();
+        let sat = out.soft_saturated(0.5);
+        assert_eq!(sat.len(), 2);
+        assert_eq!(sat[0].0, Tier::App);
+    }
+
+    #[test]
+    fn node_littles_law() {
+        let n = dummy_node(Tier::App, 0, 0.9, 0.0);
+        assert!((n.throughput(120.0) - 10.0).abs() < 1e-12);
+        assert!((n.mean_jobs(120.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_at_picks_nearest_threshold() {
+        let out = dummy_output();
+        assert_eq!(out.goodput_at(2.0), 9.5);
+        assert_eq!(out.goodput_at(0.4), 8.0);
+        assert_eq!(out.goodput_at(1.1), 9.0);
+    }
+}

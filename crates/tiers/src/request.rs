@@ -1,0 +1,191 @@
+//! In-flight request and query state machines.
+
+use crate::ids::{QueryId, ReqId};
+use simcore::SimTime;
+use workload::InteractionId;
+
+/// Where an HTTP request currently is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqPhase {
+    /// On the wire from client to Apache.
+    ToApache,
+    /// Queued for an Apache worker thread.
+    WaitWorker,
+    /// Apache pre-processing CPU (header parsing, routing).
+    ApachePre,
+    /// On the wire / queued for a Tomcat thread.
+    WaitTomcatThread,
+    /// Executing a Tomcat CPU slice.
+    TomcatCpu,
+    /// Queued for a DB connection from the Tomcat pool.
+    WaitDbConn,
+    /// A SQL query is outstanding below this request.
+    QueryInFlight,
+    /// Apache post-processing CPU (response assembly + static content).
+    ApachePost,
+    /// Response sent; worker lingering on close (FIN wait).
+    Linger,
+}
+
+/// One in-flight HTTP request (= one RUBBoS interaction execution).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Owning client session.
+    pub session: u32,
+    /// Interaction type.
+    pub interaction: InteractionId,
+    /// Current phase.
+    pub phase: ReqPhase,
+    /// Apache server handling this request.
+    pub apache_idx: u16,
+    /// Tomcat server handling this request.
+    pub tomcat_idx: u16,
+    /// Queries issued so far.
+    pub queries_done: u32,
+    /// Time the client issued the request.
+    pub t_start: SimTime,
+    /// Arrival at Apache.
+    pub t_arrive_apache: SimTime,
+    /// Time the Apache worker thread was acquired.
+    pub t_worker_acquired: SimTime,
+    /// Arrival at Tomcat (start of the Tomcat residence, Fig. 9's `T`).
+    pub t_arrive_tomcat: SimTime,
+    /// When the Apache worker started interacting with the Tomcat tier.
+    pub t_tomcat_phase_start: SimTime,
+    /// Accumulated worker time spent interacting with the Tomcat tier.
+    pub tomcat_interact_secs: f64,
+    /// Outstanding completion arms (client response + linger); the slot is
+    /// freed when this reaches zero.
+    pub arms_remaining: u8,
+    /// Total Tomcat CPU demand sampled for this execution (seconds).
+    pub tomcat_demand_secs: f64,
+}
+
+impl Request {
+    /// Create a fresh request issued by `session` at `t_start`.
+    pub fn new(session: u32, interaction: InteractionId, t_start: SimTime) -> Self {
+        Request {
+            session,
+            interaction,
+            phase: ReqPhase::ToApache,
+            apache_idx: 0,
+            tomcat_idx: 0,
+            queries_done: 0,
+            t_start,
+            t_arrive_apache: SimTime::ZERO,
+            t_worker_acquired: SimTime::ZERO,
+            t_arrive_tomcat: SimTime::ZERO,
+            t_tomcat_phase_start: SimTime::ZERO,
+            tomcat_interact_secs: 0.0,
+            arms_remaining: 2,
+            tomcat_demand_secs: 0.0,
+        }
+    }
+
+    /// Whether the Apache worker serving this request is currently
+    /// interacting (or waiting to interact) with the Tomcat tier —
+    /// the `Threads_connectingTomcat` probe of Fig. 7(c)/(f).
+    pub fn worker_interacting_with_tomcat(&self) -> bool {
+        matches!(
+            self.phase,
+            ReqPhase::WaitTomcatThread
+                | ReqPhase::TomcatCpu
+                | ReqPhase::WaitDbConn
+                | ReqPhase::QueryInFlight
+        )
+    }
+}
+
+/// Where a SQL query currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPhase {
+    /// C-JDBC routing CPU before dispatch.
+    CjdbcPre,
+    /// Executing at one or more MySQL servers.
+    AtMysql,
+    /// C-JDBC result-merge CPU after the replies.
+    CjdbcPost,
+}
+
+/// One in-flight SQL query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Owning request.
+    pub req: ReqId,
+    /// Whether this is a write (broadcast to all replicas).
+    pub is_write: bool,
+    /// Current phase.
+    pub phase: QueryPhase,
+    /// C-JDBC server routing this query.
+    pub cjdbc_idx: u16,
+    /// Outstanding MySQL replies (1 for reads, replica count for writes).
+    pub pending_replies: u8,
+    /// Arrival at C-JDBC (start of the C-JDBC residence).
+    pub t_enter_cjdbc: SimTime,
+    /// Arrival at MySQL (for the MySQL residence log).
+    pub t_enter_mysql: SimTime,
+}
+
+impl Query {
+    /// Create a query under request `req`.
+    pub fn new(req: ReqId, is_write: bool, t_enter_cjdbc: SimTime) -> Self {
+        Query {
+            req,
+            is_write,
+            phase: QueryPhase::CjdbcPre,
+            cjdbc_idx: 0,
+            pending_replies: 0,
+            t_enter_cjdbc,
+            t_enter_mysql: SimTime::ZERO,
+        }
+    }
+}
+
+/// Dummy placeholder query id for requests with no outstanding query.
+pub const NO_QUERY: QueryId = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_initial_state() {
+        let r = Request::new(7, 3, SimTime::from_secs(1));
+        assert_eq!(r.phase, ReqPhase::ToApache);
+        assert_eq!(r.arms_remaining, 2);
+        assert_eq!(r.queries_done, 0);
+        assert!(!r.worker_interacting_with_tomcat());
+    }
+
+    #[test]
+    fn tomcat_interaction_probe_covers_backend_phases() {
+        let mut r = Request::new(0, 0, SimTime::ZERO);
+        for phase in [
+            ReqPhase::WaitTomcatThread,
+            ReqPhase::TomcatCpu,
+            ReqPhase::WaitDbConn,
+            ReqPhase::QueryInFlight,
+        ] {
+            r.phase = phase;
+            assert!(r.worker_interacting_with_tomcat(), "{phase:?}");
+        }
+        for phase in [
+            ReqPhase::ToApache,
+            ReqPhase::WaitWorker,
+            ReqPhase::ApachePre,
+            ReqPhase::ApachePost,
+            ReqPhase::Linger,
+        ] {
+            r.phase = phase;
+            assert!(!r.worker_interacting_with_tomcat(), "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn query_initial_state() {
+        let q = Query::new(5, true, SimTime::from_secs(2));
+        assert_eq!(q.phase, QueryPhase::CjdbcPre);
+        assert!(q.is_write);
+        assert_eq!(q.pending_replies, 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! A minimal slab allocator for in-flight request/query state.
+//!
+//! Requests churn at thousands per simulated second; a slab keeps their state
+//! in one contiguous allocation with O(1) insert/remove and stable `u32`
+//! handles (which double as CPU job ids).
+
+/// Slab of `T` with `u32` handles.
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// New empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// New slab with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Insert a value, returning its handle.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.slots[idx as usize].is_none());
+            self.slots[idx as usize] = Some(value);
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Some(value));
+            idx
+        }
+    }
+
+    /// Shared access by handle.
+    ///
+    /// # Panics
+    /// If the handle is vacant (a use-after-free in the simulation logic).
+    pub fn get(&self, idx: u32) -> &T {
+        self.slots[idx as usize]
+            .as_ref()
+            .expect("slab: access to vacant slot")
+    }
+
+    /// Mutable access by handle.
+    pub fn get_mut(&mut self, idx: u32) -> &mut T {
+        self.slots[idx as usize]
+            .as_mut()
+            .expect("slab: access to vacant slot")
+    }
+
+    /// Remove and return the value at `idx`.
+    pub fn remove(&mut self, idx: u32) -> T {
+        let v = self.slots[idx as usize]
+            .take()
+            .expect("slab: double free");
+        self.free.push(idx);
+        self.len -= 1;
+        v
+    }
+
+    /// Whether the handle is occupied.
+    pub fn contains(&self, idx: u32) -> bool {
+        self.slots
+            .get(idx as usize)
+            .is_some_and(|s| s.is_some())
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(*s.get(a), "a");
+        assert_eq!(*s.get(b), "b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(a, b, "freed slot should be reused");
+        assert_eq!(*s.get(b), 2);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut s = Slab::new();
+        let a = s.insert(10);
+        *s.get_mut(a) += 5;
+        assert_eq!(*s.get(a), 15);
+    }
+
+    #[test]
+    fn iteration_skips_vacant() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let _b = s.insert(2);
+        let _c = s.insert(3);
+        s.remove(a);
+        let live: Vec<i32> = s.iter().map(|(_, &v)| v).collect();
+        assert_eq!(live, vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        s.remove(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn use_after_free_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let _ = s.get(a);
+    }
+
+    #[test]
+    fn is_empty() {
+        let mut s = Slab::<u8>::new();
+        assert!(s.is_empty());
+        let a = s.insert(0);
+        assert!(!s.is_empty());
+        s.remove(a);
+        assert!(s.is_empty());
+    }
+}

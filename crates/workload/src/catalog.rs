@@ -1,0 +1,223 @@
+//! The RUBBoS interaction catalogue.
+//!
+//! RUBBoS exposes 24 interactions (servlets plus the static home page). Each
+//! interaction is described by the resources one execution consumes at each
+//! tier. The per-type values are synthetic but structured like the real
+//! benchmark: listing pages issue several queries, story/comment views issue
+//! a couple, writes touch the database harder, and every dynamic page is
+//! followed by a couple of cached static-content requests (logo, stylesheet).
+//!
+//! Absolute demand values are *calibration inputs*, chosen so the simulated
+//! testbed saturates at the same workloads as the paper's Emulab deployment
+//! (see DESIGN.md §4); the tier models additionally apply global scale knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an interaction in the catalogue.
+pub type InteractionId = usize;
+
+/// Whether an interaction only reads or also updates the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RwClass {
+    /// Read-only (browse) interaction.
+    Read,
+    /// Interaction with at least one write query.
+    Write,
+}
+
+/// Static description of one interaction type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Interaction {
+    /// Servlet name, as in RUBBoS.
+    pub name: &'static str,
+    /// Read or write class.
+    pub class: RwClass,
+    /// Mean application-server (Tomcat) CPU demand in milliseconds,
+    /// *excluding* time blocked on the database.
+    pub tomcat_ms: f64,
+    /// Number of SQL queries issued per execution.
+    pub queries: u32,
+    /// Of those, how many are writes (broadcast to every DB replica).
+    pub write_queries: u32,
+    /// Mean database (MySQL) CPU demand per query, milliseconds.
+    pub mysql_ms_per_query: f64,
+    /// Trailing static-content requests (cached images/CSS) per execution.
+    pub static_requests: u32,
+    /// Response size in kilobytes (for the network model).
+    pub response_kb: u32,
+}
+
+/// The full interaction catalogue plus derived aggregates.
+#[derive(Debug, Clone)]
+pub struct InteractionCatalog {
+    interactions: Vec<Interaction>,
+}
+
+impl InteractionCatalog {
+    /// The RUBBoS catalogue (24 interactions).
+    pub fn rubbos() -> Self {
+        // name, class, tomcat_ms, queries, writes, mysql_ms/q, statics, resp_kb
+        use RwClass::{Read, Write};
+        let rows = vec![
+            Interaction { name: "StoriesOfTheDay",        class: Read,  tomcat_ms: 2.8, queries: 3, write_queries: 0, mysql_ms_per_query: 0.9, static_requests: 2, response_kb: 24 },
+            Interaction { name: "Home",                   class: Read,  tomcat_ms: 1.2, queries: 1, write_queries: 0, mysql_ms_per_query: 0.5, static_requests: 3, response_kb: 12 },
+            Interaction { name: "BrowseCategories",       class: Read,  tomcat_ms: 1.8, queries: 2, write_queries: 0, mysql_ms_per_query: 0.6, static_requests: 2, response_kb: 10 },
+            Interaction { name: "BrowseStoriesByCategory",class: Read,  tomcat_ms: 2.6, queries: 3, write_queries: 0, mysql_ms_per_query: 0.9, static_requests: 2, response_kb: 22 },
+            Interaction { name: "OlderStories",           class: Read,  tomcat_ms: 2.7, queries: 3, write_queries: 0, mysql_ms_per_query: 1.0, static_requests: 2, response_kb: 22 },
+            Interaction { name: "ViewStory",              class: Read,  tomcat_ms: 2.4, queries: 2, write_queries: 0, mysql_ms_per_query: 0.8, static_requests: 2, response_kb: 30 },
+            Interaction { name: "ViewComment",            class: Read,  tomcat_ms: 2.2, queries: 2, write_queries: 0, mysql_ms_per_query: 0.7, static_requests: 2, response_kb: 18 },
+            Interaction { name: "ViewUserInfo",           class: Read,  tomcat_ms: 1.6, queries: 2, write_queries: 0, mysql_ms_per_query: 0.5, static_requests: 2, response_kb: 8 },
+            Interaction { name: "SearchInStories",        class: Read,  tomcat_ms: 3.2, queries: 3, write_queries: 0, mysql_ms_per_query: 1.4, static_requests: 2, response_kb: 20 },
+            Interaction { name: "SearchInComments",       class: Read,  tomcat_ms: 3.4, queries: 3, write_queries: 0, mysql_ms_per_query: 1.6, static_requests: 2, response_kb: 20 },
+            Interaction { name: "SearchInUsers",          class: Read,  tomcat_ms: 2.0, queries: 2, write_queries: 0, mysql_ms_per_query: 0.8, static_requests: 2, response_kb: 10 },
+            Interaction { name: "BrowseStoriesByDate",    class: Read,  tomcat_ms: 2.6, queries: 3, write_queries: 0, mysql_ms_per_query: 0.9, static_requests: 2, response_kb: 22 },
+            // --- write-path interactions (read/write mix only) ---
+            Interaction { name: "RegisterUser",           class: Write, tomcat_ms: 2.0, queries: 2, write_queries: 1, mysql_ms_per_query: 1.0, static_requests: 1, response_kb: 6 },
+            Interaction { name: "Author",                 class: Read,  tomcat_ms: 1.4, queries: 1, write_queries: 0, mysql_ms_per_query: 0.5, static_requests: 1, response_kb: 6 },
+            Interaction { name: "SubmitStory",            class: Read,  tomcat_ms: 1.2, queries: 1, write_queries: 0, mysql_ms_per_query: 0.4, static_requests: 1, response_kb: 8 },
+            Interaction { name: "StoreStory",             class: Write, tomcat_ms: 2.8, queries: 3, write_queries: 2, mysql_ms_per_query: 1.4, static_requests: 1, response_kb: 6 },
+            Interaction { name: "SubmitComment",          class: Read,  tomcat_ms: 1.3, queries: 1, write_queries: 0, mysql_ms_per_query: 0.4, static_requests: 1, response_kb: 8 },
+            Interaction { name: "StoreComment",           class: Write, tomcat_ms: 2.6, queries: 3, write_queries: 2, mysql_ms_per_query: 1.3, static_requests: 1, response_kb: 6 },
+            Interaction { name: "ModerateComment",        class: Read,  tomcat_ms: 1.6, queries: 2, write_queries: 0, mysql_ms_per_query: 0.6, static_requests: 1, response_kb: 8 },
+            Interaction { name: "StoreModeratorLog",      class: Write, tomcat_ms: 2.2, queries: 3, write_queries: 2, mysql_ms_per_query: 1.2, static_requests: 1, response_kb: 4 },
+            Interaction { name: "ReviewStories",          class: Read,  tomcat_ms: 2.4, queries: 3, write_queries: 0, mysql_ms_per_query: 0.9, static_requests: 1, response_kb: 16 },
+            Interaction { name: "AcceptStory",            class: Write, tomcat_ms: 2.4, queries: 3, write_queries: 2, mysql_ms_per_query: 1.2, static_requests: 1, response_kb: 6 },
+            Interaction { name: "RejectStory",            class: Write, tomcat_ms: 2.0, queries: 2, write_queries: 1, mysql_ms_per_query: 1.0, static_requests: 1, response_kb: 4 },
+            Interaction { name: "StaticContentPage",      class: Read,  tomcat_ms: 0.3, queries: 0, write_queries: 0, mysql_ms_per_query: 0.0, static_requests: 4, response_kb: 40 },
+        ];
+        let cat = InteractionCatalog { interactions: rows };
+        debug_assert_eq!(cat.len(), 24);
+        cat
+    }
+
+    /// Number of interaction types.
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Whether the catalogue is empty (never true for [`rubbos`](Self::rubbos)).
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
+    /// Interaction by id.
+    pub fn get(&self, id: InteractionId) -> &Interaction {
+        &self.interactions[id]
+    }
+
+    /// All interactions.
+    pub fn all(&self) -> &[Interaction] {
+        &self.interactions
+    }
+
+    /// Look up an interaction id by servlet name.
+    pub fn id_of(&self, name: &str) -> Option<InteractionId> {
+        self.interactions.iter().position(|i| i.name == name)
+    }
+
+    /// Expected queries per interaction under a weight vector — the paper's
+    /// `Req_ratio` (average SQL queries per servlet request).
+    pub fn req_ratio(&self, weights: &[f64]) -> f64 {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive total");
+        self.interactions
+            .iter()
+            .zip(weights)
+            .map(|(i, w)| i.queries as f64 * w)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Expected Tomcat CPU demand (ms) per interaction under a weight vector.
+    pub fn mean_tomcat_ms(&self, weights: &[f64]) -> f64 {
+        let total: f64 = weights.iter().sum();
+        self.interactions
+            .iter()
+            .zip(weights)
+            .map(|(i, w)| i.tomcat_ms * w)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Expected MySQL CPU demand (ms) per *interaction* under a weight vector.
+    pub fn mean_mysql_ms(&self, weights: &[f64]) -> f64 {
+        let total: f64 = weights.iter().sum();
+        self.interactions
+            .iter()
+            .zip(weights)
+            .map(|(i, w)| i.queries as f64 * i.mysql_ms_per_query * w)
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_24_interactions() {
+        let c = InteractionCatalog::rubbos();
+        assert_eq!(c.len(), 24);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = InteractionCatalog::rubbos();
+        let mut names: Vec<_> = c.all().iter().map(|i| i.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let c = InteractionCatalog::rubbos();
+        let id = c.id_of("ViewStory").unwrap();
+        assert_eq!(c.get(id).name, "ViewStory");
+        assert!(c.id_of("NoSuchServlet").is_none());
+    }
+
+    #[test]
+    fn write_interactions_have_write_queries() {
+        let c = InteractionCatalog::rubbos();
+        for i in c.all() {
+            match i.class {
+                RwClass::Write => assert!(i.write_queries >= 1, "{}", i.name),
+                RwClass::Read => assert_eq!(i.write_queries, 0, "{}", i.name),
+            }
+            assert!(i.write_queries <= i.queries, "{}", i.name);
+        }
+    }
+
+    #[test]
+    fn req_ratio_uniform_weights() {
+        let c = InteractionCatalog::rubbos();
+        let w = vec![1.0; c.len()];
+        let rr = c.req_ratio(&w);
+        let manual: f64 =
+            c.all().iter().map(|i| i.queries as f64).sum::<f64>() / c.len() as f64;
+        assert!((rr - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn req_ratio_respects_weights() {
+        let c = InteractionCatalog::rubbos();
+        let mut w = vec![0.0; c.len()];
+        let view = c.id_of("ViewStory").unwrap();
+        w[view] = 1.0;
+        assert!((c.req_ratio(&w) - c.get(view).queries as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demands_are_positive_for_dynamic_pages() {
+        let c = InteractionCatalog::rubbos();
+        for i in c.all() {
+            assert!(i.tomcat_ms > 0.0, "{}", i.name);
+            if i.queries > 0 {
+                assert!(i.mysql_ms_per_query > 0.0, "{}", i.name);
+            }
+        }
+    }
+}

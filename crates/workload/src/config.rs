@@ -1,0 +1,104 @@
+//! Experiment-trial schedule and client-population parameters.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// Client-population and trial-schedule configuration.
+///
+/// The paper's trials are "an 8 minute ramp-up, a 12-minute runtime, and a
+/// 30-second ramp-down"; measurements are taken during the runtime period.
+/// The simulator defaults to a compressed schedule with the same structure
+/// (ramp effects equilibrate much faster in simulation than on a JVM that
+/// needs JIT warm-up).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of concurrent emulated users (the paper's "workload").
+    pub users: u32,
+    /// Mean think time between interactions (exponential).
+    pub think_time: SimTime,
+    /// Sessions start uniformly over this period, then the system warms up.
+    pub ramp_up: SimTime,
+    /// Measurement window length.
+    pub runtime: SimTime,
+    /// Drain period after the measurement window.
+    pub ramp_down: SimTime,
+}
+
+impl WorkloadConfig {
+    /// Compressed default schedule: 30 s ramp-up, 120 s runtime, 5 s ramp-down.
+    pub fn new(users: u32) -> Self {
+        WorkloadConfig {
+            users,
+            think_time: SimTime::from_secs(7),
+            ramp_up: SimTime::from_secs(30),
+            runtime: SimTime::from_secs(120),
+            ramp_down: SimTime::from_secs(5),
+        }
+    }
+
+    /// The paper's full trial schedule (8 min ramp-up, 12 min runtime, 30 s
+    /// ramp-down).
+    pub fn paper_schedule(users: u32) -> Self {
+        WorkloadConfig {
+            users,
+            think_time: SimTime::from_secs(7),
+            ramp_up: SimTime::from_secs(8 * 60),
+            runtime: SimTime::from_secs(12 * 60),
+            ramp_down: SimTime::from_secs(30),
+        }
+    }
+
+    /// A short schedule for unit/integration tests.
+    pub fn quick(users: u32) -> Self {
+        WorkloadConfig {
+            users,
+            think_time: SimTime::from_secs(7),
+            ramp_up: SimTime::from_secs(10),
+            runtime: SimTime::from_secs(30),
+            ramp_down: SimTime::from_secs(2),
+        }
+    }
+
+    /// Start of the measurement window.
+    pub fn measure_start(&self) -> SimTime {
+        self.ramp_up
+    }
+
+    /// End of the measurement window.
+    pub fn measure_end(&self) -> SimTime {
+        self.ramp_up + self.runtime
+    }
+
+    /// End of the whole trial.
+    pub fn trial_end(&self) -> SimTime {
+        self.ramp_up + self.runtime + self.ramp_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_arithmetic() {
+        let w = WorkloadConfig::new(1000);
+        assert_eq!(w.measure_start(), SimTime::from_secs(30));
+        assert_eq!(w.measure_end(), SimTime::from_secs(150));
+        assert_eq!(w.trial_end(), SimTime::from_secs(155));
+    }
+
+    #[test]
+    fn paper_schedule_matches_paper() {
+        let w = WorkloadConfig::paper_schedule(5800);
+        assert_eq!(w.ramp_up, SimTime::from_secs(480));
+        assert_eq!(w.runtime, SimTime::from_secs(720));
+        assert_eq!(w.ramp_down, SimTime::from_secs(30));
+        assert_eq!(w.users, 5800);
+    }
+
+    #[test]
+    fn think_time_default_is_rubbos() {
+        let w = WorkloadConfig::new(10);
+        assert_eq!(w.think_time, SimTime::from_secs(7));
+    }
+}

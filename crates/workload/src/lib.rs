@@ -1,0 +1,28 @@
+//! # workload — a RUBBoS-like n-tier benchmark workload
+//!
+//! RUBBoS is a bulletin-board benchmark modeled on Slashdot: clients browse
+//! story listings, read stories and comments, search, and (in the read/write
+//! mix) submit stories and comments that moderators review. This crate
+//! provides a synthetic equivalent with the same structure:
+//!
+//! * [`catalog::InteractionCatalog`] — the 24 interaction types with per-type
+//!   application-server CPU demand, SQL query counts, per-query database
+//!   demand, trailing static-content requests, and response sizes.
+//! * [`mix::Mix`] — interaction weightings; [`Mix::browse_only`](mix::Mix::browse_only)
+//!   and [`Mix::read_write`](mix::Mix::read_write) mirror the two RUBBoS
+//!   workload modes.
+//! * [`session::Session`] — a closed-loop client: think (exponential, mean
+//!   7 s, the RUBBoS default), issue an interaction chosen by a Markov
+//!   transition model, wait for the response, repeat.
+//! * [`config::WorkloadConfig`] — population size, think time, and the
+//!   ramp-up / runtime / ramp-down schedule of an experiment trial.
+
+pub mod catalog;
+pub mod config;
+pub mod mix;
+pub mod session;
+
+pub use catalog::{Interaction, InteractionCatalog, InteractionId};
+pub use config::WorkloadConfig;
+pub use mix::Mix;
+pub use session::{Session, SessionModel};

@@ -1,0 +1,167 @@
+//! Interaction mixes: which interactions a client population issues, and how
+//! often.
+//!
+//! RUBBoS ships two workload modes: **browsing-only** (read interactions
+//! only) and a **read/write mix** (~10% writes). The weights below follow the
+//! benchmark's transition-table steady state in spirit: story listing and
+//! story/comment viewing dominate; search and user pages are occasional;
+//! writes are rare.
+
+use crate::catalog::{InteractionCatalog, RwClass};
+
+/// A probability weighting over the interaction catalogue.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    name: &'static str,
+    weights: Vec<f64>,
+}
+
+impl Mix {
+    /// Construct a mix from explicit weights (must match the catalogue size
+    /// and contain at least one positive weight).
+    pub fn from_weights(
+        name: &'static str,
+        catalog: &InteractionCatalog,
+        weights: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            catalog.len(),
+            "mix weights must cover every interaction"
+        );
+        assert!(
+            weights.iter().any(|&w| w > 0.0) && weights.iter().all(|&w| w >= 0.0),
+            "mix needs non-negative weights with positive total"
+        );
+        Mix { name, weights }
+    }
+
+    /// The RUBBoS browsing-only mode: read interactions, no writes.
+    pub fn browse_only(catalog: &InteractionCatalog) -> Self {
+        let mut w = vec![0.0; catalog.len()];
+        let mut set = |name: &str, weight: f64| {
+            let id = catalog.id_of(name).expect("catalogue name");
+            w[id] = weight;
+        };
+        set("StoriesOfTheDay", 18.0);
+        set("Home", 6.0);
+        set("BrowseCategories", 7.0);
+        set("BrowseStoriesByCategory", 12.0);
+        set("OlderStories", 8.0);
+        set("ViewStory", 22.0);
+        set("ViewComment", 14.0);
+        set("ViewUserInfo", 4.0);
+        set("SearchInStories", 4.0);
+        set("SearchInComments", 2.0);
+        set("SearchInUsers", 1.0);
+        set("BrowseStoriesByDate", 2.0);
+        Mix::from_weights("browse-only", catalog, w)
+    }
+
+    /// The RUBBoS read/write mode: the browse mix plus ~10% submission and
+    /// moderation traffic.
+    pub fn read_write(catalog: &InteractionCatalog) -> Self {
+        let base = Mix::browse_only(catalog);
+        let mut w = base.weights;
+        // Scale browse weights to 90% and distribute 10% across the write path.
+        let total: f64 = w.iter().sum();
+        for x in &mut w {
+            *x *= 0.90 / total;
+        }
+        let mut set = |name: &str, weight: f64| {
+            let id = catalog.id_of(name).expect("catalogue name");
+            w[id] += weight;
+        };
+        set("RegisterUser", 0.005);
+        set("Author", 0.010);
+        set("SubmitStory", 0.015);
+        set("StoreStory", 0.015);
+        set("SubmitComment", 0.020);
+        set("StoreComment", 0.020);
+        set("ModerateComment", 0.005);
+        set("StoreModeratorLog", 0.003);
+        set("ReviewStories", 0.003);
+        set("AcceptStory", 0.002);
+        set("RejectStory", 0.002);
+        Mix::from_weights("read-write", catalog, w)
+    }
+
+    /// Mix name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The weight vector (parallel to the catalogue).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fraction of interactions that are writes under this mix.
+    pub fn write_fraction(&self, catalog: &InteractionCatalog) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        catalog
+            .all()
+            .iter()
+            .zip(&self.weights)
+            .filter(|(i, _)| i.class == RwClass::Write)
+            .map(|(_, w)| w)
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::InteractionCatalog;
+
+    #[test]
+    fn browse_only_has_no_writes() {
+        let c = InteractionCatalog::rubbos();
+        let m = Mix::browse_only(&c);
+        assert_eq!(m.write_fraction(&c), 0.0);
+        assert_eq!(m.name(), "browse-only");
+    }
+
+    #[test]
+    fn read_write_has_roughly_ten_percent_write_path() {
+        let c = InteractionCatalog::rubbos();
+        let m = Mix::read_write(&c);
+        let wf = m.write_fraction(&c);
+        // Write-class interactions: Store*/Accept/Reject/Register ≈ 4-6%.
+        assert!(wf > 0.02 && wf < 0.12, "write fraction {wf}");
+    }
+
+    #[test]
+    fn browse_req_ratio_is_near_calibration_target() {
+        // DESIGN.md calibrates around Req_ratio ≈ 2.4; keep the mix honest.
+        let c = InteractionCatalog::rubbos();
+        let m = Mix::browse_only(&c);
+        let rr = c.req_ratio(m.weights());
+        assert!((2.0..3.0).contains(&rr), "req_ratio {rr}");
+    }
+
+    #[test]
+    fn browse_mean_tomcat_demand_is_near_calibration_target() {
+        let c = InteractionCatalog::rubbos();
+        let m = Mix::browse_only(&c);
+        let ms = c.mean_tomcat_ms(m.weights());
+        assert!((2.0..3.0).contains(&ms), "tomcat demand {ms} ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every interaction")]
+    fn wrong_length_weights_rejected() {
+        let c = InteractionCatalog::rubbos();
+        let _ = Mix::from_weights("bad", &c, vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let c = InteractionCatalog::rubbos();
+        let mut w = vec![1.0; c.len()];
+        w[0] = -1.0;
+        let _ = Mix::from_weights("bad", &c, w);
+    }
+}

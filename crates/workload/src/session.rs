@@ -1,0 +1,236 @@
+//! Closed-loop client sessions.
+//!
+//! A session alternates *think* and *interact*. The next interaction is
+//! chosen either independently from the mix ([`SessionModel::Iid`]) or from a
+//! first-order Markov model seeded by the mix ([`SessionModel::Markov`]) that
+//! captures browsing locality (after viewing a story you most likely view its
+//! comments or go back to a listing — as in the RUBBoS transition tables).
+
+use crate::catalog::{InteractionCatalog, InteractionId};
+use crate::mix::Mix;
+use simcore::{RunRng, SimTime};
+
+/// How a session chooses its next interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionModel {
+    /// Each interaction drawn independently from the mix.
+    Iid,
+    /// First-order Markov chain with browsing locality.
+    Markov,
+}
+
+/// One emulated user.
+pub struct Session {
+    id: u32,
+    rng: RunRng,
+    model: SessionModel,
+    think_mean_secs: f64,
+    last: Option<InteractionId>,
+    issued: u64,
+}
+
+impl Session {
+    /// Create session `id` with a private RNG stream forked from `root`.
+    pub fn new(
+        id: u32,
+        root: &RunRng,
+        model: SessionModel,
+        think_time: SimTime,
+    ) -> Self {
+        Session {
+            id,
+            rng: root.fork_indexed("session", id as u64),
+            model,
+            think_mean_secs: think_time.as_secs_f64(),
+            last: None,
+            issued: 0,
+        }
+    }
+
+    /// Session id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Number of interactions issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Sample the next think time.
+    pub fn think_time(&mut self) -> SimTime {
+        SimTime::from_secs_f64(self.rng.exp_mean(self.think_mean_secs))
+    }
+
+    /// Choose the next interaction.
+    pub fn next_interaction(
+        &mut self,
+        catalog: &InteractionCatalog,
+        mix: &Mix,
+    ) -> InteractionId {
+        let next = match (self.model, self.last) {
+            (SessionModel::Iid, _) | (SessionModel::Markov, None) => {
+                self.rng.weighted_index(mix.weights())
+            }
+            (SessionModel::Markov, Some(prev)) => self.markov_step(catalog, mix, prev),
+        };
+        self.last = Some(next);
+        self.issued += 1;
+        next
+    }
+
+    /// Markov transition: with probability 0.55 follow a locality rule from
+    /// the previous page; otherwise re-draw from the stationary mix. (Mixing
+    /// back to the stationary distribution keeps long-run frequencies close
+    /// to the mix weights while preserving short-range correlation.)
+    fn markov_step(
+        &mut self,
+        catalog: &InteractionCatalog,
+        mix: &Mix,
+        prev: InteractionId,
+    ) -> InteractionId {
+        if !self.rng.chance(0.55) {
+            return self.rng.weighted_index(mix.weights());
+        }
+        let pick = |rng: &mut RunRng, names: &[&str]| -> Option<InteractionId> {
+            let candidates: Vec<InteractionId> = names
+                .iter()
+                .filter_map(|n| catalog.id_of(n))
+                .filter(|&id| mix.weights()[id] > 0.0)
+                .collect();
+            if candidates.is_empty() {
+                None
+            } else {
+                Some(candidates[rng.index(candidates.len())])
+            }
+        };
+        let followers: &[&str] = match catalog.get(prev).name {
+            "StoriesOfTheDay" | "BrowseStoriesByCategory" | "OlderStories"
+            | "BrowseStoriesByDate" | "ReviewStories" => &["ViewStory", "ViewStory", "ViewComment"],
+            "ViewStory" => &["ViewComment", "ViewComment", "StoriesOfTheDay", "ViewUserInfo"],
+            "ViewComment" => &["ViewStory", "ViewComment", "ViewUserInfo", "StoriesOfTheDay"],
+            "BrowseCategories" => &["BrowseStoriesByCategory"],
+            "Home" => &["StoriesOfTheDay", "BrowseCategories", "SearchInStories"],
+            "SearchInStories" | "SearchInComments" | "SearchInUsers" => {
+                &["ViewStory", "ViewComment", "SearchInStories"]
+            }
+            "SubmitStory" => &["StoreStory"],
+            "SubmitComment" => &["StoreComment"],
+            "ModerateComment" => &["StoreModeratorLog"],
+            _ => &["StoriesOfTheDay", "Home"],
+        };
+        pick(&mut self.rng, followers)
+            .unwrap_or_else(|| self.rng.weighted_index(mix.weights()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::InteractionCatalog;
+
+    fn setup(model: SessionModel) -> (InteractionCatalog, Mix, Session) {
+        let c = InteractionCatalog::rubbos();
+        let m = Mix::browse_only(&c);
+        let root = RunRng::new(42);
+        let s = Session::new(0, &root, model, SimTime::from_secs(7));
+        (c, m, s)
+    }
+
+    #[test]
+    fn think_times_have_requested_mean() {
+        let (_, _, mut s) = setup(SessionModel::Iid);
+        let n = 5000;
+        let mean: f64 = (0..n)
+            .map(|_| s.think_time().as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 7.0).abs() < 0.4, "mean think {mean}");
+    }
+
+    #[test]
+    fn iid_frequencies_follow_mix() {
+        let (c, m, mut s) = setup(SessionModel::Iid);
+        let n = 50_000;
+        let mut counts = vec![0u64; c.len()];
+        for _ in 0..n {
+            counts[s.next_interaction(&c, &m)] += 1;
+        }
+        let total_w: f64 = m.weights().iter().sum();
+        let view = c.id_of("ViewStory").unwrap();
+        let expect = m.weights()[view] / total_w;
+        let got = counts[view] as f64 / n as f64;
+        assert!((got - expect).abs() < 0.02, "got {got} expect {expect}");
+        // Zero-weight interactions never drawn.
+        let reg = c.id_of("RegisterUser").unwrap();
+        assert_eq!(counts[reg], 0);
+    }
+
+    #[test]
+    fn markov_respects_mix_support() {
+        let (c, m, mut s) = setup(SessionModel::Markov);
+        for _ in 0..20_000 {
+            let id = s.next_interaction(&c, &m);
+            assert!(
+                m.weights()[id] > 0.0,
+                "Markov chain left the mix support: {}",
+                c.get(id).name
+            );
+        }
+    }
+
+    #[test]
+    fn markov_has_browsing_locality() {
+        let (c, m, mut s) = setup(SessionModel::Markov);
+        let view_story = c.id_of("ViewStory").unwrap();
+        let view_comment = c.id_of("ViewComment").unwrap();
+        let mut after_story = 0u64;
+        let mut story_count = 0u64;
+        let mut prev = s.next_interaction(&c, &m);
+        for _ in 0..50_000 {
+            let next = s.next_interaction(&c, &m);
+            if prev == view_story {
+                story_count += 1;
+                if next == view_comment {
+                    after_story += 1;
+                }
+            }
+            prev = next;
+        }
+        let p = after_story as f64 / story_count as f64;
+        // Stationary probability of ViewComment is ~14%; locality should
+        // roughly double it.
+        assert!(p > 0.25, "P(ViewComment | ViewStory) = {p}");
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_seed() {
+        let (c, m, mut a) = setup(SessionModel::Markov);
+        let (_, _, mut b) = setup(SessionModel::Markov);
+        for _ in 0..100 {
+            assert_eq!(a.next_interaction(&c, &m), b.next_interaction(&c, &m));
+        }
+    }
+
+    #[test]
+    fn different_sessions_differ() {
+        let c = InteractionCatalog::rubbos();
+        let m = Mix::browse_only(&c);
+        let root = RunRng::new(42);
+        let mut a = Session::new(1, &root, SessionModel::Iid, SimTime::from_secs(7));
+        let mut b = Session::new(2, &root, SessionModel::Iid, SimTime::from_secs(7));
+        let same = (0..64)
+            .filter(|_| a.next_interaction(&c, &m) == b.next_interaction(&c, &m))
+            .count();
+        assert!(same < 40, "sessions looked identical: {same}/64 matches");
+    }
+
+    #[test]
+    fn issued_counter_increments() {
+        let (c, m, mut s) = setup(SessionModel::Iid);
+        assert_eq!(s.issued(), 0);
+        s.next_interaction(&c, &m);
+        s.next_interaction(&c, &m);
+        assert_eq!(s.issued(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Run the paper's allocation algorithm (Algorithm 1) end to end on a
+//! simulated testbed and print the Table-I-style report.
+//!
+//! ```text
+//! cargo run --release --example autotune_demo -- 1/4/1/4
+//! ```
+
+use rubbos_ntier::prelude::*;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "1/2/1/2".into());
+    let hardware = parse_hardware(&arg).expect("hardware notation like 1/2/1/2");
+
+    println!("Tuning soft resources for hardware configuration {hardware}…");
+    println!("(FindCriticalResource → InferMinConcurrentJobs → CalculateMinAllocation)\n");
+
+    let testbed = SimTestbed::new(hardware, Schedule::Default);
+    let config = AlgorithmConfig {
+        step: 1000,
+        small_step: 400,
+        ..AlgorithmConfig::default()
+    };
+    let report = SoftResourceTuner::new(testbed, config)
+        .run()
+        .expect("the testbed has a single critical hardware resource");
+
+    println!("experiment trace:");
+    for t in &report.trace {
+        println!(
+            "  [P{}] {:>6} users  {:>12}  TP {:>7.1}  {}",
+            t.phase, t.users, t.soft, t.throughput, t.note
+        );
+    }
+
+    println!("\ncritical hardware resource : {} CPU", report.critical_tier);
+    println!("saturation workload        : {} users", report.saturation_workload);
+    println!("Req_ratio                  : {:.2}", report.req_ratio);
+    println!(
+        "minimum concurrent jobs    : {:.1} per {} server",
+        report.minjobs_per_server, report.critical_tier
+    );
+    println!("\nper-tier inference (Little's law at the saturation workload):");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "tier", "RTT[ms]", "TP/server", "jobs/server"
+    );
+    for t in &report.per_tier {
+        println!(
+            "{:>10} {:>10.1} {:>12.1} {:>12.1}",
+            t.tier.server_name(),
+            t.rtt * 1e3,
+            t.tp_per_server,
+            t.jobs_per_server
+        );
+    }
+    println!("\nrecommended allocation     : {}", report.recommended);
+    println!("experiments consumed       : {}", report.runs_used);
+}

@@ -1,0 +1,71 @@
+//! The buffering effect (paper §III-C): watch the Apache worker pool starve
+//! the back-end under high workload, live, through the per-second probes.
+//!
+//! ```text
+//! cargo run --release --example buffering_effect -- 30 7400
+//! ```
+
+use rubbos_ntier::prelude::*;
+
+fn sparkline(values: &[f64], max: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max.max(1e-9)) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let apache_pool: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let users: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(7400);
+
+    let hw = HardwareConfig::one_four_one_four();
+    let soft = SoftAllocation::new(apache_pool, 60, 20);
+    println!("{hw}({soft}) @ {users} users — Apache internals, per second\n");
+
+    let mut spec = ExperimentSpec::new(hw, soft, users);
+    spec.schedule = Schedule::Default;
+    let out = run_experiment(&spec);
+    let p = &out.apache_probes;
+
+    let n = p.threads_active.len().min(60);
+    let cap = apache_pool as f64;
+    println!("Threads_active          (0..{apache_pool}):");
+    println!("  {}", sparkline(&p.threads_active[..n], cap));
+    println!("Threads_connectingTomcat (0..{apache_pool}):");
+    println!("  {}", sparkline(&p.threads_tomcat[..n], cap));
+    let max_pt = p.pt_total_ms.iter().cloned().fold(1.0f64, f64::max);
+    println!("PT_total per completed request (0..{max_pt:.0} ms):");
+    println!("  {}", sparkline(&p.pt_total_ms[..n.min(p.pt_total_ms.len())], max_pt));
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("\nsummary:");
+    println!("  throughput                 : {:>8.1} req/s", out.throughput);
+    println!("  goodput @2s                : {:>8.1} req/s", out.goodput_at(2.0));
+    println!(
+        "  mean active workers        : {:>8.1} / {apache_pool}",
+        mean(&p.threads_active)
+    );
+    println!(
+        "  mean interacting w/ Tomcat : {:>8.1} (total Tomcat threads: 240)",
+        mean(&p.threads_tomcat)
+    );
+    println!(
+        "  mean worker busy time      : {:>8.1} ms (of which Tomcat-side {:.1} ms)",
+        mean(&p.pt_total_ms),
+        mean(&p.pt_tomcat_ms)
+    );
+    println!(
+        "  C-JDBC CPU                 : {:>8.1}%",
+        out.tier_cpu_util(Tier::Cmw) * 100.0
+    );
+    println!(
+        "\nTry `-- 400 {users}` to see the large buffer keep the back-end fed\n\
+         (paper Fig. 8), or lower the workload below ~6400 to make FIN-wait\n\
+         stragglers disappear (paper Fig. 7(a-c))."
+    );
+}

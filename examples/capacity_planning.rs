@@ -1,0 +1,66 @@
+//! Capacity planning: compare allocation strategies across workloads and
+//! hardware configurations — the decision a long-term cloud tenant faces in
+//! the paper's introduction (efficiency matters, not just scalability).
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use rubbos_ntier::prelude::*;
+
+fn main() {
+    let scenarios = [
+        (HardwareConfig::one_two_one_two(), vec![4500u32, 5400, 6300]),
+        (HardwareConfig::one_four_one_four(), vec![6000u32, 6900, 7800]),
+    ];
+
+    for (hw, workloads) in scenarios {
+        println!("\n############ hardware {hw} ############");
+        println!(
+            "{:>30} {:>12} {:>14} {:>14} {:>12}",
+            "strategy", "users", "goodput@2s", "throughput", "mean RT"
+        );
+        for strategy in Strategy::ALL {
+            let soft = strategy.allocation(hw);
+            // One sweep per strategy, run in parallel.
+            let specs: Vec<ExperimentSpec> = workloads
+                .iter()
+                .map(|&u| {
+                    let mut s = ExperimentSpec::new(hw, soft, u);
+                    s.schedule = Schedule::Default;
+                    s
+                })
+                .collect();
+            for out in sweep(&specs) {
+                println!(
+                    "{:>30} {:>12} {:>14.1} {:>14.1} {:>9.0} ms",
+                    strategy.name(),
+                    out.users,
+                    out.goodput_at(2.0),
+                    out.throughput,
+                    out.mean_rt * 1e3
+                );
+            }
+        }
+        // The paper's central message, measured: the best static strategy
+        // differs per hardware configuration.
+        let at = *workloads.last().expect("non-empty");
+        let mut best = ("", f64::MIN);
+        for strategy in Strategy::ALL {
+            let mut s = ExperimentSpec::new(hw, strategy.allocation(hw), at);
+            s.schedule = Schedule::Default;
+            let out = run_experiment(&s);
+            if out.goodput_at(2.0) > best.1 {
+                best = (strategy.name(), out.goodput_at(2.0));
+            }
+        }
+        println!(
+            ">>> best static strategy for {hw} at {at} users: {} ({:.0} req/s)",
+            best.0, best.1
+        );
+    }
+    println!(
+        "\nNote how no single static allocation wins on both topologies — the\n\
+         motivation for the adaptive algorithm (see examples/autotune_demo.rs)."
+    );
+}

@@ -1,0 +1,92 @@
+//! Quickstart: run one trial of the 4-tier testbed and read its report.
+//!
+//! ```text
+//! cargo run --release --example quickstart -- "1/2/1/2(400-150-60)" 3000
+//! ```
+//!
+//! The first argument is the paper's configuration notation
+//! (`#W/#A/#C/#D(#W_T-#A_T-#A_C)`), the second the emulated user count.
+
+use rubbos_ntier::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let spec_str = args.get(1).map(String::as_str).unwrap_or("1/2/1/2(400-150-60)");
+    let users: u32 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000);
+
+    let (hardware, soft) = parse_spec(spec_str).expect("configuration notation");
+    println!("Running {hardware}({soft}) with {users} emulated users…");
+
+    let mut spec = ExperimentSpec::new(hardware, soft, users);
+    spec.schedule = Schedule::Default;
+    let out = run_experiment(&spec);
+
+    println!("\n== results over a {:.0} s measured window ==", out.window_secs);
+    println!("throughput  : {:>8.1} req/s", out.throughput);
+    for (i, thr) in out.sla_thresholds.iter().enumerate() {
+        println!(
+            "goodput @{thr:>3}s: {:>8.1} req/s   badput {:>8.1}   satisfaction {:>5.1}%",
+            out.goodput[i],
+            out.badput[i],
+            out.satisfaction[i] * 100.0
+        );
+    }
+    println!(
+        "response    : mean {:.0} ms, p50 {:.0} ms, p90 {:.0} ms, p99 {:.0} ms",
+        out.mean_rt * 1e3,
+        out.rt_quantiles[0] * 1e3,
+        out.rt_quantiles[1] * 1e3,
+        out.rt_quantiles[2] * 1e3
+    );
+
+    println!("\n== per-server view ==");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "server", "cpu%", "gc%", "disk%", "pool", "conns"
+    );
+    for n in &out.nodes {
+        let pool = n
+            .thread_pool
+            .as_ref()
+            .map(|p| format!("{:.0}%/{}", p.mean_occupancy * 100.0, p.capacity))
+            .unwrap_or_else(|| "-".into());
+        let conns = n
+            .conn_pool
+            .as_ref()
+            .map(|p| format!("{:.0}%/{}", p.mean_occupancy * 100.0, p.capacity))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>10} {:>8.1} {:>8.1} {:>8.1} {:>10} {:>10}",
+            n.name,
+            n.cpu_util * 100.0,
+            n.gc_fraction * 100.0,
+            n.disk_util * 100.0,
+            pool,
+            conns
+        );
+    }
+
+    let (tier, idx, util) = out.max_cpu();
+    println!(
+        "\nmost utilized hardware: {} {} at {:.1}% CPU",
+        tier.server_name(),
+        idx,
+        util * 100.0
+    );
+    let soft_bn = out.soft_saturated(0.5);
+    if soft_bn.is_empty() {
+        println!("no soft-resource bottleneck detected");
+    } else {
+        for (tier, idx, pool, frac) in soft_bn {
+            println!(
+                "SOFT BOTTLENECK: {} {} pool '{pool}' saturated {:.0}% of the time",
+                tier.server_name(),
+                idx,
+                frac * 100.0
+            );
+        }
+    }
+}

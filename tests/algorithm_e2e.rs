@@ -1,0 +1,119 @@
+//! End-to-end test of Algorithm 1 against the (scaled) simulated testbed:
+//! the full loop the paper's §IV-C validates — expose the critical resource,
+//! infer the minimum concurrency, compute the allocation, and beat the
+//! conservative strategy with it.
+
+mod common;
+
+use common::{scale_params, scaled_knee};
+use rubbos_ntier::prelude::*;
+use rubbos_ntier::workload::WorkloadConfig;
+
+fn scaled_testbed(hw: HardwareConfig) -> SimTestbed {
+    let mut base = SystemConfig::new(hw, SoftAllocation::rule_of_thumb(), 1);
+    base.workload = WorkloadConfig::quick(1);
+    scale_params(&mut base);
+    SimTestbed::from_base(base, Schedule::Quick)
+}
+
+fn tune(hw: HardwareConfig) -> AlgorithmReport {
+    let cfg = AlgorithmConfig {
+        step: 200,
+        small_step: 100,
+        ..AlgorithmConfig::default()
+    };
+    SoftResourceTuner::new(scaled_testbed(hw), cfg)
+        .run()
+        .expect("the scaled testbed has a single critical CPU")
+}
+
+#[test]
+fn algorithm_finds_tomcat_critical_on_1_2_1_2() {
+    let rep = tune(HardwareConfig::one_two_one_two());
+    assert_eq!(
+        rep.critical_tier,
+        Tier::App,
+        "paper Table I: Tomcat CPU critical under 1/2/1/2; trace: {:#?}",
+        rep.trace
+    );
+    // The saturation workload must be near the testbed's knee.
+    let knee = scaled_knee(HardwareConfig::one_two_one_two());
+    let rel = (rep.saturation_workload as f64 - knee as f64).abs() / knee as f64;
+    assert!(rel < 0.4, "WL_min {} vs knee {knee}", rep.saturation_workload);
+    assert!(rep.minjobs_per_server >= 2.0);
+    assert_eq!(rep.per_tier.len(), 4);
+    assert!((2.0..3.0).contains(&rep.req_ratio));
+}
+
+#[test]
+fn algorithm_finds_cjdbc_critical_on_1_4_1_4() {
+    let rep = tune(HardwareConfig::one_four_one_four());
+    assert_eq!(
+        rep.critical_tier,
+        Tier::Cmw,
+        "paper Table I: C-JDBC CPU critical under 1/4/1/4; trace: {:#?}",
+        rep.trace
+    );
+    // Recommended conns per Tomcat ≈ C-JDBC concurrency / 4.
+    let cmw = rep
+        .per_tier
+        .iter()
+        .find(|t| t.tier == Tier::Cmw)
+        .expect("cmw row");
+    let expected = (cmw.total_jobs / 4.0).ceil() as usize;
+    assert!(
+        rep.recommended.app_db_conns >= expected.saturating_sub(2)
+            && rep.recommended.app_db_conns <= expected + 3,
+        "conns {} vs expected ≈ {expected}",
+        rep.recommended.app_db_conns
+    );
+}
+
+#[test]
+fn recommended_allocation_beats_conservative_strategy() {
+    let hw = HardwareConfig::one_two_one_two();
+    let rep = tune(hw);
+    let knee = scaled_knee(hw);
+    let run_with = |soft: SoftAllocation| {
+        let mut cfg = SystemConfig::new(hw, soft, knee);
+        cfg.workload = WorkloadConfig::quick(knee);
+        scale_params(&mut cfg);
+        run_system(cfg)
+    };
+    let tuned = run_with(rep.recommended);
+    let conservative = run_with(Strategy::Conservative.allocation(hw));
+    assert!(
+        tuned.goodput_at(2.0) > conservative.goodput_at(2.0),
+        "tuned {} !> conservative {} (recommended {})",
+        tuned.goodput_at(2.0),
+        conservative.goodput_at(2.0),
+        rep.recommended
+    );
+    // And it should be within a few percent of the rule of thumb's goodput
+    // while allocating far fewer soft resources.
+    let rot = run_with(Strategy::RuleOfThumb.allocation(hw));
+    assert!(
+        tuned.goodput_at(2.0) > rot.goodput_at(2.0) * 0.93,
+        "tuned {} much worse than rule-of-thumb {}",
+        tuned.goodput_at(2.0),
+        rot.goodput_at(2.0)
+    );
+    assert!(rep.recommended.app_threads < 150);
+}
+
+#[test]
+fn doubling_escapes_tiny_initial_allocation() {
+    let hw = HardwareConfig::one_two_one_two();
+    let cfg = AlgorithmConfig {
+        initial_soft: SoftAllocation::new(2, 2, 2),
+        step: 200,
+        small_step: 100,
+        max_runs: 96,
+        ..AlgorithmConfig::default()
+    };
+    let rep = SoftResourceTuner::new(scaled_testbed(hw), cfg)
+        .run()
+        .expect("doubling should eventually expose the hardware");
+    assert!(rep.doublings >= 1, "trace: {:#?}", rep.trace);
+    assert_eq!(rep.critical_tier, Tier::App);
+}

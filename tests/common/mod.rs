@@ -1,0 +1,54 @@
+//! Shared helpers for the integration tests.
+//!
+//! Debug-build simulations are ~10–20× slower than release, so the
+//! integration tests run a *scaled* testbed: all CPU demands multiplied by
+//! `SCALE`, which divides the saturation throughput (and thus the event
+//! rate) by the same factor while preserving which tier is critical and all
+//! of the paper's qualitative phenomena.
+#![allow(dead_code)] // not every test file uses every helper
+
+use rubbos_ntier::prelude::*;
+use rubbos_ntier::tiers::config::MixKind;
+use rubbos_ntier::workload::WorkloadConfig;
+
+/// Demand scale factor for debug-speed tests.
+pub const SCALE: f64 = 6.0;
+
+/// A scaled-down system configuration: same bottleneck structure, ~SCALE×
+/// fewer events per simulated second. Saturation lands near
+/// `users ≈ (think + R) / (critical demand)` — about 1 000 users for
+/// `1/2/1/2` and 1 050 for `1/4/1/4`.
+pub fn scaled_config(hw: HardwareConfig, soft: SoftAllocation, users: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::new(hw, soft, users);
+    cfg.workload = WorkloadConfig::quick(users);
+    cfg.mix = MixKind::BrowseOnly;
+    scale_params(&mut cfg);
+    cfg
+}
+
+/// Apply the demand scaling to an existing configuration.
+pub fn scale_params(cfg: &mut SystemConfig) {
+    let p = &mut cfg.params;
+    p.tomcat_scale *= SCALE;
+    p.mysql_scale *= SCALE;
+    p.cjdbc_ms_per_query *= SCALE;
+    p.apache_pre_ms *= SCALE;
+    p.apache_post_ms *= SCALE;
+    p.static_ms *= SCALE;
+    // Keep the GC allocation *rate* comparable: throughput drops by SCALE,
+    // so allocation per query rises by SCALE.
+    p.tomcat_alloc_per_req *= SCALE;
+    p.cjdbc_alloc_per_query *= SCALE;
+    // Client-side FIN congestion sets in at a population scaled the same way.
+    cfg.linger.onset_users /= SCALE;
+    cfg.linger.tail_prob_per_user *= SCALE;
+}
+
+/// Saturation populations of the scaled testbed (approximate knees).
+pub fn scaled_knee(hw: HardwareConfig) -> u32 {
+    if hw.app >= 4 {
+        1060
+    } else {
+        980
+    }
+}

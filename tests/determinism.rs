@@ -1,0 +1,83 @@
+//! Reproducibility guarantees: identical seeds give identical runs, the
+//! rayon-parallel sweep equals the serial sweep, and configuration notation
+//! round-trips — the properties that make the figure harnesses trustworthy.
+
+mod common;
+
+use common::scaled_config;
+use rubbos_ntier::prelude::*;
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::new(50, 20, 10);
+    let a = run_system(scaled_config(hw, soft, 400));
+    let b = run_system(scaled_config(hw, soft, 400));
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.rt_dist_counts, b.rt_dist_counts);
+    assert!((a.mean_rt - b.mean_rt).abs() < 1e-15);
+    for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(na.completions, nb.completions, "{}", na.name);
+        assert!((na.cpu_util - nb.cpu_util).abs() < 1e-15, "{}", na.name);
+    }
+}
+
+#[test]
+fn different_seed_changes_the_run_but_not_the_physics() {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::new(50, 20, 10);
+    let a = run_system(scaled_config(hw, soft, 400));
+    let mut cfg = scaled_config(hw, soft, 400);
+    cfg.seed = 0xDEAD_BEEF;
+    let b = run_system(cfg);
+    assert_ne!(a.completed, b.completed, "different seeds should differ");
+    // …but macroscopic quantities agree within stochastic jitter.
+    let rel = (a.throughput - b.throughput).abs() / a.throughput;
+    assert!(rel < 0.05, "throughput should be seed-stable: {rel}");
+}
+
+#[test]
+fn parallel_sweep_equals_serial_sweep() {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::new(50, 20, 10);
+    let specs: Vec<ExperimentSpec> = [150u32, 300, 450]
+        .iter()
+        .map(|&u| {
+            let mut s = ExperimentSpec::new(hw, soft, u);
+            s.schedule = Schedule::Quick;
+            s
+        })
+        .collect();
+    let par = sweep(&specs);
+    let ser: Vec<RunOutput> = specs.iter().map(run_experiment).collect();
+    for (p, s) in par.iter().zip(&ser) {
+        assert_eq!(p.users, s.users);
+        assert_eq!(p.completed, s.completed);
+        assert_eq!(p.events_processed, s.events_processed);
+    }
+}
+
+#[test]
+fn notation_round_trips_through_display() {
+    for spec_str in [
+        "1/2/1/2(400-150-60)",
+        "1/4/1/4(400-6-6)",
+        "2/8/1/16(1024-32-8)",
+    ] {
+        let (hw, soft) = parse_spec(spec_str).expect("valid spec");
+        assert_eq!(format!("{hw}({soft})"), spec_str);
+    }
+}
+
+#[test]
+fn run_label_encodes_the_configuration() {
+    let out = run_system(scaled_config(
+        HardwareConfig::one_four_one_four(),
+        SoftAllocation::new(30, 60, 20),
+        200,
+    ));
+    assert_eq!(out.label, "1/4/1/4(30-60-20)@200");
+    assert_eq!(out.users, 200);
+    assert_eq!(out.nodes.len(), 10);
+}

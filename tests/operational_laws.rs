@@ -1,0 +1,111 @@
+//! The simulator must obey the operational laws it is analyzed with — these
+//! tests close the loop between `ntier-core::laws` and the measured output
+//! of the discrete-event system.
+
+mod common;
+
+use common::{scaled_config, scaled_knee};
+use rubbos_ntier::ntier_core::laws;
+use rubbos_ntier::prelude::*;
+
+fn moderate_run() -> RunOutput {
+    let hw = HardwareConfig::one_two_one_two();
+    // Run *below* the knee so nothing saturates and the laws are clean.
+    run_system(scaled_config(
+        hw,
+        SoftAllocation::new(200, 60, 30),
+        scaled_knee(hw) * 6 / 10,
+    ))
+}
+
+#[test]
+fn interactive_response_time_law_holds() {
+    let out = moderate_run();
+    // X = N / (Z + R)
+    let expected = laws::interactive_throughput(out.users as f64, 7.0, out.mean_rt);
+    let rel = (out.throughput - expected).abs() / expected;
+    assert!(
+        rel < 0.08,
+        "X={} but N/(Z+R)={expected} ({:.1}% off)",
+        out.throughput,
+        rel * 100.0
+    );
+}
+
+#[test]
+fn littles_law_holds_at_every_tier() {
+    let out = moderate_run();
+    for node in &out.nodes {
+        let x = node.throughput(out.window_secs);
+        if x < 1.0 {
+            continue;
+        }
+        let jobs = laws::littles_law_jobs(x, node.mean_rtt);
+        // Identity by construction; sanity-check magnitudes instead.
+        assert!(
+            jobs.is_finite() && jobs >= 0.0 && jobs < out.users as f64,
+            "{}: absurd L={jobs}",
+            node.name
+        );
+        // Round-trip through the law helpers.
+        let r = laws::littles_law_residence(jobs, x);
+        assert!((r - node.mean_rtt).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn forced_flow_law_couples_tiers() {
+    let out = moderate_run();
+    // System throughput × Req_ratio = C-JDBC query throughput.
+    let catalog = rubbos_ntier::workload::InteractionCatalog::rubbos();
+    let mix = rubbos_ntier::workload::Mix::browse_only(&catalog);
+    let req_ratio = catalog.req_ratio(mix.weights());
+    let cmw = out.tier_nodes(Tier::Cmw)[0];
+    let predicted = laws::forced_flow(out.throughput, req_ratio);
+    let measured = cmw.throughput(out.window_secs);
+    let rel = (measured - predicted).abs() / predicted;
+    assert!(
+        rel < 0.10,
+        "forced flow: measured {measured} vs predicted {predicted} ({:.1}% off)",
+        rel * 100.0
+    );
+    // Browse-only: MySQL tier total equals C-JDBC total (reads go to exactly
+    // one replica).
+    let db_total: f64 = out
+        .tier_nodes(Tier::Db)
+        .iter()
+        .map(|n| n.throughput(out.window_secs))
+        .sum();
+    let rel = (db_total - measured).abs() / measured;
+    assert!(rel < 0.05, "db {db_total} vs cmw {measured}");
+}
+
+#[test]
+fn utilization_law_bounds_cpu() {
+    let out = moderate_run();
+    // The Tomcat tier's measured utilization must match X·S within jitter:
+    // S ≈ scaled tomcat demand / servers.
+    let app_util = out.tier_cpu_util(Tier::App);
+    // Per-interaction Tomcat demand in the scaled testbed ≈ 2.43 ms × 6.
+    let demand = 0.00243 * common::SCALE;
+    let predicted = laws::utilization(out.throughput / 2.0, demand);
+    let rel = (app_util - predicted).abs() / predicted;
+    assert!(
+        rel < 0.20,
+        "utilization law: measured {app_util:.3} vs X·S = {predicted:.3}"
+    );
+}
+
+#[test]
+fn saturation_population_predicts_the_knee() {
+    let hw = HardwareConfig::one_two_one_two();
+    let knee = scaled_knee(hw);
+    // Below the knee: throughput ∝ N. Past it: flat. The analytic knee from
+    // asymptotic bounds must fall in between.
+    let demand_per_tomcat = 0.00243 * common::SCALE / 2.0;
+    let n_star = laws::saturation_population(7.0, 0.2, demand_per_tomcat);
+    assert!(
+        (n_star - knee as f64).abs() / (knee as f64) < 0.25,
+        "analytic N*={n_star:.0} vs empirical knee {knee}"
+    );
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration tests asserting the paper's qualitative phenomena
+//! on the (scaled) simulated testbed:
+//!
+//! 1. §III-A — a too-small Tomcat thread pool is a *software* bottleneck:
+//!    throughput saturates while every hardware resource is under-utilized.
+//! 2. §III-B — over-allocating DB connections inflates C-JDBC GC time and
+//!    costs goodput near saturation.
+//! 3. §III-C — a too-small Apache pool starves the back-end under high
+//!    workload (C-JDBC utilization *decreases* with workload).
+//! 4. §II-B — goodput/badput partition throughput at every threshold.
+
+mod common;
+
+use common::{scaled_config, scaled_knee};
+use rubbos_ntier::prelude::*;
+
+#[test]
+fn under_allocation_creates_soft_bottleneck_with_idle_hardware() {
+    let hw = HardwareConfig::one_two_one_two();
+    let users = scaled_knee(hw); // enough to saturate a tiny pool
+    let small = run_system(scaled_config(hw, SoftAllocation::new(400, 3, 100), users));
+    let large = run_system(scaled_config(hw, SoftAllocation::new(400, 60, 100), users));
+
+    // The small pool saturates (full with waiters most of the time)…
+    let soft = small.soft_saturated(0.5);
+    assert!(
+        soft.iter().any(|s| s.0 == Tier::App && s.2 == "threads"),
+        "expected a Tomcat thread bottleneck, got {soft:?}"
+    );
+    // …while no hardware resource is anywhere near saturation.
+    let (tier, _, util) = small.max_cpu();
+    assert!(
+        util < 0.90,
+        "hardware should be under-utilized under the soft bottleneck, got {tier} at {util}"
+    );
+    // And the large pool extracts strictly more throughput from the SAME
+    // hardware ("adding more hardware does not improve performance" — the
+    // fix is soft, not hard).
+    assert!(
+        large.throughput > small.throughput * 1.15,
+        "large pool {} !>> small pool {}",
+        large.throughput,
+        small.throughput
+    );
+    assert!(large.max_cpu().2 > util, "large pool should push hardware harder");
+}
+
+#[test]
+fn over_allocated_connection_pool_burns_cjdbc_cpu_in_gc() {
+    let hw = HardwareConfig::one_four_one_four();
+    let users = scaled_knee(hw) + 150; // past saturation
+    let small = run_system(scaled_config(hw, SoftAllocation::new(400, 200, 10), users));
+    let big = run_system(scaled_config(hw, SoftAllocation::new(400, 200, 200), users));
+
+    let gc_small = small.tier_nodes(Tier::Cmw)[0].gc_seconds;
+    let gc_big = big.tier_nodes(Tier::Cmw)[0].gc_seconds;
+    assert!(
+        gc_big > gc_small * 3.0,
+        "big pool GC {gc_big:.2}s should dwarf small pool GC {gc_small:.2}s"
+    );
+    // GC time is time not spent processing: goodput suffers.
+    assert!(
+        small.goodput_at(2.0) > big.goodput_at(2.0),
+        "small-pool goodput {} should beat big-pool {}",
+        small.goodput_at(2.0),
+        big.goodput_at(2.0)
+    );
+}
+
+#[test]
+fn small_apache_pool_starves_the_backend_at_high_workload() {
+    let hw = HardwareConfig::one_four_one_four();
+    let base = scaled_knee(hw);
+    // Small front-tier buffer: 8 workers.
+    let small_lo = run_system(scaled_config(hw, SoftAllocation::new(8, 30, 10), base - 200));
+    let small_hi = run_system(scaled_config(hw, SoftAllocation::new(8, 30, 10), base + 200));
+    let large_hi = run_system(scaled_config(hw, SoftAllocation::new(200, 30, 10), base + 200));
+
+    // The paper's signature: for the small pool, back-end utilization DROPS
+    // as workload rises past the FIN-congestion onset.
+    let cmw_lo = small_lo.tier_cpu_util(Tier::Cmw);
+    let cmw_hi = small_hi.tier_cpu_util(Tier::Cmw);
+    assert!(
+        cmw_hi < cmw_lo,
+        "C-JDBC utilization should DECREASE with workload for the small Apache \
+         pool: {cmw_lo:.3} -> {cmw_hi:.3}"
+    );
+    // A large worker pool keeps the back-end fed at the same high workload.
+    assert!(
+        large_hi.throughput > small_hi.throughput * 1.2,
+        "buffered Apache {} !>> starved Apache {}",
+        large_hi.throughput,
+        small_hi.throughput
+    );
+}
+
+#[test]
+fn goodput_badput_partition_and_threshold_monotonicity() {
+    let hw = HardwareConfig::one_two_one_two();
+    let out = run_system(scaled_config(
+        hw,
+        SoftAllocation::new(100, 30, 20),
+        scaled_knee(hw),
+    ));
+    for i in 0..out.sla_thresholds.len() {
+        assert!(
+            (out.goodput[i] + out.badput[i] - out.throughput).abs() < 1e-9,
+            "goodput+badput != throughput at threshold {i}"
+        );
+    }
+    // Wider thresholds can only admit more requests.
+    assert!(out.goodput[0] <= out.goodput[1] && out.goodput[1] <= out.goodput[2]);
+    assert!(out.satisfaction[0] <= out.satisfaction[2]);
+}
+
+#[test]
+fn workload_ramp_exposes_the_knee() {
+    // Throughput grows ~linearly below the knee, then flattens (the shape
+    // every figure's x-axis sweeps across).
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::new(200, 60, 30);
+    let knee = scaled_knee(hw);
+    let x1 = run_system(scaled_config(hw, soft, knee / 2)).throughput;
+    let x2 = run_system(scaled_config(hw, soft, knee)).throughput;
+    let x3 = run_system(scaled_config(hw, soft, knee + knee / 2)).throughput;
+    assert!(x2 > x1 * 1.5, "below the knee throughput tracks population");
+    assert!(
+        (x3 - x2).abs() / x2 < 0.10,
+        "past the knee throughput flattens: {x2} vs {x3}"
+    );
+}
