@@ -12,6 +12,7 @@
 
 use bench::{banner, pct_diff, save_json, spec};
 use ntier_core::{run_experiment, HardwareConfig, SoftAllocation, Tier};
+use ntier_trace::json::obj;
 use tiers::LingerConfig;
 
 fn main() {
@@ -99,10 +100,28 @@ fn main() {
 
     save_json(
         "ablation",
-        &serde_json::json!({
-            "gc": { "with": with_gc.goodput_at(2.0), "without": no_gc.goodput_at(2.0) },
-            "linger": { "with": with_linger.throughput, "without": no_linger.throughput },
-            "csw": { "with": with_csw.throughput, "without": no_csw.throughput },
-        }),
+        &obj([
+            (
+                "gc",
+                obj([
+                    ("with", with_gc.goodput_at(2.0).into()),
+                    ("without", no_gc.goodput_at(2.0).into()),
+                ]),
+            ),
+            (
+                "linger",
+                obj([
+                    ("with", with_linger.throughput.into()),
+                    ("without", no_linger.throughput.into()),
+                ]),
+            ),
+            (
+                "csw",
+                obj([
+                    ("with", with_csw.throughput.into()),
+                    ("without", no_csw.throughput.into()),
+                ]),
+            ),
+        ]),
     );
 }

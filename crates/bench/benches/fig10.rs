@@ -10,6 +10,7 @@
 
 use bench::{banner, run_sweep, save_json};
 use ntier_core::{HardwareConfig, SoftAllocation};
+use ntier_trace::json::{arr, obj};
 
 fn max_tp(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) -> f64 {
     run_sweep(hw, soft, users)
@@ -64,13 +65,13 @@ fn main() {
 
     save_json(
         "fig10",
-        &serde_json::json!({
-            "thread_pools": pools_a,
-            "max_tp_threads": series_a,
-            "conn_pools": pools_b,
-            "max_tp_conns": series_b,
-            "optimum_threads": best_a,
-            "optimum_conns": best_b,
-        }),
+        &obj([
+            ("thread_pools", arr(pools_a)),
+            ("max_tp_threads", series_a.into()),
+            ("conn_pools", arr(pools_b)),
+            ("max_tp_conns", series_b.into()),
+            ("optimum_threads", best_a.into()),
+            ("optimum_conns", best_b.into()),
+        ]),
     );
 }

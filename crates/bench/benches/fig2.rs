@@ -8,6 +8,7 @@
 
 use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json};
 use ntier_core::{HardwareConfig, SoftAllocation};
+use ntier_trace::json::{arr, obj, Json};
 
 fn main() {
     let hw = HardwareConfig::one_two_one_two();
@@ -49,11 +50,17 @@ fn main() {
 
     save_json(
         "fig2",
-        &serde_json::json!({
-            "users": users,
-            "good_400_150_60": runs_good.iter().map(|r| &r.goodput).collect::<Vec<_>>(),
-            "poor_400_6_6": runs_poor.iter().map(|r| &r.goodput).collect::<Vec<_>>(),
-            "thresholds": [0.5, 1.0, 2.0],
-        }),
+        &obj([
+            ("users", users.into()),
+            (
+                "good_400_150_60",
+                arr(runs_good.iter().map(|r| Json::from(r.goodput.clone()))),
+            ),
+            (
+                "poor_400_6_6",
+                arr(runs_poor.iter().map(|r| Json::from(r.goodput.clone()))),
+            ),
+            ("thresholds", arr([0.5, 1.0, 2.0])),
+        ]),
     );
 }

@@ -10,6 +10,7 @@
 use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json, spec};
 use metrics::rt_dist::BIN_LABELS;
 use ntier_core::{run_experiment, HardwareConfig, SoftAllocation};
+use ntier_trace::json::{arr, obj, Json};
 
 fn main() {
     let hw = HardwareConfig::one_four_one_four();
@@ -62,10 +63,7 @@ fn main() {
     let at = |soft| run_experiment(&spec(hw, soft, 7000));
     let out_con = at(conservative);
     let out_lib = at(liberal);
-    println!(
-        "{:>10} {:>16} {:>16}",
-        "bin", "400-6-6", "400-150-60"
-    );
+    println!("{:>10} {:>16} {:>16}", "bin", "400-6-6", "400-150-60");
     let tot = |c: &[u64; 8]| c.iter().sum::<u64>().max(1) as f64;
     let tc = tot(&out_con.rt_dist_counts);
     let tl = tot(&out_lib.rt_dist_counts);
@@ -94,12 +92,18 @@ fn main() {
 
     save_json(
         "fig3",
-        &serde_json::json!({
-            "users": users,
-            "liberal": runs_lib.iter().map(|r| &r.goodput).collect::<Vec<_>>(),
-            "conservative": runs_con.iter().map(|r| &r.goodput).collect::<Vec<_>>(),
-            "rt_dist_7000_conservative": out_con.rt_dist_counts,
-            "rt_dist_7000_liberal": out_lib.rt_dist_counts,
-        }),
+        &obj([
+            ("users", users.into()),
+            (
+                "liberal",
+                arr(runs_lib.iter().map(|r| Json::from(r.goodput.clone()))),
+            ),
+            (
+                "conservative",
+                arr(runs_con.iter().map(|r| Json::from(r.goodput.clone()))),
+            ),
+            ("rt_dist_7000_conservative", arr(out_con.rt_dist_counts)),
+            ("rt_dist_7000_liberal", arr(out_lib.rt_dist_counts)),
+        ]),
     );
 }

@@ -10,6 +10,7 @@
 
 use bench::{banner, goodput_series, print_series, run_sweep, save_json};
 use ntier_core::{HardwareConfig, SoftAllocation, Tier};
+use ntier_trace::json::{arr, obj};
 
 fn main() {
     let hw = HardwareConfig::one_two_one_two();
@@ -32,12 +33,7 @@ fn main() {
     print_series("users", &users, &labels, &goodputs, "goodput req/s");
     // The paper's observations: pool 20 beats pool 6 by ~40% at 6000 users,
     // and the maximum of pool 200 is below the maximum of pool 20.
-    let max_of = |i: usize| {
-        goodputs[i]
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max)
-    };
+    let max_of = |i: usize| goodputs[i].iter().cloned().fold(f64::MIN, f64::max);
     println!(
         "  max goodput: pool6={:.0}  pool10={:.0}  pool20={:.0}  pool200={:.0}",
         max_of(0),
@@ -83,11 +79,11 @@ fn main() {
 
     save_json(
         "fig4",
-        &serde_json::json!({
-            "users": users,
-            "pools": pools,
-            "goodput_2s": goodputs,
-            "tomcat_cpu": cpu,
-        }),
+        &obj([
+            ("users", users.into()),
+            ("pools", arr(pools)),
+            ("goodput_2s", goodputs.into()),
+            ("tomcat_cpu", cpu.into()),
+        ]),
     );
 }

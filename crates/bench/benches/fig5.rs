@@ -9,6 +9,7 @@
 
 use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json};
 use ntier_core::{HardwareConfig, SoftAllocation, Tier};
+use ntier_trace::json::{arr, obj};
 
 fn main() {
     let hw = HardwareConfig::one_four_one_four();
@@ -70,13 +71,13 @@ fn main() {
 
     save_json(
         "fig5",
-        &serde_json::json!({
-            "users": users,
-            "pools": pools,
-            "goodput_2s": goodputs,
-            "cjdbc_cpu": cpu,
-            "gc_seconds": gc,
-            "window_secs": window,
-        }),
+        &obj([
+            ("users", users.into()),
+            ("pools", arr(pools)),
+            ("goodput_2s", goodputs.into()),
+            ("cjdbc_cpu", cpu.into()),
+            ("gc_seconds", gc.into()),
+            ("window_secs", window.into()),
+        ]),
     );
 }

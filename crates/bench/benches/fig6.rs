@@ -9,6 +9,7 @@
 
 use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json};
 use ntier_core::{HardwareConfig, SoftAllocation, Tier};
+use ntier_trace::json::{arr, obj};
 
 fn main() {
     let hw = HardwareConfig::one_four_one_four();
@@ -40,10 +41,7 @@ fn main() {
     println!(
         "  @{} users: throughput 400-60-20 is {:.0}% higher than 30-60-20",
         users[last],
-        pct_diff(
-            sweeps[3][last].throughput,
-            sweeps[0][last].throughput
-        )
+        pct_diff(sweeps[3][last].throughput, sweeps[0][last].throughput)
     );
 
     println!("\nFig 6(b) — C-JDBC CPU utilization [%]");
@@ -70,11 +68,11 @@ fn main() {
 
     save_json(
         "fig6",
-        &serde_json::json!({
-            "users": users,
-            "apache_pools": pools,
-            "goodput_2s": goodputs,
-            "cjdbc_cpu": cpu,
-        }),
+        &obj([
+            ("users", users.into()),
+            ("apache_pools", arr(pools)),
+            ("goodput_2s", goodputs.into()),
+            ("cjdbc_cpu", cpu.into()),
+        ]),
     );
 }

@@ -12,8 +12,11 @@
 //! with 400 workers the interaction-thread count stays far above the 24
 //! Tomcat threads and throughput is stable (Fig. 8).
 
-use bench::{banner, save_json, spec};
-use ntier_core::{run_experiment, HardwareConfig, RunOutput, SoftAllocation};
+use bench::{banner, save_json, save_text, spec};
+use ntier_core::{
+    run_experiment, run_experiment_traced, HardwareConfig, RunOutput, SoftAllocation, TraceConfig,
+};
+use ntier_trace::json::{obj, ToJson};
 
 fn summarize(name: &str, out: &RunOutput) {
     let p = &out.apache_probes;
@@ -83,8 +86,30 @@ fn main() {
         "FIN-wait stragglers starve the back-end when the worker pool is small",
     );
 
+    // `--trace` additionally captures the 30-60-20 @ 7400 run under Full
+    // tracing and saves a Chrome/Perfetto trace: the FIN-wait starvation is
+    // directly visible as `linger-close` spans crowding out the
+    // `tomcat-interact` segments on the Apache track.
+    let trace_wanted = std::env::args().any(|a| a == "--trace");
+
     let f7_low = run_experiment(&spec(hw, small, 6000));
-    let f7_high = run_experiment(&spec(hw, small, 7400));
+    let f7_high = if trace_wanted {
+        let (out, trace) = run_experiment_traced(&spec(hw, small, 7400).traced(TraceConfig::Full));
+        println!(
+            "\n[trace] {} spans from {} requests ({} overwritten), {} engine events",
+            trace.spans.len(),
+            trace.admitted,
+            trace.overwritten,
+            trace.engine.events_processed
+        );
+        save_text(
+            "fig7_trace.chrome.json",
+            &ntier_trace::export::to_chrome(trace.spans.iter()),
+        );
+        out
+    } else {
+        run_experiment(&spec(hw, small, 7400))
+    };
     let f8 = run_experiment(&spec(hw, large, 7400));
 
     summarize("Fig 7(a-c): 30-60-20 @ 6000 users", &f7_low);
@@ -109,10 +134,10 @@ fn main() {
 
     save_json(
         "fig7_8",
-        &serde_json::json!({
-            "fig7_low": f7_low.apache_probes,
-            "fig7_high": f7_high.apache_probes,
-            "fig8": f8.apache_probes,
-        }),
+        &obj([
+            ("fig7_low", f7_low.apache_probes.to_json()),
+            ("fig7_high", f7_high.apache_probes.to_json()),
+            ("fig8", f8.apache_probes.to_json()),
+        ]),
     );
 }

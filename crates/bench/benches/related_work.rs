@@ -12,6 +12,7 @@ use ntier_core::algorithm::{AlgorithmConfig, SoftResourceTuner};
 use ntier_core::experiment::{Schedule, SimTestbed};
 use ntier_core::feedback::{feedback_tune, FeedbackConfig};
 use ntier_core::{run_experiment, HardwareConfig, MvaModel, SoftAllocation};
+use ntier_trace::json::{arr, obj};
 
 fn main() {
     banner(
@@ -21,12 +22,7 @@ fn main() {
 
     // --- MVA vs simulator --------------------------------------------------
     let hw = HardwareConfig::one_two_one_two();
-    let mva = MvaModel::four_tier(
-        [1, 2, 1, 2],
-        [0.00075, 0.0024, 0.0011, 0.0019],
-        0.022,
-        7.0,
-    );
+    let mva = MvaModel::four_tier([1, 2, 1, 2], [0.00075, 0.0024, 0.0011, 0.0019], 0.022, 7.0);
     println!("\n[MVA vs simulator] 1/2/1/2");
     println!(
         "{:>8} {:>12} {:>18} {:>18}",
@@ -104,10 +100,34 @@ fn main() {
 
     save_json(
         "related_work",
-        &serde_json::json!({
-            "mva_rows": rows,
-            "algorithm": { "alloc": algo.recommended.to_string(), "goodput": g_algo, "runs": algo.runs_used },
-            "feedback": { "alloc": fb.allocation.to_string(), "goodput": g_fb, "runs": fb.runs_used },
-        }),
+        &obj([
+            (
+                "mva_rows",
+                arr(rows.iter().map(|&(users, mva_x, healthy_x, starved_x)| {
+                    obj([
+                        ("users", users.into()),
+                        ("mva_x", mva_x.into()),
+                        ("sim_healthy_x", healthy_x.into()),
+                        ("sim_starved_x", starved_x.into()),
+                    ])
+                })),
+            ),
+            (
+                "algorithm",
+                obj([
+                    ("alloc", algo.recommended.to_string().into()),
+                    ("goodput", g_algo.into()),
+                    ("runs", algo.runs_used.into()),
+                ]),
+            ),
+            (
+                "feedback",
+                obj([
+                    ("alloc", fb.allocation.to_string().into()),
+                    ("goodput", g_fb.into()),
+                    ("runs", fb.runs_used.into()),
+                ]),
+            ),
+        ]),
     );
 }

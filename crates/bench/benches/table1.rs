@@ -11,6 +11,7 @@ use bench::{banner, save_json, spec};
 use ntier_core::algorithm::{AlgorithmConfig, SoftResourceTuner};
 use ntier_core::experiment::{Schedule, SimTestbed};
 use ntier_core::{run_experiment, HardwareConfig, SoftAllocation, Strategy, Tier};
+use ntier_trace::json::{obj, ToJson};
 
 fn run_for(hw: HardwareConfig) -> ntier_core::AlgorithmReport {
     let testbed = SimTestbed::new(hw, Schedule::Default);
@@ -30,7 +31,10 @@ fn print_report(hw: HardwareConfig, rep: &ntier_core::AlgorithmReport) {
         "Critical hardware resource : {} CPU (util {:.2})",
         rep.critical_tier, rep.critical_util
     );
-    println!("Saturation workload        : {} users", rep.saturation_workload);
+    println!(
+        "Saturation workload        : {} users",
+        rep.saturation_workload
+    );
     println!("Req_ratio                  : {:.2}", rep.req_ratio);
     println!("Pool doublings needed      : {}", rep.doublings);
     println!("Experiments used           : {}", rep.runs_used);
@@ -113,9 +117,6 @@ fn main() {
 
     save_json(
         "table1",
-        &serde_json::json!({
-            "1/2/1/2": rep12,
-            "1/4/1/4": rep14,
-        }),
+        &obj([("1/2/1/2", rep12.to_json()), ("1/4/1/4", rep14.to_json())]),
     );
 }

@@ -9,7 +9,17 @@ fn sweep(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) {
     println!("\n=== {hw}({soft}) ===");
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
-        "users", "tp", "good2s", "good1s", "good.5s", "rt_ms", "web%", "app%", "cmw%", "db%", "gc_cmw%"
+        "users",
+        "tp",
+        "good2s",
+        "good1s",
+        "good.5s",
+        "rt_ms",
+        "web%",
+        "app%",
+        "cmw%",
+        "db%",
+        "gc_cmw%"
     );
     for &u in users {
         let cfg = SystemConfig::new(hw, soft, u);

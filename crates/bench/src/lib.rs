@@ -5,6 +5,7 @@
 //! machine-readable JSON copy under `target/paper-results/`.
 
 use ntier_core::{ExperimentSpec, HardwareConfig, RunOutput, SoftAllocation};
+use ntier_trace::json::Json;
 use std::fs;
 use std::path::PathBuf;
 
@@ -66,7 +67,7 @@ pub fn pct_diff(a: f64, b: f64) -> f64 {
 /// Save a JSON artifact next to the printed table (always under the
 /// workspace root's `target/paper-results/`, independent of the bench
 /// binary's working directory).
-pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+pub fn save_json(name: &str, value: &Json) {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("target/paper-results");
@@ -74,13 +75,23 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if fs::write(&path, s).is_ok() {
-                println!("[saved {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("could not serialize {name}: {e}"),
+    if fs::write(&path, value.to_pretty()).is_ok() {
+        println!("[saved {}]", path.display());
+    }
+}
+
+/// Save a raw string artifact (JSONL, Chrome trace) under
+/// `target/paper-results/`.
+pub fn save_text(name: &str, contents: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target/paper-results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(name);
+    if fs::write(&path, contents).is_ok() {
+        println!("[saved {}]", path.display());
     }
 }
 

@@ -21,7 +21,6 @@
 
 use crate::experiment::{Observation, Testbed};
 use crate::stats::{find_intervention, Intervention};
-use serde::{Deserialize, Serialize};
 use tiers::{SoftAllocation, Tier};
 
 /// Tunables of Algorithm 1.
@@ -66,7 +65,7 @@ impl Default for AlgorithmConfig {
 
 /// Little's-law inference for one tier at the saturation workload (one row
 /// of the paper's Table I).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TierInference {
     /// Tier.
     pub tier: Tier,
@@ -83,7 +82,7 @@ pub struct TierInference {
 }
 
 /// One experiment in the algorithm's trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceEntry {
     /// Procedure (1 or 2).
     pub phase: u8,
@@ -98,7 +97,7 @@ pub struct TraceEntry {
 }
 
 /// Output of Algorithm 1 (the content of the paper's Table I).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AlgorithmReport {
     /// The critical hardware resource (tier of the saturating CPU).
     pub critical_tier: Tier,
@@ -120,6 +119,51 @@ pub struct AlgorithmReport {
     pub runs_used: u32,
     /// Full experiment trace.
     pub trace: Vec<TraceEntry>,
+}
+
+impl ntier_trace::json::ToJson for TierInference {
+    fn to_json(&self) -> ntier_trace::json::Json {
+        use ntier_trace::json::obj;
+        obj([
+            ("tier", self.tier.server_name().into()),
+            ("rtt", self.rtt.into()),
+            ("tp_per_server", self.tp_per_server.into()),
+            ("servers", self.servers.into()),
+            ("jobs_per_server", self.jobs_per_server.into()),
+            ("total_jobs", self.total_jobs.into()),
+        ])
+    }
+}
+
+impl ntier_trace::json::ToJson for TraceEntry {
+    fn to_json(&self) -> ntier_trace::json::Json {
+        use ntier_trace::json::obj;
+        obj([
+            ("phase", (self.phase as u32).into()),
+            ("users", self.users.into()),
+            ("soft", self.soft.as_str().into()),
+            ("throughput", self.throughput.into()),
+            ("note", self.note.as_str().into()),
+        ])
+    }
+}
+
+impl ntier_trace::json::ToJson for AlgorithmReport {
+    fn to_json(&self) -> ntier_trace::json::Json {
+        use ntier_trace::json::obj;
+        obj([
+            ("critical_tier", self.critical_tier.server_name().into()),
+            ("critical_util", self.critical_util.into()),
+            ("saturation_workload", self.saturation_workload.into()),
+            ("minjobs_per_server", self.minjobs_per_server.into()),
+            ("per_tier", self.per_tier.to_json()),
+            ("req_ratio", self.req_ratio.into()),
+            ("recommended", self.recommended.to_string().into()),
+            ("doublings", self.doublings.into()),
+            ("runs_used", self.runs_used.into()),
+            ("trace", self.trace.to_json()),
+        ])
+    }
 }
 
 /// Errors the algorithm can report instead of guessing.
@@ -192,11 +236,9 @@ impl<T: Testbed> SoftResourceTuner<T> {
     /// Execute all three procedures and produce the report.
     pub fn run(mut self) -> Result<AlgorithmReport, AlgorithmError> {
         let (critical, critical_util, reserve, doublings) = self.find_critical_resource()?;
-        let (wl_min, minjobs, inferences) =
-            self.infer_min_concurrent_jobs(critical, reserve)?;
+        let (wl_min, minjobs, inferences) = self.infer_min_concurrent_jobs(critical, reserve)?;
         let req_ratio = self.testbed.req_ratio();
-        let recommended =
-            self.calculate_min_allocation(critical, minjobs, &inferences, req_ratio);
+        let recommended = self.calculate_min_allocation(critical, minjobs, &inferences, req_ratio);
         Ok(AlgorithmReport {
             critical_tier: critical,
             critical_util,
@@ -221,10 +263,10 @@ impl<T: Testbed> SoftResourceTuner<T> {
         let mut doublings = 0u32;
         loop {
             let obs = self.run_once(1, soft, workload, "ramp")?;
-            if let Some(&(tier, _, util)) =
-                obs.hw_saturated.iter().max_by(|a, b| {
-                    a.2.partial_cmp(&b.2).expect("no NaN utilizations")
-                })
+            if let Some(&(tier, _, util)) = obs
+                .hw_saturated
+                .iter()
+                .max_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN utilizations"))
             {
                 self.trace.last_mut().expect("just pushed").note =
                     format!("hardware saturated: {tier} @ {util:.2}");
@@ -273,8 +315,7 @@ impl<T: Testbed> SoftResourceTuner<T> {
             workload += self.config.small_step;
         }
         // Intervention analysis on the SLO-satisfaction series.
-        let idx = match find_intervention(&slo_series, self.config.alpha, self.config.min_drop)
-        {
+        let idx = match find_intervention(&slo_series, self.config.alpha, self.config.min_drop) {
             Intervention::DeterioratesAt(i) => i,
             // No deterioration seen: the last (highest) workload is the best
             // estimate of the saturation onset.
@@ -303,9 +344,8 @@ impl<T: Testbed> SoftResourceTuner<T> {
                 total_jobs: log.total_jobs(),
             })
             .collect();
-        self.trace.last_mut().expect("just pushed").note = format!(
-            "WL_min = {wl_min}; minjobs/server({critical}) = {minjobs:.1}"
-        );
+        self.trace.last_mut().expect("just pushed").note =
+            format!("WL_min = {wl_min}; minjobs/server({critical}) = {minjobs:.1}");
         Ok((wl_min, minjobs, inferences))
     }
 
@@ -388,7 +428,9 @@ mod tests {
             small_step: 500,
             ..AlgorithmConfig::default()
         };
-        SoftResourceTuner::new(tb, cfg).run().expect("algorithm succeeds")
+        SoftResourceTuner::new(tb, cfg)
+            .run()
+            .expect("algorithm succeeds")
     }
 
     #[test]
@@ -419,7 +461,12 @@ mod tests {
             ..AlgorithmConfig::default()
         };
         let rep = SoftResourceTuner::new(tb, cfg).run().expect("succeeds");
-        assert!(rep.doublings >= 1, "doublings={} {:?}", rep.doublings, rep.trace);
+        assert!(
+            rep.doublings >= 1,
+            "doublings={} {:?}",
+            rep.doublings,
+            rep.trace
+        );
         assert_eq!(rep.critical_tier, Tier::App);
     }
 

@@ -1,5 +1,6 @@
 //! The experiment driver: the `RunExperiment(H, S, workload)` primitive of
-//! Algorithm 1, plus a rayon-parallel sweep for the figure harnesses.
+//! Algorithm 1, plus a thread-parallel sweep for the figure harnesses
+//! (serial when built without the `parallel` feature).
 //!
 //! The algorithm is written against the [`Testbed`] trait so it can drive
 //! either the full discrete-event simulator ([`SimTestbed`]) or the fast
@@ -7,10 +8,11 @@
 //! model-based related work the paper cites — also used to unit-test the
 //! algorithm in milliseconds).
 
-use rayon::prelude::*;
+use ntier_trace::TraceConfig;
 use std::collections::BTreeMap;
 use tiers::{
-    run_system, HardwareConfig, RunOutput, SoftAllocation, SystemConfig, Tier,
+    run_system, run_system_traced, HardwareConfig, RunOutput, RunTrace, SoftAllocation,
+    SystemConfig, Tier,
 };
 use workload::WorkloadConfig;
 
@@ -147,10 +149,12 @@ pub struct ExperimentSpec {
     pub schedule: Schedule,
     /// RNG seed.
     pub seed: u64,
+    /// Per-request tracing ([`TraceConfig::Off`] by default — zero cost).
+    pub trace: TraceConfig,
 }
 
 impl ExperimentSpec {
-    /// Spec with the default schedule and seed.
+    /// Spec with the default schedule and seed, tracing off.
     pub fn new(hardware: HardwareConfig, soft: SoftAllocation, users: u32) -> Self {
         ExperimentSpec {
             hardware,
@@ -158,7 +162,14 @@ impl ExperimentSpec {
             users,
             schedule: Schedule::Default,
             seed: 0x5eed_0001,
+            trace: TraceConfig::Off,
         }
+    }
+
+    /// Same spec with tracing enabled.
+    pub fn traced(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Build the full system configuration.
@@ -166,6 +177,7 @@ impl ExperimentSpec {
         let mut cfg = SystemConfig::new(self.hardware, self.soft, self.users);
         cfg.workload = self.schedule.workload(self.users);
         cfg.seed = self.seed;
+        cfg.trace = self.trace;
         cfg
     }
 }
@@ -175,16 +187,64 @@ pub fn run_experiment(spec: &ExperimentSpec) -> RunOutput {
     run_system(spec.to_config())
 }
 
-/// Run many independent trials in parallel (rayon), preserving input order.
-/// Each trial owns a deterministic seed, so the results are identical to a
-/// serial sweep.
-pub fn sweep(specs: &[ExperimentSpec]) -> Vec<RunOutput> {
-    specs.par_iter().map(run_experiment).collect()
+/// Run one simulator trial and return the trace alongside the aggregates.
+/// With `spec.trace == TraceConfig::Off` the trace is empty.
+pub fn run_experiment_traced(spec: &ExperimentSpec) -> (RunOutput, RunTrace) {
+    run_system_traced(spec.to_config())
 }
 
-/// Run many pre-built system configurations in parallel, preserving order.
+/// Map `items` through `f`, preserving input order.
+///
+/// With the `parallel` feature (default) the work is spread over
+/// `available_parallelism` scoped threads pulling from a shared queue; without
+/// it this is a plain serial map, so the crate builds and runs in minimal
+/// single-threaded environments. Each trial owns a deterministic seed, so the
+/// results are identical either way.
+fn ordered_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    use std::sync::Mutex;
+    let threads = if cfg!(feature = "parallel") {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(items.len())
+    } else {
+        1
+    };
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results = Mutex::new(slots);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop();
+                let Some((i, item)) = next else { break };
+                let r = f(item);
+                results.lock().expect("results lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Run many independent trials (thread-parallel by default), preserving input
+/// order. Each trial owns a deterministic seed, so the results are identical
+/// to a serial sweep.
+pub fn sweep(specs: &[ExperimentSpec]) -> Vec<RunOutput> {
+    ordered_map(specs.iter().collect(), run_experiment)
+}
+
+/// Run many pre-built system configurations, preserving order.
 pub fn sweep_configs(configs: Vec<SystemConfig>) -> Vec<RunOutput> {
-    configs.into_par_iter().map(run_system).collect()
+    ordered_map(configs, run_system)
 }
 
 /// The discrete-event simulator as a [`Testbed`].
@@ -307,8 +367,7 @@ impl Testbed for AnalyticTestbed {
         // penalty growing with the total connection count.
         let total_conns = (soft.app_db_conns * self.hardware.app) as f64;
         let gc = (total_conns / 100.0 * self.gc_per_100_conns).min(0.9);
-        let mut eff: [f64; 4] =
-            std::array::from_fn(|i| self.demand[i] / self.servers(i));
+        let mut eff: [f64; 4] = std::array::from_fn(|i| self.demand[i] / self.servers(i));
         eff[2] /= 1.0 - gc;
         // Hardware capacity bound.
         let hw_cap = 1.0 / eff.iter().cloned().fold(f64::MIN, f64::max);
@@ -359,7 +418,11 @@ impl Testbed for AnalyticTestbed {
         let extra = (r - r0).max(0.0);
         let util_sum: f64 = util.iter().sum();
         for (i, &tier) in Tier::ALL.iter().enumerate() {
-            let share = if util_sum > 0.0 { util[i] / util_sum } else { 0.25 };
+            let share = if util_sum > 0.0 {
+                util[i] / util_sum
+            } else {
+                0.25
+            };
             let visits = if i >= 2 { self.req_ratio } else { 1.0 };
             let rtt = (self.demand[i] / visits + self.latency / 8.0)
                 / (1.0 - (x * eff[i]).min(0.99))
@@ -425,7 +488,9 @@ mod tests {
         let obs = tb.run(soft, 8000);
         assert!(obs.hw_saturated.is_empty(), "{:?}", obs.hw_saturated);
         assert!(
-            obs.soft_saturated.iter().any(|s| s.2 == "threads" && s.0 == Tier::App),
+            obs.soft_saturated
+                .iter()
+                .any(|s| s.2 == "threads" && s.0 == Tier::App),
             "{:?}",
             obs.soft_saturated
         );

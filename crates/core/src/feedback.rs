@@ -10,11 +10,10 @@
 //! allocation against Algorithm 1's.
 
 use crate::experiment::Testbed;
-use serde::{Deserialize, Serialize};
 use tiers::SoftAllocation;
 
 /// Knobs the controller can adjust.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Knob {
     WebThreads,
     AppThreads,
@@ -26,9 +25,15 @@ const KNOBS: [Knob; 3] = [Knob::AppThreads, Knob::DbConns, Knob::WebThreads];
 fn apply(soft: SoftAllocation, knob: Knob, factor: f64) -> SoftAllocation {
     let scale = |v: usize| ((v as f64 * factor).round() as usize).max(2);
     match knob {
-        Knob::WebThreads => SoftAllocation::new(scale(soft.web_threads), soft.app_threads, soft.app_db_conns),
-        Knob::AppThreads => SoftAllocation::new(soft.web_threads, scale(soft.app_threads), soft.app_db_conns),
-        Knob::DbConns => SoftAllocation::new(soft.web_threads, soft.app_threads, scale(soft.app_db_conns)),
+        Knob::WebThreads => {
+            SoftAllocation::new(scale(soft.web_threads), soft.app_threads, soft.app_db_conns)
+        }
+        Knob::AppThreads => {
+            SoftAllocation::new(soft.web_threads, scale(soft.app_threads), soft.app_db_conns)
+        }
+        Knob::DbConns => {
+            SoftAllocation::new(soft.web_threads, soft.app_threads, scale(soft.app_db_conns))
+        }
     }
 }
 
@@ -64,7 +69,7 @@ impl Default for FeedbackConfig {
 }
 
 /// Result of a feedback-tuning session.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FeedbackReport {
     /// Final allocation.
     pub allocation: SoftAllocation,
@@ -174,9 +179,10 @@ mod tests {
     fn accepted_trace_is_monotone_in_goodput() {
         let mut tb = AnalyticTestbed::calibrated(HardwareConfig::one_two_one_two());
         let rep = feedback_tune(&mut tb, &FeedbackConfig::default());
-        assert!(rep
-            .accepted
-            .windows(2)
-            .all(|w| w[1].1 >= w[0].1), "{:?}", rep.accepted);
+        assert!(
+            rep.accepted.windows(2).all(|w| w[1].1 >= w[0].1),
+            "{:?}",
+            rep.accepted
+        );
     }
 }

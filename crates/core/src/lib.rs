@@ -15,7 +15,7 @@
 //! * [`stats`] — Welch's two-sample t-test and the intervention analysis
 //!   used to find the saturation workload from SLO-satisfaction series.
 //! * [`experiment`] — `RunExperiment` (the driver Algorithm 1 calls), with a
-//!   rayon-parallel sweep helper for the figure harnesses.
+//!   thread-parallel sweep helper for the figure harnesses.
 //! * [`algorithm`] — the three procedures of Algorithm 1:
 //!   `FindCriticalResource`, `InferMinConcurrentJobs`,
 //!   `CalculateMinAllocation`.
@@ -39,7 +39,7 @@ pub mod stats;
 pub mod strategies;
 
 pub use algorithm::{AlgorithmConfig, AlgorithmReport, SoftResourceTuner};
-pub use experiment::{run_experiment, sweep, ExperimentSpec};
+pub use experiment::{run_experiment, run_experiment_traced, sweep, ExperimentSpec};
 pub use feedback::{feedback_tune, FeedbackConfig, FeedbackReport};
 pub use mva::{MvaModel, MvaSolution, Station};
 pub use notation::{parse_hardware, parse_soft, parse_spec};
@@ -47,6 +47,8 @@ pub use strategies::Strategy;
 
 // Re-export the simulator surface so downstream users need one import.
 pub use tiers::{
-    run_system, HardwareConfig, NodeReport, RunOutput, ServiceParams, SoftAllocation,
-    SystemConfig, Tier,
+    run_system, run_system_traced, HardwareConfig, NodeReport, RunOutput, RunTrace, ServiceParams,
+    SoftAllocation, SystemConfig, Tier,
 };
+// And the tracing surface (config + exporters) for traced runs.
+pub use ntier_trace::TraceConfig;

@@ -19,10 +19,8 @@
 //! Q_k(n) = X(n) · R_k(n)
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 /// Station kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StationKind {
     /// Queueing (PS or FCFS with exponential service — MVA treats them
     /// identically for single-class workloads).
@@ -32,7 +30,7 @@ pub enum StationKind {
 }
 
 /// One service station.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Station {
     /// Display name.
     pub name: String,
@@ -64,7 +62,7 @@ impl Station {
 }
 
 /// A closed single-class queueing network with think time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MvaModel {
     /// Stations (order is preserved in solutions).
     pub stations: Vec<Station>,
@@ -73,7 +71,7 @@ pub struct MvaModel {
 }
 
 /// Solution for one population size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MvaSolution {
     /// Population.
     pub n: u32,
@@ -247,12 +245,7 @@ mod tests {
     #[test]
     fn four_tier_model_matches_calibration_targets() {
         // DESIGN.md §4: 1/2/1/2 caps ≈ 830 req/s with a knee near 5 800.
-        let m = MvaModel::four_tier(
-            [1, 2, 1, 2],
-            [0.00075, 0.0024, 0.0011, 0.0019],
-            0.022,
-            7.0,
-        );
+        let m = MvaModel::four_tier([1, 2, 1, 2], [0.00075, 0.0024, 0.0011, 0.0019], 0.022, 7.0);
         let bound = m.throughput_bound();
         assert!((bound - 833.3).abs() < 1.0, "bound={bound}");
         let knee = m.knee_population();
@@ -260,23 +253,13 @@ mod tests {
         let (_, name) = m.bottleneck();
         assert!(name.starts_with("Tomcat"), "bottleneck={name}");
         // 1/4/1/4 moves the bottleneck to C-JDBC.
-        let m = MvaModel::four_tier(
-            [1, 4, 1, 4],
-            [0.00075, 0.0024, 0.0011, 0.0019],
-            0.022,
-            7.0,
-        );
+        let m = MvaModel::four_tier([1, 4, 1, 4], [0.00075, 0.0024, 0.0011, 0.0019], 0.022, 7.0);
         assert!(m.bottleneck().1.starts_with("C-JDBC"));
     }
 
     #[test]
     fn throughput_is_monotone_in_population() {
-        let m = MvaModel::four_tier(
-            [1, 2, 1, 2],
-            [0.00075, 0.0024, 0.0011, 0.0019],
-            0.022,
-            7.0,
-        );
+        let m = MvaModel::four_tier([1, 2, 1, 2], [0.00075, 0.0024, 0.0011, 0.0019], 0.022, 7.0);
         let sweep = m.sweep(&[1000, 3000, 5000, 7000, 9000]);
         for w in sweep.windows(2) {
             assert!(w[1].throughput >= w[0].throughput - 1e-9);

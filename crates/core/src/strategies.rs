@@ -6,11 +6,10 @@
 //! industry rule of thumb `400-150-60`. The algorithmic strategy is
 //! [`crate::SoftResourceTuner`].
 
-use serde::{Deserialize, Serialize};
 use tiers::{HardwareConfig, SoftAllocation};
 
 /// A static soft-resource allocation policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// Resource minimization: small pools to minimize overhead (§III-A).
     Conservative,
@@ -81,8 +80,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Strategy::ALL.iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), 3);
     }
 }

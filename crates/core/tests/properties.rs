@@ -1,4 +1,4 @@
-//! Property tests of the core toolkit: operational-law algebra, the t-test
+//! Randomized tests of the core toolkit: operational-law algebra, the t-test
 //! machinery, the intervention analysis, and the notation parser.
 
 use ntier_core::laws;
@@ -6,135 +6,178 @@ use ntier_core::notation::{parse_hardware, parse_soft, parse_spec};
 use ntier_core::stats::{
     find_intervention, incomplete_beta, student_t_cdf, welch_t_test, Intervention,
 };
-use proptest::prelude::*;
+use simcore::testkit::check;
 use tiers::{HardwareConfig, SoftAllocation};
 
-proptest! {
-    /// Little's law round-trips through its two forms.
-    #[test]
-    fn littles_law_round_trip(x in 0.1f64..1e4, r in 1e-6f64..1e2) {
+/// Little's law round-trips through its two forms.
+#[test]
+fn littles_law_round_trip() {
+    check(64, |g| {
+        let x = g.f64_in(0.1, 1e4);
+        let r = g.f64_in(1e-6, 1e2);
         let l = laws::littles_law_jobs(x, r);
         let r2 = laws::littles_law_residence(l, x);
-        prop_assert!((r2 - r).abs() < 1e-9 * r.max(1.0));
-    }
+        assert!((r2 - r).abs() < 1e-9 * r.max(1.0));
+    });
+}
 
-    /// Interactive response-time and throughput laws are inverses.
-    #[test]
-    fn interactive_laws_inverse(n in 1.0f64..1e5, z in 0.1f64..60.0, x in 0.1f64..1e4) {
+/// Interactive response-time and throughput laws are inverses.
+#[test]
+fn interactive_laws_inverse() {
+    check(64, |g| {
+        let n = g.f64_in(1.0, 1e5);
+        let z = g.f64_in(0.1, 60.0);
+        let x = g.f64_in(0.1, 1e4);
         let r = laws::interactive_response_time(n, x, z);
         if r > 0.0 {
             let x2 = laws::interactive_throughput(n, z, r);
-            prop_assert!((x2 - x).abs() < 1e-6 * x);
+            assert!((x2 - x).abs() < 1e-6 * x);
         } else {
             // Clamped: the system is underloaded, X < N/Z.
-            prop_assert!(x >= n / z - 1e-9);
+            assert!(x >= n / z - 1e-9);
         }
-    }
+    });
+}
 
-    /// The upstream-allocation formula is monotone in each argument the way
-    /// the paper argues: more critical jobs or slower upstream ⇒ more
-    /// upstream resources; more downstream visits ⇒ fewer.
-    #[test]
-    fn upstream_allocation_monotonicity(
-        jobs in 1.0f64..100.0,
-        rtt_up in 1e-3f64..1.0,
-        rtt_crit in 1e-3f64..1.0,
-        ratio in 0.5f64..10.0,
-    ) {
+/// The upstream-allocation formula is monotone in each argument the way
+/// the paper argues: more critical jobs or slower upstream ⇒ more
+/// upstream resources; more downstream visits ⇒ fewer.
+#[test]
+fn upstream_allocation_monotonicity() {
+    check(64, |g| {
+        let jobs = g.f64_in(1.0, 100.0);
+        let rtt_up = g.f64_in(1e-3, 1.0);
+        let rtt_crit = g.f64_in(1e-3, 1.0);
+        let ratio = g.f64_in(0.5, 10.0);
         let base = laws::upstream_allocation(jobs, rtt_up, rtt_crit, ratio);
-        prop_assert!(base > 0.0);
-        prop_assert!(laws::upstream_allocation(jobs * 2.0, rtt_up, rtt_crit, ratio) > base);
-        prop_assert!(laws::upstream_allocation(jobs, rtt_up * 2.0, rtt_crit, ratio) > base);
-        prop_assert!(laws::upstream_allocation(jobs, rtt_up, rtt_crit, ratio * 2.0) < base);
-    }
+        assert!(base > 0.0);
+        assert!(laws::upstream_allocation(jobs * 2.0, rtt_up, rtt_crit, ratio) > base);
+        assert!(laws::upstream_allocation(jobs, rtt_up * 2.0, rtt_crit, ratio) > base);
+        assert!(laws::upstream_allocation(jobs, rtt_up, rtt_crit, ratio * 2.0) < base);
+    });
+}
 
-    /// Student-t CDF is a valid, symmetric CDF.
-    #[test]
-    fn t_cdf_is_a_cdf(t in -50.0f64..50.0, df in 1.0f64..200.0) {
+/// Student-t CDF is a valid, symmetric CDF.
+#[test]
+fn t_cdf_is_a_cdf() {
+    check(64, |g| {
+        let t = g.f64_in(-50.0, 50.0);
+        let df = g.f64_in(1.0, 200.0);
         let p = student_t_cdf(t, df);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p));
         // Symmetry.
         let q = student_t_cdf(-t, df);
-        prop_assert!((p + q - 1.0).abs() < 1e-9);
+        assert!((p + q - 1.0).abs() < 1e-9);
         // Monotone in t.
-        prop_assert!(student_t_cdf(t + 0.5, df) >= p - 1e-12);
-    }
+        assert!(student_t_cdf(t + 0.5, df) >= p - 1e-12);
+    });
+}
 
-    /// The regularized incomplete beta is a CDF in x.
-    #[test]
-    fn incomplete_beta_monotone(a in 0.5f64..20.0, b in 0.5f64..20.0, x in 0.0f64..1.0) {
+/// The regularized incomplete beta is a CDF in x.
+#[test]
+fn incomplete_beta_monotone() {
+    check(64, |g| {
+        let a = g.f64_in(0.5, 20.0);
+        let b = g.f64_in(0.5, 20.0);
+        let x = g.f64_in(0.0, 1.0);
         let i = incomplete_beta(a, b, x);
-        prop_assert!((0.0..=1.0).contains(&i), "I={i}");
+        assert!((0.0..=1.0).contains(&i), "I={i}");
         let j = incomplete_beta(a, b, (x + 0.05).min(1.0));
-        prop_assert!(j >= i - 1e-9);
-    }
+        assert!(j >= i - 1e-9);
+    });
+}
 
-    /// Welch's test never finds a significant difference between two samples
-    /// from the SAME deterministic sequence, and always finds one when the
-    /// means are far apart relative to the noise.
-    #[test]
-    fn welch_calibration(offset in 0.5f64..5.0, seed in 0u64..1000) {
+/// Welch's test never finds a significant difference between two samples
+/// from the SAME deterministic sequence, and always finds one when the
+/// means are far apart relative to the noise.
+#[test]
+fn welch_calibration() {
+    check(48, |g| {
+        let offset = g.f64_in(0.5, 5.0);
+        let seed = g.u64_in(0, 1000);
         let noisy = |s: u64| -> Vec<f64> {
-            (0..40).map(|i| ((i * 7919 + s * 104729) % 1000) as f64 / 10_000.0).collect()
+            (0..40)
+                .map(|i| ((i * 7919 + s * 104729) % 1000) as f64 / 10_000.0)
+                .collect()
         };
         let a = noisy(seed);
         let b = noisy(seed + 1);
         let same = welch_t_test(&a, &b);
-        prop_assert!(same.p_a_greater > 1e-4, "false positive p={}", same.p_a_greater);
+        assert!(
+            same.p_a_greater > 1e-4,
+            "false positive p={}",
+            same.p_a_greater
+        );
         let shifted: Vec<f64> = b.iter().map(|x| x - offset).collect();
         let diff = welch_t_test(&a, &shifted);
-        prop_assert!(diff.p_a_greater < 1e-6, "missed a {offset} shift");
-    }
+        assert!(diff.p_a_greater < 1e-6, "missed a {offset} shift");
+    });
+}
 
-    /// Intervention analysis: a monotone degradation is detected at (or
-    /// before) the true change point, never after the series ends, and a
-    /// constant series is always Stable.
-    #[test]
-    fn intervention_detects_true_changepoint(
-        n_stable in 2usize..6,
-        n_bad in 1usize..4,
-        drop in 0.2f64..0.9,
-    ) {
+/// Intervention analysis: a monotone degradation is detected at (or
+/// before) the true change point, never after the series ends, and a
+/// constant series is always Stable.
+#[test]
+fn intervention_detects_true_changepoint() {
+    check(48, |g| {
+        let n_stable = g.usize_in(2, 6);
+        let n_bad = g.usize_in(1, 4);
+        let drop = g.f64_in(0.2, 0.9);
         let flat = |level: f64| -> Vec<f64> {
-            (0..60).map(|i| level + 0.01 * ((i * 31 % 17) as f64 / 17.0 - 0.5)).collect()
+            (0..60)
+                .map(|i| level + 0.01 * ((i * 31 % 17) as f64 / 17.0 - 0.5))
+                .collect()
         };
         let mut series = vec![flat(0.98); n_stable];
         for k in 0..n_bad {
             series.push(flat((0.98 - drop * (k + 1) as f64).max(0.0)));
         }
         match find_intervention(&series, 0.01, 0.05) {
-            Intervention::DeterioratesAt(i) => prop_assert_eq!(i, n_stable),
-            Intervention::Stable => prop_assert!(false, "missed the changepoint"),
+            Intervention::DeterioratesAt(i) => assert_eq!(i, n_stable),
+            Intervention::Stable => panic!("missed the changepoint (seed {})", g.seed()),
         }
-        prop_assert_eq!(
+        assert_eq!(
             find_intervention(&vec![flat(0.9); n_stable + n_bad], 0.01, 0.05),
             Intervention::Stable
         );
-    }
+    });
+}
 
-    /// Notation round-trips for arbitrary valid configurations.
-    #[test]
-    fn notation_round_trip(
-        w in 1usize..32, a in 1usize..32, c in 1usize..8, d in 1usize..32,
-        wt in 1usize..4096, at in 1usize..1024, ac in 1usize..1024,
-    ) {
-        let hw = HardwareConfig::new(w, a, c, d);
-        let soft = SoftAllocation::new(wt, at, ac);
-        prop_assert_eq!(parse_hardware(&hw.to_string()).unwrap(), hw);
-        prop_assert_eq!(parse_soft(&soft.to_string()).unwrap(), soft);
+/// Notation round-trips for arbitrary valid configurations.
+#[test]
+fn notation_round_trip() {
+    check(64, |g| {
+        let hw = HardwareConfig::new(
+            g.usize_in(1, 32),
+            g.usize_in(1, 32),
+            g.usize_in(1, 8),
+            g.usize_in(1, 32),
+        );
+        let soft = SoftAllocation::new(
+            g.usize_in(1, 4096),
+            g.usize_in(1, 1024),
+            g.usize_in(1, 1024),
+        );
+        assert_eq!(parse_hardware(&hw.to_string()).unwrap(), hw);
+        assert_eq!(parse_soft(&soft.to_string()).unwrap(), soft);
         let spec = format!("{hw}({soft})");
         let (hw2, soft2) = parse_spec(&spec).unwrap();
-        prop_assert_eq!(hw2, hw);
-        prop_assert_eq!(soft2, soft);
-    }
+        assert_eq!(hw2, hw);
+        assert_eq!(soft2, soft);
+    });
+}
 
-    /// Doubling a soft allocation exactly doubles every pool.
-    #[test]
-    fn doubling_doubles(wt in 1usize..1000, at in 1usize..1000, ac in 1usize..1000) {
+/// Doubling a soft allocation exactly doubles every pool.
+#[test]
+fn doubling_doubles() {
+    check(64, |g| {
+        let wt = g.usize_in(1, 1000);
+        let at = g.usize_in(1, 1000);
+        let ac = g.usize_in(1, 1000);
         let s = SoftAllocation::new(wt, at, ac);
         let d = s.doubled();
-        prop_assert_eq!(d.web_threads, wt * 2);
-        prop_assert_eq!(d.app_threads, at * 2);
-        prop_assert_eq!(d.app_db_conns, ac * 2);
-    }
+        assert_eq!(d.web_threads, wt * 2);
+        assert_eq!(d.app_threads, at * 2);
+        assert_eq!(d.app_db_conns, ac * 2);
+    });
 }

@@ -88,6 +88,17 @@ impl GcConfig {
     }
 }
 
+/// Context of one triggered stop-the-world collection (tracing hook).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcPause {
+    /// Pause length.
+    pub pause: SimTime,
+    /// Live set at trigger time (bytes) — what made the pause this long.
+    pub live_bytes: f64,
+    /// 1-based lifetime collection ordinal.
+    pub collection: u64,
+}
+
 /// A garbage-collected JVM heap attached to one server.
 #[derive(Debug)]
 pub struct JvmGc {
@@ -163,6 +174,13 @@ impl JvmGc {
     /// While a collection is in progress further allocations accumulate but
     /// cannot trigger a nested collection.
     pub fn on_allocation(&mut self, bytes: f64) -> Option<SimTime> {
+        self.on_allocation_traced(bytes).map(|p| p.pause)
+    }
+
+    /// Like [`on_allocation`](Self::on_allocation), but a triggered
+    /// collection comes back with its context — the tracing hook for GC-pause
+    /// spans and their attribution.
+    pub fn on_allocation_traced(&mut self, bytes: f64) -> Option<GcPause> {
         debug_assert!(bytes >= 0.0);
         self.allocated_since_gc += bytes;
         self.total_allocated += bytes;
@@ -173,16 +191,24 @@ impl JvmGc {
             return None;
         }
         self.in_collection = true;
-        let pause = self.config.pause_base_secs
-            + self.config.pause_per_live_mib_secs * (self.live_bytes() / MIB);
+        let live_bytes = self.live_bytes();
+        let pause =
+            self.config.pause_base_secs + self.config.pause_per_live_mib_secs * (live_bytes / MIB);
         self.collections += 1;
         self.total_pause_secs += pause;
-        Some(SimTime::from_secs_f64(pause))
+        Some(GcPause {
+            pause: SimTime::from_secs_f64(pause),
+            live_bytes,
+            collection: self.collections,
+        })
     }
 
     /// The host signals the end of the stop-the-world pause.
     pub fn collection_finished(&mut self) {
-        debug_assert!(self.in_collection, "collection_finished without a collection");
+        debug_assert!(
+            self.in_collection,
+            "collection_finished without a collection"
+        );
         self.in_collection = false;
         self.allocated_since_gc = 0.0;
     }
@@ -345,6 +371,18 @@ mod tests {
         j.begin_measurement();
         assert_eq!(j.collections(), 0);
         assert_eq!(j.total_pause_secs(), 0.0);
+    }
+
+    #[test]
+    fn traced_allocation_reports_pause_context() {
+        let mut j = jvm();
+        j.set_conns(200);
+        j.set_active(200);
+        let free = j.free_bytes();
+        let p = j.on_allocation_traced(free + 1.0).expect("should trigger");
+        assert_eq!(p.collection, 1);
+        assert!((p.live_bytes - j.live_bytes()).abs() < 1.0);
+        assert!(p.pause > SimTime::ZERO);
     }
 
     #[test]

@@ -13,10 +13,8 @@
 //!   saturation band: a participant in a multi-bottleneck.
 //! * **Unsaturated** — never a constraint.
 
-use serde::{Deserialize, Serialize};
-
 /// Classification of one resource's utilization series.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SaturationClass {
     /// Persistently saturated: the single-bottleneck case.
     StableSaturated,
@@ -27,7 +25,7 @@ pub enum SaturationClass {
 }
 
 /// Detector configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BottleneckDetector {
     /// Utilization at or above which a sample counts as saturated.
     pub saturation_level: f64,
@@ -54,7 +52,7 @@ impl Default for BottleneckDetector {
 }
 
 /// Per-resource analysis result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SaturationAnalysis {
     /// Classification.
     pub class: SaturationClass,
@@ -143,7 +141,7 @@ impl BottleneckDetector {
 }
 
 /// Overall system verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SystemVerdict {
     /// Exactly one persistently saturated resource: Algorithm 1 applies.
     SingleBottleneck,
@@ -155,7 +153,7 @@ pub enum SystemVerdict {
 }
 
 /// Diagnosis of a whole monitored system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemDiagnosis {
     /// System-level verdict.
     pub verdict: SystemVerdict,
@@ -173,7 +171,9 @@ mod tests {
 
     #[test]
     fn stable_saturation_detected() {
-        let series: Vec<f64> = (0..120).map(|i| 0.97 + 0.02 * ((i % 3) as f64) / 3.0).collect();
+        let series: Vec<f64> = (0..120)
+            .map(|i| 0.97 + 0.02 * ((i % 3) as f64) / 3.0)
+            .collect();
         let a = det().classify(&series);
         assert_eq!(a.class, SaturationClass::StableSaturated);
         assert!(a.saturated_fraction > 0.9);

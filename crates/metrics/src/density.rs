@@ -6,13 +6,11 @@
 //! plain time-average would smear out. [`UtilDensity`] accumulates one run's
 //! samples; the bench harness assembles one density per workload point.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of utilization bins (5% each, plus an exact-100% bin).
 pub const BINS: usize = 21;
 
 /// A probability density over utilization samples in `[0,1]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UtilDensity {
     counts: [u64; BINS],
     total: u64,

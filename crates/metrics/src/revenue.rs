@@ -12,11 +12,9 @@
 //! allocations are possible: a request earns `earn(rt)` from a descending
 //! step schedule and incurs `penalty` beyond the last step.
 
-use serde::{Deserialize, Serialize};
-
 /// One revenue step: requests with `rt <= threshold_secs` (and above the
 /// previous step's threshold) earn `earning` monetary units.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RevenueStep {
     /// Response-time bound of this step (seconds).
     pub threshold_secs: f64,
@@ -25,7 +23,7 @@ pub struct RevenueStep {
 }
 
 /// A stepped SLA revenue schedule.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RevenueModel {
     steps: Vec<RevenueStep>,
     /// Penalty charged per request slower than the last step.
@@ -43,7 +41,9 @@ impl RevenueModel {
         assert!(!steps.is_empty(), "need at least one revenue step");
         assert!(penalty >= 0.0, "penalty must be non-negative");
         assert!(
-            steps.windows(2).all(|w| w[0].threshold_secs < w[1].threshold_secs),
+            steps
+                .windows(2)
+                .all(|w| w[0].threshold_secs < w[1].threshold_secs),
             "thresholds must ascend"
         );
         assert!(
@@ -76,10 +76,22 @@ impl RevenueModel {
     pub fn ecommerce() -> Self {
         RevenueModel::new(
             &[
-                RevenueStep { threshold_secs: 0.5, earning: 1.00 },
-                RevenueStep { threshold_secs: 1.0, earning: 0.75 },
-                RevenueStep { threshold_secs: 2.0, earning: 0.40 },
-                RevenueStep { threshold_secs: 5.0, earning: 0.10 },
+                RevenueStep {
+                    threshold_secs: 0.5,
+                    earning: 1.00,
+                },
+                RevenueStep {
+                    threshold_secs: 1.0,
+                    earning: 0.75,
+                },
+                RevenueStep {
+                    threshold_secs: 2.0,
+                    earning: 0.40,
+                },
+                RevenueStep {
+                    threshold_secs: 5.0,
+                    earning: 0.10,
+                },
             ],
             0.50,
         )
@@ -203,8 +215,14 @@ mod tests {
     fn unsorted_steps_rejected() {
         let _ = RevenueModel::new(
             &[
-                RevenueStep { threshold_secs: 2.0, earning: 1.0 },
-                RevenueStep { threshold_secs: 1.0, earning: 0.5 },
+                RevenueStep {
+                    threshold_secs: 2.0,
+                    earning: 1.0,
+                },
+                RevenueStep {
+                    threshold_secs: 1.0,
+                    earning: 0.5,
+                },
             ],
             0.0,
         );
@@ -215,8 +233,14 @@ mod tests {
     fn increasing_earnings_rejected() {
         let _ = RevenueModel::new(
             &[
-                RevenueStep { threshold_secs: 1.0, earning: 0.5 },
-                RevenueStep { threshold_secs: 2.0, earning: 1.0 },
+                RevenueStep {
+                    threshold_secs: 1.0,
+                    earning: 0.5,
+                },
+                RevenueStep {
+                    threshold_secs: 2.0,
+                    earning: 1.0,
+                },
             ],
             0.0,
         );

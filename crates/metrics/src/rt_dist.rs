@@ -1,11 +1,10 @@
 //! The paper's response-time distribution bins (Fig. 3(c)).
 
-use serde::{Deserialize, Serialize};
 use simcore::stats::Histogram;
 
 /// Fixed-bin response-time distribution:
 /// `[0,.2] [.2,.4] [.4,.6] [.6,.8] [.8,1] [1,1.5] [1.5,2] >2` (seconds).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RtDistribution {
     hist: Histogram,
 }
@@ -31,7 +30,16 @@ impl RtDistribution {
     /// Counts for the eight bins (the last one is the `>2` overflow).
     pub fn counts(&self) -> [u64; 8] {
         let c = self.hist.counts();
-        [c[0], c[1], c[2], c[3], c[4], c[5], c[6], self.hist.overflow()]
+        [
+            c[0],
+            c[1],
+            c[2],
+            c[3],
+            c[4],
+            c[5],
+            c[6],
+            self.hist.overflow(),
+        ]
     }
 
     /// Fractions of all recorded requests per bin.

@@ -6,16 +6,16 @@
 //! `RTT`, and — via Little's law — the average number of jobs inside the
 //! server (Table I).
 
-use serde::{Deserialize, Serialize};
 use simcore::stats::Welford;
 use simcore::SimTime;
 
 /// Request log of a single server.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServerLog {
     name: String,
     rtt: Welford,
     completions: u64,
+    out_of_order: u64,
 }
 
 impl ServerLog {
@@ -25,6 +25,7 @@ impl ServerLog {
             name: name.into(),
             rtt: Welford::new(),
             completions: 0,
+            out_of_order: 0,
         }
     }
 
@@ -36,10 +37,22 @@ impl ServerLog {
     /// Record one request that resided in this server from `enter` to `leave`
     /// (residence includes any queueing for the server's soft resources —
     /// the job is "inside the server" the whole time, as in Fig. 9).
+    ///
+    /// A record with `leave < enter` is an instrumentation bug in the caller;
+    /// it is rejected (not silently folded into the mean as 0.0) and counted
+    /// in [`out_of_order`](Self::out_of_order) so it shows up in reports.
     pub fn record(&mut self, enter: SimTime, leave: SimTime) {
-        debug_assert!(leave >= enter);
+        if leave < enter {
+            self.out_of_order += 1;
+            return;
+        }
         self.rtt.add(leave.saturating_sub(enter).as_secs_f64());
         self.completions += 1;
+    }
+
+    /// Records rejected because `leave < enter`.
+    pub fn out_of_order(&self) -> u64 {
+        self.out_of_order
     }
 
     /// Record a precomputed residence time in seconds.
@@ -74,6 +87,7 @@ impl ServerLog {
     pub fn reset(&mut self) {
         self.rtt = Welford::new();
         self.completions = 0;
+        self.out_of_order = 0;
     }
 }
 
@@ -106,7 +120,10 @@ mod tests {
         let tp = log.throughput(10.0);
         assert!((tp - 10.0).abs() < 1e-9);
         let jobs = log.mean_jobs(10.0);
-        assert!((jobs - 2.0).abs() < 1e-9, "L = X*R = 10*0.2 = 2, got {jobs}");
+        assert!(
+            (jobs - 2.0).abs() < 1e-9,
+            "L = X*R = 10*0.2 = 2, got {jobs}"
+        );
     }
 
     #[test]
@@ -116,6 +133,21 @@ mod tests {
         log.reset();
         assert_eq!(log.completions(), 0);
         assert_eq!(log.mean_rtt(), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_records_are_rejected_and_counted() {
+        let mut log = ServerLog::new("s");
+        log.record(t(100), t(50)); // leave < enter: rejected
+        log.record(t(0), t(100));
+        assert_eq!(log.completions(), 1);
+        assert_eq!(log.out_of_order(), 1);
+        assert!(
+            (log.mean_rtt() - 0.1).abs() < 1e-9,
+            "bad record must not drag the mean"
+        );
+        log.reset();
+        assert_eq!(log.out_of_order(), 0);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! The simplified SLA model: goodput vs badput at response-time thresholds.
 
-use serde::{Deserialize, Serialize};
-
 /// A set of response-time thresholds (seconds), e.g. `[0.5, 1.0, 2.0]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SlaModel {
     thresholds: Vec<f64>,
 }
@@ -13,8 +11,7 @@ impl SlaModel {
     pub fn new(thresholds: &[f64]) -> Self {
         assert!(!thresholds.is_empty(), "need at least one threshold");
         assert!(
-            thresholds.iter().all(|&t| t > 0.0)
-                && thresholds.windows(2).all(|w| w[0] < w[1]),
+            thresholds.iter().all(|&t| t > 0.0) && thresholds.windows(2).all(|w| w[0] < w[1]),
             "thresholds must be positive and ascending"
         );
         SlaModel {
@@ -43,7 +40,7 @@ impl SlaModel {
 }
 
 /// Goodput/badput counters for one run under an [`SlaModel`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SlaCounts {
     thresholds: Vec<f64>,
     good: Vec<u64>,

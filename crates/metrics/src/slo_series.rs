@@ -7,12 +7,11 @@
 //! satisfied only if the system is genuinely idle — the caller decides by
 //! supplying `min_samples`.
 
-use serde::{Deserialize, Serialize};
 use simcore::stats::IntervalSeries;
 use simcore::SimTime;
 
 /// Per-interval (good, total) completion counts at one SLA threshold.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SloSeries {
     threshold_secs: f64,
     good: IntervalSeries,

@@ -1,16 +1,17 @@
-//! Property tests of the SLA/metrics invariants the paper's methodology
+//! Randomized tests of the SLA/metrics invariants the paper's methodology
 //! rests on.
 
 use metrics::{RtDistribution, ServerLog, SlaModel, SloSeries, UtilDensity};
-use proptest::prelude::*;
+use simcore::testkit::check;
 use simcore::SimTime;
 
-proptest! {
-    /// Goodput + badput = throughput at every threshold, for any response
-    /// times (§II-B: "the sum of goodput and badput amounts to the
-    /// traditional definition of throughput").
-    #[test]
-    fn goodput_badput_partition(rts in prop::collection::vec(0.0f64..20.0, 0..500)) {
+/// Goodput + badput = throughput at every threshold, for any response
+/// times (§II-B: "the sum of goodput and badput amounts to the
+/// traditional definition of throughput").
+#[test]
+fn goodput_badput_partition() {
+    check(64, |g| {
+        let rts = g.vec_f64(0.0, 20.0, 0, 500);
         let model = SlaModel::paper();
         let mut c = model.counters();
         for &rt in &rts {
@@ -18,29 +19,35 @@ proptest! {
         }
         let w = 42.0;
         for i in 0..model.thresholds().len() {
-            prop_assert_eq!(c.good(i) + c.bad(i), c.total());
-            prop_assert!((c.goodput(i, w) + c.badput(i, w) - c.throughput(w)).abs() < 1e-9);
+            assert_eq!(c.good(i) + c.bad(i), c.total());
+            assert!((c.goodput(i, w) + c.badput(i, w) - c.throughput(w)).abs() < 1e-9);
         }
         // Wider threshold ⇒ goodput can only grow.
-        prop_assert!(c.good(0) <= c.good(1) && c.good(1) <= c.good(2));
-    }
+        assert!(c.good(0) <= c.good(1) && c.good(1) <= c.good(2));
+    });
+}
 
-    /// The Fig. 3(c) distribution conserves counts and its fractions sum to 1.
-    #[test]
-    fn rt_distribution_conserves(rts in prop::collection::vec(0.0f64..10.0, 1..400)) {
+/// The Fig. 3(c) distribution conserves counts and its fractions sum to 1.
+#[test]
+fn rt_distribution_conserves() {
+    check(64, |g| {
+        let rts = g.vec_f64(0.0, 10.0, 1, 400);
         let mut d = RtDistribution::new();
         for &rt in &rts {
             d.record(rt);
         }
-        prop_assert_eq!(d.total(), rts.len() as u64);
-        prop_assert_eq!(d.counts().iter().sum::<u64>(), rts.len() as u64);
+        assert_eq!(d.total(), rts.len() as u64);
+        assert_eq!(d.counts().iter().sum::<u64>(), rts.len() as u64);
         let sum: f64 = d.fractions().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-    }
+        assert!((sum - 1.0).abs() < 1e-9);
+    });
+}
 
-    /// The SLA counters and the RT distribution agree on the 2 s boundary.
-    #[test]
-    fn sla_and_distribution_agree(rts in prop::collection::vec(0.0f64..10.0, 1..300)) {
+/// The SLA counters and the RT distribution agree on the 2 s boundary.
+#[test]
+fn sla_and_distribution_agree() {
+    check(64, |g| {
+        let rts = g.vec_f64(0.0, 10.0, 1, 300);
         let model = SlaModel::new(&[2.0]);
         let mut c = model.counters();
         let mut d = RtDistribution::new();
@@ -53,27 +60,31 @@ proptest! {
         // bins it as overflow, so allow that off-by-boundary count.
         let over = d.counts()[7];
         let boundary = rts.iter().filter(|&&rt| rt == 2.0).count() as u64;
-        prop_assert_eq!(c.bad(0), over - boundary);
-    }
+        assert_eq!(c.bad(0), over - boundary);
+    });
+}
 
-    /// Utilization density: pdf sums to 1 and the mean lies in [0,1].
-    #[test]
-    fn density_pdf_normalized(samples in prop::collection::vec(-0.5f64..1.5, 1..300)) {
+/// Utilization density: pdf sums to 1 and the mean lies in [0,1].
+#[test]
+fn density_pdf_normalized() {
+    check(64, |g| {
+        let samples = g.vec_f64(-0.5, 1.5, 1, 300);
         let mut d = UtilDensity::new();
         for &s in &samples {
             d.add(s);
         }
         let sum: f64 = d.pdf().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        prop_assert!((0.0..=1.0).contains(&d.mean()));
-        prop_assert!((0.0..=1.0).contains(&d.saturation_mass()));
-    }
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&d.mean()));
+        assert!((0.0..=1.0).contains(&d.saturation_mass()));
+    });
+}
 
-    /// ServerLog: Little's law identity over arbitrary request logs.
-    #[test]
-    fn server_log_littles_identity(
-        residencies in prop::collection::vec(1u64..10_000, 1..300),
-    ) {
+/// ServerLog: Little's law identity over arbitrary request logs.
+#[test]
+fn server_log_littles_identity() {
+    check(64, |g| {
+        let residencies = g.vec_u64(1, 10_000, 1, 300);
         let mut log = ServerLog::new("s");
         for (i, &ms) in residencies.iter().enumerate() {
             let start = SimTime::from_millis(i as u64 * 10);
@@ -82,16 +93,21 @@ proptest! {
         let window = 100.0;
         let jobs = log.mean_jobs(window);
         let manual = log.throughput(window) * log.mean_rtt();
-        prop_assert!((jobs - manual).abs() < 1e-9);
-        prop_assert_eq!(log.completions(), residencies.len() as u64);
-    }
+        assert!((jobs - manual).abs() < 1e-9);
+        assert_eq!(log.completions(), residencies.len() as u64);
+        assert_eq!(log.out_of_order(), 0);
+    });
+}
 
-    /// SloSeries satisfaction samples are valid fractions and the overall
-    /// satisfaction equals good/total.
-    #[test]
-    fn slo_series_fractions(
-        events in prop::collection::vec((0u64..60_000, 0.0f64..5.0), 1..300),
-    ) {
+/// SloSeries satisfaction samples are valid fractions and the overall
+/// satisfaction equals good/total.
+#[test]
+fn slo_series_fractions() {
+    check(64, |g| {
+        let n = g.usize_in(1, 300);
+        let events: Vec<(u64, f64)> = (0..n)
+            .map(|_| (g.u64_in(0, 60_000), g.f64_in(0.0, 5.0)))
+            .collect();
         let mut s = SloSeries::new(SimTime::ZERO, 1.0);
         let mut good = 0u64;
         for &(at_ms, rt) in &events {
@@ -101,9 +117,9 @@ proptest! {
             }
         }
         let overall = s.overall();
-        prop_assert!((overall - good as f64 / events.len() as f64).abs() < 1e-12);
+        assert!((overall - good as f64 / events.len() as f64).abs() < 1e-12);
         for f in s.satisfaction_samples(1) {
-            prop_assert!((0.0..=1.0).contains(&f));
+            assert!((0.0..=1.0).contains(&f));
         }
-    }
+    });
 }

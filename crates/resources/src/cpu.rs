@@ -221,7 +221,8 @@ impl PsCpu {
         self.advance(now);
         let demand = demand_secs.max(0.0);
         self.work_submitted += demand;
-        self.heap.push(Reverse((Tag::from_f64(self.virt + demand), job)));
+        self.heap
+            .push(Reverse((Tag::from_f64(self.virt + demand), job)));
         self.active += 1;
     }
 

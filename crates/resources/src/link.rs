@@ -27,7 +27,10 @@ pub struct NetLink {
 impl NetLink {
     /// Create a link with the given latency and bandwidth (bytes/second).
     pub fn new(name: &'static str, latency: SimTime, bandwidth_bps: f64) -> Self {
-        assert!(bandwidth_bps > 0.0, "link '{name}' needs positive bandwidth");
+        assert!(
+            bandwidth_bps > 0.0,
+            "link '{name}' needs positive bandwidth"
+        );
         NetLink {
             name,
             latency,
@@ -110,7 +113,10 @@ mod tests {
         // Second packet queues behind the first on the wire.
         assert_eq!(l.send(SimTime::ZERO, 1000), SimTime::from_secs(2));
         // After the wire drains, no queueing.
-        assert_eq!(l.send(SimTime::from_secs(10), 500), SimTime::from_millis(10_500));
+        assert_eq!(
+            l.send(SimTime::from_secs(10), 500),
+            SimTime::from_millis(10_500)
+        );
     }
 
     #[test]

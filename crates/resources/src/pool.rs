@@ -124,8 +124,14 @@ impl SoftPool {
         self.occ_window_last = now;
 
         self.occupancy.set(now, occ);
-        self.full
-            .set(now, if self.in_use == self.capacity { 1.0 } else { 0.0 });
+        self.full.set(
+            now,
+            if self.in_use == self.capacity {
+                1.0
+            } else {
+                0.0
+            },
+        );
         self.saturated.set(
             now,
             if self.in_use == self.capacity && !self.waiters.is_empty() {
@@ -160,13 +166,24 @@ impl SoftPool {
     /// # Panics
     /// If no unit is held.
     pub fn release(&mut self, now: SimTime) -> Option<JobId> {
-        assert!(self.in_use > 0, "pool '{}': release without acquire", self.name);
+        self.release_traced(now).map(|(job, _)| job)
+    }
+
+    /// Like [`release`](Self::release), but a granted waiter comes back with
+    /// the time it entered the queue — the tracing hook for pool-wait spans
+    /// (the caller knows exactly `[since, now)` was spent waiting).
+    pub fn release_traced(&mut self, now: SimTime) -> Option<(JobId, SimTime)> {
+        assert!(
+            self.in_use > 0,
+            "pool '{}': release without acquire",
+            self.name
+        );
         if let Some((job, since)) = self.waiters.pop_front() {
             // Unit changes hands; in_use stays the same.
             self.wait_time.add(now.saturating_sub(since).as_secs_f64());
             self.grants += 1;
             self.touch(now);
-            Some(job)
+            Some((job, since))
         } else {
             self.in_use -= 1;
             self.touch(now);
@@ -309,6 +326,15 @@ mod tests {
         assert!((st.full_fraction - 0.5).abs() < 1e-9, "{st:?}");
         assert!((st.saturated_fraction - 0.25).abs() < 1e-9, "{st:?}");
         assert!((st.mean_queue_len - 0.25).abs() < 1e-9, "{st:?}");
+    }
+
+    #[test]
+    fn release_traced_reports_enqueue_time() {
+        let mut p = SoftPool::new("threads", 1);
+        p.acquire(t(0), 1);
+        p.acquire(t(100), 2);
+        assert_eq!(p.release_traced(t(400)), Some((2, t(100))));
+        assert_eq!(p.release_traced(t(500)), None);
     }
 
     #[test]

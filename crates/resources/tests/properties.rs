@@ -1,7 +1,7 @@
-//! Property-based tests of the resource models' invariants.
+//! Randomized tests of the resource models' invariants.
 
-use proptest::prelude::*;
 use resources::{Acquire, CpuConfig, FcfsServer, PsCpu, SoftPool};
+use simcore::testkit::check;
 use simcore::SimTime;
 
 /// Drive a CPU to quiescence, popping at announced completion times.
@@ -20,15 +20,20 @@ fn drain(cpu: &mut PsCpu, mut now: SimTime) -> Vec<(SimTime, u64)> {
     out
 }
 
-proptest! {
-    /// The PS CPU completes exactly the work submitted, for any arrival
-    /// pattern, demand mix, and core count (work conservation).
-    #[test]
-    fn cpu_work_conservation(
-        cores in 1u32..4,
-        jobs in prop::collection::vec((0u64..2_000_000, 1u64..200_000), 1..60),
-    ) {
-        let mut cpu = PsCpu::new(CpuConfig { cores, csw_overhead_per_job: 0.0 });
+/// The PS CPU completes exactly the work submitted, for any arrival
+/// pattern, demand mix, and core count (work conservation).
+#[test]
+fn cpu_work_conservation() {
+    check(48, |g| {
+        let cores = g.u64_in(1, 4) as u32;
+        let n = g.usize_in(1, 60);
+        let jobs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (g.u64_in(0, 2_000_000), g.u64_in(1, 200_000)))
+            .collect();
+        let mut cpu = PsCpu::new(CpuConfig {
+            cores,
+            csw_overhead_per_job: 0.0,
+        });
         let mut arrivals: Vec<(SimTime, f64)> = jobs
             .iter()
             .map(|&(at_us, demand_us)| (SimTime::from_micros(at_us), demand_us as f64 / 1e6))
@@ -39,7 +44,9 @@ proptest! {
         for (i, &(at, demand)) in arrivals.iter().enumerate() {
             // Pop anything that completed before this arrival.
             while let Some(next) = cpu.next_completion(last) {
-                if next > at { break; }
+                if next > at {
+                    break;
+                }
                 last = next;
                 for j in cpu.pop_due(last) {
                     done.push((last, j));
@@ -50,23 +57,32 @@ proptest! {
         }
         done.extend(drain(&mut cpu, last));
         let total: f64 = arrivals.iter().map(|&(_, d)| d).sum();
-        prop_assert!((cpu.work_done() - total).abs() < 1e-4,
-            "work done {} vs submitted {}", cpu.work_done(), total);
-        prop_assert_eq!(cpu.active_jobs(), 0);
+        assert!(
+            (cpu.work_done() - total).abs() < 1e-4,
+            "work done {} vs submitted {} (seed {})",
+            cpu.work_done(),
+            total,
+            g.seed()
+        );
+        assert_eq!(cpu.active_jobs(), 0);
         // Every job completed exactly once.
         let mut ids: Vec<u64> = done.iter().map(|&(_, j)| j).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), arrivals.len());
-    }
+        assert_eq!(ids.len(), arrivals.len());
+    });
+}
 
-    /// No job finishes before its bare demand (the CPU cannot run faster than
-    /// one core per job), and completions never precede submission.
-    #[test]
-    fn cpu_no_superluminal_jobs(
-        demands in prop::collection::vec(1u64..500_000, 1..40),
-    ) {
-        let mut cpu = PsCpu::new(CpuConfig { cores: 1, csw_overhead_per_job: 0.0 });
+/// No job finishes before its bare demand (the CPU cannot run faster than
+/// one core per job), and completions never precede submission.
+#[test]
+fn cpu_no_superluminal_jobs() {
+    check(48, |g| {
+        let demands = g.vec_u64(1, 500_000, 1, 40);
+        let mut cpu = PsCpu::new(CpuConfig {
+            cores: 1,
+            csw_overhead_per_job: 0.0,
+        });
         for (i, &d_us) in demands.iter().enumerate() {
             cpu.submit(SimTime::ZERO, i as u64, d_us as f64 / 1e6);
         }
@@ -74,19 +90,26 @@ proptest! {
         for (at, id) in done {
             let demand_us = demands[id as usize];
             // Tolerate the 1 µs event-grid rounding.
-            prop_assert!(at.as_micros() + 2 >= demand_us,
-                "job {} finished at {}us with demand {}us", id, at.as_micros(), demand_us);
+            assert!(
+                at.as_micros() + 2 >= demand_us,
+                "job {} finished at {}us with demand {}us (seed {})",
+                id,
+                at.as_micros(),
+                demand_us,
+                g.seed()
+            );
         }
-    }
+    });
+}
 
-    /// A frozen CPU makes no progress: completions shift by exactly the
-    /// freeze duration.
-    #[test]
-    fn cpu_freeze_shifts_completions(
-        demand_us in 1_000u64..1_000_000,
-        freeze_at_frac in 0.0f64..1.0,
-        freeze_us in 0u64..2_000_000,
-    ) {
+/// A frozen CPU makes no progress: completions shift by exactly the
+/// freeze duration.
+#[test]
+fn cpu_freeze_shifts_completions() {
+    check(48, |g| {
+        let demand_us = g.u64_in(1_000, 1_000_000);
+        let freeze_at_frac = g.f64_in(0.0, 1.0);
+        let freeze_us = g.u64_in(0, 2_000_000);
         let demand = demand_us as f64 / 1e6;
         // Baseline: no freeze.
         let mut a = PsCpu::new(CpuConfig::default());
@@ -102,16 +125,18 @@ proptest! {
         let shifted = drain(&mut b, resume)[0].0;
         let expected = base + SimTime::from_micros(freeze_us);
         let delta = shifted.as_micros() as i64 - expected.as_micros() as i64;
-        prop_assert!(delta.abs() <= 2, "delta {delta}us");
-    }
+        assert!(delta.abs() <= 2, "delta {delta}us (seed {})", g.seed());
+    });
+}
 
-    /// SoftPool: in_use never exceeds capacity, every enqueued job is granted
-    /// exactly once in FIFO order, and nothing is lost.
-    #[test]
-    fn pool_fifo_and_capacity(
-        capacity in 1usize..8,
-        ops in prop::collection::vec(prop::bool::ANY, 1..200),
-    ) {
+/// SoftPool: in_use never exceeds capacity, every enqueued job is granted
+/// exactly once in FIFO order, and nothing is lost.
+#[test]
+fn pool_fifo_and_capacity() {
+    check(64, |g| {
+        let capacity = g.usize_in(1, 8);
+        let n_ops = g.usize_in(1, 200);
+        let ops: Vec<bool> = (0..n_ops).map(|_| g.chance(0.5)).collect();
         let mut pool = SoftPool::new("p", capacity);
         let mut now = SimTime::ZERO;
         let mut next_job = 0u64;
@@ -125,35 +150,42 @@ proptest! {
                 let job = next_job;
                 next_job += 1;
                 match pool.acquire(now, job) {
-                    Acquire::Granted => { held += 1; granted.push(job); }
+                    Acquire::Granted => {
+                        held += 1;
+                        granted.push(job);
+                    }
                     Acquire::Enqueued { .. } => queued.push_back(job),
                 }
             } else if held > 0 {
                 match pool.release(now) {
                     Some(job) => {
                         let expected = queued.pop_front().expect("pool granted a phantom waiter");
-                        prop_assert_eq!(job, expected, "FIFO violated");
+                        assert_eq!(job, expected, "FIFO violated (seed {})", g.seed());
                         granted.push(job);
                     }
                     None => {
-                        prop_assert!(queued.is_empty(), "pool idled a unit past waiters");
+                        assert!(queued.is_empty(), "pool idled a unit past waiters");
                         held -= 1;
                     }
                 }
             }
-            prop_assert!(pool.in_use() <= capacity);
-            prop_assert_eq!(pool.in_use(), held);
-            prop_assert_eq!(pool.waiting(), queued.len());
+            assert!(pool.in_use() <= capacity);
+            assert_eq!(pool.in_use(), held);
+            assert_eq!(pool.waiting(), queued.len());
         }
         // Conservation: grants + still-waiting = all acquisitions.
-        prop_assert_eq!(granted.len() + queued.len(), next_job as usize);
-    }
+        assert_eq!(granted.len() + queued.len(), next_job as usize);
+    });
+}
 
-    /// FCFS: completions are monotone and total busy time equals total demand.
-    #[test]
-    fn fcfs_monotone_and_conservative(
-        jobs in prop::collection::vec((0u64..1_000_000, 1u64..100_000), 1..60),
-    ) {
+/// FCFS: completions are monotone and total busy time equals total demand.
+#[test]
+fn fcfs_monotone_and_conservative() {
+    check(64, |g| {
+        let n = g.usize_in(1, 60);
+        let jobs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (g.u64_in(0, 1_000_000), g.u64_in(1, 100_000)))
+            .collect();
         let mut s = FcfsServer::new("d");
         let mut sorted = jobs.clone();
         sorted.sort_by_key(|&(at, _)| at);
@@ -163,12 +195,12 @@ proptest! {
             let at = SimTime::from_micros(at_us);
             let d = SimTime::from_micros(d_us);
             let done = s.submit(at, d);
-            prop_assert!(done >= at + d);
-            prop_assert!(done >= prev_done, "FCFS completions must be monotone");
+            assert!(done >= at + d);
+            assert!(done >= prev_done, "FCFS completions must be monotone");
             prev_done = done;
             total += d;
         }
-        prop_assert!(s.free_at() >= total, "busy time can't compress demand");
-        prop_assert_eq!(s.served(), sorted.len() as u64);
-    }
+        assert!(s.free_at() >= total, "busy time can't compress demand");
+        assert_eq!(s.served(), sorted.len() as u64);
+    });
 }

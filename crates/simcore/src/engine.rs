@@ -21,6 +21,13 @@ pub trait Model {
 
     /// Process one event at simulated time `now`.
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// A static label for an event, used by engine telemetry to build
+    /// per-event-type counts. The default lumps everything under `"event"`;
+    /// models override it to expose their alphabet.
+    fn event_label(_event: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 struct Scheduled<E> {
@@ -58,6 +65,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     now: SimTime,
     seq: u64,
+    high_water: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -66,6 +74,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(1024),
             now: SimTime::ZERO,
             seq: 0,
+            high_water: 0,
         }
     }
 
@@ -92,6 +101,7 @@ impl<E> EventQueue<E> {
             event,
         });
         self.seq += 1;
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedule `event` after a delay relative to now.
@@ -103,6 +113,7 @@ impl<E> EventQueue<E> {
             event,
         });
         self.seq += 1;
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedule `event` to run at the current instant, after all events already
@@ -129,6 +140,12 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.at)
     }
+
+    /// Largest number of events ever pending at once.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
 }
 
 /// Outcome of [`Engine::step`].
@@ -142,11 +159,39 @@ pub enum StepResult {
     HorizonReached,
 }
 
+/// Telemetry snapshot of an engine run (see [`Engine::stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Total events processed.
+    pub events_processed: u64,
+    /// Peak size of the pending-event heap.
+    pub heap_high_water: usize,
+    /// Wall-clock seconds spent inside `run_until`/`run_to_quiescence`.
+    pub wall_secs: f64,
+    /// Per-event-type counts (only populated with telemetry enabled; the
+    /// labels come from [`Model::event_label`]).
+    pub per_type: Vec<(&'static str, u64)>,
+}
+
+impl EngineStats {
+    /// Events processed per wall-clock second (0 when nothing was timed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events_processed as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The simulation engine: owns the model, the clock, and the event heap.
 pub struct Engine<M: Model> {
     model: M,
     queue: EventQueue<M::Event>,
     events_processed: u64,
+    telemetry: bool,
+    per_type: Vec<(&'static str, u64)>,
+    wall_secs: f64,
 }
 
 impl<M: Model> Engine<M> {
@@ -156,6 +201,25 @@ impl<M: Model> Engine<M> {
             model,
             queue: EventQueue::new(),
             events_processed: 0,
+            telemetry: false,
+            per_type: Vec::new(),
+            wall_secs: 0.0,
+        }
+    }
+
+    /// Turn on per-event-type counting (one label lookup + linear-scan bump
+    /// per event; off by default so untraced runs pay nothing).
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry = true;
+    }
+
+    /// Snapshot the run's telemetry.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            events_processed: self.events_processed,
+            heap_high_water: self.queue.high_water(),
+            wall_secs: self.wall_secs,
+            per_type: self.per_type.clone(),
         }
     }
 
@@ -201,8 +265,18 @@ impl<M: Model> Engine<M> {
             Some(next) if next.at > horizon => StepResult::HorizonReached,
             Some(_) => {
                 let sched = self.queue.heap.pop().expect("peeked event vanished");
-                debug_assert!(sched.at >= self.queue.now, "event queue time went backwards");
+                debug_assert!(
+                    sched.at >= self.queue.now,
+                    "event queue time went backwards"
+                );
                 self.queue.now = sched.at;
+                if self.telemetry {
+                    let label = M::event_label(&sched.event);
+                    match self.per_type.iter_mut().find(|(l, _)| *l == label) {
+                        Some((_, n)) => *n += 1,
+                        None => self.per_type.push((label, 1)),
+                    }
+                }
                 self.model.handle(sched.at, sched.event, &mut self.queue);
                 self.events_processed += 1;
                 StepResult::Progressed
@@ -216,13 +290,18 @@ impl<M: Model> Engine<M> {
     /// the horizon stopped the run, the clock is advanced to `until` so that
     /// subsequent scheduling is relative to the horizon.
     pub fn run_until(&mut self, until: SimTime) {
+        let started = std::time::Instant::now();
         loop {
             match self.step(until) {
                 StepResult::Progressed => continue,
-                StepResult::Exhausted => return,
+                StepResult::Exhausted => {
+                    self.wall_secs += started.elapsed().as_secs_f64();
+                    return;
+                }
                 StepResult::HorizonReached => break,
             }
         }
+        self.wall_secs += started.elapsed().as_secs_f64();
         // Events remain beyond the horizon: advance the clock to the horizon
         // so that subsequent external scheduling is relative to it.
         if self.queue.now < until {
@@ -233,6 +312,7 @@ impl<M: Model> Engine<M> {
     /// Run to quiescence (empty queue). Guards against runaway models with an
     /// event budget; panics if exceeded.
     pub fn run_to_quiescence(&mut self, max_events: u64) {
+        let started = std::time::Instant::now();
         let start = self.events_processed;
         while let StepResult::Progressed = self.step(SimTime::MAX) {
             assert!(
@@ -240,6 +320,7 @@ impl<M: Model> Engine<M> {
                 "simulation exceeded event budget of {max_events}"
             );
         }
+        self.wall_secs += started.elapsed().as_secs_f64();
     }
 }
 
@@ -383,6 +464,62 @@ mod tests {
         e.model_mut().chain_remaining = 1000;
         e.schedule(SimTime::ZERO, Ev::Chain);
         e.run_to_quiescence(10);
+    }
+
+    #[test]
+    fn telemetry_counts_event_types_and_high_water() {
+        struct Labeled {
+            chain_remaining: u32,
+        }
+        enum E3 {
+            Ping,
+            Pong,
+        }
+        impl Model for Labeled {
+            type Event = E3;
+            fn handle(&mut self, _now: SimTime, ev: E3, q: &mut EventQueue<E3>) {
+                if let E3::Ping = ev {
+                    if self.chain_remaining > 0 {
+                        self.chain_remaining -= 1;
+                        q.schedule_after(SimTime::from_micros(1), E3::Pong);
+                        q.schedule_after(SimTime::from_micros(2), E3::Ping);
+                    }
+                }
+            }
+            fn event_label(ev: &E3) -> &'static str {
+                match ev {
+                    E3::Ping => "ping",
+                    E3::Pong => "pong",
+                }
+            }
+        }
+        let mut e = Engine::new(Labeled { chain_remaining: 5 });
+        e.enable_telemetry();
+        e.schedule(SimTime::ZERO, E3::Ping);
+        e.run_until(SimTime::MAX);
+        let stats = e.stats();
+        assert_eq!(stats.events_processed, 11);
+        assert!(stats.heap_high_water >= 2, "{}", stats.heap_high_water);
+        let get = |l: &str| {
+            stats
+                .per_type
+                .iter()
+                .find(|(n, _)| *n == l)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("ping"), 6);
+        assert_eq!(get("pong"), 5);
+        assert!(stats.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn telemetry_off_collects_no_per_type_counts() {
+        let mut e = engine();
+        e.schedule(SimTime::from_micros(1), Ev::Tag(1));
+        e.run_until(SimTime::MAX);
+        assert!(e.stats().per_type.is_empty());
+        assert_eq!(e.stats().events_processed, 1);
     }
 
     #[test]

@@ -24,8 +24,9 @@
 pub mod engine;
 pub mod rng;
 pub mod stats;
+pub mod testkit;
 pub mod time;
 
-pub use engine::{Engine, EventQueue, Model, StepResult};
+pub use engine::{Engine, EngineStats, EventQueue, Model, StepResult};
 pub use rng::RunRng;
 pub use time::SimTime;

@@ -3,14 +3,16 @@
 //! Every experiment run owns a [`RunRng`] seeded from an experiment-level seed;
 //! components fork private sub-streams by *name*, so adding a new consumer of
 //! randomness never perturbs the draws seen by existing components. This is
-//! what makes (a) runs reproducible bit-for-bit and (b) rayon-parallel sweeps
+//! what makes (a) runs reproducible bit-for-bit and (b) parallel sweeps
 //! produce the same numbers as serial sweeps.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna), seeded
+//! via SplitMix64, with inversion/Box–Muller/rejection-inversion samplers for
+//! the distributions the simulator needs. No external crates: the workspace
+//! must build in fully offline environments.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Exp, LogNormal, Zipf};
-
-/// SplitMix64 step — used to derive independent seeds from (seed, stream-id).
+/// SplitMix64 step — used to derive independent seeds from (seed, stream-id)
+/// and to expand a single `u64` seed into full generator state.
 #[inline]
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -30,11 +32,54 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
+/// xoshiro256++ core generator (public so [`RunRng::raw`] has a nameable type).
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed the full 256-bit state from one `u64` via repeated SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut t = z;
+            t = (t ^ (t >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            t = (t ^ (t >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = t ^ (t >> 31);
+        }
+        Xoshiro256pp { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 /// A deterministic random stream with convenience samplers for the
 /// distributions the simulator needs.
 pub struct RunRng {
     seed: u64,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
 }
 
 impl RunRng {
@@ -42,7 +87,7 @@ impl RunRng {
     pub fn new(seed: u64) -> Self {
         RunRng {
             seed,
-            rng: SmallRng::seed_from_u64(splitmix64(seed)),
+            rng: Xoshiro256pp::seed_from_u64(splitmix64(seed)),
         }
     }
 
@@ -56,7 +101,7 @@ impl RunRng {
         let child = splitmix64(self.seed ^ fnv1a(name).rotate_left(17));
         RunRng {
             seed: child,
-            rng: SmallRng::seed_from_u64(splitmix64(child)),
+            rng: Xoshiro256pp::seed_from_u64(splitmix64(child)),
         }
     }
 
@@ -65,14 +110,14 @@ impl RunRng {
         let child = splitmix64(self.seed ^ fnv1a(name).rotate_left(17) ^ splitmix64(index + 1));
         RunRng {
             seed: child,
-            rng: SmallRng::seed_from_u64(splitmix64(child)),
+            rng: Xoshiro256pp::seed_from_u64(splitmix64(child)),
         }
     }
 
     /// Uniform in `[0, 1)`.
     #[inline]
     pub fn uniform01(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        self.rng.next_f64()
     }
 
     /// Uniform in `[lo, hi)`.
@@ -82,11 +127,12 @@ impl RunRng {
         lo + (hi - lo) * self.uniform01()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire multiply-shift; bias is < 2⁻⁶⁴·n,
+    /// negligible for the table sizes the simulator uses).
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.rng.gen_range(0..n)
+        ((self.rng.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw.
@@ -107,9 +153,17 @@ impl RunRng {
         if mean <= 0.0 {
             return 0.0;
         }
-        Exp::new(1.0 / mean)
-            .expect("positive rate")
-            .sample(&mut self.rng)
+        // Inversion: -mean · ln(1 − U), with U ∈ [0, 1) so the log is finite.
+        -mean * (1.0 - self.uniform01()).ln()
+    }
+
+    /// Standard normal via Box–Muller (one draw per call; the sibling draw is
+    /// discarded to keep the stream position independent of call pairing).
+    #[inline]
+    fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform01(); // (0, 1]: keeps ln finite
+        let u2 = self.uniform01();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
     /// Log-normal parameterized by its *linear-scale* mean and coefficient of
@@ -125,15 +179,27 @@ impl RunRng {
         }
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - sigma2 / 2.0;
-        LogNormal::new(mu, sigma2.sqrt())
-            .expect("valid lognormal")
-            .sample(&mut self.rng)
+        (mu + sigma2.sqrt() * self.standard_normal()).exp()
     }
 
     /// Zipf-distributed rank in `[1, n]` with exponent `s` (item popularity).
-    #[inline]
+    ///
+    /// Rejection-inversion sampling (Hörmann & Derflinger 1996): exact for any
+    /// `n` without precomputing the harmonic normalizer.
     pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
-        Zipf::new(n, s).expect("valid zipf").sample(&mut self.rng) as u64
+        debug_assert!(n >= 1 && s > 0.0);
+        let nf = n as f64;
+        let h_x1 = zipf_h_integral(1.5, s) - 1.0;
+        let h_n = zipf_h_integral(nf + 0.5, s);
+        let d = 2.0 - zipf_h_integral_inv(zipf_h_integral(2.5, s) - zipf_h(2.0, s), s);
+        loop {
+            let u = h_n + self.uniform01() * (h_x1 - h_n);
+            let x = zipf_h_integral_inv(u, s);
+            let k = (x + 0.5).floor().clamp(1.0, nf);
+            if k - x <= d || u >= zipf_h_integral(k + 0.5, s) - zipf_h(k, s) {
+                return k as u64;
+            }
+        }
     }
 
     /// Pick an index according to a weight table (weights need not sum to 1).
@@ -150,9 +216,49 @@ impl RunRng {
         weights.len() - 1
     }
 
-    /// Access the raw RNG for anything not covered above.
-    pub fn raw(&mut self) -> &mut SmallRng {
+    /// Access the raw generator for anything not covered above.
+    pub fn raw(&mut self) -> &mut Xoshiro256pp {
         &mut self.rng
+    }
+}
+
+/// h(x) = x^(−s).
+#[inline]
+fn zipf_h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// H(x) = ∫ x^(−s) dx, in the numerically robust helper form.
+#[inline]
+fn zipf_h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    zipf_helper2((1.0 - s) * log_x) * log_x
+}
+
+/// H⁻¹(y).
+#[inline]
+fn zipf_h_integral_inv(y: f64, s: f64) -> f64 {
+    let t = (y * (1.0 - s)).max(-1.0);
+    (zipf_helper1(t) * y).exp()
+}
+
+/// ln(1 + x) / x, stable near zero.
+#[inline]
+fn zipf_helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x / 3.0)
+    }
+}
+
+/// (e^x − 1) / x, stable near zero.
+#[inline]
+fn zipf_helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * (0.5 + x / 6.0)
     }
 }
 
@@ -206,6 +312,33 @@ mod tests {
         let mut b = root.fork_indexed("client", 1);
         let same = (0..32).filter(|_| a.uniform01() == b.uniform01()).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform01_is_in_range_and_well_spread() {
+        let mut r = RunRng::new(3);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.uniform01();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn index_covers_range_uniformly() {
+        let mut r = RunRng::new(8);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[r.index(10)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / 50_000.0;
+            assert!((frac - 0.1).abs() < 0.01, "bucket {i} frac {frac}");
+        }
     }
 
     #[test]
@@ -265,5 +398,14 @@ mod tests {
         let n = 20_000;
         let low = (0..n).filter(|_| r.zipf(100, 1.0) <= 10).count();
         assert!(low as f64 / n as f64 > 0.4);
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let mut r = RunRng::new(16);
+        for _ in 0..20_000 {
+            let k = r.zipf(50, 0.8);
+            assert!((1..=50).contains(&k), "rank {k}");
+        }
     }
 }

@@ -7,14 +7,13 @@
 //! the hot path.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 // ---------------------------------------------------------------------------
 // Welford / summary statistics
 // ---------------------------------------------------------------------------
 
 /// Streaming count/mean/variance/min/max via Welford's algorithm.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -120,7 +119,7 @@ impl Welford {
 
 /// Histogram over explicit bin edges (used for the paper's Fig. 3(c)
 /// response-time distribution: `[0,.2] [.2,.4] ... [1.5,2] >2`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     edges: Vec<f64>,
     counts: Vec<u64>,
@@ -201,7 +200,7 @@ impl Histogram {
 
 /// Logarithmic histogram for positive values (response times), supporting
 /// approximate quantiles with bounded relative error.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LogHistogram {
     /// Smallest representable value; anything below lands in bucket 0.
     floor: f64,
@@ -302,7 +301,7 @@ impl LogHistogram {
 
 /// Integrates a piecewise-constant signal over simulated time — the primitive
 /// behind CPU-utilization and pool-occupancy averages.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     last_t: SimTime,
     value: f64,
@@ -373,7 +372,7 @@ impl TimeWeighted {
 
 /// Accumulates values into fixed-width time buckets — e.g. requests processed
 /// per second (paper Fig. 7(a)) or per-second CPU utilization samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IntervalSeries {
     interval: SimTime,
     origin: SimTime,
@@ -541,7 +540,7 @@ mod tests {
         tw.set(SimTime::from_secs(10), 1.0); // 0 for 10s
         tw.set(SimTime::from_secs(30), 0.5); // 1 for 20s
         let avg = tw.average_until(SimTime::from_secs(40)); // 0.5 for 10s
-        // (0*10 + 1*20 + 0.5*10) / 40 = 25/40
+                                                            // (0*10 + 1*20 + 0.5*10) / 40 = 25/40
         assert!((avg - 0.625).abs() < 1e-12);
         assert_eq!(tw.peak(), 1.0);
         assert_eq!(tw.current(), 0.5);

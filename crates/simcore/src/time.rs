@@ -5,7 +5,6 @@
 //! for millisecond-scale service times while still allowing multi-hour runs
 //! (`u64` microseconds covers ~584 000 years).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -14,7 +13,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 ///
 /// `SimTime` is used both as an absolute timestamp and as a duration; the
 /// arithmetic provided is the natural one for both readings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -1,8 +1,9 @@
 //! Property tests of the simulation substrate: the engine's ordering
-//! guarantees and the statistics accumulators' invariants.
+//! guarantees and the statistics accumulators' invariants. Each test sweeps a
+//! fixed set of deterministic seeded cases (see `simcore::testkit`).
 
-use proptest::prelude::*;
 use simcore::stats::{Histogram, IntervalSeries, LogHistogram, TimeWeighted, Welford};
+use simcore::testkit::check;
 use simcore::{Engine, EventQueue, Model, SimTime};
 
 struct Recorder {
@@ -16,33 +17,35 @@ impl Model for Recorder {
     }
 }
 
-proptest! {
-    /// The engine delivers every event exactly once, in non-decreasing time
-    /// order, with FIFO order at equal timestamps.
-    #[test]
-    fn engine_delivery_order(events in prop::collection::vec(0u64..1_000, 1..200)) {
+/// The engine delivers every event exactly once, in non-decreasing time
+/// order, with FIFO order at equal timestamps.
+#[test]
+fn engine_delivery_order() {
+    check(64, |g| {
+        let events = g.vec_u64(0, 1_000, 1, 200);
         let mut e = Engine::new(Recorder { seen: Vec::new() });
         for (i, &at) in events.iter().enumerate() {
             e.schedule(SimTime::from_micros(at), i as u32);
         }
         e.run_until(SimTime::MAX);
         let seen = &e.model().seen;
-        prop_assert_eq!(seen.len(), events.len());
+        assert_eq!(seen.len(), events.len());
         // Times non-decreasing.
-        prop_assert!(seen.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(seen.windows(2).all(|w| w[0].0 <= w[1].0));
         // FIFO at equal timestamps: ids ascend within equal-time runs.
-        prop_assert!(seen
-            .windows(2)
-            .all(|w| w[0].0 < w[1].0 || w[0].1 < w[1].1));
+        assert!(seen.windows(2).all(|w| w[0].0 < w[1].0 || w[0].1 < w[1].1));
         // Every event delivered at its scheduled time.
         for &(at, id) in seen {
-            prop_assert_eq!(at, events[id as usize]);
+            assert_eq!(at, events[id as usize], "seed {}", g.seed());
         }
-    }
+    });
+}
 
-    /// Welford matches the naive two-pass computation.
-    #[test]
-    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+/// Welford matches the naive two-pass computation.
+#[test]
+fn welford_matches_two_pass() {
+    check(64, |g| {
+        let xs = g.vec_f64(-1e6, 1e6, 2, 200);
         let mut w = Welford::new();
         for &x in &xs {
             w.add(x);
@@ -50,48 +53,58 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((w.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
-        prop_assert_eq!(w.count(), xs.len() as u64);
+        assert!((w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        assert!((w.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        assert_eq!(w.count(), xs.len() as u64);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-        prop_assert_eq!(w.min(), Some(min));
-    }
+        assert_eq!(w.min(), Some(min));
+    });
+}
 
-    /// Merging split Welford halves equals the whole.
-    #[test]
-    fn welford_merge_associativity(
-        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
-        split in 1usize..99,
-    ) {
-        let split = split.min(xs.len() - 1);
+/// Merging split Welford halves equals the whole.
+#[test]
+fn welford_merge_associativity() {
+    check(64, |g| {
+        let xs = g.vec_f64(-1e3, 1e3, 2, 100);
+        let split = g.usize_in(1, 99).min(xs.len() - 1);
         let mut whole = Welford::new();
         let mut a = Welford::new();
         let mut b = Welford::new();
         for (i, &x) in xs.iter().enumerate() {
             whole.add(x);
-            if i < split { a.add(x) } else { b.add(x) }
+            if i < split {
+                a.add(x)
+            } else {
+                b.add(x)
+            }
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
-    }
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    });
+}
 
-    /// Histogram conserves observations across bins + under/overflow.
-    #[test]
-    fn histogram_conserves_counts(xs in prop::collection::vec(-10.0f64..10.0, 0..300)) {
+/// Histogram conserves observations across bins + under/overflow.
+#[test]
+fn histogram_conserves_counts() {
+    check(64, |g| {
+        let xs = g.vec_f64(-10.0, 10.0, 0, 300);
         let mut h = Histogram::with_edges(&[0.0, 1.0, 2.0, 5.0]);
         for &x in &xs {
             h.add(x);
         }
-        prop_assert_eq!(h.total(), xs.len() as u64);
+        assert_eq!(h.total(), xs.len() as u64);
         let binned: u64 = h.counts().iter().sum();
-        prop_assert_eq!(binned + h.overflow() + h.underflow(), xs.len() as u64);
-    }
+        assert_eq!(binned + h.overflow() + h.underflow(), xs.len() as u64);
+    });
+}
 
-    /// LogHistogram quantiles are monotone and bracket the data.
-    #[test]
-    fn log_histogram_quantiles_monotone(xs in prop::collection::vec(1e-4f64..1e3, 1..300)) {
+/// LogHistogram quantiles are monotone and bracket the data.
+#[test]
+fn log_histogram_quantiles_monotone() {
+    check(64, |g| {
+        let xs = g.vec_f64(1e-4, 1e3, 1, 300);
         let mut h = LogHistogram::response_times();
         for &x in &xs {
             h.add(x);
@@ -100,15 +113,18 @@ proptest! {
             .iter()
             .map(|&q| h.quantile(q).unwrap())
             .collect();
-        prop_assert!(qs.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{qs:?}");
+        assert!(qs.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{qs:?}");
         let max = xs.iter().cloned().fold(0.0f64, f64::max);
         // p99 cannot exceed the max by more than one bucket width (2%).
-        prop_assert!(qs[3] <= max * 1.03 + 1e-4, "p99 {} max {}", qs[3], max);
-    }
+        assert!(qs[3] <= max * 1.03 + 1e-4, "p99 {} max {}", qs[3], max);
+    });
+}
 
-    /// fraction_le is a monotone CDF reaching 1.
-    #[test]
-    fn log_histogram_cdf(xs in prop::collection::vec(1e-3f64..1e2, 1..200)) {
+/// fraction_le is a monotone CDF reaching 1.
+#[test]
+fn log_histogram_cdf() {
+    check(64, |g| {
+        let xs = g.vec_f64(1e-3, 1e2, 1, 200);
         let mut h = LogHistogram::response_times();
         for &x in &xs {
             h.add(x);
@@ -116,18 +132,22 @@ proptest! {
         let mut prev = 0.0;
         for t in [0.001, 0.01, 0.1, 1.0, 10.0, 1e4] {
             let f = h.fraction_le(t);
-            prop_assert!(f >= prev - 1e-12);
-            prop_assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&f));
             prev = f;
         }
-        prop_assert!((h.fraction_le(1e9) - 1.0).abs() < 1e-12);
-    }
+        assert!((h.fraction_le(1e9) - 1.0).abs() < 1e-12);
+    });
+}
 
-    /// TimeWeighted average is always between the min and max level set.
-    #[test]
-    fn time_weighted_average_bounded(
-        segments in prop::collection::vec((1u64..1_000, 0.0f64..10.0), 1..50),
-    ) {
+/// TimeWeighted average is always between the min and max level set.
+#[test]
+fn time_weighted_average_bounded() {
+    check(64, |g| {
+        let n = g.usize_in(1, 50);
+        let segments: Vec<(u64, f64)> = (0..n)
+            .map(|_| (g.u64_in(1, 1_000), g.f64_in(0.0, 10.0)))
+            .collect();
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         let mut t = SimTime::ZERO;
         let mut lo = 0.0f64;
@@ -139,13 +159,22 @@ proptest! {
             hi = hi.max(v);
         }
         let avg = tw.average_until(t + SimTime::from_secs(1));
-        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg={avg} lo={lo} hi={hi}");
-        prop_assert!(tw.peak() >= hi);
-    }
+        assert!(
+            avg >= lo - 1e-9 && avg <= hi + 1e-9,
+            "avg={avg} lo={lo} hi={hi}"
+        );
+        assert!(tw.peak() >= hi);
+    });
+}
 
-    /// IntervalSeries conserves the total amount added after the origin.
-    #[test]
-    fn interval_series_conserves(adds in prop::collection::vec((0u64..100_000, 0.0f64..5.0), 0..200)) {
+/// IntervalSeries conserves the total amount added after the origin.
+#[test]
+fn interval_series_conserves() {
+    check(64, |g| {
+        let n = g.usize_in(0, 200);
+        let adds: Vec<(u64, f64)> = (0..n)
+            .map(|_| (g.u64_in(0, 100_000), g.f64_in(0.0, 5.0)))
+            .collect();
         let origin = SimTime::from_millis(10_000);
         let mut s = IntervalSeries::new(origin, SimTime::from_secs(1));
         let mut expected = 0.0;
@@ -157,6 +186,6 @@ proptest! {
             }
         }
         let total: f64 = s.buckets().iter().sum();
-        prop_assert!((total - expected).abs() < 1e-9);
-    }
+        assert!((total - expected).abs() < 1e-9);
+    });
 }

@@ -8,12 +8,12 @@
 
 use crate::linger::LingerConfig;
 use jvm_gc::GcConfig;
-use serde::{Deserialize, Serialize};
+use ntier_trace::TraceConfig;
 use simcore::SimTime;
 use workload::WorkloadConfig;
 
 /// Hardware topology `#W/#A/#C/#D`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HardwareConfig {
     /// Apache web servers.
     pub web: usize,
@@ -58,7 +58,7 @@ impl std::fmt::Display for HardwareConfig {
 }
 
 /// Soft-resource allocation `#W_T-#A_T-#A_C`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SoftAllocation {
     /// Worker threads per Apache server.
     pub web_threads: usize,
@@ -114,7 +114,7 @@ impl std::fmt::Display for SoftAllocation {
 }
 
 /// Calibrated service-demand and platform parameters (see DESIGN.md §4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServiceParams {
     /// Apache CPU before forwarding to Tomcat (ms per request).
     pub apache_pre_ms: f64,
@@ -176,7 +176,7 @@ impl Default for ServiceParams {
 }
 
 /// Which interaction mix the clients run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MixKind {
     /// RUBBoS browsing-only mode.
     BrowseOnly,
@@ -207,6 +207,8 @@ pub struct SystemConfig {
     pub sla_thresholds: Vec<f64>,
     /// RNG seed for the whole trial.
     pub seed: u64,
+    /// Per-request distributed tracing (off by default; see `ntier-trace`).
+    pub trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -224,15 +226,13 @@ impl SystemConfig {
             linger: LingerConfig::emulab_clients(),
             sla_thresholds: vec![0.5, 1.0, 2.0],
             seed: 0x5eed_0001,
+            trace: TraceConfig::Off,
         }
     }
 
     /// Compact label `#W/#A/#C/#D(#W_T-#A_T-#A_C)@users`, used in reports.
     pub fn label(&self) -> String {
-        format!(
-            "{}({})@{}",
-            self.hardware, self.soft, self.workload.users
-        )
+        format!("{}({})@{}", self.hardware, self.soft, self.workload.users)
     }
 }
 

@@ -1,9 +1,7 @@
 //! Identifiers: tiers, nodes, and CPU job tokens.
 
-use serde::{Deserialize, Serialize};
-
 /// The four server tiers of the topology (clients are not a tier).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Tier {
     /// Apache web server.
     Web,

@@ -37,4 +37,4 @@ pub use config::{HardwareConfig, ServiceParams, SoftAllocation, SystemConfig};
 pub use ids::Tier;
 pub use linger::LingerConfig;
 pub use output::{ApacheProbes, NodeReport, PoolReport, RunOutput};
-pub use system::{run_system, System};
+pub use system::{run_system, run_system_traced, RunTrace, System};

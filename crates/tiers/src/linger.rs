@@ -21,11 +21,10 @@
 //! with the user count above it, capped at `max_tail_prob` — client-side
 //! congestion is a population effect, not a per-request one.
 
-use serde::{Deserialize, Serialize};
 use simcore::{RunRng, SimTime};
 
 /// Parameters of the lingering-close model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LingerConfig {
     /// Mean of the fast-close exponential (seconds).
     pub base_secs: f64,

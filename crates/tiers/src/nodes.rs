@@ -154,9 +154,7 @@ impl Node {
 
     /// Close the measurement window and produce the report.
     pub fn report(&mut self, now: SimTime) -> NodeReport {
-        let pool_report = |p: &mut SoftPool,
-                           series: &[f64],
-                           density: &UtilDensity| {
+        let pool_report = |p: &mut SoftPool, series: &[f64], density: &UtilDensity| {
             let st = p.stats(now);
             PoolReport {
                 capacity: st.capacity,
@@ -295,8 +293,7 @@ mod tests {
         let small = Node::cjdbc(0, &c, &SoftAllocation::new(400, 200, 10));
         let large = Node::cjdbc(0, &c, &SoftAllocation::new(400, 200, 200));
         assert!(
-            large.jvm.as_ref().unwrap().live_bytes()
-                > small.jvm.as_ref().unwrap().live_bytes()
+            large.jvm.as_ref().unwrap().live_bytes() > small.jvm.as_ref().unwrap().live_bytes()
         );
     }
 

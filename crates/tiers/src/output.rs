@@ -2,7 +2,6 @@
 //! [`RunOutput`] summary every figure/table harness consumes.
 
 use metrics::{RtDistribution, SlaCounts, SloSeries, UtilDensity};
-use serde::{Deserialize, Serialize};
 use simcore::stats::{IntervalSeries, LogHistogram, Welford};
 use simcore::SimTime;
 
@@ -51,7 +50,7 @@ impl Telemetry {
 }
 
 /// Statistics of one soft pool over the measurement window.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PoolReport {
     /// Configured capacity.
     pub capacity: usize,
@@ -72,7 +71,7 @@ pub struct PoolReport {
 }
 
 /// Everything observed about one server over the measurement window.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeReport {
     /// Server tier.
     pub tier: Tier,
@@ -115,7 +114,7 @@ impl NodeReport {
 }
 
 /// Per-second Apache internals (Figs. 7 and 8).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ApacheProbes {
     /// Requests whose response was sent, per second (Fig. 7(a)).
     pub processed_per_sec: Vec<f64>,
@@ -132,8 +131,21 @@ pub struct ApacheProbes {
     pub threads_tomcat: Vec<f64>,
 }
 
+impl ntier_trace::json::ToJson for ApacheProbes {
+    fn to_json(&self) -> ntier_trace::json::Json {
+        use ntier_trace::json::obj;
+        obj([
+            ("processed_per_sec", self.processed_per_sec.clone().into()),
+            ("pt_total_ms", self.pt_total_ms.clone().into()),
+            ("pt_tomcat_ms", self.pt_tomcat_ms.clone().into()),
+            ("threads_active", self.threads_active.clone().into()),
+            ("threads_tomcat", self.threads_tomcat.clone().into()),
+        ])
+    }
+}
+
 /// Complete result of one simulated trial.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunOutput {
     /// Configuration label, e.g. `1/2/1/2(400-150-60)@5800`.
     pub label: String,

@@ -59,6 +59,19 @@ pub struct Request {
     pub arms_remaining: u8,
     /// Total Tomcat CPU demand sampled for this execution (seconds).
     pub tomcat_demand_secs: f64,
+    /// Trace id when this request was admitted for tracing (0 = untraced;
+    /// ids are monotone per trial, never reused even though slab slots are).
+    pub trace: u64,
+    /// When the Tomcat thread was granted (first Tomcat CPU slice).
+    pub t_thread_granted: SimTime,
+    /// When the request started waiting for a DB connection.
+    pub t_conn_wait_start: SimTime,
+    /// When the current query was issued (DB connection granted).
+    pub t_query_issued: SimTime,
+    /// When Apache post-processing began (Tomcat response received).
+    pub t_apache_post_start: SimTime,
+    /// When Apache finished the response (start of lingering close).
+    pub t_apache_done: SimTime,
 }
 
 impl Request {
@@ -79,6 +92,12 @@ impl Request {
             tomcat_interact_secs: 0.0,
             arms_remaining: 2,
             tomcat_demand_secs: 0.0,
+            trace: 0,
+            t_thread_granted: SimTime::ZERO,
+            t_conn_wait_start: SimTime::ZERO,
+            t_query_issued: SimTime::ZERO,
+            t_apache_post_start: SimTime::ZERO,
+            t_apache_done: SimTime::ZERO,
         }
     }
 

@@ -64,9 +64,7 @@ impl<T> Slab<T> {
 
     /// Remove and return the value at `idx`.
     pub fn remove(&mut self, idx: u32) -> T {
-        let v = self.slots[idx as usize]
-            .take()
-            .expect("slab: double free");
+        let v = self.slots[idx as usize].take().expect("slab: double free");
         self.free.push(idx);
         self.len -= 1;
         v
@@ -74,9 +72,7 @@ impl<T> Slab<T> {
 
     /// Whether the handle is occupied.
     pub fn contains(&self, idx: u32) -> bool {
-        self.slots
-            .get(idx as usize)
-            .is_some_and(|s| s.is_some())
+        self.slots.get(idx as usize).is_some_and(|s| s.is_some())
     }
 
     /// Number of live entries.

@@ -13,7 +13,8 @@ use crate::output::{ApacheProbes, NodeReport, RunOutput, Telemetry};
 use crate::request::{Query, QueryPhase, ReqPhase, Request};
 use crate::slab::Slab;
 use metrics::SlaModel;
-use simcore::{Engine, EventQueue, Model, RunRng, SimTime};
+use ntier_trace::{Span, TraceId, Tracer, ENGINE_TRACE};
+use simcore::{Engine, EngineStats, EventQueue, Model, RunRng, SimTime};
 use workload::{InteractionCatalog, Mix, Session, SessionModel};
 
 /// The event alphabet of the 4-tier model.
@@ -89,6 +90,8 @@ pub struct System {
     rr_mysql: usize,
     telemetry: Telemetry,
     probes: Vec<ApacheProbe>,
+    tracer: Option<Tracer>,
+    next_trace: TraceId,
     measuring: bool,
     final_nodes: Vec<NodeReport>,
     final_probes: Option<ApacheProbes>,
@@ -136,6 +139,10 @@ impl System {
             .map(|_| ApacheProbe::new(origin))
             .collect();
         let measure_end = cfg.workload.measure_end();
+        let tracer = cfg
+            .trace
+            .enabled()
+            .then(|| Tracer::new(cfg.trace, cfg.seed));
 
         System {
             rng_demand: root.fork("demand"),
@@ -157,6 +164,8 @@ impl System {
             rr_mysql: 0,
             telemetry,
             probes,
+            tracer,
+            next_trace: ENGINE_TRACE,
             measuring: false,
             final_nodes: Vec::new(),
             final_probes: None,
@@ -229,18 +238,55 @@ impl System {
         }
     }
 
+    /// Push a request-level span segment; no-op for untraced requests
+    /// (`trace == 0`) or when the tracer is off.
+    fn req_span(
+        &mut self,
+        trace: TraceId,
+        tier: Tier,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if trace == ENGINE_TRACE {
+            return;
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.push(Span {
+                trace,
+                track: tier.server_name(),
+                name,
+                start,
+                end,
+            });
+        }
+    }
+
     /// Record a transient JVM allocation, triggering stop-the-world GC when
     /// the free heap is exhausted.
     fn jvm_alloc(&mut self, ni: usize, bytes: f64, now: SimTime, q: &mut EventQueue<Ev>) {
-        let node = &mut self.nodes[ni];
-        let Some(jvm) = node.jvm.as_mut() else {
-            return;
-        };
-        if let Some(pause) = jvm.on_allocation(bytes) {
+        let pause = {
+            let node = &mut self.nodes[ni];
+            let Some(jvm) = node.jvm.as_mut() else {
+                return;
+            };
+            let Some(gc) = jvm.on_allocation_traced(bytes) else {
+                return;
+            };
             node.cpu.freeze(now);
             // Invalidate any scheduled completion; GcEnd re-arms it.
             node.cpu_gen = node.cpu_gen.wrapping_add(1);
-            q.schedule(now + pause, Ev::GcEnd { node: ni as u16 });
+            gc.pause
+        };
+        q.schedule(now + pause, Ev::GcEnd { node: ni as u16 });
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.push(Span {
+                trace: ENGINE_TRACE,
+                track: self.nodes[ni].tier.server_name(),
+                name: ntier_trace::GC_PAUSE,
+                start: now,
+                end: now + pause,
+            });
         }
     }
 
@@ -263,6 +309,15 @@ impl System {
         req.tomcat_idx = (self.rr_tomcat % self.cfg.hardware.app) as u16;
         self.rr_web += 1;
         self.rr_tomcat += 1;
+        // Head sampling: the admit decision is made once, at the request's
+        // birth, from a monotone id (slab slots are reused; trace ids never
+        // are — id 0 is reserved for engine-level spans).
+        if let Some(tr) = self.tracer.as_mut() {
+            self.next_trace += 1;
+            if tr.admit(self.next_trace) {
+                req.trace = self.next_trace;
+            }
+        }
         let r = self.requests.insert(req);
         q.schedule(now + self.hop(512), Ev::ArriveApache(r));
     }
@@ -288,40 +343,50 @@ impl System {
 
     fn start_apache_pre(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
         let demand = self.jitter_ms(self.cfg.params.apache_pre_ms);
-        let ni = {
+        let (ni, trace, t_arrive) = {
             let req = self.requests.get_mut(r);
             req.t_worker_acquired = now;
             req.phase = ReqPhase::ApachePre;
-            self.web0 + req.apache_idx as usize
+            (
+                self.web0 + req.apache_idx as usize,
+                req.trace,
+                req.t_arrive_apache,
+            )
         };
+        self.req_span(trace, Tier::Web, ntier_trace::ACCEPT_WAIT, t_arrive, now);
         self.cpu_submit(ni, Token::Req(r), demand, now, q);
     }
 
     /// Apache pre-CPU finished: forward to the Tomcat tier.
     fn apache_forward_to_tomcat(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let apache_idx = {
+        let (apache_idx, trace, t_worker) = {
             let req = self.requests.get_mut(r);
             req.phase = ReqPhase::WaitTomcatThread;
             req.t_tomcat_phase_start = now;
-            req.apache_idx as usize
+            (req.apache_idx as usize, req.trace, req.t_worker_acquired)
         };
+        self.req_span(trace, Tier::Web, ntier_trace::WORKER_PRE, t_worker, now);
         self.probes[apache_idx].interacting += 1;
         q.schedule(now + self.hop(512), Ev::ArriveTomcat(r));
     }
 
     /// Apache post-CPU finished: send the response and linger on close.
     fn apache_finish(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (apache_idx, response_kb) = {
+        let (apache_idx, response_kb, trace, t_arrive, t_post) = {
             let req = self.requests.get(r);
             (
                 req.apache_idx as usize,
                 self.catalog.get(req.interaction).response_kb,
+                req.trace,
+                req.t_arrive_apache,
+                req.t_apache_post_start,
             )
         };
         let ni = self.web0 + apache_idx;
-        self.nodes[ni]
-            .log
-            .record(self.requests.get(r).t_arrive_apache, now);
+        self.nodes[ni].log.record(t_arrive, now);
+        self.req_span(trace, Tier::Web, ntier_trace::WORKER_POST, t_post, now);
+        self.req_span(trace, Tier::Web, ntier_trace::RESIDENCE, t_arrive, now);
+        self.requests.get_mut(r).t_apache_done = now;
         self.probes[apache_idx].processed.incr(now);
         q.schedule(
             now + self.hop(response_kb as u64 * 1024),
@@ -337,6 +402,11 @@ impl System {
 
     fn on_linger_done(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
         let apache_idx = self.requests.get(r).apache_idx as usize;
+        let (trace, t_done) = {
+            let req = self.requests.get(r);
+            (req.trace, req.t_apache_done)
+        };
+        self.req_span(trace, Tier::Web, ntier_trace::LINGER_CLOSE, t_done, now);
         // Worker busy-time probes (Fig. 7(b)/(e)).
         {
             let req = self.requests.get(r);
@@ -393,8 +463,14 @@ impl System {
 
     /// Run the next Tomcat CPU slice (slices interleave with queries).
     fn start_tomcat_slice(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (ni, slice_demand, slice_alloc) = {
+        let (ni, slice_demand, slice_alloc, first_slice) = {
             let req = self.requests.get_mut(r);
+            // Only the first slice enters through the thread-pool queue;
+            // later slices resume after a query with the thread still held.
+            let first_slice = req.phase == ReqPhase::WaitTomcatThread;
+            if first_slice {
+                req.t_thread_granted = now;
+            }
             req.phase = ReqPhase::TomcatCpu;
             let inter = self.catalog.get(req.interaction);
             let slices = (inter.queries + 1) as f64;
@@ -402,8 +478,16 @@ impl System {
                 self.app0 + req.tomcat_idx as usize,
                 req.tomcat_demand_secs / slices,
                 self.cfg.params.tomcat_alloc_per_req / slices,
+                first_slice,
             )
         };
+        if first_slice {
+            let (trace, t_arrive) = {
+                let req = self.requests.get(r);
+                (req.trace, req.t_arrive_tomcat)
+            };
+            self.req_span(trace, Tier::App, ntier_trace::THREAD_WAIT, t_arrive, now);
+        }
         self.jvm_alloc(ni, slice_alloc, now, q);
         self.cpu_submit(ni, Token::Req(r), slice_demand, now, q);
     }
@@ -419,7 +503,11 @@ impl System {
             )
         };
         if more_queries {
-            self.requests.get_mut(r).phase = ReqPhase::WaitDbConn;
+            {
+                let req = self.requests.get_mut(r);
+                req.phase = ReqPhase::WaitDbConn;
+                req.t_conn_wait_start = now;
+            }
             let pool = self.nodes[ni].conn_pool.as_mut().expect("tomcat has conns");
             match pool.acquire(now, r as u64) {
                 resources::Acquire::Granted => self.issue_query(r, now, q),
@@ -427,9 +515,13 @@ impl System {
             }
         } else {
             // All queries done: respond to Apache and release the thread.
-            self.nodes[ni]
-                .log
-                .record(self.requests.get(r).t_arrive_tomcat, now);
+            let (trace, t_arrive, t_granted) = {
+                let req = self.requests.get(r);
+                (req.trace, req.t_arrive_tomcat, req.t_thread_granted)
+            };
+            self.nodes[ni].log.record(t_arrive, now);
+            self.req_span(trace, Tier::App, ntier_trace::SERVICE, t_granted, now);
+            self.req_span(trace, Tier::App, ntier_trace::RESIDENCE, t_arrive, now);
             let pool = self.nodes[ni].pool.as_mut().expect("tomcat has threads");
             if let Some(next) = pool.release(now) {
                 q.schedule_now(Ev::TomcatThreadGranted(next as ReqId));
@@ -444,18 +536,31 @@ impl System {
             let inter = self.catalog.get(req.interaction);
             req.queries_done < inter.write_queries
         };
-        self.requests.get_mut(r).phase = ReqPhase::QueryInFlight;
+        let (trace, t_wait) = {
+            let req = self.requests.get_mut(r);
+            req.phase = ReqPhase::QueryInFlight;
+            req.t_query_issued = now;
+            (req.trace, req.t_conn_wait_start)
+        };
+        self.req_span(trace, Tier::App, ntier_trace::CONN_WAIT, t_wait, now);
         let qid = self.queries.insert(Query::new(r, is_write, SimTime::ZERO));
         q.schedule(now + self.hop(300), Ev::ArriveCjdbc(qid));
     }
 
     fn on_query_done(&mut self, qid: QueryId, now: SimTime, q: &mut EventQueue<Ev>) {
         let r = self.queries.remove(qid).req;
-        let ni = {
+        let (ni, trace, t_issued) = {
             let req = self.requests.get_mut(r);
             req.queries_done += 1;
-            self.app0 + req.tomcat_idx as usize
+            (
+                self.app0 + req.tomcat_idx as usize,
+                req.trace,
+                req.t_query_issued,
+            )
         };
+        // The fan-out child as the Tomcat thread sees it: DB connection held
+        // from issue to reply consumption (the paper's `t1'`/`t2'` periods).
+        self.req_span(trace, Tier::App, ntier_trace::QUERY, t_issued, now);
         let pool = self.nodes[ni].conn_pool.as_mut().expect("tomcat has conns");
         if let Some(next) = pool.release(now) {
             q.schedule_now(Ev::DbConnGranted(next as ReqId));
@@ -464,19 +569,28 @@ impl System {
     }
 
     fn on_response_to_apache(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (ni, demand_ms, apache_idx) = {
+        let (ni, demand_ms, apache_idx, trace, t_interact) = {
             let req = self.requests.get_mut(r);
-            req.tomcat_interact_secs +=
-                now.saturating_sub(req.t_tomcat_phase_start).as_secs_f64();
+            req.tomcat_interact_secs += now.saturating_sub(req.t_tomcat_phase_start).as_secs_f64();
             req.phase = ReqPhase::ApachePost;
+            req.t_apache_post_start = now;
             let inter = self.catalog.get(req.interaction);
             (
                 self.web0 + req.apache_idx as usize,
                 self.cfg.params.apache_post_ms
                     + inter.static_requests as f64 * self.cfg.params.static_ms,
                 req.apache_idx as usize,
+                req.trace,
+                req.t_tomcat_phase_start,
             )
         };
+        self.req_span(
+            trace,
+            Tier::Web,
+            ntier_trace::TOMCAT_INTERACT,
+            t_interact,
+            now,
+        );
         self.probes[apache_idx].interacting -= 1;
         let demand = self.jitter_ms(demand_ms);
         self.cpu_submit(ni, Token::Req(r), demand, now, q);
@@ -538,10 +652,16 @@ impl System {
 
     /// C-JDBC merge CPU done: reply to Tomcat.
     fn cjdbc_reply(&mut self, qid: QueryId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let ni = self.cmw0 + self.queries.get(qid).cjdbc_idx as usize;
-        self.nodes[ni]
-            .log
-            .record(self.queries.get(qid).t_enter_cjdbc, now);
+        let (ni, trace, t_enter) = {
+            let query = self.queries.get(qid);
+            (
+                self.cmw0 + query.cjdbc_idx as usize,
+                self.requests.get(query.req).trace,
+                query.t_enter_cjdbc,
+            )
+        };
+        self.nodes[ni].log.record(t_enter, now);
+        self.req_span(trace, Tier::Cmw, ntier_trace::RESIDENCE, t_enter, now);
         // The result set travels back and is consumed by the JDBC driver
         // while the Tomcat thread and DB connection stay occupied.
         q.schedule(
@@ -580,9 +700,12 @@ impl System {
 
     fn mysql_finish(&mut self, qid: QueryId, db: u16, now: SimTime, q: &mut EventQueue<Ev>) {
         let ni = self.db0 + db as usize;
-        self.nodes[ni]
-            .log
-            .record(self.queries.get(qid).t_enter_mysql, now);
+        let (trace, t_enter) = {
+            let query = self.queries.get(qid);
+            (self.requests.get(query.req).trace, query.t_enter_mysql)
+        };
+        self.nodes[ni].log.record(t_enter, now);
+        self.req_span(trace, Tier::Db, ntier_trace::RESIDENCE, t_enter, now);
         q.schedule(now + self.hop(2048), Ev::MysqlReply(qid));
     }
 
@@ -671,9 +794,7 @@ impl System {
         self.final_nodes = reports;
         let window_buckets = self.cfg.workload.runtime.as_secs_f64() as usize;
         let probe = &self.probes[0];
-        let trim = |v: &[f64]| -> Vec<f64> {
-            v.iter().copied().take(window_buckets).collect()
-        };
+        let trim = |v: &[f64]| -> Vec<f64> { v.iter().copied().take(window_buckets).collect() };
         self.final_probes = Some(ApacheProbes {
             processed_per_sec: trim(probe.processed.buckets()),
             pt_total_ms: trim(&ApacheProbe::means(
@@ -694,7 +815,9 @@ impl System {
         let window = self.cfg.workload.runtime.as_secs_f64();
         let t = &self.telemetry;
         let n_thresholds = self.cfg.sla_thresholds.len();
-        let goodput: Vec<f64> = (0..n_thresholds).map(|i| t.sla.goodput(i, window)).collect();
+        let goodput: Vec<f64> = (0..n_thresholds)
+            .map(|i| t.sla.goodput(i, window))
+            .collect();
         let badput: Vec<f64> = (0..n_thresholds).map(|i| t.sla.badput(i, window)).collect();
         let satisfaction: Vec<f64> = (0..n_thresholds).map(|i| t.sla.satisfaction(i)).collect();
         let q = |p: f64| t.rt_hist.quantile(p).unwrap_or(0.0);
@@ -753,18 +876,80 @@ impl Model for System {
             Ev::EndMeasure => self.on_end_measure(now),
         }
     }
+
+    fn event_label(event: &Ev) -> &'static str {
+        match event {
+            Ev::ThinkDone(_) => "think-done",
+            Ev::ArriveApache(_) => "arrive-apache",
+            Ev::WorkerGranted(_) => "worker-granted",
+            Ev::ArriveTomcat(_) => "arrive-tomcat",
+            Ev::TomcatThreadGranted(_) => "tomcat-thread-granted",
+            Ev::DbConnGranted(_) => "db-conn-granted",
+            Ev::ArriveCjdbc(_) => "arrive-cjdbc",
+            Ev::MysqlArrive(..) => "mysql-arrive",
+            Ev::MysqlDiskDone(..) => "mysql-disk-done",
+            Ev::MysqlReply(_) => "mysql-reply",
+            Ev::QueryDone(_) => "query-done",
+            Ev::ResponseToApache(_) => "response-to-apache",
+            Ev::ResponseToClient(_) => "response-to-client",
+            Ev::LingerDone(_) => "linger-done",
+            Ev::CpuCheck { .. } => "cpu-check",
+            Ev::GcEnd { .. } => "gc-end",
+            Ev::Sample => "sample",
+            Ev::BeginMeasure => "begin-measure",
+            Ev::EndMeasure => "end-measure",
+        }
+    }
+}
+
+/// Everything a traced run captures beyond the aggregate [`RunOutput`]:
+/// the span stream, sampling/ring counters, and engine telemetry.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Span stream in ring order (oldest surviving span first). Empty when
+    /// tracing was off.
+    pub spans: Vec<Span>,
+    /// Requests admitted by head sampling.
+    pub admitted: u64,
+    /// Requests rejected by head sampling.
+    pub rejected: u64,
+    /// Spans lost to ring-buffer overwrite (0 ⇒ the stream is complete).
+    pub overwritten: u64,
+    /// Engine telemetry (event totals, heap high-water, wall-clock rate).
+    pub engine: EngineStats,
+    /// Measurement window `[start, end)` the aggregates were taken over.
+    pub window: (SimTime, SimTime),
+}
+
+impl RunTrace {
+    /// Per-tier summary (Table I view) over the measurement window.
+    pub fn summary(&self) -> ntier_trace::TraceSummary {
+        ntier_trace::summarize(self.spans.iter(), self.window.0, self.window.1)
+    }
 }
 
 /// Run one full trial and return its observables.
 pub fn run_system(cfg: SystemConfig) -> RunOutput {
+    run_system_traced(cfg).0
+}
+
+/// Run one full trial, also returning the trace captured along the way.
+///
+/// With `cfg.trace == TraceConfig::Off` the trace is empty and the run does
+/// no per-request trace work (the fast path `run_system` delegates here).
+pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
     let ramp = cfg.workload.ramp_up;
     let users = cfg.workload.users;
     let measure_start = cfg.workload.measure_start();
     let measure_end = cfg.workload.measure_end();
     let trial_end = cfg.workload.trial_end();
+    let traced = cfg.trace.enabled();
     let mut start_rng = RunRng::new(cfg.seed).fork("session-starts");
 
     let mut engine = Engine::new(System::new(cfg));
+    if traced {
+        engine.enable_telemetry();
+    }
     for s in 0..users {
         let at = SimTime::from_secs_f64(start_rng.uniform(0.0, ramp.as_secs_f64().max(1e-9)));
         engine.schedule(at, Ev::ThinkDone(s));
@@ -773,7 +958,23 @@ pub fn run_system(cfg: SystemConfig) -> RunOutput {
     engine.schedule(measure_end, Ev::EndMeasure);
     engine.run_until(trial_end);
     let events = engine.events_processed();
-    engine.into_model().into_output(events)
+    let stats = engine.stats();
+    let mut system = engine.into_model();
+    let tracer = system.tracer.take();
+    let (admitted, rejected, overwritten) = tracer
+        .as_ref()
+        .map(|t| (t.admitted(), t.rejected(), t.overwritten()))
+        .unwrap_or((0, 0, 0));
+    let out = system.into_output(events);
+    let trace = RunTrace {
+        spans: tracer.map(Tracer::into_spans).unwrap_or_default(),
+        admitted,
+        rejected,
+        overwritten,
+        engine: stats,
+        window: (measure_start, measure_end),
+    };
+    (out, trace)
 }
 
 #[cfg(test)]
@@ -908,9 +1109,7 @@ mod tests {
         let mut engine = Engine::new(System::new(cfg.clone()));
         let mut rng = RunRng::new(cfg.seed).fork("session-starts");
         for s in 0..cfg.workload.users {
-            let at = SimTime::from_secs_f64(
-                rng.uniform(0.0, cfg.workload.ramp_up.as_secs_f64()),
-            );
+            let at = SimTime::from_secs_f64(rng.uniform(0.0, cfg.workload.ramp_up.as_secs_f64()));
             engine.schedule(at, Ev::ThinkDone(s));
         }
         engine.schedule(cfg.workload.measure_start(), Ev::BeginMeasure);

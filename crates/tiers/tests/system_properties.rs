@@ -1,7 +1,7 @@
-//! Property tests of the full 4-tier system: conservation and sanity
+//! Randomized tests of the full 4-tier system: conservation and sanity
 //! invariants must hold for ANY topology, allocation, and population.
 
-use proptest::prelude::*;
+use simcore::testkit::check;
 use tiers::{run_system, HardwareConfig, SoftAllocation, SystemConfig};
 use workload::WorkloadConfig;
 
@@ -32,23 +32,20 @@ fn quick_cfg(
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// For any configuration: goodput/badput partition throughput, response
-    /// times are positive, utilizations are in [0,1], and per-tier
-    /// completions respect the visit-ratio structure.
-    #[test]
-    fn system_invariants(
-        web in 1usize..3,
-        app in 1usize..5,
-        db in 1usize..4,
-        web_threads in 4usize..64,
-        app_threads in 2usize..32,
-        conns in 2usize..32,
-        users in 50u32..400,
-        seed in 0u64..1_000,
-    ) {
+/// For any configuration: goodput/badput partition throughput, response
+/// times are positive, utilizations are in [0,1], and per-tier
+/// completions respect the visit-ratio structure.
+#[test]
+fn system_invariants() {
+    check(24, |g| {
+        let web = g.usize_in(1, 3);
+        let app = g.usize_in(1, 5);
+        let db = g.usize_in(1, 4);
+        let web_threads = g.usize_in(4, 64);
+        let app_threads = g.usize_in(2, 32);
+        let conns = g.usize_in(2, 32);
+        let users = g.u64_in(50, 400) as u32;
+        let seed = g.u64_in(0, 1_000);
         let out = run_system(quick_cfg(
             (web, app, 1, db),
             (web_threads, app_threads, conns),
@@ -57,46 +54,60 @@ proptest! {
         ));
         // Conservation at each threshold.
         for i in 0..out.sla_thresholds.len() {
-            prop_assert!((out.goodput[i] + out.badput[i] - out.throughput).abs() < 1e-9);
-            prop_assert!((0.0..=1.0).contains(&out.satisfaction[i]));
+            assert!((out.goodput[i] + out.badput[i] - out.throughput).abs() < 1e-9);
+            assert!((0.0..=1.0).contains(&out.satisfaction[i]));
         }
         // Monotone in the threshold.
-        prop_assert!(out.goodput.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(out.goodput.windows(2).all(|w| w[0] <= w[1] + 1e-12));
         // Sane utilizations everywhere.
         for n in &out.nodes {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&n.cpu_util), "{}: {}", n.name, n.cpu_util);
-            prop_assert!(n.gc_fraction <= n.cpu_util + 1e-6, "{}", n.name);
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&n.cpu_util),
+                "{}: {}",
+                n.name,
+                n.cpu_util
+            );
+            assert!(n.gc_fraction <= n.cpu_util + 1e-6, "{}", n.name);
             if let Some(p) = &n.thread_pool {
-                prop_assert!(p.mean_occupancy <= 1.0 + 1e-9);
-                prop_assert!(p.saturated_fraction <= p.full_fraction + 1e-9);
+                assert!(p.mean_occupancy <= 1.0 + 1e-9);
+                assert!(p.saturated_fraction <= p.full_fraction + 1e-9);
             }
         }
         // The closed loop bounds in-flight work: completed requests cannot
         // exceed what the population could possibly issue.
-        prop_assert!(out.completed <= (users as u64) * 1000);
+        assert!(out.completed <= (users as u64) * 1000);
         // RT quantiles are ordered.
-        prop_assert!(out.rt_quantiles[0] <= out.rt_quantiles[1]);
-        prop_assert!(out.rt_quantiles[1] <= out.rt_quantiles[2]);
+        assert!(out.rt_quantiles[0] <= out.rt_quantiles[1]);
+        assert!(out.rt_quantiles[1] <= out.rt_quantiles[2]);
         // Browse-only visit structure: MySQL tier completions ≈ C-JDBC's.
-        let cmw: u64 = out.tier_nodes(tiers::Tier::Cmw).iter().map(|n| n.completions).sum();
-        let dbs: u64 = out.tier_nodes(tiers::Tier::Db).iter().map(|n| n.completions).sum();
+        let cmw: u64 = out
+            .tier_nodes(tiers::Tier::Cmw)
+            .iter()
+            .map(|n| n.completions)
+            .sum();
+        let dbs: u64 = out
+            .tier_nodes(tiers::Tier::Db)
+            .iter()
+            .map(|n| n.completions)
+            .sum();
         if cmw > 100 {
             let rel = (dbs as f64 - cmw as f64).abs() / cmw as f64;
-            prop_assert!(rel < 0.1, "cmw {cmw} vs db {dbs}");
+            assert!(rel < 0.1, "cmw {cmw} vs db {dbs} (seed {})", g.seed());
         }
-    }
+    });
+}
 
-    /// Determinism for arbitrary configurations: the same seed replays the
-    /// same run exactly.
-    #[test]
-    fn any_config_is_deterministic(
-        app in 1usize..4,
-        users in 50u32..250,
-        seed in 0u64..500,
-    ) {
+/// Determinism for arbitrary configurations: the same seed replays the
+/// same run exactly.
+#[test]
+fn any_config_is_deterministic() {
+    check(12, |g| {
+        let app = g.usize_in(1, 4);
+        let users = g.u64_in(50, 250) as u32;
+        let seed = g.u64_in(0, 500);
         let a = run_system(quick_cfg((1, app, 1, 2), (32, 8, 8), users, seed));
         let b = run_system(quick_cfg((1, app, 1, 2), (32, 8, 8), users, seed));
-        prop_assert_eq!(a.completed, b.completed);
-        prop_assert_eq!(a.events_processed, b.events_processed);
-    }
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.events_processed, b.events_processed);
+    });
 }

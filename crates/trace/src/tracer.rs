@@ -1,0 +1,263 @@
+//! Trace configuration, span records, and the bounded span ring buffer.
+
+use simcore::SimTime;
+
+/// How much of the request population to trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TraceConfig {
+    /// No tracing: no tracer is constructed, no per-event cost.
+    #[default]
+    Off,
+    /// Head sampling — trace a deterministic pseudo-random fraction of
+    /// requests (decided once, at request admission).
+    Sampled(f64),
+    /// Trace every request.
+    Full,
+}
+
+impl TraceConfig {
+    /// Whether any tracer should be constructed at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, TraceConfig::Off)
+    }
+
+    /// Head-sampling decision for a trace id. Deterministic in
+    /// `(seed, id)` — independent of event interleaving, so sampled runs are
+    /// exactly reproducible.
+    pub fn admit(&self, seed: u64, id: u64) -> bool {
+        match *self {
+            TraceConfig::Off => false,
+            TraceConfig::Full => true,
+            TraceConfig::Sampled(rate) => {
+                if rate <= 0.0 {
+                    false
+                } else if rate >= 1.0 {
+                    true
+                } else {
+                    let h = splitmix64(seed ^ splitmix64(id.wrapping_add(1)));
+                    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < rate
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Identifier of one traced request. Spans emitted for the queries a request
+/// fans out carry the parent request's trace id, so the whole tree groups.
+/// Trace id 0 is reserved for engine-level spans (GC pauses) that belong to a
+/// server, not a request.
+pub type TraceId = u64;
+
+/// Engine-level spans (GC pauses, …) use this reserved trace id.
+pub const ENGINE_TRACE: TraceId = 0;
+
+/// One span segment: a half-open interval `[start, end)` of simulated time on
+/// one tier's track. `track` and `name` are static strings so pushing a span
+/// never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Trace this span belongs to ([`ENGINE_TRACE`] for server-level spans).
+    pub trace: TraceId,
+    /// Display track, one per tier: `"Apache"`, `"Tomcat"`, `"C-JDBC"`,
+    /// `"MySQL"`.
+    pub track: &'static str,
+    /// Segment kind, e.g. `"accept-wait"`, `"linger-close"`, `"gc-pause"`.
+    pub name: &'static str,
+    /// Segment start (inclusive).
+    pub start: SimTime,
+    /// Segment end (exclusive).
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Span duration in seconds.
+    pub fn secs(&self) -> f64 {
+        self.end.saturating_sub(self.start).as_secs_f64()
+    }
+
+    /// Span duration in integer microseconds.
+    pub fn micros(&self) -> u64 {
+        self.end.0.saturating_sub(self.start.0)
+    }
+}
+
+/// Default ring capacity: 1 M spans ≈ 40 MB, enough for a full 7 800-user
+/// trial under `TraceConfig::Full` while keeping memory bounded.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Bounded span sink. When the ring is full the *oldest* spans are
+/// overwritten (the tail of a run is usually what is being debugged), and the
+/// overwrite count is reported so truncation is never silent.
+#[derive(Debug)]
+pub struct Tracer {
+    config: TraceConfig,
+    seed: u64,
+    ring: Vec<Span>,
+    capacity: usize,
+    head: usize,
+    overwritten: u64,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl Tracer {
+    /// Tracer with the default ring capacity.
+    pub fn new(config: TraceConfig, seed: u64) -> Self {
+        Self::with_capacity(config, seed, DEFAULT_CAPACITY)
+    }
+
+    /// Tracer with an explicit ring capacity (must be non-zero).
+    pub fn with_capacity(config: TraceConfig, seed: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be non-zero");
+        Tracer {
+            config,
+            seed,
+            ring: Vec::new(),
+            capacity,
+            head: 0,
+            overwritten: 0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The configuration this tracer was built with.
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    /// Head-sampling decision for a new trace id; counts the outcome.
+    pub fn admit(&mut self, id: TraceId) -> bool {
+        let ok = self.config.admit(self.seed, id);
+        if ok {
+            self.admitted += 1;
+        } else {
+            self.rejected += 1;
+        }
+        ok
+    }
+
+    /// Record a span. O(1), allocation-free once the ring is warm.
+    pub fn push(&mut self, span: Span) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(span);
+        } else {
+            self.ring[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Spans lost to ring overwrite.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Traces admitted by head sampling.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Traces rejected by head sampling.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Spans in recording order (oldest surviving span first).
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.ring[self.head..]
+            .iter()
+            .chain(self.ring[..self.head].iter())
+    }
+
+    /// Drain into a plain `Vec` in recording order.
+    pub fn into_spans(mut self) -> Vec<Span> {
+        self.ring.rotate_left(self.head);
+        self.ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: TraceId, start: u64) -> Span {
+        Span {
+            trace,
+            track: "Apache",
+            name: "service",
+            start: SimTime(start),
+            end: SimTime(start + 10),
+        }
+    }
+
+    #[test]
+    fn off_admits_nothing_full_admits_all() {
+        for id in 0..100 {
+            assert!(!TraceConfig::Off.admit(1, id));
+            assert!(TraceConfig::Full.admit(1, id));
+        }
+    }
+
+    #[test]
+    fn sampling_rate_is_roughly_respected_and_deterministic() {
+        let cfg = TraceConfig::Sampled(0.25);
+        let n = 20_000u64;
+        let hits = (0..n).filter(|&id| cfg.admit(42, id)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+        for id in 0..100 {
+            assert_eq!(cfg.admit(7, id), cfg.admit(7, id));
+        }
+    }
+
+    #[test]
+    fn sampling_extremes() {
+        assert!(!TraceConfig::Sampled(0.0).admit(1, 5));
+        assert!(TraceConfig::Sampled(1.0).admit(1, 5));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_spans_in_order() {
+        let mut t = Tracer::with_capacity(TraceConfig::Full, 0, 4);
+        for i in 0..7u64 {
+            t.push(span(i, i * 100));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.overwritten(), 3);
+        let traces: Vec<TraceId> = t.iter().map(|s| s.trace).collect();
+        assert_eq!(traces, vec![3, 4, 5, 6]);
+        assert_eq!(
+            t.into_spans().iter().map(|s| s.trace).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn admit_counts() {
+        let mut t = Tracer::new(TraceConfig::Sampled(0.5), 9);
+        for id in 0..1000 {
+            t.admit(id);
+        }
+        assert_eq!(t.admitted() + t.rejected(), 1000);
+        assert!(t.admitted() > 300 && t.admitted() < 700);
+    }
+}

@@ -11,13 +11,11 @@
 //! testbed saturates at the same workloads as the paper's Emulab deployment
 //! (see DESIGN.md §4); the tier models additionally apply global scale knobs.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of an interaction in the catalogue.
 pub type InteractionId = usize;
 
 /// Whether an interaction only reads or also updates the database.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RwClass {
     /// Read-only (browse) interaction.
     Read,
@@ -26,7 +24,7 @@ pub enum RwClass {
 }
 
 /// Static description of one interaction type.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Interaction {
     /// Servlet name, as in RUBBoS.
     pub name: &'static str,
@@ -59,31 +57,247 @@ impl InteractionCatalog {
         // name, class, tomcat_ms, queries, writes, mysql_ms/q, statics, resp_kb
         use RwClass::{Read, Write};
         let rows = vec![
-            Interaction { name: "StoriesOfTheDay",        class: Read,  tomcat_ms: 2.8, queries: 3, write_queries: 0, mysql_ms_per_query: 0.9, static_requests: 2, response_kb: 24 },
-            Interaction { name: "Home",                   class: Read,  tomcat_ms: 1.2, queries: 1, write_queries: 0, mysql_ms_per_query: 0.5, static_requests: 3, response_kb: 12 },
-            Interaction { name: "BrowseCategories",       class: Read,  tomcat_ms: 1.8, queries: 2, write_queries: 0, mysql_ms_per_query: 0.6, static_requests: 2, response_kb: 10 },
-            Interaction { name: "BrowseStoriesByCategory",class: Read,  tomcat_ms: 2.6, queries: 3, write_queries: 0, mysql_ms_per_query: 0.9, static_requests: 2, response_kb: 22 },
-            Interaction { name: "OlderStories",           class: Read,  tomcat_ms: 2.7, queries: 3, write_queries: 0, mysql_ms_per_query: 1.0, static_requests: 2, response_kb: 22 },
-            Interaction { name: "ViewStory",              class: Read,  tomcat_ms: 2.4, queries: 2, write_queries: 0, mysql_ms_per_query: 0.8, static_requests: 2, response_kb: 30 },
-            Interaction { name: "ViewComment",            class: Read,  tomcat_ms: 2.2, queries: 2, write_queries: 0, mysql_ms_per_query: 0.7, static_requests: 2, response_kb: 18 },
-            Interaction { name: "ViewUserInfo",           class: Read,  tomcat_ms: 1.6, queries: 2, write_queries: 0, mysql_ms_per_query: 0.5, static_requests: 2, response_kb: 8 },
-            Interaction { name: "SearchInStories",        class: Read,  tomcat_ms: 3.2, queries: 3, write_queries: 0, mysql_ms_per_query: 1.4, static_requests: 2, response_kb: 20 },
-            Interaction { name: "SearchInComments",       class: Read,  tomcat_ms: 3.4, queries: 3, write_queries: 0, mysql_ms_per_query: 1.6, static_requests: 2, response_kb: 20 },
-            Interaction { name: "SearchInUsers",          class: Read,  tomcat_ms: 2.0, queries: 2, write_queries: 0, mysql_ms_per_query: 0.8, static_requests: 2, response_kb: 10 },
-            Interaction { name: "BrowseStoriesByDate",    class: Read,  tomcat_ms: 2.6, queries: 3, write_queries: 0, mysql_ms_per_query: 0.9, static_requests: 2, response_kb: 22 },
+            Interaction {
+                name: "StoriesOfTheDay",
+                class: Read,
+                tomcat_ms: 2.8,
+                queries: 3,
+                write_queries: 0,
+                mysql_ms_per_query: 0.9,
+                static_requests: 2,
+                response_kb: 24,
+            },
+            Interaction {
+                name: "Home",
+                class: Read,
+                tomcat_ms: 1.2,
+                queries: 1,
+                write_queries: 0,
+                mysql_ms_per_query: 0.5,
+                static_requests: 3,
+                response_kb: 12,
+            },
+            Interaction {
+                name: "BrowseCategories",
+                class: Read,
+                tomcat_ms: 1.8,
+                queries: 2,
+                write_queries: 0,
+                mysql_ms_per_query: 0.6,
+                static_requests: 2,
+                response_kb: 10,
+            },
+            Interaction {
+                name: "BrowseStoriesByCategory",
+                class: Read,
+                tomcat_ms: 2.6,
+                queries: 3,
+                write_queries: 0,
+                mysql_ms_per_query: 0.9,
+                static_requests: 2,
+                response_kb: 22,
+            },
+            Interaction {
+                name: "OlderStories",
+                class: Read,
+                tomcat_ms: 2.7,
+                queries: 3,
+                write_queries: 0,
+                mysql_ms_per_query: 1.0,
+                static_requests: 2,
+                response_kb: 22,
+            },
+            Interaction {
+                name: "ViewStory",
+                class: Read,
+                tomcat_ms: 2.4,
+                queries: 2,
+                write_queries: 0,
+                mysql_ms_per_query: 0.8,
+                static_requests: 2,
+                response_kb: 30,
+            },
+            Interaction {
+                name: "ViewComment",
+                class: Read,
+                tomcat_ms: 2.2,
+                queries: 2,
+                write_queries: 0,
+                mysql_ms_per_query: 0.7,
+                static_requests: 2,
+                response_kb: 18,
+            },
+            Interaction {
+                name: "ViewUserInfo",
+                class: Read,
+                tomcat_ms: 1.6,
+                queries: 2,
+                write_queries: 0,
+                mysql_ms_per_query: 0.5,
+                static_requests: 2,
+                response_kb: 8,
+            },
+            Interaction {
+                name: "SearchInStories",
+                class: Read,
+                tomcat_ms: 3.2,
+                queries: 3,
+                write_queries: 0,
+                mysql_ms_per_query: 1.4,
+                static_requests: 2,
+                response_kb: 20,
+            },
+            Interaction {
+                name: "SearchInComments",
+                class: Read,
+                tomcat_ms: 3.4,
+                queries: 3,
+                write_queries: 0,
+                mysql_ms_per_query: 1.6,
+                static_requests: 2,
+                response_kb: 20,
+            },
+            Interaction {
+                name: "SearchInUsers",
+                class: Read,
+                tomcat_ms: 2.0,
+                queries: 2,
+                write_queries: 0,
+                mysql_ms_per_query: 0.8,
+                static_requests: 2,
+                response_kb: 10,
+            },
+            Interaction {
+                name: "BrowseStoriesByDate",
+                class: Read,
+                tomcat_ms: 2.6,
+                queries: 3,
+                write_queries: 0,
+                mysql_ms_per_query: 0.9,
+                static_requests: 2,
+                response_kb: 22,
+            },
             // --- write-path interactions (read/write mix only) ---
-            Interaction { name: "RegisterUser",           class: Write, tomcat_ms: 2.0, queries: 2, write_queries: 1, mysql_ms_per_query: 1.0, static_requests: 1, response_kb: 6 },
-            Interaction { name: "Author",                 class: Read,  tomcat_ms: 1.4, queries: 1, write_queries: 0, mysql_ms_per_query: 0.5, static_requests: 1, response_kb: 6 },
-            Interaction { name: "SubmitStory",            class: Read,  tomcat_ms: 1.2, queries: 1, write_queries: 0, mysql_ms_per_query: 0.4, static_requests: 1, response_kb: 8 },
-            Interaction { name: "StoreStory",             class: Write, tomcat_ms: 2.8, queries: 3, write_queries: 2, mysql_ms_per_query: 1.4, static_requests: 1, response_kb: 6 },
-            Interaction { name: "SubmitComment",          class: Read,  tomcat_ms: 1.3, queries: 1, write_queries: 0, mysql_ms_per_query: 0.4, static_requests: 1, response_kb: 8 },
-            Interaction { name: "StoreComment",           class: Write, tomcat_ms: 2.6, queries: 3, write_queries: 2, mysql_ms_per_query: 1.3, static_requests: 1, response_kb: 6 },
-            Interaction { name: "ModerateComment",        class: Read,  tomcat_ms: 1.6, queries: 2, write_queries: 0, mysql_ms_per_query: 0.6, static_requests: 1, response_kb: 8 },
-            Interaction { name: "StoreModeratorLog",      class: Write, tomcat_ms: 2.2, queries: 3, write_queries: 2, mysql_ms_per_query: 1.2, static_requests: 1, response_kb: 4 },
-            Interaction { name: "ReviewStories",          class: Read,  tomcat_ms: 2.4, queries: 3, write_queries: 0, mysql_ms_per_query: 0.9, static_requests: 1, response_kb: 16 },
-            Interaction { name: "AcceptStory",            class: Write, tomcat_ms: 2.4, queries: 3, write_queries: 2, mysql_ms_per_query: 1.2, static_requests: 1, response_kb: 6 },
-            Interaction { name: "RejectStory",            class: Write, tomcat_ms: 2.0, queries: 2, write_queries: 1, mysql_ms_per_query: 1.0, static_requests: 1, response_kb: 4 },
-            Interaction { name: "StaticContentPage",      class: Read,  tomcat_ms: 0.3, queries: 0, write_queries: 0, mysql_ms_per_query: 0.0, static_requests: 4, response_kb: 40 },
+            Interaction {
+                name: "RegisterUser",
+                class: Write,
+                tomcat_ms: 2.0,
+                queries: 2,
+                write_queries: 1,
+                mysql_ms_per_query: 1.0,
+                static_requests: 1,
+                response_kb: 6,
+            },
+            Interaction {
+                name: "Author",
+                class: Read,
+                tomcat_ms: 1.4,
+                queries: 1,
+                write_queries: 0,
+                mysql_ms_per_query: 0.5,
+                static_requests: 1,
+                response_kb: 6,
+            },
+            Interaction {
+                name: "SubmitStory",
+                class: Read,
+                tomcat_ms: 1.2,
+                queries: 1,
+                write_queries: 0,
+                mysql_ms_per_query: 0.4,
+                static_requests: 1,
+                response_kb: 8,
+            },
+            Interaction {
+                name: "StoreStory",
+                class: Write,
+                tomcat_ms: 2.8,
+                queries: 3,
+                write_queries: 2,
+                mysql_ms_per_query: 1.4,
+                static_requests: 1,
+                response_kb: 6,
+            },
+            Interaction {
+                name: "SubmitComment",
+                class: Read,
+                tomcat_ms: 1.3,
+                queries: 1,
+                write_queries: 0,
+                mysql_ms_per_query: 0.4,
+                static_requests: 1,
+                response_kb: 8,
+            },
+            Interaction {
+                name: "StoreComment",
+                class: Write,
+                tomcat_ms: 2.6,
+                queries: 3,
+                write_queries: 2,
+                mysql_ms_per_query: 1.3,
+                static_requests: 1,
+                response_kb: 6,
+            },
+            Interaction {
+                name: "ModerateComment",
+                class: Read,
+                tomcat_ms: 1.6,
+                queries: 2,
+                write_queries: 0,
+                mysql_ms_per_query: 0.6,
+                static_requests: 1,
+                response_kb: 8,
+            },
+            Interaction {
+                name: "StoreModeratorLog",
+                class: Write,
+                tomcat_ms: 2.2,
+                queries: 3,
+                write_queries: 2,
+                mysql_ms_per_query: 1.2,
+                static_requests: 1,
+                response_kb: 4,
+            },
+            Interaction {
+                name: "ReviewStories",
+                class: Read,
+                tomcat_ms: 2.4,
+                queries: 3,
+                write_queries: 0,
+                mysql_ms_per_query: 0.9,
+                static_requests: 1,
+                response_kb: 16,
+            },
+            Interaction {
+                name: "AcceptStory",
+                class: Write,
+                tomcat_ms: 2.4,
+                queries: 3,
+                write_queries: 2,
+                mysql_ms_per_query: 1.2,
+                static_requests: 1,
+                response_kb: 6,
+            },
+            Interaction {
+                name: "RejectStory",
+                class: Write,
+                tomcat_ms: 2.0,
+                queries: 2,
+                write_queries: 1,
+                mysql_ms_per_query: 1.0,
+                static_requests: 1,
+                response_kb: 4,
+            },
+            Interaction {
+                name: "StaticContentPage",
+                class: Read,
+                tomcat_ms: 0.3,
+                queries: 0,
+                write_queries: 0,
+                mysql_ms_per_query: 0.0,
+                static_requests: 4,
+                response_kb: 40,
+            },
         ];
         let cat = InteractionCatalog { interactions: rows };
         debug_assert_eq!(cat.len(), 24);
@@ -196,8 +410,7 @@ mod tests {
         let c = InteractionCatalog::rubbos();
         let w = vec![1.0; c.len()];
         let rr = c.req_ratio(&w);
-        let manual: f64 =
-            c.all().iter().map(|i| i.queries as f64).sum::<f64>() / c.len() as f64;
+        let manual: f64 = c.all().iter().map(|i| i.queries as f64).sum::<f64>() / c.len() as f64;
         assert!((rr - manual).abs() < 1e-12);
     }
 

@@ -1,6 +1,5 @@
 //! Experiment-trial schedule and client-population parameters.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 
 /// Client-population and trial-schedule configuration.
@@ -10,7 +9,7 @@ use simcore::SimTime;
 /// The simulator defaults to a compressed schedule with the same structure
 /// (ramp effects equilibrate much faster in simulation than on a JVM that
 /// needs JIT warm-up).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadConfig {
     /// Number of concurrent emulated users (the paper's "workload").
     pub users: u32,

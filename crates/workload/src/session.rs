@@ -31,12 +31,7 @@ pub struct Session {
 
 impl Session {
     /// Create session `id` with a private RNG stream forked from `root`.
-    pub fn new(
-        id: u32,
-        root: &RunRng,
-        model: SessionModel,
-        think_time: SimTime,
-    ) -> Self {
+    pub fn new(id: u32, root: &RunRng, model: SessionModel, think_time: SimTime) -> Self {
         Session {
             id,
             rng: root.fork_indexed("session", id as u64),
@@ -63,11 +58,7 @@ impl Session {
     }
 
     /// Choose the next interaction.
-    pub fn next_interaction(
-        &mut self,
-        catalog: &InteractionCatalog,
-        mix: &Mix,
-    ) -> InteractionId {
+    pub fn next_interaction(&mut self, catalog: &InteractionCatalog, mix: &Mix) -> InteractionId {
         let next = match (self.model, self.last) {
             (SessionModel::Iid, _) | (SessionModel::Markov, None) => {
                 self.rng.weighted_index(mix.weights())
@@ -105,10 +96,23 @@ impl Session {
             }
         };
         let followers: &[&str] = match catalog.get(prev).name {
-            "StoriesOfTheDay" | "BrowseStoriesByCategory" | "OlderStories"
-            | "BrowseStoriesByDate" | "ReviewStories" => &["ViewStory", "ViewStory", "ViewComment"],
-            "ViewStory" => &["ViewComment", "ViewComment", "StoriesOfTheDay", "ViewUserInfo"],
-            "ViewComment" => &["ViewStory", "ViewComment", "ViewUserInfo", "StoriesOfTheDay"],
+            "StoriesOfTheDay"
+            | "BrowseStoriesByCategory"
+            | "OlderStories"
+            | "BrowseStoriesByDate"
+            | "ReviewStories" => &["ViewStory", "ViewStory", "ViewComment"],
+            "ViewStory" => &[
+                "ViewComment",
+                "ViewComment",
+                "StoriesOfTheDay",
+                "ViewUserInfo",
+            ],
+            "ViewComment" => &[
+                "ViewStory",
+                "ViewComment",
+                "ViewUserInfo",
+                "StoriesOfTheDay",
+            ],
             "BrowseCategories" => &["BrowseStoriesByCategory"],
             "Home" => &["StoriesOfTheDay", "BrowseCategories", "SearchInStories"],
             "SearchInStories" | "SearchInComments" | "SearchInUsers" => {
@@ -119,8 +123,7 @@ impl Session {
             "ModerateComment" => &["StoreModeratorLog"],
             _ => &["StoriesOfTheDay", "Home"],
         };
-        pick(&mut self.rng, followers)
-            .unwrap_or_else(|| self.rng.weighted_index(mix.weights()))
+        pick(&mut self.rng, followers).unwrap_or_else(|| self.rng.weighted_index(mix.weights()))
     }
 }
 
@@ -141,10 +144,7 @@ mod tests {
     fn think_times_have_requested_mean() {
         let (_, _, mut s) = setup(SessionModel::Iid);
         let n = 5000;
-        let mean: f64 = (0..n)
-            .map(|_| s.think_time().as_secs_f64())
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|_| s.think_time().as_secs_f64()).sum::<f64>() / n as f64;
         assert!((mean - 7.0).abs() < 0.4, "mean think {mean}");
     }
 

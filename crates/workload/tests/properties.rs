@@ -1,28 +1,42 @@
-//! Property tests of the workload model.
+//! Randomized tests of the workload model.
 
-use proptest::prelude::*;
+use simcore::testkit::check;
 use simcore::{RunRng, SimTime};
 use workload::{InteractionCatalog, Mix, Session, SessionModel};
 
-proptest! {
-    /// Sessions only ever draw interactions inside the mix's support, under
-    /// both session models and any seed.
-    #[test]
-    fn sessions_respect_mix_support(seed in 0u64..10_000, markov in prop::bool::ANY) {
+/// Sessions only ever draw interactions inside the mix's support, under
+/// both session models and any seed.
+#[test]
+fn sessions_respect_mix_support() {
+    check(32, |g| {
+        let seed = g.u64_in(0, 10_000);
+        let markov = g.chance(0.5);
         let catalog = InteractionCatalog::rubbos();
         let mix = Mix::browse_only(&catalog);
-        let model = if markov { SessionModel::Markov } else { SessionModel::Iid };
+        let model = if markov {
+            SessionModel::Markov
+        } else {
+            SessionModel::Iid
+        };
         let root = RunRng::new(seed);
         let mut s = Session::new(0, &root, model, SimTime::from_secs(7));
         for _ in 0..500 {
             let id = s.next_interaction(&catalog, &mix);
-            prop_assert!(mix.weights()[id] > 0.0, "drew zero-weight {}", catalog.get(id).name);
+            assert!(
+                mix.weights()[id] > 0.0,
+                "drew zero-weight {}",
+                catalog.get(id).name
+            );
         }
-    }
+    });
+}
 
-    /// Think times are positive with roughly the configured mean.
-    #[test]
-    fn think_times_positive_and_calibrated(seed in 0u64..1_000, mean_s in 1u64..20) {
+/// Think times are positive with roughly the configured mean.
+#[test]
+fn think_times_positive_and_calibrated() {
+    check(24, |g| {
+        let seed = g.u64_in(0, 1_000);
+        let mean_s = g.u64_in(1, 20);
         let catalog = InteractionCatalog::rubbos();
         let _ = &catalog;
         let root = RunRng::new(seed);
@@ -30,31 +44,47 @@ proptest! {
         let n = 3000;
         let total: f64 = (0..n).map(|_| s.think_time().as_secs_f64()).sum();
         let mean = total / n as f64;
-        prop_assert!(mean > 0.0);
-        prop_assert!(
+        assert!(mean > 0.0);
+        assert!(
             (mean - mean_s as f64).abs() / (mean_s as f64) < 0.15,
-            "mean {mean} vs configured {mean_s}"
+            "mean {mean} vs configured {mean_s} (seed {})",
+            g.seed()
         );
-    }
+    });
+}
 
-    /// Req_ratio is a convex combination of the per-interaction query counts
-    /// for any positive weighting.
-    #[test]
-    fn req_ratio_is_convex_combination(
-        weights in prop::collection::vec(0.0f64..10.0, 24..=24),
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+/// Req_ratio is a convex combination of the per-interaction query counts
+/// for any positive weighting.
+#[test]
+fn req_ratio_is_convex_combination() {
+    check(64, |g| {
+        let weights = g.vec_f64(0.0, 10.0, 24, 25);
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return;
+        }
         let catalog = InteractionCatalog::rubbos();
         let rr = catalog.req_ratio(&weights);
-        let min = catalog.all().iter().map(|i| i.queries as f64).fold(f64::INFINITY, f64::min);
-        let max = catalog.all().iter().map(|i| i.queries as f64).fold(0.0f64, f64::max);
-        prop_assert!(rr >= min - 1e-12 && rr <= max + 1e-12, "rr={rr}");
-    }
+        let min = catalog
+            .all()
+            .iter()
+            .map(|i| i.queries as f64)
+            .fold(f64::INFINITY, f64::min);
+        let max = catalog
+            .all()
+            .iter()
+            .map(|i| i.queries as f64)
+            .fold(0.0f64, f64::max);
+        assert!(rr >= min - 1e-12 && rr <= max + 1e-12, "rr={rr}");
+    });
+}
 
-    /// Two sessions with the same id and seed replay identically regardless
-    /// of when they are created (no hidden global state).
-    #[test]
-    fn session_replay_is_pure(seed in 0u64..10_000, id in 0u32..1_000) {
+/// Two sessions with the same id and seed replay identically regardless
+/// of when they are created (no hidden global state).
+#[test]
+fn session_replay_is_pure() {
+    check(32, |g| {
+        let seed = g.u64_in(0, 10_000);
+        let id = g.u64_in(0, 1_000) as u32;
         let catalog = InteractionCatalog::rubbos();
         let mix = Mix::read_write(&catalog);
         let mk = || {
@@ -67,8 +97,11 @@ proptest! {
         let _ = noise.uniform01();
         let mut b = mk();
         for _ in 0..64 {
-            prop_assert_eq!(a.next_interaction(&catalog, &mix), b.next_interaction(&catalog, &mix));
-            prop_assert_eq!(a.think_time(), b.think_time());
+            assert_eq!(
+                a.next_interaction(&catalog, &mix),
+                b.next_interaction(&catalog, &mix)
+            );
+            assert_eq!(a.think_time(), b.think_time());
         }
-    }
+    });
 }

@@ -32,8 +32,14 @@ fn main() {
         );
     }
 
-    println!("\ncritical hardware resource : {} CPU", report.critical_tier);
-    println!("saturation workload        : {} users", report.saturation_workload);
+    println!(
+        "\ncritical hardware resource : {} CPU",
+        report.critical_tier
+    );
+    println!(
+        "saturation workload        : {} users",
+        report.saturation_workload
+    );
     println!("Req_ratio                  : {:.2}", report.req_ratio);
     println!(
         "minimum concurrent jobs    : {:.1} per {} server",

@@ -40,12 +40,21 @@ fn main() {
     println!("  {}", sparkline(&p.threads_tomcat[..n], cap));
     let max_pt = p.pt_total_ms.iter().cloned().fold(1.0f64, f64::max);
     println!("PT_total per completed request (0..{max_pt:.0} ms):");
-    println!("  {}", sparkline(&p.pt_total_ms[..n.min(p.pt_total_ms.len())], max_pt));
+    println!(
+        "  {}",
+        sparkline(&p.pt_total_ms[..n.min(p.pt_total_ms.len())], max_pt)
+    );
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!("\nsummary:");
-    println!("  throughput                 : {:>8.1} req/s", out.throughput);
-    println!("  goodput @2s                : {:>8.1} req/s", out.goodput_at(2.0));
+    println!(
+        "  throughput                 : {:>8.1} req/s",
+        out.throughput
+    );
+    println!(
+        "  goodput @2s                : {:>8.1} req/s",
+        out.goodput_at(2.0)
+    );
     println!(
         "  mean active workers        : {:>8.1} / {apache_pool}",
         mean(&p.threads_active)

@@ -11,7 +11,10 @@ use rubbos_ntier::prelude::*;
 fn main() {
     let scenarios = [
         (HardwareConfig::one_two_one_two(), vec![4500u32, 5400, 6300]),
-        (HardwareConfig::one_four_one_four(), vec![6000u32, 6900, 7800]),
+        (
+            HardwareConfig::one_four_one_four(),
+            vec![6000u32, 6900, 7800],
+        ),
     ];
 
     for (hw, workloads) in scenarios {

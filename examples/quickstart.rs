@@ -11,11 +11,11 @@ use rubbos_ntier::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let spec_str = args.get(1).map(String::as_str).unwrap_or("1/2/1/2(400-150-60)");
-    let users: u32 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3000);
+    let spec_str = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("1/2/1/2(400-150-60)");
+    let users: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3000);
 
     let (hardware, soft) = parse_spec(spec_str).expect("configuration notation");
     println!("Running {hardware}({soft}) with {users} emulated users…");
@@ -24,7 +24,10 @@ fn main() {
     spec.schedule = Schedule::Default;
     let out = run_experiment(&spec);
 
-    println!("\n== results over a {:.0} s measured window ==", out.window_secs);
+    println!(
+        "\n== results over a {:.0} s measured window ==",
+        out.window_secs
+    );
     println!("throughput  : {:>8.1} req/s", out.throughput);
     for (i, thr) in out.sla_thresholds.iter().enumerate() {
         println!(

@@ -1,0 +1,93 @@
+//! Traced run: capture per-request span trees through all four tiers, rebuild
+//! the paper's Table I per-tier observables from the spans alone, and export
+//! the trace for offline inspection.
+//!
+//! ```text
+//! cargo run --release --example trace_run -- "1/2/1/2(400-150-60)" 1000
+//! ```
+//!
+//! Writes two artifacts next to the binary's target directory:
+//!
+//! * `target/trace_run.jsonl`  — one span per line (byte-deterministic)
+//! * `target/trace_run.chrome.json` — load in Perfetto / `chrome://tracing`;
+//!   one track per tier, GC pauses as instant events.
+//!
+//! The printed cross-check compares the span-reconstructed per-tier RTT /
+//! throughput / jobs against the aggregate `ServerLog` path — two
+//! independent measurement pipelines over the same simulated trial.
+
+use rubbos_ntier::ntier_trace::{export, TraceConfig};
+use rubbos_ntier::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let spec_str = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("1/2/1/2(400-150-60)");
+    let users: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1000);
+
+    let (hardware, soft) = parse_spec(spec_str).expect("configuration notation");
+    println!("Tracing {hardware}({soft}) with {users} emulated users…");
+
+    let spec = ExperimentSpec::new(hardware, soft, users).traced(TraceConfig::Full);
+    let (out, trace) = run_experiment_traced(&spec);
+
+    println!(
+        "\ncaptured {} spans from {} traced requests ({} overwritten)",
+        trace.spans.len(),
+        trace.admitted,
+        trace.overwritten
+    );
+    println!(
+        "engine: {} events, heap high-water {}, {:.0} events/s wall-clock",
+        trace.engine.events_processed,
+        trace.engine.heap_high_water,
+        trace.engine.events_per_sec()
+    );
+
+    // Cross-check: spans vs the aggregate ServerLog path (Table I view).
+    let summary = trace.summary();
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "tier", "RTT(trace) ms", "RTT(log) ms", "TP(trace)", "TP(log)", "jobs"
+    );
+    for tier in [Tier::Web, Tier::App, Tier::Cmw, Tier::Db] {
+        let Some(ts) = summary.tier(tier.server_name()) else {
+            continue;
+        };
+        // Aggregate path: average the tier's per-server logs.
+        let nodes = out.tier_nodes(tier);
+        let log_tp: f64 = nodes.iter().map(|n| n.throughput(out.window_secs)).sum();
+        let log_rtt = nodes.iter().map(|n| n.mean_rtt).sum::<f64>() / nodes.len() as f64;
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>12.1} {:>12.1} {:>10.1}",
+            ts.track,
+            ts.mean_rtt_secs * 1e3,
+            log_rtt * 1e3,
+            ts.throughput,
+            log_tp,
+            ts.mean_jobs
+        );
+        if ts.gc_pause_secs > 0.0 {
+            println!(
+                "{:>8}   gc: {:.2} s paused, {:.2} s overlapping requests",
+                "", ts.gc_pause_secs, ts.gc_overlap_secs
+            );
+        }
+    }
+
+    let dir = std::path::Path::new("target");
+    let _ = std::fs::create_dir_all(dir);
+    let jsonl = export::to_jsonl(trace.spans.iter());
+    let chrome = export::to_chrome(trace.spans.iter());
+    for (name, contents) in [
+        ("trace_run.jsonl", &jsonl),
+        ("trace_run.chrome.json", &chrome),
+    ] {
+        let path = dir.join(name);
+        if std::fs::write(&path, contents).is_ok() {
+            println!("[saved {}]", path.display());
+        }
+    }
+}

@@ -39,7 +39,11 @@ fn algorithm_finds_tomcat_critical_on_1_2_1_2() {
     // The saturation workload must be near the testbed's knee.
     let knee = scaled_knee(HardwareConfig::one_two_one_two());
     let rel = (rep.saturation_workload as f64 - knee as f64).abs() / knee as f64;
-    assert!(rel < 0.4, "WL_min {} vs knee {knee}", rep.saturation_workload);
+    assert!(
+        rel < 0.4,
+        "WL_min {} vs knee {knee}",
+        rep.saturation_workload
+    );
     assert!(rep.minjobs_per_server >= 2.0);
     assert_eq!(rep.per_tier.len(), 4);
     assert!((2.0..3.0).contains(&rep.req_ratio));

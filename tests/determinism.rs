@@ -1,5 +1,5 @@
 //! Reproducibility guarantees: identical seeds give identical runs, the
-//! rayon-parallel sweep equals the serial sweep, and configuration notation
+//! thread-parallel sweep equals the serial sweep, and configuration notation
 //! round-trips — the properties that make the figure harnesses trustworthy.
 
 mod common;

@@ -42,7 +42,10 @@ fn under_allocation_creates_soft_bottleneck_with_idle_hardware() {
         large.throughput,
         small.throughput
     );
-    assert!(large.max_cpu().2 > util, "large pool should push hardware harder");
+    assert!(
+        large.max_cpu().2 > util,
+        "large pool should push hardware harder"
+    );
 }
 
 #[test]
@@ -72,9 +75,21 @@ fn small_apache_pool_starves_the_backend_at_high_workload() {
     let hw = HardwareConfig::one_four_one_four();
     let base = scaled_knee(hw);
     // Small front-tier buffer: 8 workers.
-    let small_lo = run_system(scaled_config(hw, SoftAllocation::new(8, 30, 10), base - 200));
-    let small_hi = run_system(scaled_config(hw, SoftAllocation::new(8, 30, 10), base + 200));
-    let large_hi = run_system(scaled_config(hw, SoftAllocation::new(200, 30, 10), base + 200));
+    let small_lo = run_system(scaled_config(
+        hw,
+        SoftAllocation::new(8, 30, 10),
+        base - 200,
+    ));
+    let small_hi = run_system(scaled_config(
+        hw,
+        SoftAllocation::new(8, 30, 10),
+        base + 200,
+    ));
+    let large_hi = run_system(scaled_config(
+        hw,
+        SoftAllocation::new(200, 30, 10),
+        base + 200,
+    ));
 
     // The paper's signature: for the small pool, back-end utilization DROPS
     // as workload rises past the FIN-congestion onset.
