@@ -28,8 +28,15 @@ fn main() {
     let with_gc = run_experiment(&spec(hw, big_pool, users));
     let mut s = spec(hw, big_pool, users);
     let mut cfg = s.to_config();
+    // The spec pins an explicit topology, so the GC knobs live on its tier
+    // specs, not on the legacy SystemConfig fields.
     cfg.cjdbc_gc = jvm_gc::GcConfig::disabled();
     cfg.tomcat_gc = jvm_gc::GcConfig::disabled();
+    if let Some(topo) = &mut cfg.topology {
+        for spec in &mut topo.tiers {
+            spec.gc = spec.gc.as_ref().map(|_| jvm_gc::GcConfig::disabled());
+        }
+    }
     let no_gc = tiers::run_system(cfg);
     let gc_on = with_gc.tier_nodes(Tier::Cmw)[0].gc_seconds;
     let gc_off = no_gc.tier_nodes(Tier::Cmw)[0].gc_seconds;

@@ -6,14 +6,20 @@
 //! Paper numbers at 6 000 users: `400-150-60` goodput is ~28% higher at the
 //! 2 s threshold, ~44% at 1 s, ~93% at 0.5 s.
 
-use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json};
+//! CLI flags (after `--`): `--hw`, `--soft` (replaces the rule-of-thumb
+//! line), `--users`, `--quick` — see [`bench::BenchArgs`].
+
+use bench::{
+    banner, goodput_series, pct_diff, print_series, run_sweep_scheduled, save_json, BenchArgs,
+};
 use ntier_core::{HardwareConfig, SoftAllocation};
 use ntier_trace::json::{arr, obj, Json};
 
 fn main() {
-    let hw = HardwareConfig::one_two_one_two();
-    let users: Vec<u32> = (0..8).map(|i| 4200 + i * 400).collect();
-    let good = SoftAllocation::rule_of_thumb(); // 400-150-60
+    let args = BenchArgs::parse();
+    let hw = args.hw_or(HardwareConfig::one_two_one_two());
+    let users = args.users_or((0..8).map(|i| 4200 + i * 400).collect());
+    let good = args.soft_or(SoftAllocation::rule_of_thumb()); // 400-150-60
     let poor = SoftAllocation::conservative(); // 400-6-6
 
     banner(
@@ -21,8 +27,8 @@ fn main() {
         "lines: 1/2/1/2(400-6-6) vs 1/2/1/2(400-150-60); thresholds 0.5s / 1s / 2s",
     );
 
-    let runs_good = run_sweep(hw, good, &users);
-    let runs_poor = run_sweep(hw, poor, &users);
+    let runs_good = run_sweep_scheduled(hw, good, &users, args.schedule());
+    let runs_poor = run_sweep_scheduled(hw, poor, &users, args.schedule());
 
     for (panel, thr) in [("(a)", 0.5), ("(b)", 1.0), ("(c)", 2.0)] {
         println!("\nFig 2{panel} — threshold {thr} s");

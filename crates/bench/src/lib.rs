@@ -4,7 +4,7 @@
 //! it sweeps the same configurations, prints the same series, and saves a
 //! machine-readable JSON copy under `target/paper-results/`.
 
-use ntier_core::{ExperimentSpec, HardwareConfig, RunOutput, SoftAllocation};
+use ntier_core::{ExperimentSpec, HardwareConfig, RunOutput, SoftAllocation, Topology};
 use ntier_trace::json::Json;
 use std::fs;
 use std::path::PathBuf;
@@ -12,16 +12,130 @@ use std::path::PathBuf;
 /// Schedule used by all figure harnesses (30 s ramp, 120 s measured window).
 pub use ntier_core::experiment::Schedule;
 
-/// Build one spec with the bench schedule.
+/// Common CLI flags shared by the figure harnesses, parsed from the
+/// arguments after `cargo bench --bench figN --`:
+///
+/// * `--hw #W/#A/#C/#D` — override the figure's hardware configuration
+///   (via `HardwareConfig::from_str`).
+/// * `--soft #W_T-#A_T-#A_C` — override an allocation where the harness
+///   accepts one (via `SoftAllocation::from_str`).
+/// * `--users N[,N…]` — override the workload sweep points.
+/// * `--quick` — short trials (10 s ramp, 30 s window) for smoke runs.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--hw` override.
+    pub hw: Option<HardwareConfig>,
+    /// `--soft` override.
+    pub soft: Option<SoftAllocation>,
+    /// `--users` override.
+    pub users: Option<Vec<u32>>,
+    /// `--quick` flag.
+    pub quick: bool,
+}
+
+impl BenchArgs {
+    /// Parse the process arguments; exits with a message on a malformed
+    /// flag. Unknown arguments (libtest passes some through) are ignored.
+    pub fn parse() -> Self {
+        let mut out = BenchArgs::default();
+        let mut args = std::env::args().skip(1);
+        let fail = |msg: String| -> ! {
+            eprintln!("bench flags: {msg}");
+            std::process::exit(2);
+        };
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--hw" => match args.next().map(|v| v.parse()) {
+                    Some(Ok(hw)) => out.hw = Some(hw),
+                    Some(Err(e)) => fail(e),
+                    None => fail("--hw needs a value".into()),
+                },
+                "--soft" => match args.next().map(|v| v.parse()) {
+                    Some(Ok(soft)) => out.soft = Some(soft),
+                    Some(Err(e)) => fail(e),
+                    None => fail("--soft needs a value".into()),
+                },
+                "--users" => {
+                    let Some(v) = args.next() else {
+                        fail("--users needs a value".into());
+                    };
+                    let list: Result<Vec<u32>, _> =
+                        v.split(',').map(|p| p.trim().parse::<u32>()).collect();
+                    match list {
+                        Ok(list) if !list.is_empty() => out.users = Some(list),
+                        _ => fail(format!("--users '{v}' must be N[,N…]")),
+                    }
+                }
+                "--quick" => out.quick = true,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The figure's hardware unless overridden.
+    pub fn hw_or(&self, default: HardwareConfig) -> HardwareConfig {
+        self.hw.unwrap_or(default)
+    }
+
+    /// The figure's allocation unless overridden.
+    pub fn soft_or(&self, default: SoftAllocation) -> SoftAllocation {
+        self.soft.unwrap_or(default)
+    }
+
+    /// The figure's workload sweep unless overridden.
+    pub fn users_or(&self, default: Vec<u32>) -> Vec<u32> {
+        self.users.clone().unwrap_or(default)
+    }
+
+    /// Bench schedule, honoring `--quick`.
+    pub fn schedule(&self) -> Schedule {
+        if self.quick {
+            Schedule::Quick
+        } else {
+            Schedule::Default
+        }
+    }
+}
+
+/// Build one spec with the bench schedule. The configuration is expressed
+/// as an explicit [`Topology`] (the paper 4-tier chain for this
+/// hardware/allocation pair) so figure configs and non-paper chains flow
+/// through the same assembly path.
 pub fn spec(hw: HardwareConfig, soft: SoftAllocation, users: u32) -> ExperimentSpec {
-    let mut s = ExperimentSpec::new(hw, soft, users);
+    let mut s = ExperimentSpec::new(hw, soft, users).with_topology(Topology::paper(hw, soft));
     s.schedule = Schedule::Default;
+    s
+}
+
+/// [`spec`] with an explicit schedule (from [`BenchArgs::schedule`]).
+pub fn spec_scheduled(
+    hw: HardwareConfig,
+    soft: SoftAllocation,
+    users: u32,
+    schedule: Schedule,
+) -> ExperimentSpec {
+    let mut s = spec(hw, soft, users);
+    s.schedule = schedule;
     s
 }
 
 /// Run a workload sweep for one allocation.
 pub fn run_sweep(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) -> Vec<RunOutput> {
-    let specs: Vec<ExperimentSpec> = users.iter().map(|&u| spec(hw, soft, u)).collect();
+    run_sweep_scheduled(hw, soft, users, Schedule::Default)
+}
+
+/// [`run_sweep`] with an explicit schedule (from [`BenchArgs::schedule`]).
+pub fn run_sweep_scheduled(
+    hw: HardwareConfig,
+    soft: SoftAllocation,
+    users: &[u32],
+    schedule: Schedule,
+) -> Vec<RunOutput> {
+    let specs: Vec<ExperimentSpec> = users
+        .iter()
+        .map(|&u| spec_scheduled(hw, soft, u, schedule))
+        .collect();
     ntier_core::sweep(&specs)
 }
 

@@ -67,7 +67,9 @@ impl Default for AlgorithmConfig {
 /// of the paper's Table I).
 #[derive(Debug, Clone)]
 pub struct TierInference {
-    /// Tier.
+    /// Chain position of the tier (front = 0).
+    pub tier_id: usize,
+    /// Role archetype of the tier.
     pub tier: Tier,
     /// Mean per-server residence time (s).
     pub rtt: f64,
@@ -125,6 +127,7 @@ impl ntier_trace::json::ToJson for TierInference {
     fn to_json(&self) -> ntier_trace::json::Json {
         use ntier_trace::json::obj;
         obj([
+            ("tier_id", self.tier_id.into()),
             ("tier", self.tier.server_name().into()),
             ("rtt", self.rtt.into()),
             ("tp_per_server", self.tp_per_server.into()),
@@ -235,12 +238,15 @@ impl<T: Testbed> SoftResourceTuner<T> {
 
     /// Execute all three procedures and produce the report.
     pub fn run(mut self) -> Result<AlgorithmReport, AlgorithmError> {
-        let (critical, critical_util, reserve, doublings) = self.find_critical_resource()?;
-        let (wl_min, minjobs, inferences) = self.infer_min_concurrent_jobs(critical, reserve)?;
+        let (critical_id, critical_role, critical_util, reserve, doublings) =
+            self.find_critical_resource()?;
+        let (wl_min, minjobs, inferences) =
+            self.infer_min_concurrent_jobs(critical_id, critical_role, reserve)?;
         let req_ratio = self.testbed.req_ratio();
-        let recommended = self.calculate_min_allocation(critical, minjobs, &inferences, req_ratio);
+        let recommended =
+            self.calculate_min_allocation(critical_id, minjobs, &inferences, req_ratio);
         Ok(AlgorithmReport {
-            critical_tier: critical,
+            critical_tier: critical_role,
             critical_util,
             saturation_workload: wl_min,
             minjobs_per_server: minjobs,
@@ -253,29 +259,31 @@ impl<T: Testbed> SoftResourceTuner<T> {
         })
     }
 
-    /// Procedure 1: expose the critical hardware resource.
+    /// Procedure 1: expose the critical hardware resource. Returns its chain
+    /// position plus its role archetype (for reporting).
     fn find_critical_resource(
         &mut self,
-    ) -> Result<(Tier, f64, SoftAllocation, u32), AlgorithmError> {
+    ) -> Result<(usize, Tier, f64, SoftAllocation, u32), AlgorithmError> {
         let mut soft = self.config.initial_soft;
         let mut workload = self.config.step;
         let mut tp_max = -1.0f64;
         let mut doublings = 0u32;
         loop {
             let obs = self.run_once(1, soft, workload, "ramp")?;
-            if let Some(&(tier, _, util)) = obs
+            if let Some(&(tier_id, _, util)) = obs
                 .hw_saturated
                 .iter()
                 .max_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN utilizations"))
             {
+                let role = obs.role_at(tier_id).expect("saturated tier has logs");
                 self.trace.last_mut().expect("just pushed").note =
-                    format!("hardware saturated: {tier} @ {util:.2}");
-                return Ok((tier, util, soft, doublings));
+                    format!("hardware saturated: tier {tier_id} ({role}) @ {util:.2}");
+                return Ok((tier_id, role, util, soft, doublings));
             }
             if !obs.soft_saturated.is_empty() {
                 let (t, _, pool, frac) = obs.soft_saturated[0];
                 self.trace.last_mut().expect("just pushed").note =
-                    format!("soft saturated: {t} {pool} ({frac:.2}) → S = 2S");
+                    format!("soft saturated: tier {t} {pool} ({frac:.2}) → S = 2S");
                 soft = soft.doubled();
                 workload = self.config.step;
                 tp_max = -1.0;
@@ -294,7 +302,8 @@ impl<T: Testbed> SoftResourceTuner<T> {
     /// Procedure 2: find `WL_min` and the minimum concurrent jobs.
     fn infer_min_concurrent_jobs(
         &mut self,
-        critical: Tier,
+        critical_id: usize,
+        critical_role: Tier,
         reserve: SoftAllocation,
     ) -> Result<(u32, f64, Vec<TierInference>), AlgorithmError> {
         let mut workload = self.config.small_step;
@@ -327,16 +336,14 @@ impl<T: Testbed> SoftResourceTuner<T> {
         let onset = idx.saturating_sub(1);
         let obs = &observations[onset];
         let wl_min = workloads[onset];
-        let crit = obs
-            .tier_logs
-            .get(&critical)
-            .expect("critical tier has logs");
+        let crit = obs.log_at(critical_id).expect("critical tier has logs");
         let minjobs = crit.jobs_per_server().max(1.0);
         let inferences = obs
             .tier_logs
             .iter()
-            .map(|(&tier, log)| TierInference {
-                tier,
+            .map(|log| TierInference {
+                tier_id: log.tier_id,
+                tier: log.role,
                 rtt: log.rtt,
                 tp_per_server: log.tp_per_server,
                 servers: log.servers,
@@ -345,14 +352,18 @@ impl<T: Testbed> SoftResourceTuner<T> {
             })
             .collect();
         self.trace.last_mut().expect("just pushed").note =
-            format!("WL_min = {wl_min}; minjobs/server({critical}) = {minjobs:.1}");
+            format!("WL_min = {wl_min}; minjobs/server({critical_role}) = {minjobs:.1}");
         Ok((wl_min, minjobs, inferences))
     }
 
     /// Procedure 3: allocate every tier from the critical tier's concurrency.
+    ///
+    /// Front/back relationships are chain positions, not role comparisons:
+    /// a tier buffers for the critical tier iff it sits *before* it in the
+    /// chain.
     fn calculate_min_allocation(
         &self,
-        critical: Tier,
+        critical_id: usize,
         _minjobs: f64,
         inferences: &[TierInference],
         _req_ratio: f64,
@@ -362,52 +373,42 @@ impl<T: Testbed> SoftResourceTuner<T> {
         // X_crit / Req_ratio and R ratios are measured directly), so each
         // tier's minimum allocation is its own measured concurrency at
         // WL_min; tiers in front of the critical tier get the buffer factor.
-        let jobs = |tier: Tier| -> f64 {
-            inferences
-                .iter()
-                .find(|i| i.tier == tier)
-                .map(|i| i.jobs_per_server)
-                .unwrap_or(1.0)
-        };
+        let find = |role: Tier| inferences.iter().find(|i| i.tier == role);
+        let jobs = |role: Tier| find(role).map(|i| i.jobs_per_server).unwrap_or(1.0);
+        let id_of = |role: Tier| find(role).map(|i| i.tier_id);
         let buffer = self.config.front_buffer;
-        let is_front = |tier: Tier| tier < critical;
         let back_slack = self.config.back_slack;
-        let size = |tier: Tier| -> usize {
-            let raw = jobs(tier);
-            let factored = if is_front(tier) {
-                raw * buffer
-            } else if tier > critical {
-                raw * back_slack
-            } else {
-                raw
+        let size = |role: Tier| -> usize {
+            let raw = jobs(role);
+            let factored = match id_of(role) {
+                Some(id) if id < critical_id => raw * buffer,
+                Some(id) if id > critical_id => raw * back_slack,
+                _ => raw,
             };
             factored.ceil().max(2.0) as usize
         };
         // Web threads additionally must cover the linger/buffering occupancy
         // (§III-C): never fewer than the total downstream thread count.
         let app_threads = size(Tier::App);
-        let cmw_jobs_per_server = jobs(Tier::Cmw);
-        let app_servers = inferences
-            .iter()
-            .find(|i| i.tier == Tier::App)
-            .map(|i| i.servers)
-            .unwrap_or(1);
-        let cmw_servers = inferences
-            .iter()
-            .find(|i| i.tier == Tier::Cmw)
-            .map(|i| i.servers)
-            .unwrap_or(1);
+        let app_servers = find(Tier::App).map(|i| i.servers).unwrap_or(1);
         let web = size(Tier::Web).max((app_threads * app_servers * 2).max(8));
-        // DB connections per Tomcat: the C-JDBC concurrency divided across
-        // the app servers (the paper's 32 total → 8 per Tomcat), buffered if
-        // C-JDBC is behind the critical tier... it never is in front of App.
-        let mut total_cmw_jobs = cmw_jobs_per_server * cmw_servers as f64;
-        if critical < Tier::Cmw {
-            // C-JDBC sits behind the critical tier: a connection is held for
-            // the C-JDBC residence plus transfer time, so give it slack.
-            total_cmw_jobs *= back_slack;
+        // DB connections per app server: the downstream (middleware, or the
+        // databases directly in a 3-tier chain) concurrency divided across
+        // the app servers (the paper's 32 total → 8 per Tomcat).
+        let conn_role = if find(Tier::Cmw).is_some() {
+            Tier::Cmw
+        } else {
+            Tier::Db
+        };
+        let mut total_down_jobs =
+            jobs(conn_role) * find(conn_role).map(|i| i.servers).unwrap_or(1) as f64;
+        if id_of(conn_role).is_some_and(|id| id > critical_id) {
+            // The connection's downstream sits behind the critical tier: a
+            // connection is held for that residence plus transfer time, so
+            // give it slack.
+            total_down_jobs *= back_slack;
         }
-        let conns_per_app = (total_cmw_jobs / app_servers as f64).ceil().max(2.0) as usize;
+        let conns_per_app = (total_down_jobs / app_servers as f64).ceil().max(2.0) as usize;
         // A thread can hold at most one connection; more conns than threads
         // is waste, fewer starves the back-end.
         let conns = conns_per_app.min(app_threads.max(2));

@@ -9,14 +9,19 @@
 //! algorithm in milliseconds).
 
 use ntier_trace::TraceConfig;
-use std::collections::BTreeMap;
 use tiers::{
     run_system, run_system_traced, HardwareConfig, RunOutput, RunTrace, SoftAllocation,
-    SystemConfig, Tier,
+    SystemConfig, Tier, Topology,
 };
 use workload::WorkloadConfig;
 
 /// What one trial tells the algorithm.
+///
+/// Every resource is keyed by **chain position** (tier id, front = 0), not
+/// by a hardcoded tier role, so the algorithm runs unchanged on any
+/// [`tiers::Topology`] — 3-tier chains, deeper replication, replicated
+/// middleware. Role archetypes stay available through
+/// [`TierLog::role`] / [`Observation::role_at`] for reporting.
 #[derive(Debug, Clone)]
 pub struct Observation {
     /// Users offered.
@@ -27,19 +32,42 @@ pub struct Observation {
     pub goodput: f64,
     /// Per-second SLO-satisfaction samples.
     pub slo_samples: Vec<f64>,
-    /// Saturated hardware resources `(tier, idx, util)` — the `B_h` set.
-    pub hw_saturated: Vec<(Tier, u16, f64)>,
-    /// Saturated soft resources `(tier, idx, pool, fraction)` — the `B_s` set.
-    pub soft_saturated: Vec<(Tier, u16, &'static str, f64)>,
-    /// Most-utilized hardware resource.
-    pub max_cpu: (Tier, u16, f64),
-    /// Per-tier (mean RTT secs, per-server throughput, server count).
-    pub tier_logs: BTreeMap<Tier, TierLog>,
+    /// Saturated hardware resources `(tier id, idx, util)` — the `B_h` set.
+    pub hw_saturated: Vec<(usize, u16, f64)>,
+    /// Saturated soft resources `(tier id, idx, pool, fraction)` — the
+    /// `B_s` set.
+    pub soft_saturated: Vec<(usize, u16, &'static str, f64)>,
+    /// Most-utilized hardware resource `(tier id, idx, util)`.
+    pub max_cpu: (usize, u16, f64),
+    /// Per-tier log summaries in chain order (index ≠ tier id when a tier
+    /// has no logs; match on [`TierLog::tier_id`]).
+    pub tier_logs: Vec<TierLog>,
+}
+
+impl Observation {
+    /// Log summary of the tier at chain position `tier_id`.
+    pub fn log_at(&self, tier_id: usize) -> Option<&TierLog> {
+        self.tier_logs.iter().find(|l| l.tier_id == tier_id)
+    }
+
+    /// Log summary of the first tier playing `role`.
+    pub fn log_of(&self, role: Tier) -> Option<&TierLog> {
+        self.tier_logs.iter().find(|l| l.role == role)
+    }
+
+    /// Role archetype of the tier at chain position `tier_id`.
+    pub fn role_at(&self, tier_id: usize) -> Option<Tier> {
+        self.log_at(tier_id).map(|l| l.role)
+    }
 }
 
 /// Per-tier log summary (the paper's per-server RTT / TP from Table I).
 #[derive(Debug, Clone, Copy)]
 pub struct TierLog {
+    /// Chain position of the tier (front = 0).
+    pub tier_id: usize,
+    /// Role archetype of the tier.
+    pub role: Tier,
     /// Mean residence time of one request/query in one server (seconds).
     pub rtt: f64,
     /// Throughput of one server of this tier (req/s or queries/s).
@@ -62,12 +90,13 @@ impl TierLog {
 
 /// Convert a full [`RunOutput`] into the algorithm's [`Observation`].
 pub fn observe(out: &RunOutput, hw_threshold: f64, soft_threshold: f64) -> Observation {
-    let mut tier_logs = BTreeMap::new();
-    for tier in Tier::ALL {
-        let nodes = out.tier_nodes(tier);
+    let mut tier_logs = Vec::new();
+    for tier_id in 0..out.n_tiers() {
+        let nodes = out.tier_nodes_at(tier_id);
         if nodes.is_empty() {
             continue;
         }
+        let role = out.role_of(tier_id).expect("tier has nodes");
         let servers = nodes.len();
         let rtt = nodes.iter().map(|n| n.mean_rtt).sum::<f64>() / servers as f64;
         let tp = nodes
@@ -75,20 +104,19 @@ pub fn observe(out: &RunOutput, hw_threshold: f64, soft_threshold: f64) -> Obser
             .map(|n| n.throughput(out.window_secs))
             .sum::<f64>()
             / servers as f64;
-        tier_logs.insert(
-            tier,
-            TierLog {
-                rtt,
-                tp_per_server: tp,
-                servers,
-            },
-        );
+        tier_logs.push(TierLog {
+            tier_id,
+            role,
+            rtt,
+            tp_per_server: tp,
+            servers,
+        });
     }
     let hw_saturated = out
         .nodes
         .iter()
         .filter(|n| n.cpu_util >= hw_threshold)
-        .map(|n| (n.tier, n.idx, n.cpu_util))
+        .map(|n| (n.tier_id, n.idx, n.cpu_util))
         .collect();
     Observation {
         users: out.users,
@@ -96,8 +124,8 @@ pub fn observe(out: &RunOutput, hw_threshold: f64, soft_threshold: f64) -> Obser
         goodput: *out.goodput.last().expect("at least one threshold"),
         slo_samples: out.slo_samples.clone(),
         hw_saturated,
-        soft_saturated: out.soft_saturated(soft_threshold),
-        max_cpu: out.max_cpu(),
+        soft_saturated: out.soft_saturated_at(soft_threshold),
+        max_cpu: out.max_cpu_at(),
         tier_logs,
     }
 }
@@ -151,6 +179,11 @@ pub struct ExperimentSpec {
     pub seed: u64,
     /// Per-request tracing ([`TraceConfig::Off`] by default — zero cost).
     pub trace: TraceConfig,
+    /// Explicit tier chain. `None` resolves to the paper's 4-tier chain
+    /// built from `hardware`/`soft`; set it to run non-paper chains (deeper
+    /// replication, a 3-tier system, replicated middleware) through the
+    /// same experiment drivers.
+    pub topology: Option<Topology>,
 }
 
 impl ExperimentSpec {
@@ -163,6 +196,7 @@ impl ExperimentSpec {
             schedule: Schedule::Default,
             seed: 0x5eed_0001,
             trace: TraceConfig::Off,
+            topology: None,
         }
     }
 
@@ -172,12 +206,19 @@ impl ExperimentSpec {
         self
     }
 
+    /// Same spec pinned to an explicit tier-chain topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Build the full system configuration.
     pub fn to_config(&self) -> SystemConfig {
         let mut cfg = SystemConfig::new(self.hardware, self.soft, self.users);
         cfg.workload = self.schedule.workload(self.users);
         cfg.seed = self.seed;
         cfg.trace = self.trace;
+        cfg.topology = self.topology.clone();
         cfg
     }
 }
@@ -388,21 +429,21 @@ impl Testbed for AnalyticTestbed {
         let r = (n / x - self.think).max(r0);
         // Which resource is binding?
         let util: Vec<f64> = (0..4).map(|i| (x * eff[i]).min(1.0)).collect();
-        let hw_saturated: Vec<(Tier, u16, f64)> = Tier::ALL
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| util[i] >= 0.95)
-            .map(|(i, &t)| (t, 0u16, util[i]))
+        // The analytic model is the paper's fixed 4-tier chain: chain
+        // position i carries role Tier::ALL[i].
+        let hw_saturated: Vec<(usize, u16, f64)> = (0..4)
+            .filter(|&i| util[i] >= 0.95)
+            .map(|i| (i, 0u16, util[i]))
             .collect();
         let mut soft_saturated = Vec::new();
         if x >= web_cap * 0.999 && x < hw_cap * 0.98 {
-            soft_saturated.push((Tier::Web, 0u16, "threads", 1.0));
+            soft_saturated.push((0usize, 0u16, "threads", 1.0));
         }
         if x >= app_cap * 0.999 && x < hw_cap * 0.98 {
-            soft_saturated.push((Tier::App, 0u16, "threads", 1.0));
+            soft_saturated.push((1usize, 0u16, "threads", 1.0));
         }
         if x >= conn_cap * 0.999 && x < hw_cap * 0.98 {
-            soft_saturated.push((Tier::App, 0u16, "db-conns", 1.0));
+            soft_saturated.push((1usize, 0u16, "db-conns", 1.0));
         }
         let max_i = (0..4)
             .max_by(|&a, &b| util[a].partial_cmp(&util[b]).expect("no NaN"))
@@ -414,7 +455,7 @@ impl Testbed for AnalyticTestbed {
             .map(|i| (sat + 0.004 * ((i * 7 % 13) as f64 / 13.0 - 0.5)).clamp(0.0, 1.0))
             .collect();
         // Per-tier residence split: queueing in proportion to utilization.
-        let mut tier_logs = BTreeMap::new();
+        let mut tier_logs = Vec::new();
         let extra = (r - r0).max(0.0);
         let util_sum: f64 = util.iter().sum();
         for (i, &tier) in Tier::ALL.iter().enumerate() {
@@ -428,14 +469,13 @@ impl Testbed for AnalyticTestbed {
                 / (1.0 - (x * eff[i]).min(0.99))
                 + extra * share / visits;
             let tp = x * visits / self.servers(i);
-            tier_logs.insert(
-                tier,
-                TierLog {
-                    rtt,
-                    tp_per_server: tp,
-                    servers: self.servers(i) as usize,
-                },
-            );
+            tier_logs.push(TierLog {
+                tier_id: i,
+                role: tier,
+                rtt,
+                tp_per_server: tp,
+                servers: self.servers(i) as usize,
+            });
         }
         Observation {
             users,
@@ -444,7 +484,7 @@ impl Testbed for AnalyticTestbed {
             slo_samples,
             hw_saturated,
             soft_saturated,
-            max_cpu: (Tier::ALL[max_i], 0, util[max_i]),
+            max_cpu: (max_i, 0, util[max_i]),
             tier_logs,
         }
     }
@@ -472,12 +512,22 @@ mod tests {
         let mut tb = AnalyticTestbed::calibrated(HardwareConfig::one_two_one_two());
         let soft = SoftAllocation::new(400, 150, 60);
         let obs = tb.run(soft, 8000);
-        assert_eq!(obs.max_cpu.0, Tier::App, "{:?}", obs.max_cpu);
+        assert_eq!(
+            obs.role_at(obs.max_cpu.0),
+            Some(Tier::App),
+            "{:?}",
+            obs.max_cpu
+        );
         assert!(!obs.hw_saturated.is_empty());
         // 1/4/1/4: C-JDBC dominates.
         let mut tb = AnalyticTestbed::calibrated(HardwareConfig::one_four_one_four());
         let obs = tb.run(soft, 9000);
-        assert_eq!(obs.max_cpu.0, Tier::Cmw, "{:?}", obs.max_cpu);
+        assert_eq!(
+            obs.role_at(obs.max_cpu.0),
+            Some(Tier::Cmw),
+            "{:?}",
+            obs.max_cpu
+        );
     }
 
     #[test]
@@ -490,7 +540,7 @@ mod tests {
         assert!(
             obs.soft_saturated
                 .iter()
-                .any(|s| s.2 == "threads" && s.0 == Tier::App),
+                .any(|s| s.2 == "threads" && obs.role_at(s.0) == Some(Tier::App)),
             "{:?}",
             obs.soft_saturated
         );
@@ -521,6 +571,8 @@ mod tests {
     #[test]
     fn tier_log_littles_law() {
         let log = TierLog {
+            tier_id: 1,
+            role: Tier::App,
             rtt: 0.03,
             tp_per_server: 400.0,
             servers: 2,
@@ -564,11 +616,13 @@ mod tests {
         let out = run_experiment(&spec);
         let obs = observe(&out, 0.95, 0.5);
         assert_eq!(obs.tier_logs.len(), 4);
-        let app = &obs.tier_logs[&Tier::App];
+        let app = obs.log_of(Tier::App).expect("app tier log");
+        assert_eq!(app.tier_id, 1);
         assert_eq!(app.servers, 2);
         assert!(app.rtt > 0.0 && app.tp_per_server > 0.0);
         // Forced flow: C-JDBC per-server TP ≈ system TP × req_ratio.
-        let cmw = &obs.tier_logs[&Tier::Cmw];
+        let cmw = obs.log_of(Tier::Cmw).expect("cmw tier log");
+        assert_eq!(obs.log_at(2).expect("tier 2").role, Tier::Cmw);
         let ratio = cmw.tp_per_server / obs.throughput;
         assert!((2.0..3.0).contains(&ratio), "req ratio {ratio}");
     }

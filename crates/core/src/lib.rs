@@ -47,8 +47,9 @@ pub use strategies::Strategy;
 
 // Re-export the simulator surface so downstream users need one import.
 pub use tiers::{
-    run_system, run_system_traced, HardwareConfig, NodeReport, RunOutput, RunTrace, ServiceParams,
-    SoftAllocation, SystemConfig, Tier,
+    run_system, run_system_to_drain, run_system_traced, DrainReport, HardwareConfig, NodeDrain,
+    NodeReport, RunOutput, RunTrace, SelectPolicy, ServiceParams, SoftAllocation, SystemConfig,
+    Tier, TierId, TierSpec, Topology, MAX_TIERS,
 };
 // And the tracing surface (config + exporters) for traced runs.
 pub use ntier_trace::TraceConfig;

@@ -18,43 +18,21 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn parse_parts(s: &str, sep: char, n: usize, what: &str) -> Result<Vec<usize>, ParseError> {
-    let parts: Vec<&str> = s.split(sep).collect();
-    if parts.len() != n {
-        return Err(ParseError(format!(
-            "{what} '{s}' must have {n} '{sep}'-separated fields"
-        )));
-    }
-    parts
-        .iter()
-        .map(|p| {
-            p.trim()
-                .parse::<usize>()
-                .map_err(|_| ParseError(format!("{what} '{s}': '{p}' is not a number")))
-        })
-        .collect()
-}
-
 /// Parse `#W/#A/#C/#D` into a [`HardwareConfig`].
+///
+/// Thin wrapper over [`HardwareConfig`]'s `FromStr` that adapts the error
+/// type; `"1/2/1/2".parse()` works directly where a `ParseError` isn't
+/// needed.
 pub fn parse_hardware(s: &str) -> Result<HardwareConfig, ParseError> {
-    let v = parse_parts(s.trim(), '/', 4, "hardware config")?;
-    if v.contains(&0) {
-        return Err(ParseError(format!(
-            "hardware config '{s}': every tier needs at least one server"
-        )));
-    }
-    Ok(HardwareConfig::new(v[0], v[1], v[2], v[3]))
+    s.parse::<HardwareConfig>().map_err(ParseError)
 }
 
 /// Parse `#W_T-#A_T-#A_C` into a [`SoftAllocation`].
+///
+/// Thin wrapper over [`SoftAllocation`]'s `FromStr` that adapts the error
+/// type.
 pub fn parse_soft(s: &str) -> Result<SoftAllocation, ParseError> {
-    let v = parse_parts(s.trim(), '-', 3, "soft allocation")?;
-    if v.contains(&0) {
-        return Err(ParseError(format!(
-            "soft allocation '{s}': every pool needs at least one unit"
-        )));
-    }
-    Ok(SoftAllocation::new(v[0], v[1], v[2]))
+    s.parse::<SoftAllocation>().map_err(ParseError)
 }
 
 /// Parse the combined `#W/#A/#C/#D(#W_T-#A_T-#A_C)` notation.

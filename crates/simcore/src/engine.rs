@@ -70,12 +70,31 @@ pub struct EventQueue<E> {
 
 impl<E> EventQueue<E> {
     fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(1024),
+            heap: BinaryHeap::with_capacity(capacity),
             now: SimTime::ZERO,
             seq: 0,
             high_water: 0,
         }
+    }
+
+    /// Reserve room for at least `additional` more pending events.
+    ///
+    /// Pre-sizing is purely an allocation hint: heap layout never affects pop
+    /// order (the schedule is a strict total order on `(time, seq)`), so this
+    /// cannot change simulation results.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Current allocated capacity of the pending-event heap.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Current simulated time.
@@ -166,6 +185,10 @@ pub struct EngineStats {
     pub events_processed: u64,
     /// Peak size of the pending-event heap.
     pub heap_high_water: usize,
+    /// Allocated capacity of the pending-event heap at snapshot time. Compare
+    /// with `heap_high_water` to pre-size future runs of the same topology
+    /// via [`Engine::with_capacity`].
+    pub heap_capacity: usize,
     /// Wall-clock seconds spent inside `run_until`/`run_to_quiescence`.
     pub wall_secs: f64,
     /// Per-event-type counts (only populated with telemetry enabled; the
@@ -207,6 +230,16 @@ impl<M: Model> Engine<M> {
         }
     }
 
+    /// Create an engine whose event heap is pre-sized for `capacity` pending
+    /// events, avoiding reallocation churn in large closed-loop models where
+    /// the pending-event count scales with the population (e.g. one think
+    /// timer per emulated user).
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
+        let mut e = Self::new(model);
+        e.queue = EventQueue::with_capacity(capacity);
+        e
+    }
+
     /// Turn on per-event-type counting (one label lookup + linear-scan bump
     /// per event; off by default so untraced runs pay nothing).
     pub fn enable_telemetry(&mut self) {
@@ -218,6 +251,7 @@ impl<M: Model> Engine<M> {
         EngineStats {
             events_processed: self.events_processed,
             heap_high_water: self.queue.high_water(),
+            heap_capacity: self.queue.capacity(),
             wall_secs: self.wall_secs,
             per_type: self.per_type.clone(),
         }
@@ -520,6 +554,36 @@ mod tests {
         e.run_until(SimTime::MAX);
         assert!(e.stats().per_type.is_empty());
         assert_eq!(e.stats().events_processed, 1);
+    }
+
+    #[test]
+    fn with_capacity_presizes_heap_without_changing_results() {
+        let mut small = engine();
+        let mut big = Engine::with_capacity(
+            Recorder {
+                seen: Vec::new(),
+                chain_remaining: 0,
+            },
+            4096,
+        );
+        assert!(big.queue_mut().capacity() >= 4096);
+        for e in [&mut small, &mut big] {
+            for id in 0..50 {
+                e.schedule(SimTime::from_micros(100 - id as u64), Ev::Tag(id));
+            }
+            e.run_until(SimTime::MAX);
+        }
+        assert_eq!(small.model().seen, big.model().seen);
+        assert!(big.stats().heap_capacity >= 4096);
+        assert_eq!(big.stats().heap_high_water, 50);
+    }
+
+    #[test]
+    fn reserve_grows_capacity() {
+        let mut e = engine();
+        let before = e.queue_mut().capacity();
+        e.queue_mut().reserve(before + 1000);
+        assert!(e.queue_mut().capacity() > before);
     }
 
     #[test]

@@ -7,10 +7,29 @@
 //! `1/2/1/2` with `400-150-60` is the practitioners' baseline configuration.
 
 use crate::linger::LingerConfig;
+use crate::topology::Topology;
 use jvm_gc::GcConfig;
 use ntier_trace::TraceConfig;
 use simcore::SimTime;
+use std::str::FromStr;
 use workload::WorkloadConfig;
+
+fn parse_fields(s: &str, sep: char, n: usize, what: &str) -> Result<Vec<usize>, String> {
+    let parts: Vec<&str> = s.split(sep).collect();
+    if parts.len() != n {
+        return Err(format!(
+            "{what} '{s}' must have {n} '{sep}'-separated fields"
+        ));
+    }
+    parts
+        .iter()
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("{what} '{s}': '{p}' is not a number"))
+        })
+        .collect()
+}
 
 /// Hardware topology `#W/#A/#C/#D`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +73,22 @@ impl HardwareConfig {
 impl std::fmt::Display for HardwareConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}/{}/{}/{}", self.web, self.app, self.cmw, self.db)
+    }
+}
+
+impl FromStr for HardwareConfig {
+    type Err = String;
+
+    /// Parse the paper's `#W/#A/#C/#D` notation (round-trips with
+    /// [`Display`](std::fmt::Display)).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let v = parse_fields(s.trim(), '/', 4, "hardware config")?;
+        if v.contains(&0) {
+            return Err(format!(
+                "hardware config '{s}': every tier needs at least one server"
+            ));
+        }
+        Ok(HardwareConfig::new(v[0], v[1], v[2], v[3]))
     }
 }
 
@@ -110,6 +145,22 @@ impl std::fmt::Display for SoftAllocation {
             "{}-{}-{}",
             self.web_threads, self.app_threads, self.app_db_conns
         )
+    }
+}
+
+impl FromStr for SoftAllocation {
+    type Err = String;
+
+    /// Parse the paper's `#W_T-#A_T-#A_C` notation (round-trips with
+    /// [`Display`](std::fmt::Display)).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let v = parse_fields(s.trim(), '-', 3, "soft allocation")?;
+        if v.contains(&0) {
+            return Err(format!(
+                "soft allocation '{s}': every pool needs at least one unit"
+            ));
+        }
+        Ok(SoftAllocation::new(v[0], v[1], v[2]))
     }
 }
 
@@ -209,6 +260,11 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Per-request distributed tracing (off by default; see `ntier-trace`).
     pub trace: TraceConfig,
+    /// Explicit tier-chain topology. `None` (the default) resolves to the
+    /// paper's 4-tier chain built from `hardware`/`soft`/the GC fields at
+    /// system-construction time, so late mutation of those fields still
+    /// takes effect (the ablation harness relies on this).
+    pub topology: Option<Topology>,
 }
 
 impl SystemConfig {
@@ -227,12 +283,37 @@ impl SystemConfig {
             sla_thresholds: vec![0.5, 1.0, 2.0],
             seed: 0x5eed_0001,
             trace: TraceConfig::Off,
+            topology: None,
         }
+    }
+
+    /// Run this trial on an explicit topology instead of the default paper
+    /// chain derived from `hardware`/`soft`.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The topology the system will be assembled from: the explicit one if
+    /// set, otherwise the paper chain derived from `hardware`, `soft`, and
+    /// the per-tier GC configurations.
+    pub fn effective_topology(&self) -> Topology {
+        self.topology.clone().unwrap_or_else(|| {
+            Topology::paper_with_gc(
+                self.hardware,
+                self.soft,
+                self.tomcat_gc.clone(),
+                self.cjdbc_gc.clone(),
+            )
+        })
     }
 
     /// Compact label `#W/#A/#C/#D(#W_T-#A_T-#A_C)@users`, used in reports.
     pub fn label(&self) -> String {
-        format!("{}({})@{}", self.hardware, self.soft, self.workload.users)
+        match &self.topology {
+            Some(t) => format!("{}@{}", t.label(), self.workload.users),
+            None => format!("{}({})@{}", self.hardware, self.soft, self.workload.users),
+        }
     }
 }
 
@@ -272,6 +353,52 @@ mod tests {
     #[should_panic(expected = "at least one unit")]
     fn zero_pool_rejected() {
         let _ = SoftAllocation::new(0, 1, 1);
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        for s in ["1/2/1/2", "1/4/1/4", "1/8/1/8", "2/16/1/3"] {
+            let hw: HardwareConfig = s.parse().unwrap();
+            assert_eq!(hw.to_string(), s);
+        }
+        for s in ["400-150-60", "400-6-6", "1-1-1", "800-300-120"] {
+            let soft: SoftAllocation = s.parse().unwrap();
+            assert_eq!(soft.to_string(), s);
+        }
+        // Whitespace is tolerated on input.
+        assert_eq!(
+            " 1/2/1/2 ".parse::<HardwareConfig>().unwrap(),
+            HardwareConfig::one_two_one_two()
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_malformed() {
+        for s in ["1/2/1", "1/2/1/2/9", "1/2/x/2", "0/2/1/2", "", "a/b/c/d"] {
+            let err = s.parse::<HardwareConfig>().unwrap_err();
+            assert!(err.contains("hardware config"), "{err}");
+        }
+        for s in ["400-150", "400-150-60-10", "400-x-60", "400-0-60", ""] {
+            let err = s.parse::<SoftAllocation>().unwrap_err();
+            assert!(err.contains("soft allocation"), "{err}");
+        }
+    }
+
+    #[test]
+    fn topology_label_overrides_default() {
+        let hw = HardwareConfig::one_two_one_two();
+        let soft = SoftAllocation::rule_of_thumb();
+        let cfg = SystemConfig::new(hw, soft, 100);
+        assert_eq!(cfg.effective_topology().n_tiers(), 4);
+        let cfg3 = SystemConfig::new(hw, soft, 100).with_topology(Topology::three_tier(
+            1,
+            2,
+            2,
+            soft,
+            GcConfig::jdk6_server(),
+        ));
+        assert_eq!(cfg3.label(), "1/2/2(400-150-60)@100");
+        assert_eq!(cfg3.effective_topology().n_tiers(), 3);
     }
 
     #[test]

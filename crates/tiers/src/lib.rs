@@ -1,24 +1,35 @@
-//! # tiers — the 4-tier application simulator
+//! # tiers — the topology-driven n-tier application simulator
 //!
-//! This crate assembles the substrate crates into the paper's testbed:
+//! This crate assembles the substrate crates into n-tier systems described
+//! by a declarative [`Topology`]: an ordered chain of tier specs (replica
+//! count, soft pools, GC on/off, lingering close, replica-selection policy).
+//! The paper's testbed is the 4-tier chain
 //!
 //! ```text
 //! clients ⇄ Apache (web) ⇄ Tomcat (app) ⇄ C-JDBC (clustering) ⇄ MySQL (db)
 //! ```
 //!
-//! * **Apache** — a worker-MPM web server: a worker-thread [`resources::SoftPool`],
-//!   per-request static-content CPU work, and a **lingering-close** phase in
-//!   which the worker waits for the client's TCP FIN after the response is
-//!   sent (the mechanism behind the paper's buffering effect, §III-C).
-//! * **Tomcat** — servlet container: thread pool + *shared global DB
-//!   connection pool* (the paper modified RUBBoS this way), CPU slices
+//! * **web tier (Apache)** — a worker-MPM web server: a worker-thread
+//!   [`resources::SoftPool`], per-request static-content CPU work, and a
+//!   **lingering-close** phase in which the worker waits for the client's
+//!   TCP FIN after the response is sent (the mechanism behind the paper's
+//!   buffering effect, §III-C).
+//! * **app tier (Tomcat)** — servlet container: thread pool + *shared global
+//!   DB connection pool* (the paper modified RUBBoS this way), CPU slices
 //!   interleaved with SQL queries, and an attached JVM heap.
-//! * **C-JDBC** — clustering middleware: one implicit thread per Tomcat DB
-//!   connection (the paper's one-connection-one-thread coupling), read
-//!   load-balancing and write broadcast across MySQL replicas, and the JVM
-//!   whose garbage collector dominates over-allocated configurations.
-//! * **MySQL** — per-connection threads, CPU demand per query, and a
-//!   buffer-pool/disk model.
+//! * **middleware tier (C-JDBC)** — clustering middleware: one implicit
+//!   thread per app DB connection (the paper's one-connection-one-thread
+//!   coupling), read load-balancing and write broadcast across DB replicas,
+//!   and the JVM whose garbage collector dominates over-allocated
+//!   configurations.
+//! * **db tier (MySQL)** — per-connection threads, CPU demand per query, and
+//!   a buffer-pool/disk model.
+//!
+//! Each chain position is realised by a tier node (see `tier_nodes.rs`)
+//! behind a common `TierNode` trait; typed [`system::TierMsg`]s are routed
+//! to nodes by a small dispatcher. Non-paper chains — `1/8/1/8`, a 3-tier
+//! system without clustering middleware, replicated middleware — are
+//! topology data, not new code.
 //!
 //! [`System`] implements [`simcore::Model`]; [`run_system`] executes a full
 //! trial (ramp-up → measured runtime → ramp-down) and returns a [`RunOutput`]
@@ -32,9 +43,14 @@ pub mod output;
 pub mod request;
 pub mod slab;
 pub mod system;
+mod tier_nodes;
+pub mod topology;
 
 pub use config::{HardwareConfig, ServiceParams, SoftAllocation, SystemConfig};
 pub use ids::Tier;
 pub use linger::LingerConfig;
 pub use output::{ApacheProbes, NodeReport, PoolReport, RunOutput};
-pub use system::{run_system, run_system_traced, RunTrace, System};
+pub use system::{
+    run_system, run_system_to_drain, run_system_traced, DrainReport, NodeDrain, RunTrace, System,
+};
+pub use topology::{SelectPolicy, TierId, TierSpec, Topology, MAX_TIERS};

@@ -3,6 +3,7 @@
 use crate::config::{ServiceParams, SoftAllocation, SystemConfig};
 use crate::ids::Tier;
 use crate::output::{NodeReport, PoolReport};
+use crate::topology::{TierId, TierSpec};
 use jvm_gc::JvmGc;
 use metrics::{ServerLog, UtilDensity};
 use resources::{CpuConfig, FcfsServer, PsCpu, SoftPool};
@@ -12,24 +13,32 @@ use simcore::SimTime;
 /// One physical server and its soft resources.
 #[derive(Debug)]
 pub struct Node {
-    /// Which tier this server belongs to.
+    /// Role archetype of the tier this server belongs to.
     pub tier: Tier,
+    /// Position of the tier in the chain.
+    pub tier_id: TierId,
     /// Index within the tier.
     pub idx: u16,
+    /// Trace track / display name prefix (the tier spec's name).
+    pub track: &'static str,
     /// The server's CPU.
     pub cpu: PsCpu,
     /// Generation counter for CPU-completion events (stale-event guard).
     pub cpu_gen: u32,
-    /// Worker/servlet thread pool (Apache, Tomcat).
+    /// Worker/servlet thread pool (web, app roles).
     pub pool: Option<SoftPool>,
-    /// DB connection pool (Tomcat only).
+    /// DB connection pool (app role only).
     pub conn_pool: Option<SoftPool>,
-    /// Attached JVM (Tomcat, C-JDBC).
+    /// Attached JVM (app, middleware roles).
     pub jvm: Option<JvmGc>,
-    /// Disk (MySQL only).
+    /// Disk (db role only).
     pub disk: Option<FcfsServer>,
     /// Per-server request log (per-tier RTT / TP for Table I).
     pub log: ServerLog,
+    /// Jobs admitted to this server over the whole trial (conservation).
+    pub arrivals: u64,
+    /// Jobs that finished and left this server over the whole trial.
+    pub departures: u64,
     /// Per-second CPU utilization samples (measurement window).
     pub cpu_series: Vec<f64>,
     /// Per-second thread-pool occupancy samples.
@@ -45,10 +54,18 @@ pub struct Node {
 }
 
 impl Node {
-    fn new(tier: Tier, idx: u16, params: &ServiceParams) -> Self {
+    fn new(
+        tier: Tier,
+        tier_id: TierId,
+        idx: u16,
+        name: &'static str,
+        params: &ServiceParams,
+    ) -> Self {
         Node {
             tier,
+            tier_id,
             idx,
+            track: name,
             cpu: PsCpu::new(CpuConfig {
                 cores: params.cores,
                 csw_overhead_per_job: params.csw_overhead_per_job,
@@ -58,7 +75,9 @@ impl Node {
             conn_pool: None,
             jvm: None,
             disk: None,
-            log: ServerLog::new(format!("{}-{}", tier.server_name(), idx)),
+            log: ServerLog::new(format!("{}-{}", name, idx)),
+            arrivals: 0,
+            departures: 0,
             cpu_series: Vec::new(),
             pool_series: Vec::new(),
             pool_density: UtilDensity::new(),
@@ -68,48 +87,80 @@ impl Node {
         }
     }
 
-    /// Build an Apache web server node.
+    /// Build a node from a tier spec: the role decides which sub-resources
+    /// (pools, JVM, disk) the server carries.
+    pub fn from_spec(spec: &TierSpec, tier_id: TierId, idx: u16, params: &ServiceParams) -> Self {
+        let mut n = Node::new(spec.role, tier_id, idx, spec.name, params);
+        match spec.role {
+            Tier::Web => {
+                let threads = spec.threads.expect("web tier has a worker pool");
+                n.pool = Some(SoftPool::new("apache-workers", threads));
+            }
+            Tier::App => {
+                let threads = spec.threads.expect("app tier has a thread pool");
+                let conns = spec.conns.expect("app tier has a connection pool");
+                n.pool = Some(SoftPool::new("tomcat-threads", threads));
+                n.conn_pool = Some(SoftPool::new("tomcat-dbconns", conns));
+                if let Some(gc) = &spec.gc {
+                    let mut jvm = JvmGc::new(gc.clone());
+                    jvm.set_threads(threads);
+                    jvm.set_conns(conns);
+                    n.jvm = Some(jvm);
+                }
+            }
+            Tier::Cmw => {
+                // Implicit threads: one per upstream DB connection (the
+                // paper's coupling) — sizes the JVM live set only, no pool.
+                let total_conns = spec.threads.unwrap_or(0);
+                if let Some(gc) = &spec.gc {
+                    let mut jvm = JvmGc::new(gc.clone());
+                    jvm.set_threads(total_conns);
+                    jvm.set_conns(total_conns);
+                    n.jvm = Some(jvm);
+                }
+            }
+            Tier::Db => {
+                n.disk = Some(FcfsServer::new("mysql-disk"));
+            }
+        }
+        n
+    }
+
+    /// Build an Apache web server node (paper chain, tier id 0).
     pub fn apache(idx: u16, cfg: &SystemConfig) -> Self {
-        let mut n = Node::new(Tier::Web, idx, &cfg.params);
-        n.pool = Some(SoftPool::new("apache-workers", cfg.soft.web_threads));
-        n
+        let spec = TierSpec::web(cfg.hardware.web, cfg.soft.web_threads);
+        Node::from_spec(&spec, 0, idx, &cfg.params)
     }
 
-    /// Build a Tomcat application server node.
+    /// Build a Tomcat application server node (paper chain, tier id 1).
     pub fn tomcat(idx: u16, cfg: &SystemConfig) -> Self {
-        let mut n = Node::new(Tier::App, idx, &cfg.params);
-        n.pool = Some(SoftPool::new("tomcat-threads", cfg.soft.app_threads));
-        n.conn_pool = Some(SoftPool::new("tomcat-dbconns", cfg.soft.app_db_conns));
-        let mut jvm = JvmGc::new(cfg.tomcat_gc.clone());
-        jvm.set_threads(cfg.soft.app_threads);
-        jvm.set_conns(cfg.soft.app_db_conns);
-        n.jvm = Some(jvm);
-        n
+        let spec = TierSpec::app(
+            cfg.hardware.app,
+            cfg.soft.app_threads,
+            cfg.soft.app_db_conns,
+            cfg.tomcat_gc.clone(),
+        );
+        Node::from_spec(&spec, 1, idx, &cfg.params)
     }
 
-    /// Build a C-JDBC clustering-middleware node. Its implicit thread count is
-    /// the total DB connections opened by all Tomcat servers (the paper's
-    /// one-connection-one-thread coupling).
+    /// Build a C-JDBC clustering-middleware node (paper chain, tier id 2).
+    /// Its implicit thread count is the total DB connections opened by all
+    /// Tomcat servers (the paper's one-connection-one-thread coupling).
     pub fn cjdbc(idx: u16, cfg: &SystemConfig, soft: &SoftAllocation) -> Self {
-        let mut n = Node::new(Tier::Cmw, idx, &cfg.params);
         let total_conns = soft.app_db_conns * cfg.hardware.app;
-        let mut jvm = JvmGc::new(cfg.cjdbc_gc.clone());
-        jvm.set_threads(total_conns);
-        jvm.set_conns(total_conns);
-        n.jvm = Some(jvm);
-        n
+        let spec = TierSpec::cmw(cfg.hardware.cmw, total_conns, cfg.cjdbc_gc.clone());
+        Node::from_spec(&spec, 2, idx, &cfg.params)
     }
 
-    /// Build a MySQL database server node.
+    /// Build a MySQL database server node (paper chain, tier id 3).
     pub fn mysql(idx: u16, cfg: &SystemConfig) -> Self {
-        let mut n = Node::new(Tier::Db, idx, &cfg.params);
-        n.disk = Some(FcfsServer::new("mysql-disk"));
-        n
+        let spec = TierSpec::db(cfg.hardware.db);
+        Node::from_spec(&spec, 3, idx, &cfg.params)
     }
 
     /// Display name, e.g. `Tomcat-0`.
     pub fn name(&self) -> String {
-        format!("{}-{}", self.tier.server_name(), self.idx)
+        format!("{}-{}", self.track, self.idx)
     }
 
     /// Open the measurement window on every sub-resource.
@@ -177,6 +228,7 @@ impl Node {
             .map(|p| pool_report(p, &self.conn_series, &self.conn_density));
         NodeReport {
             tier: self.tier,
+            tier_id: self.tier_id,
             idx: self.idx,
             name: self.name(),
             cpu_util: self.cpu.utilization(now),
@@ -196,11 +248,11 @@ impl Node {
     }
 }
 
-/// Per-second Apache internals collector (Figs. 7/8).
+/// Per-second front-tier internals collector (Figs. 7/8).
 #[derive(Debug)]
 pub struct ApacheProbe {
-    /// Workers currently interacting (or waiting to interact) with the Tomcat
-    /// tier.
+    /// Workers currently interacting (or waiting to interact) with the
+    /// backend tiers.
     pub interacting: u32,
     /// Responses sent per second.
     pub processed: IntervalSeries,
@@ -208,13 +260,13 @@ pub struct ApacheProbe {
     pub pt_total_sum: IntervalSeries,
     /// Completion counts backing the busy-time averages.
     pub pt_total_cnt: IntervalSeries,
-    /// Sum of Tomcat-interaction times per second, ms.
+    /// Sum of backend-interaction times per second, ms.
     pub pt_tomcat_sum: IntervalSeries,
     /// Completion counts backing the interaction-time averages.
     pub pt_tomcat_cnt: IntervalSeries,
     /// Sampled busy workers.
     pub threads_active: Vec<f64>,
-    /// Sampled workers interacting with Tomcat.
+    /// Sampled workers interacting with the backend.
     pub threads_tomcat: Vec<f64>,
 }
 
@@ -276,6 +328,7 @@ mod tests {
         assert_eq!(t.conn_pool.as_ref().unwrap().capacity(), 60);
         assert!(t.jvm.is_some());
         assert_eq!(t.name(), "Tomcat-1");
+        assert_eq!(t.tier_id, 1);
 
         let j = Node::cjdbc(0, &c, &c.soft);
         // 2 Tomcats × 60 conns feed the C-JDBC JVM live set.
@@ -298,6 +351,18 @@ mod tests {
     }
 
     #[test]
+    fn from_spec_honours_gc_and_name_overrides() {
+        let c = cfg();
+        let spec = TierSpec::app(1, 10, 5, jvm_gc::GcConfig::jdk6_server())
+            .with_gc(None)
+            .named("Jetty");
+        let n = Node::from_spec(&spec, 1, 0, &c.params);
+        assert!(n.jvm.is_none(), "gc None disables the JVM");
+        assert_eq!(n.name(), "Jetty-0");
+        assert_eq!(n.pool.as_ref().unwrap().capacity(), 10);
+    }
+
+    #[test]
     fn report_round_trip() {
         let c = cfg();
         let mut n = Node::tomcat(0, &c);
@@ -306,6 +371,7 @@ mod tests {
         n.sample(SimTime::from_secs(1));
         let rep = n.report(SimTime::from_secs(1));
         assert_eq!(rep.tier, Tier::App);
+        assert_eq!(rep.tier_id, 1);
         // The 0.5 s job ran over a 1 s window.
         assert!((rep.cpu_util - 0.5).abs() < 1e-6, "util={}", rep.cpu_util);
         assert_eq!(rep.cpu_series.len(), 1);

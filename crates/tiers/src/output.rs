@@ -73,8 +73,10 @@ pub struct PoolReport {
 /// Everything observed about one server over the measurement window.
 #[derive(Debug, Clone)]
 pub struct NodeReport {
-    /// Server tier.
+    /// Role archetype of the server's tier.
     pub tier: Tier,
+    /// Position of the tier in the chain (0 = front tier).
+    pub tier_id: usize,
     /// Index within the tier.
     pub idx: u16,
     /// Display name, e.g. `Tomcat-1`.
@@ -184,7 +186,30 @@ pub struct RunOutput {
 }
 
 impl RunOutput {
-    /// All node reports of one tier.
+    /// Number of tiers in the chain this run was made on.
+    pub fn n_tiers(&self) -> usize {
+        self.nodes.iter().map(|n| n.tier_id + 1).max().unwrap_or(0)
+    }
+
+    /// All node reports of the tier at chain position `id`.
+    pub fn tier_nodes_at(&self, id: usize) -> Vec<&NodeReport> {
+        self.nodes.iter().filter(|n| n.tier_id == id).collect()
+    }
+
+    /// Role of the tier at chain position `id` (None when out of range).
+    pub fn role_of(&self, id: usize) -> Option<Tier> {
+        self.nodes.iter().find(|n| n.tier_id == id).map(|n| n.tier)
+    }
+
+    /// Chain position of the first tier with the given role.
+    pub fn tier_id_of(&self, tier: Tier) -> Option<usize> {
+        self.nodes
+            .iter()
+            .find(|n| n.tier == tier)
+            .map(|n| n.tier_id)
+    }
+
+    /// All node reports with the given tier role.
     pub fn tier_nodes(&self, tier: Tier) -> Vec<&NodeReport> {
         self.nodes.iter().filter(|n| n.tier == tier).collect()
     }
@@ -208,19 +233,41 @@ impl RunOutput {
             .expect("at least one node")
     }
 
+    /// Like [`max_cpu`](Self::max_cpu) but keyed by chain position, as
+    /// `(tier id, index, utilization)`.
+    pub fn max_cpu_at(&self) -> (usize, u16, f64) {
+        self.nodes
+            .iter()
+            .map(|n| (n.tier_id, n.idx, n.cpu_util))
+            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN utilizations"))
+            .expect("at least one node")
+    }
+
     /// Whether any soft pool spent more than `frac` of the window saturated
     /// (full with waiters): the `B_s ≠ ∅` condition of Algorithm 1.
     pub fn soft_saturated(&self, frac: f64) -> Vec<(Tier, u16, &'static str, f64)> {
+        self.soft_saturated_at(frac)
+            .into_iter()
+            .map(|(id, idx, pool, sat)| {
+                let role = self.role_of(id).expect("node tier id is in range");
+                (role, idx, pool, sat)
+            })
+            .collect()
+    }
+
+    /// Like [`soft_saturated`](Self::soft_saturated) but keyed by chain
+    /// position.
+    pub fn soft_saturated_at(&self, frac: f64) -> Vec<(usize, u16, &'static str, f64)> {
         let mut out = Vec::new();
         for n in &self.nodes {
             if let Some(p) = &n.thread_pool {
                 if p.saturated_fraction > frac {
-                    out.push((n.tier, n.idx, "threads", p.saturated_fraction));
+                    out.push((n.tier_id, n.idx, "threads", p.saturated_fraction));
                 }
             }
             if let Some(p) = &n.conn_pool {
                 if p.saturated_fraction > frac {
-                    out.push((n.tier, n.idx, "db-conns", p.saturated_fraction));
+                    out.push((n.tier_id, n.idx, "db-conns", p.saturated_fraction));
                 }
             }
         }
@@ -268,6 +315,12 @@ mod tests {
     fn dummy_node(tier: Tier, idx: u16, util: f64, sat: f64) -> NodeReport {
         NodeReport {
             tier,
+            tier_id: match tier {
+                Tier::Web => 0,
+                Tier::App => 1,
+                Tier::Cmw => 2,
+                Tier::Db => 3,
+            },
             idx,
             name: format!("{}-{}", tier.server_name(), idx),
             cpu_util: util,
@@ -341,6 +394,22 @@ mod tests {
         let sat = out.soft_saturated(0.5);
         assert_eq!(sat.len(), 2);
         assert_eq!(sat[0].0, Tier::App);
+        let sat_at = out.soft_saturated_at(0.5);
+        assert_eq!(sat_at[0].0, 1);
+    }
+
+    #[test]
+    fn tier_id_helpers() {
+        let out = dummy_output();
+        assert_eq!(out.n_tiers(), 3); // ids 0, 1, 2 present in the dummy
+        assert_eq!(out.tier_nodes_at(1).len(), 2);
+        assert_eq!(out.role_of(2), Some(Tier::Cmw));
+        assert_eq!(out.role_of(7), None);
+        assert_eq!(out.tier_id_of(Tier::App), Some(1));
+        assert_eq!(out.tier_id_of(Tier::Db), None);
+        let (id, idx, util) = out.max_cpu_at();
+        assert_eq!((id, idx), (1, 0));
+        assert!((util - 0.96).abs() < 1e-12);
     }
 
     #[test]

@@ -1,28 +1,35 @@
 //! In-flight request and query state machines.
+//!
+//! The phase machines are written against tier *roles* (front/app/middleware/
+//! db), not concrete server products: the same request walks a 3-tier chain
+//! (no middleware) or a 4-tier chain unchanged. Which replica of each tier
+//! serves the request is recorded in a per-tier routing table indexed by
+//! [`crate::topology::TierId`].
 
 use crate::ids::{QueryId, ReqId};
+use crate::topology::MAX_TIERS;
 use simcore::SimTime;
 use workload::InteractionId;
 
 /// Where an HTTP request currently is in its life cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReqPhase {
-    /// On the wire from client to Apache.
-    ToApache,
-    /// Queued for an Apache worker thread.
+    /// On the wire from client to the front (web) tier.
+    ToFront,
+    /// Queued for a front-tier worker thread.
     WaitWorker,
-    /// Apache pre-processing CPU (header parsing, routing).
-    ApachePre,
-    /// On the wire / queued for a Tomcat thread.
-    WaitTomcatThread,
-    /// Executing a Tomcat CPU slice.
-    TomcatCpu,
-    /// Queued for a DB connection from the Tomcat pool.
+    /// Front-tier pre-processing CPU (header parsing, routing).
+    FrontPre,
+    /// On the wire / queued for an app-tier thread.
+    WaitAppThread,
+    /// Executing an app-tier CPU slice.
+    AppCpu,
+    /// Queued for a DB connection from the app-tier pool.
     WaitDbConn,
     /// A SQL query is outstanding below this request.
     QueryInFlight,
-    /// Apache post-processing CPU (response assembly + static content).
-    ApachePost,
+    /// Front-tier post-processing CPU (response assembly + static content).
+    FrontPost,
     /// Response sent; worker lingering on close (FIN wait).
     Linger,
 }
@@ -36,42 +43,41 @@ pub struct Request {
     pub interaction: InteractionId,
     /// Current phase.
     pub phase: ReqPhase,
-    /// Apache server handling this request.
-    pub apache_idx: u16,
-    /// Tomcat server handling this request.
-    pub tomcat_idx: u16,
+    /// Replica of each tier serving this request, indexed by tier id
+    /// (meaningful only for request-carrying tiers: front and app).
+    pub route: [u16; MAX_TIERS],
     /// Queries issued so far.
     pub queries_done: u32,
     /// Time the client issued the request.
     pub t_start: SimTime,
-    /// Arrival at Apache.
-    pub t_arrive_apache: SimTime,
-    /// Time the Apache worker thread was acquired.
+    /// Arrival at the front tier.
+    pub t_arrive_front: SimTime,
+    /// Time the front-tier worker thread was acquired.
     pub t_worker_acquired: SimTime,
-    /// Arrival at Tomcat (start of the Tomcat residence, Fig. 9's `T`).
-    pub t_arrive_tomcat: SimTime,
-    /// When the Apache worker started interacting with the Tomcat tier.
-    pub t_tomcat_phase_start: SimTime,
-    /// Accumulated worker time spent interacting with the Tomcat tier.
-    pub tomcat_interact_secs: f64,
+    /// Arrival at the app tier (start of the app residence, Fig. 9's `T`).
+    pub t_arrive_app: SimTime,
+    /// When the front-tier worker started interacting with the backend.
+    pub t_backend_start: SimTime,
+    /// Accumulated worker time spent interacting with the backend tiers.
+    pub backend_interact_secs: f64,
     /// Outstanding completion arms (client response + linger); the slot is
     /// freed when this reaches zero.
     pub arms_remaining: u8,
-    /// Total Tomcat CPU demand sampled for this execution (seconds).
-    pub tomcat_demand_secs: f64,
+    /// Total app-tier CPU demand sampled for this execution (seconds).
+    pub app_demand_secs: f64,
     /// Trace id when this request was admitted for tracing (0 = untraced;
     /// ids are monotone per trial, never reused even though slab slots are).
     pub trace: u64,
-    /// When the Tomcat thread was granted (first Tomcat CPU slice).
+    /// When the app-tier thread was granted (first app CPU slice).
     pub t_thread_granted: SimTime,
     /// When the request started waiting for a DB connection.
     pub t_conn_wait_start: SimTime,
     /// When the current query was issued (DB connection granted).
     pub t_query_issued: SimTime,
-    /// When Apache post-processing began (Tomcat response received).
-    pub t_apache_post_start: SimTime,
-    /// When Apache finished the response (start of lingering close).
-    pub t_apache_done: SimTime,
+    /// When front-tier post-processing began (backend response received).
+    pub t_front_post_start: SimTime,
+    /// When the front tier finished the response (start of lingering close).
+    pub t_front_done: SimTime,
 }
 
 impl Request {
@@ -80,35 +86,34 @@ impl Request {
         Request {
             session,
             interaction,
-            phase: ReqPhase::ToApache,
-            apache_idx: 0,
-            tomcat_idx: 0,
+            phase: ReqPhase::ToFront,
+            route: [0; MAX_TIERS],
             queries_done: 0,
             t_start,
-            t_arrive_apache: SimTime::ZERO,
+            t_arrive_front: SimTime::ZERO,
             t_worker_acquired: SimTime::ZERO,
-            t_arrive_tomcat: SimTime::ZERO,
-            t_tomcat_phase_start: SimTime::ZERO,
-            tomcat_interact_secs: 0.0,
+            t_arrive_app: SimTime::ZERO,
+            t_backend_start: SimTime::ZERO,
+            backend_interact_secs: 0.0,
             arms_remaining: 2,
-            tomcat_demand_secs: 0.0,
+            app_demand_secs: 0.0,
             trace: 0,
             t_thread_granted: SimTime::ZERO,
             t_conn_wait_start: SimTime::ZERO,
             t_query_issued: SimTime::ZERO,
-            t_apache_post_start: SimTime::ZERO,
-            t_apache_done: SimTime::ZERO,
+            t_front_post_start: SimTime::ZERO,
+            t_front_done: SimTime::ZERO,
         }
     }
 
-    /// Whether the Apache worker serving this request is currently
-    /// interacting (or waiting to interact) with the Tomcat tier —
+    /// Whether the front-tier worker serving this request is currently
+    /// interacting (or waiting to interact) with the backend —
     /// the `Threads_connectingTomcat` probe of Fig. 7(c)/(f).
-    pub fn worker_interacting_with_tomcat(&self) -> bool {
+    pub fn worker_interacting_with_backend(&self) -> bool {
         matches!(
             self.phase,
-            ReqPhase::WaitTomcatThread
-                | ReqPhase::TomcatCpu
+            ReqPhase::WaitAppThread
+                | ReqPhase::AppCpu
                 | ReqPhase::WaitDbConn
                 | ReqPhase::QueryInFlight
         )
@@ -118,12 +123,12 @@ impl Request {
 /// Where a SQL query currently is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryPhase {
-    /// C-JDBC routing CPU before dispatch.
-    CjdbcPre,
-    /// Executing at one or more MySQL servers.
-    AtMysql,
-    /// C-JDBC result-merge CPU after the replies.
-    CjdbcPost,
+    /// Middleware routing CPU before dispatch (4-tier chains only).
+    MwPre,
+    /// Executing at one or more database servers.
+    AtDb,
+    /// Middleware result-merge CPU after the replies (4-tier chains only).
+    MwPost,
 }
 
 /// One in-flight SQL query.
@@ -135,27 +140,27 @@ pub struct Query {
     pub is_write: bool,
     /// Current phase.
     pub phase: QueryPhase,
-    /// C-JDBC server routing this query.
-    pub cjdbc_idx: u16,
-    /// Outstanding MySQL replies (1 for reads, replica count for writes).
+    /// Middleware replica routing this query (unused in 3-tier chains).
+    pub mw_idx: u16,
+    /// Outstanding database replies (1 for reads, replica count for writes).
     pub pending_replies: u8,
-    /// Arrival at C-JDBC (start of the C-JDBC residence).
-    pub t_enter_cjdbc: SimTime,
-    /// Arrival at MySQL (for the MySQL residence log).
-    pub t_enter_mysql: SimTime,
+    /// Arrival at the middleware tier (start of its residence).
+    pub t_enter_mw: SimTime,
+    /// Arrival at the database tier (for the db residence log).
+    pub t_enter_db: SimTime,
 }
 
 impl Query {
     /// Create a query under request `req`.
-    pub fn new(req: ReqId, is_write: bool, t_enter_cjdbc: SimTime) -> Self {
+    pub fn new(req: ReqId, is_write: bool, t_enter_mw: SimTime) -> Self {
         Query {
             req,
             is_write,
-            phase: QueryPhase::CjdbcPre,
-            cjdbc_idx: 0,
+            phase: QueryPhase::MwPre,
+            mw_idx: 0,
             pending_replies: 0,
-            t_enter_cjdbc,
-            t_enter_mysql: SimTime::ZERO,
+            t_enter_mw,
+            t_enter_db: SimTime::ZERO,
         }
     }
 }
@@ -170,40 +175,41 @@ mod tests {
     #[test]
     fn request_initial_state() {
         let r = Request::new(7, 3, SimTime::from_secs(1));
-        assert_eq!(r.phase, ReqPhase::ToApache);
+        assert_eq!(r.phase, ReqPhase::ToFront);
         assert_eq!(r.arms_remaining, 2);
         assert_eq!(r.queries_done, 0);
-        assert!(!r.worker_interacting_with_tomcat());
+        assert_eq!(r.route, [0; MAX_TIERS]);
+        assert!(!r.worker_interacting_with_backend());
     }
 
     #[test]
-    fn tomcat_interaction_probe_covers_backend_phases() {
+    fn backend_interaction_probe_covers_backend_phases() {
         let mut r = Request::new(0, 0, SimTime::ZERO);
         for phase in [
-            ReqPhase::WaitTomcatThread,
-            ReqPhase::TomcatCpu,
+            ReqPhase::WaitAppThread,
+            ReqPhase::AppCpu,
             ReqPhase::WaitDbConn,
             ReqPhase::QueryInFlight,
         ] {
             r.phase = phase;
-            assert!(r.worker_interacting_with_tomcat(), "{phase:?}");
+            assert!(r.worker_interacting_with_backend(), "{phase:?}");
         }
         for phase in [
-            ReqPhase::ToApache,
+            ReqPhase::ToFront,
             ReqPhase::WaitWorker,
-            ReqPhase::ApachePre,
-            ReqPhase::ApachePost,
+            ReqPhase::FrontPre,
+            ReqPhase::FrontPost,
             ReqPhase::Linger,
         ] {
             r.phase = phase;
-            assert!(!r.worker_interacting_with_tomcat(), "{phase:?}");
+            assert!(!r.worker_interacting_with_backend(), "{phase:?}");
         }
     }
 
     #[test]
     fn query_initial_state() {
         let q = Query::new(5, true, SimTime::from_secs(2));
-        assert_eq!(q.phase, QueryPhase::CjdbcPre);
+        assert_eq!(q.phase, QueryPhase::MwPre);
         assert!(q.is_write);
         assert_eq!(q.pending_replies, 0);
     }

@@ -1,53 +1,60 @@
-//! The 4-tier system model: event dispatch and request plumbing.
+//! The n-tier system model: typed message dispatch and request plumbing.
 //!
-//! One [`System`] is one trial: a closed-loop client population driving the
-//! Apache → Tomcat → C-JDBC → MySQL chain. The event alphabet follows the
-//! life of a request (see `request.rs` for the phase machines); CPU
-//! completions use a generation-guarded check event so each CPU keeps at most
-//! one live completion event regardless of how often its population changes.
+//! One [`System`] is one trial: a closed-loop client population driving a
+//! chain of tier nodes assembled from a [`crate::topology::Topology`]. Each
+//! tier node (see `tier_nodes.rs`) handles the typed [`TierMsg`]s addressed
+//! to it; the [`Model`] implementation here is only a thin dispatcher that
+//! routes `Ev::Tier(id, msg)` to `tiers[id]` plus the tier-independent
+//! machinery (client think loop, CPU completion checks, GC, monitoring).
+//! CPU completions use a generation-guarded check event so each CPU keeps at
+//! most one live completion event regardless of how often its population
+//! changes.
 
 use crate::config::{MixKind, SystemConfig};
 use crate::ids::{QueryId, ReqId, Tier, Token};
 use crate::nodes::{ApacheProbe, Node};
 use crate::output::{ApacheProbes, NodeReport, RunOutput, Telemetry};
-use crate::request::{Query, QueryPhase, ReqPhase, Request};
+use crate::request::{QueryPhase, Request};
 use crate::slab::Slab;
+use crate::tier_nodes::{make_tier, TierNode};
+use crate::topology::{SelectPolicy, TierId};
 use metrics::SlaModel;
 use ntier_trace::{Span, TraceId, Tracer, ENGINE_TRACE};
 use simcore::{Engine, EngineStats, EventQueue, Model, RunRng, SimTime};
 use workload::{InteractionCatalog, Mix, Session, SessionModel};
 
-/// The event alphabet of the 4-tier model.
+/// A typed message addressed to one tier of the chain.
+#[derive(Debug, Clone, Copy)]
+pub enum TierMsg {
+    /// An HTTP request arrives at the tier.
+    ReqArrive(ReqId),
+    /// A queued request is granted a worker/servlet thread.
+    PoolGranted(ReqId),
+    /// A queued request is granted a DB connection.
+    ConnGranted(ReqId),
+    /// The downstream tier's response to a request reaches this tier.
+    ReqReply(ReqId),
+    /// The worker's lingering close completed.
+    LingerDone(ReqId),
+    /// A SQL query arrives at replica `1` of the tier.
+    QueryArrive(QueryId, u16),
+    /// Disk access for the query finished on replica `1`.
+    DiskDone(QueryId, u16),
+    /// A downstream reply for the query reaches this tier.
+    QueryReply(QueryId),
+    /// The fully-assembled query result reaches this tier.
+    QueryDone(QueryId),
+}
+
+/// The event alphabet of the n-tier model.
 #[derive(Debug, Clone, Copy)]
 pub enum Ev {
     /// A session finished thinking and issues its next interaction.
     ThinkDone(u32),
-    /// Request arrives at its Apache server.
-    ArriveApache(ReqId),
-    /// A queued request is granted an Apache worker thread.
-    WorkerGranted(ReqId),
-    /// Request arrives at its Tomcat server.
-    ArriveTomcat(ReqId),
-    /// A queued request is granted a Tomcat thread.
-    TomcatThreadGranted(ReqId),
-    /// A queued request is granted a Tomcat DB connection.
-    DbConnGranted(ReqId),
-    /// Query arrives at the C-JDBC server.
-    ArriveCjdbc(QueryId),
-    /// Query arrives at MySQL server `db`.
-    MysqlArrive(QueryId, u16),
-    /// Disk access for the query finished on MySQL server `db`.
-    MysqlDiskDone(QueryId, u16),
-    /// A MySQL reply reaches the C-JDBC server.
-    MysqlReply(QueryId),
-    /// The query result reaches the Tomcat server.
-    QueryDone(QueryId),
-    /// The Tomcat response reaches the Apache server.
-    ResponseToApache(ReqId),
+    /// A typed message for tier `0` of the chain.
+    Tier(u8, TierMsg),
     /// The response reaches the client.
     ResponseToClient(ReqId),
-    /// The Apache worker's lingering close completed.
-    LingerDone(ReqId),
     /// Generation-guarded CPU completion check for node `node`.
     CpuCheck {
         /// Flat node index.
@@ -68,39 +75,80 @@ pub enum Ev {
     EndMeasure,
 }
 
-/// The complete 4-tier system state (implements [`Model`]).
-pub struct System {
-    cfg: SystemConfig,
-    catalog: InteractionCatalog,
-    mix: Mix,
-    sessions: Vec<Session>,
-    nodes: Vec<Node>,
-    // Flat-index bases per tier.
-    web0: usize,
-    app0: usize,
-    cmw0: usize,
-    db0: usize,
-    requests: Slab<Request>,
-    queries: Slab<Query>,
-    rng_demand: RunRng,
-    rng_linger: RunRng,
-    rng_route: RunRng,
-    rr_web: usize,
-    rr_tomcat: usize,
-    rr_mysql: usize,
-    telemetry: Telemetry,
-    probes: Vec<ApacheProbe>,
-    tracer: Option<Tracer>,
-    next_trace: TraceId,
-    measuring: bool,
-    final_nodes: Vec<NodeReport>,
-    final_probes: Option<ApacheProbes>,
-    measure_end: SimTime,
+/// Where one tier sits in the chain: its role, replica range in the flat
+/// node vector, and routing policy.
+#[derive(Debug, Clone)]
+pub(crate) struct TierLink {
+    /// Role archetype.
+    pub role: Tier,
+    /// Display name (trace track).
+    pub name: &'static str,
+    /// Flat node index of replica 0.
+    pub base: usize,
+    /// Replica count.
+    pub replicas: usize,
+    /// Replica-selection policy for messages sent *to* this tier.
+    pub select: SelectPolicy,
+    /// Upstream tier (None for the front tier).
+    pub up: Option<TierId>,
+    /// Downstream tier (None for the back tier).
+    pub down: Option<TierId>,
+    /// Whether this tier's workers linger on close.
+    pub linger: bool,
 }
 
-impl System {
-    /// Build a system from a configuration (no events scheduled yet).
-    pub fn new(cfg: SystemConfig) -> Self {
+/// Mutable routing state per tier.
+#[derive(Debug, Clone)]
+pub(crate) struct RouteState {
+    /// Round-robin cursor.
+    pub rr: usize,
+    /// Outstanding jobs per replica (maintained only under
+    /// [`SelectPolicy::LeastOutstanding`]).
+    pub outstanding: Vec<u32>,
+}
+
+/// Shared simulation state every tier node operates on: configuration,
+/// sessions, the flat node vector, in-flight request/query slabs, RNG
+/// streams, telemetry, and the chain links/routing tables.
+pub(crate) struct Ctx {
+    pub cfg: SystemConfig,
+    pub catalog: InteractionCatalog,
+    pub mix: Mix,
+    pub sessions: Vec<Session>,
+    pub nodes: Vec<Node>,
+    /// Chain links (index = tier id).
+    pub links: Vec<TierLink>,
+    /// Routing state (index = tier id).
+    pub route: Vec<RouteState>,
+    /// Flat node index → (tier id, replica).
+    pub node_tier: Vec<(TierId, u16)>,
+    /// Tier ids that request routing is decided for at birth (web/app roles,
+    /// chain order).
+    pub req_tiers: Vec<TierId>,
+    pub requests: Slab<Request>,
+    pub queries: Slab<crate::request::Query>,
+    pub rng_demand: RunRng,
+    pub rng_linger: RunRng,
+    pub rng_route: RunRng,
+    pub telemetry: Telemetry,
+    pub probes: Vec<ApacheProbe>,
+    pub tracer: Option<Tracer>,
+    pub next_trace: TraceId,
+    pub measuring: bool,
+    /// When true the closed loop is inert: completed sessions do not think
+    /// again, so the event queue drains (conservation testing).
+    pub draining: bool,
+    pub final_nodes: Vec<NodeReport>,
+    pub final_probes: Option<ApacheProbes>,
+    pub measure_end: SimTime,
+}
+
+impl Ctx {
+    fn new(cfg: SystemConfig) -> Self {
+        let topo = cfg.effective_topology();
+        if let Err(e) = topo.validate() {
+            panic!("invalid topology: {e}");
+        }
         let catalog = InteractionCatalog::rubbos();
         let mix = match cfg.mix {
             MixKind::BrowseOnly => Mix::browse_only(&catalog),
@@ -111,23 +159,40 @@ impl System {
             .map(|i| Session::new(i, &root, SessionModel::Markov, cfg.workload.think_time))
             .collect();
 
+        let n_tiers = topo.n_tiers();
         let mut nodes = Vec::new();
-        let web0 = 0;
-        for i in 0..cfg.hardware.web {
-            nodes.push(Node::apache(i as u16, &cfg));
+        let mut links = Vec::new();
+        let mut node_tier = Vec::new();
+        for (t, spec) in topo.tiers.iter().enumerate() {
+            let base = nodes.len();
+            for i in 0..spec.replicas {
+                nodes.push(Node::from_spec(spec, t, i as u16, &cfg.params));
+                node_tier.push((t, i as u16));
+            }
+            links.push(TierLink {
+                role: spec.role,
+                name: spec.name,
+                base,
+                replicas: spec.replicas,
+                select: spec.select,
+                up: t.checked_sub(1),
+                down: (t + 1 < n_tiers).then_some(t + 1),
+                linger: spec.linger,
+            });
         }
-        let app0 = nodes.len();
-        for i in 0..cfg.hardware.app {
-            nodes.push(Node::tomcat(i as u16, &cfg));
-        }
-        let cmw0 = nodes.len();
-        for i in 0..cfg.hardware.cmw {
-            nodes.push(Node::cjdbc(i as u16, &cfg, &cfg.soft));
-        }
-        let db0 = nodes.len();
-        for i in 0..cfg.hardware.db {
-            nodes.push(Node::mysql(i as u16, &cfg));
-        }
+        let route = links
+            .iter()
+            .map(|l| RouteState {
+                rr: 0,
+                outstanding: vec![0; l.replicas],
+            })
+            .collect();
+        let req_tiers = links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l.role, Tier::Web | Tier::App))
+            .map(|(t, _)| t)
+            .collect();
 
         let sla = SlaModel::new(&cfg.sla_thresholds);
         let origin = cfg.workload.measure_start();
@@ -135,7 +200,7 @@ impl System {
         // saturation onset (what the intervention analysis needs).
         let slo_threshold = *cfg.sla_thresholds.first().expect("non-empty thresholds");
         let telemetry = Telemetry::new(origin, sla.counters(), slo_threshold);
-        let probes = (0..cfg.hardware.web)
+        let probes = (0..links[0].replicas)
             .map(|_| ApacheProbe::new(origin))
             .collect();
         let measure_end = cfg.workload.measure_end();
@@ -144,7 +209,7 @@ impl System {
             .enabled()
             .then(|| Tracer::new(cfg.trace, cfg.seed));
 
-        System {
+        Ctx {
             rng_demand: root.fork("demand"),
             rng_linger: root.fork("linger"),
             rng_route: root.fork("route"),
@@ -153,42 +218,30 @@ impl System {
             mix,
             sessions,
             nodes,
-            web0,
-            app0,
-            cmw0,
-            db0,
+            links,
+            route,
+            node_tier,
+            req_tiers,
             requests: Slab::with_capacity(4096),
             queries: Slab::with_capacity(4096),
-            rr_web: 0,
-            rr_tomcat: 0,
-            rr_mysql: 0,
             telemetry,
             probes,
             tracer,
             next_trace: ENGINE_TRACE,
             measuring: false,
+            draining: false,
             final_nodes: Vec::new(),
             final_probes: None,
             measure_end,
         }
     }
 
-    /// The configuration this system was built from.
-    pub fn config(&self) -> &SystemConfig {
-        &self.cfg
-    }
-
-    /// Number of requests currently in flight.
-    pub fn in_flight(&self) -> usize {
-        self.requests.len()
-    }
-
     // ------------------------------------------------------------------
-    // helpers
+    // helpers shared by every tier node
     // ------------------------------------------------------------------
 
     /// Lognormal service-time jitter around `mean_ms`, in seconds.
-    fn jitter_ms(&mut self, mean_ms: f64) -> f64 {
+    pub fn jitter_ms(&mut self, mean_ms: f64) -> f64 {
         self.rng_demand
             .lognormal_mean_cv(mean_ms, self.cfg.params.demand_cv)
             / 1e3
@@ -196,12 +249,46 @@ impl System {
 
     /// One-way hop delay for a message of `bytes` (latency + gigabit
     /// serialization; per-message, uncontended).
-    fn hop(&self, bytes: u64) -> SimTime {
+    pub fn hop(&self, bytes: u64) -> SimTime {
         self.cfg.params.net_latency + SimTime::from_secs_f64(bytes as f64 / 125_000_000.0)
     }
 
+    /// Pick a replica of tier `t` for a message keyed by `key` (the query id
+    /// for hash routing; ignored for round-robin).
+    pub fn select_replica(&mut self, t: TierId, key: usize) -> usize {
+        let n = self.links[t].replicas;
+        match self.links[t].select {
+            SelectPolicy::RoundRobin => {
+                let r = self.route[t].rr % n;
+                self.route[t].rr += 1;
+                r
+            }
+            SelectPolicy::HashById => key % n,
+            SelectPolicy::LeastOutstanding => {
+                let r = self.route[t]
+                    .outstanding
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &c)| (c, i))
+                    .map(|(i, _)| i)
+                    .expect("tier has replicas");
+                self.route[t].outstanding[r] += 1;
+                r
+            }
+        }
+    }
+
+    /// Note a job leaving replica `rep` of tier `t` (no-op unless the tier
+    /// routes by least-outstanding).
+    pub fn route_departed(&mut self, t: TierId, rep: usize) {
+        if self.links[t].select == SelectPolicy::LeastOutstanding {
+            let c = &mut self.route[t].outstanding[rep];
+            *c = c.saturating_sub(1);
+        }
+    }
+
     /// Bump the node's CPU generation and schedule a fresh completion check.
-    fn reschedule_cpu(&mut self, ni: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+    pub fn reschedule_cpu(&mut self, ni: usize, now: SimTime, q: &mut EventQueue<Ev>) {
         let node = &mut self.nodes[ni];
         node.cpu_gen = node.cpu_gen.wrapping_add(1);
         if let Some(t) = node.cpu.next_completion(now) {
@@ -216,7 +303,7 @@ impl System {
     }
 
     /// Submit a CPU job and (re)arm the completion check.
-    fn cpu_submit(
+    pub fn cpu_submit(
         &mut self,
         ni: usize,
         tok: Token,
@@ -231,7 +318,7 @@ impl System {
 
     /// Keep the JVM's occupied-connection count in sync with the CPU
     /// population (in-flight request state pins heap).
-    fn sync_jvm_active(&mut self, ni: usize) {
+    pub fn sync_jvm_active(&mut self, ni: usize) {
         let node = &mut self.nodes[ni];
         if let Some(jvm) = node.jvm.as_mut() {
             jvm.set_active(node.cpu.active_jobs());
@@ -240,10 +327,10 @@ impl System {
 
     /// Push a request-level span segment; no-op for untraced requests
     /// (`trace == 0`) or when the tracer is off.
-    fn req_span(
+    pub fn req_span(
         &mut self,
         trace: TraceId,
-        tier: Tier,
+        track: &'static str,
         name: &'static str,
         start: SimTime,
         end: SimTime,
@@ -254,7 +341,7 @@ impl System {
         if let Some(tr) = self.tracer.as_mut() {
             tr.push(Span {
                 trace,
-                track: tier.server_name(),
+                track,
                 name,
                 start,
                 end,
@@ -264,7 +351,7 @@ impl System {
 
     /// Record a transient JVM allocation, triggering stop-the-world GC when
     /// the free heap is exhausted.
-    fn jvm_alloc(&mut self, ni: usize, bytes: f64, now: SimTime, q: &mut EventQueue<Ev>) {
+    pub fn jvm_alloc(&mut self, ni: usize, bytes: f64, now: SimTime, q: &mut EventQueue<Ev>) {
         let pause = {
             let node = &mut self.nodes[ni];
             let Some(jvm) = node.jvm.as_mut() else {
@@ -282,7 +369,7 @@ impl System {
         if let Some(tr) = self.tracer.as_mut() {
             tr.push(Span {
                 trace: ENGINE_TRACE,
-                track: self.nodes[ni].tier.server_name(),
+                track: self.nodes[ni].track,
                 name: ntier_trace::GC_PAUSE,
                 start: now,
                 end: now + pause,
@@ -290,11 +377,46 @@ impl System {
         }
     }
 
-    fn free_request_arm(&mut self, r: ReqId) {
+    pub fn free_request_arm(&mut self, r: ReqId) {
         let req = self.requests.get_mut(r);
         req.arms_remaining -= 1;
         if req.arms_remaining == 0 {
             self.requests.remove(r);
+        }
+    }
+
+    /// Dispatch query `qid` to the database tier `db_t`: reads go to one
+    /// replica picked by the tier's selection policy, writes broadcast to
+    /// every replica.
+    pub fn dispatch_query_to_db(
+        &mut self,
+        qid: QueryId,
+        db_t: TierId,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let db_count = self.links[db_t].replicas;
+        let hop = self.hop(300);
+        let is_write = {
+            let query = self.queries.get_mut(qid);
+            query.phase = QueryPhase::AtDb;
+            query.is_write
+        };
+        if is_write {
+            self.queries.get_mut(qid).pending_replies = db_count as u8;
+            for db in 0..db_count {
+                q.schedule(
+                    now + hop,
+                    Ev::Tier(db_t as u8, TierMsg::QueryArrive(qid, db as u16)),
+                );
+            }
+        } else {
+            self.queries.get_mut(qid).pending_replies = 1;
+            let db = self.select_replica(db_t, qid as usize) as u16;
+            q.schedule(
+                now + hop,
+                Ev::Tier(db_t as u8, TierMsg::QueryArrive(qid, db)),
+            );
         }
     }
 
@@ -303,12 +425,17 @@ impl System {
     // ------------------------------------------------------------------
 
     fn on_think_done(&mut self, s: u32, now: SimTime, q: &mut EventQueue<Ev>) {
+        if self.draining {
+            return;
+        }
         let interaction = self.sessions[s as usize].next_interaction(&self.catalog, &self.mix);
         let mut req = Request::new(s, interaction, now);
-        req.apache_idx = (self.rr_web % self.cfg.hardware.web) as u16;
-        req.tomcat_idx = (self.rr_tomcat % self.cfg.hardware.app) as u16;
-        self.rr_web += 1;
-        self.rr_tomcat += 1;
+        // Replica routing for every request-carrying tier is decided at
+        // birth, in chain order (front first).
+        for i in 0..self.req_tiers.len() {
+            let t = self.req_tiers[i];
+            req.route[t] = self.select_replica(t, s as usize) as u16;
+        }
         // Head sampling: the admit decision is made once, at the request's
         // birth, from a monotone id (slab slots are reused; trace ids never
         // are — id 0 is reserved for engine-level spans).
@@ -319,110 +446,7 @@ impl System {
             }
         }
         let r = self.requests.insert(req);
-        q.schedule(now + self.hop(512), Ev::ArriveApache(r));
-    }
-
-    // ------------------------------------------------------------------
-    // Apache
-    // ------------------------------------------------------------------
-
-    fn on_arrive_apache(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let apache_idx = {
-            let req = self.requests.get_mut(r);
-            req.t_arrive_apache = now;
-            req.phase = ReqPhase::WaitWorker;
-            req.apache_idx as usize
-        };
-        let ni = self.web0 + apache_idx;
-        let pool = self.nodes[ni].pool.as_mut().expect("apache has workers");
-        match pool.acquire(now, r as u64) {
-            resources::Acquire::Granted => self.start_apache_pre(r, now, q),
-            resources::Acquire::Enqueued { .. } => {}
-        }
-    }
-
-    fn start_apache_pre(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let demand = self.jitter_ms(self.cfg.params.apache_pre_ms);
-        let (ni, trace, t_arrive) = {
-            let req = self.requests.get_mut(r);
-            req.t_worker_acquired = now;
-            req.phase = ReqPhase::ApachePre;
-            (
-                self.web0 + req.apache_idx as usize,
-                req.trace,
-                req.t_arrive_apache,
-            )
-        };
-        self.req_span(trace, Tier::Web, ntier_trace::ACCEPT_WAIT, t_arrive, now);
-        self.cpu_submit(ni, Token::Req(r), demand, now, q);
-    }
-
-    /// Apache pre-CPU finished: forward to the Tomcat tier.
-    fn apache_forward_to_tomcat(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (apache_idx, trace, t_worker) = {
-            let req = self.requests.get_mut(r);
-            req.phase = ReqPhase::WaitTomcatThread;
-            req.t_tomcat_phase_start = now;
-            (req.apache_idx as usize, req.trace, req.t_worker_acquired)
-        };
-        self.req_span(trace, Tier::Web, ntier_trace::WORKER_PRE, t_worker, now);
-        self.probes[apache_idx].interacting += 1;
-        q.schedule(now + self.hop(512), Ev::ArriveTomcat(r));
-    }
-
-    /// Apache post-CPU finished: send the response and linger on close.
-    fn apache_finish(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (apache_idx, response_kb, trace, t_arrive, t_post) = {
-            let req = self.requests.get(r);
-            (
-                req.apache_idx as usize,
-                self.catalog.get(req.interaction).response_kb,
-                req.trace,
-                req.t_arrive_apache,
-                req.t_apache_post_start,
-            )
-        };
-        let ni = self.web0 + apache_idx;
-        self.nodes[ni].log.record(t_arrive, now);
-        self.req_span(trace, Tier::Web, ntier_trace::WORKER_POST, t_post, now);
-        self.req_span(trace, Tier::Web, ntier_trace::RESIDENCE, t_arrive, now);
-        self.requests.get_mut(r).t_apache_done = now;
-        self.probes[apache_idx].processed.incr(now);
-        q.schedule(
-            now + self.hop(response_kb as u64 * 1024),
-            Ev::ResponseToClient(r),
-        );
-        let linger = self
-            .cfg
-            .linger
-            .sample(self.cfg.workload.users, &mut self.rng_linger);
-        self.requests.get_mut(r).phase = ReqPhase::Linger;
-        q.schedule(now + linger, Ev::LingerDone(r));
-    }
-
-    fn on_linger_done(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let apache_idx = self.requests.get(r).apache_idx as usize;
-        let (trace, t_done) = {
-            let req = self.requests.get(r);
-            (req.trace, req.t_apache_done)
-        };
-        self.req_span(trace, Tier::Web, ntier_trace::LINGER_CLOSE, t_done, now);
-        // Worker busy-time probes (Fig. 7(b)/(e)).
-        {
-            let req = self.requests.get(r);
-            let probe = &mut self.probes[apache_idx];
-            let pt_total_ms = now.saturating_sub(req.t_worker_acquired).as_millis_f64();
-            probe.pt_total_sum.add(now, pt_total_ms);
-            probe.pt_total_cnt.add(now, 1.0);
-            probe.pt_tomcat_sum.add(now, req.tomcat_interact_secs * 1e3);
-            probe.pt_tomcat_cnt.add(now, 1.0);
-        }
-        let ni = self.web0 + apache_idx;
-        let pool = self.nodes[ni].pool.as_mut().expect("apache has workers");
-        if let Some(next) = pool.release(now) {
-            q.schedule_now(Ev::WorkerGranted(next as ReqId));
-        }
-        self.free_request_arm(r);
+        q.schedule(now + self.hop(512), Ev::Tier(0, TierMsg::ReqArrive(r)));
     }
 
     fn on_response_to_client(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
@@ -433,315 +457,16 @@ impl System {
         if self.measuring && now <= self.measure_end {
             self.telemetry.record(now, rt);
         }
-        let think = self.sessions[session as usize].think_time();
-        q.schedule(now + think, Ev::ThinkDone(session));
+        if !self.draining {
+            let think = self.sessions[session as usize].think_time();
+            q.schedule(now + think, Ev::ThinkDone(session));
+        }
         self.free_request_arm(r);
     }
 
     // ------------------------------------------------------------------
-    // Tomcat
+    // CPU / GC machinery
     // ------------------------------------------------------------------
-
-    fn on_arrive_tomcat(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (ni, demand_ms) = {
-            let req = self.requests.get_mut(r);
-            req.t_arrive_tomcat = now;
-            let inter = self.catalog.get(req.interaction);
-            (
-                self.app0 + req.tomcat_idx as usize,
-                inter.tomcat_ms * self.cfg.params.tomcat_scale,
-            )
-        };
-        let demand = self.jitter_ms(demand_ms);
-        self.requests.get_mut(r).tomcat_demand_secs = demand;
-        let pool = self.nodes[ni].pool.as_mut().expect("tomcat has threads");
-        match pool.acquire(now, r as u64) {
-            resources::Acquire::Granted => self.start_tomcat_slice(r, now, q),
-            resources::Acquire::Enqueued { .. } => {}
-        }
-    }
-
-    /// Run the next Tomcat CPU slice (slices interleave with queries).
-    fn start_tomcat_slice(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (ni, slice_demand, slice_alloc, first_slice) = {
-            let req = self.requests.get_mut(r);
-            // Only the first slice enters through the thread-pool queue;
-            // later slices resume after a query with the thread still held.
-            let first_slice = req.phase == ReqPhase::WaitTomcatThread;
-            if first_slice {
-                req.t_thread_granted = now;
-            }
-            req.phase = ReqPhase::TomcatCpu;
-            let inter = self.catalog.get(req.interaction);
-            let slices = (inter.queries + 1) as f64;
-            (
-                self.app0 + req.tomcat_idx as usize,
-                req.tomcat_demand_secs / slices,
-                self.cfg.params.tomcat_alloc_per_req / slices,
-                first_slice,
-            )
-        };
-        if first_slice {
-            let (trace, t_arrive) = {
-                let req = self.requests.get(r);
-                (req.trace, req.t_arrive_tomcat)
-            };
-            self.req_span(trace, Tier::App, ntier_trace::THREAD_WAIT, t_arrive, now);
-        }
-        self.jvm_alloc(ni, slice_alloc, now, q);
-        self.cpu_submit(ni, Token::Req(r), slice_demand, now, q);
-    }
-
-    /// A Tomcat CPU slice completed: issue the next query or finish.
-    fn after_tomcat_slice(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (ni, more_queries) = {
-            let req = self.requests.get(r);
-            let inter = self.catalog.get(req.interaction);
-            (
-                self.app0 + req.tomcat_idx as usize,
-                req.queries_done < inter.queries,
-            )
-        };
-        if more_queries {
-            {
-                let req = self.requests.get_mut(r);
-                req.phase = ReqPhase::WaitDbConn;
-                req.t_conn_wait_start = now;
-            }
-            let pool = self.nodes[ni].conn_pool.as_mut().expect("tomcat has conns");
-            match pool.acquire(now, r as u64) {
-                resources::Acquire::Granted => self.issue_query(r, now, q),
-                resources::Acquire::Enqueued { .. } => {}
-            }
-        } else {
-            // All queries done: respond to Apache and release the thread.
-            let (trace, t_arrive, t_granted) = {
-                let req = self.requests.get(r);
-                (req.trace, req.t_arrive_tomcat, req.t_thread_granted)
-            };
-            self.nodes[ni].log.record(t_arrive, now);
-            self.req_span(trace, Tier::App, ntier_trace::SERVICE, t_granted, now);
-            self.req_span(trace, Tier::App, ntier_trace::RESIDENCE, t_arrive, now);
-            let pool = self.nodes[ni].pool.as_mut().expect("tomcat has threads");
-            if let Some(next) = pool.release(now) {
-                q.schedule_now(Ev::TomcatThreadGranted(next as ReqId));
-            }
-            q.schedule(now + self.hop(2048), Ev::ResponseToApache(r));
-        }
-    }
-
-    fn issue_query(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let is_write = {
-            let req = self.requests.get(r);
-            let inter = self.catalog.get(req.interaction);
-            req.queries_done < inter.write_queries
-        };
-        let (trace, t_wait) = {
-            let req = self.requests.get_mut(r);
-            req.phase = ReqPhase::QueryInFlight;
-            req.t_query_issued = now;
-            (req.trace, req.t_conn_wait_start)
-        };
-        self.req_span(trace, Tier::App, ntier_trace::CONN_WAIT, t_wait, now);
-        let qid = self.queries.insert(Query::new(r, is_write, SimTime::ZERO));
-        q.schedule(now + self.hop(300), Ev::ArriveCjdbc(qid));
-    }
-
-    fn on_query_done(&mut self, qid: QueryId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let r = self.queries.remove(qid).req;
-        let (ni, trace, t_issued) = {
-            let req = self.requests.get_mut(r);
-            req.queries_done += 1;
-            (
-                self.app0 + req.tomcat_idx as usize,
-                req.trace,
-                req.t_query_issued,
-            )
-        };
-        // The fan-out child as the Tomcat thread sees it: DB connection held
-        // from issue to reply consumption (the paper's `t1'`/`t2'` periods).
-        self.req_span(trace, Tier::App, ntier_trace::QUERY, t_issued, now);
-        let pool = self.nodes[ni].conn_pool.as_mut().expect("tomcat has conns");
-        if let Some(next) = pool.release(now) {
-            q.schedule_now(Ev::DbConnGranted(next as ReqId));
-        }
-        self.start_tomcat_slice(r, now, q);
-    }
-
-    fn on_response_to_apache(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (ni, demand_ms, apache_idx, trace, t_interact) = {
-            let req = self.requests.get_mut(r);
-            req.tomcat_interact_secs += now.saturating_sub(req.t_tomcat_phase_start).as_secs_f64();
-            req.phase = ReqPhase::ApachePost;
-            req.t_apache_post_start = now;
-            let inter = self.catalog.get(req.interaction);
-            (
-                self.web0 + req.apache_idx as usize,
-                self.cfg.params.apache_post_ms
-                    + inter.static_requests as f64 * self.cfg.params.static_ms,
-                req.apache_idx as usize,
-                req.trace,
-                req.t_tomcat_phase_start,
-            )
-        };
-        self.req_span(
-            trace,
-            Tier::Web,
-            ntier_trace::TOMCAT_INTERACT,
-            t_interact,
-            now,
-        );
-        self.probes[apache_idx].interacting -= 1;
-        let demand = self.jitter_ms(demand_ms);
-        self.cpu_submit(ni, Token::Req(r), demand, now, q);
-    }
-
-    // ------------------------------------------------------------------
-    // C-JDBC
-    // ------------------------------------------------------------------
-
-    fn on_arrive_cjdbc(&mut self, qid: QueryId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let cmw = (qid as usize) % self.cfg.hardware.cmw;
-        {
-            let query = self.queries.get_mut(qid);
-            query.t_enter_cjdbc = now;
-            query.cjdbc_idx = cmw as u16;
-            query.phase = QueryPhase::CjdbcPre;
-        }
-        let ni = self.cmw0 + cmw;
-        self.jvm_alloc(ni, self.cfg.params.cjdbc_alloc_per_query, now, q);
-        let demand = self.jitter_ms(self.cfg.params.cjdbc_ms_per_query / 2.0);
-        self.cpu_submit(ni, Token::Query(qid), demand, now, q);
-    }
-
-    /// C-JDBC routing CPU done: dispatch to MySQL (reads load-balance,
-    /// writes broadcast to every replica).
-    fn cjdbc_dispatch(&mut self, qid: QueryId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let db_count = self.cfg.hardware.db;
-        let hop = self.hop(300);
-        let query = self.queries.get_mut(qid);
-        query.phase = QueryPhase::AtMysql;
-        if query.is_write {
-            query.pending_replies = db_count as u8;
-            for db in 0..db_count {
-                q.schedule(now + hop, Ev::MysqlArrive(qid, db as u16));
-            }
-        } else {
-            query.pending_replies = 1;
-            let db = (self.rr_mysql % db_count) as u16;
-            self.rr_mysql += 1;
-            q.schedule(now + hop, Ev::MysqlArrive(qid, db));
-        }
-    }
-
-    fn on_mysql_reply(&mut self, qid: QueryId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (done, ni) = {
-            let query = self.queries.get_mut(qid);
-            query.pending_replies -= 1;
-            (
-                query.pending_replies == 0,
-                self.cmw0 + query.cjdbc_idx as usize,
-            )
-        };
-        if done {
-            self.queries.get_mut(qid).phase = QueryPhase::CjdbcPost;
-            let demand = self.jitter_ms(self.cfg.params.cjdbc_ms_per_query / 2.0);
-            self.cpu_submit(ni, Token::Query(qid), demand, now, q);
-        }
-    }
-
-    /// C-JDBC merge CPU done: reply to Tomcat.
-    fn cjdbc_reply(&mut self, qid: QueryId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (ni, trace, t_enter) = {
-            let query = self.queries.get(qid);
-            (
-                self.cmw0 + query.cjdbc_idx as usize,
-                self.requests.get(query.req).trace,
-                query.t_enter_cjdbc,
-            )
-        };
-        self.nodes[ni].log.record(t_enter, now);
-        self.req_span(trace, Tier::Cmw, ntier_trace::RESIDENCE, t_enter, now);
-        // The result set travels back and is consumed by the JDBC driver
-        // while the Tomcat thread and DB connection stay occupied.
-        q.schedule(
-            now + self.hop(2048) + self.cfg.params.query_result_hold,
-            Ev::QueryDone(qid),
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // MySQL
-    // ------------------------------------------------------------------
-
-    fn on_mysql_arrive(&mut self, qid: QueryId, db: u16, now: SimTime, q: &mut EventQueue<Ev>) {
-        let demand_ms = {
-            let query = self.queries.get_mut(qid);
-            query.t_enter_mysql = now;
-            let req = self.requests.get(query.req);
-            self.catalog.get(req.interaction).mysql_ms_per_query * self.cfg.params.mysql_scale
-        };
-        let demand = self.jitter_ms(demand_ms.max(0.05));
-        let ni = self.db0 + db as usize;
-        self.cpu_submit(ni, Token::Query(qid), demand, now, q);
-    }
-
-    /// MySQL CPU done: maybe hit the disk, then reply.
-    fn mysql_after_cpu(&mut self, qid: QueryId, db: u16, now: SimTime, q: &mut EventQueue<Ev>) {
-        if self.rng_route.chance(self.cfg.params.disk_miss_prob) {
-            let ni = self.db0 + db as usize;
-            let disk = self.nodes[ni].disk.as_mut().expect("mysql has a disk");
-            let done = disk.submit(now, SimTime::from_millis_f64(self.cfg.params.disk_ms));
-            q.schedule(done, Ev::MysqlDiskDone(qid, db));
-        } else {
-            self.mysql_finish(qid, db, now, q);
-        }
-    }
-
-    fn mysql_finish(&mut self, qid: QueryId, db: u16, now: SimTime, q: &mut EventQueue<Ev>) {
-        let ni = self.db0 + db as usize;
-        let (trace, t_enter) = {
-            let query = self.queries.get(qid);
-            (self.requests.get(query.req).trace, query.t_enter_mysql)
-        };
-        self.nodes[ni].log.record(t_enter, now);
-        self.req_span(trace, Tier::Db, ntier_trace::RESIDENCE, t_enter, now);
-        q.schedule(now + self.hop(2048), Ev::MysqlReply(qid));
-    }
-
-    // ------------------------------------------------------------------
-    // CPU completion dispatch
-    // ------------------------------------------------------------------
-
-    fn on_cpu_check(&mut self, ni: usize, gen: u32, now: SimTime, q: &mut EventQueue<Ev>) {
-        if self.nodes[ni].cpu_gen != gen {
-            return; // stale
-        }
-        let done = self.nodes[ni].cpu.pop_due(now);
-        self.sync_jvm_active(ni);
-        let tier = self.nodes[ni].tier;
-        for job in done {
-            match (tier, Token::decode(job)) {
-                (Tier::Web, Token::Req(r)) => match self.requests.get(r).phase {
-                    ReqPhase::ApachePre => self.apache_forward_to_tomcat(r, now, q),
-                    ReqPhase::ApachePost => self.apache_finish(r, now, q),
-                    other => unreachable!("web CPU done in phase {other:?}"),
-                },
-                (Tier::App, Token::Req(r)) => self.after_tomcat_slice(r, now, q),
-                (Tier::Cmw, Token::Query(qid)) => match self.queries.get(qid).phase {
-                    QueryPhase::CjdbcPre => self.cjdbc_dispatch(qid, now, q),
-                    QueryPhase::CjdbcPost => self.cjdbc_reply(qid, now, q),
-                    other => unreachable!("cmw CPU done in phase {other:?}"),
-                },
-                (Tier::Db, Token::Query(qid)) => {
-                    let db = (ni - self.db0) as u16;
-                    self.mysql_after_cpu(qid, db, now, q);
-                }
-                (tier, tok) => unreachable!("token {tok:?} on tier {tier:?}"),
-            }
-        }
-        self.reschedule_cpu(ni, now, q);
-    }
 
     fn on_gc_end(&mut self, ni: usize, now: SimTime, q: &mut EventQueue<Ev>) {
         let node = &mut self.nodes[ni];
@@ -761,8 +486,9 @@ impl System {
         for ni in 0..self.nodes.len() {
             self.nodes[ni].sample(now);
         }
+        let front_base = self.links[0].base;
         for (i, probe) in self.probes.iter_mut().enumerate() {
-            let pool = self.nodes[self.web0 + i].pool.as_ref().expect("workers");
+            let pool = self.nodes[front_base + i].pool.as_ref().expect("workers");
             probe.threads_active.push(pool.in_use() as f64);
             probe.threads_tomcat.push(probe.interacting as f64);
         }
@@ -850,49 +576,82 @@ impl System {
     }
 }
 
+/// The complete n-tier system state (implements [`Model`]): the shared
+/// [`Ctx`] plus one tier node per chain position.
+pub struct System {
+    ctx: Ctx,
+    tiers: Vec<Box<dyn TierNode>>,
+}
+
+impl System {
+    /// Build a system from a configuration (no events scheduled yet). The
+    /// tier chain comes from [`SystemConfig::effective_topology`].
+    pub fn new(cfg: SystemConfig) -> Self {
+        let ctx = Ctx::new(cfg);
+        let tiers = ctx
+            .links
+            .iter()
+            .enumerate()
+            .map(|(t, l)| make_tier(l.role, t))
+            .collect();
+        System { ctx, tiers }
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.ctx.cfg
+    }
+
+    /// Number of requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.ctx.requests.len()
+    }
+
+    fn on_cpu_check(&mut self, ni: usize, gen: u32, now: SimTime, q: &mut EventQueue<Ev>) {
+        if self.ctx.nodes[ni].cpu_gen != gen {
+            return; // stale
+        }
+        let done = self.ctx.nodes[ni].cpu.pop_due(now);
+        self.ctx.sync_jvm_active(ni);
+        let (t, _) = self.ctx.node_tier[ni];
+        for job in done {
+            self.tiers[t].cpu_done(Token::decode(job), ni, now, &mut self.ctx, q);
+        }
+        self.ctx.reschedule_cpu(ni, now, q);
+    }
+}
+
 impl Model for System {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, q: &mut EventQueue<Ev>) {
         match event {
-            Ev::ThinkDone(s) => self.on_think_done(s, now, q),
-            Ev::ArriveApache(r) => self.on_arrive_apache(r, now, q),
-            Ev::WorkerGranted(r) => self.start_apache_pre(r, now, q),
-            Ev::ArriveTomcat(r) => self.on_arrive_tomcat(r, now, q),
-            Ev::TomcatThreadGranted(r) => self.start_tomcat_slice(r, now, q),
-            Ev::DbConnGranted(r) => self.issue_query(r, now, q),
-            Ev::ArriveCjdbc(qid) => self.on_arrive_cjdbc(qid, now, q),
-            Ev::MysqlArrive(qid, db) => self.on_mysql_arrive(qid, db, now, q),
-            Ev::MysqlDiskDone(qid, db) => self.mysql_finish(qid, db, now, q),
-            Ev::MysqlReply(qid) => self.on_mysql_reply(qid, now, q),
-            Ev::QueryDone(qid) => self.on_query_done(qid, now, q),
-            Ev::ResponseToApache(r) => self.on_response_to_apache(r, now, q),
-            Ev::ResponseToClient(r) => self.on_response_to_client(r, now, q),
-            Ev::LingerDone(r) => self.on_linger_done(r, now, q),
+            Ev::ThinkDone(s) => self.ctx.on_think_done(s, now, q),
+            Ev::Tier(t, msg) => self.tiers[t as usize].handle(msg, now, &mut self.ctx, q),
+            Ev::ResponseToClient(r) => self.ctx.on_response_to_client(r, now, q),
             Ev::CpuCheck { node, gen } => self.on_cpu_check(node as usize, gen, now, q),
-            Ev::GcEnd { node } => self.on_gc_end(node as usize, now, q),
-            Ev::Sample => self.on_sample(now, q),
-            Ev::BeginMeasure => self.on_begin_measure(now, q),
-            Ev::EndMeasure => self.on_end_measure(now),
+            Ev::GcEnd { node } => self.ctx.on_gc_end(node as usize, now, q),
+            Ev::Sample => self.ctx.on_sample(now, q),
+            Ev::BeginMeasure => self.ctx.on_begin_measure(now, q),
+            Ev::EndMeasure => self.ctx.on_end_measure(now),
         }
     }
 
     fn event_label(event: &Ev) -> &'static str {
         match event {
             Ev::ThinkDone(_) => "think-done",
-            Ev::ArriveApache(_) => "arrive-apache",
-            Ev::WorkerGranted(_) => "worker-granted",
-            Ev::ArriveTomcat(_) => "arrive-tomcat",
-            Ev::TomcatThreadGranted(_) => "tomcat-thread-granted",
-            Ev::DbConnGranted(_) => "db-conn-granted",
-            Ev::ArriveCjdbc(_) => "arrive-cjdbc",
-            Ev::MysqlArrive(..) => "mysql-arrive",
-            Ev::MysqlDiskDone(..) => "mysql-disk-done",
-            Ev::MysqlReply(_) => "mysql-reply",
-            Ev::QueryDone(_) => "query-done",
-            Ev::ResponseToApache(_) => "response-to-apache",
+            Ev::Tier(_, msg) => match msg {
+                TierMsg::ReqArrive(_) => "req-arrive",
+                TierMsg::PoolGranted(_) => "pool-granted",
+                TierMsg::ConnGranted(_) => "conn-granted",
+                TierMsg::ReqReply(_) => "req-reply",
+                TierMsg::LingerDone(_) => "linger-done",
+                TierMsg::QueryArrive(..) => "query-arrive",
+                TierMsg::DiskDone(..) => "disk-done",
+                TierMsg::QueryReply(_) => "query-reply",
+                TierMsg::QueryDone(_) => "query-done",
+            },
             Ev::ResponseToClient(_) => "response-to-client",
-            Ev::LingerDone(_) => "linger-done",
             Ev::CpuCheck { .. } => "cpu-check",
             Ev::GcEnd { .. } => "gc-end",
             Ev::Sample => "sample",
@@ -928,6 +687,46 @@ impl RunTrace {
     }
 }
 
+/// Pool balance and conservation counters of one server at drain.
+#[derive(Debug, Clone)]
+pub struct NodeDrain {
+    /// Display name, e.g. `Tomcat-0`.
+    pub name: String,
+    /// Jobs admitted over the whole trial.
+    pub arrivals: u64,
+    /// Jobs that finished and left over the whole trial.
+    pub departures: u64,
+    /// Thread-pool units still held at drain.
+    pub pool_in_use: usize,
+    /// Thread-pool acquisitions still queued at drain.
+    pub pool_waiting: usize,
+    /// Connection-pool units still held at drain.
+    pub conn_in_use: usize,
+    /// Connection-pool acquisitions still queued at drain.
+    pub conn_waiting: usize,
+}
+
+/// Conservation snapshot taken after the event queue fully drained.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Requests still in flight (must be 0 after a clean drain).
+    pub in_flight_requests: usize,
+    /// Queries still in flight (must be 0 after a clean drain).
+    pub in_flight_queries: usize,
+    /// Per-server counters, front tier first.
+    pub nodes: Vec<NodeDrain>,
+}
+
+/// Heap capacity estimate for a closed-loop run with `users` sessions.
+///
+/// Observed high-water marks sit a little above the session population
+/// (each session has at most one think/request event pending, plus CPU
+/// checks, GC ends, and sampling); `2×users` rounds up generously while
+/// staying far below the total events processed.
+fn event_capacity_hint(users: u32) -> usize {
+    (users as usize).saturating_mul(2).max(256)
+}
+
 /// Run one full trial and return its observables.
 pub fn run_system(cfg: SystemConfig) -> RunOutput {
     run_system_traced(cfg).0
@@ -946,7 +745,12 @@ pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
     let traced = cfg.trace.enabled();
     let mut start_rng = RunRng::new(cfg.seed).fork("session-starts");
 
-    let mut engine = Engine::new(System::new(cfg));
+    // Pre-size the event heap for the closed-loop population: each session
+    // keeps roughly one event in flight, plus per-node CPU checks, samples,
+    // and the measurement markers. Capacity only avoids reallocation; it
+    // never changes pop order, so results are bit-identical either way.
+    let capacity = event_capacity_hint(users);
+    let mut engine = Engine::with_capacity(System::new(cfg), capacity);
     if traced {
         engine.enable_telemetry();
     }
@@ -960,12 +764,12 @@ pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
     let events = engine.events_processed();
     let stats = engine.stats();
     let mut system = engine.into_model();
-    let tracer = system.tracer.take();
+    let tracer = system.ctx.tracer.take();
     let (admitted, rejected, overwritten) = tracer
         .as_ref()
         .map(|t| (t.admitted(), t.rejected(), t.overwritten()))
         .unwrap_or((0, 0, 0));
-    let out = system.into_output(events);
+    let out = system.ctx.into_output(events);
     let trace = RunTrace {
         spans: tracer.map(Tracer::into_spans).unwrap_or_default(),
         admitted,
@@ -977,10 +781,60 @@ pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
     (out, trace)
 }
 
+/// Run one full trial, then freeze the client think loop and drain every
+/// in-flight request to completion. Returns the run summary plus a
+/// conservation snapshot ([`DrainReport`]) taken on the empty system:
+/// admitted == departed per tier node and every pool back to balance.
+pub fn run_system_to_drain(cfg: SystemConfig) -> (RunOutput, DrainReport) {
+    let ramp = cfg.workload.ramp_up;
+    let users = cfg.workload.users;
+    let measure_start = cfg.workload.measure_start();
+    let measure_end = cfg.workload.measure_end();
+    let trial_end = cfg.workload.trial_end();
+    let mut start_rng = RunRng::new(cfg.seed).fork("session-starts");
+
+    let capacity = event_capacity_hint(users);
+    let mut engine = Engine::with_capacity(System::new(cfg), capacity);
+    for s in 0..users {
+        let at = SimTime::from_secs_f64(start_rng.uniform(0.0, ramp.as_secs_f64().max(1e-9)));
+        engine.schedule(at, Ev::ThinkDone(s));
+    }
+    engine.schedule(measure_start, Ev::BeginMeasure);
+    engine.schedule(measure_end, Ev::EndMeasure);
+    engine.run_until(trial_end);
+    // Freeze the closed loop: in-flight requests complete, nothing new
+    // starts, so the queue runs dry.
+    engine.model_mut().ctx.draining = true;
+    engine.run_to_quiescence(100_000_000);
+    let events = engine.events_processed();
+    let system = engine.into_model();
+    let report = DrainReport {
+        in_flight_requests: system.ctx.requests.len(),
+        in_flight_queries: system.ctx.queries.len(),
+        nodes: system
+            .ctx
+            .nodes
+            .iter()
+            .map(|n| NodeDrain {
+                name: n.name(),
+                arrivals: n.arrivals,
+                departures: n.departures,
+                pool_in_use: n.pool.as_ref().map_or(0, |p| p.in_use()),
+                pool_waiting: n.pool.as_ref().map_or(0, |p| p.waiting()),
+                conn_in_use: n.conn_pool.as_ref().map_or(0, |p| p.in_use()),
+                conn_waiting: n.conn_pool.as_ref().map_or(0, |p| p.waiting()),
+            })
+            .collect(),
+    };
+    let out = system.ctx.into_output(events);
+    (out, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::{HardwareConfig, SoftAllocation};
+    use crate::topology::Topology;
     use workload::WorkloadConfig;
 
     fn quick_cfg(users: u32) -> SystemConfig {
@@ -1118,5 +972,86 @@ mod tests {
         // Drain: no new think events fire after trial end... they do (closed
         // loop), so instead verify in-flight population is bounded by users.
         assert!(engine.model().in_flight() <= 60);
+    }
+
+    #[test]
+    fn deeper_replication_runs_end_to_end() {
+        // 1/8/1/8 — not a paper config; pure topology data.
+        let mut cfg = SystemConfig::new(
+            HardwareConfig::new(1, 8, 1, 8),
+            SoftAllocation::rule_of_thumb(),
+            120,
+        );
+        cfg.workload = WorkloadConfig::quick(120);
+        let out = run_system(cfg);
+        assert_eq!(out.nodes.len(), 18);
+        assert!(out.completed > 100);
+        assert_eq!(out.tier_nodes(Tier::App).len(), 8);
+        assert_eq!(out.tier_nodes(Tier::Db).len(), 8);
+    }
+
+    #[test]
+    fn three_tier_chain_runs_end_to_end() {
+        let soft = SoftAllocation::rule_of_thumb();
+        let mut cfg = SystemConfig::new(HardwareConfig::one_two_one_two(), soft, 80);
+        cfg.workload = WorkloadConfig::quick(80);
+        let cfg = cfg.with_topology(Topology::three_tier(
+            1,
+            2,
+            2,
+            soft,
+            jvm_gc::GcConfig::jdk6_server(),
+        ));
+        let out = run_system(cfg);
+        assert_eq!(out.nodes.len(), 5); // 1 + 2 + 2, no C-JDBC
+        assert!(out.completed > 80, "completed={}", out.completed);
+        assert!(out.tier_nodes(Tier::Cmw).is_empty());
+        // The app tier still issued queries and the DBs answered them.
+        let db_total: u64 = out.tier_nodes(Tier::Db).iter().map(|n| n.completions).sum();
+        assert!(db_total > 0);
+        assert_eq!(out.label, "1/2/2(400-150-60)@80");
+    }
+
+    #[test]
+    fn drain_leaves_no_requests_in_flight() {
+        let (out, drain) = run_system_to_drain(quick_cfg(60));
+        assert!(out.completed > 0);
+        assert_eq!(drain.in_flight_requests, 0);
+        assert_eq!(drain.in_flight_queries, 0);
+        for n in &drain.nodes {
+            assert_eq!(n.arrivals, n.departures, "{} leaked jobs", n.name);
+            assert_eq!(
+                n.pool_in_use + n.pool_waiting,
+                0,
+                "{} pool unbalanced",
+                n.name
+            );
+            assert_eq!(
+                n.conn_in_use + n.conn_waiting,
+                0,
+                "{} conns unbalanced",
+                n.name
+            );
+        }
+    }
+
+    #[test]
+    fn least_outstanding_policy_runs() {
+        use crate::topology::SelectPolicy;
+        let mut cfg = quick_cfg(60);
+        let mut topo = cfg.effective_topology();
+        topo.tiers[1] = topo.tiers[1]
+            .clone()
+            .with_select(SelectPolicy::LeastOutstanding);
+        topo.tiers[3] = topo.tiers[3]
+            .clone()
+            .with_select(SelectPolicy::LeastOutstanding);
+        cfg.topology = Some(topo);
+        let out = run_system(cfg);
+        assert!(out.completed > 60);
+        // Both app replicas saw work.
+        for n in out.tier_nodes(Tier::App) {
+            assert!(n.completions > 0, "{} idle", n.name);
+        }
     }
 }

@@ -1,0 +1,643 @@
+//! Composable tier nodes: the per-tier behaviour behind [`TierNode`].
+//!
+//! Each chain position of a [`crate::topology::Topology`] is realised by one
+//! stateless node object (all mutable state lives in the shared
+//! [`Ctx`](crate::system::Ctx) — the nodes only know *which* tier id they
+//! are). The dispatcher in `system.rs` routes `Ev::Tier(id, msg)` to
+//! `tiers[id].handle(..)` and CPU completions to `tiers[id].cpu_done(..)`;
+//! everything tier-specific — admission, soft-pool acquire/release, service
+//! demand, downstream fan-out and the reply path — is here.
+//!
+//! Adding a new tier role means implementing this trait and teaching
+//! [`make_tier`] about the role; the event alphabet, dispatcher and runner
+//! stay untouched.
+
+use crate::ids::{QueryId, ReqId, Tier, Token};
+use crate::request::{Query, QueryPhase, ReqPhase};
+use crate::system::{Ctx, Ev, TierMsg};
+use crate::topology::TierId;
+use simcore::{EventQueue, SimTime};
+
+/// One position in the tier chain: consumes the typed messages addressed to
+/// it and reacts to its servers' CPU completions.
+pub(crate) trait TierNode {
+    /// Handle a message addressed to this tier.
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>);
+
+    /// A CPU job finished on node `ni` (one of this tier's replicas).
+    fn cpu_done(&self, tok: Token, ni: usize, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>);
+}
+
+/// Instantiate the node implementation for a tier role at chain position
+/// `id`.
+pub(crate) fn make_tier(role: Tier, id: TierId) -> Box<dyn TierNode> {
+    match role {
+        Tier::Web => Box::new(WebNode { id }),
+        Tier::App => Box::new(AppNode { id }),
+        Tier::Cmw => Box::new(CmwNode { id }),
+        Tier::Db => Box::new(DbNode { id }),
+    }
+}
+
+// ----------------------------------------------------------------------
+// front (web) tier — Apache in the paper's testbed
+// ----------------------------------------------------------------------
+
+/// Front tier: worker-pool admission, pre/post processing CPU, lingering
+/// close.
+struct WebNode {
+    id: TierId,
+}
+
+impl WebNode {
+    fn req_arrive(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let rep = {
+            let req = ctx.requests.get_mut(r);
+            req.t_arrive_front = now;
+            req.phase = ReqPhase::WaitWorker;
+            req.route[self.id] as usize
+        };
+        let ni = ctx.links[self.id].base + rep;
+        ctx.nodes[ni].arrivals += 1;
+        let pool = ctx.nodes[ni].pool.as_mut().expect("front tier has workers");
+        match pool.acquire(now, r as u64) {
+            resources::Acquire::Granted => self.start_pre(r, now, ctx, q),
+            resources::Acquire::Enqueued { .. } => {}
+        }
+    }
+
+    fn start_pre(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let demand = ctx.jitter_ms(ctx.cfg.params.apache_pre_ms);
+        let (ni, trace, t_arrive) = {
+            let req = ctx.requests.get_mut(r);
+            req.t_worker_acquired = now;
+            req.phase = ReqPhase::FrontPre;
+            (
+                ctx.links[self.id].base + req.route[self.id] as usize,
+                req.trace,
+                req.t_arrive_front,
+            )
+        };
+        let track = ctx.links[self.id].name;
+        ctx.req_span(trace, track, ntier_trace::ACCEPT_WAIT, t_arrive, now);
+        ctx.cpu_submit(ni, Token::Req(r), demand, now, q);
+    }
+
+    /// Pre-CPU finished: forward to the downstream (app) tier.
+    fn forward_downstream(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let (rep, trace, t_worker) = {
+            let req = ctx.requests.get_mut(r);
+            req.phase = ReqPhase::WaitAppThread;
+            req.t_backend_start = now;
+            (
+                req.route[self.id] as usize,
+                req.trace,
+                req.t_worker_acquired,
+            )
+        };
+        let track = ctx.links[self.id].name;
+        ctx.req_span(trace, track, ntier_trace::WORKER_PRE, t_worker, now);
+        ctx.probes[rep].interacting += 1;
+        let down = ctx.links[self.id]
+            .down
+            .expect("front tier has a downstream");
+        q.schedule(
+            now + ctx.hop(512),
+            Ev::Tier(down as u8, TierMsg::ReqArrive(r)),
+        );
+    }
+
+    /// Post-CPU finished: send the response and linger on close.
+    fn finish(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let (rep, response_kb, trace, t_arrive, t_post) = {
+            let req = ctx.requests.get(r);
+            (
+                req.route[self.id] as usize,
+                ctx.catalog.get(req.interaction).response_kb,
+                req.trace,
+                req.t_arrive_front,
+                req.t_front_post_start,
+            )
+        };
+        let ni = ctx.links[self.id].base + rep;
+        ctx.nodes[ni].log.record(t_arrive, now);
+        let track = ctx.links[self.id].name;
+        ctx.req_span(trace, track, ntier_trace::WORKER_POST, t_post, now);
+        ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_arrive, now);
+        ctx.requests.get_mut(r).t_front_done = now;
+        ctx.probes[rep].processed.incr(now);
+        q.schedule(
+            now + ctx.hop(response_kb as u64 * 1024),
+            Ev::ResponseToClient(r),
+        );
+        let linger = if ctx.links[self.id].linger {
+            ctx.cfg
+                .linger
+                .sample(ctx.cfg.workload.users, &mut ctx.rng_linger)
+        } else {
+            SimTime::ZERO
+        };
+        ctx.requests.get_mut(r).phase = ReqPhase::Linger;
+        q.schedule(
+            now + linger,
+            Ev::Tier(self.id as u8, TierMsg::LingerDone(r)),
+        );
+    }
+
+    fn linger_done(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let rep = ctx.requests.get(r).route[self.id] as usize;
+        let (trace, t_done) = {
+            let req = ctx.requests.get(r);
+            (req.trace, req.t_front_done)
+        };
+        let track = ctx.links[self.id].name;
+        ctx.req_span(trace, track, ntier_trace::LINGER_CLOSE, t_done, now);
+        // Worker busy-time probes (Fig. 7(b)/(e)).
+        {
+            let req = ctx.requests.get(r);
+            let probe = &mut ctx.probes[rep];
+            let pt_total_ms = now.saturating_sub(req.t_worker_acquired).as_millis_f64();
+            probe.pt_total_sum.add(now, pt_total_ms);
+            probe.pt_total_cnt.add(now, 1.0);
+            probe
+                .pt_tomcat_sum
+                .add(now, req.backend_interact_secs * 1e3);
+            probe.pt_tomcat_cnt.add(now, 1.0);
+        }
+        let ni = ctx.links[self.id].base + rep;
+        let pool = ctx.nodes[ni].pool.as_mut().expect("front tier has workers");
+        if let Some(next) = pool.release(now) {
+            q.schedule_now(Ev::Tier(self.id as u8, TierMsg::PoolGranted(next as ReqId)));
+        }
+        ctx.nodes[ni].departures += 1;
+        ctx.route_departed(self.id, rep);
+        ctx.free_request_arm(r);
+    }
+
+    /// The downstream tier's response arrived: run post-processing CPU.
+    fn req_reply(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let (ni, demand_ms, rep, trace, t_interact) = {
+            let req = ctx.requests.get_mut(r);
+            req.backend_interact_secs += now.saturating_sub(req.t_backend_start).as_secs_f64();
+            req.phase = ReqPhase::FrontPost;
+            req.t_front_post_start = now;
+            let inter = ctx.catalog.get(req.interaction);
+            (
+                ctx.links[self.id].base + req.route[self.id] as usize,
+                ctx.cfg.params.apache_post_ms
+                    + inter.static_requests as f64 * ctx.cfg.params.static_ms,
+                req.route[self.id] as usize,
+                req.trace,
+                req.t_backend_start,
+            )
+        };
+        let track = ctx.links[self.id].name;
+        ctx.req_span(trace, track, ntier_trace::TOMCAT_INTERACT, t_interact, now);
+        ctx.probes[rep].interacting -= 1;
+        let demand = ctx.jitter_ms(demand_ms);
+        ctx.cpu_submit(ni, Token::Req(r), demand, now, q);
+    }
+}
+
+impl TierNode for WebNode {
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        match msg {
+            TierMsg::ReqArrive(r) => self.req_arrive(r, now, ctx, q),
+            TierMsg::PoolGranted(r) => self.start_pre(r, now, ctx, q),
+            TierMsg::ReqReply(r) => self.req_reply(r, now, ctx, q),
+            TierMsg::LingerDone(r) => self.linger_done(r, now, ctx, q),
+            other => unreachable!("web tier got {other:?}"),
+        }
+    }
+
+    fn cpu_done(
+        &self,
+        tok: Token,
+        _ni: usize,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let Token::Req(r) = tok else {
+            unreachable!("token {tok:?} on web tier")
+        };
+        match ctx.requests.get(r).phase {
+            ReqPhase::FrontPre => self.forward_downstream(r, now, ctx, q),
+            ReqPhase::FrontPost => self.finish(r, now, ctx, q),
+            other => unreachable!("web CPU done in phase {other:?}"),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// application tier — Tomcat in the paper's testbed
+// ----------------------------------------------------------------------
+
+/// Application tier: thread-pool admission, CPU slices interleaved with
+/// queries issued through a connection pool.
+struct AppNode {
+    id: TierId,
+}
+
+impl AppNode {
+    fn req_arrive(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let (ni, demand_ms) = {
+            let req = ctx.requests.get_mut(r);
+            req.t_arrive_app = now;
+            let inter = ctx.catalog.get(req.interaction);
+            (
+                ctx.links[self.id].base + req.route[self.id] as usize,
+                inter.tomcat_ms * ctx.cfg.params.tomcat_scale,
+            )
+        };
+        let demand = ctx.jitter_ms(demand_ms);
+        ctx.requests.get_mut(r).app_demand_secs = demand;
+        ctx.nodes[ni].arrivals += 1;
+        let pool = ctx.nodes[ni].pool.as_mut().expect("app tier has threads");
+        match pool.acquire(now, r as u64) {
+            resources::Acquire::Granted => self.start_slice(r, now, ctx, q),
+            resources::Acquire::Enqueued { .. } => {}
+        }
+    }
+
+    /// Run the next CPU slice (slices interleave with queries).
+    fn start_slice(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let (ni, slice_demand, slice_alloc, first_slice) = {
+            let req = ctx.requests.get_mut(r);
+            // Only the first slice enters through the thread-pool queue;
+            // later slices resume after a query with the thread still held.
+            let first_slice = req.phase == ReqPhase::WaitAppThread;
+            if first_slice {
+                req.t_thread_granted = now;
+            }
+            req.phase = ReqPhase::AppCpu;
+            let inter = ctx.catalog.get(req.interaction);
+            let slices = (inter.queries + 1) as f64;
+            (
+                ctx.links[self.id].base + req.route[self.id] as usize,
+                req.app_demand_secs / slices,
+                ctx.cfg.params.tomcat_alloc_per_req / slices,
+                first_slice,
+            )
+        };
+        if first_slice {
+            let (trace, t_arrive) = {
+                let req = ctx.requests.get(r);
+                (req.trace, req.t_arrive_app)
+            };
+            let track = ctx.links[self.id].name;
+            ctx.req_span(trace, track, ntier_trace::THREAD_WAIT, t_arrive, now);
+        }
+        ctx.jvm_alloc(ni, slice_alloc, now, q);
+        ctx.cpu_submit(ni, Token::Req(r), slice_demand, now, q);
+    }
+
+    /// A CPU slice completed: issue the next query or finish.
+    fn after_slice(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let (ni, rep, more_queries) = {
+            let req = ctx.requests.get(r);
+            let inter = ctx.catalog.get(req.interaction);
+            (
+                ctx.links[self.id].base + req.route[self.id] as usize,
+                req.route[self.id] as usize,
+                req.queries_done < inter.queries,
+            )
+        };
+        if more_queries {
+            {
+                let req = ctx.requests.get_mut(r);
+                req.phase = ReqPhase::WaitDbConn;
+                req.t_conn_wait_start = now;
+            }
+            let pool = ctx.nodes[ni]
+                .conn_pool
+                .as_mut()
+                .expect("app tier has conns");
+            match pool.acquire(now, r as u64) {
+                resources::Acquire::Granted => self.issue_query(r, now, ctx, q),
+                resources::Acquire::Enqueued { .. } => {}
+            }
+        } else {
+            // All queries done: respond upstream and release the thread.
+            let (trace, t_arrive, t_granted) = {
+                let req = ctx.requests.get(r);
+                (req.trace, req.t_arrive_app, req.t_thread_granted)
+            };
+            ctx.nodes[ni].log.record(t_arrive, now);
+            let track = ctx.links[self.id].name;
+            ctx.req_span(trace, track, ntier_trace::SERVICE, t_granted, now);
+            ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_arrive, now);
+            let pool = ctx.nodes[ni].pool.as_mut().expect("app tier has threads");
+            if let Some(next) = pool.release(now) {
+                q.schedule_now(Ev::Tier(self.id as u8, TierMsg::PoolGranted(next as ReqId)));
+            }
+            let up = ctx.links[self.id].up.expect("app tier has an upstream");
+            q.schedule(
+                now + ctx.hop(2048),
+                Ev::Tier(up as u8, TierMsg::ReqReply(r)),
+            );
+            ctx.nodes[ni].departures += 1;
+            ctx.route_departed(self.id, rep);
+        }
+    }
+
+    fn issue_query(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let is_write = {
+            let req = ctx.requests.get(r);
+            let inter = ctx.catalog.get(req.interaction);
+            req.queries_done < inter.write_queries
+        };
+        let (trace, t_wait) = {
+            let req = ctx.requests.get_mut(r);
+            req.phase = ReqPhase::QueryInFlight;
+            req.t_query_issued = now;
+            (req.trace, req.t_conn_wait_start)
+        };
+        let track = ctx.links[self.id].name;
+        ctx.req_span(trace, track, ntier_trace::CONN_WAIT, t_wait, now);
+        let qid = ctx.queries.insert(Query::new(r, is_write, SimTime::ZERO));
+        let down = ctx.links[self.id].down.expect("app tier has a downstream");
+        if ctx.links[down].role == Tier::Cmw {
+            // Middleware routes by query id; the replica is fixed at send.
+            let rep = ctx.select_replica(down, qid as usize) as u16;
+            q.schedule(
+                now + ctx.hop(300),
+                Ev::Tier(down as u8, TierMsg::QueryArrive(qid, rep)),
+            );
+        } else {
+            // 3-tier chain: the app tier talks to the databases directly.
+            ctx.dispatch_query_to_db(qid, down, now, q);
+        }
+    }
+
+    /// A database replied directly (3-tier chains, no middleware).
+    fn query_reply(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let done = {
+            let query = ctx.queries.get_mut(qid);
+            query.pending_replies -= 1;
+            query.pending_replies == 0
+        };
+        if done {
+            // The result set is consumed by the JDBC driver while the app
+            // thread and DB connection stay occupied.
+            q.schedule(
+                now + ctx.cfg.params.query_result_hold,
+                Ev::Tier(self.id as u8, TierMsg::QueryDone(qid)),
+            );
+        }
+    }
+
+    fn query_done(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let r = ctx.queries.remove(qid).req;
+        let (ni, trace, t_issued) = {
+            let req = ctx.requests.get_mut(r);
+            req.queries_done += 1;
+            (
+                ctx.links[self.id].base + req.route[self.id] as usize,
+                req.trace,
+                req.t_query_issued,
+            )
+        };
+        // The fan-out child as the app thread sees it: DB connection held
+        // from issue to reply consumption (the paper's `t1'`/`t2'` periods).
+        let track = ctx.links[self.id].name;
+        ctx.req_span(trace, track, ntier_trace::QUERY, t_issued, now);
+        let pool = ctx.nodes[ni]
+            .conn_pool
+            .as_mut()
+            .expect("app tier has conns");
+        if let Some(next) = pool.release(now) {
+            q.schedule_now(Ev::Tier(self.id as u8, TierMsg::ConnGranted(next as ReqId)));
+        }
+        self.start_slice(r, now, ctx, q);
+    }
+}
+
+impl TierNode for AppNode {
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        match msg {
+            TierMsg::ReqArrive(r) => self.req_arrive(r, now, ctx, q),
+            TierMsg::PoolGranted(r) => self.start_slice(r, now, ctx, q),
+            TierMsg::ConnGranted(r) => self.issue_query(r, now, ctx, q),
+            TierMsg::QueryReply(qid) => self.query_reply(qid, now, ctx, q),
+            TierMsg::QueryDone(qid) => self.query_done(qid, now, ctx, q),
+            other => unreachable!("app tier got {other:?}"),
+        }
+    }
+
+    fn cpu_done(
+        &self,
+        tok: Token,
+        _ni: usize,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let Token::Req(r) = tok else {
+            unreachable!("token {tok:?} on app tier")
+        };
+        self.after_slice(r, now, ctx, q);
+    }
+}
+
+// ----------------------------------------------------------------------
+// clustering middleware tier — C-JDBC in the paper's testbed
+// ----------------------------------------------------------------------
+
+/// Middleware tier: routing CPU before dispatch, merge CPU after the
+/// database replies, write broadcast.
+struct CmwNode {
+    id: TierId,
+}
+
+impl CmwNode {
+    fn query_arrive(
+        &self,
+        qid: QueryId,
+        rep: u16,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut EventQueue<Ev>,
+    ) {
+        {
+            let query = ctx.queries.get_mut(qid);
+            query.t_enter_mw = now;
+            query.mw_idx = rep;
+            query.phase = QueryPhase::MwPre;
+        }
+        let ni = ctx.links[self.id].base + rep as usize;
+        ctx.nodes[ni].arrivals += 1;
+        ctx.jvm_alloc(ni, ctx.cfg.params.cjdbc_alloc_per_query, now, q);
+        let demand = ctx.jitter_ms(ctx.cfg.params.cjdbc_ms_per_query / 2.0);
+        ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
+    }
+
+    /// A database reply reached the middleware.
+    fn query_reply(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let (done, ni) = {
+            let query = ctx.queries.get_mut(qid);
+            query.pending_replies -= 1;
+            (
+                query.pending_replies == 0,
+                ctx.links[self.id].base + query.mw_idx as usize,
+            )
+        };
+        if done {
+            ctx.queries.get_mut(qid).phase = QueryPhase::MwPost;
+            let demand = ctx.jitter_ms(ctx.cfg.params.cjdbc_ms_per_query / 2.0);
+            ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
+        }
+    }
+
+    /// Merge CPU done: reply to the app tier.
+    fn reply(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let (ni, rep, trace, t_enter) = {
+            let query = ctx.queries.get(qid);
+            (
+                ctx.links[self.id].base + query.mw_idx as usize,
+                query.mw_idx as usize,
+                ctx.requests.get(query.req).trace,
+                query.t_enter_mw,
+            )
+        };
+        ctx.nodes[ni].log.record(t_enter, now);
+        let track = ctx.links[self.id].name;
+        ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_enter, now);
+        // The result set travels back and is consumed by the JDBC driver
+        // while the app thread and DB connection stay occupied.
+        let up = ctx.links[self.id].up.expect("middleware has an upstream");
+        q.schedule(
+            now + ctx.hop(2048) + ctx.cfg.params.query_result_hold,
+            Ev::Tier(up as u8, TierMsg::QueryDone(qid)),
+        );
+        ctx.nodes[ni].departures += 1;
+        ctx.route_departed(self.id, rep);
+    }
+}
+
+impl TierNode for CmwNode {
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        match msg {
+            TierMsg::QueryArrive(qid, rep) => self.query_arrive(qid, rep, now, ctx, q),
+            TierMsg::QueryReply(qid) => self.query_reply(qid, now, ctx, q),
+            other => unreachable!("middleware tier got {other:?}"),
+        }
+    }
+
+    fn cpu_done(
+        &self,
+        tok: Token,
+        _ni: usize,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let Token::Query(qid) = tok else {
+            unreachable!("token {tok:?} on middleware tier")
+        };
+        match ctx.queries.get(qid).phase {
+            QueryPhase::MwPre => {
+                let down = ctx.links[self.id]
+                    .down
+                    .expect("middleware has a downstream");
+                ctx.dispatch_query_to_db(qid, down, now, q);
+            }
+            QueryPhase::MwPost => self.reply(qid, now, ctx, q),
+            other => unreachable!("middleware CPU done in phase {other:?}"),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// database tier — MySQL in the paper's testbed
+// ----------------------------------------------------------------------
+
+/// Database tier: query CPU, probabilistic disk access, reply upstream.
+struct DbNode {
+    id: TierId,
+}
+
+impl DbNode {
+    fn query_arrive(
+        &self,
+        qid: QueryId,
+        db: u16,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let demand_ms = {
+            let query = ctx.queries.get_mut(qid);
+            query.t_enter_db = now;
+            let req = ctx.requests.get(query.req);
+            ctx.catalog.get(req.interaction).mysql_ms_per_query * ctx.cfg.params.mysql_scale
+        };
+        let demand = ctx.jitter_ms(demand_ms.max(0.05));
+        let ni = ctx.links[self.id].base + db as usize;
+        ctx.nodes[ni].arrivals += 1;
+        ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
+    }
+
+    /// CPU done: maybe hit the disk, then reply.
+    fn after_cpu(
+        &self,
+        qid: QueryId,
+        db: u16,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut EventQueue<Ev>,
+    ) {
+        if ctx.rng_route.chance(ctx.cfg.params.disk_miss_prob) {
+            let ni = ctx.links[self.id].base + db as usize;
+            let disk = ctx.nodes[ni].disk.as_mut().expect("db has a disk");
+            let done = disk.submit(now, SimTime::from_millis_f64(ctx.cfg.params.disk_ms));
+            q.schedule(done, Ev::Tier(self.id as u8, TierMsg::DiskDone(qid, db)));
+        } else {
+            self.finish(qid, db, now, ctx, q);
+        }
+    }
+
+    fn finish(&self, qid: QueryId, db: u16, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let ni = ctx.links[self.id].base + db as usize;
+        let (trace, t_enter, is_write) = {
+            let query = ctx.queries.get(qid);
+            (
+                ctx.requests.get(query.req).trace,
+                query.t_enter_db,
+                query.is_write,
+            )
+        };
+        ctx.nodes[ni].log.record(t_enter, now);
+        let track = ctx.links[self.id].name;
+        ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_enter, now);
+        let up = ctx.links[self.id].up.expect("db tier has an upstream");
+        q.schedule(
+            now + ctx.hop(2048),
+            Ev::Tier(up as u8, TierMsg::QueryReply(qid)),
+        );
+        ctx.nodes[ni].departures += 1;
+        // Writes broadcast to every replica and bypass replica selection, so
+        // only reads participate in least-outstanding bookkeeping.
+        if !is_write {
+            ctx.route_departed(self.id, db as usize);
+        }
+    }
+}
+
+impl TierNode for DbNode {
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        match msg {
+            TierMsg::QueryArrive(qid, db) => self.query_arrive(qid, db, now, ctx, q),
+            TierMsg::DiskDone(qid, db) => self.finish(qid, db, now, ctx, q),
+            other => unreachable!("db tier got {other:?}"),
+        }
+    }
+
+    fn cpu_done(&self, tok: Token, ni: usize, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        let Token::Query(qid) = tok else {
+            unreachable!("token {tok:?} on db tier")
+        };
+        let db = (ni - ctx.links[self.id].base) as u16;
+        self.after_cpu(qid, db, now, ctx, q);
+    }
+}

@@ -1,0 +1,354 @@
+//! Declarative tier-chain topology.
+//!
+//! A [`Topology`] is an ordered chain of [`TierSpec`]s, front tier first.
+//! [`crate::System`] assembles one tier node per spec and routes typed
+//! messages along the chain, so the paper's `1/2/1/2`+`400-150-60` and
+//! `1/4/1/4` configurations are two literals ([`Topology::paper`]) and new
+//! scenarios — deeper replication (`1/8/1/8`), a 3-tier chain without the
+//! C-JDBC middleware, a replicated C-JDBC — are configuration, not code.
+//!
+//! Supported chains (validated by [`Topology::validate`]):
+//!
+//! ```text
+//! Web → App → Cmw → Db      (the paper's 4-tier RUBBoS testbed)
+//! Web → App → Db            (3-tier: Tomcat speaks JDBC directly to MySQL)
+//! ```
+//!
+//! Each spec carries its replica count, soft-resource pool sizes, GC model
+//! on/off, linger model on/off, and the policy used to pick a replica when a
+//! message is sent to the tier.
+
+use crate::config::{HardwareConfig, SoftAllocation};
+use crate::ids::Tier;
+use jvm_gc::GcConfig;
+
+/// Position of a tier in the chain (0 = front tier).
+pub type TierId = usize;
+
+/// Maximum chain length supported by the per-request routing table.
+pub const MAX_TIERS: usize = 8;
+
+/// How a sender picks a replica of a downstream tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectPolicy {
+    /// Cycle through replicas in order (stateful, per tier).
+    RoundRobin,
+    /// Pick the replica with the fewest outstanding jobs (ties → lowest
+    /// index), tracked at selection/departure.
+    LeastOutstanding,
+    /// Hash the message id onto a replica (stateless, deterministic).
+    HashById,
+}
+
+/// One tier of the chain: a role archetype plus its knobs.
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    /// Behavioral archetype (admission, service, fan-out pattern).
+    pub role: Tier,
+    /// Display name; also the trace track and the `ServerLog` name prefix.
+    pub name: &'static str,
+    /// Number of replica servers.
+    pub replicas: usize,
+    /// Worker/servlet thread pool per replica ([`Tier::Web`], [`Tier::App`]);
+    /// for [`Tier::Cmw`] this is the *implicit* thread count (one per
+    /// upstream DB connection, the paper's coupling) used only to size the
+    /// JVM live set — no actual pool gates admission there.
+    pub threads: Option<usize>,
+    /// DB connection pool per replica ([`Tier::App`] only).
+    pub conns: Option<usize>,
+    /// Attached JVM garbage collector (None = no JVM on this tier).
+    pub gc: Option<GcConfig>,
+    /// Whether workers linger on close after responding ([`Tier::Web`]).
+    pub linger: bool,
+    /// Replica-selection policy used by senders targeting this tier.
+    pub select: SelectPolicy,
+}
+
+impl TierSpec {
+    /// A web (Apache-style) front tier: worker pool + lingering close.
+    pub fn web(replicas: usize, threads: usize) -> Self {
+        TierSpec {
+            role: Tier::Web,
+            name: Tier::Web.server_name(),
+            replicas,
+            threads: Some(threads),
+            conns: None,
+            gc: None,
+            linger: true,
+            select: SelectPolicy::RoundRobin,
+        }
+    }
+
+    /// An application (Tomcat-style) tier: thread pool + DB connection pool
+    /// + JVM.
+    pub fn app(replicas: usize, threads: usize, conns: usize, gc: GcConfig) -> Self {
+        TierSpec {
+            role: Tier::App,
+            name: Tier::App.server_name(),
+            replicas,
+            threads: Some(threads),
+            conns: Some(conns),
+            gc: Some(gc),
+            linger: false,
+            select: SelectPolicy::RoundRobin,
+        }
+    }
+
+    /// A clustering-middleware (C-JDBC-style) tier. `implicit_threads` is the
+    /// total DB connections opened by the upstream app tier (sizes the JVM
+    /// live set; there is no admission pool).
+    pub fn cmw(replicas: usize, implicit_threads: usize, gc: GcConfig) -> Self {
+        TierSpec {
+            role: Tier::Cmw,
+            name: Tier::Cmw.server_name(),
+            replicas,
+            threads: Some(implicit_threads),
+            conns: None,
+            gc: Some(gc),
+            linger: false,
+            select: SelectPolicy::HashById,
+        }
+    }
+
+    /// A database (MySQL-style) back tier: CPU + buffer-pool/disk model.
+    /// Reads load-balance across replicas; writes broadcast to all.
+    pub fn db(replicas: usize) -> Self {
+        TierSpec {
+            role: Tier::Db,
+            name: Tier::Db.server_name(),
+            replicas,
+            threads: None,
+            conns: None,
+            gc: None,
+            linger: false,
+            select: SelectPolicy::RoundRobin,
+        }
+    }
+
+    /// Override the replica-selection policy.
+    pub fn with_select(mut self, select: SelectPolicy) -> Self {
+        self.select = select;
+        self
+    }
+
+    /// Disable (or enable) the lingering-close model on this tier.
+    pub fn with_linger(mut self, linger: bool) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Override the GC model (None disables the JVM entirely).
+    pub fn with_gc(mut self, gc: Option<GcConfig>) -> Self {
+        self.gc = gc;
+        self
+    }
+
+    /// Override the display name (also the trace track).
+    pub fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+}
+
+/// An ordered chain of tier specs, front tier first.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The chain (index = [`TierId`]).
+    pub tiers: Vec<TierSpec>,
+}
+
+impl Topology {
+    /// The paper's 4-tier chain for a hardware topology and soft allocation,
+    /// with the default JDK6-server GC on Tomcat and C-JDBC.
+    pub fn paper(hardware: HardwareConfig, soft: SoftAllocation) -> Self {
+        Self::paper_with_gc(
+            hardware,
+            soft,
+            GcConfig::jdk6_server(),
+            GcConfig::jdk6_server(),
+        )
+    }
+
+    /// The paper's 4-tier chain with explicit GC configurations (what
+    /// [`crate::SystemConfig`] resolves to when no topology is given, so GC
+    /// overrides set on the config carry through).
+    pub fn paper_with_gc(
+        hardware: HardwareConfig,
+        soft: SoftAllocation,
+        app_gc: GcConfig,
+        cmw_gc: GcConfig,
+    ) -> Self {
+        let total_conns = soft.app_db_conns * hardware.app;
+        Topology {
+            tiers: vec![
+                TierSpec::web(hardware.web, soft.web_threads),
+                TierSpec::app(hardware.app, soft.app_threads, soft.app_db_conns, app_gc),
+                TierSpec::cmw(hardware.cmw, total_conns, cmw_gc),
+                TierSpec::db(hardware.db),
+            ],
+        }
+    }
+
+    /// A 3-tier chain without clustering middleware: the app tier speaks
+    /// directly to the database (reads load-balance, writes broadcast).
+    pub fn three_tier(
+        web: usize,
+        app: usize,
+        db: usize,
+        soft: SoftAllocation,
+        app_gc: GcConfig,
+    ) -> Self {
+        Topology {
+            tiers: vec![
+                TierSpec::web(web, soft.web_threads),
+                TierSpec::app(app, soft.app_threads, soft.app_db_conns, app_gc),
+                TierSpec::db(db),
+            ],
+        }
+    }
+
+    /// Number of tiers in the chain.
+    pub fn n_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Total server count across all tiers.
+    pub fn total_servers(&self) -> usize {
+        self.tiers.iter().map(|t| t.replicas).sum()
+    }
+
+    /// Compact label: replica counts, then the real pool sizes, e.g.
+    /// `1/2/1/2(400-150-60)`.
+    pub fn label(&self) -> String {
+        let hw: Vec<String> = self.tiers.iter().map(|t| t.replicas.to_string()).collect();
+        let mut pools: Vec<String> = Vec::new();
+        for t in &self.tiers {
+            // Only pools that actually gate admission (Cmw threads are
+            // implicit — derived, not allocated).
+            if matches!(t.role, Tier::Web | Tier::App) {
+                if let Some(n) = t.threads {
+                    pools.push(n.to_string());
+                }
+                if let Some(c) = t.conns {
+                    pools.push(c.to_string());
+                }
+            }
+        }
+        format!("{}({})", hw.join("/"), pools.join("-"))
+    }
+
+    /// Check the chain shape the runtime supports: a Web front, one App
+    /// tier, an optional Cmw tier, and a Db back tier, all with ≥1 replica
+    /// and role-appropriate pools.
+    pub fn validate(&self) -> Result<(), String> {
+        let roles: Vec<Tier> = self.tiers.iter().map(|t| t.role).collect();
+        let ok = matches!(
+            roles.as_slice(),
+            [Tier::Web, Tier::App, Tier::Cmw, Tier::Db] | [Tier::Web, Tier::App, Tier::Db]
+        );
+        if !ok {
+            return Err(format!(
+                "unsupported tier chain {roles:?}: expected Web→App[→Cmw]→Db"
+            ));
+        }
+        if self.tiers.len() > MAX_TIERS {
+            return Err(format!(
+                "chain of {} tiers exceeds MAX_TIERS={MAX_TIERS}",
+                self.tiers.len()
+            ));
+        }
+        for (i, t) in self.tiers.iter().enumerate() {
+            if t.replicas == 0 {
+                return Err(format!("tier {i} ({}) has zero replicas", t.name));
+            }
+            if t.replicas > u16::MAX as usize {
+                return Err(format!("tier {i} ({}) has too many replicas", t.name));
+            }
+            match t.role {
+                Tier::Web | Tier::App => {
+                    if t.threads.is_none() {
+                        return Err(format!("tier {i} ({}) needs a thread pool", t.name));
+                    }
+                    if t.role == Tier::App && t.conns.is_none() {
+                        return Err(format!("tier {i} ({}) needs a connection pool", t.name));
+                    }
+                    if t.threads == Some(0) || t.conns == Some(0) {
+                        return Err(format!("tier {i} ({}) has a zero-size pool", t.name));
+                    }
+                }
+                Tier::Cmw | Tier::Db => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_matches_notation() {
+        let t = Topology::paper(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::rule_of_thumb(),
+        );
+        assert_eq!(t.n_tiers(), 4);
+        assert_eq!(t.total_servers(), 6);
+        assert_eq!(t.label(), "1/2/1/2(400-150-60)");
+        assert!(t.validate().is_ok());
+        // C-JDBC implicit threads = conns × app servers.
+        assert_eq!(t.tiers[2].threads, Some(120));
+    }
+
+    #[test]
+    fn three_tier_chain_validates() {
+        let t = Topology::three_tier(
+            1,
+            2,
+            2,
+            SoftAllocation::rule_of_thumb(),
+            GcConfig::jdk6_server(),
+        );
+        assert_eq!(t.n_tiers(), 3);
+        assert_eq!(t.label(), "1/2/2(400-150-60)");
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn wrong_chain_order_rejected() {
+        let mut t = Topology::paper(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::rule_of_thumb(),
+        );
+        t.tiers.swap(0, 1);
+        assert!(t.validate().is_err());
+        let db_only = Topology {
+            tiers: vec![TierSpec::db(2)],
+        };
+        assert!(db_only.validate().is_err());
+    }
+
+    #[test]
+    fn zero_replicas_rejected() {
+        let mut t = Topology::paper(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::rule_of_thumb(),
+        );
+        t.tiers[3].replicas = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn spec_builders_override_knobs() {
+        let s = TierSpec::web(2, 100)
+            .with_select(SelectPolicy::LeastOutstanding)
+            .with_linger(false)
+            .named("Nginx");
+        assert_eq!(s.select, SelectPolicy::LeastOutstanding);
+        assert!(!s.linger);
+        assert_eq!(s.name, "Nginx");
+        let a = TierSpec::app(1, 10, 5, GcConfig::jdk6_server()).with_gc(None);
+        assert!(a.gc.is_none());
+    }
+}

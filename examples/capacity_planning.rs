@@ -4,18 +4,96 @@
 //!
 //! ```text
 //! cargo run --release --example capacity_planning
+//! cargo run --release --example capacity_planning -- \
+//!     --hw 1/4/1/4 --users 6000,6900 --quick
+//! cargo run --release --example capacity_planning -- --soft 400-150-60
 //! ```
+//!
+//! Flags (all optional; defaults reproduce the paper's two scenarios):
+//!
+//! * `--hw #W/#A/#C/#D` — run a single hardware configuration instead of
+//!   both paper topologies (parsed via `HardwareConfig::from_str`).
+//! * `--soft #W_T-#A_T-#A_C` — pin one explicit allocation; compared
+//!   against the static strategies (parsed via `SoftAllocation::from_str`).
+//! * `--users N[,N…]` — workload sweep points.
+//! * `--quick` — short trials for smoke testing.
 
 use rubbos_ntier::prelude::*;
 
+struct Cli {
+    hw: Option<HardwareConfig>,
+    soft: Option<SoftAllocation>,
+    users: Option<Vec<u32>>,
+    quick: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        hw: None,
+        soft: None,
+        users: None,
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--hw" => cli.hw = Some(value("--hw")?.parse()?),
+            "--soft" => cli.soft = Some(value("--soft")?.parse()?),
+            "--users" => {
+                let list = value("--users")?
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse::<u32>()
+                            .map_err(|e| format!("--users '{p}': {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if list.is_empty() {
+                    return Err("--users needs at least one workload".into());
+                }
+                cli.users = Some(list);
+            }
+            "--quick" => cli.quick = true,
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (see --hw/--soft/--users/--quick)"
+                ))
+            }
+        }
+    }
+    Ok(cli)
+}
+
 fn main() {
-    let scenarios = [
-        (HardwareConfig::one_two_one_two(), vec![4500u32, 5400, 6300]),
-        (
-            HardwareConfig::one_four_one_four(),
-            vec![6000u32, 6900, 7800],
-        ),
-    ];
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("capacity_planning: {e}");
+            std::process::exit(2);
+        }
+    };
+    let schedule = if cli.quick {
+        Schedule::Quick
+    } else {
+        Schedule::Default
+    };
+    let scenarios: Vec<(HardwareConfig, Vec<u32>)> = match cli.hw {
+        Some(hw) => vec![(
+            hw,
+            cli.users.clone().unwrap_or_else(|| vec![4500, 5400, 6300]),
+        )],
+        None => vec![
+            (
+                HardwareConfig::one_two_one_two(),
+                cli.users.clone().unwrap_or_else(|| vec![4500, 5400, 6300]),
+            ),
+            (
+                HardwareConfig::one_four_one_four(),
+                cli.users.clone().unwrap_or_else(|| vec![6000, 6900, 7800]),
+            ),
+        ],
+    };
 
     for (hw, workloads) in scenarios {
         println!("\n############ hardware {hw} ############");
@@ -23,21 +101,25 @@ fn main() {
             "{:>30} {:>12} {:>14} {:>14} {:>12}",
             "strategy", "users", "goodput@2s", "throughput", "mean RT"
         );
-        for strategy in Strategy::ALL {
-            let soft = strategy.allocation(hw);
+        let candidates: Vec<(String, SoftAllocation)> = Strategy::ALL
+            .iter()
+            .map(|s| (s.name().to_string(), s.allocation(hw)))
+            .chain(cli.soft.map(|s| (format!("pinned {s}"), s)))
+            .collect();
+        for (name, soft) in &candidates {
             // One sweep per strategy, run in parallel.
             let specs: Vec<ExperimentSpec> = workloads
                 .iter()
                 .map(|&u| {
-                    let mut s = ExperimentSpec::new(hw, soft, u);
-                    s.schedule = Schedule::Default;
+                    let mut s = ExperimentSpec::new(hw, *soft, u);
+                    s.schedule = schedule;
                     s
                 })
                 .collect();
             for out in sweep(&specs) {
                 println!(
                     "{:>30} {:>12} {:>14.1} {:>14.1} {:>9.0} ms",
-                    strategy.name(),
+                    name,
                     out.users,
                     out.goodput_at(2.0),
                     out.throughput,
@@ -48,13 +130,13 @@ fn main() {
         // The paper's central message, measured: the best static strategy
         // differs per hardware configuration.
         let at = *workloads.last().expect("non-empty");
-        let mut best = ("", f64::MIN);
-        for strategy in Strategy::ALL {
-            let mut s = ExperimentSpec::new(hw, strategy.allocation(hw), at);
-            s.schedule = Schedule::Default;
+        let mut best = (String::new(), f64::MIN);
+        for (name, soft) in &candidates {
+            let mut s = ExperimentSpec::new(hw, *soft, at);
+            s.schedule = schedule;
             let out = run_experiment(&s);
             if out.goodput_at(2.0) > best.1 {
-                best = (strategy.name(), out.goodput_at(2.0));
+                best = (name.clone(), out.goodput_at(2.0));
             }
         }
         println!(

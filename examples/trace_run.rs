@@ -40,24 +40,35 @@ fn main() {
         trace.overwritten
     );
     println!(
-        "engine: {} events, heap high-water {}, {:.0} events/s wall-clock",
+        "engine: {} events, heap high-water {} (capacity {}), {:.0} events/s wall-clock",
         trace.engine.events_processed,
         trace.engine.heap_high_water,
+        trace.engine.heap_capacity,
         trace.engine.events_per_sec()
     );
 
     // Cross-check: spans vs the aggregate ServerLog path (Table I view).
+    // Iterate chain positions so any topology — not just the paper's
+    // 4-tier chain — gets a row per tier; the trace track name is the tier
+    // name, recoverable from any node name ("Apache-0" → "Apache").
     let summary = trace.summary();
     println!(
         "\n{:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
         "tier", "RTT(trace) ms", "RTT(log) ms", "TP(trace)", "TP(log)", "jobs"
     );
-    for tier in [Tier::Web, Tier::App, Tier::Cmw, Tier::Db] {
-        let Some(ts) = summary.tier(tier.server_name()) else {
+    for tid in 0..out.n_tiers() {
+        // Aggregate path: average the tier's per-server logs.
+        let nodes = out.tier_nodes_at(tid);
+        let Some(track) = nodes
+            .first()
+            .and_then(|n| n.name.rsplit_once('-'))
+            .map(|(tier_name, _)| tier_name)
+        else {
             continue;
         };
-        // Aggregate path: average the tier's per-server logs.
-        let nodes = out.tier_nodes(tier);
+        let Some(ts) = summary.tier(track) else {
+            continue;
+        };
         let log_tp: f64 = nodes.iter().map(|n| n.throughput(out.window_secs)).sum();
         let log_rtt = nodes.iter().map(|n| n.mean_rtt).sum::<f64>() / nodes.len() as f64;
         println!(

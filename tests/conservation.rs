@@ -1,0 +1,147 @@
+//! Conservation property tests: run randomized topologies to full drain and
+//! check flow balance — every request/query admitted by a tier node also
+//! departed it, every soft pool returns to zero occupancy, and nothing is
+//! left in flight once the closed loop is frozen and the event queue runs
+//! dry.
+//!
+//! These invariants hold for *any* valid topology, so the generator draws
+//! chain shape (3-tier vs 4-tier), replica counts (including the paper's
+//! deeper `1/8/1/8`), pool sizes, selection policies, and workload at
+//! random via `simcore::testkit`.
+
+use rubbos_ntier::jvm_gc::GcConfig;
+use rubbos_ntier::prelude::*;
+use rubbos_ntier::simcore::testkit::{check, Gen};
+use rubbos_ntier::workload::WorkloadConfig;
+
+/// Build a random valid topology + config pair from the generator.
+fn random_cfg(g: &mut Gen) -> SystemConfig {
+    let users = g.usize_in(50, 300) as u32;
+    let soft = SoftAllocation::new(g.usize_in(20, 400), g.usize_in(4, 150), g.usize_in(2, 60));
+    let web = g.usize_in(1, 2);
+    let app = g.usize_in(1, 8);
+    let db = g.usize_in(1, 8);
+    let four_tier = g.chance(0.6);
+    let mut topo = if four_tier {
+        let cmw = g.usize_in(1, 2);
+        let mut hw = HardwareConfig::one_two_one_two();
+        hw.web = web;
+        hw.app = app;
+        hw.cmw = cmw;
+        hw.db = db;
+        Topology::paper(hw, soft)
+    } else {
+        Topology::three_tier(web, app, db, soft, GcConfig::jdk6_server())
+    };
+    // Random replica-selection policies on the tiers that get fan-out.
+    let policies = [
+        SelectPolicy::RoundRobin,
+        SelectPolicy::LeastOutstanding,
+        SelectPolicy::HashById,
+    ];
+    for spec in &mut topo.tiers {
+        spec.select = policies[g.usize_in(0, policies.len() - 1)];
+    }
+    // Occasionally disable lingering close on the front tier.
+    if g.chance(0.3) {
+        topo.tiers[0].linger = false;
+    }
+    topo.validate().expect("generator produces valid chains");
+
+    let mut cfg =
+        SystemConfig::new(HardwareConfig::one_two_one_two(), soft, users).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(users);
+    cfg.seed = g.u64_in(0, u64::MAX - 1);
+    cfg
+}
+
+/// Assert the full conservation contract on one drained run.
+fn assert_conserved(label: &str, report: &DrainReport) {
+    assert_eq!(
+        report.in_flight_requests, 0,
+        "{label}: requests still in flight after drain"
+    );
+    assert_eq!(
+        report.in_flight_queries, 0,
+        "{label}: queries still in flight after drain"
+    );
+    for node in &report.nodes {
+        assert_eq!(
+            node.arrivals, node.departures,
+            "{label}/{}: admitted {} != completed+dropped {}",
+            node.name, node.arrivals, node.departures
+        );
+        assert_eq!(
+            (node.pool_in_use, node.pool_waiting),
+            (0, 0),
+            "{label}/{}: thread pool not back to balance",
+            node.name
+        );
+        assert_eq!(
+            (node.conn_in_use, node.conn_waiting),
+            (0, 0),
+            "{label}/{}: connection pool not back to balance",
+            node.name
+        );
+    }
+}
+
+#[test]
+fn random_topologies_conserve_flow() {
+    check(10, |g| {
+        let cfg = random_cfg(g);
+        let label = cfg.label();
+        let (out, report) = run_system_to_drain(cfg);
+        assert!(out.completed > 0, "{label}: no traffic");
+        assert_conserved(&label, &report);
+        // The drained system saw real work on every *tier* (a single replica
+        // of a wide tier may legitimately sit idle in a short run).
+        let mut per_tier: std::collections::BTreeMap<&str, u64> = Default::default();
+        for n in &report.nodes {
+            let tier = n.name.rsplit_once('-').map(|(t, _)| t).unwrap_or(&n.name);
+            *per_tier.entry(tier).or_default() += n.arrivals;
+        }
+        assert!(
+            per_tier.values().all(|&a| a > 0),
+            "{label}: an entire tier sat idle: {per_tier:?}"
+        );
+    });
+}
+
+#[test]
+fn paper_topology_conserves_flow() {
+    let mut cfg = SystemConfig::new(
+        HardwareConfig::one_two_one_two(),
+        SoftAllocation::rule_of_thumb(),
+        400,
+    );
+    cfg.workload = WorkloadConfig::quick(400);
+    let (_, report) = run_system_to_drain(cfg);
+    assert_conserved("1/2/1/2", &report);
+}
+
+#[test]
+fn deep_replication_conserves_flow() {
+    let mut hw = HardwareConfig::one_two_one_two();
+    hw.app = 8;
+    hw.db = 8;
+    let mut cfg = SystemConfig::new(hw, SoftAllocation::rule_of_thumb(), 600);
+    cfg.workload = WorkloadConfig::quick(600);
+    let (out, report) = run_system_to_drain(cfg);
+    assert_eq!(report.nodes.len(), 18, "1+8+1+8 servers");
+    assert!(out.completed > 0);
+    assert_conserved("1/8/1/8", &report);
+}
+
+#[test]
+fn three_tier_chain_conserves_flow() {
+    let soft = SoftAllocation::rule_of_thumb();
+    let topo = Topology::three_tier(1, 2, 2, soft, GcConfig::jdk6_server());
+    let mut cfg =
+        SystemConfig::new(HardwareConfig::one_two_one_two(), soft, 400).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(400);
+    let (out, report) = run_system_to_drain(cfg);
+    assert_eq!(report.nodes.len(), 5, "1+2+2 servers");
+    assert!(out.completed > 0);
+    assert_conserved("3-tier", &report);
+}

@@ -1,0 +1,127 @@
+//! Non-paper topologies run end-to-end through the full pipeline: the
+//! declarative chain drives assembly, `run_system` produces the Table-I
+//! observables per tier, and `run_system_traced` captures span trees whose
+//! per-tier reconstruction agrees with the aggregate `ServerLog` path.
+//!
+//! The two acceptance chains from the refactor issue:
+//!
+//! * `1/8/1/8` — the paper's hardware scaled to deeper replication.
+//! * 3-tier `Web → App → Db` — no clustering middleware at all.
+
+use rubbos_ntier::jvm_gc::GcConfig;
+use rubbos_ntier::ntier_trace::TraceConfig;
+use rubbos_ntier::prelude::*;
+use rubbos_ntier::workload::WorkloadConfig;
+
+fn deep_cfg(users: u32) -> SystemConfig {
+    let mut hw = HardwareConfig::one_two_one_two();
+    hw.app = 8;
+    hw.db = 8;
+    let mut cfg = SystemConfig::new(hw, SoftAllocation::rule_of_thumb(), users);
+    cfg.workload = WorkloadConfig::quick(users);
+    cfg
+}
+
+fn three_tier_cfg(users: u32) -> SystemConfig {
+    let soft = SoftAllocation::rule_of_thumb();
+    let topo = Topology::three_tier(1, 2, 2, soft, GcConfig::jdk6_server());
+    let mut cfg =
+        SystemConfig::new(HardwareConfig::one_two_one_two(), soft, users).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(users);
+    cfg
+}
+
+/// The Table-I shape: every tier reports RTT, throughput, and CPU; the
+/// front tier's completions carry the end-to-end goodput/badput split.
+fn assert_table_one_shape(out: &RunOutput, n_tiers: usize) {
+    assert_eq!(out.n_tiers(), n_tiers);
+    assert!(out.completed > 0, "{}: no completions", out.label);
+    assert!(out.throughput > 0.0);
+    for i in 0..out.sla_thresholds.len() {
+        assert!(
+            (out.goodput[i] + out.badput[i] - out.throughput).abs() < 1e-9,
+            "goodput + badput must equal throughput"
+        );
+    }
+    for tid in 0..n_tiers {
+        let nodes = out.tier_nodes_at(tid);
+        assert!(!nodes.is_empty(), "tier {tid} has no nodes");
+        let completions: u64 = nodes.iter().map(|n| n.completions).sum();
+        assert!(completions > 0, "tier {tid} logged no completions");
+        let rtt = nodes.iter().map(|n| n.mean_rtt).sum::<f64>() / nodes.len() as f64;
+        assert!(rtt > 0.0 && rtt < 10.0, "tier {tid} RTT {rtt} implausible");
+        assert!(nodes.iter().all(|n| (0.0..=1.0).contains(&n.cpu_util)));
+    }
+}
+
+#[test]
+fn deep_replication_runs_the_full_pipeline() {
+    let out = run_system(deep_cfg(600));
+    assert!(
+        out.label.starts_with("1/8/1/8(400-150-60)"),
+        "{}",
+        out.label
+    );
+    assert_eq!(out.nodes.len(), 18);
+    assert_table_one_shape(&out, 4);
+}
+
+#[test]
+fn three_tier_runs_the_full_pipeline() {
+    let out = run_system(three_tier_cfg(400));
+    assert_eq!(out.nodes.len(), 5);
+    assert_table_one_shape(&out, 3);
+    // No middleware anywhere in the report.
+    assert!(out.nodes.iter().all(|n| n.tier != Tier::Cmw));
+    // The databases saw the queries the app tier issued directly.
+    let db: u64 = out.tier_nodes(Tier::Db).iter().map(|n| n.completions).sum();
+    assert!(db > 0, "queries must reach MySQL without C-JDBC");
+}
+
+#[test]
+fn deep_replication_traces_every_tier() {
+    let mut cfg = deep_cfg(600);
+    cfg.trace = TraceConfig::Full;
+    let (out, trace) = run_system_traced(cfg);
+    assert!(trace.admitted > 0);
+    let summary = trace.summary();
+    for (track, role) in [
+        ("Apache", Tier::Web),
+        ("Tomcat", Tier::App),
+        ("C-JDBC", Tier::Cmw),
+        ("MySQL", Tier::Db),
+    ] {
+        let ts = summary.tier(track).unwrap_or_else(|| {
+            panic!("trace summary missing track {track}");
+        });
+        // The span pipeline and the ServerLog pipeline measure the same
+        // trial; their per-tier throughput must agree to within a request.
+        let log_tp: f64 = out
+            .tier_nodes(role)
+            .iter()
+            .map(|n| n.throughput(out.window_secs))
+            .sum();
+        let rel = (ts.throughput - log_tp).abs() / log_tp.max(1e-9);
+        assert!(
+            rel < 0.05,
+            "{track}: span throughput {} vs log throughput {log_tp}",
+            ts.throughput
+        );
+    }
+}
+
+#[test]
+fn three_tier_traces_without_middleware_track() {
+    let mut cfg = three_tier_cfg(400);
+    cfg.trace = TraceConfig::Full;
+    let (_, trace) = run_system_traced(cfg);
+    assert!(trace.admitted > 0);
+    let summary = trace.summary();
+    assert!(summary.tier("Apache").is_some());
+    assert!(summary.tier("Tomcat").is_some());
+    assert!(summary.tier("MySQL").is_some());
+    assert!(
+        summary.tier("C-JDBC").is_none(),
+        "3-tier chain must not grow a middleware track"
+    );
+}
