@@ -7,11 +7,10 @@
 //! 2 s threshold, ~44% at 1 s, ~93% at 0.5 s.
 
 //! CLI flags (after `--`): `--hw`, `--soft` (replaces the rule-of-thumb
-//! line), `--users`, `--quick` — see [`bench::BenchArgs`].
+//! line), `--users`, `--quick`, and `--faults TIER[:REPLICA]@FROM[-TO]`
+//! (crash a backend replica mid-sweep) — see [`bench::BenchArgs`].
 
-use bench::{
-    banner, goodput_series, pct_diff, print_series, run_sweep_scheduled, save_json, BenchArgs,
-};
+use bench::{banner, goodput_series, pct_diff, print_series, run_sweep_args, save_json, BenchArgs};
 use ntier_core::{HardwareConfig, SoftAllocation};
 use ntier_trace::json::{arr, obj, Json};
 
@@ -27,8 +26,8 @@ fn main() {
         "lines: 1/2/1/2(400-6-6) vs 1/2/1/2(400-150-60); thresholds 0.5s / 1s / 2s",
     );
 
-    let runs_good = run_sweep_scheduled(hw, good, &users, args.schedule());
-    let runs_poor = run_sweep_scheduled(hw, poor, &users, args.schedule());
+    let runs_good = run_sweep_args(&args, hw, good, &users);
+    let runs_poor = run_sweep_args(&args, hw, poor, &users);
 
     for (panel, thr) in [("(a)", 0.5), ("(b)", 1.0), ("(c)", 2.0)] {
         println!("\nFig 2{panel} — threshold {thr} s");

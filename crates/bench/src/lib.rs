@@ -4,8 +4,11 @@
 //! it sweeps the same configurations, prints the same series, and saves a
 //! machine-readable JSON copy under `target/paper-results/`.
 
-use ntier_core::{ExperimentSpec, HardwareConfig, RunOutput, SoftAllocation, Topology};
+use ntier_core::{
+    ExperimentSpec, HardwareConfig, RunOutput, SoftAllocation, Tier, Topology, TopologyError,
+};
 use ntier_trace::json::Json;
+use simcore::SimTime;
 use std::fs;
 use std::path::PathBuf;
 
@@ -21,6 +24,11 @@ pub use ntier_core::experiment::Schedule;
 ///   accepts one (via `SoftAllocation::from_str`).
 /// * `--users N[,N…]` — override the workload sweep points.
 /// * `--quick` — short trials (10 s ramp, 30 s window) for smoke runs.
+/// * `--faults TIER[:REPLICA]@FROM[-TO]` — crash one replica of `cmw` or
+///   `db` at `FROM` seconds, recovering at `TO` (permanent if omitted).
+///   Repeatable; comma-separated windows also accepted. Harnesses opt in
+///   via [`BenchArgs::apply_faults`], which re-validates the topology and
+///   surfaces a [`TopologyError`] instead of aborting deep in assembly.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// `--hw` override.
@@ -31,46 +39,138 @@ pub struct BenchArgs {
     pub users: Option<Vec<u32>>,
     /// `--quick` flag.
     pub quick: bool,
+    /// `--faults` crash windows, in flag order.
+    pub faults: Vec<FaultFlag>,
+}
+
+/// One `--faults` crash window: which tier/replica goes down, and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultFlag {
+    /// Tier the window applies to.
+    pub tier: Tier,
+    /// Replica index within that tier.
+    pub replica: u16,
+    /// Crash instant, in seconds.
+    pub crash_at: f64,
+    /// Recovery instant, or `None` for a permanent crash.
+    pub recover_at: Option<f64>,
+}
+
+impl FaultFlag {
+    /// Parse one `TIER[:REPLICA]@FROM[-TO]` window, e.g. `cmw@60`,
+    /// `db:1@40-70`.
+    fn parse(spec: &str) -> Result<Self, String> {
+        let err = || format!("--faults '{spec}' must be TIER[:REPLICA]@FROM[-TO]");
+        let (target, window) = spec.split_once('@').ok_or_else(err)?;
+        let (tier_s, replica_s) = match target.split_once(':') {
+            Some((t, r)) => (t, Some(r)),
+            None => (target, None),
+        };
+        let tier = match tier_s.trim().to_ascii_lowercase().as_str() {
+            "web" => Tier::Web,
+            "app" => Tier::App,
+            "cmw" => Tier::Cmw,
+            "db" => Tier::Db,
+            other => return Err(format!("--faults: unknown tier '{other}' (web/app/cmw/db)")),
+        };
+        let replica: u16 = match replica_s {
+            Some(r) => r.trim().parse().map_err(|_| err())?,
+            None => 0,
+        };
+        let (from_s, to_s) = match window.split_once('-') {
+            Some((f, t)) => (f, Some(t)),
+            None => (window, None),
+        };
+        let crash_at: f64 = from_s.trim().parse().map_err(|_| err())?;
+        let recover_at = match to_s {
+            Some(t) => Some(t.trim().parse::<f64>().map_err(|_| err())?),
+            None => None,
+        };
+        Ok(FaultFlag {
+            tier,
+            replica,
+            crash_at,
+            recover_at,
+        })
+    }
 }
 
 impl BenchArgs {
     /// Parse the process arguments; exits with a message on a malformed
-    /// flag. Unknown arguments (libtest passes some through) are ignored.
+    /// flag (the only abort left at the CLI boundary — everything below it
+    /// returns `Result`).
     pub fn parse() -> Self {
+        match Self::try_parse_from(std::env::args().skip(1)) {
+            Ok(out) => out,
+            Err(msg) => {
+                eprintln!("bench flags: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Fallible parse. Unknown arguments (libtest passes some through) are
+    /// ignored; malformed values for known flags are returned as errors.
+    pub fn try_parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut out = BenchArgs::default();
-        let mut args = std::env::args().skip(1);
-        let fail = |msg: String| -> ! {
-            eprintln!("bench flags: {msg}");
-            std::process::exit(2);
-        };
+        let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--hw" => match args.next().map(|v| v.parse()) {
                     Some(Ok(hw)) => out.hw = Some(hw),
-                    Some(Err(e)) => fail(e),
-                    None => fail("--hw needs a value".into()),
+                    Some(Err(e)) => return Err(e),
+                    None => return Err("--hw needs a value".into()),
                 },
                 "--soft" => match args.next().map(|v| v.parse()) {
                     Some(Ok(soft)) => out.soft = Some(soft),
-                    Some(Err(e)) => fail(e),
-                    None => fail("--soft needs a value".into()),
+                    Some(Err(e)) => return Err(e),
+                    None => return Err("--soft needs a value".into()),
                 },
                 "--users" => {
                     let Some(v) = args.next() else {
-                        fail("--users needs a value".into());
+                        return Err("--users needs a value".into());
                     };
                     let list: Result<Vec<u32>, _> =
                         v.split(',').map(|p| p.trim().parse::<u32>()).collect();
                     match list {
                         Ok(list) if !list.is_empty() => out.users = Some(list),
-                        _ => fail(format!("--users '{v}' must be N[,N…]")),
+                        _ => return Err(format!("--users '{v}' must be N[,N…]")),
+                    }
+                }
+                "--faults" => {
+                    let Some(v) = args.next() else {
+                        return Err("--faults needs a value".into());
+                    };
+                    for part in v.split(',') {
+                        out.faults.push(FaultFlag::parse(part.trim())?);
                     }
                 }
                 "--quick" => out.quick = true,
                 _ => {}
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Attach the `--faults` crash windows to `topo` and re-validate,
+    /// surfacing scope violations (e.g. crashing a Web tier) as a
+    /// [`TopologyError`] rather than a panic at system assembly.
+    pub fn apply_faults(&self, topo: &mut Topology) -> Result<(), TopologyError> {
+        for f in &self.faults {
+            let Some(spec) = topo.tiers.iter_mut().find(|s| s.role == f.tier) else {
+                return Err(TopologyError::UnsupportedChain(format!(
+                    "--faults names a {} tier the chain does not have",
+                    f.tier
+                )));
+            };
+            let fault = std::mem::take(&mut spec.fault);
+            spec.fault = fault.with_crash(
+                f.replica,
+                SimTime::from_secs_f64(f.crash_at),
+                f.recover_at.map(SimTime::from_secs_f64),
+            );
+        }
+        topo.validate()
     }
 
     /// The figure's hardware unless overridden.
@@ -135,6 +235,31 @@ pub fn run_sweep_scheduled(
     let specs: Vec<ExperimentSpec> = users
         .iter()
         .map(|&u| spec_scheduled(hw, soft, u, schedule))
+        .collect();
+    ntier_core::sweep(&specs)
+}
+
+/// [`run_sweep_scheduled`] with the CLI `--faults` crash windows attached
+/// to every spec's topology; exits with the [`TopologyError`] message when
+/// a flag is out of scope (e.g. crashing the web tier).
+pub fn run_sweep_args(
+    args: &BenchArgs,
+    hw: HardwareConfig,
+    soft: SoftAllocation,
+    users: &[u32],
+) -> Vec<RunOutput> {
+    let mut topo = Topology::paper(hw, soft);
+    if let Err(e) = args.apply_faults(&mut topo) {
+        eprintln!("bench flags: {e}");
+        std::process::exit(2);
+    }
+    let specs: Vec<ExperimentSpec> = users
+        .iter()
+        .map(|&u| {
+            let mut s = ExperimentSpec::new(hw, soft, u).with_topology(topo.clone());
+            s.schedule = args.schedule();
+            s
+        })
         .collect();
     ntier_core::sweep(&specs)
 }
@@ -232,6 +357,48 @@ mod tests {
     fn pct_diff_matches_paper_convention() {
         assert!((pct_diff(128.0, 100.0) - 28.0).abs() < 1e-12);
         assert_eq!(pct_diff(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn try_parse_surfaces_errors_instead_of_aborting() {
+        let args = |list: &[&str]| BenchArgs::try_parse_from(list.iter().map(|s| s.to_string()));
+        assert!(args(&["--hw", "not-a-topology"]).is_err());
+        assert!(args(&["--soft"]).is_err());
+        assert!(args(&["--users", "a,b"]).is_err());
+        let ok = args(&["--hw", "1/2/1/2", "--quick", "--bench"]).expect("parses");
+        assert_eq!(ok.hw, Some(HardwareConfig::one_two_one_two()));
+        assert!(ok.quick);
+    }
+
+    #[test]
+    fn fault_flag_parses_windows() {
+        let f = FaultFlag::parse("db:1@40-70").expect("parses");
+        assert_eq!(f.tier, Tier::Db);
+        assert_eq!(f.replica, 1);
+        assert_eq!(f.crash_at, 40.0);
+        assert_eq!(f.recover_at, Some(70.0));
+        let f = FaultFlag::parse("cmw@60").expect("parses");
+        assert_eq!((f.tier, f.replica, f.recover_at), (Tier::Cmw, 0, None));
+        assert!(FaultFlag::parse("disk@40").is_err());
+        assert!(FaultFlag::parse("db:1").is_err());
+    }
+
+    #[test]
+    fn apply_faults_validates_scope() {
+        let hw = HardwareConfig::one_two_one_two();
+        let soft = SoftAllocation::rule_of_thumb();
+        let args =
+            BenchArgs::try_parse_from(["--faults", "db:1@40-70"].iter().map(|s| s.to_string()))
+                .expect("parses");
+        let mut topo = Topology::paper(hw, soft);
+        args.apply_faults(&mut topo).expect("db crash is in scope");
+        assert_eq!(topo.tiers[3].fault.crashes.len(), 1);
+
+        // Crashing the web tier is out of scope → TopologyError, not a panic.
+        let bad = BenchArgs::try_parse_from(["--faults", "web@40"].iter().map(|s| s.to_string()))
+            .expect("parses");
+        let mut topo = Topology::paper(hw, soft);
+        assert!(bad.apply_faults(&mut topo).is_err());
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use ntier_trace::TraceConfig;
 use tiers::{
-    run_system, run_system_traced, HardwareConfig, RunOutput, RunTrace, SoftAllocation,
-    SystemConfig, Tier, Topology,
+    run_system, run_system_traced, HardwareConfig, RetryPolicy, RunOutput, RunTrace,
+    SoftAllocation, SystemConfig, Tier, Topology,
 };
 use workload::WorkloadConfig;
 
@@ -184,6 +184,8 @@ pub struct ExperimentSpec {
     /// replication, a 3-tier system, replicated middleware) through the
     /// same experiment drivers.
     pub topology: Option<Topology>,
+    /// Client-side retry policy (disabled by default).
+    pub retry: RetryPolicy,
 }
 
 impl ExperimentSpec {
@@ -197,6 +199,7 @@ impl ExperimentSpec {
             seed: 0x5eed_0001,
             trace: TraceConfig::Off,
             topology: None,
+            retry: RetryPolicy::disabled(),
         }
     }
 
@@ -219,6 +222,7 @@ impl ExperimentSpec {
         cfg.seed = self.seed;
         cfg.trace = self.trace;
         cfg.topology = self.topology.clone();
+        cfg.retry = self.retry;
         cfg
     }
 }

@@ -35,6 +35,7 @@ impl SlaModel {
             thresholds: self.thresholds.clone(),
             good: vec![0; self.thresholds.len()],
             total: 0,
+            errors: 0,
         }
     }
 }
@@ -45,6 +46,7 @@ pub struct SlaCounts {
     thresholds: Vec<f64>,
     good: Vec<u64>,
     total: u64,
+    errors: u64,
 }
 
 impl SlaCounts {
@@ -55,6 +57,31 @@ impl SlaCounts {
             if rt_secs <= t {
                 self.good[i] += 1;
             }
+        }
+    }
+
+    /// Record a request that terminated in an error (timed out, shed, or
+    /// failed): it counts toward throughput and is badput at *every*
+    /// threshold — an error page never satisfies the SLA — so the partition
+    /// `goodput + badput == throughput` keeps holding.
+    pub fn record_error(&mut self) {
+        self.total += 1;
+        self.errors += 1;
+    }
+
+    /// Requests that terminated in an error.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Fraction of requests that did not error (1.0 when empty). The
+    /// classic availability metric: errors are unavailability regardless of
+    /// response time.
+    pub fn availability(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            (self.total - self.errors) as f64 / self.total as f64
         }
     }
 
@@ -152,6 +179,31 @@ mod tests {
         c.record(0.5);
         c.record(2.0);
         assert!((c.satisfaction(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_are_badput_at_every_threshold() {
+        let model = SlaModel::paper();
+        let mut c = model.counters();
+        c.record(0.1);
+        c.record_error();
+        c.record_error();
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.errors(), 2);
+        assert!((c.availability() - 1.0 / 3.0).abs() < 1e-12);
+        for i in 0..3 {
+            assert_eq!(c.good(i), 1);
+            assert_eq!(c.bad(i), 2);
+            let w = 10.0;
+            assert!((c.goodput(i, w) + c.badput(i, w) - c.throughput(w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn availability_is_one_when_idle() {
+        let c = SlaModel::paper().counters();
+        assert_eq!(c.availability(), 1.0);
+        assert_eq!(c.errors(), 0);
     }
 
     #[test]

@@ -314,6 +314,23 @@ impl PsCpu {
         avg
     }
 
+    /// Abort every job still in service (a replica crash): advance to `now`,
+    /// then return all jobs — already-completed-but-uncollected ones first,
+    /// followed by in-service jobs in virtual-finish order. The unserved
+    /// remainder of each aborted job is subtracted from `work_submitted`, so
+    /// work conservation (`work_done == work_submitted` once drained) keeps
+    /// holding across crashes.
+    pub fn abort_all(&mut self, now: SimTime) -> Vec<JobId> {
+        self.advance(now);
+        let mut out = std::mem::take(&mut self.completed);
+        while let Some(Reverse((tag, job))) = self.heap.pop() {
+            self.work_submitted -= (tag.as_f64() - self.virt).max(0.0);
+            out.push(job);
+        }
+        self.active = 0;
+        out
+    }
+
     /// Total useful service-seconds completed (excludes frozen time).
     pub fn work_done(&self) -> f64 {
         self.work_done
@@ -525,6 +542,32 @@ mod tests {
         cpu.submit(SimTime::ZERO, 1, 0.100);
         assert!(cpu.pop_due(t(50)).is_empty());
         assert_eq!(cpu.active_jobs(), 1);
+    }
+
+    #[test]
+    fn abort_all_reclaims_in_service_and_uncollected_jobs() {
+        let mut cpu = cpu1();
+        cpu.submit(SimTime::ZERO, 1, 0.010); // completes at 10 ms, never popped
+        cpu.submit(SimTime::ZERO, 2, 0.200); // still running at 50 ms
+        cpu.submit(SimTime::ZERO, 3, 0.300); // still running at 50 ms
+        let mut aborted = cpu.abort_all(t(50));
+        aborted.sort_unstable();
+        assert_eq!(aborted, vec![1, 2, 3]);
+        assert_eq!(cpu.active_jobs(), 0);
+        assert_eq!(cpu.next_completion(t(50)), None);
+        // Only the served portion remains in the submitted ledger: after a
+        // subsequent drain-to-idle, done == submitted.
+        assert!(
+            (cpu.work_done() - cpu.work_submitted()).abs() < 1e-9,
+            "done={} submitted={}",
+            cpu.work_done(),
+            cpu.work_submitted()
+        );
+        // The CPU keeps working after the crash.
+        cpu.submit(t(60), 9, 0.010);
+        let done = drain(&mut cpu, t(60));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, 9);
     }
 
     #[test]

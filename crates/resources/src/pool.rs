@@ -45,6 +45,11 @@ pub struct PoolStats {
     pub grants: u64,
     /// Number of acquisitions that had to wait.
     pub waits: u64,
+    /// Number of waiters removed before being granted (timeout/abandonment).
+    /// Cancelled waits never enter the wait-time sample: `mean_wait_secs`
+    /// covers granted-after-wait jobs only, and `waits - cancelled` of them
+    /// were (or will be) granted.
+    pub cancelled: u64,
 }
 
 /// A counted soft resource with FIFO waiters.
@@ -61,6 +66,7 @@ pub struct SoftPool {
     wait_time: Welford,
     grants: u64,
     waits: u64,
+    cancelled: u64,
     window_start: SimTime,
     occ_window_integral: f64,
     occ_window_last: SimTime,
@@ -85,6 +91,7 @@ impl SoftPool {
             wait_time: Welford::new(),
             grants: 0,
             waits: 0,
+            cancelled: 0,
             window_start: SimTime::ZERO,
             occ_window_integral: 0.0,
             occ_window_last: SimTime::ZERO,
@@ -192,9 +199,15 @@ impl SoftPool {
     }
 
     /// Remove a waiting job (e.g. timeout/abandonment). Returns true if found.
+    ///
+    /// The cancelled wait is counted separately and is *not* folded into the
+    /// wait-time sample — `mean_wait_secs` must keep describing the waits of
+    /// jobs that were eventually granted, or a burst of fast-failing timeouts
+    /// would drag the reported queueing delay toward the timeout budget.
     pub fn cancel_waiter(&mut self, now: SimTime, job: JobId) -> bool {
         if let Some(pos) = self.waiters.iter().position(|&(j, _)| j == job) {
             self.waiters.remove(pos);
+            self.cancelled += 1;
             self.touch(now);
             true
         } else {
@@ -212,6 +225,7 @@ impl SoftPool {
         self.wait_time = Welford::new();
         self.grants = 0;
         self.waits = 0;
+        self.cancelled = 0;
         self.window_start = now;
         self.occ_window_integral = 0.0;
         self.occ_window_last = now;
@@ -229,6 +243,7 @@ impl SoftPool {
             mean_wait_secs: self.wait_time.mean(),
             grants: self.grants,
             waits: self.waits,
+            cancelled: self.cancelled,
         }
     }
 
@@ -346,6 +361,58 @@ mod tests {
         assert!(p.cancel_waiter(t(1), 2));
         assert!(!p.cancel_waiter(t(1), 99));
         assert_eq!(p.release(t(2)), Some(3));
+    }
+
+    #[test]
+    fn cancelled_waiters_do_not_pollute_wait_stats() {
+        let mut p = SoftPool::new("threads", 1);
+        p.begin_measurement(t(0));
+        p.acquire(t(0), 1);
+        p.acquire(t(0), 2); // will be cancelled after a long wait
+        p.acquire(t(100), 3); // will be granted after a short wait
+        assert!(p.cancel_waiter(t(900), 2));
+        assert_eq!(p.release(t(1000)), Some(3)); // 3 waited 900 ms
+        let st = p.stats(t(1000));
+        assert_eq!(st.waits, 2);
+        assert_eq!(st.cancelled, 1);
+        assert_eq!(st.grants, 2);
+        // Only the granted waiter's 900 ms is in the sample — not job 2's.
+        assert!((st.mean_wait_secs - 0.9).abs() < 1e-9, "{st:?}");
+    }
+
+    #[test]
+    fn cancel_then_release_preserves_fifo_and_counts() {
+        let mut p = SoftPool::new("threads", 1);
+        p.acquire(t(0), 1);
+        p.acquire(t(0), 2);
+        p.acquire(t(0), 3);
+        p.acquire(t(0), 4);
+        assert_eq!(p.waiting(), 3);
+        // Cancel the FIFO head: next release must hand off to 3, not 2.
+        assert!(p.cancel_waiter(t(1), 2));
+        assert_eq!(p.waiting(), 2);
+        assert_eq!(p.release(t(2)), Some(3));
+        assert_eq!(p.in_use(), 1);
+        // Cancel the last remaining waiter: release now frees the unit.
+        assert!(p.cancel_waiter(t(3), 4));
+        assert_eq!(p.waiting(), 0);
+        assert_eq!(p.release(t(4)), None);
+        assert_eq!((p.in_use(), p.waiting()), (0, 0));
+        // A cancelled job is gone: cancelling it again is a no-op.
+        assert!(!p.cancel_waiter(t(5), 2));
+        let st = p.stats(t(5));
+        assert_eq!(st.cancelled, 2);
+        assert_eq!(st.waits, 3);
+    }
+
+    #[test]
+    fn begin_measurement_resets_cancelled() {
+        let mut p = SoftPool::new("threads", 1);
+        p.acquire(t(0), 1);
+        p.acquire(t(0), 2);
+        p.cancel_waiter(t(1), 2);
+        p.begin_measurement(t(10));
+        assert_eq!(p.stats(t(20)).cancelled, 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use jvm_gc::GcConfig;
 use ntier_trace::TraceConfig;
 use simcore::SimTime;
 use std::str::FromStr;
-use workload::WorkloadConfig;
+use workload::{RetryPolicy, WorkloadConfig};
 
 fn parse_fields(s: &str, sep: char, n: usize, what: &str) -> Result<Vec<usize>, String> {
     let parts: Vec<&str> = s.split(sep).collect();
@@ -256,6 +256,9 @@ pub struct SystemConfig {
     pub linger: LingerConfig,
     /// SLA thresholds in seconds (ascending).
     pub sla_thresholds: Vec<f64>,
+    /// Client-side retry policy for failed/timed-out responses (disabled by
+    /// default: a failure is final and the session goes back to thinking).
+    pub retry: RetryPolicy,
     /// RNG seed for the whole trial.
     pub seed: u64,
     /// Per-request distributed tracing (off by default; see `ntier-trace`).
@@ -281,6 +284,7 @@ impl SystemConfig {
             cjdbc_gc: GcConfig::jdk6_server(),
             linger: LingerConfig::emulab_clients(),
             sla_thresholds: vec![0.5, 1.0, 2.0],
+            retry: RetryPolicy::disabled(),
             seed: 0x5eed_0001,
             trace: TraceConfig::Off,
             topology: None,

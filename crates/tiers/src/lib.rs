@@ -36,6 +36,7 @@
 //! with every observable the paper's figures and algorithm need.
 
 pub mod config;
+pub mod fault;
 pub mod ids;
 pub mod linger;
 pub mod nodes;
@@ -47,10 +48,15 @@ mod tier_nodes;
 pub mod topology;
 
 pub use config::{HardwareConfig, ServiceParams, SoftAllocation, SystemConfig};
+pub use fault::{
+    CrashWindow, FaultSpec, Outcome, OutcomeTotals, ShedPolicy, SlowWindow, TopologyError,
+};
 pub use ids::Tier;
 pub use linger::LingerConfig;
 pub use output::{ApacheProbes, NodeReport, PoolReport, RunOutput};
 pub use system::{
-    run_system, run_system_to_drain, run_system_traced, DrainReport, NodeDrain, RunTrace, System,
+    run_system, run_system_to_drain, run_system_traced, try_run_system, DrainReport, NodeDrain,
+    RunTrace, System,
 };
 pub use topology::{SelectPolicy, TierId, TierSpec, Topology, MAX_TIERS};
+pub use workload::RetryPolicy;

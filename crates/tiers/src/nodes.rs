@@ -1,6 +1,7 @@
 //! Per-server state: CPU, soft pools, JVM, disk, logs, and probes.
 
 use crate::config::{ServiceParams, SoftAllocation, SystemConfig};
+use crate::fault::{SlowWindow, TopologyError};
 use crate::ids::Tier;
 use crate::output::{NodeReport, PoolReport};
 use crate::topology::{TierId, TierSpec};
@@ -51,6 +52,17 @@ pub struct Node {
     pub conn_density: UtilDensity,
     /// Disk busy-seconds measurement-window start.
     pub disk_window_start: SimTime,
+    /// Whether the replica is up (crash/recovery windows flip this).
+    pub up: bool,
+    /// Slow-replica degradation windows for this replica (from the fault
+    /// spec); empty on healthy nodes — zero per-request cost.
+    pub slow: Vec<SlowWindow>,
+    /// Jobs that timed out at this node over the whole trial.
+    pub timed_out: u64,
+    /// Requests shed at admission (front tier only).
+    pub shed: u64,
+    /// Jobs lost at this node to crashes or dropped connections.
+    pub failed: u64,
 }
 
 impl Node {
@@ -84,21 +96,50 @@ impl Node {
             conn_series: Vec::new(),
             conn_density: UtilDensity::new(),
             disk_window_start: SimTime::ZERO,
+            up: true,
+            slow: Vec::new(),
+            timed_out: 0,
+            shed: 0,
+            failed: 0,
         }
     }
 
+    /// Service-demand multiplier at `now` from any active slow windows
+    /// (1.0 — and no float work at all — on healthy replicas).
+    pub fn demand_mult(&self, now: SimTime) -> f64 {
+        let mut m = 1.0;
+        for w in &self.slow {
+            if now >= w.from && w.until.is_none_or(|u| now < u) {
+                m *= w.multiplier;
+            }
+        }
+        m
+    }
+
     /// Build a node from a tier spec: the role decides which sub-resources
-    /// (pools, JVM, disk) the server carries.
-    pub fn from_spec(spec: &TierSpec, tier_id: TierId, idx: u16, params: &ServiceParams) -> Self {
+    /// (pools, JVM, disk) the server carries. Structural problems —
+    /// a Web/App tier with no pool — come back as a [`TopologyError`]
+    /// instead of a panic.
+    pub fn from_spec(
+        spec: &TierSpec,
+        tier_id: TierId,
+        idx: u16,
+        params: &ServiceParams,
+    ) -> Result<Self, TopologyError> {
+        let missing = |what: &'static str| TopologyError::BadPool {
+            tier: tier_id,
+            name: spec.name.to_string(),
+            what,
+        };
         let mut n = Node::new(spec.role, tier_id, idx, spec.name, params);
         match spec.role {
             Tier::Web => {
-                let threads = spec.threads.expect("web tier has a worker pool");
+                let threads = spec.threads.ok_or(missing("needs a thread pool"))?;
                 n.pool = Some(SoftPool::new("apache-workers", threads));
             }
             Tier::App => {
-                let threads = spec.threads.expect("app tier has a thread pool");
-                let conns = spec.conns.expect("app tier has a connection pool");
+                let threads = spec.threads.ok_or(missing("needs a thread pool"))?;
+                let conns = spec.conns.ok_or(missing("needs a connection pool"))?;
                 n.pool = Some(SoftPool::new("tomcat-threads", threads));
                 n.conn_pool = Some(SoftPool::new("tomcat-dbconns", conns));
                 if let Some(gc) = &spec.gc {
@@ -123,13 +164,20 @@ impl Node {
                 n.disk = Some(FcfsServer::new("mysql-disk"));
             }
         }
-        n
+        n.slow = spec
+            .fault
+            .slow
+            .iter()
+            .filter(|w| w.replica == idx)
+            .copied()
+            .collect();
+        Ok(n)
     }
 
     /// Build an Apache web server node (paper chain, tier id 0).
     pub fn apache(idx: u16, cfg: &SystemConfig) -> Self {
         let spec = TierSpec::web(cfg.hardware.web, cfg.soft.web_threads);
-        Node::from_spec(&spec, 0, idx, &cfg.params)
+        Node::from_spec(&spec, 0, idx, &cfg.params).expect("web spec carries a pool")
     }
 
     /// Build a Tomcat application server node (paper chain, tier id 1).
@@ -140,7 +188,7 @@ impl Node {
             cfg.soft.app_db_conns,
             cfg.tomcat_gc.clone(),
         );
-        Node::from_spec(&spec, 1, idx, &cfg.params)
+        Node::from_spec(&spec, 1, idx, &cfg.params).expect("app spec carries pools")
     }
 
     /// Build a C-JDBC clustering-middleware node (paper chain, tier id 2).
@@ -149,13 +197,13 @@ impl Node {
     pub fn cjdbc(idx: u16, cfg: &SystemConfig, soft: &SoftAllocation) -> Self {
         let total_conns = soft.app_db_conns * cfg.hardware.app;
         let spec = TierSpec::cmw(cfg.hardware.cmw, total_conns, cfg.cjdbc_gc.clone());
-        Node::from_spec(&spec, 2, idx, &cfg.params)
+        Node::from_spec(&spec, 2, idx, &cfg.params).expect("cmw spec needs no pool")
     }
 
     /// Build a MySQL database server node (paper chain, tier id 3).
     pub fn mysql(idx: u16, cfg: &SystemConfig) -> Self {
         let spec = TierSpec::db(cfg.hardware.db);
-        Node::from_spec(&spec, 3, idx, &cfg.params)
+        Node::from_spec(&spec, 3, idx, &cfg.params).expect("db spec needs no pool")
     }
 
     /// Display name, e.g. `Tomcat-0`.
@@ -214,6 +262,7 @@ impl Node {
                 saturated_fraction: st.saturated_fraction,
                 mean_wait_secs: st.mean_wait_secs,
                 waits: st.waits,
+                cancelled: st.cancelled,
                 series: series.to_vec(),
                 density: density.clone(),
             }
@@ -356,10 +405,42 @@ mod tests {
         let spec = TierSpec::app(1, 10, 5, jvm_gc::GcConfig::jdk6_server())
             .with_gc(None)
             .named("Jetty");
-        let n = Node::from_spec(&spec, 1, 0, &c.params);
+        let n = Node::from_spec(&spec, 1, 0, &c.params).expect("valid spec");
         assert!(n.jvm.is_none(), "gc None disables the JVM");
         assert_eq!(n.name(), "Jetty-0");
         assert_eq!(n.pool.as_ref().unwrap().capacity(), 10);
+    }
+
+    #[test]
+    fn from_spec_rejects_missing_pools() {
+        let c = cfg();
+        let mut spec = TierSpec::web(1, 100);
+        spec.threads = None;
+        let err = Node::from_spec(&spec, 0, 0, &c.params).unwrap_err();
+        assert!(matches!(err, TopologyError::BadPool { .. }), "{err}");
+        let mut spec = TierSpec::app(1, 10, 5, jvm_gc::GcConfig::jdk6_server());
+        spec.conns = None;
+        assert!(Node::from_spec(&spec, 1, 0, &c.params).is_err());
+    }
+
+    #[test]
+    fn slow_windows_attach_to_their_replica() {
+        use simcore::SimTime as T;
+        let c = cfg();
+        let spec = TierSpec::db(2).with_fault(crate::fault::FaultSpec::none().with_slow(
+            1,
+            T::from_secs(10),
+            Some(T::from_secs(20)),
+            3.0,
+        ));
+        let healthy = Node::from_spec(&spec, 3, 0, &c.params).unwrap();
+        let degraded = Node::from_spec(&spec, 3, 1, &c.params).unwrap();
+        assert!(healthy.slow.is_empty());
+        assert_eq!(healthy.demand_mult(T::from_secs(15)), 1.0);
+        assert_eq!(degraded.demand_mult(T::from_secs(5)), 1.0);
+        assert_eq!(degraded.demand_mult(T::from_secs(15)), 3.0);
+        assert_eq!(degraded.demand_mult(T::from_secs(25)), 1.0);
+        assert!(degraded.up);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use metrics::{RtDistribution, SlaCounts, SloSeries, UtilDensity};
 use simcore::stats::{IntervalSeries, LogHistogram, Welford};
 use simcore::SimTime;
 
+use crate::fault::{Outcome, OutcomeTotals};
 use crate::ids::Tier;
 
 /// Request-level telemetry accumulated during the measurement window.
@@ -22,6 +23,8 @@ pub struct Telemetry {
     pub slo: SloSeries,
     /// Requests completed per second.
     pub completed_series: IntervalSeries,
+    /// Terminal-outcome counters over the window (errors + retries).
+    pub outcomes: OutcomeTotals,
 }
 
 impl Telemetry {
@@ -35,6 +38,7 @@ impl Telemetry {
             rt_stats: Welford::new(),
             slo: SloSeries::new(origin, slo_threshold),
             completed_series: IntervalSeries::new(origin, SimTime::from_secs(1)),
+            outcomes: OutcomeTotals::default(),
         }
     }
 
@@ -46,6 +50,19 @@ impl Telemetry {
         self.rt_stats.add(rt_secs);
         self.slo.record(now, rt_secs);
         self.completed_series.incr(now);
+        self.outcomes.completed += 1;
+    }
+
+    /// Record a request terminating with an error `outcome` at `now`: it
+    /// counts toward throughput, is badput at every SLA threshold, and
+    /// violates the SLO series (an error page is an infinite response time
+    /// for satisfaction purposes). Not recorded in the response-time
+    /// statistics — those describe served requests.
+    pub fn record_failure(&mut self, now: SimTime, outcome: Outcome) {
+        debug_assert!(outcome != Outcome::Completed);
+        self.sla.record_error();
+        self.slo.record(now, f64::INFINITY);
+        self.outcomes.count(outcome);
     }
 }
 
@@ -64,6 +81,9 @@ pub struct PoolReport {
     pub mean_wait_secs: f64,
     /// Acquisitions that had to queue.
     pub waits: u64,
+    /// Waiters cancelled before being granted (timeouts/abandonment); these
+    /// never enter `mean_wait_secs`.
+    pub cancelled: u64,
     /// Per-second occupancy samples.
     pub series: Vec<f64>,
     /// Occupancy sample density (the Fig. 4 density graphs).
@@ -183,6 +203,13 @@ pub struct RunOutput {
     pub apache_probes: ApacheProbes,
     /// Simulation events processed (engine health metric).
     pub events_processed: u64,
+    /// Terminal outcomes over the measurement window: `completed` equals the
+    /// `completed` field above; `timed_out + shed + failed` are the errors
+    /// behind the availability figure; `retries` counts client re-issues.
+    pub outcomes: OutcomeTotals,
+    /// Fraction of terminal responses in the window that were not errors
+    /// (1.0 when fault-free).
+    pub availability: f64,
 }
 
 impl RunOutput {
@@ -312,6 +339,24 @@ mod tests {
         assert!((t.slo.overall() - 2.0 / 3.0).abs() < 1e-12);
     }
 
+    #[test]
+    fn telemetry_failures_count_as_badput() {
+        let model = SlaModel::paper();
+        let mut t = Telemetry::new(SimTime::ZERO, model.counters(), 2.0);
+        t.record(SimTime::from_millis(500), 0.3);
+        t.record_failure(SimTime::from_millis(600), Outcome::TimedOut);
+        t.record_failure(SimTime::from_millis(700), Outcome::Shed);
+        assert_eq!(t.sla.total(), 3);
+        assert_eq!(t.sla.errors(), 2);
+        assert_eq!(t.outcomes.total(), 3);
+        assert_eq!(t.outcomes.timed_out, 1);
+        assert_eq!(t.outcomes.shed, 1);
+        // RT stats describe served requests only.
+        assert_eq!(t.rt_stats.count(), 1);
+        // SLO satisfaction: 1 good of 3.
+        assert!((t.slo.overall() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
     fn dummy_node(tier: Tier, idx: u16, util: f64, sat: f64) -> NodeReport {
         NodeReport {
             tier,
@@ -335,6 +380,7 @@ mod tests {
                 saturated_fraction: sat,
                 mean_wait_secs: 0.0,
                 waits: 0,
+                cancelled: 0,
                 series: vec![],
                 density: metrics::UtilDensity::new(),
             }),
@@ -369,6 +415,8 @@ mod tests {
             ],
             apache_probes: ApacheProbes::default(),
             events_processed: 0,
+            outcomes: OutcomeTotals::default(),
+            availability: 1.0,
         }
     }
 

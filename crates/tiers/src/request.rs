@@ -6,6 +6,7 @@
 //! serves the request is recorded in a per-tier routing table indexed by
 //! [`crate::topology::TierId`].
 
+use crate::fault::Outcome;
 use crate::ids::{QueryId, ReqId};
 use crate::topology::MAX_TIERS;
 use simcore::SimTime;
@@ -78,6 +79,17 @@ pub struct Request {
     pub t_front_post_start: SimTime,
     /// When the front tier finished the response (start of lingering close).
     pub t_front_done: SimTime,
+    /// Terminal outcome (meaningful once the response reaches the client).
+    pub outcome: Outcome,
+    /// 1-based attempt number (> 1 after a client retry).
+    pub attempt: u8,
+    /// Armed deadline-timer sequence number (0 = no deadline armed). A
+    /// `ReqTimeout` event only fires if its sequence still matches, which
+    /// makes stale timers harmless across slab-slot reuse.
+    pub timeout_seq: u32,
+    /// The deadline fired while the request was at a point that cannot be
+    /// cancelled synchronously; unwind at the next checkpoint.
+    pub deadline_exceeded: bool,
 }
 
 impl Request {
@@ -103,6 +115,10 @@ impl Request {
             t_query_issued: SimTime::ZERO,
             t_front_post_start: SimTime::ZERO,
             t_front_done: SimTime::ZERO,
+            outcome: Outcome::Completed,
+            attempt: 1,
+            timeout_seq: 0,
+            deadline_exceeded: false,
         }
     }
 
@@ -148,6 +164,10 @@ pub struct Query {
     pub t_enter_mw: SimTime,
     /// Arrival at the database tier (for the db residence log).
     pub t_enter_db: SimTime,
+    /// The query was lost (crashed replica, dropped connection) or one of a
+    /// write broadcast's branches failed; the owning request fails when the
+    /// error reply propagates up.
+    pub failed: bool,
 }
 
 impl Query {
@@ -161,6 +181,7 @@ impl Query {
             pending_replies: 0,
             t_enter_mw,
             t_enter_db: SimTime::ZERO,
+            failed: false,
         }
     }
 }
@@ -180,6 +201,10 @@ mod tests {
         assert_eq!(r.queries_done, 0);
         assert_eq!(r.route, [0; MAX_TIERS]);
         assert!(!r.worker_interacting_with_backend());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.attempt, 1);
+        assert_eq!(r.timeout_seq, 0);
+        assert!(!r.deadline_exceeded);
     }
 
     #[test]

@@ -11,17 +11,18 @@
 //! changes.
 
 use crate::config::{MixKind, SystemConfig};
+use crate::fault::{FaultSpec, Outcome, OutcomeTotals, ShedPolicy, TopologyError};
 use crate::ids::{QueryId, ReqId, Tier, Token};
 use crate::nodes::{ApacheProbe, Node};
 use crate::output::{ApacheProbes, NodeReport, RunOutput, Telemetry};
-use crate::request::{QueryPhase, Request};
+use crate::request::{QueryPhase, ReqPhase, Request};
 use crate::slab::Slab;
 use crate::tier_nodes::{make_tier, TierNode};
 use crate::topology::{SelectPolicy, TierId};
 use metrics::SlaModel;
 use ntier_trace::{Span, TraceId, Tracer, ENGINE_TRACE};
 use simcore::{Engine, EngineStats, EventQueue, Model, RunRng, SimTime};
-use workload::{InteractionCatalog, Mix, Session, SessionModel};
+use workload::{InteractionCatalog, InteractionId, Mix, Session, SessionModel};
 
 /// A typed message addressed to one tier of the chain.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +74,26 @@ pub enum Ev {
     BeginMeasure,
     /// Close the measurement window and snapshot reports.
     EndMeasure,
+    /// A per-tier deadline fired for request `r`; stale (and ignored) unless
+    /// the request still exists and its armed sequence number matches.
+    ReqTimeout {
+        /// The request the deadline was armed for.
+        r: ReqId,
+        /// Sequence number at arming time.
+        seq: u32,
+    },
+    /// A client session re-issues its failed interaction (retry policy).
+    Reissue(u32),
+    /// Scheduled replica crash ([`crate::fault::CrashWindow`]).
+    Crash {
+        /// Flat node index.
+        node: u16,
+    },
+    /// Scheduled replica recovery.
+    Recover {
+        /// Flat node index.
+        node: u16,
+    },
 }
 
 /// Where one tier sits in the chain: its role, replica range in the flat
@@ -95,6 +116,10 @@ pub(crate) struct TierLink {
     pub down: Option<TierId>,
     /// Whether this tier's workers linger on close.
     pub linger: bool,
+    /// Request deadline armed when a request enters this tier.
+    pub timeout: Option<SimTime>,
+    /// Admission control (meaningful only on the front tier).
+    pub shed: ShedPolicy,
 }
 
 /// Mutable routing state per tier.
@@ -130,6 +155,22 @@ pub(crate) struct Ctx {
     pub rng_demand: RunRng,
     pub rng_linger: RunRng,
     pub rng_route: RunRng,
+    /// Dedicated stream for fault injection (connection drops). Forked
+    /// unconditionally — forking never mutates the root — but only *drawn*
+    /// from when a non-zero drop probability is configured, so a faults-off
+    /// run consumes exactly the same random numbers as before the fault
+    /// layer existed.
+    pub rng_faults: RunRng,
+    /// Per-tier fault specs (index = tier id).
+    pub faults: Vec<FaultSpec>,
+    /// Monotone deadline-timer sequence (0 is reserved for "disarmed").
+    pub timeout_seq: u32,
+    /// Per-session (interaction, attempt) to re-issue when `Ev::Reissue`
+    /// fires; meaningful only while a reissue is scheduled.
+    pub retry_pending: Vec<(InteractionId, u8)>,
+    /// Full-trial terminal outcomes and retry count (not window-scoped;
+    /// the measurement-window view lives in [`Telemetry`]).
+    pub outcomes: OutcomeTotals,
     pub telemetry: Telemetry,
     pub probes: Vec<ApacheProbe>,
     pub tracer: Option<Tracer>,
@@ -144,11 +185,9 @@ pub(crate) struct Ctx {
 }
 
 impl Ctx {
-    fn new(cfg: SystemConfig) -> Self {
+    fn new(cfg: SystemConfig) -> Result<Self, TopologyError> {
         let topo = cfg.effective_topology();
-        if let Err(e) = topo.validate() {
-            panic!("invalid topology: {e}");
-        }
+        topo.validate()?;
         let catalog = InteractionCatalog::rubbos();
         let mix = match cfg.mix {
             MixKind::BrowseOnly => Mix::browse_only(&catalog),
@@ -166,7 +205,7 @@ impl Ctx {
         for (t, spec) in topo.tiers.iter().enumerate() {
             let base = nodes.len();
             for i in 0..spec.replicas {
-                nodes.push(Node::from_spec(spec, t, i as u16, &cfg.params));
+                nodes.push(Node::from_spec(spec, t, i as u16, &cfg.params)?);
                 node_tier.push((t, i as u16));
             }
             links.push(TierLink {
@@ -178,8 +217,11 @@ impl Ctx {
                 up: t.checked_sub(1),
                 down: (t + 1 < n_tiers).then_some(t + 1),
                 linger: spec.linger,
+                timeout: spec.timeout,
+                shed: spec.shed,
             });
         }
+        let faults = topo.tiers.iter().map(|s| s.fault.clone()).collect();
         let route = links
             .iter()
             .map(|l| RouteState {
@@ -209,10 +251,16 @@ impl Ctx {
             .enabled()
             .then(|| Tracer::new(cfg.trace, cfg.seed));
 
-        Ctx {
+        let users = cfg.workload.users as usize;
+        Ok(Ctx {
             rng_demand: root.fork("demand"),
             rng_linger: root.fork("linger"),
             rng_route: root.fork("route"),
+            rng_faults: root.fork("faults"),
+            faults,
+            timeout_seq: 0,
+            retry_pending: vec![(0, 0); users],
+            outcomes: OutcomeTotals::default(),
             cfg,
             catalog,
             mix,
@@ -233,7 +281,7 @@ impl Ctx {
             final_nodes: Vec::new(),
             final_probes: None,
             measure_end,
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -258,7 +306,7 @@ impl Ctx {
     pub fn select_replica(&mut self, t: TierId, key: usize) -> usize {
         let n = self.links[t].replicas;
         match self.links[t].select {
-            SelectPolicy::RoundRobin => {
+            SelectPolicy::RoundRobin | SelectPolicy::FailFast => {
                 let r = self.route[t].rr % n;
                 self.route[t].rr += 1;
                 r
@@ -285,6 +333,133 @@ impl Ctx {
             let c = &mut self.route[t].outstanding[rep];
             *c = c.saturating_sub(1);
         }
+    }
+
+    /// Crash-aware replica selection: when every replica of tier `t` is up
+    /// this is exactly [`select_replica`](Self::select_replica) (bit-identical
+    /// routing in a healthy run); with replicas down, skipping policies route
+    /// around them while [`SelectPolicy::FailFast`] keeps its healthy choice
+    /// and lets the down replica reject on arrival. When no healthy replica
+    /// exists the natural choice is returned and the arrival-side down check
+    /// fails the query — accounting stays uniform either way.
+    pub fn select_replica_up(&mut self, t: TierId, key: usize) -> usize {
+        let base = self.links[t].base;
+        let n = self.links[t].replicas;
+        if (0..n).all(|i| self.nodes[base + i].up) {
+            return self.select_replica(t, key);
+        }
+        match self.links[t].select {
+            SelectPolicy::RoundRobin => {
+                let mut r = self.route[t].rr % n;
+                self.route[t].rr += 1;
+                for _ in 1..n {
+                    if self.nodes[base + r].up {
+                        break;
+                    }
+                    r = self.route[t].rr % n;
+                    self.route[t].rr += 1;
+                }
+                r
+            }
+            SelectPolicy::FailFast => self.select_replica(t, key),
+            SelectPolicy::HashById => {
+                let start = key % n;
+                (0..n)
+                    .map(|i| (start + i) % n)
+                    .find(|&r| self.nodes[base + r].up)
+                    .unwrap_or(start)
+            }
+            SelectPolicy::LeastOutstanding => {
+                let pick = self.route[t]
+                    .outstanding
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| self.nodes[base + i].up)
+                    .min_by_key(|&(i, &c)| (c, i))
+                    .map(|(i, _)| i);
+                match pick {
+                    Some(r) => {
+                        self.route[t].outstanding[r] += 1;
+                        r
+                    }
+                    None => self.select_replica(t, key),
+                }
+            }
+        }
+    }
+
+    /// Arm tier `t`'s request deadline for `r` (no-op without a configured
+    /// timeout). Arming overwrites any outer deadline — the innermost armed
+    /// deadline is the active one; stale timers no-op on sequence mismatch.
+    pub fn arm_timeout(&mut self, r: ReqId, t: TierId, now: SimTime, q: &mut EventQueue<Ev>) {
+        let Some(deadline) = self.links[t].timeout else {
+            return;
+        };
+        self.timeout_seq += 1;
+        let seq = self.timeout_seq;
+        self.requests.get_mut(r).timeout_seq = seq;
+        q.schedule(now + deadline, Ev::ReqTimeout { r, seq });
+    }
+
+    /// Whether a query dispatched to tier `t` is dropped on the wire. Draws
+    /// from the fault stream only when the tier has a non-zero drop
+    /// probability, so healthy runs consume no fault randomness.
+    pub fn drop_query_to(&mut self, t: TierId) -> bool {
+        let p = self.faults[t].drop_prob;
+        p > 0.0 && self.rng_faults.chance(p)
+    }
+
+    /// Terminate request `r` at the app tier with a failure `outcome`: the
+    /// held servlet thread is released (with FIFO handoff), conservation
+    /// counters are settled, and an error reply travels the normal upstream
+    /// path so the front tier serves the error page and every probe stays
+    /// balanced. The caller must have already settled any *other* resource
+    /// the request held (DB connection, queued waiter slot).
+    pub fn fail_at_app(
+        &mut self,
+        r: ReqId,
+        outcome: Outcome,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
+        // The chain is validated as Web→App[→Cmw]→Db, so the app tier is the
+        // second request-carrying tier.
+        let app_t = self.req_tiers[1];
+        let (ni, rep, trace) = {
+            let req = self.requests.get_mut(r);
+            if req.outcome == Outcome::Completed {
+                req.outcome = outcome;
+            }
+            req.timeout_seq = 0;
+            req.deadline_exceeded = false;
+            (
+                self.links[app_t].base + req.route[app_t] as usize,
+                req.route[app_t] as usize,
+                req.trace,
+            )
+        };
+        match outcome {
+            Outcome::TimedOut => self.nodes[ni].timed_out += 1,
+            Outcome::Failed => self.nodes[ni].failed += 1,
+            _ => {}
+        }
+        let name = match outcome {
+            Outcome::TimedOut => ntier_trace::TIMEOUT,
+            _ => ntier_trace::CRASH,
+        };
+        let track = self.links[app_t].name;
+        self.req_span(trace, track, name, now, now);
+        let pool = self.nodes[ni].pool.as_mut().expect("app tier has threads");
+        if let Some(next) = pool.release(now) {
+            q.schedule_now(Ev::Tier(app_t as u8, TierMsg::PoolGranted(next as ReqId)));
+        }
+        self.nodes[ni].departures += 1;
+        self.route_departed(app_t, rep);
+        let up = self.links[app_t].up.expect("app tier has an upstream");
+        q.schedule(
+            now + self.hop(2048),
+            Ev::Tier(up as u8, TierMsg::ReqReply(r)),
+        );
     }
 
     /// Bump the node's CPU generation and schedule a fresh completion check.
@@ -412,7 +587,7 @@ impl Ctx {
             }
         } else {
             self.queries.get_mut(qid).pending_replies = 1;
-            let db = self.select_replica(db_t, qid as usize) as u16;
+            let db = self.select_replica_up(db_t, qid as usize) as u16;
             q.schedule(
                 now + hop,
                 Ev::Tier(db_t as u8, TierMsg::QueryArrive(qid, db)),
@@ -429,7 +604,22 @@ impl Ctx {
             return;
         }
         let interaction = self.sessions[s as usize].next_interaction(&self.catalog, &self.mix);
+        self.issue_request(s, interaction, 1, now, q);
+    }
+
+    /// Insert a fresh request for session `s` and send it to the front tier.
+    /// `attempt` is 1 for first issues, > 1 for retries (which re-route and
+    /// re-enter trace head sampling like any other request).
+    fn issue_request(
+        &mut self,
+        s: u32,
+        interaction: InteractionId,
+        attempt: u8,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+    ) {
         let mut req = Request::new(s, interaction, now);
+        req.attempt = attempt;
         // Replica routing for every request-carrying tier is decided at
         // birth, in chain order (front first).
         for i in 0..self.req_tiers.len() {
@@ -450,18 +640,223 @@ impl Ctx {
     }
 
     fn on_response_to_client(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (session, rt) = {
+        let (session, rt, outcome, attempt, interaction, trace) = {
             let req = self.requests.get(r);
-            (req.session, now.saturating_sub(req.t_start).as_secs_f64())
+            (
+                req.session,
+                now.saturating_sub(req.t_start).as_secs_f64(),
+                req.outcome,
+                req.attempt,
+                req.interaction,
+                req.trace,
+            )
         };
-        if self.measuring && now <= self.measure_end {
-            self.telemetry.record(now, rt);
+        self.outcomes.count(outcome);
+        if outcome == Outcome::Completed {
+            if self.measuring && now <= self.measure_end {
+                self.telemetry.record(now, rt);
+            }
+            if !self.draining {
+                let think = self.sessions[session as usize].think_time();
+                q.schedule(now + think, Ev::ThinkDone(session));
+            }
+            self.free_request_arm(r);
+            return;
         }
-        if !self.draining {
+        // Failure: badput for SLA accounting, then either retry or abandon
+        // (back to thinking).
+        if self.measuring && now <= self.measure_end {
+            self.telemetry.record_failure(now, outcome);
+        }
+        let will_retry = !self.draining
+            && !self.cfg.retry.is_disabled()
+            && attempt < self.cfg.retry.max_attempts;
+        if will_retry {
+            // The jitter draw comes from the session's own stream, and only
+            // on an actual retry — healthy runs never touch it.
+            let u = self.sessions[session as usize].retry_jitter();
+            let delay = self
+                .cfg
+                .retry
+                .delay(attempt, u)
+                .expect("attempt below max_attempts");
+            self.retry_pending[session as usize] = (interaction, attempt + 1);
+            self.outcomes.retries += 1;
+            let track = self.links[0].name;
+            self.req_span(trace, track, ntier_trace::RETRY, now, now + delay);
+            q.schedule(now + delay, Ev::Reissue(session));
+        } else if !self.draining {
             let think = self.sessions[session as usize].think_time();
             q.schedule(now + think, Ev::ThinkDone(session));
         }
         self.free_request_arm(r);
+    }
+
+    fn on_reissue(&mut self, s: u32, now: SimTime, q: &mut EventQueue<Ev>) {
+        if self.draining {
+            return;
+        }
+        let (interaction, attempt) = self.retry_pending[s as usize];
+        self.issue_request(s, interaction, attempt, now, q);
+    }
+
+    /// A deadline fired. Stale timers (request gone, sequence mismatch after
+    /// re-arming or slab-slot reuse) are ignored; live ones cancel whatever
+    /// the request currently holds, or mark it for unwinding at the next
+    /// checkpoint when it cannot be cancelled synchronously (CPU slice in the
+    /// processor-sharing queue, query outstanding below).
+    fn on_req_timeout(&mut self, r: ReqId, seq: u32, now: SimTime, q: &mut EventQueue<Ev>) {
+        if !self.requests.contains(r) || self.requests.get(r).timeout_seq != seq {
+            return;
+        }
+        match self.requests.get(r).phase {
+            ReqPhase::WaitWorker => {
+                // Still queued for a front worker: cancel the waiter and
+                // answer the client directly (no worker ever served it).
+                let (rep, trace) = {
+                    let req = self.requests.get_mut(r);
+                    req.outcome = Outcome::TimedOut;
+                    req.timeout_seq = 0;
+                    (req.route[0] as usize, req.trace)
+                };
+                let ni = self.links[0].base + rep;
+                let cancelled = self.nodes[ni]
+                    .pool
+                    .as_mut()
+                    .expect("front tier has workers")
+                    .cancel_waiter(now, r as u64);
+                debug_assert!(cancelled, "WaitWorker timeout but no queued waiter");
+                self.nodes[ni].departures += 1;
+                self.nodes[ni].timed_out += 1;
+                self.route_departed(0, rep);
+                let track = self.links[0].name;
+                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now);
+                // The linger arm never fires for a request without a worker.
+                self.free_request_arm(r);
+                let hop = self.hop(512);
+                q.schedule(now + hop, Ev::ResponseToClient(r));
+            }
+            ReqPhase::FrontPre | ReqPhase::FrontPost => {
+                // The front CPU slice cannot be yanked out of the PS queue;
+                // the response will be served, but late — mark it timed out.
+                let (rep, trace) = {
+                    let req = self.requests.get_mut(r);
+                    req.outcome = Outcome::TimedOut;
+                    req.timeout_seq = 0;
+                    (req.route[0] as usize, req.trace)
+                };
+                self.nodes[self.links[0].base + rep].timed_out += 1;
+                let track = self.links[0].name;
+                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now);
+            }
+            ReqPhase::WaitAppThread => {
+                // Queued for a servlet thread: cancel the waiter (no thread
+                // held, so nothing to release) and error-reply upstream.
+                let app_t = self.req_tiers[1];
+                let (rep, trace) = {
+                    let req = self.requests.get_mut(r);
+                    req.outcome = Outcome::TimedOut;
+                    req.timeout_seq = 0;
+                    (req.route[app_t] as usize, req.trace)
+                };
+                let ni = self.links[app_t].base + rep;
+                let cancelled = self.nodes[ni]
+                    .pool
+                    .as_mut()
+                    .expect("app tier has threads")
+                    .cancel_waiter(now, r as u64);
+                debug_assert!(cancelled, "WaitAppThread timeout but no queued waiter");
+                self.nodes[ni].departures += 1;
+                self.nodes[ni].timed_out += 1;
+                self.route_departed(app_t, rep);
+                let track = self.links[app_t].name;
+                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now);
+                let up = self.links[app_t].up.expect("app tier has an upstream");
+                let hop = self.hop(2048);
+                q.schedule(now + hop, Ev::Tier(up as u8, TierMsg::ReqReply(r)));
+            }
+            ReqPhase::WaitDbConn => {
+                // Queued for a DB connection with the servlet thread held:
+                // cancel the conn waiter, then unwind through the app tier.
+                let app_t = self.req_tiers[1];
+                let rep = self.requests.get(r).route[app_t] as usize;
+                let ni = self.links[app_t].base + rep;
+                let cancelled = self.nodes[ni]
+                    .conn_pool
+                    .as_mut()
+                    .expect("app tier has conns")
+                    .cancel_waiter(now, r as u64);
+                debug_assert!(cancelled, "WaitDbConn timeout but no queued conn waiter");
+                self.fail_at_app(r, Outcome::TimedOut, now, q);
+            }
+            ReqPhase::AppCpu | ReqPhase::QueryInFlight => {
+                // Mid-slice or mid-query: unwind at the next checkpoint
+                // (after_slice / query_done).
+                let req = self.requests.get_mut(r);
+                req.deadline_exceeded = true;
+                req.timeout_seq = 0;
+            }
+            // ToFront cannot happen (deadlines arm at tier entry); a Linger
+            // request already answered its client.
+            ReqPhase::ToFront | ReqPhase::Linger => {}
+        }
+    }
+
+    /// A scheduled replica crash: mark the node down and reclaim every job on
+    /// its CPU. Lost queries travel *up* through the normal reply events with
+    /// the failure flag set — work is never yanked out asynchronously, so
+    /// pool, routing, and arrival/departure accounting stay balanced.
+    fn on_crash(&mut self, ni: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+        self.nodes[ni].up = false;
+        let aborted = self.nodes[ni].cpu.abort_all(now);
+        self.nodes[ni].cpu_gen = self.nodes[ni].cpu_gen.wrapping_add(1);
+        self.sync_jvm_active(ni);
+        let (t, rep) = self.node_tier[ni];
+        if self.tracer.is_some() {
+            let end = self.faults[t]
+                .crashes
+                .iter()
+                .find(|w| w.replica == rep && w.crash_at == now)
+                .and_then(|w| w.recover_at)
+                .unwrap_or(self.measure_end)
+                .max(now);
+            let track = self.nodes[ni].track;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.push(Span {
+                    trace: ENGINE_TRACE,
+                    track,
+                    name: ntier_trace::CRASH,
+                    start: now,
+                    end,
+                });
+            }
+        }
+        let role = self.links[t].role;
+        let hop = self.hop(2048);
+        for job in aborted {
+            let Token::Query(qid) = Token::decode(job) else {
+                unreachable!("request token on a crashable tier");
+            };
+            self.queries.get_mut(qid).failed = true;
+            self.nodes[ni].departures += 1;
+            self.nodes[ni].failed += 1;
+            let up = self.links[t].up.expect("crashable tiers have an upstream");
+            match role {
+                // Middleware jobs (routing or merge CPU) have no database
+                // work outstanding — fail straight back to the app tier.
+                Tier::Cmw => {
+                    self.route_departed(t, rep as usize);
+                    q.schedule(now + hop, Ev::Tier(up as u8, TierMsg::QueryDone(qid)));
+                }
+                Tier::Db => {
+                    if !self.queries.get(qid).is_write {
+                        self.route_departed(t, rep as usize);
+                    }
+                    q.schedule(now + hop, Ev::Tier(up as u8, TierMsg::QueryReply(qid)));
+                }
+                _ => unreachable!("crash scheduled on a request tier"),
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -548,12 +943,17 @@ impl Ctx {
         let satisfaction: Vec<f64> = (0..n_thresholds).map(|i| t.sla.satisfaction(i)).collect();
         let q = |p: f64| t.rt_hist.quantile(p).unwrap_or(0.0);
         let window_buckets = window as usize;
+        // Window-scoped outcomes; retries are only observable at the client,
+        // so the full-trial count is reported.
+        let mut outcomes = t.outcomes;
+        outcomes.retries = self.outcomes.retries;
+        let availability = t.sla.availability();
         RunOutput {
             label: self.cfg.label(),
             users: self.cfg.workload.users,
             window_secs: window,
             sla_thresholds: self.cfg.sla_thresholds.clone(),
-            completed: t.sla.total(),
+            completed: t.sla.total() - t.sla.errors(),
             throughput: t.sla.throughput(window),
             goodput,
             badput,
@@ -572,6 +972,8 @@ impl Ctx {
             nodes: self.final_nodes,
             apache_probes: self.final_probes.unwrap_or_default(),
             events_processed,
+            outcomes,
+            availability,
         }
     }
 }
@@ -586,15 +988,24 @@ pub struct System {
 impl System {
     /// Build a system from a configuration (no events scheduled yet). The
     /// tier chain comes from [`SystemConfig::effective_topology`].
+    ///
+    /// # Panics
+    /// On an invalid topology; use [`System::try_new`] to handle the error.
     pub fn new(cfg: SystemConfig) -> Self {
-        let ctx = Ctx::new(cfg);
+        System::try_new(cfg).unwrap_or_else(|e| panic!("invalid topology: {e}"))
+    }
+
+    /// Build a system, surfacing topology/fault-spec validation errors
+    /// instead of panicking.
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, TopologyError> {
+        let ctx = Ctx::new(cfg)?;
         let tiers = ctx
             .links
             .iter()
             .enumerate()
             .map(|(t, l)| make_tier(l.role, t))
             .collect();
-        System { ctx, tiers }
+        Ok(System { ctx, tiers })
     }
 
     /// The configuration this system was built from.
@@ -634,6 +1045,10 @@ impl Model for System {
             Ev::Sample => self.ctx.on_sample(now, q),
             Ev::BeginMeasure => self.ctx.on_begin_measure(now, q),
             Ev::EndMeasure => self.ctx.on_end_measure(now),
+            Ev::ReqTimeout { r, seq } => self.ctx.on_req_timeout(r, seq, now, q),
+            Ev::Reissue(s) => self.ctx.on_reissue(s, now, q),
+            Ev::Crash { node } => self.ctx.on_crash(node as usize, now, q),
+            Ev::Recover { node } => self.ctx.nodes[node as usize].up = true,
         }
     }
 
@@ -657,6 +1072,10 @@ impl Model for System {
             Ev::Sample => "sample",
             Ev::BeginMeasure => "begin-measure",
             Ev::EndMeasure => "end-measure",
+            Ev::ReqTimeout { .. } => "req-timeout",
+            Ev::Reissue(_) => "reissue",
+            Ev::Crash { .. } => "crash",
+            Ev::Recover { .. } => "recover",
         }
     }
 }
@@ -704,6 +1123,12 @@ pub struct NodeDrain {
     pub conn_in_use: usize,
     /// Connection-pool acquisitions still queued at drain.
     pub conn_waiting: usize,
+    /// Requests/queries this node cancelled on a deadline.
+    pub timed_out: u64,
+    /// Requests this node rejected at admission (front tier only).
+    pub shed: u64,
+    /// Queries this node lost to a crash or a dropped connection.
+    pub failed: u64,
 }
 
 /// Conservation snapshot taken after the event queue fully drained.
@@ -715,6 +1140,10 @@ pub struct DrainReport {
     pub in_flight_queries: usize,
     /// Per-server counters, front tier first.
     pub nodes: Vec<NodeDrain>,
+    /// Full-trial terminal outcomes: after a clean drain
+    /// `outcomes.total()` equals the front tier's total arrivals (every
+    /// admitted request ends in exactly one outcome).
+    pub outcomes: OutcomeTotals,
 }
 
 /// Heap capacity estimate for a closed-loop run with `users` sessions.
@@ -727,9 +1156,53 @@ fn event_capacity_hint(users: u32) -> usize {
     (users as usize).saturating_mul(2).max(256)
 }
 
+/// Seed the initial event population: session starts across the ramp, the
+/// measurement-window markers, and — only for tiers with scheduled crash
+/// windows — the crash/recovery events. The healthy prefix is scheduled in
+/// exactly the order the runners always used, and a faults-free topology
+/// appends nothing, so healthy runs stay bit-identical.
+fn seed_engine_events(engine: &mut Engine<System>) {
+    let cfg = engine.model().config();
+    let ramp = cfg.workload.ramp_up;
+    let users = cfg.workload.users;
+    let measure_start = cfg.workload.measure_start();
+    let measure_end = cfg.workload.measure_end();
+    let seed = cfg.seed;
+    let mut crashes = Vec::new();
+    {
+        let ctx = &engine.model().ctx;
+        for (t, f) in ctx.faults.iter().enumerate() {
+            for w in &f.crashes {
+                let ni = (ctx.links[t].base + w.replica as usize) as u16;
+                crashes.push((w.crash_at, ni, w.recover_at));
+            }
+        }
+    }
+    let mut start_rng = RunRng::new(seed).fork("session-starts");
+    for s in 0..users {
+        let at = SimTime::from_secs_f64(start_rng.uniform(0.0, ramp.as_secs_f64().max(1e-9)));
+        engine.schedule(at, Ev::ThinkDone(s));
+    }
+    engine.schedule(measure_start, Ev::BeginMeasure);
+    engine.schedule(measure_end, Ev::EndMeasure);
+    for (at, node, recover) in crashes {
+        engine.schedule(at, Ev::Crash { node });
+        if let Some(back) = recover {
+            engine.schedule(back, Ev::Recover { node });
+        }
+    }
+}
+
 /// Run one full trial and return its observables.
 pub fn run_system(cfg: SystemConfig) -> RunOutput {
     run_system_traced(cfg).0
+}
+
+/// Like [`run_system`], but surface topology/fault-spec validation errors
+/// instead of panicking (the bench CLI reports these to the user).
+pub fn try_run_system(cfg: SystemConfig) -> Result<RunOutput, TopologyError> {
+    cfg.effective_topology().validate()?;
+    Ok(run_system(cfg))
 }
 
 /// Run one full trial, also returning the trace captured along the way.
@@ -737,13 +1210,11 @@ pub fn run_system(cfg: SystemConfig) -> RunOutput {
 /// With `cfg.trace == TraceConfig::Off` the trace is empty and the run does
 /// no per-request trace work (the fast path `run_system` delegates here).
 pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
-    let ramp = cfg.workload.ramp_up;
     let users = cfg.workload.users;
     let measure_start = cfg.workload.measure_start();
     let measure_end = cfg.workload.measure_end();
     let trial_end = cfg.workload.trial_end();
     let traced = cfg.trace.enabled();
-    let mut start_rng = RunRng::new(cfg.seed).fork("session-starts");
 
     // Pre-size the event heap for the closed-loop population: each session
     // keeps roughly one event in flight, plus per-node CPU checks, samples,
@@ -754,12 +1225,7 @@ pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
     if traced {
         engine.enable_telemetry();
     }
-    for s in 0..users {
-        let at = SimTime::from_secs_f64(start_rng.uniform(0.0, ramp.as_secs_f64().max(1e-9)));
-        engine.schedule(at, Ev::ThinkDone(s));
-    }
-    engine.schedule(measure_start, Ev::BeginMeasure);
-    engine.schedule(measure_end, Ev::EndMeasure);
+    seed_engine_events(&mut engine);
     engine.run_until(trial_end);
     let events = engine.events_processed();
     let stats = engine.stats();
@@ -786,21 +1252,12 @@ pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
 /// conservation snapshot ([`DrainReport`]) taken on the empty system:
 /// admitted == departed per tier node and every pool back to balance.
 pub fn run_system_to_drain(cfg: SystemConfig) -> (RunOutput, DrainReport) {
-    let ramp = cfg.workload.ramp_up;
     let users = cfg.workload.users;
-    let measure_start = cfg.workload.measure_start();
-    let measure_end = cfg.workload.measure_end();
     let trial_end = cfg.workload.trial_end();
-    let mut start_rng = RunRng::new(cfg.seed).fork("session-starts");
 
     let capacity = event_capacity_hint(users);
     let mut engine = Engine::with_capacity(System::new(cfg), capacity);
-    for s in 0..users {
-        let at = SimTime::from_secs_f64(start_rng.uniform(0.0, ramp.as_secs_f64().max(1e-9)));
-        engine.schedule(at, Ev::ThinkDone(s));
-    }
-    engine.schedule(measure_start, Ev::BeginMeasure);
-    engine.schedule(measure_end, Ev::EndMeasure);
+    seed_engine_events(&mut engine);
     engine.run_until(trial_end);
     // Freeze the closed loop: in-flight requests complete, nothing new
     // starts, so the queue runs dry.
@@ -823,8 +1280,12 @@ pub fn run_system_to_drain(cfg: SystemConfig) -> (RunOutput, DrainReport) {
                 pool_waiting: n.pool.as_ref().map_or(0, |p| p.waiting()),
                 conn_in_use: n.conn_pool.as_ref().map_or(0, |p| p.in_use()),
                 conn_waiting: n.conn_pool.as_ref().map_or(0, |p| p.waiting()),
+                timed_out: n.timed_out,
+                shed: n.shed,
+                failed: n.failed,
             })
             .collect(),
+        outcomes: system.ctx.outcomes,
     };
     let out = system.ctx.into_output(events);
     (out, report)

@@ -12,6 +12,7 @@
 //! [`make_tier`] about the role; the event alphabet, dispatcher and runner
 //! stay untouched.
 
+use crate::fault::Outcome;
 use crate::ids::{QueryId, ReqId, Tier, Token};
 use crate::request::{Query, QueryPhase, ReqPhase};
 use crate::system::{Ctx, Ev, TierMsg};
@@ -59,6 +60,32 @@ impl WebNode {
         };
         let ni = ctx.links[self.id].base + rep;
         ctx.nodes[ni].arrivals += 1;
+        // Admission control: reject before touching the worker pool, so a
+        // shed leaves no trace in the pool's occupancy or wait statistics.
+        if !ctx.links[self.id].shed.is_none() {
+            let pool = ctx.nodes[ni].pool.as_ref().expect("front tier has workers");
+            let shed =
+                ctx.links[self.id]
+                    .shed
+                    .should_shed(pool.capacity(), pool.in_use(), pool.waiting());
+            if shed {
+                let trace = {
+                    let req = ctx.requests.get_mut(r);
+                    req.outcome = Outcome::Shed;
+                    req.trace
+                };
+                ctx.nodes[ni].departures += 1;
+                ctx.nodes[ni].shed += 1;
+                ctx.route_departed(self.id, rep);
+                let track = ctx.links[self.id].name;
+                ctx.req_span(trace, track, ntier_trace::SHED, now, now);
+                // No worker ⇒ no linger arm.
+                ctx.free_request_arm(r);
+                q.schedule(now + ctx.hop(512), Ev::ResponseToClient(r));
+                return;
+            }
+        }
+        ctx.arm_timeout(r, self.id, now, q);
         let pool = ctx.nodes[ni].pool.as_mut().expect("front tier has workers");
         match pool.acquire(now, r as u64) {
             resources::Acquire::Granted => self.start_pre(r, now, ctx, q),
@@ -109,7 +136,7 @@ impl WebNode {
 
     /// Post-CPU finished: send the response and linger on close.
     fn finish(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
-        let (rep, response_kb, trace, t_arrive, t_post) = {
+        let (rep, response_kb, trace, t_arrive, t_post, served) = {
             let req = ctx.requests.get(r);
             (
                 req.route[self.id] as usize,
@@ -117,15 +144,25 @@ impl WebNode {
                 req.trace,
                 req.t_arrive_front,
                 req.t_front_post_start,
+                req.outcome == Outcome::Completed,
             )
         };
         let ni = ctx.links[self.id].base + rep;
-        ctx.nodes[ni].log.record(t_arrive, now);
+        // Error pages don't count as served work: the node's completion log
+        // and processed-rate probe describe successful responses only.
+        if served {
+            ctx.nodes[ni].log.record(t_arrive, now);
+            ctx.probes[rep].processed.incr(now);
+        }
         let track = ctx.links[self.id].name;
         ctx.req_span(trace, track, ntier_trace::WORKER_POST, t_post, now);
         ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_arrive, now);
-        ctx.requests.get_mut(r).t_front_done = now;
-        ctx.probes[rep].processed.incr(now);
+        {
+            let req = ctx.requests.get_mut(r);
+            req.t_front_done = now;
+            // The response is on its way; any outstanding deadline is moot.
+            req.timeout_seq = 0;
+        }
         q.schedule(
             now + ctx.hop(response_kb as u64 * 1024),
             Ev::ResponseToClient(r),
@@ -253,6 +290,9 @@ impl AppNode {
         let demand = ctx.jitter_ms(demand_ms);
         ctx.requests.get_mut(r).app_demand_secs = demand;
         ctx.nodes[ni].arrivals += 1;
+        // The app deadline (if any) overrides the front tier's: innermost
+        // armed deadline wins.
+        ctx.arm_timeout(r, self.id, now, q);
         let pool = ctx.nodes[ni].pool.as_mut().expect("app tier has threads");
         match pool.acquire(now, r as u64) {
             resources::Acquire::Granted => self.start_slice(r, now, ctx, q),
@@ -294,6 +334,11 @@ impl AppNode {
 
     /// A CPU slice completed: issue the next query or finish.
     fn after_slice(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+        if ctx.requests.get(r).deadline_exceeded {
+            // A deadline fired mid-slice; this is the unwind checkpoint.
+            ctx.fail_at_app(r, Outcome::TimedOut, now, q);
+            return;
+        }
         let (ni, rep, more_queries) = {
             let req = ctx.requests.get(r);
             let inter = ctx.catalog.get(req.interaction);
@@ -327,6 +372,12 @@ impl AppNode {
             let track = ctx.links[self.id].name;
             ctx.req_span(trace, track, ntier_trace::SERVICE, t_granted, now);
             ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_arrive, now);
+            if ctx.links[self.id].timeout.is_some() {
+                // The app tier armed the active deadline; its residence is
+                // over, so disarm (a front-tier deadline, if configured,
+                // was already superseded on entry).
+                ctx.requests.get_mut(r).timeout_seq = 0;
+            }
             let pool = ctx.nodes[ni].pool.as_mut().expect("app tier has threads");
             if let Some(next) = pool.release(now) {
                 q.schedule_now(Ev::Tier(self.id as u8, TierMsg::PoolGranted(next as ReqId)));
@@ -359,10 +410,28 @@ impl AppNode {
         let down = ctx.links[self.id].down.expect("app tier has a downstream");
         if ctx.links[down].role == Tier::Cmw {
             // Middleware routes by query id; the replica is fixed at send.
-            let rep = ctx.select_replica(down, qid as usize) as u16;
+            let rep = ctx.select_replica_up(down, qid as usize) as u16;
+            if ctx.drop_query_to(down) {
+                // Connection reset on the wire: the query never reaches the
+                // middleware; the app discovers the reset after one hop.
+                ctx.route_departed(down, rep as usize);
+                ctx.queries.get_mut(qid).failed = true;
+                q.schedule(
+                    now + ctx.hop(300),
+                    Ev::Tier(self.id as u8, TierMsg::QueryDone(qid)),
+                );
+            } else {
+                q.schedule(
+                    now + ctx.hop(300),
+                    Ev::Tier(down as u8, TierMsg::QueryArrive(qid, rep)),
+                );
+            }
+        } else if ctx.drop_query_to(down) {
+            // 3-tier chain, dropped on the way to the database.
+            ctx.queries.get_mut(qid).failed = true;
             q.schedule(
                 now + ctx.hop(300),
-                Ev::Tier(down as u8, TierMsg::QueryArrive(qid, rep)),
+                Ev::Tier(self.id as u8, TierMsg::QueryDone(qid)),
             );
         } else {
             // 3-tier chain: the app tier talks to the databases directly.
@@ -388,14 +457,16 @@ impl AppNode {
     }
 
     fn query_done(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
-        let r = ctx.queries.remove(qid).req;
-        let (ni, trace, t_issued) = {
+        let query = ctx.queries.remove(qid);
+        let r = query.req;
+        let (ni, trace, t_issued, deadline) = {
             let req = ctx.requests.get_mut(r);
             req.queries_done += 1;
             (
                 ctx.links[self.id].base + req.route[self.id] as usize,
                 req.trace,
                 req.t_query_issued,
+                req.deadline_exceeded,
             )
         };
         // The fan-out child as the app thread sees it: DB connection held
@@ -409,7 +480,13 @@ impl AppNode {
         if let Some(next) = pool.release(now) {
             q.schedule_now(Ev::Tier(self.id as u8, TierMsg::ConnGranted(next as ReqId)));
         }
-        self.start_slice(r, now, ctx, q);
+        if query.failed {
+            ctx.fail_at_app(r, Outcome::Failed, now, q);
+        } else if deadline {
+            ctx.fail_at_app(r, Outcome::TimedOut, now, q);
+        } else {
+            self.start_slice(r, now, ctx, q);
+        }
     }
 }
 
@@ -467,24 +544,60 @@ impl CmwNode {
         }
         let ni = ctx.links[self.id].base + rep as usize;
         ctx.nodes[ni].arrivals += 1;
+        if !ctx.nodes[ni].up {
+            self.fail_query(qid, ni, rep as usize, now, ctx, q);
+            return;
+        }
         ctx.jvm_alloc(ni, ctx.cfg.params.cjdbc_alloc_per_query, now, q);
-        let demand = ctx.jitter_ms(ctx.cfg.params.cjdbc_ms_per_query / 2.0);
+        let demand =
+            ctx.jitter_ms(ctx.cfg.params.cjdbc_ms_per_query / 2.0) * ctx.nodes[ni].demand_mult(now);
         ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
+    }
+
+    /// Fail query `qid` at middleware replica `rep`: settle the node's
+    /// conservation counters and error-reply to the app tier (no merge CPU).
+    fn fail_query(
+        &self,
+        qid: QueryId,
+        ni: usize,
+        rep: usize,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut EventQueue<Ev>,
+    ) {
+        ctx.queries.get_mut(qid).failed = true;
+        ctx.nodes[ni].departures += 1;
+        ctx.nodes[ni].failed += 1;
+        ctx.route_departed(self.id, rep);
+        let up = ctx.links[self.id].up.expect("middleware has an upstream");
+        q.schedule(
+            now + ctx.hop(2048),
+            Ev::Tier(up as u8, TierMsg::QueryDone(qid)),
+        );
     }
 
     /// A database reply reached the middleware.
     fn query_reply(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
-        let (done, ni) = {
+        let (done, ni, rep) = {
             let query = ctx.queries.get_mut(qid);
             query.pending_replies -= 1;
             (
                 query.pending_replies == 0,
                 ctx.links[self.id].base + query.mw_idx as usize,
+                query.mw_idx as usize,
             )
         };
         if done {
+            // A failed branch (crashed/dropped replica, partial write) or a
+            // middleware crash while the query was at the databases both
+            // poison the result: error-reply instead of merging.
+            if ctx.queries.get(qid).failed || !ctx.nodes[ni].up {
+                self.fail_query(qid, ni, rep, now, ctx, q);
+                return;
+            }
             ctx.queries.get_mut(qid).phase = QueryPhase::MwPost;
-            let demand = ctx.jitter_ms(ctx.cfg.params.cjdbc_ms_per_query / 2.0);
+            let demand = ctx.jitter_ms(ctx.cfg.params.cjdbc_ms_per_query / 2.0)
+                * ctx.nodes[ni].demand_mult(now);
             ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
         }
     }
@@ -540,7 +653,19 @@ impl TierNode for CmwNode {
                 let down = ctx.links[self.id]
                     .down
                     .expect("middleware has a downstream");
-                ctx.dispatch_query_to_db(qid, down, now, q);
+                if ctx.drop_query_to(down) {
+                    // Dropped on the middleware→database wire.
+                    let (ni, rep) = {
+                        let query = ctx.queries.get(qid);
+                        (
+                            ctx.links[self.id].base + query.mw_idx as usize,
+                            query.mw_idx as usize,
+                        )
+                    };
+                    self.fail_query(qid, ni, rep, now, ctx, q);
+                } else {
+                    ctx.dispatch_query_to_db(qid, down, now, q);
+                }
             }
             QueryPhase::MwPost => self.reply(qid, now, ctx, q),
             other => unreachable!("middleware CPU done in phase {other:?}"),
@@ -572,10 +697,45 @@ impl DbNode {
             let req = ctx.requests.get(query.req);
             ctx.catalog.get(req.interaction).mysql_ms_per_query * ctx.cfg.params.mysql_scale
         };
-        let demand = ctx.jitter_ms(demand_ms.max(0.05));
         let ni = ctx.links[self.id].base + db as usize;
         ctx.nodes[ni].arrivals += 1;
+        if !ctx.nodes[ni].up {
+            // Connection refused by the crashed replica: error-reply without
+            // consuming any service demand. For broadcast writes this fails
+            // one branch; the owning query is poisoned either way.
+            self.fail_query(qid, db, now, ctx, q);
+            return;
+        }
+        let demand = ctx.jitter_ms(demand_ms.max(0.05)) * ctx.nodes[ni].demand_mult(now);
         ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
+    }
+
+    /// Fail query `qid` at replica `db` (crashed replica): settle the node's
+    /// counters and send an error reply upstream.
+    fn fail_query(
+        &self,
+        qid: QueryId,
+        db: u16,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut EventQueue<Ev>,
+    ) {
+        let ni = ctx.links[self.id].base + db as usize;
+        let is_write = {
+            let query = ctx.queries.get_mut(qid);
+            query.failed = true;
+            query.is_write
+        };
+        ctx.nodes[ni].departures += 1;
+        ctx.nodes[ni].failed += 1;
+        if !is_write {
+            ctx.route_departed(self.id, db as usize);
+        }
+        let up = ctx.links[self.id].up.expect("db tier has an upstream");
+        q.schedule(
+            now + ctx.hop(2048),
+            Ev::Tier(up as u8, TierMsg::QueryReply(qid)),
+        );
     }
 
     /// CPU done: maybe hit the disk, then reply.
@@ -599,6 +759,13 @@ impl DbNode {
 
     fn finish(&self, qid: QueryId, db: u16, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
         let ni = ctx.links[self.id].base + db as usize;
+        if !ctx.nodes[ni].up {
+            // The replica crashed while this query was at the disk (CPU
+            // aborts are reclaimed by the crash itself; disk completions
+            // discover the crash here).
+            self.fail_query(qid, db, now, ctx, q);
+            return;
+        }
         let (trace, t_enter, is_write) = {
             let query = ctx.queries.get(qid);
             (

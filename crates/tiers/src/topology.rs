@@ -19,8 +19,10 @@
 //! message is sent to the tier.
 
 use crate::config::{HardwareConfig, SoftAllocation};
+use crate::fault::{FaultSpec, ShedPolicy, TopologyError};
 use crate::ids::Tier;
 use jvm_gc::GcConfig;
+use simcore::SimTime;
 
 /// Position of a tier in the chain (0 = front tier).
 pub type TierId = usize;
@@ -38,6 +40,10 @@ pub enum SelectPolicy {
     LeastOutstanding,
     /// Hash the message id onto a replica (stateless, deterministic).
     HashById,
+    /// Round-robin that does *not* route around crashed replicas: work sent
+    /// to a down replica fails immediately instead of being redirected
+    /// (identical to [`SelectPolicy::RoundRobin`] while every replica is up).
+    FailFast,
 }
 
 /// One tier of the chain: a role archetype plus its knobs.
@@ -62,6 +68,14 @@ pub struct TierSpec {
     pub linger: bool,
     /// Replica-selection policy used by senders targeting this tier.
     pub select: SelectPolicy,
+    /// Fault injection on this tier (crash/recovery windows, slow replicas,
+    /// connection drops). Default: [`FaultSpec::none`] — zero cost.
+    pub fault: FaultSpec,
+    /// Per-request deadline measured from arrival at this tier
+    /// ([`Tier::Web`]/[`Tier::App`] only). The innermost armed deadline wins.
+    pub timeout: Option<SimTime>,
+    /// Admission control (front [`Tier::Web`] tier only).
+    pub shed: ShedPolicy,
 }
 
 impl TierSpec {
@@ -76,6 +90,9 @@ impl TierSpec {
             gc: None,
             linger: true,
             select: SelectPolicy::RoundRobin,
+            fault: FaultSpec::none(),
+            timeout: None,
+            shed: ShedPolicy::None,
         }
     }
 
@@ -91,6 +108,9 @@ impl TierSpec {
             gc: Some(gc),
             linger: false,
             select: SelectPolicy::RoundRobin,
+            fault: FaultSpec::none(),
+            timeout: None,
+            shed: ShedPolicy::None,
         }
     }
 
@@ -107,6 +127,9 @@ impl TierSpec {
             gc: Some(gc),
             linger: false,
             select: SelectPolicy::HashById,
+            fault: FaultSpec::none(),
+            timeout: None,
+            shed: ShedPolicy::None,
         }
     }
 
@@ -122,6 +145,9 @@ impl TierSpec {
             gc: None,
             linger: false,
             select: SelectPolicy::RoundRobin,
+            fault: FaultSpec::none(),
+            timeout: None,
+            shed: ShedPolicy::None,
         }
     }
 
@@ -146,6 +172,25 @@ impl TierSpec {
     /// Override the display name (also the trace track).
     pub fn named(mut self, name: &'static str) -> Self {
         self.name = name;
+        self
+    }
+
+    /// Attach a fault-injection spec (crashes/slow windows are supported on
+    /// [`Tier::Cmw`]/[`Tier::Db`] tiers; drops on any non-front tier).
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Arm a per-request deadline on this tier ([`Tier::Web`]/[`Tier::App`]).
+    pub fn with_timeout(mut self, timeout: SimTime) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Set the admission-control policy (front [`Tier::Web`] tier only).
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
         self
     }
 }
@@ -238,46 +283,129 @@ impl Topology {
     }
 
     /// Check the chain shape the runtime supports: a Web front, one App
-    /// tier, an optional Cmw tier, and a Db back tier, all with ≥1 replica
-    /// and role-appropriate pools.
-    pub fn validate(&self) -> Result<(), String> {
+    /// tier, an optional Cmw tier, and a Db back tier, all with ≥1 replica,
+    /// role-appropriate pools, and well-formed fault/timeout/shed specs.
+    pub fn validate(&self) -> Result<(), TopologyError> {
         let roles: Vec<Tier> = self.tiers.iter().map(|t| t.role).collect();
         let ok = matches!(
             roles.as_slice(),
             [Tier::Web, Tier::App, Tier::Cmw, Tier::Db] | [Tier::Web, Tier::App, Tier::Db]
         );
         if !ok {
-            return Err(format!(
-                "unsupported tier chain {roles:?}: expected Web→App[→Cmw]→Db"
-            ));
+            return Err(TopologyError::UnsupportedChain(format!("{roles:?}")));
         }
         if self.tiers.len() > MAX_TIERS {
-            return Err(format!(
-                "chain of {} tiers exceeds MAX_TIERS={MAX_TIERS}",
-                self.tiers.len()
-            ));
+            return Err(TopologyError::TooManyTiers(self.tiers.len()));
         }
         for (i, t) in self.tiers.iter().enumerate() {
-            if t.replicas == 0 {
-                return Err(format!("tier {i} ({}) has zero replicas", t.name));
+            if t.replicas == 0 || t.replicas > u16::MAX as usize {
+                return Err(TopologyError::BadReplicaCount {
+                    tier: i,
+                    name: t.name.to_string(),
+                    replicas: t.replicas,
+                });
             }
-            if t.replicas > u16::MAX as usize {
-                return Err(format!("tier {i} ({}) has too many replicas", t.name));
-            }
+            let bad_pool = |what: &'static str| TopologyError::BadPool {
+                tier: i,
+                name: t.name.to_string(),
+                what,
+            };
             match t.role {
                 Tier::Web | Tier::App => {
                     if t.threads.is_none() {
-                        return Err(format!("tier {i} ({}) needs a thread pool", t.name));
+                        return Err(bad_pool("needs a thread pool"));
                     }
                     if t.role == Tier::App && t.conns.is_none() {
-                        return Err(format!("tier {i} ({}) needs a connection pool", t.name));
+                        return Err(bad_pool("needs a connection pool"));
                     }
                     if t.threads == Some(0) || t.conns == Some(0) {
-                        return Err(format!("tier {i} ({}) has a zero-size pool", t.name));
+                        return Err(bad_pool("has a zero-size pool"));
                     }
                 }
                 Tier::Cmw | Tier::Db => {}
             }
+            self.validate_faults(i, t)?;
+        }
+        Ok(())
+    }
+
+    /// Check one tier's fault/timeout/shed spec against the failure model's
+    /// scope rules (see DESIGN.md §"Failure model").
+    fn validate_faults(&self, i: usize, t: &TierSpec) -> Result<(), TopologyError> {
+        let bad = |what: String| TopologyError::BadFault {
+            tier: i,
+            name: t.name.to_string(),
+            what,
+        };
+        let backend = matches!(t.role, Tier::Cmw | Tier::Db);
+        if !t.fault.crashes.is_empty() && !backend {
+            return Err(bad(
+                "crash windows are only supported on Cmw/Db tiers".into()
+            ));
+        }
+        if !t.fault.slow.is_empty() && !backend {
+            return Err(bad("slow windows are only supported on Cmw/Db tiers".into()));
+        }
+        if t.fault.drop_prob != 0.0 && !backend {
+            return Err(bad(
+                "connection drops are only supported on Cmw/Db tiers".into()
+            ));
+        }
+        if !(0.0..1.0).contains(&t.fault.drop_prob) {
+            return Err(bad(format!(
+                "drop probability {} outside [0,1)",
+                t.fault.drop_prob
+            )));
+        }
+        for c in &t.fault.crashes {
+            if c.replica as usize >= t.replicas {
+                return Err(bad(format!(
+                    "crash window references replica {} of {}",
+                    c.replica, t.replicas
+                )));
+            }
+            if let Some(r) = c.recover_at {
+                if r <= c.crash_at {
+                    return Err(bad(format!(
+                        "crash window recovers at {r} before crashing at {}",
+                        c.crash_at
+                    )));
+                }
+            }
+        }
+        for s in &t.fault.slow {
+            if s.replica as usize >= t.replicas {
+                return Err(bad(format!(
+                    "slow window references replica {} of {}",
+                    s.replica, t.replicas
+                )));
+            }
+            if !(s.multiplier > 0.0 && s.multiplier.is_finite()) {
+                return Err(bad(format!(
+                    "slow multiplier {} must be positive",
+                    s.multiplier
+                )));
+            }
+            if let Some(u) = s.until {
+                if u <= s.from {
+                    return Err(bad(format!(
+                        "slow window ends at {u} before starting at {}",
+                        s.from
+                    )));
+                }
+            }
+        }
+        if t.timeout.is_some() && !matches!(t.role, Tier::Web | Tier::App) {
+            return Err(bad("timeouts are only supported on Web/App tiers".into()));
+        }
+        if t.timeout == Some(SimTime::ZERO) {
+            return Err(bad("a zero timeout would cancel every request".into()));
+        }
+        let front_web = t.role == Tier::Web && i == 0;
+        if !t.shed.is_none() && !front_web {
+            return Err(bad(
+                "shedding is only supported on the front Web tier".into()
+            ));
         }
         Ok(())
     }
@@ -350,5 +478,46 @@ mod tests {
         assert_eq!(s.name, "Nginx");
         let a = TierSpec::app(1, 10, 5, GcConfig::jdk6_server()).with_gc(None);
         assert!(a.gc.is_none());
+    }
+
+    #[test]
+    fn fault_specs_validate_scope_rules() {
+        let mk = || {
+            Topology::paper(
+                HardwareConfig::one_two_one_two(),
+                SoftAllocation::rule_of_thumb(),
+            )
+        };
+        // A well-formed crash window on the DB tier passes.
+        let mut t = mk();
+        t.tiers[3].fault =
+            FaultSpec::none().with_crash(1, SimTime::from_secs(10), Some(SimTime::from_secs(20)));
+        t.tiers[0].timeout = Some(SimTime::from_secs(4));
+        t.tiers[0].shed = ShedPolicy::QueueDepth(100);
+        assert!(t.validate().is_ok());
+        // Crash windows are backend-only.
+        let mut t = mk();
+        t.tiers[0].fault = FaultSpec::none().with_crash(0, SimTime::from_secs(1), None);
+        assert!(matches!(t.validate(), Err(TopologyError::BadFault { .. })));
+        // Replica index must exist.
+        let mut t = mk();
+        t.tiers[2].fault = FaultSpec::none().with_crash(5, SimTime::from_secs(1), None);
+        assert!(t.validate().is_err());
+        // Recovery must come after the crash.
+        let mut t = mk();
+        t.tiers[3].fault =
+            FaultSpec::none().with_crash(0, SimTime::from_secs(9), Some(SimTime::from_secs(3)));
+        assert!(t.validate().is_err());
+        // Drop probability range.
+        let mut t = mk();
+        t.tiers[3].fault = FaultSpec::none().with_drop_prob(1.5);
+        assert!(t.validate().is_err());
+        // Timeouts are Web/App-only; shedding is front-tier-only.
+        let mut t = mk();
+        t.tiers[3].timeout = Some(SimTime::from_secs(1));
+        assert!(t.validate().is_err());
+        let mut t = mk();
+        t.tiers[1].shed = ShedPolicy::QueueDepth(5);
+        assert!(t.validate().is_err());
     }
 }

@@ -50,6 +50,15 @@ pub const SERVICE: &str = "service";
 pub const CONN_WAIT: &str = "conn-wait";
 /// Span name: one SQL query's C-JDBC residence (fan-out child).
 pub const QUERY: &str = "query";
+/// Span name: a request hit its per-tier deadline and was cancelled.
+pub const TIMEOUT: &str = "timeout";
+/// Span name: a client backoff window before re-issuing a failed interaction.
+pub const RETRY: &str = "retry";
+/// Span name: a request rejected by front-tier admission control.
+pub const SHED: &str = "shed";
+/// Span name: a replica down window (engine-level, trace id 0), from crash
+/// to recovery (or to the end of the run for a permanent crash).
+pub const CRASH: &str = "crash";
 
 /// The five Apache-side segment names that tile a request's end-to-end
 /// residence exactly: every boundary is a simulation event, so for each

@@ -20,9 +20,11 @@
 pub mod catalog;
 pub mod config;
 pub mod mix;
+pub mod retry;
 pub mod session;
 
 pub use catalog::{Interaction, InteractionCatalog, InteractionId};
 pub use config::WorkloadConfig;
 pub use mix::Mix;
+pub use retry::RetryPolicy;
 pub use session::{Session, SessionModel};

@@ -1,0 +1,128 @@
+//! Client-side retry policy: max attempts, exponential backoff, and
+//! deterministic jitter.
+//!
+//! A closed-loop client that receives an error page (timeout, shed, backend
+//! failure) either *abandons* the interaction and goes back to thinking, or
+//! *retries* the same interaction after a backoff delay. The policy is pure
+//! data: the jitter draw comes from the session's own RNG stream (see
+//! [`crate::Session::retry_jitter`]) so runs stay bit-deterministic and —
+//! crucially — policies that never retry draw nothing.
+
+use simcore::SimTime;
+
+/// Client retry policy applied to failed interactions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per interaction, including the first
+    /// (1 = never retry).
+    pub max_attempts: u8,
+    /// Backoff before the first retry.
+    pub backoff_base: SimTime,
+    /// Multiplier applied to the backoff per additional retry (1.0 = fixed).
+    pub backoff_mult: f64,
+    /// Jitter as a fraction of the backoff: the delay is scaled by
+    /// `1 + jitter_frac * u` with `u ∈ [0,1)` from the session's RNG.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// Never retry: failed interactions are abandoned (the client thinks and
+    /// moves on). This is the default everywhere — zero RNG draws.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: SimTime::ZERO,
+            backoff_mult: 1.0,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// The retry-storm policy: immediately re-issue, no backoff, no jitter.
+    pub fn naive(max_attempts: u8) -> Self {
+        RetryPolicy {
+            max_attempts,
+            backoff_base: SimTime::ZERO,
+            backoff_mult: 1.0,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Exponential backoff with jitter (the well-behaved client).
+    pub fn backoff(max_attempts: u8, base: SimTime, mult: f64, jitter_frac: f64) -> Self {
+        assert!(mult >= 1.0, "backoff multiplier must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&jitter_frac),
+            "jitter fraction must be in [0,1]"
+        );
+        RetryPolicy {
+            max_attempts,
+            backoff_base: base,
+            backoff_mult: mult,
+            jitter_frac,
+        }
+    }
+
+    /// Whether this policy can ever retry.
+    pub fn is_disabled(&self) -> bool {
+        self.max_attempts <= 1
+    }
+
+    /// Delay before re-issuing attempt `attempt + 1`, given the 1-based
+    /// number of the attempt that just failed and a jitter draw `u ∈ [0,1)`.
+    /// `None` means the attempt budget is exhausted: abandon.
+    pub fn delay(&self, attempt: u8, jitter01: f64) -> Option<SimTime> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let base = self.backoff_base.as_secs_f64();
+        let scaled = base * self.backoff_mult.powi(attempt.saturating_sub(1) as i32);
+        Some(SimTime::from_secs_f64(
+            scaled * (1.0 + self.jitter_frac * jitter01),
+        ))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_retries() {
+        let p = RetryPolicy::disabled();
+        assert!(p.is_disabled());
+        assert_eq!(p.delay(1, 0.5), None);
+    }
+
+    #[test]
+    fn naive_retries_immediately_up_to_budget() {
+        let p = RetryPolicy::naive(3);
+        assert_eq!(p.delay(1, 0.9), Some(SimTime::ZERO));
+        assert_eq!(p.delay(2, 0.9), Some(SimTime::ZERO));
+        assert_eq!(p.delay(3, 0.9), None);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_jitter() {
+        let p = RetryPolicy::backoff(4, SimTime::from_millis(100), 2.0, 0.5);
+        let d1 = p.delay(1, 0.0).unwrap().as_secs_f64();
+        let d2 = p.delay(2, 0.0).unwrap().as_secs_f64();
+        let d3 = p.delay(3, 1.0).unwrap().as_secs_f64();
+        assert!((d1 - 0.1).abs() < 1e-9);
+        assert!((d2 - 0.2).abs() < 1e-9);
+        // attempt 3: 100ms * 2^2 = 400ms, jitter ×1.5 = 600ms.
+        assert!((d3 - 0.6).abs() < 1e-9);
+        assert_eq!(p.delay(4, 0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn shrinking_backoff_rejected() {
+        let _ = RetryPolicy::backoff(3, SimTime::from_millis(10), 0.5, 0.0);
+    }
+}

@@ -57,6 +57,13 @@ impl Session {
         SimTime::from_secs_f64(self.rng.exp_mean(self.think_mean_secs))
     }
 
+    /// Draw a retry-backoff jitter `u ∈ [0,1)` from this session's own
+    /// stream. Only called when a retry is actually scheduled, so sessions
+    /// that never fail draw exactly the same sequence as a fault-free run.
+    pub fn retry_jitter(&mut self) -> f64 {
+        self.rng.uniform01()
+    }
+
     /// Choose the next interaction.
     pub fn next_interaction(&mut self, catalog: &InteractionCatalog, mix: &Mix) -> InteractionId {
         let next = match (self.model, self.last) {

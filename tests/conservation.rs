@@ -12,6 +12,7 @@
 use rubbos_ntier::jvm_gc::GcConfig;
 use rubbos_ntier::prelude::*;
 use rubbos_ntier::simcore::testkit::{check, Gen};
+use rubbos_ntier::simcore::SimTime;
 use rubbos_ntier::workload::WorkloadConfig;
 
 /// Build a random valid topology + config pair from the generator.
@@ -84,6 +85,148 @@ fn assert_conserved(label: &str, report: &DrainReport) {
             node.name
         );
     }
+}
+
+/// Layer random fault scenarios onto a config: replica crash/recovery on
+/// the backend tiers, slow-replica windows, wire drops, deadlines, front
+/// shedding, and client retries. Times target the quick schedule
+/// (measurement window 10 s..40 s).
+fn random_faults(g: &mut Gen, cfg: &mut SystemConfig) {
+    let mut topo = cfg.effective_topology();
+    let n_tiers = topo.tiers.len();
+    for (t, spec) in topo.tiers.iter_mut().enumerate() {
+        let backend = t >= 2; // Cmw or Db in both supported chains
+        if backend {
+            let mut fault = FaultSpec::none();
+            let replicas = spec.replicas;
+            let any_replica = |g: &mut Gen| -> u16 {
+                if replicas > 1 {
+                    g.usize_in(0, replicas - 1) as u16
+                } else {
+                    0
+                }
+            };
+            if g.chance(0.5) {
+                let replica = any_replica(g);
+                let crash_at = SimTime::from_secs_f64(11.0 + g.usize_in(0, 20) as f64);
+                let recover_at = if g.chance(0.7) {
+                    Some(crash_at + SimTime::from_secs_f64(1.0 + g.usize_in(0, 10) as f64))
+                } else {
+                    None // permanent crash: the run must still drain clean
+                };
+                fault = fault.with_crash(replica, crash_at, recover_at);
+            }
+            if g.chance(0.3) {
+                let replica = any_replica(g);
+                let from = SimTime::from_secs_f64(11.0 + g.usize_in(0, 20) as f64);
+                let until = g
+                    .chance(0.7)
+                    .then(|| from + SimTime::from_secs_f64(1.0 + g.usize_in(0, 10) as f64));
+                fault = fault.with_slow(replica, from, until, 1.0 + g.usize_in(1, 6) as f64);
+            }
+            if g.chance(0.3) {
+                fault = fault.with_drop_prob(g.usize_in(1, 50) as f64 / 1000.0);
+            }
+            spec.fault = fault;
+        } else {
+            // Front/app deadlines; shedding only on the front tier.
+            if g.chance(0.4) {
+                spec.timeout = Some(SimTime::from_secs_f64(if t == 0 {
+                    4.0 + g.usize_in(0, 6) as f64
+                } else {
+                    1.0 + g.usize_in(0, 4) as f64
+                }));
+            }
+            if t == 0 && g.chance(0.4) {
+                spec.shed = if g.chance(0.5) {
+                    ShedPolicy::QueueDepth(g.usize_in(5, 80))
+                } else {
+                    ShedPolicy::DeadlineAware {
+                        budget: SimTime::from_secs_f64(2.0),
+                        est_hold: SimTime::from_secs_f64(0.05),
+                    }
+                };
+            }
+        }
+    }
+    assert!(n_tiers >= 3);
+    topo.validate().expect("fault generator stays in scope");
+    cfg.topology = Some(topo);
+    cfg.retry = if g.chance(0.5) {
+        RetryPolicy::naive(g.usize_in(2, 3) as u8)
+    } else {
+        RetryPolicy::backoff(
+            g.usize_in(2, 4) as u8,
+            SimTime::from_secs_f64(0.2),
+            2.0,
+            0.5,
+        )
+    };
+}
+
+/// The run-level outcome law: every request admitted by the front tier ends
+/// in exactly one terminal outcome (served, timed out, shed, or failed).
+fn assert_outcome_law(label: &str, report: &DrainReport) {
+    let front_tier = report.nodes[0]
+        .name
+        .rsplit_once('-')
+        .map(|(t, _)| t.to_string())
+        .unwrap_or_else(|| report.nodes[0].name.clone());
+    let front_arrivals: u64 = report
+        .nodes
+        .iter()
+        .filter(|n| n.name.starts_with(&front_tier))
+        .map(|n| n.arrivals)
+        .sum();
+    assert_eq!(
+        report.outcomes.total(),
+        front_arrivals,
+        "{label}: outcomes {:?} do not account for every admitted request",
+        report.outcomes
+    );
+}
+
+#[test]
+fn random_fault_scenarios_conserve_flow() {
+    check(10, |g| {
+        let mut cfg = random_cfg(g);
+        random_faults(g, &mut cfg);
+        let label = format!("{}+faults", cfg.label());
+        let (out, report) = run_system_to_drain(cfg);
+        assert!(report.outcomes.total() > 0, "{label}: no traffic");
+        assert_conserved(&label, &report);
+        assert_outcome_law(&label, &report);
+        // Availability is a probability, and goodput+badput==throughput must
+        // survive errors-as-badput accounting.
+        assert!((0.0..=1.0).contains(&out.availability), "{label}");
+        for i in 0..out.sla_thresholds.len() {
+            assert!(
+                (out.goodput[i] + out.badput[i] - out.throughput).abs() < 1e-9,
+                "{label}: goodput+badput != throughput under faults"
+            );
+        }
+    });
+}
+
+#[test]
+fn permanent_backend_crash_drains_clean() {
+    // Kill both DB replicas for good mid-run: everything after that fails,
+    // the closed loop keeps cycling errors, and the drain must still reach
+    // a quiescent zero-in-flight state with the books balanced.
+    let soft = SoftAllocation::rule_of_thumb();
+    let hw = HardwareConfig::one_two_one_two();
+    let mut topo = Topology::paper(hw, soft);
+    topo.tiers[3].fault = FaultSpec::none()
+        .with_crash(0, SimTime::from_secs_f64(15.0), None)
+        .with_crash(1, SimTime::from_secs_f64(18.0), None);
+    let mut cfg = SystemConfig::new(hw, soft, 300).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(300);
+    cfg.retry = RetryPolicy::naive(3);
+    let (out, report) = run_system_to_drain(cfg);
+    assert!(out.outcomes.failed > 0, "crash produced no failures");
+    assert!(out.availability < 1.0);
+    assert_conserved("perma-crash", &report);
+    assert_outcome_law("perma-crash", &report);
 }
 
 #[test]

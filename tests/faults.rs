@@ -1,0 +1,194 @@
+//! Failure-semantics integration tests: fault-injected runs stay
+//! bit-deterministic under a fixed seed, `FaultSpec::none()` is
+//! behaviorally identical to no fault spec at all, and each mechanism of
+//! the failure layer (deadlines, shedding, retries, crash-aware routing)
+//! produces its outcome through the public accounting surface.
+
+mod common;
+
+use common::scaled_config;
+use rubbos_ntier::ntier_trace::export;
+use rubbos_ntier::prelude::*;
+use rubbos_ntier::simcore::SimTime;
+use rubbos_ntier::workload::WorkloadConfig;
+
+/// A 1/2/1/2 config with a mid-run DB replica crash, a cold-cache slow
+/// window after recovery, wire drops to the middleware, an app deadline,
+/// front shedding, and backoff retries — every fault mechanism at once.
+fn everything_faulted(seed: u64) -> SystemConfig {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::rule_of_thumb();
+    let mut topo = Topology::paper(hw, soft);
+    topo.tiers[0].shed = ShedPolicy::QueueDepth(60);
+    topo.tiers[1].timeout = Some(SimTime::from_secs_f64(2.0));
+    topo.tiers[2].fault = FaultSpec::none().with_drop_prob(0.01);
+    topo.tiers[3].fault = FaultSpec::none()
+        .with_crash(
+            1,
+            SimTime::from_secs_f64(15.0),
+            Some(SimTime::from_secs_f64(25.0)),
+        )
+        .with_slow(
+            1,
+            SimTime::from_secs_f64(25.0),
+            Some(SimTime::from_secs_f64(32.0)),
+            5.0,
+        );
+    let mut cfg = SystemConfig::new(hw, soft, 1200).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(1200);
+    cfg.retry = RetryPolicy::backoff(3, SimTime::from_secs_f64(0.3), 2.0, 0.5);
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn faulted_runs_are_bit_deterministic() {
+    let run = |seed| {
+        let mut cfg = everything_faulted(seed);
+        cfg.trace = TraceConfig::Sampled(0.25);
+        run_system_traced(cfg)
+    };
+    let (a, ta) = run(7);
+    let (b, tb) = run(7);
+    assert!(a.outcomes.failed > 0, "crash produced no failures");
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.rt_dist_counts, b.rt_dist_counts);
+    assert!((a.availability - b.availability).abs() == 0.0);
+    assert!((a.mean_rt - b.mean_rt).abs() == 0.0);
+    assert_eq!(
+        export::to_jsonl(ta.spans.iter()),
+        export::to_jsonl(tb.spans.iter()),
+        "faulted trace must be bit-identical at the same seed"
+    );
+    // A different seed must actually change the run.
+    let (c, _) = run(8);
+    assert_ne!(a.events_processed, c.events_processed);
+}
+
+#[test]
+fn empty_fault_spec_is_identical_to_none() {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::new(50, 20, 10);
+    let plain = run_system(scaled_config(hw, soft, 400));
+    let mut cfg = scaled_config(hw, soft, 400);
+    let mut topo = cfg.effective_topology();
+    for spec in &mut topo.tiers {
+        spec.fault = FaultSpec::none();
+    }
+    cfg.topology = Some(topo);
+    let faultless = run_system(cfg);
+    assert_eq!(plain.events_processed, faultless.events_processed);
+    assert_eq!(plain.completed, faultless.completed);
+    assert_eq!(plain.rt_dist_counts, faultless.rt_dist_counts);
+    assert_eq!(plain.outcomes, faultless.outcomes);
+    assert_eq!(faultless.availability, 1.0);
+}
+
+#[test]
+fn app_deadline_times_out_and_cancels_waiters() {
+    // One DB connection and a 5× slow DB replica: queries pile up behind the
+    // shared conn pool, the 0.8 s app deadline fires while requests wait,
+    // and the cancelled waiters show up in the pool report.
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::new(50, 20, 1);
+    let mut cfg = scaled_config(hw, soft, 300);
+    let mut topo = cfg.effective_topology();
+    topo.tiers[1].timeout = Some(SimTime::from_secs_f64(0.8));
+    topo.tiers[3].fault = FaultSpec::none()
+        .with_slow(0, SimTime::from_secs_f64(5.0), None, 5.0)
+        .with_slow(1, SimTime::from_secs_f64(5.0), None, 5.0);
+    cfg.topology = Some(topo);
+    let out = run_system(cfg);
+    assert!(out.outcomes.timed_out > 0, "deadline never fired");
+    assert!(out.availability < 1.0);
+    let app = out
+        .nodes
+        .iter()
+        .find(|n| n.name.starts_with("Tomcat"))
+        .expect("app node");
+    let conns = app.conn_pool.as_ref().expect("app conn pool");
+    assert!(
+        conns.cancelled > 0,
+        "timed-out requests should cancel their conn-pool waiters"
+    );
+}
+
+#[test]
+fn front_tier_sheds_under_overload() {
+    // A tiny worker pool with a deep queue bound of 5: the closed loop
+    // pushes far more concurrency than 4 workers serve, so admission
+    // control must start rejecting.
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::new(4, 20, 10);
+    let mut cfg = scaled_config(hw, soft, 500);
+    let mut topo = cfg.effective_topology();
+    topo.tiers[0].shed = ShedPolicy::QueueDepth(5);
+    cfg.topology = Some(topo);
+    let (out, report) = run_system_to_drain(cfg);
+    assert!(out.outcomes.shed > 0, "queue-depth shed never fired");
+    // Shed requests still balance the books.
+    let front_arrivals: u64 = report
+        .nodes
+        .iter()
+        .filter(|n| n.name.starts_with("Apache"))
+        .map(|n| n.arrivals)
+        .sum();
+    assert_eq!(report.outcomes.total(), front_arrivals);
+}
+
+#[test]
+fn retries_reissue_failed_requests() {
+    // Permanently crash both DB replicas near the end of the window: the
+    // tail of the trial fails hard, clients retry, and the retried attempts
+    // show up in the retry counter without rescuing the outcome.
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::rule_of_thumb();
+    let crash = |retry: RetryPolicy| {
+        let mut topo = Topology::paper(hw, soft);
+        topo.tiers[3].fault = FaultSpec::none()
+            .with_crash(0, SimTime::from_secs_f64(35.0), None)
+            .with_crash(1, SimTime::from_secs_f64(35.0), None);
+        let mut cfg = SystemConfig::new(hw, soft, 600).with_topology(topo);
+        cfg.workload = WorkloadConfig::quick(600);
+        cfg.retry = retry;
+        run_system(cfg)
+    };
+    let without = crash(RetryPolicy::disabled());
+    let with = crash(RetryPolicy::naive(3));
+    assert!(without.outcomes.failed > 0, "crash produced no failures");
+    assert_eq!(without.outcomes.retries, 0);
+    assert!(with.outcomes.retries > 0, "retry policy never retried");
+    // Each failed attempt re-enters the front tier: with retries enabled the
+    // same closed loop terminates strictly more requests.
+    assert!(with.outcomes.total() > without.outcomes.total());
+    // The outage covers only the last ~1/6 of the window.
+    assert!(with.availability > 0.5);
+}
+
+#[test]
+fn fail_fast_skips_no_replicas_while_round_robin_routes_around() {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::rule_of_thumb();
+    let run = |select: SelectPolicy| {
+        let mut topo = Topology::paper(hw, soft);
+        topo.tiers[3].select = select;
+        topo.tiers[3].fault = FaultSpec::none().with_crash(
+            0,
+            SimTime::from_secs_f64(15.0),
+            Some(SimTime::from_secs_f64(30.0)),
+        );
+        let mut cfg = SystemConfig::new(hw, soft, 600).with_topology(topo);
+        cfg.workload = WorkloadConfig::quick(600);
+        run_system(cfg)
+    };
+    let routed = run(SelectPolicy::RoundRobin);
+    let failfast = run(SelectPolicy::FailFast);
+    assert!(
+        failfast.outcomes.failed > routed.outcomes.failed,
+        "FailFast must not route reads around the dead replica: {} vs {}",
+        failfast.outcomes.failed,
+        routed.outcomes.failed
+    );
+    assert!(routed.availability > failfast.availability);
+}
