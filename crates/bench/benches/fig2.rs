@@ -7,10 +7,15 @@
 //! 2 s threshold, ~44% at 1 s, ~93% at 0.5 s.
 
 //! CLI flags (after `--`): `--hw`, `--soft` (replaces the rule-of-thumb
-//! line), `--users`, `--quick`, and `--faults TIER[:REPLICA]@FROM[-TO]`
-//! (crash a backend replica mid-sweep) — see [`bench::BenchArgs`].
+//! line), `--users`, `--quick`, `--faults TIER[:REPLICA]@FROM[-TO]`
+//! (crash a backend replica mid-sweep), and `--metrics PATH[:WINDOW_MS]`
+//! (per-window CSV time series for every sweep point) — see
+//! [`bench::BenchArgs`].
 
-use bench::{banner, goodput_series, pct_diff, print_series, run_sweep_args, save_json, BenchArgs};
+use bench::{
+    banner, dump_metrics_args, goodput_series, pct_diff, print_series, run_sweep_args, save_json,
+    BenchArgs,
+};
 use ntier_core::{HardwareConfig, SoftAllocation};
 use ntier_trace::json::{arr, obj, Json};
 
@@ -52,6 +57,9 @@ fn main() {
             );
         }
     }
+
+    dump_metrics_args(&args, &format!("good-{good}"), hw, good, &users);
+    dump_metrics_args(&args, &format!("poor-{poor}"), hw, poor, &users);
 
     save_json(
         "fig2",

@@ -5,7 +5,8 @@
 //! machine-readable JSON copy under `target/paper-results/`.
 
 use ntier_core::{
-    ExperimentSpec, HardwareConfig, RunOutput, SoftAllocation, Tier, Topology, TopologyError,
+    run_system_metered, ExperimentSpec, HardwareConfig, MetricsSink, RunMetrics, RunOutput,
+    SoftAllocation, Tier, Topology, TopologyError,
 };
 use ntier_trace::json::Json;
 use simcore::SimTime;
@@ -29,6 +30,10 @@ pub use ntier_core::experiment::Schedule;
 ///   Repeatable; comma-separated windows also accepted. Harnesses opt in
 ///   via [`BenchArgs::apply_faults`], which re-validates the topology and
 ///   surfaces a [`TopologyError`] instead of aborting deep in assembly.
+/// * `--metrics PATH[:WINDOW_MS]` — record the fine-grained windowed time
+///   series during each run and write one CSV per run next to `PATH`
+///   (see [`MetricsSink`]). Collection is passive: the printed tables are
+///   bit-identical with or without the flag.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// `--hw` override.
@@ -41,6 +46,8 @@ pub struct BenchArgs {
     pub quick: bool,
     /// `--faults` crash windows, in flag order.
     pub faults: Vec<FaultFlag>,
+    /// `--metrics` CSV sink (window defaults to 100 ms).
+    pub metrics: Option<MetricsSink>,
 }
 
 /// One `--faults` crash window: which tier/replica goes down, and when.
@@ -144,6 +151,12 @@ impl BenchArgs {
                     for part in v.split(',') {
                         out.faults.push(FaultFlag::parse(part.trim())?);
                     }
+                }
+                "--metrics" => {
+                    let Some(v) = args.next() else {
+                        return Err("--metrics needs PATH[:WINDOW_MS]".into());
+                    };
+                    out.metrics = Some(MetricsSink::parse(&v)?);
                 }
                 "--quick" => out.quick = true,
                 _ => {}
@@ -264,6 +277,52 @@ pub fn run_sweep_args(
     ntier_core::sweep(&specs)
 }
 
+/// When `--metrics` was given, re-run each sweep point with the windowed
+/// metrics pipeline enabled and write one CSV per point (suffix =
+/// `<label>-<users>`). The metered runs are bit-identical to the sweep the
+/// tables were printed from (passive collection), so the CSVs describe
+/// exactly the published numbers. Returns the metered series for harnesses
+/// that also want to diagnose them.
+pub fn dump_metrics_args(
+    args: &BenchArgs,
+    label: &str,
+    hw: HardwareConfig,
+    soft: SoftAllocation,
+    users: &[u32],
+) -> Vec<RunMetrics> {
+    let Some(sink) = &args.metrics else {
+        return Vec::new();
+    };
+    // Bench binaries run with the package dir as cwd; anchor relative paths
+    // at the workspace root so `--metrics target/m` lands where users look
+    // (same convention as `save_json`).
+    let mut sink = sink.clone();
+    if sink.path.is_relative() {
+        sink.path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(&sink.path);
+    }
+    let mut out = Vec::new();
+    for &u in users {
+        let mut spec = spec_scheduled(hw, soft, u, args.schedule());
+        if let Some(topo) = spec.topology.as_mut() {
+            if let Err(e) = args.apply_faults(topo) {
+                eprintln!("bench flags: {e}");
+                std::process::exit(2);
+            }
+        }
+        let mut cfg = spec.to_config();
+        cfg.metrics = sink.config();
+        let (_, m) = run_system_metered(cfg);
+        match sink.write_csv_suffixed(&format!("{label}-{u}"), &m) {
+            Ok(path) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("--metrics: cannot write {}: {e}", sink.path.display()),
+        }
+        out.push(m);
+    }
+    out
+}
+
 /// Print a header for a figure/table.
 pub fn banner(title: &str, caption: &str) {
     println!("\n{}", "=".repeat(78));
@@ -368,6 +427,19 @@ mod tests {
         let ok = args(&["--hw", "1/2/1/2", "--quick", "--bench"]).expect("parses");
         assert_eq!(ok.hw, Some(HardwareConfig::one_two_one_two()));
         assert!(ok.quick);
+    }
+
+    #[test]
+    fn metrics_flag_parses_sink() {
+        let args = |list: &[&str]| BenchArgs::try_parse_from(list.iter().map(|s| s.to_string()));
+        let ok = args(&["--metrics", "out/fig2.csv:250"]).expect("parses");
+        let sink = ok.metrics.expect("sink present");
+        assert_eq!(sink.path, std::path::PathBuf::from("out/fig2.csv"));
+        assert_eq!(sink.window, SimTime::from_millis(250));
+        let ok = args(&["--metrics", "fig2.csv"]).expect("parses");
+        assert_eq!(ok.metrics.unwrap().window, SimTime::from_millis(100));
+        assert!(args(&["--metrics"]).is_err());
+        assert!(args(&["--metrics", "x.csv:0"]).is_err());
     }
 
     #[test]

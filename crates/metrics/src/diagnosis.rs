@@ -1,0 +1,363 @@
+//! Automated phenomenon diagnosis over windowed run metrics.
+//!
+//! Classifies a run (or a load sweep) into the paper's soft-resource failure
+//! modes:
+//!
+//! * [`Diagnosis::UnderAllocated`] — §III-A: a soft pool is saturated (full
+//!   with a standing wait queue) while *every* hardware CPU stays idle. The
+//!   bottleneck is the allocation, not the hardware.
+//! * [`Diagnosis::OverAllocated`] — §III-B, Fig. 8: the GC share of some
+//!   JVM tier climbs past a threshold near saturation and goodput collapses
+//!   (large pools inflate memory pressure → stop-the-world pauses).
+//! * [`Diagnosis::BufferingEffect`] — §III-C, Fig. 10: downstream CPU
+//!   utilization *decreases* as offered load increases while the front
+//!   tier's linger-close occupancy climbs — the small front pool is
+//!   buffering the back-end's work away.
+//! * [`Diagnosis::Healthy`] — none of the above (which includes ordinary
+//!   *hardware* saturation: a busy CPU is what well-allocated soft
+//!   resources are supposed to produce).
+//!
+//! The per-window series come from [`RunMetrics`]; saturation/idleness
+//! judgments reuse the [`BottleneckDetector`] episode machinery.
+
+use crate::bottleneck::{BottleneckDetector, SaturationClass};
+use crate::timeseries::{ReplicaSeries, RunMetrics};
+use std::fmt;
+
+/// The diagnosed condition of a run (or sweep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Diagnosis {
+    /// A soft pool on `tier` is the bottleneck while all hardware is idle.
+    UnderAllocated {
+        /// Chain position of the starved tier (0 = front).
+        tier: usize,
+    },
+    /// GC overhead past threshold with degraded goodput; carries the peak
+    /// steady-state GC CPU share observed.
+    OverAllocated {
+        /// Mean stop-the-world fraction of the worst replica (steady half).
+        gc_fraction: f64,
+    },
+    /// Downstream CPU falls as load rises while front-tier linger occupancy
+    /// climbs (only detectable across a sweep).
+    BufferingEffect,
+    /// No soft-resource pathology detected.
+    Healthy,
+}
+
+impl fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnosis::UnderAllocated { tier } => {
+                write!(f, "under-allocated (soft bottleneck at tier {tier})")
+            }
+            Diagnosis::OverAllocated { gc_fraction } => {
+                write!(f, "over-allocated (GC share {:.0}%)", gc_fraction * 100.0)
+            }
+            Diagnosis::BufferingEffect => write!(f, "buffering effect (starved back-end)"),
+            Diagnosis::Healthy => write!(f, "healthy"),
+        }
+    }
+}
+
+/// Tunable thresholds for the diagnoser. The defaults are calibrated on the
+/// paper's 1/2/1/2 and 1/4/1/4 configurations (see `tests/diagnosis.rs`).
+#[derive(Debug, Clone)]
+pub struct DiagnosisRules {
+    /// A pool is "saturated" when its windows are saturated at least this
+    /// fraction of the time (cf. `RunOutput::soft_saturated`).
+    pub pool_saturated: f64,
+    /// "Hardware idle" means every replica's mean CPU stays below this.
+    pub cpu_idle_below: f64,
+    /// GC share (steady half) above this flags over-allocation. Calibrated
+    /// on the scaled 1/4/1/4 testbed: the 200-connection pathology holds a
+    /// steady GC share ≈ 4%, its 10-connection control ≈ 1.5%, so 3% sits
+    /// between them with margin on both sides.
+    pub gc_threshold: f64,
+    /// …provided goodput also collapsed: good/completed below this.
+    pub goodput_floor: f64,
+    /// Sweep: a downstream tier's mean CPU dropping by more than this
+    /// relative fraction as load rises.
+    pub cpu_drop: f64,
+    /// Sweep: front linger occupancy must rise by this factor…
+    pub linger_rise: f64,
+    /// …and exceed this many workers in absolute terms.
+    pub linger_floor: f64,
+    /// Episode machinery for saturation classification.
+    pub detector: BottleneckDetector,
+}
+
+impl Default for DiagnosisRules {
+    fn default() -> Self {
+        DiagnosisRules {
+            pool_saturated: 0.5,
+            cpu_idle_below: 0.90,
+            gc_threshold: 0.03,
+            goodput_floor: 0.85,
+            cpu_drop: 0.03,
+            linger_rise: 1.15,
+            linger_floor: 1.0,
+            detector: BottleneckDetector::default(),
+        }
+    }
+}
+
+impl Diagnosis {
+    /// Diagnose a single run with default rules.
+    pub fn of_run(m: &RunMetrics) -> Diagnosis {
+        Self::of_run_with(m, &DiagnosisRules::default())
+    }
+
+    /// Diagnose a single run.
+    pub fn of_run_with(m: &RunMetrics, rules: &DiagnosisRules) -> Diagnosis {
+        // 1. Under-allocation: a saturated soft pool + all hardware idle.
+        if let Some(tier) = under_allocated_tier(m, rules) {
+            return Diagnosis::UnderAllocated { tier };
+        }
+        // 2. Over-allocation: GC share past threshold with goodput collapse.
+        if let Some(gc) = over_allocated_gc(m, rules) {
+            return Diagnosis::OverAllocated { gc_fraction: gc };
+        }
+        Diagnosis::Healthy
+    }
+
+    /// Diagnose a load sweep (runs ordered by increasing offered load) with
+    /// default rules. The buffering effect is only visible across loads;
+    /// when absent, the highest-load run is diagnosed on its own.
+    pub fn of_sweep(runs: &[&RunMetrics]) -> Diagnosis {
+        Self::of_sweep_with(runs, &DiagnosisRules::default())
+    }
+
+    /// Diagnose a load sweep with explicit rules.
+    pub fn of_sweep_with(runs: &[&RunMetrics], rules: &DiagnosisRules) -> Diagnosis {
+        if runs.is_empty() {
+            return Diagnosis::Healthy;
+        }
+        if runs.len() >= 2 {
+            let lo = runs[0];
+            let hi = runs[runs.len() - 1];
+            if buffering_between(lo, hi, rules) {
+                return Diagnosis::BufferingEffect;
+            }
+        }
+        Self::of_run_with(runs[runs.len() - 1], rules)
+    }
+}
+
+/// Mean of the steady (second) half of a window series — ramp transients and
+/// warm-up GC live in the first half.
+fn steady_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let half = &xs[xs.len() / 2..];
+    half.iter().sum::<f64>() / half.len() as f64
+}
+
+/// A pool series saturated for more than `rules.pool_saturated` of the run,
+/// classified as a *stable* episode (not a transient spike) by the detector.
+fn pool_is_saturated(sat: &[f64], rules: &DiagnosisRules) -> bool {
+    let mean = if sat.is_empty() {
+        0.0
+    } else {
+        sat.iter().sum::<f64>() / sat.len() as f64
+    };
+    if mean <= rules.pool_saturated {
+        return false;
+    }
+    // The detector's episode machinery distinguishes a standing queue from
+    // scattered spikes; a saturated pool must be a stable saturated signal.
+    rules.detector.classify(sat).class != SaturationClass::Unsaturated
+}
+
+fn replica_saturated_pool(r: &ReplicaSeries, rules: &DiagnosisRules) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for pool in [&r.threads, &r.db_conns].into_iter().flatten() {
+        if pool_is_saturated(&pool.saturated, rules) {
+            let m = pool.mean_saturated();
+            worst = Some(worst.map_or(m, |w| w.max(m)));
+        }
+    }
+    worst
+}
+
+fn under_allocated_tier(m: &RunMetrics, rules: &DiagnosisRules) -> Option<usize> {
+    // All hardware idle?
+    let hw_idle = m
+        .replicas
+        .iter()
+        .all(|r| r.mean_cpu() < rules.cpu_idle_below);
+    if !hw_idle {
+        return None;
+    }
+    // Most-saturated soft pool wins.
+    m.replicas
+        .iter()
+        .filter_map(|r| replica_saturated_pool(r, rules).map(|s| (r.tier, s)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(tier, _)| tier)
+}
+
+fn over_allocated_gc(m: &RunMetrics, rules: &DiagnosisRules) -> Option<f64> {
+    let worst_gc = m
+        .replicas
+        .iter()
+        .map(|r| steady_mean(&r.gc_fraction))
+        .fold(0.0, f64::max);
+    if worst_gc <= rules.gc_threshold {
+        return None;
+    }
+    // Goodput collapse at the client: good/completed in the steady half.
+    let total = steady_mean(&m.client.completed);
+    let good = steady_mean(&m.client.good);
+    let satisfaction = if total > 0.0 { good / total } else { 1.0 };
+    (satisfaction < rules.goodput_floor).then_some(worst_gc)
+}
+
+fn front_linger_mean(m: &RunMetrics) -> f64 {
+    m.replicas
+        .iter()
+        .filter(|r| r.tier == 0)
+        .filter_map(|r| r.lingering.as_ref())
+        .map(|l| steady_mean(l))
+        .sum()
+}
+
+fn buffering_between(lo: &RunMetrics, hi: &RunMetrics, rules: &DiagnosisRules) -> bool {
+    // Front linger occupancy must climb with offered load…
+    let linger_lo = front_linger_mean(lo);
+    let linger_hi = front_linger_mean(hi);
+    if linger_hi < rules.linger_floor || linger_hi < linger_lo * rules.linger_rise {
+        return false;
+    }
+    // …while some downstream tier's CPU *decreases*.
+    let mut tiers = hi.tiers();
+    tiers.retain(|&t| t != 0);
+    tiers.into_iter().any(|t| {
+        let cpu_lo = steady_mean(&lo.tier_cpu(t));
+        let cpu_hi = steady_mean(&hi.tier_cpu(t));
+        cpu_lo > 0.0 && cpu_hi < cpu_lo * (1.0 - rules.cpu_drop)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::{ClientSeries, PoolSeries};
+    use crate::QuantileSketch;
+    use simcore::SimTime;
+
+    fn client(n: usize, good_frac: f64) -> ClientSeries {
+        ClientSeries {
+            threshold_secs: 1.0,
+            completed: vec![10.0; n],
+            good: vec![10.0 * good_frac; n],
+            timed_out: vec![0.0; n],
+            shed: vec![0.0; n],
+            failed: vec![0.0; n],
+            retries: vec![0.0; n],
+            quantiles: vec![[0.1, 0.2, 0.3]; n],
+            overall: QuantileSketch::response_times(),
+        }
+    }
+
+    fn replica(tier: usize, name: &str, n: usize, cpu: f64, gc: f64) -> ReplicaSeries {
+        ReplicaSeries {
+            tier,
+            replica: 0,
+            name: name.to_string(),
+            cores: 1,
+            cpu_util: vec![cpu; n],
+            gc_fraction: vec![gc; n],
+            run_queue: vec![1.0; n],
+            threads: None,
+            db_conns: None,
+            lingering: None,
+        }
+    }
+
+    fn run(replicas: Vec<ReplicaSeries>, good_frac: f64) -> RunMetrics {
+        let n = 40;
+        RunMetrics {
+            window: SimTime::from_millis(100),
+            origin: SimTime::ZERO,
+            n_windows: n,
+            replicas,
+            client: client(n, good_frac),
+        }
+    }
+
+    #[test]
+    fn saturated_pool_with_idle_hardware_is_under_allocated() {
+        let n = 40;
+        let mut app = replica(1, "tomcat-0", n, 0.30, 0.0);
+        app.threads = Some(PoolSeries {
+            capacity: 3,
+            in_use: vec![3.0; n],
+            waiting: vec![12.0; n],
+            saturated: vec![1.0; n],
+        });
+        let m = run(vec![replica(0, "apache-0", n, 0.2, 0.0), app], 0.5);
+        assert_eq!(Diagnosis::of_run(&m), Diagnosis::UnderAllocated { tier: 1 });
+    }
+
+    #[test]
+    fn saturated_pool_with_busy_cpu_is_not_under_allocated() {
+        let n = 40;
+        let mut app = replica(1, "tomcat-0", n, 0.98, 0.0);
+        app.threads = Some(PoolSeries {
+            capacity: 3,
+            in_use: vec![3.0; n],
+            waiting: vec![12.0; n],
+            saturated: vec![1.0; n],
+        });
+        let m = run(vec![app], 0.95);
+        assert_eq!(Diagnosis::of_run(&m), Diagnosis::Healthy);
+    }
+
+    #[test]
+    fn high_gc_with_goodput_collapse_is_over_allocated() {
+        let n = 40;
+        let m = run(
+            vec![
+                replica(1, "tomcat-0", n, 0.7, 0.02),
+                replica(2, "cjdbc-0", n, 0.99, 0.30),
+            ],
+            0.4,
+        );
+        match Diagnosis::of_run(&m) {
+            Diagnosis::OverAllocated { gc_fraction } => {
+                assert!((gc_fraction - 0.30).abs() < 1e-9)
+            }
+            d => panic!("expected OverAllocated, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn high_gc_with_good_slo_is_healthy() {
+        let n = 40;
+        let m = run(vec![replica(2, "cjdbc-0", n, 0.9, 0.30)], 0.99);
+        assert_eq!(Diagnosis::of_run(&m), Diagnosis::Healthy);
+    }
+
+    #[test]
+    fn sweep_detects_buffering_effect() {
+        let n = 40;
+        let mk = |cpu_down: f64, linger: f64| {
+            let mut web = replica(0, "apache-0", n, 0.3, 0.0);
+            web.lingering = Some(vec![linger; n]);
+            run(vec![web, replica(2, "cjdbc-0", n, cpu_down, 0.0)], 0.9)
+        };
+        let lo = mk(0.6, 1.0);
+        let hi = mk(0.4, 8.0);
+        assert_eq!(Diagnosis::of_sweep(&[&lo, &hi]), Diagnosis::BufferingEffect);
+        // Rising downstream CPU: no buffering; falls through to run diagnosis.
+        let hi2 = mk(0.8, 8.0);
+        assert_eq!(Diagnosis::of_sweep(&[&lo, &hi2]), Diagnosis::Healthy);
+    }
+
+    #[test]
+    fn empty_sweep_is_healthy() {
+        assert_eq!(Diagnosis::of_sweep(&[]), Diagnosis::Healthy);
+    }
+}

@@ -1,0 +1,506 @@
+//! Exporters for windowed run metrics: CSV/JSONL dumps, gnuplot-ready
+//! Fig. 4/8/10-style series files, and a plain-text per-tier dashboard.
+//!
+//! All exporters are pure `RunMetrics -> String` functions (hand-rolled,
+//! dependency-free) plus a small [`MetricsSink`] that parses the CLI-side
+//! `PATH[:WINDOW_MS]` spec and owns the file writing.
+
+use crate::diagnosis::Diagnosis;
+use crate::timeseries::{MetricsConfig, RunMetrics, DEFAULT_WINDOW};
+use simcore::SimTime;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// CSV header shared by every per-window dump.
+pub const CSV_HEADER: &str = "window,start_secs,scope,cpu_util,gc_fraction,run_queue,\
+threads_in_use,threads_waiting,threads_saturated,conns_in_use,conns_waiting,conns_saturated,\
+lingering,completed,good,bad,timed_out,shed,failed,retries,p50,p95,p99";
+
+fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+fn opt(series: Option<&Vec<f64>>, i: usize) -> String {
+    series
+        .and_then(|s| s.get(i))
+        .map(|&v| num(v))
+        .unwrap_or_default()
+}
+
+/// Flat per-window CSV: one row per `(window, replica)` plus one `client`
+/// row per window; inapplicable columns are empty.
+pub fn to_csv(m: &RunMetrics) -> String {
+    let mut out = String::new();
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    let bad = m.client.bad();
+    for (i, &bad_i) in bad.iter().enumerate().take(m.n_windows) {
+        let t = num(m.window_start_secs(i));
+        for r in &m.replicas {
+            let _ = writeln!(
+                out,
+                "{i},{t},{name},{cpu},{gc},{rq},{tiu},{tw},{ts},{ciu},{cw},{cs},{lin},,,,,,,,,,",
+                name = r.name,
+                cpu = opt(Some(&r.cpu_util), i),
+                gc = opt(Some(&r.gc_fraction), i),
+                rq = opt(Some(&r.run_queue), i),
+                tiu = opt(r.threads.as_ref().map(|p| &p.in_use), i),
+                tw = opt(r.threads.as_ref().map(|p| &p.waiting), i),
+                ts = opt(r.threads.as_ref().map(|p| &p.saturated), i),
+                ciu = opt(r.db_conns.as_ref().map(|p| &p.in_use), i),
+                cw = opt(r.db_conns.as_ref().map(|p| &p.waiting), i),
+                cs = opt(r.db_conns.as_ref().map(|p| &p.saturated), i),
+                lin = opt(r.lingering.as_ref(), i),
+            );
+        }
+        let q = m.client.quantiles.get(i).copied().unwrap_or([0.0; 3]);
+        let _ = writeln!(
+            out,
+            "{i},{t},client,,,,,,,,,,,{c},{g},{b},{to},{sh},{fa},{re},{p50},{p95},{p99}",
+            c = num(m.client.completed[i]),
+            g = num(m.client.good[i]),
+            b = num(bad_i),
+            to = num(m.client.timed_out[i]),
+            sh = num(m.client.shed[i]),
+            fa = num(m.client.failed[i]),
+            re = num(m.client.retries[i]),
+            p50 = num(q[0]),
+            p95 = num(q[1]),
+            p99 = num(q[2]),
+        );
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One JSON object per window, replicas nested, client counters inline.
+pub fn to_jsonl(m: &RunMetrics) -> String {
+    let mut out = String::new();
+    let bad = m.client.bad();
+    for (i, &bad_i) in bad.iter().enumerate().take(m.n_windows) {
+        let q = m.client.quantiles.get(i).copied().unwrap_or([0.0; 3]);
+        let _ = write!(
+            out,
+            "{{\"window\":{i},\"start_secs\":{t},\"completed\":{c},\"good\":{g},\"bad\":{b},\
+             \"timed_out\":{to},\"shed\":{sh},\"failed\":{fa},\"retries\":{re},\
+             \"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"replicas\":[",
+            t = num(m.window_start_secs(i)),
+            c = num(m.client.completed[i]),
+            g = num(m.client.good[i]),
+            b = num(bad_i),
+            to = num(m.client.timed_out[i]),
+            sh = num(m.client.shed[i]),
+            fa = num(m.client.failed[i]),
+            re = num(m.client.retries[i]),
+            p50 = num(q[0]),
+            p95 = num(q[1]),
+            p99 = num(q[2]),
+        );
+        for (k, r) in m.replicas.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{name},\"tier\":{tier},\"cpu\":{cpu},\"gc\":{gc},\"run_queue\":{rq}",
+                name = json_str(&r.name),
+                tier = r.tier,
+                cpu = opt(Some(&r.cpu_util), i),
+                gc = opt(Some(&r.gc_fraction), i),
+                rq = opt(Some(&r.run_queue), i),
+            );
+            if let Some(p) = &r.threads {
+                let _ = write!(
+                    out,
+                    ",\"threads\":{{\"in_use\":{},\"waiting\":{},\"saturated\":{}}}",
+                    opt(Some(&p.in_use), i),
+                    opt(Some(&p.waiting), i),
+                    opt(Some(&p.saturated), i),
+                );
+            }
+            if let Some(p) = &r.db_conns {
+                let _ = write!(
+                    out,
+                    ",\"db_conns\":{{\"in_use\":{},\"waiting\":{},\"saturated\":{}}}",
+                    opt(Some(&p.in_use), i),
+                    opt(Some(&p.waiting), i),
+                    opt(Some(&p.saturated), i),
+                );
+            }
+            if let Some(l) = &r.lingering {
+                let _ = write!(out, ",\"lingering\":{}", opt(Some(l), i));
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+/// Gnuplot-ready `.dat` series in the shapes of the paper's figures:
+///
+/// * `util` — Fig. 4-style: time vs per-replica CPU utilization;
+/// * `gc_goodput` — Fig. 8-style: time vs per-replica GC share and
+///   client goodput/badput;
+/// * `buffering` — Fig. 10-style: time vs front linger occupancy and
+///   downstream per-tier CPU.
+///
+/// Returns `(file_stem, contents)` pairs; every file is
+/// whitespace-separated with a `#` comment header naming the columns.
+pub fn gnuplot_series(m: &RunMetrics) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+
+    // Fig. 4-style per-replica utilization.
+    let mut util = String::from("# t_secs");
+    for r in &m.replicas {
+        let _ = write!(util, " {}", r.name);
+    }
+    util.push('\n');
+    for i in 0..m.n_windows {
+        let _ = write!(util, "{}", num(m.window_start_secs(i)));
+        for r in &m.replicas {
+            let _ = write!(util, " {}", opt(Some(&r.cpu_util), i));
+        }
+        util.push('\n');
+    }
+    files.push(("util".to_string(), util));
+
+    // Fig. 8-style GC share + goodput/badput.
+    let mut gc = String::from("# t_secs goodput badput");
+    for r in &m.replicas {
+        let _ = write!(gc, " gc_{}", r.name);
+    }
+    gc.push('\n');
+    let bad = m.client.bad();
+    let per_sec = 1.0 / m.window.as_secs_f64();
+    for (i, &bad_i) in bad.iter().enumerate().take(m.n_windows) {
+        let _ = write!(
+            gc,
+            "{} {} {}",
+            num(m.window_start_secs(i)),
+            num(m.client.good[i] * per_sec),
+            num(bad_i * per_sec),
+        );
+        for r in &m.replicas {
+            let _ = write!(gc, " {}", opt(Some(&r.gc_fraction), i));
+        }
+        gc.push('\n');
+    }
+    files.push(("gc_goodput".to_string(), gc));
+
+    // Fig. 10-style buffering signal.
+    let mut buf = String::from("# t_secs front_lingering");
+    let tiers: Vec<usize> = m.tiers().into_iter().filter(|&t| t != 0).collect();
+    for &t in &tiers {
+        let _ = write!(buf, " tier{t}_cpu");
+    }
+    buf.push('\n');
+    let tier_cpu: Vec<Vec<f64>> = tiers.iter().map(|&t| m.tier_cpu(t)).collect();
+    for i in 0..m.n_windows {
+        let linger: f64 = m
+            .replicas
+            .iter()
+            .filter(|r| r.tier == 0)
+            .filter_map(|r| r.lingering.as_ref().and_then(|l| l.get(i)))
+            .sum();
+        let _ = write!(buf, "{} {}", num(m.window_start_secs(i)), num(linger));
+        for cpu in &tier_cpu {
+            let _ = write!(buf, " {}", num(cpu.get(i).copied().unwrap_or(0.0)));
+        }
+        buf.push('\n');
+    }
+    files.push(("buffering".to_string(), buf));
+
+    files
+}
+
+fn fmt_pct(v: f64) -> String {
+    format!("{:5.1}%", v * 100.0)
+}
+
+/// Plain-text per-tier dashboard summary, ending with the diagnosis line.
+pub fn dashboard(m: &RunMetrics) -> String {
+    let mut out = String::new();
+    let span = m.n_windows as f64 * m.window.as_secs_f64();
+    let _ = writeln!(
+        out,
+        "metrics: {} windows x {} ms ({:.0} s measured)",
+        m.n_windows,
+        m.window.as_secs_f64() * 1e3,
+        span,
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>7} {:>9} {:>10} {:>10} {:>10}",
+        "replica", "cpu", "gc", "runq", "threads", "db-conns", "lingering"
+    );
+    for r in &m.replicas {
+        let pool = |p: &Option<crate::timeseries::PoolSeries>| -> String {
+            p.as_ref()
+                .map(|p| {
+                    let occ = mean(&p.in_use) / p.capacity as f64;
+                    format!("{:.0}/{}", mean(&p.in_use), p.capacity).to_string()
+                        + if occ >= 0.95 { "*" } else { "" }
+                })
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>7} {:>9.2} {:>10} {:>10} {:>10}",
+            r.name,
+            fmt_pct(r.mean_cpu()),
+            fmt_pct(r.mean_gc()),
+            mean(&r.run_queue),
+            pool(&r.threads),
+            pool(&r.db_conns),
+            r.lingering
+                .as_ref()
+                .map(|l| format!("{:.1}", mean(l)))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    let total: f64 = m.client.completed.iter().sum();
+    let good: f64 = m.client.good.iter().sum();
+    let q = m.client.overall.p50_p95_p99();
+    let _ = writeln!(
+        out,
+        "client: {:.1} req/s, goodput {:.1} req/s ({} within {} s), p50/p95/p99 {:.3}/{:.3}/{:.3} s",
+        total / span,
+        good / span,
+        fmt_pct(if total > 0.0 { good / total } else { 1.0 }).trim(),
+        m.client.threshold_secs,
+        q[0],
+        q[1],
+        q[2],
+    );
+    let _ = writeln!(out, "diagnosis: {}", Diagnosis::of_run(m));
+    out
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Parsed `--metrics PATH[:WINDOW_MS]` CLI spec: where to write the CSV and
+/// how fine to sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSink {
+    /// Output path for the CSV dump.
+    pub path: PathBuf,
+    /// Window width (default 100 ms).
+    pub window: SimTime,
+}
+
+impl MetricsSink {
+    /// Parse `PATH` or `PATH:WINDOW_MS` (a trailing all-digit suffix after
+    /// the last `:` is the window in milliseconds).
+    pub fn parse(spec: &str) -> Result<MetricsSink, String> {
+        if spec.is_empty() {
+            return Err("empty --metrics spec".to_string());
+        }
+        if let Some((path, ms)) = spec.rsplit_once(':') {
+            if let Ok(ms) = ms.parse::<u64>() {
+                if ms == 0 {
+                    return Err("metrics window must be > 0 ms".to_string());
+                }
+                if path.is_empty() {
+                    return Err("empty path in --metrics spec".to_string());
+                }
+                return Ok(MetricsSink {
+                    path: PathBuf::from(path),
+                    window: SimTime::from_millis(ms),
+                });
+            }
+        }
+        Ok(MetricsSink {
+            path: PathBuf::from(spec),
+            window: DEFAULT_WINDOW,
+        })
+    }
+
+    /// The matching run configuration.
+    pub fn config(&self) -> MetricsConfig {
+        MetricsConfig::windowed(self.window)
+    }
+
+    /// Write the CSV dump to `self.path` (parent directories are created).
+    pub fn write_csv(&self, m: &RunMetrics) -> io::Result<()> {
+        write_file(&self.path, &to_csv(m))
+    }
+
+    /// Like [`write_csv`](Self::write_csv) but with `-suffix` appended to
+    /// the file stem — for multi-run sweeps sharing one `--metrics` flag.
+    /// Returns the path written.
+    pub fn write_csv_suffixed(&self, suffix: &str, m: &RunMetrics) -> io::Result<PathBuf> {
+        let stem = self
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("metrics");
+        let ext = self
+            .path
+            .extension()
+            .and_then(|s| s.to_str())
+            .unwrap_or("csv");
+        let path = self.path.with_file_name(format!("{stem}-{suffix}.{ext}"));
+        write_file(&path, &to_csv(m))?;
+        Ok(path)
+    }
+}
+
+fn write_file(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::{ClientSeries, PoolSeries, ReplicaSeries};
+    use crate::QuantileSketch;
+
+    fn sample_metrics() -> RunMetrics {
+        let n = 2;
+        let mut overall = QuantileSketch::response_times();
+        overall.add(0.2);
+        RunMetrics {
+            window: SimTime::from_millis(100),
+            origin: SimTime::from_secs(10),
+            n_windows: n,
+            replicas: vec![
+                ReplicaSeries {
+                    tier: 0,
+                    replica: 0,
+                    name: "apache-0".to_string(),
+                    cores: 1,
+                    cpu_util: vec![0.5, 0.6],
+                    gc_fraction: vec![0.0, 0.0],
+                    run_queue: vec![1.0, 2.0],
+                    threads: Some(PoolSeries {
+                        capacity: 8,
+                        in_use: vec![4.0, 8.0],
+                        waiting: vec![0.0, 2.0],
+                        saturated: vec![0.0, 1.0],
+                    }),
+                    db_conns: None,
+                    lingering: Some(vec![0.5, 3.0]),
+                },
+                ReplicaSeries {
+                    tier: 1,
+                    replica: 0,
+                    name: "tomcat-0".to_string(),
+                    cores: 1,
+                    cpu_util: vec![0.8, 0.7],
+                    gc_fraction: vec![0.1, 0.2],
+                    run_queue: vec![3.0, 3.0],
+                    threads: None,
+                    db_conns: None,
+                    lingering: None,
+                },
+            ],
+            client: ClientSeries {
+                threshold_secs: 1.0,
+                completed: vec![5.0, 3.0],
+                good: vec![5.0, 2.0],
+                timed_out: vec![0.0, 1.0],
+                shed: vec![0.0, 0.0],
+                failed: vec![0.0, 0.0],
+                retries: vec![0.0, 1.0],
+                quantiles: vec![[0.1, 0.2, 0.3], [0.4, 0.5, 0.6]],
+                overall,
+            },
+        }
+    }
+
+    #[test]
+    fn csv_shape_and_determinism() {
+        let m = sample_metrics();
+        let csv = to_csv(&m);
+        let lines: Vec<&str> = csv.lines().collect();
+        // header + (2 replicas + 1 client) per window x 2 windows
+        assert_eq!(lines.len(), 1 + 3 * 2);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(lines[1].starts_with("0,0,apache-0,0.500000,"));
+        assert!(lines[3].starts_with("0,0,client,"));
+        let field_count = CSV_HEADER.split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), field_count, "{l}");
+        }
+        assert_eq!(csv, to_csv(&m), "export must be deterministic");
+    }
+
+    #[test]
+    fn jsonl_one_object_per_window() {
+        let m = sample_metrics();
+        let jsonl = to_jsonl(&m);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+        assert!(lines[0].contains("\"name\":\"apache-0\""));
+        assert!(lines[1].contains("\"lingering\":3.000000"));
+    }
+
+    #[test]
+    fn gnuplot_files_have_header_and_rows() {
+        let m = sample_metrics();
+        let files = gnuplot_series(&m);
+        assert_eq!(files.len(), 3);
+        for (name, content) in &files {
+            let lines: Vec<&str> = content.lines().collect();
+            assert!(lines[0].starts_with("# t_secs"), "{name}: {}", lines[0]);
+            assert_eq!(lines.len(), 1 + m.n_windows, "{name}");
+        }
+    }
+
+    #[test]
+    fn dashboard_mentions_every_replica_and_diagnosis() {
+        let m = sample_metrics();
+        let text = dashboard(&m);
+        assert!(text.contains("apache-0") && text.contains("tomcat-0"));
+        assert!(text.contains("diagnosis:"));
+    }
+
+    #[test]
+    fn sink_spec_parsing() {
+        let s = MetricsSink::parse("out/metrics.csv").unwrap();
+        assert_eq!(s.path, PathBuf::from("out/metrics.csv"));
+        assert_eq!(s.window, SimTime::from_millis(100));
+        let s = MetricsSink::parse("out/m.csv:250").unwrap();
+        assert_eq!(s.path, PathBuf::from("out/m.csv"));
+        assert_eq!(s.window, SimTime::from_millis(250));
+        assert!(MetricsSink::parse("").is_err());
+        assert!(MetricsSink::parse(":250").is_err());
+        assert!(MetricsSink::parse("x.csv:0").is_err());
+    }
+}

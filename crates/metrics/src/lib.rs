@@ -19,19 +19,39 @@
 //!   compliance minus penalties for violations).
 //! * [`BottleneckDetector`] — the multi-bottleneck classifier (stable vs
 //!   oscillatory saturation; the paper's excluded case, ref. [9]).
+//! * [`MetricsRegistry`] / [`RunMetrics`] — the fine-grained windowed
+//!   metrics pipeline (`ntier-metrics-ts`): per-replica CPU/GC/pool/linger
+//!   series and client counters at a configurable window (default 100 ms).
+//! * [`QuantileSketch`] — deterministic mergeable log-bucket sketch for
+//!   per-window p50/p95/p99 response times.
+//! * [`Diagnosis`] — automated classification of a run into the paper's
+//!   failure modes (under-allocation, GC over-allocation, buffering effect).
+//! * [`export`] — CSV/JSONL dumps, gnuplot-ready figure series, and the
+//!   plain-text dashboard.
 
 pub mod bottleneck;
 pub mod density;
+pub mod diagnosis;
+pub mod export;
+pub mod quantile;
 pub mod revenue;
 pub mod rt_dist;
 pub mod server_log;
 pub mod sla;
 pub mod slo_series;
+pub mod timeseries;
 
 pub use bottleneck::{BottleneckDetector, SaturationClass, SystemVerdict};
 pub use density::UtilDensity;
+pub use diagnosis::{Diagnosis, DiagnosisRules};
+pub use export::MetricsSink;
+pub use quantile::QuantileSketch;
 pub use revenue::{RevenueModel, RevenueStep};
 pub use rt_dist::RtDistribution;
 pub use server_log::ServerLog;
 pub use sla::{SlaCounts, SlaModel};
 pub use slo_series::SloSeries;
+pub use timeseries::{
+    ClientSeries, FailureKind, MetricsConfig, MetricsRegistry, PoolSeries, ReplicaSeries,
+    RunMetrics,
+};

@@ -1,0 +1,274 @@
+//! Streaming quantile sketch for per-window response-time percentiles.
+//!
+//! A deterministic log-bucket sketch: values are classified into geometric
+//! buckets `[floor·g^i, floor·g^(i+1))`, so any reported quantile is within
+//! a fixed *relative* error of the exact order statistic — `√g − 1` (≈1% for
+//! the default growth of 1.02), the same geometry as the full-run response
+//! histogram. Unlike randomized sketches (GK, KLL, t-digest) the result is
+//! a pure function of the multiset of inserted values, which keeps metered
+//! runs bit-reproducible and makes merging windows exact.
+
+/// Default geometric bucket growth factor (≈1% relative quantile error).
+pub const DEFAULT_GROWTH: f64 = 1.02;
+/// Default smallest resolvable value (10 µs, below any modeled service time).
+pub const DEFAULT_FLOOR: f64 = 1e-5;
+
+/// A mergeable, deterministic streaming quantile sketch.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    floor: f64,
+    growth: f64,
+    log_growth: f64,
+    /// Bucket counts, grown on demand up to the largest observed value.
+    counts: Vec<u64>,
+    /// Values below `floor` (reported as `floor`).
+    underflow: u64,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Sketch with response-time defaults: 10 µs floor, 2% bucket growth.
+    pub fn response_times() -> Self {
+        Self::new(DEFAULT_FLOOR, DEFAULT_GROWTH)
+    }
+
+    /// Sketch resolving values down to `floor` with geometric bucket
+    /// `growth` (> 1). Relative quantile error is bounded by `√growth − 1`.
+    pub fn new(floor: f64, growth: f64) -> Self {
+        assert!(floor > 0.0 && growth > 1.0, "invalid sketch geometry");
+        QuantileSketch {
+            floor,
+            growth,
+            log_growth: growth.ln(),
+            counts: Vec::new(),
+            underflow: 0,
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Insert one value (non-finite and negative values are clamped to 0).
+    pub fn add(&mut self, value: f64) {
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        self.total += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v < self.floor {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((v / self.floor).ln() / self.log_growth) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Number of inserted values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest inserted value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest inserted value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`), or `None` when empty. Exact at the
+    /// extremes (`min`/`max`), otherwise the geometric midpoint of the
+    /// bucket holding the order statistic — within `√growth − 1` relative
+    /// error of the exact value.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        // Rank of the order statistic, 1-based ceil(q·n) like the drained-run
+        // sorted-sample definition.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        if rank <= self.underflow {
+            return Some(self.min.min(self.floor));
+        }
+        let mut seen = self.underflow;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = self.floor * self.growth.powi(i as i32) * self.growth.sqrt();
+                // Never report outside the observed range.
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another sketch into this one.
+    ///
+    /// # Panics
+    /// If the two sketches have different geometry.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.floor == other.floor && self.growth == other.growth,
+            "cannot merge sketches with different geometry"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `[p50, p95, p99]`, or `[0, 0, 0]` when empty — the fixed per-window
+    /// triple exported by the metrics pipeline.
+    pub fn p50_p95_p99(&self) -> [f64; 3] {
+        [
+            self.quantile(0.50).unwrap_or(0.0),
+            self.quantile(0.95).unwrap_or(0.0),
+            self.quantile(0.99).unwrap_or(0.0),
+        ]
+    }
+
+    /// Worst-case relative error of any reported (non-extreme) quantile.
+    pub fn relative_error(&self) -> f64 {
+        self.growth.sqrt() - 1.0
+    }
+}
+
+/// Exact quantile of a *sorted* sample using the same 1-based
+/// `ceil(q·n)` rank convention as the sketch — the reference the exactness
+/// tests compare against.
+pub fn exact_quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    if q <= 0.0 {
+        return Some(sorted[0]);
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::response_times();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p50_p95_p99(), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error_of_exact() {
+        let mut s = QuantileSketch::response_times();
+        // A deterministic long-tailed sample (no RNG: quadratic ramp).
+        let mut vals: Vec<f64> = (1..=5000).map(|i| 1e-4 * (i as f64).powf(1.7)).collect();
+        for &v in &vals {
+            s.add(v);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tol = s.relative_error() + 1e-12;
+        for q in [0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999] {
+            let exact = exact_quantile(&vals, q).unwrap();
+            let got = s.quantile(q).unwrap();
+            assert!(
+                (got - exact).abs() / exact <= tol,
+                "q={q}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut s = QuantileSketch::response_times();
+        for v in [0.250, 0.017, 1.9, 0.3] {
+            s.add(v);
+        }
+        assert_eq!(s.quantile(0.0), Some(0.017));
+        assert_eq!(s.quantile(1.0), Some(1.9));
+        assert_eq!(s.min(), Some(0.017));
+        assert_eq!(s.max(), Some(1.9));
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert() {
+        let mut a = QuantileSketch::response_times();
+        let mut b = QuantileSketch::response_times();
+        let mut all = QuantileSketch::response_times();
+        for i in 0..1000 {
+            let v = 0.001 * (i as f64 + 1.0);
+            if i % 2 == 0 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+            all.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let vals: Vec<f64> = (1..=500).map(|i| (i as f64) * 0.003).collect();
+        let mut fwd = QuantileSketch::response_times();
+        let mut rev = QuantileSketch::response_times();
+        for &v in &vals {
+            fwd.add(v);
+        }
+        for &v in vals.iter().rev() {
+            rev.add(v);
+        }
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            assert_eq!(fwd.quantile(q), rev.quantile(q));
+        }
+    }
+
+    #[test]
+    fn underflow_values_report_as_min() {
+        let mut s = QuantileSketch::response_times();
+        s.add(1e-7);
+        s.add(1e-7);
+        s.add(1e-7);
+        s.add(0.5);
+        assert_eq!(s.quantile(0.5), Some(1e-7));
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = QuantileSketch::new(1e-5, 1.02);
+        let b = QuantileSketch::new(1e-4, 1.02);
+        a.merge(&b);
+    }
+}

@@ -19,14 +19,36 @@ pub struct SloSeries {
 }
 
 impl SloSeries {
-    /// New series with 1 s buckets starting at `origin`.
+    /// New series with 1 s buckets starting at `origin` (the paper's
+    /// "SysStat" cadence).
     pub fn new(origin: SimTime, threshold_secs: f64) -> Self {
+        Self::with_bucket(origin, threshold_secs, SimTime::from_secs(1))
+    }
+
+    /// New series with buckets of `bucket` width starting at `origin` — the
+    /// fine-grained variant used inside the windowed metrics pipeline.
+    pub fn with_bucket(origin: SimTime, threshold_secs: f64, bucket: SimTime) -> Self {
         assert!(threshold_secs > 0.0);
         SloSeries {
             threshold_secs,
-            good: IntervalSeries::new(origin, SimTime::from_secs(1)),
-            total: IntervalSeries::new(origin, SimTime::from_secs(1)),
+            good: IntervalSeries::new(origin, bucket),
+            total: IntervalSeries::new(origin, bucket),
         }
+    }
+
+    /// Per-bucket totals of all completions (good + bad).
+    pub fn total_buckets(&self) -> &[f64] {
+        self.total.buckets()
+    }
+
+    /// Per-bucket totals of completions that met the threshold.
+    pub fn good_buckets(&self) -> &[f64] {
+        self.good.buckets()
+    }
+
+    /// Bucket width.
+    pub fn bucket(&self) -> SimTime {
+        self.total.interval()
     }
 
     /// Record a completion at time `t` with response time `rt_secs`.
@@ -117,5 +139,18 @@ mod tests {
         let mut sl = SloSeries::new(SimTime::ZERO, 1.0);
         sl.record(s(0), 1.0);
         assert_eq!(sl.overall(), 1.0);
+    }
+
+    #[test]
+    fn configurable_bucket_width() {
+        let mut sl = SloSeries::with_bucket(SimTime::ZERO, 1.0, SimTime::from_millis(100));
+        sl.record(SimTime::from_millis(50), 0.5); // window 0, good
+        sl.record(SimTime::from_millis(150), 2.0); // window 1, bad
+        sl.record(SimTime::from_millis(160), 0.5); // window 1, good
+        assert_eq!(sl.bucket(), SimTime::from_millis(100));
+        assert_eq!(sl.total_buckets(), &[1.0, 2.0]);
+        assert_eq!(sl.good_buckets(), &[1.0, 1.0]);
+        let samples = sl.satisfaction_samples(1);
+        assert_eq!(samples, vec![1.0, 0.5]);
     }
 }

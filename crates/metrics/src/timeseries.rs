@@ -1,0 +1,464 @@
+//! Fine-grained windowed metrics pipeline (`ntier-metrics-ts`).
+//!
+//! The paper's phenomena — under-allocation soft bottlenecks (§III-A),
+//! GC-driven goodput collapse (§III-B, Fig. 8) and the front-tier buffering
+//! effect (§III-C, Fig. 10) — were only visible to the authors because they
+//! monitored every tier at fine grain, not just end-of-run aggregates. This
+//! module is the simulated equivalent: a [`MetricsRegistry`] that collects,
+//! per tier replica and per configurable window (default 100 ms sim-time),
+//!
+//! * CPU utilization, run-queue depth, and GC-overhead fraction,
+//! * soft-pool occupancy, wait-queue depth, and saturation,
+//! * front-tier linger-close occupancy (the Fig. 10 buffering signal),
+//! * client-side throughput/goodput/badput/timeout/shed/retry counts,
+//! * per-window response-time quantiles (p50/p95/p99) via
+//!   [`QuantileSketch`].
+//!
+//! Collection is strictly *passive*: the resource models mirror their own
+//! state transitions into write-only window accumulators
+//! (`simcore::stats::WindowedSignal`), no extra events are scheduled and no
+//! randomness is consumed, so a metered run is bit-identical to an
+//! unmetered one (asserted against the golden fixtures).
+
+use crate::quantile::QuantileSketch;
+use crate::slo_series::SloSeries;
+use simcore::stats::IntervalSeries;
+use simcore::SimTime;
+
+/// Default metrics window: 100 ms of simulated time, matching the paper's
+/// fine-grained monitoring cadence.
+pub const DEFAULT_WINDOW: SimTime = SimTime::from_millis(100);
+
+/// Whether (and how finely) to collect windowed metrics for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsConfig {
+    /// No collection — provably changes nothing (golden-hash tested).
+    #[default]
+    Off,
+    /// Collect with the given window width.
+    Windowed {
+        /// Window width (sim-time).
+        window: SimTime,
+    },
+}
+
+impl MetricsConfig {
+    /// Collection at the default 100 ms window.
+    pub fn windowed_default() -> Self {
+        MetricsConfig::Windowed {
+            window: DEFAULT_WINDOW,
+        }
+    }
+
+    /// Collection at an explicit window width.
+    pub fn windowed(window: SimTime) -> Self {
+        assert!(window > SimTime::ZERO, "metrics window must be positive");
+        MetricsConfig::Windowed { window }
+    }
+
+    /// Whether collection is enabled.
+    pub fn enabled(&self) -> bool {
+        matches!(self, MetricsConfig::Windowed { .. })
+    }
+
+    /// The window width, if enabled.
+    pub fn window(&self) -> Option<SimTime> {
+        match self {
+            MetricsConfig::Off => None,
+            MetricsConfig::Windowed { window } => Some(*window),
+        }
+    }
+}
+
+/// Client-visible failure classes (mirrors the tier model's request
+/// outcomes without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The client gave up waiting.
+    TimedOut,
+    /// Admission control turned the request away.
+    Shed,
+    /// A tier returned an error page.
+    Failed,
+}
+
+/// Per-window series for one soft pool of one replica.
+#[derive(Debug, Clone)]
+pub struct PoolSeries {
+    /// Configured capacity (units).
+    pub capacity: usize,
+    /// Units held, time-averaged per window.
+    pub in_use: Vec<f64>,
+    /// Wait-queue length, time-averaged per window.
+    pub waiting: Vec<f64>,
+    /// Fraction of each window spent saturated (full + waiters).
+    pub saturated: Vec<f64>,
+}
+
+impl PoolSeries {
+    /// Per-window occupancy fractions (`in_use / capacity`).
+    pub fn occupancy(&self) -> Vec<f64> {
+        self.in_use
+            .iter()
+            .map(|v| v / self.capacity as f64)
+            .collect()
+    }
+
+    /// Mean saturated fraction across all windows.
+    pub fn mean_saturated(&self) -> f64 {
+        mean(&self.saturated)
+    }
+}
+
+/// Per-window series for one tier replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaSeries {
+    /// Position in the tier chain (0 = front).
+    pub tier: usize,
+    /// Replica index within the tier.
+    pub replica: u16,
+    /// Display name, e.g. `"tomcat-1"`.
+    pub name: String,
+    /// CPU cores of the replica.
+    pub cores: u32,
+    /// CPU utilization per window (busy fraction, includes GC).
+    pub cpu_util: Vec<f64>,
+    /// Fraction of each window spent in stop-the-world GC.
+    pub gc_fraction: Vec<f64>,
+    /// CPU run-queue depth (jobs in service), time-averaged per window.
+    pub run_queue: Vec<f64>,
+    /// Worker/thread pool, if the replica has one.
+    pub threads: Option<PoolSeries>,
+    /// Outbound DB connection pool, if the replica has one.
+    pub db_conns: Option<PoolSeries>,
+    /// Workers held in client linger-close (front tier only) per window.
+    pub lingering: Option<Vec<f64>>,
+}
+
+impl ReplicaSeries {
+    /// Mean CPU utilization across windows.
+    pub fn mean_cpu(&self) -> f64 {
+        mean(&self.cpu_util)
+    }
+
+    /// Mean GC fraction across windows.
+    pub fn mean_gc(&self) -> f64 {
+        mean(&self.gc_fraction)
+    }
+}
+
+/// Client-side per-window series.
+#[derive(Debug, Clone)]
+pub struct ClientSeries {
+    /// SLA threshold used for the good/bad split (seconds).
+    pub threshold_secs: f64,
+    /// Completions per window.
+    pub completed: Vec<f64>,
+    /// Completions within the SLA threshold per window.
+    pub good: Vec<f64>,
+    /// Client-timeout failures per window.
+    pub timed_out: Vec<f64>,
+    /// Admission-control rejections per window.
+    pub shed: Vec<f64>,
+    /// Error-page responses per window.
+    pub failed: Vec<f64>,
+    /// Client retries issued per window.
+    pub retries: Vec<f64>,
+    /// `[p50, p95, p99]` response time per window (zeros when empty).
+    pub quantiles: Vec<[f64; 3]>,
+    /// Merged sketch over the whole measurement period.
+    pub overall: QuantileSketch,
+}
+
+impl ClientSeries {
+    /// Completions that missed the threshold, per window.
+    pub fn bad(&self) -> Vec<f64> {
+        self.completed
+            .iter()
+            .zip(&self.good)
+            .map(|(t, g)| t - g)
+            .collect()
+    }
+}
+
+/// The assembled result of a metered run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Window width.
+    pub window: SimTime,
+    /// Start of the measurement period (sim-time).
+    pub origin: SimTime,
+    /// Number of full windows in the measurement period.
+    pub n_windows: usize,
+    /// One entry per tier replica, in chain order.
+    pub replicas: Vec<ReplicaSeries>,
+    /// Client-side counters and quantiles.
+    pub client: ClientSeries,
+}
+
+impl RunMetrics {
+    /// Sorted distinct tier positions present.
+    pub fn tiers(&self) -> Vec<usize> {
+        let mut t: Vec<usize> = self.replicas.iter().map(|r| r.tier).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// Replicas of one tier, in replica order.
+    pub fn tier_replicas(&self, tier: usize) -> Vec<&ReplicaSeries> {
+        self.replicas.iter().filter(|r| r.tier == tier).collect()
+    }
+
+    /// Per-window CPU utilization of a tier, averaged across its replicas.
+    pub fn tier_cpu(&self, tier: usize) -> Vec<f64> {
+        let reps = self.tier_replicas(tier);
+        if reps.is_empty() {
+            return vec![0.0; self.n_windows];
+        }
+        (0..self.n_windows)
+            .map(|i| {
+                reps.iter()
+                    .map(|r| r.cpu_util.get(i).copied().unwrap_or(0.0))
+                    .sum::<f64>()
+                    / reps.len() as f64
+            })
+            .collect()
+    }
+
+    /// Named per-replica CPU utilization series, the direct input for
+    /// [`BottleneckDetector::diagnose`](crate::BottleneckDetector::diagnose).
+    pub fn cpu_series(&self) -> Vec<(&str, &[f64])> {
+        self.replicas
+            .iter()
+            .map(|r| (r.name.as_str(), r.cpu_util.as_slice()))
+            .collect()
+    }
+
+    /// Run the multi-bottleneck classifier over the per-replica CPU series.
+    pub fn cpu_diagnosis(&self, det: &crate::BottleneckDetector) -> crate::SystemVerdict {
+        det.diagnose(&self.cpu_series()).verdict
+    }
+
+    /// Wall-clock second of the start of window `i`, relative to the
+    /// measurement origin.
+    pub fn window_start_secs(&self, i: usize) -> f64 {
+        i as f64 * self.window.as_secs_f64()
+    }
+}
+
+/// Live collection state for one run. The tier model feeds it from existing
+/// hooks; [`finish`](Self::finish) assembles the immutable [`RunMetrics`].
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    window: SimTime,
+    origin: SimTime,
+    n_windows: usize,
+    replicas: Vec<ReplicaSeries>,
+    slo: SloSeries,
+    timed_out: IntervalSeries,
+    shed: IntervalSeries,
+    failed: IntervalSeries,
+    retries: IntervalSeries,
+    window_sketches: Vec<QuantileSketch>,
+    overall: QuantileSketch,
+}
+
+impl MetricsRegistry {
+    /// Registry for a measurement period `[origin, origin + runtime)` split
+    /// into windows of `window`; `slo_threshold_secs` drives the per-window
+    /// good/bad split (the run's first SLA threshold).
+    pub fn new(
+        window: SimTime,
+        origin: SimTime,
+        runtime: SimTime,
+        slo_threshold_secs: f64,
+    ) -> Self {
+        assert!(window > SimTime::ZERO, "metrics window must be positive");
+        let n_windows = (runtime.as_micros() / window.as_micros()) as usize;
+        MetricsRegistry {
+            window,
+            origin,
+            n_windows,
+            replicas: Vec::new(),
+            slo: SloSeries::with_bucket(origin, slo_threshold_secs, window),
+            timed_out: IntervalSeries::new(origin, window),
+            shed: IntervalSeries::new(origin, window),
+            failed: IntervalSeries::new(origin, window),
+            retries: IntervalSeries::new(origin, window),
+            window_sketches: Vec::new(),
+            overall: QuantileSketch::response_times(),
+        }
+    }
+
+    /// Window width.
+    pub fn window(&self) -> SimTime {
+        self.window
+    }
+
+    /// Number of full windows in the measurement period.
+    pub fn n_windows(&self) -> usize {
+        self.n_windows
+    }
+
+    fn window_index(&self, now: SimTime) -> Option<usize> {
+        if now < self.origin {
+            return None;
+        }
+        Some(((now - self.origin).as_micros() / self.window.as_micros()) as usize)
+    }
+
+    /// Record a client-visible completion with response time `rt_secs`.
+    pub fn record_response(&mut self, now: SimTime, rt_secs: f64) {
+        let Some(idx) = self.window_index(now) else {
+            return;
+        };
+        self.slo.record(now, rt_secs);
+        if idx >= self.window_sketches.len() {
+            self.window_sketches
+                .resize_with(idx + 1, QuantileSketch::response_times);
+        }
+        self.window_sketches[idx].add(rt_secs);
+        self.overall.add(rt_secs);
+    }
+
+    /// Record a client-visible failure.
+    pub fn record_failure(&mut self, now: SimTime, kind: FailureKind) {
+        match kind {
+            FailureKind::TimedOut => self.timed_out.incr(now),
+            FailureKind::Shed => self.shed.incr(now),
+            FailureKind::Failed => self.failed.incr(now),
+        }
+    }
+
+    /// Record a client retry being issued.
+    pub fn record_retry(&mut self, now: SimTime) {
+        self.retries.incr(now);
+    }
+
+    /// Attach the finished series of one replica (called at end-of-measure).
+    pub fn push_replica(&mut self, replica: ReplicaSeries) {
+        self.replicas.push(replica);
+    }
+
+    /// Assemble the immutable run metrics.
+    pub fn finish(self) -> RunMetrics {
+        let n = self.n_windows;
+        let quantiles = (0..n)
+            .map(|i| {
+                self.window_sketches
+                    .get(i)
+                    .map(|s| s.p50_p95_p99())
+                    .unwrap_or([0.0; 3])
+            })
+            .collect();
+        let client = ClientSeries {
+            threshold_secs: self.slo.threshold(),
+            completed: fit(self.slo.total_buckets(), n),
+            good: fit(self.slo.good_buckets(), n),
+            timed_out: fit(self.timed_out.buckets(), n),
+            shed: fit(self.shed.buckets(), n),
+            failed: fit(self.failed.buckets(), n),
+            retries: fit(self.retries.buckets(), n),
+            quantiles,
+            overall: self.overall,
+        };
+        RunMetrics {
+            window: self.window,
+            origin: self.origin,
+            n_windows: n,
+            replicas: self.replicas,
+            client,
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Clamp/pad a bucket slice to exactly `n` entries.
+fn fit(buckets: &[f64], n: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = buckets.iter().copied().take(n).collect();
+    v.resize(n, 0.0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn off_by_default_and_window_accessors() {
+        assert_eq!(MetricsConfig::default(), MetricsConfig::Off);
+        assert!(!MetricsConfig::Off.enabled());
+        let c = MetricsConfig::windowed_default();
+        assert!(c.enabled());
+        assert_eq!(c.window(), Some(ms(100)));
+    }
+
+    #[test]
+    fn client_counters_land_in_their_windows() {
+        let mut reg = MetricsRegistry::new(ms(100), ms(1000), ms(300), 1.0);
+        assert_eq!(reg.n_windows(), 3);
+        reg.record_response(ms(1010), 0.5); // window 0, good
+        reg.record_response(ms(1150), 2.0); // window 1, bad
+        reg.record_failure(ms(1150), FailureKind::TimedOut);
+        reg.record_failure(ms(1210), FailureKind::Shed);
+        reg.record_retry(ms(1250));
+        reg.record_response(ms(900), 0.1); // before origin: dropped
+        let m = reg.finish();
+        assert_eq!(m.client.completed, vec![1.0, 1.0, 0.0]);
+        assert_eq!(m.client.good, vec![1.0, 0.0, 0.0]);
+        assert_eq!(m.client.bad(), vec![0.0, 1.0, 0.0]);
+        assert_eq!(m.client.timed_out, vec![0.0, 1.0, 0.0]);
+        assert_eq!(m.client.shed, vec![0.0, 0.0, 1.0]);
+        assert_eq!(m.client.retries, vec![0.0, 0.0, 1.0]);
+        assert_eq!(m.client.quantiles[0], [0.5, 0.5, 0.5]);
+        assert_eq!(m.client.quantiles[2], [0.0, 0.0, 0.0]);
+        assert_eq!(m.client.overall.count(), 2);
+    }
+
+    #[test]
+    fn tier_cpu_averages_replicas() {
+        let mut reg = MetricsRegistry::new(ms(100), SimTime::ZERO, ms(200), 1.0);
+        for (i, util) in [(0u16, 0.2), (1u16, 0.4)] {
+            reg.push_replica(ReplicaSeries {
+                tier: 1,
+                replica: i,
+                name: format!("app-{i}"),
+                cores: 1,
+                cpu_util: vec![util, util],
+                gc_fraction: vec![0.0, 0.0],
+                run_queue: vec![1.0, 1.0],
+                threads: None,
+                db_conns: None,
+                lingering: None,
+            });
+        }
+        let m = reg.finish();
+        let cpu = m.tier_cpu(1);
+        assert!((cpu[0] - 0.3).abs() < 1e-12 && (cpu[1] - 0.3).abs() < 1e-12);
+        assert_eq!(m.tiers(), vec![1]);
+        assert_eq!(m.cpu_series().len(), 2);
+    }
+
+    #[test]
+    fn pool_series_occupancy() {
+        let p = PoolSeries {
+            capacity: 4,
+            in_use: vec![2.0, 4.0],
+            waiting: vec![0.0, 3.0],
+            saturated: vec![0.0, 1.0],
+        };
+        assert_eq!(p.occupancy(), vec![0.5, 1.0]);
+        assert!((p.mean_saturated() - 0.5).abs() < 1e-12);
+    }
+}

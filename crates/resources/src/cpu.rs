@@ -26,6 +26,7 @@
 //! waits during the garbage collection period").
 
 use crate::JobId;
+use simcore::stats::WindowedSignal;
 use simcore::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -64,6 +65,20 @@ impl Tag {
     }
 }
 
+/// Passive fine-grained observation channels attached to a CPU: per-window
+/// integrals of the busy level, stop-the-world (GC) level, and run-queue
+/// depth. Fed from [`PsCpu`]'s own virtual-time walk, so the windows are
+/// exact — and write-only, so attaching them cannot change a simulation.
+#[derive(Debug, Clone)]
+pub struct CpuWindows {
+    /// Busy-level integral per window (utilization once divided by width).
+    pub busy: WindowedSignal,
+    /// Stop-the-world (GC) time per window.
+    pub frozen: WindowedSignal,
+    /// Run-queue depth (jobs in service), time-averaged per window.
+    pub jobs: WindowedSignal,
+}
+
 /// A multi-core processor-sharing CPU.
 #[derive(Debug)]
 pub struct PsCpu {
@@ -93,6 +108,8 @@ pub struct PsCpu {
     // 1 s sampling-window snapshots.
     window_start: f64,
     busy_at_window: f64,
+    /// Optional fine-grained observation windows (metrics pipeline).
+    windows: Option<Box<CpuWindows>>,
 }
 
 impl PsCpu {
@@ -116,7 +133,26 @@ impl PsCpu {
             frozen_at_measure: 0.0,
             window_start: 0.0,
             busy_at_window: 0.0,
+            windows: None,
         }
+    }
+
+    /// Attach fine-grained observation windows of `width`, starting at
+    /// `origin`. Observation only: the CPU's own accounting and virtual-time
+    /// arithmetic are bit-identical with or without windows attached.
+    pub fn enable_windows(&mut self, origin: SimTime, width: SimTime) {
+        self.windows = Some(Box::new(CpuWindows {
+            busy: WindowedSignal::new(origin, width),
+            frozen: WindowedSignal::new(origin, width),
+            jobs: WindowedSignal::new(origin, width),
+        }));
+    }
+
+    /// Detach and return the observation windows, folding in the segment up
+    /// to `now` first. `None` if never enabled.
+    pub fn take_windows(&mut self, now: SimTime) -> Option<CpuWindows> {
+        self.advance(now);
+        self.windows.take().map(|b| *b)
     }
 
     /// Number of jobs still receiving service.
@@ -169,6 +205,29 @@ impl PsCpu {
             self.frozen_integral += dt;
         }
         self.work_done += self.job_rate() * self.active as f64 * dt;
+        // Observation-only mirror of the same segment into the fine-grained
+        // windows; never read back by the model. All three signals share one
+        // grid, so the segment is split into buckets once and each signal is
+        // fed directly — the walk is the expensive part, not the adds.
+        if let Some(w) = self.windows.as_mut() {
+            let frozen = self.frozen;
+            let jobs = self.active as f64;
+            if level != 0.0 || jobs != 0.0 || frozen {
+                WindowedSignal::for_each_overlap(
+                    w.busy.origin_secs(),
+                    w.busy.width_secs(),
+                    self.now_secs,
+                    dt,
+                    |idx, secs| {
+                        w.busy.add_at(idx, level * secs);
+                        if frozen {
+                            w.frozen.add_at(idx, secs);
+                        }
+                        w.jobs.add_at(idx, jobs * secs);
+                    },
+                );
+            }
+        }
     }
 
     /// Advance the state to `target` seconds, completing jobs at their exact
@@ -577,5 +636,50 @@ mod tests {
         // Way past completion, never popped.
         assert_eq!(cpu.next_completion(t(500)), Some(t(500)));
         assert_eq!(cpu.pop_due(t(500)), vec![1]);
+    }
+
+    #[test]
+    fn observation_windows_track_busy_and_queue() {
+        let mut cpu = cpu1();
+        cpu.enable_windows(SimTime::ZERO, t(100));
+        cpu.submit(SimTime::ZERO, 1, 0.150); // busy for the first 150 ms
+        let _ = drain(&mut cpu, SimTime::ZERO);
+        let w = cpu.take_windows(t(300)).expect("windows enabled");
+        let busy = w.busy.means(3);
+        assert!((busy[0] - 1.0).abs() < 1e-6, "{busy:?}");
+        assert!((busy[1] - 0.5).abs() < 1e-4, "{busy:?}"); // µs grid rounding
+        assert!(busy[2].abs() < 1e-6, "{busy:?}");
+        let jobs = w.jobs.means(1);
+        assert!((jobs[0] - 1.0).abs() < 1e-6, "{jobs:?}");
+    }
+
+    #[test]
+    fn observation_windows_record_frozen_time() {
+        let mut cpu = cpu1();
+        cpu.enable_windows(SimTime::ZERO, t(100));
+        cpu.submit(SimTime::ZERO, 1, 0.500);
+        cpu.freeze(t(50));
+        cpu.unfreeze(t(150));
+        let w = cpu.take_windows(t(200)).expect("windows enabled");
+        let frozen = w.frozen.means(2);
+        assert!((frozen[0] - 0.5).abs() < 1e-9, "{frozen:?}");
+        assert!((frozen[1] - 0.5).abs() < 1e-9, "{frozen:?}");
+    }
+
+    #[test]
+    fn observation_windows_do_not_change_accounting() {
+        let run = |windows: bool| {
+            let mut cpu = cpu1();
+            if windows {
+                cpu.enable_windows(SimTime::ZERO, t(100));
+            }
+            cpu.submit(SimTime::ZERO, 1, 0.120);
+            cpu.submit(t(30), 2, 0.080);
+            cpu.freeze(t(60));
+            cpu.unfreeze(t(90));
+            let done = drain(&mut cpu, t(90));
+            (done, cpu.utilization(t(500)).to_bits())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

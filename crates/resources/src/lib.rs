@@ -26,10 +26,10 @@ pub mod fcfs;
 pub mod link;
 pub mod pool;
 
-pub use cpu::{CpuConfig, PsCpu};
+pub use cpu::{CpuConfig, CpuWindows, PsCpu};
 pub use fcfs::FcfsServer;
 pub use link::NetLink;
-pub use pool::{Acquire, PoolStats, SoftPool};
+pub use pool::{Acquire, PoolStats, PoolWindows, SoftPool};
 
 /// Identifier for a job inside a resource. The caller owns the namespace.
 pub type JobId = u64;

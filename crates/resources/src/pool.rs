@@ -12,7 +12,7 @@
 //!   Tomcat connection" component of Fig. 7(b)/8(b)).
 
 use crate::JobId;
-use simcore::stats::{TimeWeighted, Welford};
+use simcore::stats::{TimeWeighted, Welford, WindowedSignal};
 use simcore::SimTime;
 use std::collections::VecDeque;
 
@@ -52,6 +52,19 @@ pub struct PoolStats {
     pub cancelled: u64,
 }
 
+/// Passive fine-grained observation channels attached to a pool: per-window
+/// time-averages of held units, wait-queue depth, and saturation (full with
+/// waiters). Write-only — attaching them cannot change pool behavior.
+#[derive(Debug, Clone)]
+pub struct PoolWindows {
+    /// Units held, time-averaged per window.
+    pub in_use: WindowedSignal,
+    /// Wait-queue length, time-averaged per window.
+    pub waiting: WindowedSignal,
+    /// Saturated fraction (all units held + non-empty queue) per window.
+    pub saturated: WindowedSignal,
+}
+
 /// A counted soft resource with FIFO waiters.
 #[derive(Debug)]
 pub struct SoftPool {
@@ -70,6 +83,8 @@ pub struct SoftPool {
     window_start: SimTime,
     occ_window_integral: f64,
     occ_window_last: SimTime,
+    /// Optional fine-grained observation windows (metrics pipeline).
+    windows: Option<Box<PoolWindows>>,
 }
 
 impl SoftPool {
@@ -95,6 +110,40 @@ impl SoftPool {
             window_start: SimTime::ZERO,
             occ_window_integral: 0.0,
             occ_window_last: SimTime::ZERO,
+            windows: None,
+        }
+    }
+
+    /// Attach fine-grained observation windows of `width`, starting at
+    /// `origin`, seeded with the pool's current state. Observation only.
+    pub fn enable_windows(&mut self, origin: SimTime, width: SimTime) {
+        let mut w = PoolWindows {
+            in_use: WindowedSignal::new(origin, width),
+            waiting: WindowedSignal::new(origin, width),
+            saturated: WindowedSignal::new(origin, width),
+        };
+        w.in_use.set(origin, self.in_use as f64);
+        w.waiting.set(origin, self.waiters.len() as f64);
+        w.saturated.set(origin, self.saturated_now());
+        self.windows = Some(Box::new(w));
+    }
+
+    /// Detach and return the observation windows, folding in the segment up
+    /// to `now` first. `None` if never enabled.
+    pub fn take_windows(&mut self, now: SimTime) -> Option<PoolWindows> {
+        self.windows.take().map(|mut b| {
+            b.in_use.flush(now);
+            b.waiting.flush(now);
+            b.saturated.flush(now);
+            *b
+        })
+    }
+
+    fn saturated_now(&self) -> f64 {
+        if self.in_use == self.capacity && !self.waiters.is_empty() {
+            1.0
+        } else {
+            0.0
         }
     }
 
@@ -139,15 +188,14 @@ impl SoftPool {
                 0.0
             },
         );
-        self.saturated.set(
-            now,
-            if self.in_use == self.capacity && !self.waiters.is_empty() {
-                1.0
-            } else {
-                0.0
-            },
-        );
+        let sat = self.saturated_now();
+        self.saturated.set(now, sat);
         self.queue_len.set(now, self.waiters.len() as f64);
+        if let Some(w) = self.windows.as_mut() {
+            w.in_use.set(now, self.in_use as f64);
+            w.waiting.set(now, self.waiters.len() as f64);
+            w.saturated.set(now, sat);
+        }
     }
 
     /// Try to acquire a unit for `job`; FIFO-queue it if the pool is full.
@@ -425,6 +473,25 @@ mod tests {
         let s2 = p.take_window_sample(t(2000)); // busy half the second
         assert!((s1 - 1.0).abs() < 1e-9);
         assert!((s2 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observation_windows_track_occupancy_and_saturation() {
+        let mut p = SoftPool::new("threads", 2);
+        p.enable_windows(t(0), t(100));
+        p.acquire(t(0), 1); // in_use 1
+        p.acquire(t(50), 2); // in_use 2
+        p.acquire(t(100), 3); // waiter → saturated from t=100
+        p.release(t(150)); // 3 takes over; queue empties
+        let w = p.take_windows(t(200)).expect("windows enabled");
+        let in_use = w.in_use.means(2);
+        assert!((in_use[0] - 1.5).abs() < 1e-9, "{in_use:?}");
+        assert!((in_use[1] - 2.0).abs() < 1e-9, "{in_use:?}");
+        let sat = w.saturated.means(2);
+        assert!(sat[0].abs() < 1e-9, "{sat:?}");
+        assert!((sat[1] - 0.5).abs() < 1e-9, "{sat:?}");
+        let waiting = w.waiting.means(2);
+        assert!((waiting[1] - 0.5).abs() < 1e-9, "{waiting:?}");
     }
 
     #[test]

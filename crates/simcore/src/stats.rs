@@ -429,6 +429,156 @@ impl IntervalSeries {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Windowed piecewise-constant signal integrator
+// ---------------------------------------------------------------------------
+
+/// Integrates a piecewise-constant signal into fixed-width time buckets: the
+/// fine-grained cousin of [`TimeWeighted`] (which keeps one running window)
+/// and [`IntervalSeries`] (which counts events rather than levels).
+///
+/// Two mutually exclusive feeding styles:
+/// * [`set`](Self::set) — the signal holds its last value between calls
+///   (pool occupancy, queue lengths);
+/// * [`add_segment`](Self::add_segment) — the caller hands over explicit
+///   `(start, dt, value)` segments (the CPU's virtual-time walk, which knows
+///   its own busy level per segment).
+///
+/// Writes are *observation only*: nothing here feeds back into the caller,
+/// so attaching one to a live resource cannot perturb a simulation.
+#[derive(Debug, Clone)]
+pub struct WindowedSignal {
+    origin_secs: f64,
+    width_secs: f64,
+    /// Integral of the signal (value·seconds) per bucket.
+    buckets: Vec<f64>,
+    /// Current level and the time it was set (for the `set` style).
+    value: f64,
+    last_secs: f64,
+}
+
+impl WindowedSignal {
+    /// New signal with buckets of `width` starting at `origin`. Contributions
+    /// before `origin` are dropped (they belong to ramp-up).
+    pub fn new(origin: SimTime, width: SimTime) -> Self {
+        assert!(width > SimTime::ZERO, "window width must be positive");
+        WindowedSignal {
+            origin_secs: origin.as_secs_f64(),
+            width_secs: width.as_secs_f64(),
+            buckets: Vec::new(),
+            value: 0.0,
+            last_secs: origin.as_secs_f64(),
+        }
+    }
+
+    /// Bucket width in seconds.
+    pub fn width_secs(&self) -> f64 {
+        self.width_secs
+    }
+
+    /// Grid origin in seconds (shared by signals created together, which
+    /// lets fused writers do one overlap walk for several signals).
+    pub fn origin_secs(&self) -> f64 {
+        self.origin_secs
+    }
+
+    /// Walk the buckets a segment `[start, start + dt)` overlaps on the
+    /// grid `(origin, width)`, calling `f(bucket, overlap_seconds)` once per
+    /// bucket. Pre-origin time is clipped (it belongs to ramp-up). This is
+    /// the single splitting routine: [`add_segment`](Self::add_segment) is a
+    /// thin wrapper, and hot paths that feed several same-grid signals from
+    /// one segment (the CPU's busy/frozen/run-queue triple) call it directly
+    /// to pay for the walk once.
+    #[inline]
+    pub fn for_each_overlap(
+        origin_secs: f64,
+        width_secs: f64,
+        start_secs: f64,
+        dt: f64,
+        mut f: impl FnMut(usize, f64),
+    ) {
+        let mut lo = start_secs.max(origin_secs);
+        let hi = start_secs + dt;
+        if hi <= lo {
+            return;
+        }
+        while lo < hi {
+            let mut idx = ((lo - origin_secs) / width_secs) as usize;
+            let mut edge = origin_secs + (idx as f64 + 1.0) * width_secs;
+            // `lo` can land a rounding error below a bucket edge, making the
+            // division floor to the previous bucket whose edge is not beyond
+            // `lo`; step to the next bucket so the loop always progresses.
+            if edge <= lo {
+                idx += 1;
+                edge = origin_secs + (idx as f64 + 1.0) * width_secs;
+            }
+            let seg_hi = hi.min(edge);
+            f(idx, seg_hi - lo);
+            lo = seg_hi;
+        }
+    }
+
+    /// Add `value · seconds` into bucket `idx` directly, growing the store.
+    /// For fused writers driving [`for_each_overlap`](Self::for_each_overlap)
+    /// themselves; everyone else wants [`add_segment`](Self::add_segment).
+    #[inline]
+    pub fn add_at(&mut self, idx: usize, value_seconds: f64) {
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += value_seconds;
+    }
+
+    /// Distribute `value` over the segment `[start, start + dt)`, split
+    /// across bucket boundaries.
+    pub fn add_segment(&mut self, start_secs: f64, dt: f64, value: f64) {
+        if dt <= 0.0 || value == 0.0 {
+            return;
+        }
+        Self::for_each_overlap(
+            self.origin_secs,
+            self.width_secs,
+            start_secs,
+            dt,
+            |idx, secs| {
+                if idx >= self.buckets.len() {
+                    self.buckets.resize(idx + 1, 0.0);
+                }
+                self.buckets[idx] += value * secs;
+            },
+        );
+    }
+
+    /// Record that the signal changes to `v` at time `t`; the previous level
+    /// is integrated over `[last_change, t)` first.
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        let t_secs = t.as_secs_f64();
+        self.add_segment(self.last_secs, t_secs - self.last_secs, self.value);
+        self.last_secs = self.last_secs.max(t_secs);
+        self.value = v;
+    }
+
+    /// Integrate the held level up to `t` without changing it (used before a
+    /// final read in the `set` style).
+    pub fn flush(&mut self, t: SimTime) {
+        let v = self.value;
+        self.set(t, v);
+    }
+
+    /// Per-bucket time-averages (integral / width) for the first `n` buckets;
+    /// buckets never touched read as 0.
+    pub fn means(&self, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| self.buckets.get(i).copied().unwrap_or(0.0) / self.width_secs)
+            .collect()
+    }
+
+    /// Raw per-bucket integrals (value·seconds).
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -565,5 +715,43 @@ mod tests {
         assert_eq!(s.buckets(), &[2.0, 0.0, 1.0]);
         assert!((s.mean_over(0, 3) - 1.0).abs() < 1e-12);
         assert_eq!(s.mean_over(5, 9), 0.0);
+    }
+
+    #[test]
+    fn windowed_signal_set_style() {
+        let mut w = WindowedSignal::new(SimTime::from_secs(10), SimTime::from_millis(100));
+        w.set(SimTime::from_secs(10), 2.0); // level 2 from t=10
+        w.set(SimTime::from_millis(10_050), 4.0); // level 4 from t=10.05
+        w.flush(SimTime::from_millis(10_200));
+        let m = w.means(3);
+        // Window 0: 2*0.05 + 4*0.05 = 0.3 → mean 3.0; window 1: 4.0.
+        assert!((m[0] - 3.0).abs() < 1e-9, "{m:?}");
+        assert!((m[1] - 4.0).abs() < 1e-9, "{m:?}");
+        assert_eq!(m[2], 0.0);
+    }
+
+    #[test]
+    fn windowed_signal_segments_split_across_buckets() {
+        let mut w = WindowedSignal::new(SimTime::ZERO, SimTime::from_millis(100));
+        // One segment spanning 3 windows at level 1.
+        w.add_segment(0.05, 0.20, 1.0);
+        let m = w.means(3);
+        assert!((m[0] - 0.5).abs() < 1e-9, "{m:?}");
+        assert!((m[1] - 1.0).abs() < 1e-9, "{m:?}");
+        assert!((m[2] - 0.5).abs() < 1e-9, "{m:?}");
+    }
+
+    #[test]
+    fn windowed_signal_drops_pre_origin() {
+        let mut w = WindowedSignal::new(SimTime::from_secs(1), SimTime::from_millis(100));
+        w.add_segment(0.0, 1.05, 1.0); // only [1.0, 1.05) lands in window 0
+        let m = w.means(1);
+        assert!((m[0] - 0.5).abs() < 1e-9, "{m:?}");
+    }
+
+    #[test]
+    fn windowed_signal_untouched_buckets_read_zero() {
+        let w = WindowedSignal::new(SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(w.means(4), vec![0.0; 4]);
     }
 }

@@ -9,6 +9,7 @@
 use crate::linger::LingerConfig;
 use crate::topology::Topology;
 use jvm_gc::GcConfig;
+use metrics::MetricsConfig;
 use ntier_trace::TraceConfig;
 use simcore::SimTime;
 use std::str::FromStr;
@@ -263,6 +264,10 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Per-request distributed tracing (off by default; see `ntier-trace`).
     pub trace: TraceConfig,
+    /// Fine-grained windowed metrics (off by default). The collection layer
+    /// is purely passive — write-only accumulators fed from existing state
+    /// transitions — so enabling it changes no simulation outcome.
+    pub metrics: MetricsConfig,
     /// Explicit tier-chain topology. `None` (the default) resolves to the
     /// paper's 4-tier chain built from `hardware`/`soft`/the GC fields at
     /// system-construction time, so late mutation of those fields still
@@ -287,6 +292,7 @@ impl SystemConfig {
             retry: RetryPolicy::disabled(),
             seed: 0x5eed_0001,
             trace: TraceConfig::Off,
+            metrics: MetricsConfig::Off,
             topology: None,
         }
     }

@@ -53,10 +53,11 @@ pub use fault::{
 };
 pub use ids::Tier;
 pub use linger::LingerConfig;
+pub use metrics::{Diagnosis, DiagnosisRules, MetricsConfig, MetricsSink, RunMetrics};
 pub use output::{ApacheProbes, NodeReport, PoolReport, RunOutput};
 pub use system::{
-    run_system, run_system_to_drain, run_system_traced, try_run_system, DrainReport, NodeDrain,
-    RunTrace, System,
+    run_system, run_system_metered, run_system_to_drain, run_system_traced, try_run_system,
+    DrainReport, NodeDrain, RunTrace, System,
 };
 pub use topology::{SelectPolicy, TierId, TierSpec, Topology, MAX_TIERS};
 pub use workload::RetryPolicy;

@@ -6,9 +6,9 @@ use crate::ids::Tier;
 use crate::output::{NodeReport, PoolReport};
 use crate::topology::{TierId, TierSpec};
 use jvm_gc::JvmGc;
-use metrics::{ServerLog, UtilDensity};
-use resources::{CpuConfig, FcfsServer, PsCpu, SoftPool};
-use simcore::stats::IntervalSeries;
+use metrics::{PoolSeries, ReplicaSeries, ServerLog, UtilDensity};
+use resources::{CpuConfig, FcfsServer, PoolWindows, PsCpu, SoftPool};
+use simcore::stats::{IntervalSeries, WindowedSignal};
 use simcore::SimTime;
 
 /// One physical server and its soft resources.
@@ -63,6 +63,10 @@ pub struct Node {
     pub shed: u64,
     /// Jobs lost at this node to crashes or dropped connections.
     pub failed: u64,
+    /// Workers currently held in client linger-close (front tier only).
+    pub lingering: u32,
+    /// Fine-grained linger-occupancy window (metrics pipeline).
+    linger_win: Option<WindowedSignal>,
 }
 
 impl Node {
@@ -101,6 +105,8 @@ impl Node {
             timed_out: 0,
             shed: 0,
             failed: 0,
+            lingering: 0,
+            linger_win: None,
         }
     }
 
@@ -249,6 +255,75 @@ impl Node {
             self.conn_series.push(occ);
             self.conn_density.add(occ);
         }
+    }
+
+    /// A worker entered client linger-close (front tier).
+    pub fn linger_begin(&mut self, now: SimTime) {
+        self.lingering += 1;
+        if let Some(w) = &mut self.linger_win {
+            w.set(now, self.lingering as f64);
+        }
+    }
+
+    /// A lingering worker was released.
+    pub fn linger_end(&mut self, now: SimTime) {
+        self.lingering = self.lingering.saturating_sub(1);
+        if let Some(w) = &mut self.linger_win {
+            w.set(now, self.lingering as f64);
+        }
+    }
+
+    /// Attach fine-grained observation windows to every sub-resource
+    /// (observation only — provably perturbs nothing; see `tests/golden.rs`).
+    pub fn enable_metrics(&mut self, origin: SimTime, width: SimTime) {
+        self.cpu.enable_windows(origin, width);
+        if let Some(p) = &mut self.pool {
+            p.enable_windows(origin, width);
+        }
+        if let Some(p) = &mut self.conn_pool {
+            p.enable_windows(origin, width);
+        }
+        if self.tier == Tier::Web {
+            let mut w = WindowedSignal::new(origin, width);
+            w.set(origin, self.lingering as f64);
+            self.linger_win = Some(w);
+        }
+    }
+
+    /// Detach the observation windows into the replica's per-window series
+    /// over the first `n` windows (`None` when metrics were never enabled).
+    pub fn collect_metrics(&mut self, now: SimTime, n: usize) -> Option<ReplicaSeries> {
+        let cpu = self.cpu.take_windows(now)?;
+        let pool_series = |w: PoolWindows, capacity: usize| PoolSeries {
+            capacity,
+            in_use: w.in_use.means(n),
+            waiting: w.waiting.means(n),
+            saturated: w.saturated.means(n),
+        };
+        let threads = self.pool.as_mut().and_then(|p| {
+            let cap = p.capacity();
+            p.take_windows(now).map(|w| pool_series(w, cap))
+        });
+        let db_conns = self.conn_pool.as_mut().and_then(|p| {
+            let cap = p.capacity();
+            p.take_windows(now).map(|w| pool_series(w, cap))
+        });
+        let lingering = self.linger_win.take().map(|mut w| {
+            w.flush(now);
+            w.means(n)
+        });
+        Some(ReplicaSeries {
+            tier: self.tier_id,
+            replica: self.idx,
+            name: self.name(),
+            cores: self.cpu.cores(),
+            cpu_util: cpu.busy.means(n),
+            gc_fraction: cpu.frozen.means(n),
+            run_queue: cpu.jobs.means(n),
+            threads,
+            db_conns,
+            lingering,
+        })
     }
 
     /// Close the measurement window and produce the report.

@@ -19,7 +19,7 @@ use crate::request::{QueryPhase, ReqPhase, Request};
 use crate::slab::Slab;
 use crate::tier_nodes::{make_tier, TierNode};
 use crate::topology::{SelectPolicy, TierId};
-use metrics::SlaModel;
+use metrics::{FailureKind, MetricsRegistry, RunMetrics, SlaModel};
 use ntier_trace::{Span, TraceId, Tracer, ENGINE_TRACE};
 use simcore::{Engine, EngineStats, EventQueue, Model, RunRng, SimTime};
 use workload::{InteractionCatalog, InteractionId, Mix, Session, SessionModel};
@@ -172,6 +172,13 @@ pub(crate) struct Ctx {
     /// the measurement-window view lives in [`Telemetry`]).
     pub outcomes: OutcomeTotals,
     pub telemetry: Telemetry,
+    /// Windowed client-side metrics, present only when
+    /// [`SystemConfig::metrics`] is enabled. Write-only during the run —
+    /// nothing in the simulation reads it back, so it cannot perturb
+    /// event order or RNG draws.
+    pub metrics: Option<Box<MetricsRegistry>>,
+    /// The finished windowed series, snapshotted by `EndMeasure`.
+    pub metrics_out: Option<Box<RunMetrics>>,
     pub probes: Vec<ApacheProbe>,
     pub tracer: Option<Tracer>,
     pub next_trace: TraceId,
@@ -242,6 +249,14 @@ impl Ctx {
         // saturation onset (what the intervention analysis needs).
         let slo_threshold = *cfg.sla_thresholds.first().expect("non-empty thresholds");
         let telemetry = Telemetry::new(origin, sla.counters(), slo_threshold);
+        let metrics = cfg.metrics.window().map(|window| {
+            Box::new(MetricsRegistry::new(
+                window,
+                origin,
+                cfg.workload.runtime,
+                slo_threshold,
+            ))
+        });
         let probes = (0..links[0].replicas)
             .map(|_| ApacheProbe::new(origin))
             .collect();
@@ -273,6 +288,8 @@ impl Ctx {
             requests: Slab::with_capacity(4096),
             queries: Slab::with_capacity(4096),
             telemetry,
+            metrics,
+            metrics_out: None,
             probes,
             tracer,
             next_trace: ENGINE_TRACE,
@@ -655,6 +672,9 @@ impl Ctx {
         if outcome == Outcome::Completed {
             if self.measuring && now <= self.measure_end {
                 self.telemetry.record(now, rt);
+                if let Some(m) = self.metrics.as_mut() {
+                    m.record_response(now, rt);
+                }
             }
             if !self.draining {
                 let think = self.sessions[session as usize].think_time();
@@ -667,6 +687,14 @@ impl Ctx {
         // (back to thinking).
         if self.measuring && now <= self.measure_end {
             self.telemetry.record_failure(now, outcome);
+            if let Some(m) = self.metrics.as_mut() {
+                let kind = match outcome {
+                    Outcome::TimedOut => FailureKind::TimedOut,
+                    Outcome::Shed => FailureKind::Shed,
+                    _ => FailureKind::Failed,
+                };
+                m.record_failure(now, kind);
+            }
         }
         let will_retry = !self.draining
             && !self.cfg.retry.is_disabled()
@@ -682,6 +710,11 @@ impl Ctx {
                 .expect("attempt below max_attempts");
             self.retry_pending[session as usize] = (interaction, attempt + 1);
             self.outcomes.retries += 1;
+            if self.measuring && now <= self.measure_end {
+                if let Some(m) = self.metrics.as_mut() {
+                    m.record_retry(now);
+                }
+            }
             let track = self.links[0].name;
             self.req_span(trace, track, ntier_trace::RETRY, now, now + delay);
             q.schedule(now + delay, Ev::Reissue(session));
@@ -902,6 +935,12 @@ impl Ctx {
         for node in &mut self.nodes {
             node.begin_measurement(now);
         }
+        if self.metrics.is_some() {
+            let width = self.cfg.metrics.window().expect("metrics enabled");
+            for node in &mut self.nodes {
+                node.enable_metrics(now, width);
+            }
+        }
         q.schedule(now + SimTime::from_secs(1), Ev::Sample);
     }
 
@@ -913,6 +952,15 @@ impl Ctx {
             reports.push(node.report(now));
         }
         self.final_nodes = reports;
+        if let Some(mut registry) = self.metrics.take() {
+            let n = registry.n_windows();
+            for node in &mut self.nodes {
+                if let Some(series) = node.collect_metrics(now, n) {
+                    registry.push_replica(series);
+                }
+            }
+            self.metrics_out = Some(Box::new(registry.finish()));
+        }
         let window_buckets = self.cfg.workload.runtime.as_secs_f64() as usize;
         let probe = &self.probes[0];
         let trim = |v: &[f64]| -> Vec<f64> { v.iter().copied().take(window_buckets).collect() };
@@ -1210,6 +1258,29 @@ pub fn try_run_system(cfg: SystemConfig) -> Result<RunOutput, TopologyError> {
 /// With `cfg.trace == TraceConfig::Off` the trace is empty and the run does
 /// no per-request trace work (the fast path `run_system` delegates here).
 pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
+    let (out, trace, _) = run_system_full(cfg);
+    (out, trace)
+}
+
+/// Run one full trial with the windowed metrics pipeline enabled, returning
+/// the run summary plus the per-window time series ([`RunMetrics`]).
+///
+/// When `cfg.metrics` is `Off` it is upgraded to the default 100 ms window
+/// ([`MetricsConfig::windowed_default`](metrics::MetricsConfig)); an explicit
+/// `Windowed` setting is kept. Collection is passive (write-only
+/// accumulators at existing state transitions), so the [`RunOutput`] is
+/// bit-identical to the same configuration run without metrics.
+pub fn run_system_metered(mut cfg: SystemConfig) -> (RunOutput, RunMetrics) {
+    if !cfg.metrics.enabled() {
+        cfg.metrics = metrics::MetricsConfig::windowed_default();
+    }
+    let (out, _, metrics) = run_system_full(cfg);
+    (out, *metrics.expect("metrics enabled for the run"))
+}
+
+/// Shared trial runner: build, seed, run to `trial_end`, and tear down into
+/// the run summary plus whatever optional instrumentation was enabled.
+fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<RunMetrics>>) {
     let users = cfg.workload.users;
     let measure_start = cfg.workload.measure_start();
     let measure_end = cfg.workload.measure_end();
@@ -1231,6 +1302,7 @@ pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
     let stats = engine.stats();
     let mut system = engine.into_model();
     let tracer = system.ctx.tracer.take();
+    let metrics = system.ctx.metrics_out.take();
     let (admitted, rejected, overwritten) = tracer
         .as_ref()
         .map(|t| (t.admitted(), t.rejected(), t.overwritten()))
@@ -1244,7 +1316,7 @@ pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
         engine: stats,
         window: (measure_start, measure_end),
     };
-    (out, trace)
+    (out, trace, metrics)
 }
 
 /// Run one full trial, then freeze the client think loop and drain every
@@ -1382,6 +1454,43 @@ mod tests {
             assert_eq!(n.cpu_series.len(), runtime, "{}", n.name);
         }
         assert_eq!(out.apache_probes.threads_active.len(), runtime);
+    }
+
+    #[test]
+    fn metered_run_matches_plain_run_and_fills_series() {
+        let plain = run_system(quick_cfg(120));
+        let (out, m) = run_system_metered(quick_cfg(120));
+        // Passive collection: the summary is identical, not merely close.
+        assert_eq!(out.completed, plain.completed);
+        assert_eq!(out.events_processed, plain.events_processed);
+        assert_eq!(out.mean_rt.to_bits(), plain.mean_rt.to_bits());
+        // Default window 100 ms over the quick runtime.
+        let runtime = quick_cfg(120).workload.runtime;
+        assert_eq!(
+            m.n_windows,
+            (runtime.as_micros() / metrics::timeseries::DEFAULT_WINDOW.as_micros()) as usize
+        );
+        assert_eq!(m.replicas.len(), 6); // 1+2+1+2
+        for r in &m.replicas {
+            assert_eq!(r.cpu_util.len(), m.n_windows, "{}", r.name);
+            assert!(r.mean_cpu() > 0.0, "{} never busy", r.name);
+        }
+        let web = &m.replicas[0];
+        assert!(web.threads.is_some() && web.lingering.is_some());
+        assert_eq!(m.client.completed.len(), m.n_windows);
+        let total: f64 = m.client.completed.iter().sum();
+        assert_eq!(total as u64, plain.completed);
+        assert!(m.client.overall.count() > 0);
+    }
+
+    #[test]
+    fn explicit_metrics_window_is_kept() {
+        let mut cfg = quick_cfg(60);
+        cfg.metrics = metrics::MetricsConfig::windowed(SimTime::from_millis(250));
+        let (_, m) = run_system_metered(cfg);
+        let runtime = quick_cfg(60).workload.runtime;
+        assert_eq!(m.window, SimTime::from_millis(250));
+        assert_eq!(m.n_windows, (runtime.as_micros() / 250_000) as usize);
     }
 
     #[test]

@@ -175,6 +175,7 @@ impl WebNode {
             SimTime::ZERO
         };
         ctx.requests.get_mut(r).phase = ReqPhase::Linger;
+        ctx.nodes[ni].linger_begin(now);
         q.schedule(
             now + linger,
             Ev::Tier(self.id as u8, TierMsg::LingerDone(r)),
@@ -202,6 +203,7 @@ impl WebNode {
             probe.pt_tomcat_cnt.add(now, 1.0);
         }
         let ni = ctx.links[self.id].base + rep;
+        ctx.nodes[ni].linger_end(now);
         let pool = ctx.nodes[ni].pool.as_mut().expect("front tier has workers");
         if let Some(next) = pool.release(now) {
             q.schedule_now(Ev::Tier(self.id as u8, TierMsg::PoolGranted(next as ReqId)));

@@ -17,6 +17,9 @@
 //!   against the static strategies (parsed via `SoftAllocation::from_str`).
 //! * `--users N[,N…]` — workload sweep points.
 //! * `--quick` — short trials for smoke testing.
+//! * `--metrics PATH[:WINDOW_MS]` — record the fine-grained windowed time
+//!   series for the best strategy at the heaviest workload of each hardware
+//!   configuration and write one CSV per configuration.
 
 use rubbos_ntier::prelude::*;
 
@@ -25,6 +28,7 @@ struct Cli {
     soft: Option<SoftAllocation>,
     users: Option<Vec<u32>>,
     quick: bool,
+    metrics: Option<MetricsSink>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -33,6 +37,7 @@ fn parse_cli() -> Result<Cli, String> {
         soft: None,
         users: None,
         quick: false,
+        metrics: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,9 +60,10 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.users = Some(list);
             }
             "--quick" => cli.quick = true,
+            "--metrics" => cli.metrics = Some(MetricsSink::parse(&value("--metrics")?)?),
             other => {
                 return Err(format!(
-                    "unknown flag '{other}' (see --hw/--soft/--users/--quick)"
+                    "unknown flag '{other}' (see --hw/--soft/--users/--quick/--metrics)"
                 ))
             }
         }
@@ -143,6 +149,24 @@ fn main() {
             ">>> best static strategy for {hw} at {at} users: {} ({:.0} req/s)",
             best.0, best.1
         );
+        if let Some(sink) = &cli.metrics {
+            let soft = candidates
+                .iter()
+                .find(|(name, _)| *name == best.0)
+                .map(|(_, s)| *s)
+                .expect("best came from candidates");
+            let mut s = ExperimentSpec::new(hw, soft, at);
+            s.schedule = schedule;
+            let mut cfg = s.to_config();
+            cfg.metrics = sink.config();
+            let (_, m) = run_system_metered(cfg);
+            let suffix = format!("{hw}").replace('/', "-");
+            match sink.write_csv_suffixed(&suffix, &m) {
+                Ok(path) => println!("[saved {}]", path.display()),
+                Err(e) => eprintln!("--metrics: cannot write CSV: {e}"),
+            }
+            println!("    diagnosis: {}", Diagnosis::of_run(&m));
+        }
     }
     println!(
         "\nNote how no single static allocation wins on both topologies — the\n\

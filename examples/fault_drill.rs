@@ -17,7 +17,10 @@
 //! cargo run --release --example fault_drill -- --users 4000
 //! ```
 //!
-//! Flags: `--users N` (population), `--quick` (short trial for smoke runs).
+//! Flags: `--users N` (population), `--quick` (short trial for smoke runs),
+//! `--metrics PATH[:WINDOW_MS]` (per-window CSV time series, one file per
+//! scenario — the 100 ms series resolves the outage and recovery transients
+//! that the whole-window aggregates blur).
 
 use rubbos_ntier::prelude::*;
 use rubbos_ntier::simcore::SimTime;
@@ -25,12 +28,14 @@ use rubbos_ntier::simcore::SimTime;
 struct Cli {
     users: Option<u32>,
     quick: bool,
+    metrics: Option<MetricsSink>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
         users: None,
         quick: false,
+        metrics: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,7 +45,15 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.users = Some(v.parse().map_err(|e| format!("--users '{v}': {e}"))?);
             }
             "--quick" => cli.quick = true,
-            other => return Err(format!("unknown flag '{other}' (see --users/--quick)")),
+            "--metrics" => {
+                let v = args.next().ok_or("--metrics needs PATH[:WINDOW_MS]")?;
+                cli.metrics = Some(MetricsSink::parse(&v)?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (see --users/--quick/--metrics)"
+                ))
+            }
         }
     }
     Ok(cli)
@@ -61,6 +74,7 @@ fn run_policy(
     users: u32,
     schedule: Schedule,
     crash: Option<(SimTime, SimTime, SimTime)>,
+    metrics: Option<(&MetricsSink, &str)>,
 ) -> RunOutput {
     let mut topo = Topology::paper(hw, soft);
     if let Some((at, until, warm)) = crash {
@@ -78,7 +92,19 @@ fn run_policy(
     let mut spec = ExperimentSpec::new(hw, soft, users).with_topology(topo);
     spec.schedule = schedule;
     spec.retry = policy.retry;
-    run_experiment(&spec)
+    let Some((sink, label)) = metrics else {
+        return run_experiment(&spec);
+    };
+    // Metered variant: identical RunOutput (passive collection), plus the
+    // per-window series dumped as one CSV per scenario.
+    let mut cfg = spec.to_config();
+    cfg.metrics = sink.config();
+    let (out, m) = run_system_metered(cfg);
+    match sink.write_csv_suffixed(label, &m) {
+        Ok(path) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("--metrics: cannot write CSV: {e}"),
+    }
+    out
 }
 
 fn main() {
@@ -150,15 +176,40 @@ fn main() {
         );
     };
 
+    let sink = |label: &'static str| cli.metrics.as_ref().map(|s| (s, label));
     // Healthy reference: no faults, no retries needed.
-    let baseline = run_policy(&policies[1], hw, soft, users, schedule, None);
+    let baseline = run_policy(
+        &policies[1],
+        hw,
+        soft,
+        users,
+        schedule,
+        None,
+        sink("no-fault"),
+    );
     print_row("no fault", &baseline);
     assert_eq!(baseline.outcomes.timed_out + baseline.outcomes.shed, 0);
     assert_eq!(baseline.availability, 1.0);
 
-    let naive = run_policy(&policies[0], hw, soft, users, schedule, Some(crash));
+    let naive = run_policy(
+        &policies[0],
+        hw,
+        soft,
+        users,
+        schedule,
+        Some(crash),
+        sink("naive-retry"),
+    );
     print_row(policies[0].name, &naive);
-    let guarded = run_policy(&policies[1], hw, soft, users, schedule, Some(crash));
+    let guarded = run_policy(
+        &policies[1],
+        hw,
+        soft,
+        users,
+        schedule,
+        Some(crash),
+        sink("shed-backoff"),
+    );
     print_row(policies[1].name, &guarded);
 
     let delta = (guarded.goodput_at(2.0) - naive.goodput_at(2.0)) / naive.goodput_at(2.0) * 100.0;

@@ -1,0 +1,130 @@
+//! Metrics dashboard: run one metered trial and render the fine-grained
+//! windowed time series as a plain-text dashboard with an automated
+//! diagnosis of the run (under-allocation, GC over-allocation, or healthy).
+//!
+//! ```text
+//! cargo run --release --example metrics_dashboard
+//! cargo run --release --example metrics_dashboard -- --quick --users 2000
+//! cargo run --release --example metrics_dashboard -- \
+//!     --hw 1/2/1/2 --soft 400-6-6 --users 5000 --window 50 --csv run.csv
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--hw #W/#A/#C/#D` — hardware topology (default `1/2/1/2`).
+//! * `--soft #W_T-#A_T-#A_C` — allocation (default `400-150-60`).
+//! * `--users N` — population (default 3000).
+//! * `--quick` — short trial for smoke runs.
+//! * `--window MS` — metrics window in milliseconds (default 100).
+//! * `--csv PATH` — also dump the per-window series as CSV.
+//! * `--gnuplot DIR` — also write the gnuplot-ready figure series
+//!   (Fig. 4 / Fig. 8 / Fig. 10 styles) into `DIR`.
+
+use rubbos_ntier::metrics::export;
+use rubbos_ntier::prelude::*;
+use rubbos_ntier::simcore::SimTime;
+
+struct Cli {
+    hw: HardwareConfig,
+    soft: SoftAllocation,
+    users: u32,
+    quick: bool,
+    window: SimTime,
+    csv: Option<std::path::PathBuf>,
+    gnuplot: Option<std::path::PathBuf>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        hw: HardwareConfig::one_two_one_two(),
+        soft: SoftAllocation::rule_of_thumb(),
+        users: 3000,
+        quick: false,
+        window: SimTime::from_millis(100),
+        csv: None,
+        gnuplot: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--hw" => cli.hw = value("--hw")?.parse()?,
+            "--soft" => cli.soft = value("--soft")?.parse()?,
+            "--users" => {
+                let v = value("--users")?;
+                cli.users = v.parse().map_err(|e| format!("--users '{v}': {e}"))?;
+            }
+            "--quick" => cli.quick = true,
+            "--window" => {
+                let v = value("--window")?;
+                let ms: u64 = v.parse().map_err(|e| format!("--window '{v}': {e}"))?;
+                if ms == 0 {
+                    return Err("--window must be > 0 ms".into());
+                }
+                cli.window = SimTime::from_millis(ms);
+            }
+            "--csv" => cli.csv = Some(value("--csv")?.into()),
+            "--gnuplot" => cli.gnuplot = Some(value("--gnuplot")?.into()),
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' \
+                     (see --hw/--soft/--users/--quick/--window/--csv/--gnuplot)"
+                ))
+            }
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("metrics_dashboard: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut spec = ExperimentSpec::new(cli.hw, cli.soft, cli.users);
+    spec.schedule = if cli.quick {
+        Schedule::Quick
+    } else {
+        Schedule::Default
+    };
+    let mut cfg = spec.to_config();
+    cfg.metrics = MetricsConfig::windowed(cli.window);
+
+    println!("running {} ...", cfg.label());
+    let (out, m) = run_system_metered(cfg);
+
+    println!();
+    print!("{}", export::dashboard(&m));
+    println!(
+        "run summary: {:.1} req/s throughput, goodput@2s {:.1} req/s, mean RT {:.0} ms",
+        out.throughput,
+        out.goodput_at(2.0),
+        out.mean_rt * 1e3,
+    );
+
+    if let Some(path) = &cli.csv {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, export::to_csv(&m)) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("--csv: cannot write {}: {e}", path.display()),
+        }
+    }
+    if let Some(dir) = &cli.gnuplot {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("--gnuplot: cannot create {}: {e}", dir.display());
+        } else {
+            for (name, contents) in export::gnuplot_series(&m) {
+                let path = dir.join(name);
+                match std::fs::write(&path, contents) {
+                    Ok(()) => println!("[saved {}]", path.display()),
+                    Err(e) => eprintln!("--gnuplot: cannot write {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The automated diagnoser labels the paper's three pathologies from the
+//! fine-grained windowed series alone — no access to the aggregate
+//! `RunOutput` — on the same scaled configurations that
+//! `tests/paper_phenomena.rs` asserts the raw phenomena on:
+//!
+//! 1. §III-A under-allocation — a 3-thread Tomcat pool saturates while every
+//!    CPU idles → `UnderAllocated { tier: 1 }`.
+//! 2. §III-B over-allocation — 200 DB connections per Tomcat inflate C-JDBC
+//!    GC past the threshold with goodput collapse → `OverAllocated`.
+//! 3. §III-C buffering effect — an 8-worker Apache pool starves the back-end
+//!    as load rises → `BufferingEffect` (only visible across a sweep).
+//!
+//! A well-tuned allocation at the same populations stays `Healthy`.
+
+mod common;
+
+use common::{scale_params, scaled_config, scaled_knee};
+use rubbos_ntier::metrics::RunMetrics;
+use rubbos_ntier::prelude::*;
+
+fn metered(hw: HardwareConfig, soft: SoftAllocation, users: u32) -> RunMetrics {
+    let cfg = scaled_config(hw, soft, users);
+    run_system_metered(cfg).1
+}
+
+/// Context string for assertion messages: the evidence the diagnoser saw.
+fn describe(m: &RunMetrics) -> String {
+    let mut s = String::new();
+    for r in &m.replicas {
+        s.push_str(&format!(
+            "{}: cpu={:.2} gc={:.3} threads_sat={:.2} conns_sat={:.2}\n",
+            r.name,
+            r.mean_cpu(),
+            r.mean_gc(),
+            r.threads.as_ref().map_or(0.0, |p| p.mean_saturated()),
+            r.db_conns.as_ref().map_or(0.0, |p| p.mean_saturated()),
+        ));
+    }
+    let total: f64 = m.client.completed.iter().sum();
+    let good: f64 = m.client.good.iter().sum();
+    s.push_str(&format!("client: completed={total} good={good}\n"));
+    s
+}
+
+#[test]
+fn under_allocated_tomcat_pool_is_diagnosed() {
+    let hw = HardwareConfig::one_two_one_two();
+    let m = metered(hw, SoftAllocation::new(400, 3, 100), scaled_knee(hw));
+    let d = Diagnosis::of_run(&m);
+    assert_eq!(
+        d,
+        Diagnosis::UnderAllocated { tier: 1 },
+        "got {d:?}\n{}",
+        describe(&m)
+    );
+}
+
+#[test]
+fn over_allocated_connection_pool_is_diagnosed() {
+    let hw = HardwareConfig::one_four_one_four();
+    let users = scaled_knee(hw) + 150;
+    let m = metered(hw, SoftAllocation::new(400, 200, 200), users);
+    let d = Diagnosis::of_run(&m);
+    assert!(
+        matches!(d, Diagnosis::OverAllocated { gc_fraction } if gc_fraction > 0.0),
+        "got {d:?}\n{}",
+        describe(&m)
+    );
+    // The small-pool control at the same load is NOT flagged for GC.
+    let control = metered(hw, SoftAllocation::new(400, 200, 10), users);
+    let d = Diagnosis::of_run(&control);
+    assert!(
+        !matches!(d, Diagnosis::OverAllocated { .. }),
+        "control flagged over-allocated: {d:?}\n{}",
+        describe(&control)
+    );
+}
+
+#[test]
+fn buffering_effect_is_diagnosed_across_the_sweep() {
+    let hw = HardwareConfig::one_four_one_four();
+    let base = scaled_knee(hw);
+    let soft = SoftAllocation::new(8, 30, 10);
+    let lo = metered(hw, soft, base - 200);
+    let hi = metered(hw, soft, base + 200);
+    let d = Diagnosis::of_sweep(&[&lo, &hi]);
+    assert_eq!(
+        d,
+        Diagnosis::BufferingEffect,
+        "got {d:?}\nlow load:\n{}high load:\n{}",
+        describe(&lo),
+        describe(&hi)
+    );
+}
+
+#[test]
+fn tuned_baseline_is_healthy() {
+    // The practitioners' allocation below the knee: nothing saturated, GC
+    // negligible, goodput intact — on both paper topologies.
+    for hw in [
+        HardwareConfig::one_two_one_two(),
+        HardwareConfig::one_four_one_four(),
+    ] {
+        let m = metered(hw, SoftAllocation::rule_of_thumb(), scaled_knee(hw) - 300);
+        let d = Diagnosis::of_run(&m);
+        assert_eq!(d, Diagnosis::Healthy, "{hw}: got {d:?}\n{}", describe(&m));
+    }
+}
+
+#[test]
+fn sweep_without_buffering_falls_back_to_run_diagnosis() {
+    // A healthy allocation swept across load shows no buffering signature;
+    // the sweep diagnosis equals the highest-load run's own diagnosis.
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::new(200, 60, 30);
+    let lo = metered(hw, soft, scaled_knee(hw) - 400);
+    let hi = metered(hw, soft, scaled_knee(hw) - 200);
+    assert_eq!(Diagnosis::of_sweep(&[&lo, &hi]), Diagnosis::of_run(&hi));
+}
+
+#[test]
+fn diagnosis_is_deterministic() {
+    let hw = HardwareConfig::one_two_one_two();
+    let mk = || {
+        let mut cfg = SystemConfig::new(hw, SoftAllocation::new(400, 3, 100), scaled_knee(hw));
+        cfg.workload = rubbos_ntier::workload::WorkloadConfig::quick(scaled_knee(hw));
+        scale_params(&mut cfg);
+        run_system_metered(cfg).1
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(Diagnosis::of_run(&a), Diagnosis::of_run(&b));
+    for (ra, rb) in a.replicas.iter().zip(&b.replicas) {
+        assert_eq!(ra.cpu_util.len(), rb.cpu_util.len());
+        for (x, y) in ra.cpu_util.iter().zip(&rb.cpu_util) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{} cpu series drifted", ra.name);
+        }
+    }
+}

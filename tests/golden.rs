@@ -120,9 +120,14 @@ fn digest_str(s: &str) -> u64 {
 /// One traced trial of a paper config under the quick schedule, returning
 /// the output digest and the sampled-trace JSONL digest.
 fn run_golden(hw: HardwareConfig, users: u32) -> (u64, u64) {
+    run_golden_with(hw, users, MetricsConfig::Off)
+}
+
+fn run_golden_with(hw: HardwareConfig, users: u32, metrics: MetricsConfig) -> (u64, u64) {
     let mut cfg = SystemConfig::new(hw, SoftAllocation::rule_of_thumb(), users);
     cfg.workload = WorkloadConfig::quick(users);
     cfg.trace = TraceConfig::Sampled(0.25);
+    cfg.metrics = metrics;
     let (out, trace) = run_system_traced(cfg);
     let jsonl = export::to_jsonl(trace.spans.iter());
     assert!(!trace.spans.is_empty(), "sampled run produced no spans");
@@ -147,6 +152,40 @@ fn golden_1_2_1_2_rule_of_thumb() {
     assert_eq!(
         trace, GOLD_1212_TRACE,
         "trace JSONL digest drifted for 1/2/1/2(400-150-60): got {trace:#018x}"
+    );
+}
+
+/// The windowed metrics pipeline is purely passive (write-only accumulators
+/// at existing state transitions, no events, no RNG draws), so a metrics-on
+/// run must reproduce the metrics-off golden digests *bit for bit* — the
+/// same constants, with no correction terms for extra events.
+#[test]
+fn golden_digests_unchanged_with_metrics_enabled() {
+    let (out, trace) = run_golden_with(
+        HardwareConfig::one_two_one_two(),
+        2000,
+        MetricsConfig::windowed_default(),
+    );
+    assert_eq!(
+        out, GOLD_1212_OUT,
+        "metrics collection perturbed 1/2/1/2 output: got {out:#018x}"
+    );
+    assert_eq!(
+        trace, GOLD_1212_TRACE,
+        "metrics collection perturbed 1/2/1/2 trace: got {trace:#018x}"
+    );
+    let (out, trace) = run_golden_with(
+        HardwareConfig::one_four_one_four(),
+        2400,
+        MetricsConfig::windowed_default(),
+    );
+    assert_eq!(
+        out, GOLD_1414_OUT,
+        "metrics collection perturbed 1/4/1/4 output: got {out:#018x}"
+    );
+    assert_eq!(
+        trace, GOLD_1414_TRACE,
+        "metrics collection perturbed 1/4/1/4 trace: got {trace:#018x}"
     );
 }
 

@@ -1,0 +1,117 @@
+//! End-to-end checks of the windowed metrics pipeline (`ntier-metrics-ts`):
+//! sketch accuracy against exact sorted-sample quantiles, agreement with the
+//! run's own response-time histogram, byte-level determinism of the CSV
+//! export, and a wall-clock bound on collection overhead.
+
+mod common;
+
+use common::{scaled_config, scaled_knee};
+use rubbos_ntier::metrics::export;
+use rubbos_ntier::metrics::quantile::{exact_quantile, QuantileSketch};
+use rubbos_ntier::prelude::*;
+
+#[test]
+fn sketch_tracks_exact_quantiles_within_stated_error() {
+    // Deterministic pseudo-random response times (no external RNG), fed both
+    // to the streaming sketch — sharded and merged — and to an exact sorted
+    // buffer.
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Response times from ~1 ms to ~3 s, skewed low like a real run.
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        0.001 + 3.0 * u * u
+    };
+    let samples: Vec<f64> = (0..20_000).map(|_| next()).collect();
+
+    let mut shards = vec![QuantileSketch::response_times(); 4];
+    for (i, &s) in samples.iter().enumerate() {
+        shards[i % 4].add(s);
+    }
+    let mut merged = shards.remove(0);
+    for shard in shards {
+        merged.merge(&shard);
+    }
+
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let tol = merged.relative_error() * 1.5; // geometric-midpoint slack
+    for q in [0.5, 0.9, 0.95, 0.99] {
+        let approx = merged.quantile(q).unwrap();
+        let exact = exact_quantile(&sorted, q).unwrap();
+        let rel = (approx - exact).abs() / exact;
+        assert!(
+            rel <= tol,
+            "q={q}: sketch {approx} vs exact {exact} (rel {rel:.4} > tol {tol:.4})"
+        );
+    }
+    assert_eq!(merged.count(), samples.len() as u64);
+}
+
+#[test]
+fn overall_sketch_agrees_with_the_run_histogram() {
+    let hw = HardwareConfig::one_two_one_two();
+    let cfg = scaled_config(hw, SoftAllocation::new(200, 60, 30), scaled_knee(hw) - 300);
+    let (out, m) = run_system_metered(cfg);
+    // Every completed-in-window response is in the sketch, exactly once.
+    assert_eq!(m.client.overall.count(), out.completed);
+    // Sketch quantiles agree with the run's own histogram quantiles to
+    // within the combined resolution of the two estimators.
+    for (q, hist) in [(0.50, out.rt_quantiles[0]), (0.99, out.rt_quantiles[2])] {
+        let sk = m.client.overall.quantile(q).unwrap();
+        let rel = (sk - hist).abs() / hist.max(1e-9);
+        assert!(
+            rel < 0.10,
+            "q={q}: sketch {sk} vs histogram {hist} (rel {rel:.4})"
+        );
+    }
+    // Per-window sketches partition the overall population.
+    let windowed: u64 = (0..m.n_windows).map(|i| m.client.completed[i] as u64).sum();
+    assert_eq!(windowed, out.completed);
+}
+
+#[test]
+fn csv_export_is_byte_identical_across_runs() {
+    let hw = HardwareConfig::one_two_one_two();
+    let mk = || {
+        let cfg = scaled_config(hw, SoftAllocation::new(200, 60, 30), scaled_knee(hw) - 400);
+        run_system_metered(cfg).1
+    };
+    let a = export::to_csv(&mk());
+    let b = export::to_csv(&mk());
+    assert_eq!(a, b, "windowed CSV export must be deterministic");
+    assert!(a.lines().count() > 100, "CSV should carry per-window rows");
+}
+
+#[test]
+fn metrics_overhead_is_bounded() {
+    // Collection is a handful of float writes at existing state-change
+    // sites; require the metered run to stay within 15% of the plain run's
+    // wall clock (min-of-N to suppress scheduler noise).
+    let hw = HardwareConfig::one_two_one_two();
+    let cfg = || scaled_config(hw, SoftAllocation::new(200, 60, 30), 600);
+    let time = |f: &dyn Fn()| -> f64 {
+        let t0 = std::time::Instant::now();
+        f();
+        t0.elapsed().as_secs_f64()
+    };
+    // Interleave the pairs so scheduler noise (other tests run concurrently)
+    // biases both variants alike, and take the per-variant minimum.
+    let (mut plain, mut metered) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..4 {
+        plain = plain.min(time(&|| {
+            let _ = run_system(cfg());
+        }));
+        metered = metered.min(time(&|| {
+            let _ = run_system_metered(cfg());
+        }));
+    }
+    assert!(
+        metered < plain * 1.15,
+        "metrics overhead too high: plain {plain:.3}s vs metered {metered:.3}s \
+         ({:.1}%)",
+        (metered / plain - 1.0) * 100.0
+    );
+}
