@@ -6,20 +6,25 @@
 //!     `1/4/1/4(400-200-#)` — the paper's optimum is 8.
 //!
 //! "Maximum throughput" = the best throughput over a workload sweep around
-//! the knee, as in the paper's methodology.
+//! the knee, as in the paper's methodology. Each panel is one experiment
+//! plan (pool sizes = variants, knee workloads = the ramp).
+//!
+//! Shared CLI flags (`--quick`, `--threads`, `--store`, …) — see
+//! [`bench::BenchArgs`].
 
-use bench::{banner, run_sweep, save_json};
+use bench::{banner, execute, plan, save_json, BenchArgs, PlanResults, Variant};
 use ntier_core::{HardwareConfig, SoftAllocation};
 use ntier_trace::json::{arr, obj};
 
-fn max_tp(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) -> f64 {
-    run_sweep(hw, soft, users)
-        .iter()
-        .map(|r| r.throughput)
+fn max_tp(results: &PlanResults, variant: usize) -> f64 {
+    results
+        .throughput_series(variant)
+        .into_iter()
         .fold(f64::MIN, f64::max)
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     banner(
         "Figure 10 — validation of the optimal soft-resource allocation",
         "(a) max TP vs Tomcat thread pool, 1/2/1/2; (b) max TP vs DB conn pool, 1/4/1/4",
@@ -29,10 +34,15 @@ fn main() {
     let hw = HardwareConfig::one_two_one_two();
     let users = [5600u32, 6200, 6800];
     let pools_a = [6usize, 8, 10, 13, 16, 20, 40, 100, 200];
+    let mut plan_a = plan("fig10a", &args).with_users(users);
+    for &p in &pools_a {
+        plan_a = plan_a.with_variant(Variant::paper(hw, SoftAllocation::new(400, p, 200)));
+    }
+    let results_a = execute(&args, &plan_a);
     println!("{:>10} {:>14}", "pool size", "max TP [req/s]");
     let mut series_a = Vec::new();
-    for &p in &pools_a {
-        let tp = max_tp(hw, SoftAllocation::new(400, p, 200), &users);
+    for (v, &p) in pools_a.iter().enumerate() {
+        let tp = max_tp(&results_a, v);
         println!("{p:>10} {tp:>14.1}");
         series_a.push(tp);
     }
@@ -48,10 +58,15 @@ fn main() {
     let hw = HardwareConfig::one_four_one_four();
     let users = [6300u32, 6900, 7500];
     let pools_b = [1usize, 2, 3, 4, 6, 8, 10, 12, 16, 20];
+    let mut plan_b = plan("fig10b", &args).with_users(users);
+    for &p in &pools_b {
+        plan_b = plan_b.with_variant(Variant::paper(hw, SoftAllocation::new(400, 200, p)));
+    }
+    let results_b = execute(&args, &plan_b);
     println!("{:>10} {:>14}", "pool size", "max TP [req/s]");
     let mut series_b = Vec::new();
-    for &p in &pools_b {
-        let tp = max_tp(hw, SoftAllocation::new(400, 200, p), &users);
+    for (v, &p) in pools_b.iter().enumerate() {
+        let tp = max_tp(&results_b, v);
         println!("{p:>10} {tp:>14.1}");
         series_b.push(tp);
     }

@@ -7,15 +7,12 @@
 //! 2 s threshold, ~44% at 1 s, ~93% at 0.5 s.
 
 //! CLI flags (after `--`): `--hw`, `--soft` (replaces the rule-of-thumb
-//! line), `--users`, `--quick`, `--faults TIER[:REPLICA]@FROM[-TO]`
-//! (crash a backend replica mid-sweep), and `--metrics PATH[:WINDOW_MS]`
-//! (per-window CSV time series for every sweep point) — see
-//! [`bench::BenchArgs`].
+//! line), `--users`, `--quick`, `--threads N`, `--store DIR` (resumable
+//! artifact store), `--faults TIER[:REPLICA]@FROM[-TO]` (crash a backend
+//! replica mid-sweep), and `--metrics PATH[:WINDOW_MS]` (per-window CSV
+//! time series for every sweep point) — see [`bench::BenchArgs`].
 
-use bench::{
-    banner, dump_metrics_args, goodput_series, pct_diff, print_series, run_sweep_args, save_json,
-    BenchArgs,
-};
+use bench::{banner, execute, pct_diff, plan, print_series, save_json, variant, BenchArgs};
 use ntier_core::{HardwareConfig, SoftAllocation};
 use ntier_trace::json::{arr, obj, Json};
 
@@ -31,13 +28,16 @@ fn main() {
         "lines: 1/2/1/2(400-6-6) vs 1/2/1/2(400-150-60); thresholds 0.5s / 1s / 2s",
     );
 
-    let runs_good = run_sweep_args(&args, hw, good, &users);
-    let runs_poor = run_sweep_args(&args, hw, poor, &users);
+    let plan = plan("fig2", &args)
+        .with_users(users.clone())
+        .with_variant(variant(&args, hw, poor))
+        .with_variant(variant(&args, hw, good));
+    let results = execute(&args, &plan);
 
     for (panel, thr) in [("(a)", 0.5), ("(b)", 1.0), ("(c)", 2.0)] {
         println!("\nFig 2{panel} — threshold {thr} s");
-        let g = goodput_series(&runs_good, thr);
-        let p = goodput_series(&runs_poor, thr);
+        let p = results.goodput_series(0, thr);
+        let g = results.goodput_series(1, thr);
         print_series(
             "users",
             &users,
@@ -58,20 +58,23 @@ fn main() {
         }
     }
 
-    dump_metrics_args(&args, &format!("good-{good}"), hw, good, &users);
-    dump_metrics_args(&args, &format!("poor-{poor}"), hw, poor, &users);
-
     save_json(
         "fig2",
         &obj([
             ("users", users.into()),
             (
                 "good_400_150_60",
-                arr(runs_good.iter().map(|r| Json::from(r.goodput.clone()))),
+                arr(results
+                    .variant_outputs(1)
+                    .iter()
+                    .map(|r| Json::from(r.goodput.clone()))),
             ),
             (
                 "poor_400_6_6",
-                arr(runs_poor.iter().map(|r| Json::from(r.goodput.clone()))),
+                arr(results
+                    .variant_outputs(0)
+                    .iter()
+                    .map(|r| Json::from(r.goodput.clone()))),
             ),
             ("thresholds", arr([0.5, 1.0, 2.0])),
         ]),

@@ -6,15 +6,19 @@
 //! `400-6-6` wins near saturation (smaller CPU consumption — GC and
 //! scheduling — of the smaller pools). Panel (c): the response-time
 //! distribution at 7 000 users.
+//!
+//! Shared CLI flags (`--users`, `--quick`, `--threads`, `--store`,
+//! `--metrics`, …) — see [`bench::BenchArgs`].
 
-use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json, spec};
+use bench::{banner, execute, pct_diff, plan, print_series, save_json, BenchArgs, Variant};
 use metrics::rt_dist::BIN_LABELS;
-use ntier_core::{run_experiment, HardwareConfig, SoftAllocation};
+use ntier_core::{HardwareConfig, SoftAllocation};
 use ntier_trace::json::{arr, obj, Json};
 
 fn main() {
-    let hw = HardwareConfig::one_four_one_four();
-    let users: Vec<u32> = (0..7).map(|i| 6000 + i * 300).collect();
+    let args = BenchArgs::parse();
+    let hw = args.hw_or(HardwareConfig::one_four_one_four());
+    let users = args.users_or((0..7).map(|i| 6000 + i * 300).collect());
     let liberal = SoftAllocation::rule_of_thumb(); // 400-150-60
     let conservative = SoftAllocation::conservative(); // 400-6-6
 
@@ -23,13 +27,20 @@ fn main() {
         "lines: 1/4/1/4(400-6-6) vs 1/4/1/4(400-150-60); crossover expected mid-range",
     );
 
-    let runs_lib = run_sweep(hw, liberal, &users);
-    let runs_con = run_sweep(hw, conservative, &users);
+    // Variants 0/1 carry the ramp; variants 2/3 pin the RT-distribution
+    // point of panel (c) — one plan, one engine pass.
+    let plan = plan("fig3", &args)
+        .with_users(users.clone())
+        .with_variant(Variant::paper(hw, liberal))
+        .with_variant(Variant::paper(hw, conservative))
+        .with_variant(Variant::paper(hw, conservative).with_users([7000u32]))
+        .with_variant(Variant::paper(hw, liberal).with_users([7000u32]));
+    let results = execute(&args, &plan);
 
     for (panel, thr) in [("(a)", 0.5), ("(b)", 1.0)] {
         println!("\nFig 3{panel} — threshold {thr} s");
-        let l = goodput_series(&runs_lib, thr);
-        let c = goodput_series(&runs_con, thr);
+        let l = results.goodput_series(0, thr);
+        let c = results.goodput_series(1, thr);
         print_series(
             "users",
             &users,
@@ -60,9 +71,8 @@ fn main() {
 
     // Panel (c): RT distribution at WL 7000.
     println!("\nFig 3(c) — response-time distribution @ 7000 users");
-    let at = |soft| run_experiment(&spec(hw, soft, 7000));
-    let out_con = at(conservative);
-    let out_lib = at(liberal);
+    let out_con = results.variant_outputs(2)[0];
+    let out_lib = results.variant_outputs(3)[0];
     println!("{:>10} {:>16} {:>16}", "bin", "400-6-6", "400-150-60");
     let tot = |c: &[u64; 8]| c.iter().sum::<u64>().max(1) as f64;
     let tc = tot(&out_con.rt_dist_counts);
@@ -74,12 +84,6 @@ fn main() {
             out_lib.rt_dist_counts[i] as f64 / tl * 100.0
         );
     }
-    let sub02 = |counts: &[u64; 8], total: f64, w: f64| counts[0] as f64 / total * w;
-    let g_con = sub02(&out_con.rt_dist_counts, out_con.window_secs, 1.0) * out_con.completed as f64
-        / out_con.window_secs
-        / tot(&out_con.rt_dist_counts)
-        * out_con.window_secs;
-    let _ = g_con;
     println!(
         "  goodput @0.2s: 400-6-6 = {:.1}, 400-150-60 = {:.1} req/s ({:+.0}%)",
         out_con.rt_dist_counts[0] as f64 / out_con.window_secs,
@@ -96,11 +100,17 @@ fn main() {
             ("users", users.into()),
             (
                 "liberal",
-                arr(runs_lib.iter().map(|r| Json::from(r.goodput.clone()))),
+                arr(results
+                    .variant_outputs(0)
+                    .iter()
+                    .map(|r| Json::from(r.goodput.clone()))),
             ),
             (
                 "conservative",
-                arr(runs_con.iter().map(|r| Json::from(r.goodput.clone()))),
+                arr(results
+                    .variant_outputs(1)
+                    .iter()
+                    .map(|r| Json::from(r.goodput.clone()))),
             ),
             ("rt_dist_7000_conservative", arr(out_con.rt_dist_counts)),
             ("rt_dist_7000_liberal", arr(out_lib.rt_dist_counts)),

@@ -7,14 +7,18 @@
 //! (b,c,e,f) thread-pool utilization density graphs: the small pools pile
 //! probability mass at 100% (soft-resource saturation) at workloads where
 //! hardware is still idle.
+//!
+//! Shared CLI flags (`--users`, `--quick`, `--threads`, `--store`,
+//! `--metrics`, …) — see [`bench::BenchArgs`].
 
-use bench::{banner, goodput_series, print_series, run_sweep, save_json};
+use bench::{banner, execute, plan, print_series, save_json, BenchArgs, Variant};
 use ntier_core::{HardwareConfig, SoftAllocation, Tier};
 use ntier_trace::json::{arr, obj};
 
 fn main() {
-    let hw = HardwareConfig::one_two_one_two();
-    let users: Vec<u32> = (0..8).map(|i| 4200 + i * 400).collect();
+    let args = BenchArgs::parse();
+    let hw = args.hw_or(HardwareConfig::one_two_one_two());
+    let users = args.users_or((0..8).map(|i| 4200 + i * 400).collect());
     let pools = [6usize, 10, 20, 200];
 
     banner(
@@ -22,14 +26,20 @@ fn main() {
         "(a) goodput; (d) Tomcat CPU; (b,c,e,f) pool-utilization densities",
     );
 
-    let sweeps: Vec<_> = pools
-        .iter()
-        .map(|&p| run_sweep(hw, SoftAllocation::new(400, p, 200), &users))
+    let mut plan = plan("fig4", &args).with_users(users.clone());
+    for &p in &pools {
+        plan = plan.with_variant(Variant::paper(hw, SoftAllocation::new(400, p, 200)));
+    }
+    let results = execute(&args, &plan);
+    let sweeps: Vec<Vec<&ntier_core::RunOutput>> = (0..pools.len())
+        .map(|v| results.variant_outputs(v))
         .collect();
 
     println!("\nFig 4(a) — goodput (threshold 2 s)");
     let labels: Vec<String> = pools.iter().map(|p| format!("400-{p}-200")).collect();
-    let goodputs: Vec<Vec<f64>> = sweeps.iter().map(|s| goodput_series(s, 2.0)).collect();
+    let goodputs: Vec<Vec<f64>> = (0..pools.len())
+        .map(|v| results.goodput_series(v, 2.0))
+        .collect();
     print_series("users", &users, &labels, &goodputs, "goodput req/s");
     // The paper's observations: pool 20 beats pool 6 by ~40% at 6000 users,
     // and the maximum of pool 200 is below the maximum of pool 20.

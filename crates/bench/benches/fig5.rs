@@ -6,14 +6,18 @@
 //! saturation; (b) C-JDBC CPU utilization growing super-linearly with the
 //! connection count; (c) total JVM garbage-collection time on C-JDBC
 //! (the paper: ~1% of the runtime for 40 connections, ~10% for 800).
+//!
+//! Shared CLI flags (`--users`, `--quick`, `--threads`, `--store`,
+//! `--metrics`, …) — see [`bench::BenchArgs`].
 
-use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json};
+use bench::{banner, execute, pct_diff, plan, print_series, save_json, BenchArgs, Variant};
 use ntier_core::{HardwareConfig, SoftAllocation, Tier};
 use ntier_trace::json::{arr, obj};
 
 fn main() {
-    let hw = HardwareConfig::one_four_one_four();
-    let users: Vec<u32> = (0..7).map(|i| 6000 + i * 300).collect();
+    let args = BenchArgs::parse();
+    let hw = args.hw_or(HardwareConfig::one_four_one_four());
+    let users = args.users_or((0..7).map(|i| 6000 + i * 300).collect());
     let pools = [10usize, 50, 100, 200];
 
     banner(
@@ -21,14 +25,20 @@ fn main() {
         "(a) goodput; (b) C-JDBC CPU; (c) total GC time on C-JDBC",
     );
 
-    let sweeps: Vec<_> = pools
-        .iter()
-        .map(|&p| run_sweep(hw, SoftAllocation::new(400, 200, p), &users))
+    let mut plan = plan("fig5", &args).with_users(users.clone());
+    for &p in &pools {
+        plan = plan.with_variant(Variant::paper(hw, SoftAllocation::new(400, 200, p)));
+    }
+    let results = execute(&args, &plan);
+    let sweeps: Vec<Vec<&ntier_core::RunOutput>> = (0..pools.len())
+        .map(|v| results.variant_outputs(v))
         .collect();
     let labels: Vec<String> = pools.iter().map(|p| format!("400-200-{p}")).collect();
 
     println!("\nFig 5(a) — goodput (threshold 2 s)");
-    let goodputs: Vec<Vec<f64>> = sweeps.iter().map(|s| goodput_series(s, 2.0)).collect();
+    let goodputs: Vec<Vec<f64>> = (0..pools.len())
+        .map(|v| results.goodput_series(v, 2.0))
+        .collect();
     print_series("users", &users, &labels, &goodputs, "goodput req/s");
     let last = users.len() - 1;
     if let Some(i) = (0..users.len()).rev().find(|&i| goodputs[3][i] > 5.0) {

@@ -6,14 +6,18 @@
 //! (b) the non-obvious signature — C-JDBC CPU utilization **decreasing** as
 //! workload increases for the small pools, because workers stuck in
 //! lingering close stop feeding the back-end.
+//!
+//! Shared CLI flags (`--users`, `--quick`, `--threads`, `--store`,
+//! `--metrics`, …) — see [`bench::BenchArgs`].
 
-use bench::{banner, goodput_series, pct_diff, print_series, run_sweep, save_json};
+use bench::{banner, execute, pct_diff, plan, print_series, save_json, BenchArgs, Variant};
 use ntier_core::{HardwareConfig, SoftAllocation, Tier};
 use ntier_trace::json::{arr, obj};
 
 fn main() {
-    let hw = HardwareConfig::one_four_one_four();
-    let users: Vec<u32> = (0..7).map(|i| 6000 + i * 300).collect();
+    let args = BenchArgs::parse();
+    let hw = args.hw_or(HardwareConfig::one_four_one_four());
+    let users = args.users_or((0..7).map(|i| 6000 + i * 300).collect());
     let pools = [30usize, 50, 100, 400];
 
     banner(
@@ -21,14 +25,20 @@ fn main() {
         "(a) goodput; (b) C-JDBC CPU decreasing with workload for small pools",
     );
 
-    let sweeps: Vec<_> = pools
-        .iter()
-        .map(|&p| run_sweep(hw, SoftAllocation::new(p, 60, 20), &users))
+    let mut plan = plan("fig6", &args).with_users(users.clone());
+    for &p in &pools {
+        plan = plan.with_variant(Variant::paper(hw, SoftAllocation::new(p, 60, 20)));
+    }
+    let results = execute(&args, &plan);
+    let sweeps: Vec<Vec<&ntier_core::RunOutput>> = (0..pools.len())
+        .map(|v| results.variant_outputs(v))
         .collect();
     let labels: Vec<String> = pools.iter().map(|p| format!("{p}-60-20")).collect();
 
     println!("\nFig 6(a) — goodput (threshold 2 s)");
-    let goodputs: Vec<Vec<f64>> = sweeps.iter().map(|s| goodput_series(s, 2.0)).collect();
+    let goodputs: Vec<Vec<f64>> = (0..pools.len())
+        .map(|v| results.goodput_series(v, 2.0))
+        .collect();
     print_series("users", &users, &labels, &goodputs, "goodput req/s");
     let last = users.len() - 1;
     if let Some(i) = (0..users.len()).rev().find(|&i| goodputs[0][i] > 5.0) {

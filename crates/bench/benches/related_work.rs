@@ -6,15 +6,18 @@
 //!    criticism of model-based approaches.
 //! 2. **Feedback control / hill climbing** vs **Algorithm 1**: goodput of
 //!    the final allocation and experiments consumed.
+//!
+//! Shared CLI flags (`--threads`, `--store`, …) — see [`bench::BenchArgs`].
 
-use bench::{banner, save_json, spec};
+use bench::{banner, execute, plan, save_json, BenchArgs, Variant};
 use ntier_core::algorithm::{AlgorithmConfig, SoftResourceTuner};
 use ntier_core::experiment::{Schedule, SimTestbed};
 use ntier_core::feedback::{feedback_tune, FeedbackConfig};
-use ntier_core::{run_experiment, HardwareConfig, MvaModel, SoftAllocation};
+use ntier_core::{HardwareConfig, MvaModel, SoftAllocation};
 use ntier_trace::json::{arr, obj};
 
 fn main() {
+    let args = BenchArgs::parse();
     banner(
         "Related work — analytical model and feedback control vs Algorithm 1",
         "MVA misses soft-resource effects; hill climbing costs more experiments",
@@ -28,16 +31,22 @@ fn main() {
         "{:>8} {:>12} {:>18} {:>18}",
         "users", "MVA X", "sim X (150 thr)", "sim X (6 thr)"
     );
+    let users = [4200u32, 5000, 5800, 6600];
+    let mva_plan = plan("related-work-mva", &args)
+        .with_users(users)
+        .with_variant(Variant::paper(hw, SoftAllocation::new(400, 150, 60)))
+        .with_variant(Variant::paper(hw, SoftAllocation::new(400, 6, 6)));
+    let results = execute(&args, &mva_plan);
+    let healthy = results.throughput_series(0);
+    let starved = results.throughput_series(1);
     let mut rows = Vec::new();
-    for users in [4200u32, 5000, 5800, 6600] {
+    for (i, &users) in users.iter().enumerate() {
         let m = mva.solve(users);
-        let healthy = run_experiment(&spec(hw, SoftAllocation::new(400, 150, 60), users));
-        let starved = run_experiment(&spec(hw, SoftAllocation::new(400, 6, 6), users));
         println!(
             "{users:>8} {:>12.1} {:>18.1} {:>18.1}",
-            m.throughput, healthy.throughput, starved.throughput
+            m.throughput, healthy[i], starved[i]
         );
-        rows.push((users, m.throughput, healthy.throughput, starved.throughput));
+        rows.push((users, m.throughput, healthy[i], starved[i]));
     }
     println!(
         "  MVA tracks the healthy allocation but cannot see the 6-thread collapse\n\
@@ -70,11 +79,14 @@ fn main() {
         },
     );
 
-    let validate = |soft: SoftAllocation| {
-        run_experiment(&spec(hw, soft, algo.saturation_workload)).goodput_at(2.0)
-    };
-    let g_algo = validate(algo.recommended);
-    let g_fb = validate(fb.allocation);
+    // Head-to-head validation of both final allocations: one two-point plan.
+    let check = plan("related-work-validate", &args)
+        .with_users([algo.saturation_workload])
+        .with_variant(Variant::paper(hw, algo.recommended).labeled("algorithm"))
+        .with_variant(Variant::paper(hw, fb.allocation).labeled("feedback"));
+    let check = execute(&args, &check);
+    let g_algo = check.goodput_series(0, 2.0)[0];
+    let g_fb = check.goodput_series(1, 2.0)[0];
     println!(
         "{:>22} {:>14} {:>12} {:>12}",
         "tuner", "allocation", "goodput@2s", "experiments"

@@ -5,12 +5,15 @@
 //! saturation workload, per-tier RTT / TP / average jobs (Little's law),
 //! `Req_ratio`, and the recommended thread/connection pool sizes. Then
 //! validates the recommendation the way §IV-C does: by comparing the
-//! recommended goodput against the naive strategies.
+//! recommended goodput against the naive strategies (one experiment plan —
+//! the three static strategies plus the algorithm's pick — per hardware).
+//!
+//! Shared CLI flags (`--threads`, `--store`, …) — see [`bench::BenchArgs`].
 
-use bench::{banner, save_json, spec};
+use bench::{banner, execute, save_json, BenchArgs, ExperimentPlan, Variant};
 use ntier_core::algorithm::{AlgorithmConfig, SoftResourceTuner};
 use ntier_core::experiment::{Schedule, SimTestbed};
-use ntier_core::{run_experiment, HardwareConfig, SoftAllocation, Strategy, Tier};
+use ntier_core::{HardwareConfig, Tier};
 use ntier_trace::json::{obj, ToJson};
 
 fn run_for(hw: HardwareConfig) -> ntier_core::AlgorithmReport {
@@ -58,30 +61,30 @@ fn print_report(hw: HardwareConfig, rep: &ntier_core::AlgorithmReport) {
     );
 }
 
-fn validate(hw: HardwareConfig, rep: &ntier_core::AlgorithmReport, users: u32) {
+fn validate(args: &BenchArgs, hw: HardwareConfig, rep: &ntier_core::AlgorithmReport, users: u32) {
     println!("\nValidation @ {users} users (goodput at the 2 s threshold):");
-    let mut rows: Vec<(String, SoftAllocation)> = Strategy::ALL
-        .iter()
-        .map(|s| (s.name().to_string(), s.allocation(hw)))
-        .collect();
-    rows.push(("algorithm".to_string(), rep.recommended));
-    let mut results = Vec::new();
-    for (name, soft) in rows {
-        let out = run_experiment(&spec(hw, soft, users));
+    // The three static strategies plus the algorithm's recommendation, all
+    // at the saturation workload — one four-variant plan.
+    let plan = ExperimentPlan::strategies(format!("table1-{hw}"), hw, [users])
+        .with_variant(Variant::paper(hw, rep.recommended).labeled("algorithm"));
+    let results = execute(args, &plan);
+    let mut rows = Vec::new();
+    for (v, variant) in plan.variants.iter().enumerate() {
+        let out = results.variant_outputs(v)[0];
         println!(
             "{:>28} {:>12} goodput {:>8.1} req/s  (tp {:>8.1}, mean RT {:>6.0} ms)",
-            name,
-            soft.to_string(),
+            variant.label,
+            variant.soft.to_string(),
             out.goodput_at(2.0),
             out.throughput,
             out.mean_rt * 1e3,
         );
-        results.push((name, soft.to_string(), out.goodput_at(2.0)));
+        rows.push(out.goodput_at(2.0));
     }
-    let algo = results.last().expect("non-empty").2;
-    let best_naive = results[..results.len() - 1]
+    let algo = *rows.last().expect("non-empty");
+    let best_naive = rows[..rows.len() - 1]
         .iter()
-        .map(|r| r.2)
+        .cloned()
         .fold(f64::MIN, f64::max);
     println!(
         "  algorithm vs best naive strategy: {:+.1}%",
@@ -90,6 +93,7 @@ fn validate(hw: HardwareConfig, rep: &ntier_core::AlgorithmReport, users: u32) {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     banner(
         "Table I — output of the allocation algorithm",
         "FindCriticalResource → InferMinConcurrentJobs → CalculateMinAllocation",
@@ -103,7 +107,7 @@ fn main() {
         Tier::App,
         "paper: Tomcat CPU is critical under 1/2/1/2"
     );
-    validate(hw12, &rep12, rep12.saturation_workload);
+    validate(&args, hw12, &rep12, rep12.saturation_workload);
 
     let hw14 = HardwareConfig::one_four_one_four();
     let rep14 = run_for(hw14);
@@ -113,7 +117,7 @@ fn main() {
         Tier::Cmw,
         "paper: C-JDBC CPU is critical under 1/4/1/4"
     );
-    validate(hw14, &rep14, rep14.saturation_workload);
+    validate(&args, hw14, &rep14, rep14.saturation_workload);
 
     save_json(
         "table1",

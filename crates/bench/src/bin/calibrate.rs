@@ -2,11 +2,16 @@
 //! throughput, goodput, and per-tier utilization so the service-demand
 //! constants can be checked against DESIGN.md §4 (knees near 5 800 / 6 200
 //! users, Tomcat critical in 1/2/1/2, C-JDBC critical in 1/4/1/4).
+//!
+//! One four-variant experiment plan (two topologies × two allocations, each
+//! with its own workload ramp) run through the shared engine — use
+//! `--threads N` to control parallelism, `--store DIR` to resume.
 
-use tiers::{run_system, HardwareConfig, SoftAllocation, SystemConfig, Tier};
+use bench::{execute, plan, BenchArgs, PlanResults, Variant};
+use ntier_core::{HardwareConfig, SoftAllocation, Tier};
 
-fn sweep(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) {
-    println!("\n=== {hw}({soft}) ===");
+fn print_variant(results: &PlanResults, v: usize, label: &str) {
+    println!("\n=== {label} ===");
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
         "users",
@@ -21,13 +26,11 @@ fn sweep(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) {
         "db%",
         "gc_cmw%"
     );
-    for &u in users {
-        let cfg = SystemConfig::new(hw, soft, u);
-        let out = run_system(cfg);
+    for out in results.variant_outputs(v) {
         let cmw_gc = out.tier_nodes(Tier::Cmw)[0].gc_fraction;
         println!(
             "{:>6} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>7.1} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.3}",
-            u,
+            out.users,
             out.throughput,
             out.goodput[2],
             out.goodput[1],
@@ -43,26 +46,23 @@ fn sweep(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) {
 }
 
 fn main() {
-    let users: Vec<u32> = (0..8).map(|i| 5000 + i * 400).collect();
-    sweep(
-        HardwareConfig::one_two_one_two(),
-        SoftAllocation::new(400, 150, 60),
-        &users,
-    );
-    sweep(
-        HardwareConfig::one_two_one_two(),
-        SoftAllocation::new(400, 6, 6),
-        &users,
-    );
+    let args = BenchArgs::parse();
+    let hw12 = HardwareConfig::one_two_one_two();
+    let hw14 = HardwareConfig::one_four_one_four();
+    let users12: Vec<u32> = (0..8).map(|i| 5000 + i * 400).collect();
     let users14: Vec<u32> = (0..8).map(|i| 6000 + i * 300).collect();
-    sweep(
-        HardwareConfig::one_four_one_four(),
-        SoftAllocation::new(400, 150, 60),
-        &users14,
-    );
-    sweep(
-        HardwareConfig::one_four_one_four(),
-        SoftAllocation::new(400, 6, 6),
-        &users14,
-    );
+
+    let mut probe = plan("calibrate", &args);
+    for (hw, users) in [(hw12, &users12), (hw14, &users14)] {
+        for soft in [
+            SoftAllocation::new(400, 150, 60),
+            SoftAllocation::new(400, 6, 6),
+        ] {
+            probe = probe.with_variant(Variant::paper(hw, soft).with_users(users.clone()));
+        }
+    }
+    let results = execute(&args, &probe);
+    for (v, variant) in probe.variants.iter().enumerate() {
+        print_variant(&results, v, &variant.label);
+    }
 }

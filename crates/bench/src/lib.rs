@@ -1,215 +1,23 @@
 //! Shared helpers for the figure/table regeneration harnesses.
 //!
-//! Each `[[bench]]` target regenerates one table or figure of the paper:
-//! it sweeps the same configurations, prints the same series, and saves a
-//! machine-readable JSON copy under `target/paper-results/`.
+//! Each `[[bench]]` target regenerates one table or figure of the paper by
+//! declaring an [`ExperimentPlan`] (variants × workload ramp) and running it
+//! through `ntier-lab`'s executor: [`plan`] seeds the plan from the shared
+//! CLI flags, [`variant`] attaches any `--faults` windows, and [`execute`]
+//! honors `--threads` (parallel work-stealing execution), `--store`
+//! (resumable artifact store), and `--metrics` (per-point CSV time series).
+//! The printed series and saved JSON artifacts land under
+//! `target/paper-results/`.
 
-use ntier_core::{
-    run_system_metered, ExperimentSpec, HardwareConfig, MetricsSink, RunMetrics, RunOutput,
-    SoftAllocation, Tier, Topology, TopologyError,
-};
+use ntier_core::{ExperimentSpec, HardwareConfig, SoftAllocation, Topology};
 use ntier_trace::json::Json;
-use simcore::SimTime;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Schedule used by all figure harnesses (30 s ramp, 120 s measured window).
-pub use ntier_core::experiment::Schedule;
-
-/// Common CLI flags shared by the figure harnesses, parsed from the
-/// arguments after `cargo bench --bench figN --`:
-///
-/// * `--hw #W/#A/#C/#D` — override the figure's hardware configuration
-///   (via `HardwareConfig::from_str`).
-/// * `--soft #W_T-#A_T-#A_C` — override an allocation where the harness
-///   accepts one (via `SoftAllocation::from_str`).
-/// * `--users N[,N…]` — override the workload sweep points.
-/// * `--quick` — short trials (10 s ramp, 30 s window) for smoke runs.
-/// * `--faults TIER[:REPLICA]@FROM[-TO]` — crash one replica of `cmw` or
-///   `db` at `FROM` seconds, recovering at `TO` (permanent if omitted).
-///   Repeatable; comma-separated windows also accepted. Harnesses opt in
-///   via [`BenchArgs::apply_faults`], which re-validates the topology and
-///   surfaces a [`TopologyError`] instead of aborting deep in assembly.
-/// * `--metrics PATH[:WINDOW_MS]` — record the fine-grained windowed time
-///   series during each run and write one CSV per run next to `PATH`
-///   (see [`MetricsSink`]). Collection is passive: the printed tables are
-///   bit-identical with or without the flag.
-#[derive(Debug, Clone, Default)]
-pub struct BenchArgs {
-    /// `--hw` override.
-    pub hw: Option<HardwareConfig>,
-    /// `--soft` override.
-    pub soft: Option<SoftAllocation>,
-    /// `--users` override.
-    pub users: Option<Vec<u32>>,
-    /// `--quick` flag.
-    pub quick: bool,
-    /// `--faults` crash windows, in flag order.
-    pub faults: Vec<FaultFlag>,
-    /// `--metrics` CSV sink (window defaults to 100 ms).
-    pub metrics: Option<MetricsSink>,
-}
-
-/// One `--faults` crash window: which tier/replica goes down, and when.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FaultFlag {
-    /// Tier the window applies to.
-    pub tier: Tier,
-    /// Replica index within that tier.
-    pub replica: u16,
-    /// Crash instant, in seconds.
-    pub crash_at: f64,
-    /// Recovery instant, or `None` for a permanent crash.
-    pub recover_at: Option<f64>,
-}
-
-impl FaultFlag {
-    /// Parse one `TIER[:REPLICA]@FROM[-TO]` window, e.g. `cmw@60`,
-    /// `db:1@40-70`.
-    fn parse(spec: &str) -> Result<Self, String> {
-        let err = || format!("--faults '{spec}' must be TIER[:REPLICA]@FROM[-TO]");
-        let (target, window) = spec.split_once('@').ok_or_else(err)?;
-        let (tier_s, replica_s) = match target.split_once(':') {
-            Some((t, r)) => (t, Some(r)),
-            None => (target, None),
-        };
-        let tier = match tier_s.trim().to_ascii_lowercase().as_str() {
-            "web" => Tier::Web,
-            "app" => Tier::App,
-            "cmw" => Tier::Cmw,
-            "db" => Tier::Db,
-            other => return Err(format!("--faults: unknown tier '{other}' (web/app/cmw/db)")),
-        };
-        let replica: u16 = match replica_s {
-            Some(r) => r.trim().parse().map_err(|_| err())?,
-            None => 0,
-        };
-        let (from_s, to_s) = match window.split_once('-') {
-            Some((f, t)) => (f, Some(t)),
-            None => (window, None),
-        };
-        let crash_at: f64 = from_s.trim().parse().map_err(|_| err())?;
-        let recover_at = match to_s {
-            Some(t) => Some(t.trim().parse::<f64>().map_err(|_| err())?),
-            None => None,
-        };
-        Ok(FaultFlag {
-            tier,
-            replica,
-            crash_at,
-            recover_at,
-        })
-    }
-}
-
-impl BenchArgs {
-    /// Parse the process arguments; exits with a message on a malformed
-    /// flag (the only abort left at the CLI boundary — everything below it
-    /// returns `Result`).
-    pub fn parse() -> Self {
-        match Self::try_parse_from(std::env::args().skip(1)) {
-            Ok(out) => out,
-            Err(msg) => {
-                eprintln!("bench flags: {msg}");
-                std::process::exit(2);
-            }
-        }
-    }
-
-    /// Fallible parse. Unknown arguments (libtest passes some through) are
-    /// ignored; malformed values for known flags are returned as errors.
-    pub fn try_parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
-        let mut out = BenchArgs::default();
-        let mut args = args.into_iter();
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--hw" => match args.next().map(|v| v.parse()) {
-                    Some(Ok(hw)) => out.hw = Some(hw),
-                    Some(Err(e)) => return Err(e),
-                    None => return Err("--hw needs a value".into()),
-                },
-                "--soft" => match args.next().map(|v| v.parse()) {
-                    Some(Ok(soft)) => out.soft = Some(soft),
-                    Some(Err(e)) => return Err(e),
-                    None => return Err("--soft needs a value".into()),
-                },
-                "--users" => {
-                    let Some(v) = args.next() else {
-                        return Err("--users needs a value".into());
-                    };
-                    let list: Result<Vec<u32>, _> =
-                        v.split(',').map(|p| p.trim().parse::<u32>()).collect();
-                    match list {
-                        Ok(list) if !list.is_empty() => out.users = Some(list),
-                        _ => return Err(format!("--users '{v}' must be N[,N…]")),
-                    }
-                }
-                "--faults" => {
-                    let Some(v) = args.next() else {
-                        return Err("--faults needs a value".into());
-                    };
-                    for part in v.split(',') {
-                        out.faults.push(FaultFlag::parse(part.trim())?);
-                    }
-                }
-                "--metrics" => {
-                    let Some(v) = args.next() else {
-                        return Err("--metrics needs PATH[:WINDOW_MS]".into());
-                    };
-                    out.metrics = Some(MetricsSink::parse(&v)?);
-                }
-                "--quick" => out.quick = true,
-                _ => {}
-            }
-        }
-        Ok(out)
-    }
-
-    /// Attach the `--faults` crash windows to `topo` and re-validate,
-    /// surfacing scope violations (e.g. crashing a Web tier) as a
-    /// [`TopologyError`] rather than a panic at system assembly.
-    pub fn apply_faults(&self, topo: &mut Topology) -> Result<(), TopologyError> {
-        for f in &self.faults {
-            let Some(spec) = topo.tiers.iter_mut().find(|s| s.role == f.tier) else {
-                return Err(TopologyError::UnsupportedChain(format!(
-                    "--faults names a {} tier the chain does not have",
-                    f.tier
-                )));
-            };
-            let fault = std::mem::take(&mut spec.fault);
-            spec.fault = fault.with_crash(
-                f.replica,
-                SimTime::from_secs_f64(f.crash_at),
-                f.recover_at.map(SimTime::from_secs_f64),
-            );
-        }
-        topo.validate()
-    }
-
-    /// The figure's hardware unless overridden.
-    pub fn hw_or(&self, default: HardwareConfig) -> HardwareConfig {
-        self.hw.unwrap_or(default)
-    }
-
-    /// The figure's allocation unless overridden.
-    pub fn soft_or(&self, default: SoftAllocation) -> SoftAllocation {
-        self.soft.unwrap_or(default)
-    }
-
-    /// The figure's workload sweep unless overridden.
-    pub fn users_or(&self, default: Vec<u32>) -> Vec<u32> {
-        self.users.clone().unwrap_or(default)
-    }
-
-    /// Bench schedule, honoring `--quick`.
-    pub fn schedule(&self) -> Schedule {
-        if self.quick {
-            Schedule::Quick
-        } else {
-            Schedule::Default
-        }
-    }
-}
+pub use ntier_lab::{
+    run_plan, run_plan_with_store, ArtifactStore, BenchArgs, Executor, ExperimentPlan, FaultFlag,
+    PlanResults, RunPoint, Schedule, Variant,
+};
 
 /// Build one spec with the bench schedule. The configuration is expressed
 /// as an explicit [`Topology`] (the paper 4-tier chain for this
@@ -233,94 +41,99 @@ pub fn spec_scheduled(
     s
 }
 
-/// Run a workload sweep for one allocation.
-pub fn run_sweep(hw: HardwareConfig, soft: SoftAllocation, users: &[u32]) -> Vec<RunOutput> {
-    run_sweep_scheduled(hw, soft, users, Schedule::Default)
+/// Start a figure's experiment plan from the shared CLI flags: the bench
+/// schedule (honoring `--quick`) and, when `--metrics` was given, passive
+/// windowed collection at the sink's window. Add variants and the workload
+/// ramp, then run it with [`execute`].
+pub fn plan(name: &str, args: &BenchArgs) -> ExperimentPlan {
+    let mut p = ExperimentPlan::new(name).with_schedule(args.schedule());
+    if let Some(sink) = &args.metrics {
+        p = p.with_metrics(sink.config());
+    }
+    p
 }
 
-/// [`run_sweep`] with an explicit schedule (from [`BenchArgs::schedule`]).
-pub fn run_sweep_scheduled(
-    hw: HardwareConfig,
-    soft: SoftAllocation,
-    users: &[u32],
-    schedule: Schedule,
-) -> Vec<RunOutput> {
-    let specs: Vec<ExperimentSpec> = users
-        .iter()
-        .map(|&u| spec_scheduled(hw, soft, u, schedule))
-        .collect();
-    ntier_core::sweep(&specs)
-}
-
-/// [`run_sweep_scheduled`] with the CLI `--faults` crash windows attached
-/// to every spec's topology; exits with the [`TopologyError`] message when
-/// a flag is out of scope (e.g. crashing the web tier).
-pub fn run_sweep_args(
-    args: &BenchArgs,
-    hw: HardwareConfig,
-    soft: SoftAllocation,
-    users: &[u32],
-) -> Vec<RunOutput> {
+/// A paper-chain variant with the CLI `--faults` crash windows attached;
+/// exits with the [`tiers::TopologyError`] message when a flag is out of
+/// scope (e.g. crashing the web tier).
+pub fn variant(args: &BenchArgs, hw: HardwareConfig, soft: SoftAllocation) -> Variant {
     let mut topo = Topology::paper(hw, soft);
     if let Err(e) = args.apply_faults(&mut topo) {
         eprintln!("bench flags: {e}");
         std::process::exit(2);
     }
-    let specs: Vec<ExperimentSpec> = users
-        .iter()
-        .map(|&u| {
-            let mut s = ExperimentSpec::new(hw, soft, u).with_topology(topo.clone());
-            s.schedule = args.schedule();
-            s
-        })
-        .collect();
-    ntier_core::sweep(&specs)
+    Variant::paper(hw, soft).with_topology(topo)
 }
 
-/// When `--metrics` was given, re-run each sweep point with the windowed
-/// metrics pipeline enabled and write one CSV per point (suffix =
-/// `<label>-<users>`). The metered runs are bit-identical to the sweep the
-/// tables were printed from (passive collection), so the CSVs describe
-/// exactly the published numbers. Returns the metered series for harnesses
-/// that also want to diagnose them.
-pub fn dump_metrics_args(
-    args: &BenchArgs,
-    label: &str,
-    hw: HardwareConfig,
-    soft: SoftAllocation,
-    users: &[u32],
-) -> Vec<RunMetrics> {
-    let Some(sink) = &args.metrics else {
-        return Vec::new();
+/// Execute a plan with the shared CLI flags applied: `--threads` picks the
+/// worker count (all cores by default), `--store DIR` reuses points already
+/// in the artifact-store manifest, and `--metrics PATH[:WINDOW_MS]` writes
+/// one CSV of windowed time series per executed point. Exits with the error
+/// message when the store directory is unusable (CLI boundary — everything
+/// below returns `Result`).
+pub fn execute(args: &BenchArgs, plan: &ExperimentPlan) -> PlanResults {
+    let executor = args.executor();
+    let outcome = match &args.store {
+        Some(dir) => ArtifactStore::open(anchor(dir))
+            .and_then(|mut store| run_plan_with_store(plan, &executor, &mut store)),
+        None => Ok(run_plan(plan, &executor)),
     };
-    // Bench binaries run with the package dir as cwd; anchor relative paths
-    // at the workspace root so `--metrics target/m` lands where users look
-    // (same convention as `save_json`).
+    let results = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench store: {e}");
+            std::process::exit(2);
+        }
+    };
+    if results.skipped > 0 {
+        println!(
+            "[store: reused {} of {} points, executed {}]",
+            results.skipped,
+            results.points.len(),
+            results.executed
+        );
+    }
+    dump_metrics(args, &results);
+    results
+}
+
+/// When `--metrics` was given, write one CSV of windowed series per metered
+/// point (suffix = the point label with path-hostile characters mapped
+/// away). Collection is passive, so the CSVs describe exactly the published
+/// numbers.
+fn dump_metrics(args: &BenchArgs, results: &PlanResults) {
+    let Some(sink) = &args.metrics else {
+        return;
+    };
     let mut sink = sink.clone();
     if sink.path.is_relative() {
-        sink.path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(&sink.path);
+        sink.path = anchor(&sink.path);
     }
-    let mut out = Vec::new();
-    for &u in users {
-        let mut spec = spec_scheduled(hw, soft, u, args.schedule());
-        if let Some(topo) = spec.topology.as_mut() {
-            if let Err(e) = args.apply_faults(topo) {
-                eprintln!("bench flags: {e}");
-                std::process::exit(2);
-            }
-        }
-        let mut cfg = spec.to_config();
-        cfg.metrics = sink.config();
-        let (_, m) = run_system_metered(cfg);
-        match sink.write_csv_suffixed(&format!("{label}-{u}"), &m) {
+    for (point, m) in results.points.iter().zip(&results.metrics) {
+        let Some(m) = m else { continue };
+        let suffix: String = point
+            .label
+            .chars()
+            .map(|c| if c == '/' || c == '\\' { '-' } else { c })
+            .collect();
+        match sink.write_csv_suffixed(&suffix, m) {
             Ok(path) => println!("[saved {}]", path.display()),
             Err(e) => eprintln!("--metrics: cannot write {}: {e}", sink.path.display()),
         }
-        out.push(m);
     }
-    out
+}
+
+/// Bench binaries run with the package dir as cwd; anchor relative paths at
+/// the workspace root so `--store target/lab` and `--metrics target/m.csv`
+/// land where users look (same convention as [`save_json`]).
+fn anchor(path: &Path) -> PathBuf {
+    if path.is_relative() {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(path)
+    } else {
+        path.to_path_buf()
+    }
 }
 
 /// Print a header for a figure/table.
@@ -393,21 +206,6 @@ pub fn save_text(name: &str, contents: &str) {
     }
 }
 
-/// Extract the goodput series at the threshold nearest `secs`.
-pub fn goodput_series(runs: &[RunOutput], secs: f64) -> Vec<f64> {
-    runs.iter().map(|r| r.goodput_at(secs)).collect()
-}
-
-/// Extract total throughput series.
-pub fn throughput_series(runs: &[RunOutput]) -> Vec<f64> {
-    runs.iter().map(|r| r.throughput).collect()
-}
-
-/// Mean CPU utilization series of a tier (×100).
-pub fn tier_cpu_series(runs: &[RunOutput], tier: ntier_core::Tier) -> Vec<f64> {
-    runs.iter().map(|r| r.tier_cpu_util(tier) * 100.0).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,61 +217,6 @@ mod tests {
     }
 
     #[test]
-    fn try_parse_surfaces_errors_instead_of_aborting() {
-        let args = |list: &[&str]| BenchArgs::try_parse_from(list.iter().map(|s| s.to_string()));
-        assert!(args(&["--hw", "not-a-topology"]).is_err());
-        assert!(args(&["--soft"]).is_err());
-        assert!(args(&["--users", "a,b"]).is_err());
-        let ok = args(&["--hw", "1/2/1/2", "--quick", "--bench"]).expect("parses");
-        assert_eq!(ok.hw, Some(HardwareConfig::one_two_one_two()));
-        assert!(ok.quick);
-    }
-
-    #[test]
-    fn metrics_flag_parses_sink() {
-        let args = |list: &[&str]| BenchArgs::try_parse_from(list.iter().map(|s| s.to_string()));
-        let ok = args(&["--metrics", "out/fig2.csv:250"]).expect("parses");
-        let sink = ok.metrics.expect("sink present");
-        assert_eq!(sink.path, std::path::PathBuf::from("out/fig2.csv"));
-        assert_eq!(sink.window, SimTime::from_millis(250));
-        let ok = args(&["--metrics", "fig2.csv"]).expect("parses");
-        assert_eq!(ok.metrics.unwrap().window, SimTime::from_millis(100));
-        assert!(args(&["--metrics"]).is_err());
-        assert!(args(&["--metrics", "x.csv:0"]).is_err());
-    }
-
-    #[test]
-    fn fault_flag_parses_windows() {
-        let f = FaultFlag::parse("db:1@40-70").expect("parses");
-        assert_eq!(f.tier, Tier::Db);
-        assert_eq!(f.replica, 1);
-        assert_eq!(f.crash_at, 40.0);
-        assert_eq!(f.recover_at, Some(70.0));
-        let f = FaultFlag::parse("cmw@60").expect("parses");
-        assert_eq!((f.tier, f.replica, f.recover_at), (Tier::Cmw, 0, None));
-        assert!(FaultFlag::parse("disk@40").is_err());
-        assert!(FaultFlag::parse("db:1").is_err());
-    }
-
-    #[test]
-    fn apply_faults_validates_scope() {
-        let hw = HardwareConfig::one_two_one_two();
-        let soft = SoftAllocation::rule_of_thumb();
-        let args =
-            BenchArgs::try_parse_from(["--faults", "db:1@40-70"].iter().map(|s| s.to_string()))
-                .expect("parses");
-        let mut topo = Topology::paper(hw, soft);
-        args.apply_faults(&mut topo).expect("db crash is in scope");
-        assert_eq!(topo.tiers[3].fault.crashes.len(), 1);
-
-        // Crashing the web tier is out of scope → TopologyError, not a panic.
-        let bad = BenchArgs::try_parse_from(["--faults", "web@40"].iter().map(|s| s.to_string()))
-            .expect("parses");
-        let mut topo = Topology::paper(hw, soft);
-        assert!(bad.apply_faults(&mut topo).is_err());
-    }
-
-    #[test]
     fn spec_uses_bench_schedule() {
         let s = spec(
             HardwareConfig::one_two_one_two(),
@@ -482,5 +225,29 @@ mod tests {
         );
         assert_eq!(s.schedule, Schedule::Default);
         assert_eq!(s.users, 1000);
+    }
+
+    #[test]
+    fn plan_carries_schedule_and_metrics_flags() {
+        let args =
+            BenchArgs::try_parse_from(["--quick", "--metrics", "m.csv:250"].map(String::from))
+                .expect("parses");
+        let p = plan("t", &args);
+        assert_eq!(p.schedule, Schedule::Quick);
+        assert!(p.metrics.enabled());
+        assert_eq!(plan("t", &BenchArgs::default()).schedule, Schedule::Default);
+    }
+
+    #[test]
+    fn variant_attaches_fault_windows() {
+        let args = BenchArgs::try_parse_from(["--faults", "db:1@40-70"].map(String::from))
+            .expect("parses");
+        let v = variant(
+            &args,
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::rule_of_thumb(),
+        );
+        let topo = v.topology.expect("explicit chain");
+        assert_eq!(topo.tiers[3].fault.crashes.len(), 1);
     }
 }

@@ -1,6 +1,6 @@
 //! The experiment driver: the `RunExperiment(H, S, workload)` primitive of
-//! Algorithm 1, plus a thread-parallel sweep for the figure harnesses
-//! (serial when built without the `parallel` feature).
+//! Algorithm 1. (Grid sweeps live in `ntier-lab`: declare an
+//! `ExperimentPlan` and run it on an `Executor` instead of looping here.)
 //!
 //! The algorithm is written against the [`Testbed`] trait so it can drive
 //! either the full discrete-event simulator ([`SimTestbed`]) or the fast
@@ -236,60 +236,6 @@ pub fn run_experiment(spec: &ExperimentSpec) -> RunOutput {
 /// With `spec.trace == TraceConfig::Off` the trace is empty.
 pub fn run_experiment_traced(spec: &ExperimentSpec) -> (RunOutput, RunTrace) {
     run_system_traced(spec.to_config())
-}
-
-/// Map `items` through `f`, preserving input order.
-///
-/// With the `parallel` feature (default) the work is spread over
-/// `available_parallelism` scoped threads pulling from a shared queue; without
-/// it this is a plain serial map, so the crate builds and runs in minimal
-/// single-threaded environments. Each trial owns a deterministic seed, so the
-/// results are identical either way.
-fn ordered_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    use std::sync::Mutex;
-    let threads = if cfg!(feature = "parallel") {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(items.len())
-    } else {
-        1
-    };
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
-    let results = Mutex::new(slots);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop();
-                let Some((i, item)) = next else { break };
-                let r = f(item);
-                results.lock().expect("results lock")[i] = Some(r);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
-}
-
-/// Run many independent trials (thread-parallel by default), preserving input
-/// order. Each trial owns a deterministic seed, so the results are identical
-/// to a serial sweep.
-pub fn sweep(specs: &[ExperimentSpec]) -> Vec<RunOutput> {
-    ordered_map(specs.iter().collect(), run_experiment)
-}
-
-/// Run many pre-built system configurations, preserving order.
-pub fn sweep_configs(configs: Vec<SystemConfig>) -> Vec<RunOutput> {
-    ordered_map(configs, run_system)
 }
 
 /// The discrete-event simulator as a [`Testbed`].
@@ -583,30 +529,6 @@ mod tests {
         };
         assert!((log.jobs_per_server() - 12.0).abs() < 1e-12);
         assert!((log.total_jobs() - 24.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn sweep_preserves_order_and_matches_serial() {
-        let specs: Vec<ExperimentSpec> = [100u32, 200]
-            .iter()
-            .map(|&u| {
-                let mut s = ExperimentSpec::new(
-                    HardwareConfig::one_two_one_two(),
-                    SoftAllocation::new(50, 20, 10),
-                    u,
-                );
-                s.schedule = Schedule::Quick;
-                s
-            })
-            .collect();
-        let par = sweep(&specs);
-        let ser: Vec<_> = specs.iter().map(run_experiment).collect();
-        assert_eq!(par.len(), 2);
-        assert_eq!(par[0].users, 100);
-        assert_eq!(par[1].users, 200);
-        for (a, b) in par.iter().zip(&ser) {
-            assert_eq!(a.completed, b.completed, "parallel != serial");
-        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! A feedback-control / hill-climbing tuner — the "feedback-control
-//! approach" baseline from the paper's related work (§V, refs. [19]–[21]).
+//! approach" baseline from the paper's related work (§V, refs. \[19\]–\[21\]).
 //!
 //! The controller knows nothing about queueing laws: it repeatedly runs the
 //! system at a fixed workload and nudges one pool at a time, keeping changes

@@ -1,5 +1,5 @@
 //! Operational laws (Denning & Buzen, "The operational analysis of queueing
-//! network models" — the paper's reference [12]).
+//! network models" — the paper's reference \[12\]).
 //!
 //! These are distribution-free identities over measured quantities, which is
 //! exactly why the paper's algorithm can combine them with monitoring data:

@@ -14,8 +14,8 @@
 //!   Buzen), which the algorithm combines with measurements.
 //! * [`stats`] — Welch's two-sample t-test and the intervention analysis
 //!   used to find the saturation workload from SLO-satisfaction series.
-//! * [`experiment`] — `RunExperiment` (the driver Algorithm 1 calls), with a
-//!   thread-parallel sweep helper for the figure harnesses.
+//! * [`experiment`] — `RunExperiment` (the driver Algorithm 1 calls); grid
+//!   sweeps are declared as `ntier-lab` experiment plans.
 //! * [`algorithm`] — the three procedures of Algorithm 1:
 //!   `FindCriticalResource`, `InferMinConcurrentJobs`,
 //!   `CalculateMinAllocation`.
@@ -39,7 +39,7 @@ pub mod stats;
 pub mod strategies;
 
 pub use algorithm::{AlgorithmConfig, AlgorithmReport, SoftResourceTuner};
-pub use experiment::{run_experiment, run_experiment_traced, sweep, ExperimentSpec};
+pub use experiment::{run_experiment, run_experiment_traced, ExperimentSpec};
 pub use feedback::{feedback_tune, FeedbackConfig, FeedbackReport};
 pub use mva::{MvaModel, MvaSolution, Station};
 pub use notation::{parse_hardware, parse_soft, parse_spec};
@@ -47,11 +47,11 @@ pub use strategies::Strategy;
 
 // Re-export the simulator surface so downstream users need one import.
 pub use tiers::{
-    run_system, run_system_metered, run_system_to_drain, run_system_traced, try_run_system,
-    CrashWindow, Diagnosis, DiagnosisRules, DrainReport, FaultSpec, HardwareConfig, MetricsConfig,
-    MetricsSink, NodeDrain, NodeReport, Outcome, OutcomeTotals, RetryPolicy, RunMetrics, RunOutput,
-    RunTrace, SelectPolicy, ServiceParams, ShedPolicy, SlowWindow, SoftAllocation, SystemConfig,
-    Tier, TierId, TierSpec, Topology, TopologyError, MAX_TIERS,
+    run_system, run_system_full, run_system_metered, run_system_to_drain, run_system_traced,
+    try_run_system, CrashWindow, Diagnosis, DiagnosisRules, DrainReport, FaultSpec, HardwareConfig,
+    MetricsConfig, MetricsSink, NodeDrain, NodeReport, Outcome, OutcomeTotals, RetryPolicy,
+    RunMetrics, RunOutput, RunTrace, SelectPolicy, ServiceParams, ShedPolicy, SlowWindow,
+    SoftAllocation, SystemConfig, Tier, TierId, TierSpec, Topology, TopologyError, MAX_TIERS,
 };
 // And the tracing surface (config + exporters) for traced runs.
 pub use ntier_trace::TraceConfig;

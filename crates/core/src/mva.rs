@@ -1,6 +1,6 @@
 //! Exact Mean Value Analysis (MVA) for closed, single-class queueing
 //! networks — the "analytical model-based approach" of the paper's related
-//! work (§V, refs. [4][18]).
+//! work (§V, refs. \[4\]\[18\]).
 //!
 //! The paper argues such models "are typically hard to generalize" because
 //! they disregard multi-threading overheads (context switching, JVM GC) and

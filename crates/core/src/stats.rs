@@ -2,7 +2,7 @@
 //!
 //! The paper (§IV-B.2) finds the minimum saturating workload with a
 //! "statistical intervention analysis on the SLO-satisfaction of a system"
-//! (their reference [11], Malkowski et al., DSOM'07): the SLO-satisfaction
+//! (their reference \[11\], Malkowski et al., DSOM'07): the SLO-satisfaction
 //! is nearly constant under low workload and deteriorates significantly once
 //! the critical resource saturates. We detect that change point with a
 //! one-sided Welch two-sample t-test per candidate workload against the

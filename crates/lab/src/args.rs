@@ -1,0 +1,318 @@
+//! The shared experiment CLI: one parser for the flags every figure
+//! harness and example accepts, instead of a hand-rolled copy in each.
+//!
+//! Recognized flags (after `cargo bench --bench figN --` or
+//! `cargo run --example NAME --`):
+//!
+//! * `--hw #W/#A/#C/#D` — override the hardware configuration
+//!   (via `HardwareConfig::from_str`).
+//! * `--soft #W_T-#A_T-#A_C` — override an allocation where the harness
+//!   accepts one (via `SoftAllocation::from_str`).
+//! * `--users N[,N…]` — override the workload sweep points.
+//! * `--quick` — short trials (10 s ramp, 30 s window) for smoke runs.
+//! * `--threads N` — worker count for plan execution (default: one per
+//!   core; `1` forces a serial run).
+//! * `--store DIR` — resumable artifact store: points already in the
+//!   manifest are loaded instead of simulated.
+//! * `--faults TIER[:REPLICA]@FROM[-TO]` — crash one replica of `cmw` or
+//!   `db` at `FROM` seconds, recovering at `TO` (permanent if omitted).
+//!   Repeatable; comma-separated windows also accepted. Harnesses opt in
+//!   via [`BenchArgs::apply_faults`], which re-validates the topology and
+//!   surfaces a [`TopologyError`] instead of aborting deep in assembly.
+//! * `--metrics PATH[:WINDOW_MS]` — record the fine-grained windowed time
+//!   series during each run and write one CSV per run next to `PATH`
+//!   (see [`MetricsSink`]). Collection is passive: the printed tables are
+//!   bit-identical with or without the flag.
+//!
+//! Unknown arguments are collected into [`BenchArgs::rest`] (libtest passes
+//! some through to bench binaries; examples parse their extra flags from
+//! there), never treated as errors.
+
+use ntier_core::experiment::Schedule;
+use ntier_core::{HardwareConfig, MetricsSink, SoftAllocation, Tier, Topology, TopologyError};
+use simcore::SimTime;
+use std::path::PathBuf;
+
+use crate::executor::Executor;
+
+/// Parsed shared CLI flags.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--hw` override.
+    pub hw: Option<HardwareConfig>,
+    /// `--soft` override.
+    pub soft: Option<SoftAllocation>,
+    /// `--users` override.
+    pub users: Option<Vec<u32>>,
+    /// `--quick` flag.
+    pub quick: bool,
+    /// `--threads` worker-count override.
+    pub threads: Option<usize>,
+    /// `--store` artifact-store directory.
+    pub store: Option<PathBuf>,
+    /// `--faults` crash windows, in flag order.
+    pub faults: Vec<FaultFlag>,
+    /// `--metrics` CSV sink (window defaults to 100 ms).
+    pub metrics: Option<MetricsSink>,
+    /// Arguments this parser did not recognize, in order.
+    pub rest: Vec<String>,
+}
+
+/// One `--faults` crash window: which tier/replica goes down, and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultFlag {
+    /// Tier the window applies to.
+    pub tier: Tier,
+    /// Replica index within that tier.
+    pub replica: u16,
+    /// Crash instant, in seconds.
+    pub crash_at: f64,
+    /// Recovery instant, or `None` for a permanent crash.
+    pub recover_at: Option<f64>,
+}
+
+impl FaultFlag {
+    /// Parse one `TIER[:REPLICA]@FROM[-TO]` window, e.g. `cmw@60`,
+    /// `db:1@40-70`.
+    fn parse(spec: &str) -> Result<Self, String> {
+        let err = || format!("--faults '{spec}' must be TIER[:REPLICA]@FROM[-TO]");
+        let (target, window) = spec.split_once('@').ok_or_else(err)?;
+        let (tier_s, replica_s) = match target.split_once(':') {
+            Some((t, r)) => (t, Some(r)),
+            None => (target, None),
+        };
+        let tier = match tier_s.trim().to_ascii_lowercase().as_str() {
+            "web" => Tier::Web,
+            "app" => Tier::App,
+            "cmw" => Tier::Cmw,
+            "db" => Tier::Db,
+            other => return Err(format!("--faults: unknown tier '{other}' (web/app/cmw/db)")),
+        };
+        let replica: u16 = match replica_s {
+            Some(r) => r.trim().parse().map_err(|_| err())?,
+            None => 0,
+        };
+        let (from_s, to_s) = match window.split_once('-') {
+            Some((f, t)) => (f, Some(t)),
+            None => (window, None),
+        };
+        let crash_at: f64 = from_s.trim().parse().map_err(|_| err())?;
+        let recover_at = match to_s {
+            Some(t) => Some(t.trim().parse::<f64>().map_err(|_| err())?),
+            None => None,
+        };
+        Ok(FaultFlag {
+            tier,
+            replica,
+            crash_at,
+            recover_at,
+        })
+    }
+}
+
+impl BenchArgs {
+    /// Parse the process arguments; exits with a message on a malformed
+    /// flag (the only abort left at the CLI boundary — everything below it
+    /// returns `Result`).
+    pub fn parse() -> Self {
+        match Self::try_parse_from(std::env::args().skip(1)) {
+            Ok(out) => out,
+            Err(msg) => {
+                eprintln!("bench flags: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Fallible parse. Unknown arguments (libtest passes some through, and
+    /// examples define their own extras) are collected into `rest`;
+    /// malformed values for known flags are returned as errors.
+    pub fn try_parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = BenchArgs::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--hw" => match args.next().map(|v| v.parse()) {
+                    Some(Ok(hw)) => out.hw = Some(hw),
+                    Some(Err(e)) => return Err(e),
+                    None => return Err("--hw needs a value".into()),
+                },
+                "--soft" => match args.next().map(|v| v.parse()) {
+                    Some(Ok(soft)) => out.soft = Some(soft),
+                    Some(Err(e)) => return Err(e),
+                    None => return Err("--soft needs a value".into()),
+                },
+                "--users" => {
+                    let Some(v) = args.next() else {
+                        return Err("--users needs a value".into());
+                    };
+                    let list: Result<Vec<u32>, _> =
+                        v.split(',').map(|p| p.trim().parse::<u32>()).collect();
+                    match list {
+                        Ok(list) if !list.is_empty() => out.users = Some(list),
+                        _ => return Err(format!("--users '{v}' must be N[,N…]")),
+                    }
+                }
+                "--threads" => {
+                    let Some(v) = args.next() else {
+                        return Err("--threads needs a value".into());
+                    };
+                    match v.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => out.threads = Some(n),
+                        _ => return Err(format!("--threads '{v}' must be a count ≥ 1")),
+                    }
+                }
+                "--store" => {
+                    let Some(v) = args.next() else {
+                        return Err("--store needs a directory".into());
+                    };
+                    out.store = Some(PathBuf::from(v));
+                }
+                "--faults" => {
+                    let Some(v) = args.next() else {
+                        return Err("--faults needs a value".into());
+                    };
+                    for part in v.split(',') {
+                        out.faults.push(FaultFlag::parse(part.trim())?);
+                    }
+                }
+                "--metrics" => {
+                    let Some(v) = args.next() else {
+                        return Err("--metrics needs PATH[:WINDOW_MS]".into());
+                    };
+                    out.metrics = Some(MetricsSink::parse(&v)?);
+                }
+                "--quick" => out.quick = true,
+                _ => out.rest.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Attach the `--faults` crash windows to `topo` and re-validate,
+    /// surfacing scope violations (e.g. crashing a Web tier) as a
+    /// [`TopologyError`] rather than a panic at system assembly.
+    pub fn apply_faults(&self, topo: &mut Topology) -> Result<(), TopologyError> {
+        for f in &self.faults {
+            let Some(spec) = topo.tiers.iter_mut().find(|s| s.role == f.tier) else {
+                return Err(TopologyError::UnsupportedChain(format!(
+                    "--faults names a {} tier the chain does not have",
+                    f.tier
+                )));
+            };
+            let fault = std::mem::take(&mut spec.fault);
+            spec.fault = fault.with_crash(
+                f.replica,
+                SimTime::from_secs_f64(f.crash_at),
+                f.recover_at.map(SimTime::from_secs_f64),
+            );
+        }
+        topo.validate()
+    }
+
+    /// The harness's hardware unless overridden.
+    pub fn hw_or(&self, default: HardwareConfig) -> HardwareConfig {
+        self.hw.unwrap_or(default)
+    }
+
+    /// The harness's allocation unless overridden.
+    pub fn soft_or(&self, default: SoftAllocation) -> SoftAllocation {
+        self.soft.unwrap_or(default)
+    }
+
+    /// The harness's workload sweep unless overridden.
+    pub fn users_or(&self, default: Vec<u32>) -> Vec<u32> {
+        self.users.clone().unwrap_or(default)
+    }
+
+    /// Trial schedule, honoring `--quick`.
+    pub fn schedule(&self) -> Schedule {
+        if self.quick {
+            Schedule::Quick
+        } else {
+            Schedule::Default
+        }
+    }
+
+    /// Plan executor, honoring `--threads` (parallel over all cores by
+    /// default).
+    pub fn executor(&self) -> Executor {
+        match self.threads {
+            Some(n) => Executor::with_threads(n),
+            None => Executor::parallel(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(list: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::try_parse_from(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn try_parse_surfaces_errors_instead_of_aborting() {
+        assert!(parse(&["--hw", "not-a-topology"]).is_err());
+        assert!(parse(&["--soft"]).is_err());
+        assert!(parse(&["--users", "a,b"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        let ok = parse(&["--hw", "1/2/1/2", "--quick", "--bench"]).expect("parses");
+        assert_eq!(ok.hw, Some(HardwareConfig::one_two_one_two()));
+        assert!(ok.quick);
+        assert_eq!(ok.rest, vec!["--bench".to_string()]);
+    }
+
+    #[test]
+    fn threads_and_store_flags() {
+        let ok = parse(&["--threads", "4", "--store", "target/lab"]).expect("parses");
+        assert_eq!(ok.threads, Some(4));
+        assert_eq!(
+            ok.executor().threads(),
+            if cfg!(feature = "parallel") { 4 } else { 1 }
+        );
+        assert_eq!(ok.store, Some(PathBuf::from("target/lab")));
+        assert!(BenchArgs::default().executor().threads() >= 1);
+    }
+
+    #[test]
+    fn metrics_flag_parses_sink() {
+        let ok = parse(&["--metrics", "out/fig2.csv:250"]).expect("parses");
+        let sink = ok.metrics.expect("sink present");
+        assert_eq!(sink.path, PathBuf::from("out/fig2.csv"));
+        assert_eq!(sink.window, SimTime::from_millis(250));
+        let ok = parse(&["--metrics", "fig2.csv"]).expect("parses");
+        assert_eq!(ok.metrics.unwrap().window, SimTime::from_millis(100));
+        assert!(parse(&["--metrics"]).is_err());
+        assert!(parse(&["--metrics", "x.csv:0"]).is_err());
+    }
+
+    #[test]
+    fn fault_flag_parses_windows() {
+        let f = FaultFlag::parse("db:1@40-70").expect("parses");
+        assert_eq!(f.tier, Tier::Db);
+        assert_eq!(f.replica, 1);
+        assert_eq!(f.crash_at, 40.0);
+        assert_eq!(f.recover_at, Some(70.0));
+        let f = FaultFlag::parse("cmw@60").expect("parses");
+        assert_eq!((f.tier, f.replica, f.recover_at), (Tier::Cmw, 0, None));
+        assert!(FaultFlag::parse("disk@40").is_err());
+        assert!(FaultFlag::parse("db:1").is_err());
+    }
+
+    #[test]
+    fn apply_faults_validates_scope() {
+        let hw = HardwareConfig::one_two_one_two();
+        let soft = SoftAllocation::rule_of_thumb();
+        let args = parse(&["--faults", "db:1@40-70"]).expect("parses");
+        let mut topo = Topology::paper(hw, soft);
+        args.apply_faults(&mut topo).expect("db crash is in scope");
+        assert_eq!(topo.tiers[3].fault.crashes.len(), 1);
+
+        // Crashing the web tier is out of scope → TopologyError, not a panic.
+        let bad = parse(&["--faults", "web@40"]).expect("parses");
+        let mut topo = Topology::paper(hw, soft);
+        assert!(bad.apply_faults(&mut topo).is_err());
+    }
+}

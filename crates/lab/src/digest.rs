@@ -1,0 +1,179 @@
+//! FNV-1a digests over run results and experiment specs.
+//!
+//! Two uses: *content addressing* (a [`crate::plan::RunPoint`]'s digest is
+//! the hash of its fully resolved spec, so the artifact store can recognize
+//! already-executed points across processes) and *result fingerprinting*
+//! ([`digest_output`] hashes every semantic field of a [`RunOutput`], which
+//! is how the parallel executor proves bit-identity with a serial run).
+//!
+//! The output digest walks exactly the fields the golden fixtures in
+//! `tests/golden.rs` pin — names, counts, and float *bit patterns* — so any
+//! drift in event ordering, RNG draws, or float arithmetic is visible.
+
+use tiers::{NodeReport, PoolReport, RunOutput};
+
+/// FNV-1a 64-bit running digest.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Fresh digest at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorb raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Absorb one little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb one float as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Absorb a float slice, length-prefixed.
+    pub fn f64s(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    /// Absorb a string, length-prefixed.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn digest_pool(h: &mut Fnv64, p: &Option<PoolReport>) {
+    match p {
+        None => h.u64(0),
+        Some(p) => {
+            h.u64(1);
+            h.u64(p.capacity as u64);
+            h.f64(p.mean_occupancy);
+            h.f64(p.full_fraction);
+            h.f64(p.saturated_fraction);
+            h.f64(p.mean_wait_secs);
+            h.u64(p.waits);
+            h.f64s(&p.series);
+            h.u64(p.density.total());
+            for &c in p.density.counts() {
+                h.u64(c);
+            }
+        }
+    }
+}
+
+fn digest_node(h: &mut Fnv64, n: &NodeReport) {
+    h.str(&n.name);
+    h.f64(n.cpu_util);
+    h.f64(n.gc_fraction);
+    h.f64(n.gc_seconds);
+    h.u64(n.gc_collections);
+    h.f64s(&n.cpu_series);
+    digest_pool(h, &n.thread_pool);
+    digest_pool(h, &n.conn_pool);
+    h.f64(n.mean_rtt);
+    h.u64(n.completions);
+    h.f64(n.disk_util);
+}
+
+/// Digest every semantic field of one run result (same field walk as the
+/// golden fixtures).
+pub fn digest_output(out: &RunOutput) -> u64 {
+    let mut h = Fnv64::new();
+    absorb_output(&mut h, out);
+    h.finish()
+}
+
+/// Absorb one run result into a running digest.
+pub fn absorb_output(h: &mut Fnv64, out: &RunOutput) {
+    h.str(&out.label);
+    h.u64(out.users as u64);
+    h.f64(out.window_secs);
+    h.f64s(&out.sla_thresholds);
+    h.u64(out.completed);
+    h.f64(out.throughput);
+    h.f64s(&out.goodput);
+    h.f64s(&out.badput);
+    h.f64s(&out.satisfaction);
+    h.f64(out.mean_rt);
+    h.f64s(&out.rt_quantiles);
+    for &c in &out.rt_dist_counts {
+        h.u64(c);
+    }
+    h.f64s(&out.slo_samples);
+    h.f64s(&out.completed_per_sec);
+    h.u64(out.nodes.len() as u64);
+    for n in &out.nodes {
+        digest_node(h, n);
+    }
+    h.f64s(&out.apache_probes.processed_per_sec);
+    h.f64s(&out.apache_probes.pt_total_ms);
+    h.f64s(&out.apache_probes.pt_tomcat_ms);
+    h.f64s(&out.apache_probes.threads_active);
+    h.f64s(&out.apache_probes.threads_tomcat);
+    h.u64(out.events_processed);
+}
+
+/// Combined digest of a result sequence (order-sensitive).
+pub fn digest_outputs<'a>(outputs: impl IntoIterator<Item = &'a RunOutput>) -> u64 {
+    let mut h = Fnv64::new();
+    for out in outputs {
+        absorb_output(&mut h, out);
+    }
+    h.finish()
+}
+
+/// Digest of a raw string (trace JSONL, rendered tables).
+pub fn digest_str(s: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.bytes(s.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a 64 test vectors ("" and "a") from the FNV reference code.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest_str("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest_str("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.u64(1);
+        a.u64(2);
+        let mut b = Fnv64::new();
+        b.u64(2);
+        b.u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ntier-lab — declarative experiment plans and the parallel run engine
+//!
+//! Every figure of the paper is a *grid*: topology × soft-resource
+//! allocation × workload level. This crate is the single path such grids
+//! run through:
+//!
+//! 1. **Declare** — an [`ExperimentPlan`] names the grid: [`Variant`]s
+//!    (topology, allocation, fault schedule, retry policy) crossed with a
+//!    workload ramp under one schedule/seed/trace/metrics configuration.
+//! 2. **Expand** — [`ExperimentPlan::expand`] deterministically resolves
+//!    the grid into content-addressed [`RunPoint`]s (the FNV-1a digest of
+//!    each fully resolved spec).
+//! 3. **Execute** — [`run_plan`] maps the points over a work-stealing
+//!    scoped-thread [`Executor`]; per-point RNG seeds and index-ordered
+//!    result merging make a parallel run **bit-identical** to a serial one.
+//! 4. **Persist / resume** — [`run_plan_with_store`] keeps a
+//!    manifest-backed [`ArtifactStore`] (JSONL + digests): re-executing a
+//!    plan skips every point whose content address is already in the
+//!    manifest and reloads its persisted output losslessly.
+//!
+//! [`PlanResults`] feeds the existing consumers: goodput/throughput/CPU
+//! series for the figure tables, [`metrics::Diagnosis::of_sweep`] via
+//! [`PlanResults::diagnose_variant`], and per-request traces for the span
+//! summaries. The shared [`BenchArgs`] parser gives every harness and
+//! example the same `--hw/--soft/--users/--quick/--threads/--store/
+//! --faults/--metrics` surface.
+
+pub mod args;
+pub mod digest;
+pub mod executor;
+pub mod plan;
+pub mod runner;
+pub mod store;
+
+pub use args::{BenchArgs, FaultFlag};
+pub use digest::{digest_output, digest_outputs, digest_str, Fnv64};
+pub use executor::Executor;
+pub use plan::{spec_json, ExperimentPlan, RunPoint, Variant};
+pub use runner::{run_plan, run_plan_with_store, PlanResults};
+pub use store::{ArtifactStore, ManifestEntry};
+
+// One-import convenience for harnesses: the experiment surface underneath.
+pub use ntier_core::experiment::Schedule;

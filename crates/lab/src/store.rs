@@ -1,0 +1,259 @@
+//! Manifest-backed artifact store for executed run points.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/manifest.jsonl          one line per executed point
+//! <dir>/point-<digest>.json     full RunOutput of that point
+//! ```
+//!
+//! Each manifest line records the point's content address, its label, and
+//! the digest of the result it produced. Opening a store replays the
+//! manifest, so a resumed plan recognizes every point that already ran —
+//! across processes — and loads its persisted output instead of simulating
+//! it again. Outputs round-trip losslessly (see `tiers::persist`), so a
+//! resumed plan's combined digest is bit-identical to a fresh one.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use ntier_trace::json::{obj, Json};
+use tiers::{output_from_json, output_to_json, RunOutput};
+
+use crate::digest::digest_output;
+use crate::plan::RunPoint;
+
+/// One manifest entry.
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    /// Content address of the point.
+    pub digest: u64,
+    /// Point label at execution time (informational).
+    pub label: String,
+    /// Digest of the persisted output.
+    pub output_digest: u64,
+    /// Result file name, relative to the store directory.
+    pub file: String,
+}
+
+/// A directory of executed run points with a JSONL manifest.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    entries: HashMap<u64, ManifestEntry>,
+}
+
+impl ArtifactStore {
+    /// Open (creating if necessary) the store at `dir` and replay its
+    /// manifest. Corrupt manifest lines are an error, not a skip — a store
+    /// that cannot be trusted must not silently drop completed work.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut entries = HashMap::new();
+        let manifest = dir.join("manifest.jsonl");
+        if manifest.exists() {
+            for (i, line) in fs::read_to_string(&manifest)?.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let entry = parse_entry(line).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}:{}: {e}", manifest.display(), i + 1),
+                    )
+                })?;
+                entries.insert(entry.digest, entry);
+            }
+        }
+        Ok(ArtifactStore { dir, entries })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of persisted points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a point with this content address has already been executed.
+    pub fn contains(&self, digest: u64) -> bool {
+        self.entries.contains_key(&digest)
+    }
+
+    /// Manifest entry for a content address.
+    pub fn entry(&self, digest: u64) -> Option<&ManifestEntry> {
+        self.entries.get(&digest)
+    }
+
+    /// Load the persisted output of a point, verifying that the stored
+    /// bytes still hash to the manifest's output digest.
+    pub fn load(&self, digest: u64) -> io::Result<RunOutput> {
+        let entry = self.entries.get(&digest).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("point {digest:016x} not in manifest"),
+            )
+        })?;
+        let path = self.dir.join(&entry.file);
+        let text = fs::read_to_string(&path)?;
+        let json =
+            Json::parse(&text).map_err(|e| bad_data(&path, &format!("invalid JSON: {e}")))?;
+        let out = output_from_json(&json)
+            .map_err(|e| bad_data(&path, &format!("invalid output: {e}")))?;
+        let got = digest_output(&out);
+        if got != entry.output_digest {
+            return Err(bad_data(
+                &path,
+                &format!(
+                    "output digest {got:016x} does not match manifest {:016x}",
+                    entry.output_digest
+                ),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Persist one executed point: write its output file, then append the
+    /// manifest line (write order makes a torn append detectable — the
+    /// output file always exists for every manifest line).
+    pub fn save(&mut self, point: &RunPoint, out: &RunOutput) -> io::Result<()> {
+        let file = format!("point-{}.json", point.digest_hex());
+        fs::write(self.dir.join(&file), output_to_json(out).to_pretty())?;
+        let entry = ManifestEntry {
+            digest: point.digest,
+            label: point.label.clone(),
+            output_digest: digest_output(out),
+            file,
+        };
+        let line = obj([
+            ("digest", Json::Str(format!("{:016x}", entry.digest))),
+            ("label", Json::Str(entry.label.clone())),
+            (
+                "output_digest",
+                Json::Str(format!("{:016x}", entry.output_digest)),
+            ),
+            ("file", Json::Str(entry.file.clone())),
+        ])
+        .to_compact();
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join("manifest.jsonl"))?;
+        writeln!(f, "{line}")?;
+        self.entries.insert(entry.digest, entry);
+        Ok(())
+    }
+}
+
+fn bad_data(path: &Path, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {msg}", path.display()),
+    )
+}
+
+fn parse_entry(line: &str) -> Result<ManifestEntry, String> {
+    let v = Json::parse(line)?;
+    let hex = |key: &str| -> Result<u64, String> {
+        let s = v
+            .get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing '{key}'"))?;
+        u64::from_str_radix(s, 16).map_err(|_| format!("'{key}' is not a hex digest"))
+    };
+    Ok(ManifestEntry {
+        digest: hex("digest")?,
+        label: v
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("missing 'label'")?
+            .to_owned(),
+        output_digest: hex("output_digest")?,
+        file: v
+            .get("file")
+            .and_then(Json::as_str)
+            .ok_or("missing 'file'")?
+            .to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ExperimentPlan, Variant};
+    use ntier_core::experiment::Schedule;
+    use ntier_core::run_experiment;
+    use tiers::{HardwareConfig, SoftAllocation};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ntier-lab-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn one_point() -> (RunPoint, RunOutput) {
+        let plan = ExperimentPlan::new("t")
+            .with_variant(Variant::paper(
+                HardwareConfig::one_two_one_two(),
+                SoftAllocation::new(50, 20, 10),
+            ))
+            .with_users([150u32])
+            .with_schedule(Schedule::Quick);
+        let point = plan.expand().remove(0);
+        let out = run_experiment(&point.spec);
+        (point, out)
+    }
+
+    #[test]
+    fn save_load_round_trips_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        let (point, out) = one_point();
+        {
+            let mut store = ArtifactStore::open(&dir).expect("opens");
+            assert!(store.is_empty());
+            assert!(!store.contains(point.digest));
+            store.save(&point, &out).expect("saves");
+            assert!(store.contains(point.digest));
+        }
+        // A fresh process sees the persisted point and loads it bit-exactly.
+        let store = ArtifactStore::open(&dir).expect("reopens");
+        assert_eq!(store.len(), 1);
+        let back = store.load(point.digest).expect("loads");
+        assert_eq!(digest_output(&back), digest_output(&out));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_detects_tampered_output() {
+        let dir = temp_dir("tamper");
+        let (point, out) = one_point();
+        let mut store = ArtifactStore::open(&dir).expect("opens");
+        store.save(&point, &out).expect("saves");
+        let file = dir.join(format!("point-{}.json", point.digest_hex()));
+        let text = fs::read_to_string(&file).expect("reads");
+        fs::write(&file, text.replacen("\"completed\"", "\"completedX\"", 1)).expect("writes");
+        assert!(store.load(point.digest).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join("manifest.jsonl"), "not json\n").expect("writes");
+        assert!(ArtifactStore::open(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

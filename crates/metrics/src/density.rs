@@ -77,6 +77,13 @@ impl UtilDensity {
     pub fn counts(&self) -> &[u64; BINS] {
         &self.counts
     }
+
+    /// Rebuild a density from raw bin counts (the inverse of
+    /// [`counts`](Self::counts) — used when deserializing persisted run reports).
+    pub fn from_counts(counts: [u64; BINS]) -> Self {
+        let total = counts.iter().sum();
+        UtilDensity { counts, total }
+    }
 }
 
 impl Default for UtilDensity {

@@ -18,7 +18,7 @@
 //! * [`RevenueModel`] — the §II-B stepped SLA revenue schedule (earnings for
 //!   compliance minus penalties for violations).
 //! * [`BottleneckDetector`] — the multi-bottleneck classifier (stable vs
-//!   oscillatory saturation; the paper's excluded case, ref. [9]).
+//!   oscillatory saturation; the paper's excluded case, ref. \[9\]).
 //! * [`MetricsRegistry`] / [`RunMetrics`] — the fine-grained windowed
 //!   metrics pipeline (`ntier-metrics-ts`): per-replica CPU/GC/pool/linger
 //!   series and client counters at a configurable window (default 100 ms).

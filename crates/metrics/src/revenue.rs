@@ -8,7 +8,7 @@
 //!
 //! The paper works with the *simplified* model (a single threshold splitting
 //! goodput from badput); this module implements the general stepped model of
-//! their earlier work ([1], CloudXplor) so revenue-based comparisons between
+//! their earlier work (\[1\], CloudXplor) so revenue-based comparisons between
 //! allocations are possible: a request earns `earn(rt)` from a descending
 //! step schedule and incurs `penalty` beyond the last step.
 

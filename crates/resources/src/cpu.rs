@@ -14,7 +14,7 @@
 //! Because all jobs progress at the same instantaneous rate, we track one
 //! *virtual clock* `V(t)` with `dV/dt = rate(t)` and give each job a fixed
 //! virtual finish tag `F = V(t_submit) + demand`. Jobs complete in tag order.
-//! [`PsCpu::advance`] walks time piecewise from one completion instant to the
+//! `PsCpu::advance` walks time piecewise from one completion instant to the
 //! next, so the sharing population is always exact regardless of when the host
 //! collects finished jobs — a job that has finished never slows the others.
 //!

@@ -1,0 +1,342 @@
+//! Lossless JSON round-trip for [`RunOutput`] — the persistence format of
+//! the `ntier-lab` artifact store.
+//!
+//! Every semantic field survives a `to_json` → render → [`Json::parse`] →
+//! [`output_from_json`] cycle *bit for bit*: finite floats rely on Rust's
+//! shortest-round-trip `Display`, and non-finite values (a `NaN` mean over
+//! an empty window, say) are encoded as the strings `"NaN"` / `"inf"` /
+//! `"-inf"` rather than JSON's lossy `null`. Resuming an experiment plan
+//! from a manifest therefore reproduces exactly the digests a fresh run
+//! would produce.
+
+use metrics::density::BINS;
+use metrics::UtilDensity;
+use ntier_trace::json::{obj, Json};
+
+use crate::fault::OutcomeTotals;
+use crate::ids::Tier;
+use crate::output::{ApacheProbes, NodeReport, PoolReport, RunOutput};
+
+/// Encode one float losslessly (non-finite values become tagged strings).
+fn f(x: f64) -> Json {
+    if x.is_finite() {
+        Json::Num(x)
+    } else if x.is_nan() {
+        Json::Str("NaN".into())
+    } else if x > 0.0 {
+        Json::Str("inf".into())
+    } else {
+        Json::Str("-inf".into())
+    }
+}
+
+fn fs(xs: &[f64]) -> Json {
+    Json::Arr(xs.iter().map(|&x| f(x)).collect())
+}
+
+fn us(xs: &[u64]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::UInt(x)).collect())
+}
+
+fn pool(p: &Option<PoolReport>) -> Json {
+    match p {
+        None => Json::Null,
+        Some(p) => obj([
+            ("capacity", Json::UInt(p.capacity as u64)),
+            ("mean_occupancy", f(p.mean_occupancy)),
+            ("full_fraction", f(p.full_fraction)),
+            ("saturated_fraction", f(p.saturated_fraction)),
+            ("mean_wait_secs", f(p.mean_wait_secs)),
+            ("waits", Json::UInt(p.waits)),
+            ("cancelled", Json::UInt(p.cancelled)),
+            ("series", fs(&p.series)),
+            ("density", us(p.density.counts())),
+        ]),
+    }
+}
+
+fn node(n: &NodeReport) -> Json {
+    obj([
+        ("tier", Json::UInt(tier_code(n.tier))),
+        ("tier_id", Json::UInt(n.tier_id as u64)),
+        ("idx", Json::UInt(n.idx as u64)),
+        ("name", Json::Str(n.name.clone())),
+        ("cpu_util", f(n.cpu_util)),
+        ("gc_fraction", f(n.gc_fraction)),
+        ("gc_seconds", f(n.gc_seconds)),
+        ("gc_collections", Json::UInt(n.gc_collections)),
+        ("cpu_series", fs(&n.cpu_series)),
+        ("thread_pool", pool(&n.thread_pool)),
+        ("conn_pool", pool(&n.conn_pool)),
+        ("mean_rtt", f(n.mean_rtt)),
+        ("completions", Json::UInt(n.completions)),
+        ("disk_util", f(n.disk_util)),
+    ])
+}
+
+fn tier_code(t: Tier) -> u64 {
+    match t {
+        Tier::Web => 0,
+        Tier::App => 1,
+        Tier::Cmw => 2,
+        Tier::Db => 3,
+    }
+}
+
+fn tier_from_code(c: u64) -> Result<Tier, String> {
+    Ok(match c {
+        0 => Tier::Web,
+        1 => Tier::App,
+        2 => Tier::Cmw,
+        3 => Tier::Db,
+        _ => return Err(format!("unknown tier code {c}")),
+    })
+}
+
+/// Serialize a full run report.
+pub fn output_to_json(out: &RunOutput) -> Json {
+    obj([
+        ("label", Json::Str(out.label.clone())),
+        ("users", Json::UInt(out.users as u64)),
+        ("window_secs", f(out.window_secs)),
+        ("sla_thresholds", fs(&out.sla_thresholds)),
+        ("completed", Json::UInt(out.completed)),
+        ("throughput", f(out.throughput)),
+        ("goodput", fs(&out.goodput)),
+        ("badput", fs(&out.badput)),
+        ("satisfaction", fs(&out.satisfaction)),
+        ("mean_rt", f(out.mean_rt)),
+        ("rt_quantiles", fs(&out.rt_quantiles)),
+        ("rt_dist_counts", us(&out.rt_dist_counts)),
+        ("slo_samples", fs(&out.slo_samples)),
+        ("completed_per_sec", fs(&out.completed_per_sec)),
+        ("nodes", Json::Arr(out.nodes.iter().map(node).collect())),
+        (
+            "apache_probes",
+            obj([
+                (
+                    "processed_per_sec",
+                    fs(&out.apache_probes.processed_per_sec),
+                ),
+                ("pt_total_ms", fs(&out.apache_probes.pt_total_ms)),
+                ("pt_tomcat_ms", fs(&out.apache_probes.pt_tomcat_ms)),
+                ("threads_active", fs(&out.apache_probes.threads_active)),
+                ("threads_tomcat", fs(&out.apache_probes.threads_tomcat)),
+            ]),
+        ),
+        ("events_processed", Json::UInt(out.events_processed)),
+        (
+            "outcomes",
+            obj([
+                ("completed", Json::UInt(out.outcomes.completed)),
+                ("timed_out", Json::UInt(out.outcomes.timed_out)),
+                ("shed", Json::UInt(out.outcomes.shed)),
+                ("failed", Json::UInt(out.outcomes.failed)),
+                ("retries", Json::UInt(out.outcomes.retries)),
+            ]),
+        ),
+        ("availability", f(out.availability)),
+    ])
+}
+
+fn want<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn get_f(v: &Json, key: &str) -> Result<f64, String> {
+    float_of(want(v, key)?).map_err(|e| format!("field '{key}': {e}"))
+}
+
+fn float_of(v: &Json) -> Result<f64, String> {
+    if let Some(x) = v.as_f64() {
+        return Ok(x);
+    }
+    match v.as_str() {
+        Some("NaN") => Ok(f64::NAN),
+        Some("inf") => Ok(f64::INFINITY),
+        Some("-inf") => Ok(f64::NEG_INFINITY),
+        _ => Err(format!("not a float: {}", v.to_compact())),
+    }
+}
+
+fn get_u(v: &Json, key: &str) -> Result<u64, String> {
+    want(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field '{key}' is not an unsigned integer"))
+}
+
+fn get_fs(v: &Json, key: &str) -> Result<Vec<f64>, String> {
+    want(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field '{key}' is not an array"))?
+        .iter()
+        .map(float_of)
+        .collect::<Result<Vec<f64>, String>>()
+        .map_err(|e| format!("field '{key}': {e}"))
+}
+
+fn get_us(v: &Json, key: &str) -> Result<Vec<u64>, String> {
+    want(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field '{key}' is not an array"))?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| format!("field '{key}': not u64")))
+        .collect()
+}
+
+fn get_str(v: &Json, key: &str) -> Result<String, String> {
+    Ok(want(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field '{key}' is not a string"))?
+        .to_owned())
+}
+
+fn pool_from(v: &Json) -> Result<Option<PoolReport>, String> {
+    if *v == Json::Null {
+        return Ok(None);
+    }
+    let density_counts = get_us(v, "density")?;
+    if density_counts.len() != BINS {
+        return Err(format!(
+            "density has {} bins, want {BINS}",
+            density_counts.len()
+        ));
+    }
+    let mut counts = [0u64; BINS];
+    counts.copy_from_slice(&density_counts);
+    Ok(Some(PoolReport {
+        capacity: get_u(v, "capacity")? as usize,
+        mean_occupancy: get_f(v, "mean_occupancy")?,
+        full_fraction: get_f(v, "full_fraction")?,
+        saturated_fraction: get_f(v, "saturated_fraction")?,
+        mean_wait_secs: get_f(v, "mean_wait_secs")?,
+        waits: get_u(v, "waits")?,
+        cancelled: get_u(v, "cancelled")?,
+        series: get_fs(v, "series")?,
+        density: UtilDensity::from_counts(counts),
+    }))
+}
+
+fn node_from(v: &Json) -> Result<NodeReport, String> {
+    Ok(NodeReport {
+        tier: tier_from_code(get_u(v, "tier")?)?,
+        tier_id: get_u(v, "tier_id")? as usize,
+        idx: get_u(v, "idx")? as u16,
+        name: get_str(v, "name")?,
+        cpu_util: get_f(v, "cpu_util")?,
+        gc_fraction: get_f(v, "gc_fraction")?,
+        gc_seconds: get_f(v, "gc_seconds")?,
+        gc_collections: get_u(v, "gc_collections")?,
+        cpu_series: get_fs(v, "cpu_series")?,
+        thread_pool: pool_from(want(v, "thread_pool")?)?,
+        conn_pool: pool_from(want(v, "conn_pool")?)?,
+        mean_rtt: get_f(v, "mean_rtt")?,
+        completions: get_u(v, "completions")?,
+        disk_util: get_f(v, "disk_util")?,
+    })
+}
+
+/// Rebuild a full run report from its JSON form.
+pub fn output_from_json(v: &Json) -> Result<RunOutput, String> {
+    let rtq = get_fs(v, "rt_quantiles")?;
+    if rtq.len() != 3 {
+        return Err(format!("rt_quantiles has {} entries, want 3", rtq.len()));
+    }
+    let dist = get_us(v, "rt_dist_counts")?;
+    if dist.len() != 8 {
+        return Err(format!("rt_dist_counts has {} entries, want 8", dist.len()));
+    }
+    let mut rt_dist_counts = [0u64; 8];
+    rt_dist_counts.copy_from_slice(&dist);
+    let probes = want(v, "apache_probes")?;
+    let outcomes = want(v, "outcomes")?;
+    Ok(RunOutput {
+        label: get_str(v, "label")?,
+        users: get_u(v, "users")? as u32,
+        window_secs: get_f(v, "window_secs")?,
+        sla_thresholds: get_fs(v, "sla_thresholds")?,
+        completed: get_u(v, "completed")?,
+        throughput: get_f(v, "throughput")?,
+        goodput: get_fs(v, "goodput")?,
+        badput: get_fs(v, "badput")?,
+        satisfaction: get_fs(v, "satisfaction")?,
+        mean_rt: get_f(v, "mean_rt")?,
+        rt_quantiles: [rtq[0], rtq[1], rtq[2]],
+        rt_dist_counts,
+        slo_samples: get_fs(v, "slo_samples")?,
+        completed_per_sec: get_fs(v, "completed_per_sec")?,
+        nodes: want(v, "nodes")?
+            .as_arr()
+            .ok_or_else(|| "field 'nodes' is not an array".to_string())?
+            .iter()
+            .map(node_from)
+            .collect::<Result<Vec<NodeReport>, String>>()?,
+        apache_probes: ApacheProbes {
+            processed_per_sec: get_fs(probes, "processed_per_sec")?,
+            pt_total_ms: get_fs(probes, "pt_total_ms")?,
+            pt_tomcat_ms: get_fs(probes, "pt_tomcat_ms")?,
+            threads_active: get_fs(probes, "threads_active")?,
+            threads_tomcat: get_fs(probes, "threads_tomcat")?,
+        },
+        events_processed: get_u(v, "events_processed")?,
+        outcomes: OutcomeTotals {
+            completed: get_u(outcomes, "completed")?,
+            timed_out: get_u(outcomes, "timed_out")?,
+            shed: get_u(outcomes, "shed")?,
+            failed: get_u(outcomes, "failed")?,
+            retries: get_u(outcomes, "retries")?,
+        },
+        availability: get_f(v, "availability")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HardwareConfig, SoftAllocation, SystemConfig};
+    use crate::system::run_system;
+    use workload::WorkloadConfig;
+
+    fn sample_output() -> RunOutput {
+        let mut cfg = SystemConfig::new(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::new(50, 20, 10),
+            200,
+        );
+        cfg.workload = WorkloadConfig::quick(200);
+        run_system(cfg)
+    }
+
+    fn assert_outputs_equal(a: &RunOutput, b: &RunOutput) {
+        // Debug formatting covers every field (including float payloads via
+        // the default {:?} shortest-round-trip rendering), so string equality
+        // here is full structural equality.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn output_round_trips_through_compact_json() {
+        let out = sample_output();
+        let text = output_to_json(&out).to_compact();
+        let back = output_from_json(&Json::parse(&text).expect("parses")).expect("decodes");
+        assert_outputs_equal(&out, &back);
+    }
+
+    #[test]
+    fn non_finite_floats_survive() {
+        let mut out = sample_output();
+        out.mean_rt = f64::NAN;
+        out.slo_samples = vec![1.0, f64::INFINITY, f64::NEG_INFINITY];
+        let text = output_to_json(&out).to_compact();
+        let back = output_from_json(&Json::parse(&text).expect("parses")).expect("decodes");
+        assert!(back.mean_rt.is_nan());
+        assert_eq!(back.slo_samples[1], f64::INFINITY);
+        assert_eq!(back.slo_samples[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn decode_reports_missing_fields() {
+        let err = output_from_json(&Json::parse("{}").expect("parses")).expect_err("fails");
+        assert!(err.contains("rt_quantiles"), "{err}");
+    }
+}

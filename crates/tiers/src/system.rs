@@ -905,129 +905,10 @@ impl Ctx {
         node.cpu.unfreeze(now);
         self.reschedule_cpu(ni, now, q);
     }
-
-    // ------------------------------------------------------------------
-    // monitoring
-    // ------------------------------------------------------------------
-
-    fn sample_all(&mut self, now: SimTime) {
-        for ni in 0..self.nodes.len() {
-            self.nodes[ni].sample(now);
-        }
-        let front_base = self.links[0].base;
-        for (i, probe) in self.probes.iter_mut().enumerate() {
-            let pool = self.nodes[front_base + i].pool.as_ref().expect("workers");
-            probe.threads_active.push(pool.in_use() as f64);
-            probe.threads_tomcat.push(probe.interacting as f64);
-        }
-    }
-
-    fn on_sample(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
-        self.sample_all(now);
-        // The final sample of the window is taken by EndMeasure itself.
-        if now + SimTime::from_secs(1) < self.measure_end {
-            q.schedule(now + SimTime::from_secs(1), Ev::Sample);
-        }
-    }
-
-    fn on_begin_measure(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
-        self.measuring = true;
-        for node in &mut self.nodes {
-            node.begin_measurement(now);
-        }
-        if self.metrics.is_some() {
-            let width = self.cfg.metrics.window().expect("metrics enabled");
-            for node in &mut self.nodes {
-                node.enable_metrics(now, width);
-            }
-        }
-        q.schedule(now + SimTime::from_secs(1), Ev::Sample);
-    }
-
-    fn on_end_measure(&mut self, now: SimTime) {
-        self.measuring = false;
-        self.sample_all(now);
-        let mut reports = Vec::with_capacity(self.nodes.len());
-        for node in &mut self.nodes {
-            reports.push(node.report(now));
-        }
-        self.final_nodes = reports;
-        if let Some(mut registry) = self.metrics.take() {
-            let n = registry.n_windows();
-            for node in &mut self.nodes {
-                if let Some(series) = node.collect_metrics(now, n) {
-                    registry.push_replica(series);
-                }
-            }
-            self.metrics_out = Some(Box::new(registry.finish()));
-        }
-        let window_buckets = self.cfg.workload.runtime.as_secs_f64() as usize;
-        let probe = &self.probes[0];
-        let trim = |v: &[f64]| -> Vec<f64> { v.iter().copied().take(window_buckets).collect() };
-        self.final_probes = Some(ApacheProbes {
-            processed_per_sec: trim(probe.processed.buckets()),
-            pt_total_ms: trim(&ApacheProbe::means(
-                &probe.pt_total_sum,
-                &probe.pt_total_cnt,
-            )),
-            pt_tomcat_ms: trim(&ApacheProbe::means(
-                &probe.pt_tomcat_sum,
-                &probe.pt_tomcat_cnt,
-            )),
-            threads_active: trim(&probe.threads_active),
-            threads_tomcat: trim(&probe.threads_tomcat),
-        });
-    }
-
-    /// Build the run summary (call after the trial finished).
-    fn into_output(self, events_processed: u64) -> RunOutput {
-        let window = self.cfg.workload.runtime.as_secs_f64();
-        let t = &self.telemetry;
-        let n_thresholds = self.cfg.sla_thresholds.len();
-        let goodput: Vec<f64> = (0..n_thresholds)
-            .map(|i| t.sla.goodput(i, window))
-            .collect();
-        let badput: Vec<f64> = (0..n_thresholds).map(|i| t.sla.badput(i, window)).collect();
-        let satisfaction: Vec<f64> = (0..n_thresholds).map(|i| t.sla.satisfaction(i)).collect();
-        let q = |p: f64| t.rt_hist.quantile(p).unwrap_or(0.0);
-        let window_buckets = window as usize;
-        // Window-scoped outcomes; retries are only observable at the client,
-        // so the full-trial count is reported.
-        let mut outcomes = t.outcomes;
-        outcomes.retries = self.outcomes.retries;
-        let availability = t.sla.availability();
-        RunOutput {
-            label: self.cfg.label(),
-            users: self.cfg.workload.users,
-            window_secs: window,
-            sla_thresholds: self.cfg.sla_thresholds.clone(),
-            completed: t.sla.total() - t.sla.errors(),
-            throughput: t.sla.throughput(window),
-            goodput,
-            badput,
-            satisfaction,
-            mean_rt: t.rt_stats.mean(),
-            rt_quantiles: [q(0.50), q(0.90), q(0.99)],
-            rt_dist_counts: t.rt_dist.counts(),
-            slo_samples: t.slo.satisfaction_samples(3),
-            completed_per_sec: t
-                .completed_series
-                .buckets()
-                .iter()
-                .copied()
-                .take(window_buckets)
-                .collect(),
-            nodes: self.final_nodes,
-            apache_probes: self.final_probes.unwrap_or_default(),
-            events_processed,
-            outcomes,
-            availability,
-        }
-    }
 }
 
 /// The complete n-tier system state (implements [`Model`]): the shared
-/// [`Ctx`] plus one tier node per chain position.
+/// engine context (`Ctx`) plus one tier node per chain position.
 pub struct System {
     ctx: Ctx,
     tiers: Vec<Box<dyn TierNode>>,
@@ -1128,240 +1009,14 @@ impl Model for System {
     }
 }
 
-/// Everything a traced run captures beyond the aggregate [`RunOutput`]:
-/// the span stream, sampling/ring counters, and engine telemetry.
-#[derive(Debug, Clone)]
-pub struct RunTrace {
-    /// Span stream in ring order (oldest surviving span first). Empty when
-    /// tracing was off.
-    pub spans: Vec<Span>,
-    /// Requests admitted by head sampling.
-    pub admitted: u64,
-    /// Requests rejected by head sampling.
-    pub rejected: u64,
-    /// Spans lost to ring-buffer overwrite (0 ⇒ the stream is complete).
-    pub overwritten: u64,
-    /// Engine telemetry (event totals, heap high-water, wall-clock rate).
-    pub engine: EngineStats,
-    /// Measurement window `[start, end)` the aggregates were taken over.
-    pub window: (SimTime, SimTime),
-}
+mod drain;
+mod report;
+mod run;
 
-impl RunTrace {
-    /// Per-tier summary (Table I view) over the measurement window.
-    pub fn summary(&self) -> ntier_trace::TraceSummary {
-        ntier_trace::summarize(self.spans.iter(), self.window.0, self.window.1)
-    }
-}
-
-/// Pool balance and conservation counters of one server at drain.
-#[derive(Debug, Clone)]
-pub struct NodeDrain {
-    /// Display name, e.g. `Tomcat-0`.
-    pub name: String,
-    /// Jobs admitted over the whole trial.
-    pub arrivals: u64,
-    /// Jobs that finished and left over the whole trial.
-    pub departures: u64,
-    /// Thread-pool units still held at drain.
-    pub pool_in_use: usize,
-    /// Thread-pool acquisitions still queued at drain.
-    pub pool_waiting: usize,
-    /// Connection-pool units still held at drain.
-    pub conn_in_use: usize,
-    /// Connection-pool acquisitions still queued at drain.
-    pub conn_waiting: usize,
-    /// Requests/queries this node cancelled on a deadline.
-    pub timed_out: u64,
-    /// Requests this node rejected at admission (front tier only).
-    pub shed: u64,
-    /// Queries this node lost to a crash or a dropped connection.
-    pub failed: u64,
-}
-
-/// Conservation snapshot taken after the event queue fully drained.
-#[derive(Debug, Clone)]
-pub struct DrainReport {
-    /// Requests still in flight (must be 0 after a clean drain).
-    pub in_flight_requests: usize,
-    /// Queries still in flight (must be 0 after a clean drain).
-    pub in_flight_queries: usize,
-    /// Per-server counters, front tier first.
-    pub nodes: Vec<NodeDrain>,
-    /// Full-trial terminal outcomes: after a clean drain
-    /// `outcomes.total()` equals the front tier's total arrivals (every
-    /// admitted request ends in exactly one outcome).
-    pub outcomes: OutcomeTotals,
-}
-
-/// Heap capacity estimate for a closed-loop run with `users` sessions.
-///
-/// Observed high-water marks sit a little above the session population
-/// (each session has at most one think/request event pending, plus CPU
-/// checks, GC ends, and sampling); `2×users` rounds up generously while
-/// staying far below the total events processed.
-fn event_capacity_hint(users: u32) -> usize {
-    (users as usize).saturating_mul(2).max(256)
-}
-
-/// Seed the initial event population: session starts across the ramp, the
-/// measurement-window markers, and — only for tiers with scheduled crash
-/// windows — the crash/recovery events. The healthy prefix is scheduled in
-/// exactly the order the runners always used, and a faults-free topology
-/// appends nothing, so healthy runs stay bit-identical.
-fn seed_engine_events(engine: &mut Engine<System>) {
-    let cfg = engine.model().config();
-    let ramp = cfg.workload.ramp_up;
-    let users = cfg.workload.users;
-    let measure_start = cfg.workload.measure_start();
-    let measure_end = cfg.workload.measure_end();
-    let seed = cfg.seed;
-    let mut crashes = Vec::new();
-    {
-        let ctx = &engine.model().ctx;
-        for (t, f) in ctx.faults.iter().enumerate() {
-            for w in &f.crashes {
-                let ni = (ctx.links[t].base + w.replica as usize) as u16;
-                crashes.push((w.crash_at, ni, w.recover_at));
-            }
-        }
-    }
-    let mut start_rng = RunRng::new(seed).fork("session-starts");
-    for s in 0..users {
-        let at = SimTime::from_secs_f64(start_rng.uniform(0.0, ramp.as_secs_f64().max(1e-9)));
-        engine.schedule(at, Ev::ThinkDone(s));
-    }
-    engine.schedule(measure_start, Ev::BeginMeasure);
-    engine.schedule(measure_end, Ev::EndMeasure);
-    for (at, node, recover) in crashes {
-        engine.schedule(at, Ev::Crash { node });
-        if let Some(back) = recover {
-            engine.schedule(back, Ev::Recover { node });
-        }
-    }
-}
-
-/// Run one full trial and return its observables.
-pub fn run_system(cfg: SystemConfig) -> RunOutput {
-    run_system_traced(cfg).0
-}
-
-/// Like [`run_system`], but surface topology/fault-spec validation errors
-/// instead of panicking (the bench CLI reports these to the user).
-pub fn try_run_system(cfg: SystemConfig) -> Result<RunOutput, TopologyError> {
-    cfg.effective_topology().validate()?;
-    Ok(run_system(cfg))
-}
-
-/// Run one full trial, also returning the trace captured along the way.
-///
-/// With `cfg.trace == TraceConfig::Off` the trace is empty and the run does
-/// no per-request trace work (the fast path `run_system` delegates here).
-pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
-    let (out, trace, _) = run_system_full(cfg);
-    (out, trace)
-}
-
-/// Run one full trial with the windowed metrics pipeline enabled, returning
-/// the run summary plus the per-window time series ([`RunMetrics`]).
-///
-/// When `cfg.metrics` is `Off` it is upgraded to the default 100 ms window
-/// ([`MetricsConfig::windowed_default`](metrics::MetricsConfig)); an explicit
-/// `Windowed` setting is kept. Collection is passive (write-only
-/// accumulators at existing state transitions), so the [`RunOutput`] is
-/// bit-identical to the same configuration run without metrics.
-pub fn run_system_metered(mut cfg: SystemConfig) -> (RunOutput, RunMetrics) {
-    if !cfg.metrics.enabled() {
-        cfg.metrics = metrics::MetricsConfig::windowed_default();
-    }
-    let (out, _, metrics) = run_system_full(cfg);
-    (out, *metrics.expect("metrics enabled for the run"))
-}
-
-/// Shared trial runner: build, seed, run to `trial_end`, and tear down into
-/// the run summary plus whatever optional instrumentation was enabled.
-fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<RunMetrics>>) {
-    let users = cfg.workload.users;
-    let measure_start = cfg.workload.measure_start();
-    let measure_end = cfg.workload.measure_end();
-    let trial_end = cfg.workload.trial_end();
-    let traced = cfg.trace.enabled();
-
-    // Pre-size the event heap for the closed-loop population: each session
-    // keeps roughly one event in flight, plus per-node CPU checks, samples,
-    // and the measurement markers. Capacity only avoids reallocation; it
-    // never changes pop order, so results are bit-identical either way.
-    let capacity = event_capacity_hint(users);
-    let mut engine = Engine::with_capacity(System::new(cfg), capacity);
-    if traced {
-        engine.enable_telemetry();
-    }
-    seed_engine_events(&mut engine);
-    engine.run_until(trial_end);
-    let events = engine.events_processed();
-    let stats = engine.stats();
-    let mut system = engine.into_model();
-    let tracer = system.ctx.tracer.take();
-    let metrics = system.ctx.metrics_out.take();
-    let (admitted, rejected, overwritten) = tracer
-        .as_ref()
-        .map(|t| (t.admitted(), t.rejected(), t.overwritten()))
-        .unwrap_or((0, 0, 0));
-    let out = system.ctx.into_output(events);
-    let trace = RunTrace {
-        spans: tracer.map(Tracer::into_spans).unwrap_or_default(),
-        admitted,
-        rejected,
-        overwritten,
-        engine: stats,
-        window: (measure_start, measure_end),
-    };
-    (out, trace, metrics)
-}
-
-/// Run one full trial, then freeze the client think loop and drain every
-/// in-flight request to completion. Returns the run summary plus a
-/// conservation snapshot ([`DrainReport`]) taken on the empty system:
-/// admitted == departed per tier node and every pool back to balance.
-pub fn run_system_to_drain(cfg: SystemConfig) -> (RunOutput, DrainReport) {
-    let users = cfg.workload.users;
-    let trial_end = cfg.workload.trial_end();
-
-    let capacity = event_capacity_hint(users);
-    let mut engine = Engine::with_capacity(System::new(cfg), capacity);
-    seed_engine_events(&mut engine);
-    engine.run_until(trial_end);
-    // Freeze the closed loop: in-flight requests complete, nothing new
-    // starts, so the queue runs dry.
-    engine.model_mut().ctx.draining = true;
-    engine.run_to_quiescence(100_000_000);
-    let events = engine.events_processed();
-    let system = engine.into_model();
-    let report = DrainReport {
-        in_flight_requests: system.ctx.requests.len(),
-        in_flight_queries: system.ctx.queries.len(),
-        nodes: system
-            .ctx
-            .nodes
-            .iter()
-            .map(|n| NodeDrain {
-                name: n.name(),
-                arrivals: n.arrivals,
-                departures: n.departures,
-                pool_in_use: n.pool.as_ref().map_or(0, |p| p.in_use()),
-                pool_waiting: n.pool.as_ref().map_or(0, |p| p.waiting()),
-                conn_in_use: n.conn_pool.as_ref().map_or(0, |p| p.in_use()),
-                conn_waiting: n.conn_pool.as_ref().map_or(0, |p| p.waiting()),
-                timed_out: n.timed_out,
-                shed: n.shed,
-                failed: n.failed,
-            })
-            .collect(),
-        outcomes: system.ctx.outcomes,
-    };
-    let out = system.ctx.into_output(events);
-    (out, report)
-}
+pub use drain::{run_system_to_drain, DrainReport, NodeDrain};
+pub use run::{
+    run_system, run_system_full, run_system_metered, run_system_traced, try_run_system, RunTrace,
+};
 
 #[cfg(test)]
 mod tests {

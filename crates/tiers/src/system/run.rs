@@ -1,0 +1,159 @@
+//! Trial runners: seed the engine, run to `trial_end`, and tear down into
+//! the run summary plus whatever optional instrumentation was enabled.
+//! Pure code motion out of `system.rs`, with one API change:
+//! [`run_system_full`] is now public so callers that want the output, the
+//! trace, *and* the windowed metrics of one trial (the experiment-plan
+//! engine in `ntier-lab`) can get all three from a single run.
+
+use super::*;
+
+/// Everything a traced run captures beyond the aggregate [`RunOutput`]:
+/// the span stream, sampling/ring counters, and engine telemetry.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Span stream in ring order (oldest surviving span first). Empty when
+    /// tracing was off.
+    pub spans: Vec<Span>,
+    /// Requests admitted by head sampling.
+    pub admitted: u64,
+    /// Requests rejected by head sampling.
+    pub rejected: u64,
+    /// Spans lost to ring-buffer overwrite (0 ⇒ the stream is complete).
+    pub overwritten: u64,
+    /// Engine telemetry (event totals, heap high-water, wall-clock rate).
+    pub engine: EngineStats,
+    /// Measurement window `[start, end)` the aggregates were taken over.
+    pub window: (SimTime, SimTime),
+}
+
+impl RunTrace {
+    /// Per-tier summary (Table I view) over the measurement window.
+    pub fn summary(&self) -> ntier_trace::TraceSummary {
+        ntier_trace::summarize(self.spans.iter(), self.window.0, self.window.1)
+    }
+}
+
+/// Heap capacity estimate for a closed-loop run with `users` sessions.
+///
+/// Observed high-water marks sit a little above the session population
+/// (each session has at most one think/request event pending, plus CPU
+/// checks, GC ends, and sampling); `2×users` rounds up generously while
+/// staying far below the total events processed.
+pub(super) fn event_capacity_hint(users: u32) -> usize {
+    (users as usize).saturating_mul(2).max(256)
+}
+
+/// Seed the initial event population: session starts across the ramp, the
+/// measurement-window markers, and — only for tiers with scheduled crash
+/// windows — the crash/recovery events. The healthy prefix is scheduled in
+/// exactly the order the runners always used, and a faults-free topology
+/// appends nothing, so healthy runs stay bit-identical.
+pub(super) fn seed_engine_events(engine: &mut Engine<System>) {
+    let cfg = engine.model().config();
+    let ramp = cfg.workload.ramp_up;
+    let users = cfg.workload.users;
+    let measure_start = cfg.workload.measure_start();
+    let measure_end = cfg.workload.measure_end();
+    let seed = cfg.seed;
+    let mut crashes = Vec::new();
+    {
+        let ctx = &engine.model().ctx;
+        for (t, f) in ctx.faults.iter().enumerate() {
+            for w in &f.crashes {
+                let ni = (ctx.links[t].base + w.replica as usize) as u16;
+                crashes.push((w.crash_at, ni, w.recover_at));
+            }
+        }
+    }
+    let mut start_rng = RunRng::new(seed).fork("session-starts");
+    for s in 0..users {
+        let at = SimTime::from_secs_f64(start_rng.uniform(0.0, ramp.as_secs_f64().max(1e-9)));
+        engine.schedule(at, Ev::ThinkDone(s));
+    }
+    engine.schedule(measure_start, Ev::BeginMeasure);
+    engine.schedule(measure_end, Ev::EndMeasure);
+    for (at, node, recover) in crashes {
+        engine.schedule(at, Ev::Crash { node });
+        if let Some(back) = recover {
+            engine.schedule(back, Ev::Recover { node });
+        }
+    }
+}
+
+/// Run one full trial and return its observables.
+pub fn run_system(cfg: SystemConfig) -> RunOutput {
+    run_system_traced(cfg).0
+}
+
+/// Like [`run_system`], but surface topology/fault-spec validation errors
+/// instead of panicking (the bench CLI reports these to the user).
+pub fn try_run_system(cfg: SystemConfig) -> Result<RunOutput, TopologyError> {
+    cfg.effective_topology().validate()?;
+    Ok(run_system(cfg))
+}
+
+/// Run one full trial, also returning the trace captured along the way.
+///
+/// With `cfg.trace == TraceConfig::Off` the trace is empty and the run does
+/// no per-request trace work (the fast path `run_system` delegates here).
+pub fn run_system_traced(cfg: SystemConfig) -> (RunOutput, RunTrace) {
+    let (out, trace, _) = run_system_full(cfg);
+    (out, trace)
+}
+
+/// Run one full trial with the windowed metrics pipeline enabled, returning
+/// the run summary plus the per-window time series ([`RunMetrics`]).
+///
+/// When `cfg.metrics` is `Off` it is upgraded to the default 100 ms window
+/// ([`MetricsConfig::windowed_default`](metrics::MetricsConfig)); an explicit
+/// `Windowed` setting is kept. Collection is passive (write-only
+/// accumulators at existing state transitions), so the [`RunOutput`] is
+/// bit-identical to the same configuration run without metrics.
+pub fn run_system_metered(mut cfg: SystemConfig) -> (RunOutput, RunMetrics) {
+    if !cfg.metrics.enabled() {
+        cfg.metrics = metrics::MetricsConfig::windowed_default();
+    }
+    let (out, _, metrics) = run_system_full(cfg);
+    (out, *metrics.expect("metrics enabled for the run"))
+}
+
+/// Shared trial runner: build, seed, run to `trial_end`, and tear down into
+/// the run summary plus whatever optional instrumentation was enabled.
+pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<RunMetrics>>) {
+    let users = cfg.workload.users;
+    let measure_start = cfg.workload.measure_start();
+    let measure_end = cfg.workload.measure_end();
+    let trial_end = cfg.workload.trial_end();
+    let traced = cfg.trace.enabled();
+
+    // Pre-size the event heap for the closed-loop population: each session
+    // keeps roughly one event in flight, plus per-node CPU checks, samples,
+    // and the measurement markers. Capacity only avoids reallocation; it
+    // never changes pop order, so results are bit-identical either way.
+    let capacity = event_capacity_hint(users);
+    let mut engine = Engine::with_capacity(System::new(cfg), capacity);
+    if traced {
+        engine.enable_telemetry();
+    }
+    seed_engine_events(&mut engine);
+    engine.run_until(trial_end);
+    let events = engine.events_processed();
+    let stats = engine.stats();
+    let mut system = engine.into_model();
+    let tracer = system.ctx.tracer.take();
+    let metrics = system.ctx.metrics_out.take();
+    let (admitted, rejected, overwritten) = tracer
+        .as_ref()
+        .map(|t| (t.admitted(), t.rejected(), t.overwritten()))
+        .unwrap_or((0, 0, 0));
+    let out = system.ctx.into_output(events);
+    let trace = RunTrace {
+        spans: tracer.map(Tracer::into_spans).unwrap_or_default(),
+        admitted,
+        rejected,
+        overwritten,
+        engine: stats,
+        window: (measure_start, measure_end),
+    };
+    (out, trace, metrics)
+}

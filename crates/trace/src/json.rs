@@ -1,10 +1,11 @@
-//! A minimal JSON value + writer.
+//! A minimal JSON value + writer + parser.
 //!
 //! The workspace builds in fully offline environments, so it cannot depend on
-//! `serde_json`. This module covers what the exporters and figure harnesses
-//! need: building a tree of values and rendering it as compact or
-//! pretty-printed JSON. There is deliberately no parser — nothing in the
-//! simulator reads JSON back.
+//! `serde_json`. This module covers what the exporters, figure harnesses, and
+//! the experiment artifact store need: building a tree of values, rendering
+//! it as compact or pretty-printed JSON, and parsing it back ([`Json::parse`]
+//! — used by `ntier-lab` to resume half-completed experiment plans from
+//! their manifest).
 
 use std::fmt::Write as _;
 
@@ -112,6 +113,297 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+impl Json {
+    /// Parse a JSON document. Integers without a fraction or exponent come
+    /// back as [`Json::UInt`]/[`Json::Int`] (exact); everything else numeric
+    /// as [`Json::Num`]. Rust's float `Display` prints the shortest decimal
+    /// that round-trips, so `parse(v.to_compact())` reproduces finite floats
+    /// bit for bit.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member of an object by key (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (from `Num`, `Int`, or `UInt`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(x) => Some(x),
+            Json::Int(i) => Some(i as f64),
+            Json::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array items.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!(
+                "unexpected byte '{}' at offset {}",
+                b as char, self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a trailing \uXXXX.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err("lone high surrogate".into());
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?,
+                            );
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Re-consume the full UTF-8 scalar starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        if !float {
+            if let Some(rest) = s.strip_prefix('-') {
+                if rest.parse::<u64>().is_ok() {
+                    if let Ok(i) = s.parse::<i64>() {
+                        return Ok(Json::Int(i));
+                    }
+                }
+            } else if let Ok(u) = s.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number '{s}' at offset {start}"))
     }
 }
 
@@ -251,5 +543,77 @@ mod tests {
     fn empty_containers() {
         assert_eq!(arr::<Json, _>([]).to_pretty(), "[]");
         assert_eq!(obj::<&str, 0>([]).to_compact(), "{}");
+    }
+
+    #[test]
+    fn parse_round_trips_compact_and_pretty() {
+        let v = obj([
+            ("a", Json::from(1u64)),
+            ("neg", Json::from(-7i64)),
+            // Whole floats render as "2" and come back as UInt(2) — exact
+            // under as_f64(), but structurally different, so keep these
+            // non-integral for the tree-equality assertion.
+            ("b", arr([1.5f64, 2.25, 0.1])),
+            ("s", Json::from("x\"y\n\t\\z")),
+            ("n", Json::Null),
+            ("t", Json::from(true)),
+            ("empty", arr::<Json, _>([])),
+            ("nested", obj([("k", Json::from("v"))])),
+        ]);
+        assert_eq!(Json::parse(&v.to_compact()).expect("compact"), v);
+        assert_eq!(Json::parse(&v.to_pretty()).expect("pretty"), v);
+    }
+
+    #[test]
+    fn parse_floats_bit_exact() {
+        for x in [
+            0.1f64,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.2250738585072014e-308,
+            123456.789e-12,
+        ] {
+            let s = Json::Num(x).to_compact();
+            let back = Json::parse(&s).expect("parses").as_f64().expect("float");
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(
+            Json::parse(r#""aAé😀""#).expect("parses"),
+            Json::Str("aAé😀".into())
+        );
+        assert_eq!(
+            Json::parse("\"héllo — ≤\"").expect("parses"),
+            Json::Str("héllo — ≤".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"a").is_err());
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = Json::parse(r#"{"x": 3, "y": [1, 2], "s": "hi", "b": false}"#).expect("parses");
+        assert_eq!(v.get("x").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("y").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Int(-2).as_f64(), Some(-2.0));
+        assert_eq!(Json::Int(-2).as_u64(), None);
     }
 }

@@ -61,4 +61,26 @@ fn main() {
     }
     println!("\nrecommended allocation     : {}", report.recommended);
     println!("experiments consumed       : {}", report.runs_used);
+
+    // Validate the recommendation the way §IV-C does: recommended vs the
+    // practitioners' rule of thumb at the saturation workload — one
+    // two-variant experiment plan through the shared engine. (The tuner
+    // itself is adaptive and stays sequential; only this check is a grid.)
+    let check = ExperimentPlan::new("autotune-validate")
+        .with_users([report.saturation_workload])
+        .with_variant(Variant::paper(hardware, report.recommended).labeled("recommended"))
+        .with_variant(
+            Variant::paper(hardware, SoftAllocation::rule_of_thumb()).labeled("rule of thumb"),
+        );
+    let results = run_plan(&check, &Executor::parallel());
+    let rec = results.goodput_series(0, 2.0)[0];
+    let thumb = results.goodput_series(1, 2.0)[0];
+    println!(
+        "\nvalidation @ {} users      : recommended {:.1} req/s goodput@2s, \
+         rule of thumb {:.1} ({:+.1}%)",
+        report.saturation_workload,
+        rec,
+        thumb,
+        (rec - thumb) / thumb * 100.0
+    );
 }

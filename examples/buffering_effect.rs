@@ -27,9 +27,11 @@ fn main() {
     let soft = SoftAllocation::new(apache_pool, 60, 20);
     println!("{hw}({soft}) @ {users} users — Apache internals, per second\n");
 
-    let mut spec = ExperimentSpec::new(hw, soft, users);
-    spec.schedule = Schedule::Default;
-    let out = run_experiment(&spec);
+    let plan = ExperimentPlan::new("buffering-effect")
+        .with_variant(Variant::paper(hw, soft))
+        .with_users([users]);
+    let results = run_plan(&plan, &Executor::serial());
+    let out = &results.outputs[0];
     let p = &out.apache_probes;
 
     let n = p.threads_active.len().min(60);

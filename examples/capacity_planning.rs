@@ -9,94 +9,48 @@
 //! cargo run --release --example capacity_planning -- --soft 400-150-60
 //! ```
 //!
-//! Flags (all optional; defaults reproduce the paper's two scenarios):
+//! Each hardware configuration is one [`ExperimentPlan`]: the three static
+//! strategies (plus any `--soft` pin) crossed with the workload ramp, run on
+//! the shared engine — `--threads N` controls parallelism, `--store DIR`
+//! resumes from an artifact store. The best strategy is read off the same
+//! results (no duplicate re-run).
+//!
+//! Flags (all optional; defaults reproduce the paper's two scenarios) — the
+//! shared set from [`BenchArgs`]:
 //!
 //! * `--hw #W/#A/#C/#D` — run a single hardware configuration instead of
-//!   both paper topologies (parsed via `HardwareConfig::from_str`).
+//!   both paper topologies.
 //! * `--soft #W_T-#A_T-#A_C` — pin one explicit allocation; compared
-//!   against the static strategies (parsed via `SoftAllocation::from_str`).
+//!   against the static strategies.
 //! * `--users N[,N…]` — workload sweep points.
 //! * `--quick` — short trials for smoke testing.
+//! * `--threads N` / `--store DIR` — executor width / resumable store.
 //! * `--metrics PATH[:WINDOW_MS]` — record the fine-grained windowed time
 //!   series for the best strategy at the heaviest workload of each hardware
 //!   configuration and write one CSV per configuration.
 
 use rubbos_ntier::prelude::*;
 
-struct Cli {
-    hw: Option<HardwareConfig>,
-    soft: Option<SoftAllocation>,
-    users: Option<Vec<u32>>,
-    quick: bool,
-    metrics: Option<MetricsSink>,
-}
-
-fn parse_cli() -> Result<Cli, String> {
-    let mut cli = Cli {
-        hw: None,
-        soft: None,
-        users: None,
-        quick: false,
-        metrics: None,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
-        match arg.as_str() {
-            "--hw" => cli.hw = Some(value("--hw")?.parse()?),
-            "--soft" => cli.soft = Some(value("--soft")?.parse()?),
-            "--users" => {
-                let list = value("--users")?
-                    .split(',')
-                    .map(|p| {
-                        p.trim()
-                            .parse::<u32>()
-                            .map_err(|e| format!("--users '{p}': {e}"))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                if list.is_empty() {
-                    return Err("--users needs at least one workload".into());
-                }
-                cli.users = Some(list);
-            }
-            "--quick" => cli.quick = true,
-            "--metrics" => cli.metrics = Some(MetricsSink::parse(&value("--metrics")?)?),
-            other => {
-                return Err(format!(
-                    "unknown flag '{other}' (see --hw/--soft/--users/--quick/--metrics)"
-                ))
-            }
-        }
-    }
-    Ok(cli)
-}
-
 fn main() {
-    let cli = match parse_cli() {
-        Ok(cli) => cli,
-        Err(e) => {
-            eprintln!("capacity_planning: {e}");
-            std::process::exit(2);
-        }
-    };
-    let schedule = if cli.quick {
-        Schedule::Quick
-    } else {
-        Schedule::Default
-    };
-    let scenarios: Vec<(HardwareConfig, Vec<u32>)> = match cli.hw {
-        Some(hw) => vec![(
-            hw,
-            cli.users.clone().unwrap_or_else(|| vec![4500, 5400, 6300]),
-        )],
+    let args = BenchArgs::parse();
+    if let Some(flag) = args.rest.first() {
+        eprintln!(
+            "capacity_planning: unknown flag '{flag}' \
+             (see --hw/--soft/--users/--quick/--threads/--store/--metrics)"
+        );
+        std::process::exit(2);
+    }
+    let executor = args.executor();
+    let scenarios: Vec<(HardwareConfig, Vec<u32>)> = match args.hw {
+        Some(hw) => vec![(hw, args.users_or(vec![4500, 5400, 6300]))],
         None => vec![
             (
                 HardwareConfig::one_two_one_two(),
-                cli.users.clone().unwrap_or_else(|| vec![4500, 5400, 6300]),
+                args.users_or(vec![4500, 5400, 6300]),
             ),
             (
                 HardwareConfig::one_four_one_four(),
-                cli.users.clone().unwrap_or_else(|| vec![6000, 6900, 7800]),
+                args.users_or(vec![6000, 6900, 7800]),
             ),
         ],
     };
@@ -107,25 +61,44 @@ fn main() {
             "{:>30} {:>12} {:>14} {:>14} {:>12}",
             "strategy", "users", "goodput@2s", "throughput", "mean RT"
         );
-        let candidates: Vec<(String, SoftAllocation)> = Strategy::ALL
-            .iter()
-            .map(|s| (s.name().to_string(), s.allocation(hw)))
-            .chain(cli.soft.map(|s| (format!("pinned {s}"), s)))
-            .collect();
-        for (name, soft) in &candidates {
-            // One sweep per strategy, run in parallel.
-            let specs: Vec<ExperimentSpec> = workloads
-                .iter()
-                .map(|&u| {
-                    let mut s = ExperimentSpec::new(hw, *soft, u);
-                    s.schedule = schedule;
-                    s
-                })
-                .collect();
-            for out in sweep(&specs) {
+        // One plan per hardware configuration: the three static strategies
+        // (plus any pinned allocation) × the workload ramp.
+        let mut plan = ExperimentPlan::strategies(format!("capacity-{hw}"), hw, workloads.clone())
+            .with_schedule(args.schedule());
+        if let Some(soft) = args.soft {
+            plan = plan.with_variant(Variant::paper(hw, soft).labeled(format!("pinned {soft}")));
+        }
+        let results = match &args.store {
+            Some(dir) => {
+                let mut store = ArtifactStore::open(dir).unwrap_or_else(|e| {
+                    eprintln!(
+                        "capacity_planning: cannot open store {}: {e}",
+                        dir.display()
+                    );
+                    std::process::exit(2);
+                });
+                let results =
+                    run_plan_with_store(&plan, &executor, &mut store).unwrap_or_else(|e| {
+                        eprintln!("capacity_planning: store I/O failed: {e}");
+                        std::process::exit(2);
+                    });
+                if results.skipped > 0 {
+                    println!(
+                        "[store: reused {} of {} points from {}]",
+                        results.skipped,
+                        results.points.len(),
+                        dir.display()
+                    );
+                }
+                results
+            }
+            None => run_plan(&plan, &executor),
+        };
+        for (v, variant) in plan.variants.iter().enumerate() {
+            for out in results.variant_outputs(v) {
                 println!(
                     "{:>30} {:>12} {:>14.1} {:>14.1} {:>9.0} ms",
-                    name,
+                    variant.label,
                     out.users,
                     out.goodput_at(2.0),
                     out.throughput,
@@ -134,38 +107,35 @@ fn main() {
             }
         }
         // The paper's central message, measured: the best static strategy
-        // differs per hardware configuration.
+        // differs per hardware configuration. Read off the plan results at
+        // the heaviest workload — no duplicate re-run.
         let at = *workloads.last().expect("non-empty");
-        let mut best = (String::new(), f64::MIN);
-        for (name, soft) in &candidates {
-            let mut s = ExperimentSpec::new(hw, *soft, at);
-            s.schedule = schedule;
-            let out = run_experiment(&s);
-            if out.goodput_at(2.0) > best.1 {
-                best = (name.clone(), out.goodput_at(2.0));
-            }
-        }
+        let last = workloads.len() - 1;
+        let (best_v, best_goodput) = (0..plan.variants.len())
+            .map(|v| (v, results.goodput_series(v, 2.0)[last]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .expect("non-empty plan");
+        let best = &plan.variants[best_v];
         println!(
-            ">>> best static strategy for {hw} at {at} users: {} ({:.0} req/s)",
-            best.0, best.1
+            ">>> best static strategy for {hw} at {at} users: {} ({best_goodput:.0} req/s)",
+            best.label
         );
-        if let Some(sink) = &cli.metrics {
-            let soft = candidates
-                .iter()
-                .find(|(name, _)| *name == best.0)
-                .map(|(_, s)| *s)
-                .expect("best came from candidates");
-            let mut s = ExperimentSpec::new(hw, soft, at);
-            s.schedule = schedule;
-            let mut cfg = s.to_config();
-            cfg.metrics = sink.config();
-            let (_, m) = run_system_metered(cfg);
+        if let Some(sink) = &args.metrics {
+            // One metered single-point plan for the winner: identical
+            // outputs (collection is passive), plus the windowed series.
+            let probe = ExperimentPlan::new(format!("capacity-{hw}-metered"))
+                .with_schedule(args.schedule())
+                .with_users([at])
+                .with_variant(best.clone())
+                .with_metrics(sink.config());
+            let metered = run_plan(&probe, &Executor::serial());
+            let m = metered.metrics[0].as_ref().expect("metered plan");
             let suffix = format!("{hw}").replace('/', "-");
-            match sink.write_csv_suffixed(&suffix, &m) {
+            match sink.write_csv_suffixed(&suffix, m) {
                 Ok(path) => println!("[saved {}]", path.display()),
                 Err(e) => eprintln!("--metrics: cannot write CSV: {e}"),
             }
-            println!("    diagnosis: {}", Diagnosis::of_run(&m));
+            println!("    diagnosis: {}", Diagnosis::of_run(m));
         }
     }
     println!(

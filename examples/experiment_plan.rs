@@ -1,0 +1,126 @@
+//! The experiment-plan engine, demonstrated end to end: declare a grid,
+//! expand it into content-addressed run points, execute it serially and in
+//! parallel (bit-identical digests, measurably faster wall-clock), then
+//! resume it from an artifact store (only missing points re-run).
+//!
+//! ```text
+//! cargo run --release --example experiment_plan
+//! cargo run --release --example experiment_plan -- --threads 8
+//! cargo run --release --example experiment_plan -- --store target/lab-demo
+//! ```
+//!
+//! Flags (shared [`BenchArgs`] set): `--threads N` parallel worker count
+//! (default: one per core), `--store DIR` artifact-store directory for the
+//! resume demo (default `target/experiment_plan_store`, wiped first so the
+//! demo starts cold), `--users N[,N…]`, `--quick` (on by default here —
+//! pass explicit `--users` for longer trials).
+
+use rubbos_ntier::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let users = args.users_or(vec![1500, 2500, 3500, 4500]);
+
+    // 1. Declare: two paper topologies × the workload ramp, short trials.
+    let plan = ExperimentPlan::new("engine-demo")
+        .with_schedule(if args.users.is_some() {
+            args.schedule()
+        } else {
+            Schedule::Quick
+        })
+        .with_variant(Variant::paper(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::rule_of_thumb(),
+        ))
+        .with_variant(Variant::paper(
+            HardwareConfig::one_four_one_four(),
+            SoftAllocation::rule_of_thumb(),
+        ))
+        .with_users(users);
+
+    // 2. Expand: deterministic, content-addressed run points.
+    let points = plan.expand();
+    println!("plan 'engine-demo' expands to {} points:", points.len());
+    for p in &points {
+        println!("  [{:>2}] {:<28} {}", p.index, p.label, p.digest_hex());
+    }
+
+    // 3. Execute serially, then in parallel — same digests, less wall-clock.
+    let t0 = Instant::now();
+    let serial = run_plan(&plan, &Executor::serial());
+    let serial_elapsed = t0.elapsed();
+
+    let executor = args.executor();
+    let t1 = Instant::now();
+    let parallel = run_plan(&plan, &executor);
+    let parallel_elapsed = t1.elapsed();
+
+    assert_eq!(
+        serial.digest(),
+        parallel.digest(),
+        "parallel execution must be bit-identical to serial"
+    );
+    println!(
+        "\nserial   ({} worker ): {:>8.2?}   digest {:016x}",
+        1,
+        serial_elapsed,
+        serial.digest()
+    );
+    println!(
+        "parallel ({} workers): {:>8.2?}   digest {:016x}   speedup {:.1}x",
+        executor.threads(),
+        parallel_elapsed,
+        parallel.digest(),
+        serial_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9)
+    );
+
+    // 4. Resume from an artifact store: first run persists everything,
+    //    re-running the same plan simulates nothing, and growing the plan
+    //    re-runs only the new points.
+    let dir = args
+        .store
+        .clone()
+        .unwrap_or_else(|| "target/experiment_plan_store".into());
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = ArtifactStore::open(&dir).expect("store directory");
+
+    let cold = run_plan_with_store(&plan, &executor, &mut store).expect("store I/O");
+    println!(
+        "\ncold run against {}: executed {}, reused {}",
+        dir.display(),
+        cold.executed,
+        cold.skipped
+    );
+    let warm = run_plan_with_store(&plan, &executor, &mut store).expect("store I/O");
+    println!(
+        "same plan again        : executed {}, reused {}",
+        warm.executed, warm.skipped
+    );
+    assert_eq!(warm.executed, 0, "every point should come from the store");
+    assert_eq!(warm.digest(), serial.digest(), "store round-trip is exact");
+
+    let grown = plan.clone().with_variant(
+        Variant::paper(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::conservative(),
+        )
+        .labeled("conservative"),
+    );
+    let resumed = run_plan_with_store(&grown, &executor, &mut store).expect("store I/O");
+    println!(
+        "grown plan (+1 variant): executed {}, reused {}",
+        resumed.executed, resumed.skipped
+    );
+    assert_eq!(resumed.skipped, points.len(), "old points load from disk");
+
+    println!("\ngoodput@2s by variant:");
+    for (v, variant) in grown.variants.iter().enumerate() {
+        let series: Vec<String> = resumed
+            .goodput_series(v, 2.0)
+            .iter()
+            .map(|g| format!("{g:>7.1}"))
+            .collect();
+        println!("  {:<24} {}", variant.label, series.join(" "));
+    }
+}

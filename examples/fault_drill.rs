@@ -14,50 +14,21 @@
 //! ```text
 //! cargo run --release --example fault_drill
 //! cargo run --release --example fault_drill -- --quick
-//! cargo run --release --example fault_drill -- --users 4000
+//! cargo run --release --example fault_drill -- --users 4000 --threads 3
 //! ```
 //!
-//! Flags: `--users N` (population), `--quick` (short trial for smoke runs),
-//! `--metrics PATH[:WINDOW_MS]` (per-window CSV time series, one file per
-//! scenario — the 100 ms series resolves the outage and recovery transients
-//! that the whole-window aggregates blur).
+//! All three scenarios (healthy baseline + the two policies under the same
+//! outage) are one [`ExperimentPlan`] — each variant carries its own fault
+//! topology and retry policy — run on the shared engine.
+//!
+//! Flags (shared [`BenchArgs`] set): `--users N` (population), `--quick`
+//! (short trial for smoke runs), `--threads N` (run the scenarios in
+//! parallel), `--metrics PATH[:WINDOW_MS]` (per-window CSV time series, one
+//! file per scenario — the 100 ms series resolves the outage and recovery
+//! transients that the whole-window aggregates blur).
 
 use rubbos_ntier::prelude::*;
 use rubbos_ntier::simcore::SimTime;
-
-struct Cli {
-    users: Option<u32>,
-    quick: bool,
-    metrics: Option<MetricsSink>,
-}
-
-fn parse_cli() -> Result<Cli, String> {
-    let mut cli = Cli {
-        users: None,
-        quick: false,
-        metrics: None,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--users" => {
-                let v = args.next().ok_or("--users needs a value")?;
-                cli.users = Some(v.parse().map_err(|e| format!("--users '{v}': {e}"))?);
-            }
-            "--quick" => cli.quick = true,
-            "--metrics" => {
-                let v = args.next().ok_or("--metrics needs PATH[:WINDOW_MS]")?;
-                cli.metrics = Some(MetricsSink::parse(&v)?);
-            }
-            other => {
-                return Err(format!(
-                    "unknown flag '{other}' (see --users/--quick/--metrics)"
-                ))
-            }
-        }
-    }
-    Ok(cli)
-}
 
 /// One drill scenario: a topology decorator plus a client retry policy.
 struct Policy {
@@ -67,61 +38,48 @@ struct Policy {
     app_timeout: Option<SimTime>,
 }
 
-fn run_policy(
-    policy: &Policy,
-    hw: HardwareConfig,
-    soft: SoftAllocation,
-    users: u32,
-    schedule: Schedule,
-    crash: Option<(SimTime, SimTime, SimTime)>,
-    metrics: Option<(&MetricsSink, &str)>,
-) -> RunOutput {
-    let mut topo = Topology::paper(hw, soft);
-    if let Some((at, until, warm)) = crash {
-        // Take down the (sole) C-JDBC replica: the whole query path fails
-        // until it recovers — and the restarted JVM comes back with a cold
-        // cache, serving 6× slower until `warm`.
-        let cmw = &mut topo.tiers[2];
-        cmw.fault =
-            FaultSpec::none()
-                .with_crash(0, at, Some(until))
-                .with_slow(0, until, Some(warm), 6.0);
+impl Policy {
+    /// Build this scenario's plan variant: the paper chain with the crash
+    /// window (when drilling), the policy's shedding/deadline decorations,
+    /// and the client retry policy.
+    fn variant(
+        &self,
+        hw: HardwareConfig,
+        soft: SoftAllocation,
+        crash: Option<(SimTime, SimTime, SimTime)>,
+        label: &str,
+    ) -> Variant {
+        let mut topo = Topology::paper(hw, soft);
+        if let Some((at, until, warm)) = crash {
+            // Take down the (sole) C-JDBC replica: the whole query path fails
+            // until it recovers — and the restarted JVM comes back with a cold
+            // cache, serving 6× slower until `warm`.
+            let cmw = &mut topo.tiers[2];
+            cmw.fault = FaultSpec::none().with_crash(0, at, Some(until)).with_slow(
+                0,
+                until,
+                Some(warm),
+                6.0,
+            );
+        }
+        topo.tiers[0].shed = self.shed;
+        topo.tiers[1].timeout = self.app_timeout;
+        Variant::paper(hw, soft)
+            .with_topology(topo)
+            .with_retry(self.retry)
+            .labeled(label)
     }
-    topo.tiers[0].shed = policy.shed;
-    topo.tiers[1].timeout = policy.app_timeout;
-    let mut spec = ExperimentSpec::new(hw, soft, users).with_topology(topo);
-    spec.schedule = schedule;
-    spec.retry = policy.retry;
-    let Some((sink, label)) = metrics else {
-        return run_experiment(&spec);
-    };
-    // Metered variant: identical RunOutput (passive collection), plus the
-    // per-window series dumped as one CSV per scenario.
-    let mut cfg = spec.to_config();
-    cfg.metrics = sink.config();
-    let (out, m) = run_system_metered(cfg);
-    match sink.write_csv_suffixed(label, &m) {
-        Ok(path) => println!("[saved {}]", path.display()),
-        Err(e) => eprintln!("--metrics: cannot write CSV: {e}"),
-    }
-    out
 }
 
 fn main() {
-    let cli = match parse_cli() {
-        Ok(cli) => cli,
-        Err(e) => {
-            eprintln!("fault_drill: {e}");
-            std::process::exit(2);
-        }
-    };
-    let hw = HardwareConfig::one_two_one_two();
-    let soft = SoftAllocation::rule_of_thumb();
-    let users = cli.users.unwrap_or(3000);
-    let (schedule, crash_at, recover_at, warm_at) = if cli.quick {
-        (Schedule::Quick, 18.0, 24.0, 32.0)
+    let args = BenchArgs::parse();
+    let hw = args.hw_or(HardwareConfig::one_two_one_two());
+    let soft = args.soft_or(SoftAllocation::rule_of_thumb());
+    let users = args.users_or(vec![3000])[0];
+    let (crash_at, recover_at, warm_at) = if args.quick {
+        (18.0, 24.0, 32.0)
     } else {
-        (Schedule::Default, 60.0, 85.0, 110.0)
+        (60.0, 85.0, 110.0)
     };
     let crash = (
         SimTime::from_secs_f64(crash_at),
@@ -129,20 +87,30 @@ fn main() {
         SimTime::from_secs_f64(warm_at),
     );
 
-    let policies = [
-        Policy {
-            name: "naive retry",
-            retry: RetryPolicy::naive(3),
-            shed: ShedPolicy::None,
-            app_timeout: None,
-        },
-        Policy {
-            name: "shed + backoff",
-            retry: RetryPolicy::backoff(3, SimTime::from_secs_f64(0.5), 2.0, 0.5),
-            shed: ShedPolicy::QueueDepth(150),
-            app_timeout: Some(SimTime::from_secs_f64(1.5)),
-        },
-    ];
+    let naive = Policy {
+        name: "naive retry",
+        retry: RetryPolicy::naive(3),
+        shed: ShedPolicy::None,
+        app_timeout: None,
+    };
+    let guarded = Policy {
+        name: "shed + backoff",
+        retry: RetryPolicy::backoff(3, SimTime::from_secs_f64(0.5), 2.0, 0.5),
+        shed: ShedPolicy::QueueDepth(150),
+        app_timeout: Some(SimTime::from_secs_f64(1.5)),
+    };
+
+    // Healthy reference + both policies under the same outage: one plan.
+    let mut plan = ExperimentPlan::new("fault-drill")
+        .with_schedule(args.schedule())
+        .with_users([users])
+        .with_variant(guarded.variant(hw, soft, None, "no-fault"))
+        .with_variant(naive.variant(hw, soft, Some(crash), "naive-retry"))
+        .with_variant(guarded.variant(hw, soft, Some(crash), "shed-backoff"));
+    if let Some(sink) = &args.metrics {
+        plan = plan.with_metrics(sink.config());
+    }
+    let results = run_plan(&plan, &args.executor());
 
     println!(
         "Fault drill: {hw} ({soft}), {users} users — C-JDBC replica down \
@@ -176,43 +144,31 @@ fn main() {
         );
     };
 
-    let sink = |label: &'static str| cli.metrics.as_ref().map(|s| (s, label));
-    // Healthy reference: no faults, no retries needed.
-    let baseline = run_policy(
-        &policies[1],
-        hw,
-        soft,
-        users,
-        schedule,
-        None,
-        sink("no-fault"),
-    );
-    print_row("no fault", &baseline);
+    let baseline = &results.outputs[0];
+    print_row("no fault", baseline);
     assert_eq!(baseline.outcomes.timed_out + baseline.outcomes.shed, 0);
     assert_eq!(baseline.availability, 1.0);
 
-    let naive = run_policy(
-        &policies[0],
-        hw,
-        soft,
-        users,
-        schedule,
-        Some(crash),
-        sink("naive-retry"),
-    );
-    print_row(policies[0].name, &naive);
-    let guarded = run_policy(
-        &policies[1],
-        hw,
-        soft,
-        users,
-        schedule,
-        Some(crash),
-        sink("shed-backoff"),
-    );
-    print_row(policies[1].name, &guarded);
+    let naive_out = &results.outputs[1];
+    print_row(naive.name, naive_out);
+    let guarded_out = &results.outputs[2];
+    print_row(guarded.name, guarded_out);
 
-    let delta = (guarded.goodput_at(2.0) - naive.goodput_at(2.0)) / naive.goodput_at(2.0) * 100.0;
+    if let Some(sink) = &args.metrics {
+        for (point, m) in results.points.iter().zip(&results.metrics) {
+            let m = m.as_ref().expect("metered plan");
+            // "<label>@<users>" → a path-safe per-scenario suffix.
+            let suffix = point.label.replace(['/', '\\'], "-");
+            match sink.write_csv_suffixed(&suffix, m) {
+                Ok(path) => println!("[saved {}]", path.display()),
+                Err(e) => eprintln!("--metrics: cannot write CSV: {e}"),
+            }
+        }
+    }
+
+    let delta = (guarded_out.goodput_at(2.0) - naive_out.goodput_at(2.0))
+        / naive_out.goodput_at(2.0)
+        * 100.0;
     println!(
         "\n>>> shed + backoff recovers {delta:.1}% more goodput@2s than naive \
          retry under the same outage"
@@ -220,15 +176,15 @@ fn main() {
     println!(
         ">>> naive retry buffers doomed requests in the tier chain (mean RT \
          {:.0} ms); shedding and deadlines fail them fast ({:.0} ms)",
-        naive.mean_rt * 1e3,
-        guarded.mean_rt * 1e3
+        naive_out.mean_rt * 1e3,
+        guarded_out.mean_rt * 1e3
     );
     assert!(
-        guarded.goodput_at(2.0) > naive.goodput_at(2.0),
+        guarded_out.goodput_at(2.0) > naive_out.goodput_at(2.0),
         "shed+backoff should out-recover naive retry"
     );
     assert!(
-        naive.mean_rt > guarded.mean_rt,
+        naive_out.mean_rt > guarded_out.mean_rt,
         "fail-fast should shorten the served-response tail"
     );
 }

@@ -9,12 +9,10 @@
 //!     --hw 1/2/1/2 --soft 400-6-6 --users 5000 --window 50 --csv run.csv
 //! ```
 //!
-//! Flags (all optional):
+//! Flags (all optional): the shared [`BenchArgs`] set (`--hw`, `--soft`,
+//! `--users N`, `--quick`) plus the dashboard's own extras, picked out of
+//! [`BenchArgs::rest`]:
 //!
-//! * `--hw #W/#A/#C/#D` — hardware topology (default `1/2/1/2`).
-//! * `--soft #W_T-#A_T-#A_C` — allocation (default `400-150-60`).
-//! * `--users N` — population (default 3000).
-//! * `--quick` — short trial for smoke runs.
 //! * `--window MS` — metrics window in milliseconds (default 100).
 //! * `--csv PATH` — also dump the per-window series as CSV.
 //! * `--gnuplot DIR` — also write the gnuplot-ready figure series
@@ -24,47 +22,33 @@ use rubbos_ntier::metrics::export;
 use rubbos_ntier::prelude::*;
 use rubbos_ntier::simcore::SimTime;
 
-struct Cli {
-    hw: HardwareConfig,
-    soft: SoftAllocation,
-    users: u32,
-    quick: bool,
+/// The dashboard's own flags, parsed from what the shared parser left over.
+struct Extras {
     window: SimTime,
     csv: Option<std::path::PathBuf>,
     gnuplot: Option<std::path::PathBuf>,
 }
 
-fn parse_cli() -> Result<Cli, String> {
-    let mut cli = Cli {
-        hw: HardwareConfig::one_two_one_two(),
-        soft: SoftAllocation::rule_of_thumb(),
-        users: 3000,
-        quick: false,
+fn parse_extras(rest: &[String]) -> Result<Extras, String> {
+    let mut extras = Extras {
         window: SimTime::from_millis(100),
         csv: None,
         gnuplot: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = rest.iter();
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
-            "--hw" => cli.hw = value("--hw")?.parse()?,
-            "--soft" => cli.soft = value("--soft")?.parse()?,
-            "--users" => {
-                let v = value("--users")?;
-                cli.users = v.parse().map_err(|e| format!("--users '{v}': {e}"))?;
-            }
-            "--quick" => cli.quick = true,
             "--window" => {
                 let v = value("--window")?;
                 let ms: u64 = v.parse().map_err(|e| format!("--window '{v}': {e}"))?;
                 if ms == 0 {
                     return Err("--window must be > 0 ms".into());
                 }
-                cli.window = SimTime::from_millis(ms);
+                extras.window = SimTime::from_millis(ms);
             }
-            "--csv" => cli.csv = Some(value("--csv")?.into()),
-            "--gnuplot" => cli.gnuplot = Some(value("--gnuplot")?.into()),
+            "--csv" => extras.csv = Some(value("--csv")?.into()),
+            "--gnuplot" => extras.gnuplot = Some(value("--gnuplot")?.into()),
             other => {
                 return Err(format!(
                     "unknown flag '{other}' \
@@ -73,31 +57,36 @@ fn parse_cli() -> Result<Cli, String> {
             }
         }
     }
-    Ok(cli)
+    Ok(extras)
 }
 
 fn main() {
-    let cli = match parse_cli() {
-        Ok(cli) => cli,
+    let args = BenchArgs::parse();
+    let extras = match parse_extras(&args.rest) {
+        Ok(extras) => extras,
         Err(e) => {
             eprintln!("metrics_dashboard: {e}");
             std::process::exit(2);
         }
     };
-    let mut spec = ExperimentSpec::new(cli.hw, cli.soft, cli.users);
-    spec.schedule = if cli.quick {
-        Schedule::Quick
-    } else {
-        Schedule::Default
-    };
-    let mut cfg = spec.to_config();
-    cfg.metrics = MetricsConfig::windowed(cli.window);
+    let hw = args.hw_or(HardwareConfig::one_two_one_two());
+    let soft = args.soft_or(SoftAllocation::rule_of_thumb());
+    let users = args.users_or(vec![3000])[0];
 
-    println!("running {} ...", cfg.label());
-    let (out, m) = run_system_metered(cfg);
+    // One metered single-point plan through the shared engine.
+    let plan = ExperimentPlan::new("metrics-dashboard")
+        .with_schedule(args.schedule())
+        .with_variant(Variant::paper(hw, soft))
+        .with_users([users])
+        .with_metrics(MetricsConfig::windowed(extras.window));
+
+    println!("running {}({soft}) @ {users} users ...", hw);
+    let results = run_plan(&plan, &Executor::serial());
+    let out = &results.outputs[0];
+    let m = results.metrics[0].as_ref().expect("metered plan");
 
     println!();
-    print!("{}", export::dashboard(&m));
+    print!("{}", export::dashboard(m));
     println!(
         "run summary: {:.1} req/s throughput, goodput@2s {:.1} req/s, mean RT {:.0} ms",
         out.throughput,
@@ -105,20 +94,20 @@ fn main() {
         out.mean_rt * 1e3,
     );
 
-    if let Some(path) = &cli.csv {
+    if let Some(path) = &extras.csv {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             let _ = std::fs::create_dir_all(parent);
         }
-        match std::fs::write(path, export::to_csv(&m)) {
+        match std::fs::write(path, export::to_csv(m)) {
             Ok(()) => println!("[saved {}]", path.display()),
             Err(e) => eprintln!("--csv: cannot write {}: {e}", path.display()),
         }
     }
-    if let Some(dir) = &cli.gnuplot {
+    if let Some(dir) = &extras.gnuplot {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("--gnuplot: cannot create {}: {e}", dir.display());
         } else {
-            for (name, contents) in export::gnuplot_series(&m) {
+            for (name, contents) in export::gnuplot_series(m) {
                 let path = dir.join(name);
                 match std::fs::write(&path, contents) {
                     Ok(()) => println!("[saved {}]", path.display()),

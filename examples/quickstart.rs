@@ -20,9 +20,13 @@ fn main() {
     let (hardware, soft) = parse_spec(spec_str).expect("configuration notation");
     println!("Running {hardware}({soft}) with {users} emulated users…");
 
-    let mut spec = ExperimentSpec::new(hardware, soft, users);
-    spec.schedule = Schedule::Default;
-    let out = run_experiment(&spec);
+    // Even a single trial is a (one-point) experiment plan — the same
+    // engine the figure harnesses use for their grids.
+    let plan = ExperimentPlan::new("quickstart")
+        .with_variant(Variant::paper(hardware, soft))
+        .with_users([users]);
+    let results = run_plan(&plan, &Executor::serial());
+    let out = &results.outputs[0];
 
     println!(
         "\n== results over a {:.0} s measured window ==",

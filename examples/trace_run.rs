@@ -30,8 +30,13 @@ fn main() {
     let (hardware, soft) = parse_spec(spec_str).expect("configuration notation");
     println!("Tracing {hardware}({soft}) with {users} emulated users…");
 
-    let spec = ExperimentSpec::new(hardware, soft, users).traced(TraceConfig::Full);
-    let (out, trace) = run_experiment_traced(&spec);
+    let plan = ExperimentPlan::new("trace-run")
+        .with_variant(Variant::paper(hardware, soft))
+        .with_users([users])
+        .with_trace(TraceConfig::Full);
+    let results = run_plan(&plan, &Executor::serial());
+    let out = &results.outputs[0];
+    let trace = results.traces[0].as_ref().expect("traced plan");
 
     println!(
         "\ncaptured {} spans from {} traced requests ({} overwritten)",

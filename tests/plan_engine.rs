@@ -1,0 +1,124 @@
+//! End-to-end contract of the experiment-plan engine (`ntier-lab`): plan
+//! expansion is deterministic and order-stable, parallel execution is
+//! bit-identical to serial, and resuming a half-completed manifest re-runs
+//! only the missing points.
+
+use rubbos_ntier::prelude::*;
+
+fn small_plan(name: &str) -> ExperimentPlan {
+    ExperimentPlan::new(name)
+        .with_variant(Variant::paper(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::new(50, 20, 10),
+        ))
+        .with_variant(Variant::paper(
+            HardwareConfig::one_four_one_four(),
+            SoftAllocation::new(50, 20, 10),
+        ))
+        .with_users([150u32, 300, 450])
+        .with_schedule(Schedule::Quick)
+}
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("plan-engine-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn expansion_is_deterministic_and_order_stable() {
+    let a = small_plan("expand").expand();
+    let b = small_plan("expand").expand();
+    assert_eq!(a.len(), 6);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.index, y.index);
+        assert_eq!(x.variant, y.variant);
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.digest, y.digest);
+    }
+    // Variant-major, ramp order inside a variant, dense indices.
+    assert_eq!(
+        a.iter()
+            .map(|p| (p.variant, p.spec.users))
+            .collect::<Vec<_>>(),
+        vec![(0, 150), (0, 300), (0, 450), (1, 150), (1, 300), (1, 450)]
+    );
+    // The plan name is identity, not content: same grid, same addresses.
+    let renamed = small_plan("something-else").expand();
+    assert_eq!(a[0].digest, renamed[0].digest);
+}
+
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    let plan = small_plan("parallel");
+    let serial = run_plan(&plan, &Executor::serial());
+    let four = run_plan(&plan, &Executor::with_threads(4));
+    assert_eq!(serial.digest(), four.digest());
+    assert_eq!(serial.outputs.len(), four.outputs.len());
+    for (s, p) in serial.outputs.iter().zip(&four.outputs) {
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.completed, p.completed);
+        assert_eq!(s.events_processed, p.events_processed);
+        assert_eq!(s.rt_dist_counts, p.rt_dist_counts);
+    }
+}
+
+#[test]
+fn resume_re_runs_only_missing_points() {
+    let dir = temp_store("resume");
+    let plan = small_plan("resume");
+    let points = plan.expand();
+    let executor = Executor::serial();
+
+    // Pre-populate the store with HALF the points (the first variant),
+    // simulating an interrupted earlier execution.
+    {
+        let mut store = ArtifactStore::open(&dir).expect("store opens");
+        let half = ExperimentPlan::new("resume-half")
+            .with_variant(plan.variants[0].clone())
+            .with_users(plan.users.clone())
+            .with_schedule(plan.schedule);
+        let first = run_plan_with_store(&half, &executor, &mut store).expect("store I/O");
+        assert_eq!(first.executed, 3);
+        assert_eq!(first.skipped, 0);
+    }
+
+    // Resuming the FULL plan in a fresh store handle (fresh process in real
+    // life) loads the persisted half and simulates only the other half.
+    let mut store = ArtifactStore::open(&dir).expect("store reopens");
+    assert_eq!(store.len(), 3);
+    let resumed = run_plan_with_store(&plan, &executor, &mut store).expect("store I/O");
+    assert_eq!(resumed.skipped, 3, "first variant comes from the manifest");
+    assert_eq!(resumed.executed, 3, "second variant is simulated");
+    assert_eq!(store.len(), points.len());
+
+    // The mixed loaded/simulated results are bit-identical to a clean run.
+    let clean = run_plan(&plan, &executor);
+    assert_eq!(resumed.digest(), clean.digest());
+
+    // A second resume touches nothing.
+    let warm = run_plan_with_store(&plan, &executor, &mut store).expect("store I/O");
+    assert_eq!((warm.executed, warm.skipped), (0, points.len()));
+    assert_eq!(warm.digest(), clean.digest());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn traced_and_metered_plans_carry_their_artifacts() {
+    let plan = ExperimentPlan::new("artifacts")
+        .with_variant(Variant::paper(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::new(50, 20, 10),
+        ))
+        .with_users([200u32])
+        .with_schedule(Schedule::Quick)
+        .with_trace(TraceConfig::Full)
+        .with_metrics(MetricsConfig::windowed_default());
+    let results = run_plan(&plan, &Executor::serial());
+    let trace = results.traces[0].as_ref().expect("traced plan");
+    assert!(!trace.spans.is_empty());
+    let m = results.metrics[0].as_ref().expect("metered plan");
+    assert!(m.n_windows > 0);
+    assert!(results.diagnose_variant(0).is_some());
+}
