@@ -42,11 +42,13 @@ pub fn spec_scheduled(
 }
 
 /// Start a figure's experiment plan from the shared CLI flags: the bench
-/// schedule (honoring `--quick`) and, when `--metrics` was given, passive
-/// windowed collection at the sink's window. Add variants and the workload
-/// ramp, then run it with [`execute`].
+/// schedule (honoring `--quick`), passive windowed collection when
+/// `--metrics` was given, and engine profiling when `--profile` was. Add
+/// variants and the workload ramp, then run it with [`execute`].
 pub fn plan(name: &str, args: &BenchArgs) -> ExperimentPlan {
-    let mut p = ExperimentPlan::new(name).with_schedule(args.schedule());
+    let mut p = ExperimentPlan::new(name)
+        .with_schedule(args.schedule())
+        .with_profile(args.profile);
     if let Some(sink) = &args.metrics {
         p = p.with_metrics(sink.config());
     }
@@ -94,7 +96,23 @@ pub fn execute(args: &BenchArgs, plan: &ExperimentPlan) -> PlanResults {
         );
     }
     dump_metrics(args, &results);
+    if args.profile {
+        dump_profiles(&results);
+    }
     results
+}
+
+/// When `--profile` was given, print each point's engine phase-timing
+/// summary after the tables. Profiling is passive, so the tables above are
+/// bit-identical with or without the flag.
+fn dump_profiles(results: &PlanResults) {
+    for (point, out) in results.points.iter().zip(&results.outputs) {
+        let Some(profile) = &out.profile else {
+            continue;
+        };
+        println!("\n[profile {}]", point.label);
+        println!("{}", profile.summary());
+    }
 }
 
 /// When `--metrics` was given, write one CSV of windowed series per metered

@@ -23,6 +23,8 @@
 //!   series during each run and write one CSV per run next to `PATH`
 //!   (see [`MetricsSink`]). Collection is passive: the printed tables are
 //!   bit-identical with or without the flag.
+//! * `--profile` — enable engine profiling on every run and print a
+//!   phase-timing/throughput summary after the tables. Also passive.
 //!
 //! Unknown arguments are collected into [`BenchArgs::rest`] (libtest passes
 //! some through to bench binaries; examples parse their extra flags from
@@ -54,6 +56,10 @@ pub struct BenchArgs {
     pub faults: Vec<FaultFlag>,
     /// `--metrics` CSV sink (window defaults to 100 ms).
     pub metrics: Option<MetricsSink>,
+    /// `--profile` flag: enable engine profiling on every run and print a
+    /// phase-timing summary afterwards. Passive — the printed tables are
+    /// bit-identical with or without it.
+    pub profile: bool,
     /// Arguments this parser did not recognize, in order.
     pub rest: Vec<String>,
 }
@@ -183,6 +189,7 @@ impl BenchArgs {
                     out.metrics = Some(MetricsSink::parse(&v)?);
                 }
                 "--quick" => out.quick = true,
+                "--profile" => out.profile = true,
                 _ => out.rest.push(arg),
             }
         }
@@ -258,10 +265,12 @@ mod tests {
         assert!(parse(&["--soft"]).is_err());
         assert!(parse(&["--users", "a,b"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
-        let ok = parse(&["--hw", "1/2/1/2", "--quick", "--bench"]).expect("parses");
+        let ok = parse(&["--hw", "1/2/1/2", "--quick", "--profile", "--bench"]).expect("parses");
         assert_eq!(ok.hw, Some(HardwareConfig::one_two_one_two()));
         assert!(ok.quick);
+        assert!(ok.profile);
         assert_eq!(ok.rest, vec!["--bench".to_string()]);
+        assert!(!parse(&["--quick"]).expect("parses").profile);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use digest::{digest_output, digest_outputs, digest_str, Fnv64};
 pub use executor::Executor;
 pub use plan::{spec_json, ExperimentPlan, RunPoint, Variant};
 pub use runner::{run_plan, run_plan_with_store, PlanResults};
-pub use store::{ArtifactStore, ManifestEntry};
+pub use store::{ArtifactStore, ManifestEntry, PointPerf};
 
 // One-import convenience for harnesses: the experiment surface underneath.
 pub use ntier_core::experiment::Schedule;

@@ -107,6 +107,10 @@ pub struct ExperimentPlan {
     /// with it on or off, but metered plans always re-execute — series are
     /// not persisted in the artifact store).
     pub metrics: MetricsConfig,
+    /// Engine profiling (passive; results are bit-identical with it on or
+    /// off, but profiled plans always re-execute — phase timings describe
+    /// *this* execution, not a store replay).
+    pub profile: bool,
 }
 
 impl ExperimentPlan {
@@ -120,6 +124,7 @@ impl ExperimentPlan {
             seed: 0x5eed_0001,
             trace: TraceConfig::Off,
             metrics: MetricsConfig::Off,
+            profile: false,
         }
     }
 
@@ -170,6 +175,12 @@ impl ExperimentPlan {
     /// Enable windowed time-series collection.
     pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Enable engine profiling on every point of the plan.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -235,7 +246,7 @@ impl RunPoint {
 
 /// Canonical JSON form of a spec — the content-addressing preimage. Every
 /// semantic knob that changes simulation output must appear here; purely
-/// observational settings (windowed metrics) must not.
+/// observational settings (windowed metrics, engine profiling) must not.
 pub fn spec_json(spec: &ExperimentSpec) -> Json {
     obj([
         (

@@ -16,7 +16,7 @@ use tiers::{MetricsConfig, RunMetrics, RunOutput, RunTrace, Tier};
 use crate::digest::digest_outputs;
 use crate::executor::Executor;
 use crate::plan::{ExperimentPlan, RunPoint};
-use crate::store::ArtifactStore;
+use crate::store::{ArtifactStore, PointPerf};
 
 /// Everything a plan execution produced, in expansion order.
 #[derive(Debug)]
@@ -30,6 +30,10 @@ pub struct PlanResults {
     /// Per-request traces per point (when the plan enabled tracing and the
     /// point was executed rather than loaded from the store).
     pub traces: Vec<Option<RunTrace>>,
+    /// Execution performance per point: measured live for executed points,
+    /// recovered from the manifest for points loaded from the store (absent
+    /// only for points resumed from a pre-provenance manifest).
+    pub perf: Vec<Option<PointPerf>>,
     /// Points simulated in this execution.
     pub executed: usize,
     /// Points loaded from the artifact store instead.
@@ -101,36 +105,46 @@ impl PlanResults {
 }
 
 /// What executing one point yields.
-type PointYield = (RunOutput, Option<RunMetrics>, Option<RunTrace>);
+type PointYield = (RunOutput, Option<RunMetrics>, Option<RunTrace>, PointPerf);
 
-fn execute_point(point: &RunPoint, metrics: MetricsConfig) -> PointYield {
+fn execute_point(point: &RunPoint, metrics: MetricsConfig, profile: bool) -> PointYield {
     let mut cfg = point.spec.to_config();
     cfg.metrics = metrics;
+    cfg.profile = profile;
     let traced = cfg.trace.enabled();
     let (out, trace, m) = run_system_full(cfg);
-    (out, m.map(|b| *b), traced.then_some(trace))
+    // The engine times run_until unconditionally, so perf provenance is
+    // free — no profiling required.
+    let perf = PointPerf {
+        wall_secs: trace.engine.wall_secs,
+        events_per_sec: trace.engine.events_per_sec(),
+    };
+    (out, m.map(|b| *b), traced.then_some(trace), perf)
 }
 
 /// Execute every point of a plan on the given executor.
 pub fn run_plan(plan: &ExperimentPlan, executor: &Executor) -> PlanResults {
     let points = plan.expand();
     let yields = executor.run_ordered(points.iter().collect(), |p: &RunPoint| {
-        execute_point(p, plan.metrics)
+        execute_point(p, plan.metrics, plan.profile)
     });
     let executed = yields.len();
     let mut outputs = Vec::with_capacity(executed);
     let mut metrics = Vec::with_capacity(executed);
     let mut traces = Vec::with_capacity(executed);
-    for (out, m, t) in yields {
+    let mut perf = Vec::with_capacity(executed);
+    for (out, m, t, p) in yields {
         outputs.push(out);
         metrics.push(m);
         traces.push(t);
+        perf.push(Some(p));
     }
     PlanResults {
         points,
         outputs,
         metrics,
         traces,
+        perf,
         executed,
         skipped: 0,
     }
@@ -138,25 +152,30 @@ pub fn run_plan(plan: &ExperimentPlan, executor: &Executor) -> PlanResults {
 
 /// Execute a plan against an artifact store: points whose content address
 /// is already in the manifest are loaded from disk; only the missing ones
-/// are simulated (and then persisted). Exception: a *metered* plan executes
-/// every point — the windowed series are not persisted, and collection is
-/// passive, so the outputs (and digests) are unchanged either way.
+/// are simulated (and then persisted). Exception: a *metered* or *profiled*
+/// plan executes every point — windowed series and phase timings are not
+/// persisted, and both are passive, so the outputs (and digests) are
+/// unchanged either way.
 pub fn run_plan_with_store(
     plan: &ExperimentPlan,
     executor: &Executor,
     store: &mut ArtifactStore,
 ) -> io::Result<PlanResults> {
     let points = plan.expand();
-    let reusable = plan.metrics == MetricsConfig::Off;
+    let reusable = plan.metrics == MetricsConfig::Off && !plan.profile;
     let mut outputs: Vec<Option<RunOutput>> = Vec::with_capacity(points.len());
     let mut metrics: Vec<Option<RunMetrics>> = Vec::with_capacity(points.len());
     let mut traces: Vec<Option<RunTrace>> = Vec::with_capacity(points.len());
+    let mut perf: Vec<Option<PointPerf>> = Vec::with_capacity(points.len());
     let mut missing: Vec<&RunPoint> = Vec::new();
     for p in &points {
         if reusable && store.contains(p.digest) {
             outputs.push(Some(store.load(p.digest)?));
+            // Perf provenance of the execution that produced the artifact.
+            perf.push(store.entry(p.digest).and_then(|e| e.perf));
         } else {
             outputs.push(None);
+            perf.push(None);
             missing.push(p);
         }
         metrics.push(None);
@@ -165,15 +184,16 @@ pub fn run_plan_with_store(
     let skipped = points.len() - missing.len();
     let executed = missing.len();
     let yields = executor.run_ordered(missing.clone(), |p: &RunPoint| {
-        execute_point(p, plan.metrics)
+        execute_point(p, plan.metrics, plan.profile)
     });
-    for (p, (out, m, t)) in missing.iter().zip(yields) {
+    for (p, (out, m, t, pp)) in missing.iter().zip(yields) {
         if !store.contains(p.digest) {
-            store.save(p, &out)?;
+            store.save_with_perf(p, &out, Some(pp))?;
         }
         outputs[p.index] = Some(out);
         metrics[p.index] = m;
         traces[p.index] = t;
+        perf[p.index] = Some(pp);
     }
     Ok(PlanResults {
         points,
@@ -183,6 +203,7 @@ pub fn run_plan_with_store(
             .collect(),
         metrics,
         traces,
+        perf,
         executed,
         skipped,
     })
@@ -226,6 +247,53 @@ mod tests {
         assert!(a.metrics.iter().all(Option::is_none));
         assert!(b.diagnose_variant(0).is_some());
         assert!(a.diagnose_variant(0).is_none());
+    }
+
+    #[test]
+    fn profiled_plan_attaches_profiles_without_perturbing_outputs() {
+        let base = tiny_plan();
+        let profiled = tiny_plan().with_profile(true);
+        let a = run_plan(&base, &Executor::serial());
+        let b = run_plan(&profiled, &Executor::serial());
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.outputs.iter().all(|o| o.profile.is_none()));
+        for out in &b.outputs {
+            let p = out.profile.as_ref().expect("profile attached");
+            assert_eq!(p.events_processed, out.events_processed);
+            assert!(p.wall_secs > 0.0);
+        }
+        // Perf provenance is recorded either way — it needs no profiling.
+        assert!(a.perf.iter().all(Option::is_some));
+        assert!(b.perf.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn store_resume_recovers_perf_provenance() {
+        let dir =
+            std::env::temp_dir().join(format!("ntier-lab-runner-perf-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = tiny_plan();
+        {
+            let mut store = ArtifactStore::open(&dir).expect("opens");
+            let fresh = run_plan_with_store(&plan, &Executor::serial(), &mut store).expect("runs");
+            assert_eq!(fresh.executed, 2);
+            assert!(fresh.perf.iter().all(Option::is_some));
+        }
+        // Resume skips both points but still reports the perf of the
+        // execution that produced the artifacts.
+        let mut store = ArtifactStore::open(&dir).expect("reopens");
+        let resumed = run_plan_with_store(&plan, &Executor::serial(), &mut store).expect("runs");
+        assert_eq!((resumed.executed, resumed.skipped), (0, 2));
+        assert!(resumed
+            .perf
+            .iter()
+            .all(|p| p.is_some_and(|p| p.wall_secs > 0.0)));
+        // A profiled plan is not reusable: every point re-executes.
+        let profiled = tiny_plan().with_profile(true);
+        let re = run_plan_with_store(&profiled, &Executor::serial(), &mut store).expect("runs");
+        assert_eq!((re.executed, re.skipped), (2, 0));
+        assert!(re.outputs.iter().all(|o| o.profile.is_some()));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -19,11 +19,25 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
-use ntier_trace::json::{obj, Json};
+use ntier_trace::json::Json;
 use tiers::{output_from_json, output_to_json, RunOutput};
 
 use crate::digest::digest_output;
 use crate::plan::RunPoint;
+
+/// Performance provenance of one executed point: how long the simulation
+/// took and how fast the engine ran, on the machine that executed it.
+///
+/// Recorded in the manifest (not the output file) because it describes the
+/// *execution*, not the result — the semantic output of a point is
+/// machine-independent, its wall-clock is not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointPerf {
+    /// Wall-clock seconds the engine spent simulating the point.
+    pub wall_secs: f64,
+    /// Events processed per wall-clock second.
+    pub events_per_sec: f64,
+}
 
 /// One manifest entry.
 #[derive(Debug, Clone)]
@@ -36,6 +50,9 @@ pub struct ManifestEntry {
     pub output_digest: u64,
     /// Result file name, relative to the store directory.
     pub file: String,
+    /// Execution performance at save time (absent in manifests written
+    /// before perf provenance existed).
+    pub perf: Option<PointPerf>,
 }
 
 /// A directory of executed run points with a JSONL manifest.
@@ -128,6 +145,17 @@ impl ArtifactStore {
     /// manifest line (write order makes a torn append detectable — the
     /// output file always exists for every manifest line).
     pub fn save(&mut self, point: &RunPoint, out: &RunOutput) -> io::Result<()> {
+        self.save_with_perf(point, out, None)
+    }
+
+    /// Like [`save`](Self::save), also recording the point's execution
+    /// performance in its manifest line.
+    pub fn save_with_perf(
+        &mut self,
+        point: &RunPoint,
+        out: &RunOutput,
+        perf: Option<PointPerf>,
+    ) -> io::Result<()> {
         let file = format!("point-{}.json", point.digest_hex());
         fs::write(self.dir.join(&file), output_to_json(out).to_pretty())?;
         let entry = ManifestEntry {
@@ -135,17 +163,25 @@ impl ArtifactStore {
             label: point.label.clone(),
             output_digest: digest_output(out),
             file,
+            perf,
         };
-        let line = obj([
-            ("digest", Json::Str(format!("{:016x}", entry.digest))),
-            ("label", Json::Str(entry.label.clone())),
+        let mut fields = vec![
             (
-                "output_digest",
+                "digest".to_string(),
+                Json::Str(format!("{:016x}", entry.digest)),
+            ),
+            ("label".to_string(), Json::Str(entry.label.clone())),
+            (
+                "output_digest".to_string(),
                 Json::Str(format!("{:016x}", entry.output_digest)),
             ),
-            ("file", Json::Str(entry.file.clone())),
-        ])
-        .to_compact();
+            ("file".to_string(), Json::Str(entry.file.clone())),
+        ];
+        if let Some(p) = entry.perf {
+            fields.push(("wall_secs".to_string(), Json::Num(p.wall_secs)));
+            fields.push(("events_per_sec".to_string(), Json::Num(p.events_per_sec)));
+        }
+        let line = Json::Obj(fields).to_compact();
         let mut f = fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -172,6 +208,18 @@ fn parse_entry(line: &str) -> Result<ManifestEntry, String> {
             .ok_or_else(|| format!("missing '{key}'"))?;
         u64::from_str_radix(s, 16).map_err(|_| format!("'{key}' is not a hex digest"))
     };
+    // Perf provenance is optional: manifests written before it existed
+    // parse unchanged, with `perf: None`.
+    let perf = match (
+        v.get("wall_secs").and_then(Json::as_f64),
+        v.get("events_per_sec").and_then(Json::as_f64),
+    ) {
+        (Some(wall_secs), Some(events_per_sec)) => Some(PointPerf {
+            wall_secs,
+            events_per_sec,
+        }),
+        _ => None,
+    };
     Ok(ManifestEntry {
         digest: hex("digest")?,
         label: v
@@ -185,6 +233,7 @@ fn parse_entry(line: &str) -> Result<ManifestEntry, String> {
             .and_then(Json::as_str)
             .ok_or("missing 'file'")?
             .to_owned(),
+        perf,
     })
 }
 
@@ -194,6 +243,7 @@ mod tests {
     use crate::plan::{ExperimentPlan, Variant};
     use ntier_core::experiment::Schedule;
     use ntier_core::run_experiment;
+    use ntier_trace::json::obj;
     use tiers::{HardwareConfig, SoftAllocation};
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -232,6 +282,37 @@ mod tests {
         assert_eq!(store.len(), 1);
         let back = store.load(point.digest).expect("loads");
         assert_eq!(digest_output(&back), digest_output(&out));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn perf_provenance_round_trips_and_old_manifests_still_parse() {
+        let dir = temp_dir("perf");
+        let (point, out) = one_point();
+        let perf = PointPerf {
+            wall_secs: 0.125,
+            events_per_sec: 1.5e6,
+        };
+        {
+            let mut store = ArtifactStore::open(&dir).expect("opens");
+            store
+                .save_with_perf(&point, &out, Some(perf))
+                .expect("saves");
+            assert_eq!(store.entry(point.digest).unwrap().perf, Some(perf));
+        }
+        // Perf survives a manifest replay in a fresh process.
+        let store = ArtifactStore::open(&dir).expect("reopens");
+        assert_eq!(store.entry(point.digest).unwrap().perf, Some(perf));
+        // A pre-provenance manifest line (no perf fields) still parses.
+        let line = obj([
+            ("digest", Json::Str("00000000000000aa".into())),
+            ("label", Json::Str("legacy".into())),
+            ("output_digest", Json::Str("00000000000000bb".into())),
+            ("file", Json::Str("point-00000000000000aa.json".into())),
+        ])
+        .to_compact();
+        let entry = parse_entry(&line).expect("legacy line parses");
+        assert_eq!(entry.perf, None);
         let _ = fs::remove_dir_all(&dir);
     }
 

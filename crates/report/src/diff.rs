@@ -1,0 +1,410 @@
+//! Store-backed run diffs with shape-check verdicts.
+//!
+//! A *sweep* is one variant of an executed experiment plan: a workload ramp
+//! with one [`RunOutput`] per point. [`load_sweep`] reconstructs a sweep
+//! from an [`ArtifactStore`] by manifest — every artifact is digest-verified
+//! on load, and every failure (missing point, corrupt file, tampered
+//! output) is a [`ReportError`], never a panic: diffing yesterday's store
+//! against today's must degrade into an error message, not take down the
+//! harness.
+//!
+//! [`RunDiff::compute`] compares a *before* sweep against an *after* sweep
+//! and attaches three in-code verdicts ([`ShapeCheck`]s), mirroring how the
+//! paper argues its figures:
+//!
+//! * **knee location** — both curves are USL-fitted ([`UslFit`]); the after
+//!   knee must sit at least as far right as the before knee.
+//! * **critical-tier identity** — the bottleneck at each sweep's peak; the
+//!   after run must drive its critical tier at least as hot (a good
+//!   allocation engages hardware instead of idling behind a soft limit).
+//! * **curve direction** — the after curve must not turn retrograde (the
+//!   over-allocation collapse of §III-B) and must peak at least as high.
+
+use ntier_lab::{ArtifactStore, ExperimentPlan};
+use tiers::{RunOutput, Tier};
+
+use crate::usl::UslFit;
+use crate::ReportError;
+
+/// One point of a loaded sweep: the observables the verdicts reason about.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Concurrent users at this point.
+    pub users: u32,
+    /// Total throughput over the measurement window (req/s).
+    pub throughput: f64,
+    /// Goodput at the tightest SLA threshold (req/s).
+    pub goodput: f64,
+    /// The hottest hardware resource: (tier, replica, mean CPU util 0..1).
+    pub critical: (Tier, u16, f64),
+}
+
+/// One variant's workload ramp, loaded back out of a store.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Variant label (plan column heading).
+    pub label: String,
+    /// Points in ramp order.
+    pub points: Vec<SweepPoint>,
+    /// USL fit over (users, throughput), when the ramp admits one.
+    pub usl: Option<UslFit>,
+}
+
+impl SweepSummary {
+    /// Summarize a sweep from outputs already in memory (ramp order).
+    pub fn from_outputs(label: impl Into<String>, outputs: &[&RunOutput]) -> SweepSummary {
+        let points: Vec<SweepPoint> = outputs
+            .iter()
+            .map(|o| {
+                let (tier, replica, util) = o.max_cpu();
+                SweepPoint {
+                    users: o.users,
+                    throughput: o.throughput,
+                    goodput: o.goodput_at(1.0),
+                    critical: (tier, replica, util),
+                }
+            })
+            .collect();
+        let curve: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.users as f64, p.throughput))
+            .collect();
+        SweepSummary {
+            label: label.into(),
+            points,
+            usl: UslFit::fit(&curve),
+        }
+    }
+
+    /// The peak point (highest throughput); `None` for an empty sweep.
+    pub fn peak(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+    }
+
+    /// The USL knee in users, when the fitted curve has one.
+    pub fn knee_users(&self) -> Option<f64> {
+        self.usl.and_then(|f| f.knee())
+    }
+
+    /// The measured throughput curve, in ramp order.
+    pub fn throughputs(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.throughput).collect()
+    }
+}
+
+/// Load one variant of a plan back out of the store, by manifest.
+///
+/// Every point of the variant must already be persisted; a missing point is
+/// [`ReportError::MissingPoint`], a corrupt or tampered artifact surfaces
+/// the store's digest-verified load error.
+pub fn load_sweep(
+    store: &ArtifactStore,
+    plan: &ExperimentPlan,
+    variant: usize,
+) -> Result<SweepSummary, ReportError> {
+    let label = plan
+        .variants
+        .get(variant)
+        .map(|v| v.label.clone())
+        .ok_or_else(|| ReportError::Shape(format!("plan has no variant {variant}")))?;
+    let mut outputs = Vec::new();
+    for point in plan.expand().into_iter().filter(|p| p.variant == variant) {
+        if !store.contains(point.digest) {
+            return Err(ReportError::MissingPoint {
+                digest: point.digest,
+                label: point.label,
+            });
+        }
+        outputs.push(store.load(point.digest)?);
+    }
+    if outputs.is_empty() {
+        return Err(ReportError::Shape(format!(
+            "variant '{label}' expands to no points"
+        )));
+    }
+    let refs: Vec<&RunOutput> = outputs.iter().collect();
+    Ok(SweepSummary::from_outputs(label, &refs))
+}
+
+/// Qualitative direction of a measured throughput curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveShape {
+    /// Still climbing at the end of the ramp (knee not reached).
+    Rising,
+    /// Flattens near its maximum and holds (healthy saturation).
+    Saturated,
+    /// Peaks in the interior and falls off (the paper's over-allocation
+    /// collapse, §III-B).
+    Retrograde,
+}
+
+impl CurveShape {
+    /// Human-readable name used in verdict details.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CurveShape::Rising => "rising",
+            CurveShape::Saturated => "saturated",
+            CurveShape::Retrograde => "retrograde",
+        }
+    }
+}
+
+/// Classify a throughput curve (ramp order). The tail is *retrograde* when
+/// the final point drops more than 10% below the peak; *rising* when the
+/// last step still gains more than 3%; *saturated* otherwise.
+pub fn classify_curve(tp: &[f64]) -> CurveShape {
+    if tp.len() < 2 {
+        return CurveShape::Rising;
+    }
+    let peak = tp.iter().copied().fold(f64::MIN, f64::max);
+    let last = *tp.last().expect("non-empty");
+    let prev = tp[tp.len() - 2];
+    if peak > 0.0 && last < peak * 0.90 {
+        CurveShape::Retrograde
+    } else if prev > 0.0 && last > prev * 1.03 {
+        CurveShape::Rising
+    } else {
+        CurveShape::Saturated
+    }
+}
+
+/// One named verdict of a shape check.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// Verdict name (stable identifier, e.g. `knee-location`).
+    pub name: &'static str,
+    /// Whether the asserted shape holds.
+    pub passed: bool,
+    /// What was measured, for the rendered report.
+    pub detail: String,
+}
+
+/// Assert that one sweep's measured curve has the expected direction —
+/// the single-sweep verdict used by the pathology tests.
+pub fn check_shape(sweep: &SweepSummary, expected: CurveShape) -> ShapeCheck {
+    let got = classify_curve(&sweep.throughputs());
+    ShapeCheck {
+        name: "curve-shape",
+        passed: got == expected,
+        detail: format!(
+            "{}: measured curve is {} (expected {})",
+            sweep.label,
+            got.name(),
+            expected.name()
+        ),
+    }
+}
+
+/// A structured before/after comparison of two sweeps.
+#[derive(Debug, Clone)]
+pub struct RunDiff {
+    /// The baseline sweep.
+    pub before: SweepSummary,
+    /// The candidate sweep.
+    pub after: SweepSummary,
+    /// Per-workload throughput deltas: (users, before, after), at the
+    /// workload levels the two sweeps share.
+    pub deltas: Vec<(u32, f64, f64)>,
+}
+
+impl RunDiff {
+    /// Compare two sweeps point-by-point (matching on workload level).
+    pub fn compute(before: SweepSummary, after: SweepSummary) -> RunDiff {
+        let mut deltas = Vec::new();
+        for b in &before.points {
+            if let Some(a) = after.points.iter().find(|a| a.users == b.users) {
+                deltas.push((b.users, b.throughput, a.throughput));
+            }
+        }
+        RunDiff {
+            before,
+            after,
+            deltas,
+        }
+    }
+
+    /// Peak-throughput change, in percent of the before peak.
+    pub fn peak_delta_pct(&self) -> Option<f64> {
+        let b = self.before.peak()?.throughput;
+        let a = self.after.peak()?.throughput;
+        (b > 0.0).then(|| (a - b) / b * 100.0)
+    }
+
+    /// The three standard verdicts of a before→after comparison. They
+    /// assert the after run scales *no worse* than the before run — a
+    /// regression shows up as failed checks in the rendered report.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        vec![
+            self.check_knee_location(),
+            self.check_critical_tier(),
+            self.check_curve_direction(),
+        ]
+    }
+
+    /// knee-location: both curves admit a USL knee (or the after curve has
+    /// not kneed at all within the ramp) and the after knee sits at least
+    /// as far right as the before knee.
+    pub fn check_knee_location(&self) -> ShapeCheck {
+        let name = "knee-location";
+        match (self.before.knee_users(), self.after.knee_users()) {
+            (Some(kb), Some(ka)) => ShapeCheck {
+                name,
+                passed: ka >= kb,
+                detail: format!(
+                    "USL knee {} → {} users (λ {:.2} → {:.2})",
+                    fmt_knee(kb),
+                    fmt_knee(ka),
+                    self.before.usl.map(|f| f.lambda).unwrap_or(0.0),
+                    self.after.usl.map(|f| f.lambda).unwrap_or(0.0),
+                ),
+            },
+            (Some(kb), None) => ShapeCheck {
+                name,
+                passed: true,
+                detail: format!(
+                    "before knees at {} users; after shows no knee within the ramp",
+                    fmt_knee(kb)
+                ),
+            },
+            (None, ka) => ShapeCheck {
+                name,
+                passed: ka.is_none(),
+                detail: match ka {
+                    None => "neither curve knees within the ramp".into(),
+                    Some(ka) => format!(
+                        "after knees at {} users while before did not — regression",
+                        fmt_knee(ka)
+                    ),
+                },
+            },
+        }
+    }
+
+    /// critical-tier: name the bottleneck at each sweep's peak; the after
+    /// run must drive its critical tier at least as hot as the before run
+    /// drove its own (within a 2-point tolerance).
+    pub fn check_critical_tier(&self) -> ShapeCheck {
+        let name = "critical-tier";
+        match (self.before.peak(), self.after.peak()) {
+            (Some(b), Some(a)) => {
+                let (bt, br, bu) = b.critical;
+                let (at, ar, au) = a.critical;
+                ShapeCheck {
+                    name,
+                    passed: au >= bu - 0.02,
+                    detail: format!(
+                        "critical tier at peak: {bt}#{br} at {:.0}% → {at}#{ar} at {:.0}%",
+                        bu * 100.0,
+                        au * 100.0
+                    ),
+                }
+            }
+            _ => ShapeCheck {
+                name,
+                passed: false,
+                detail: "one of the sweeps is empty".into(),
+            },
+        }
+    }
+
+    /// curve-direction: the after curve must not turn retrograde and its
+    /// peak throughput must be at least the before peak.
+    pub fn check_curve_direction(&self) -> ShapeCheck {
+        let name = "curve-direction";
+        let shape = classify_curve(&self.after.throughputs());
+        let (bp, ap) = (
+            self.before.peak().map_or(0.0, |p| p.throughput),
+            self.after.peak().map_or(0.0, |p| p.throughput),
+        );
+        ShapeCheck {
+            name,
+            passed: shape != CurveShape::Retrograde && ap >= bp,
+            detail: format!(
+                "after curve is {} with peak {:.1} req/s (before peak {:.1})",
+                shape.name(),
+                ap,
+                bp
+            ),
+        }
+    }
+}
+
+fn fmt_knee(k: f64) -> String {
+    format!("{:.0}", k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(label: &str, pts: &[(u32, f64)]) -> SweepSummary {
+        let points: Vec<SweepPoint> = pts
+            .iter()
+            .map(|&(users, tp)| SweepPoint {
+                users,
+                throughput: tp,
+                goodput: tp,
+                critical: (Tier::Db, 0, 0.9),
+            })
+            .collect();
+        let curve: Vec<(f64, f64)> = pts.iter().map(|&(u, t)| (u as f64, t)).collect();
+        SweepSummary {
+            label: label.into(),
+            points,
+            usl: UslFit::fit(&curve),
+        }
+    }
+
+    #[test]
+    fn classify_names_the_three_directions() {
+        assert_eq!(classify_curve(&[10.0, 20.0, 30.0]), CurveShape::Rising);
+        assert_eq!(classify_curve(&[10.0, 20.0, 20.2]), CurveShape::Saturated);
+        assert_eq!(classify_curve(&[10.0, 25.0, 15.0]), CurveShape::Retrograde);
+        assert_eq!(classify_curve(&[5.0]), CurveShape::Rising);
+    }
+
+    #[test]
+    fn diff_matches_points_by_workload() {
+        let before = sweep("b", &[(100, 50.0), (200, 80.0), (400, 70.0)]);
+        let after = sweep("a", &[(100, 50.0), (200, 95.0), (400, 110.0)]);
+        let diff = RunDiff::compute(before, after);
+        assert_eq!(diff.deltas.len(), 3);
+        assert_eq!(diff.deltas[1], (200, 80.0, 95.0));
+        let pct = diff.peak_delta_pct().expect("peaks exist");
+        assert!((pct - 37.5).abs() < 1e-9, "pct = {pct}");
+    }
+
+    #[test]
+    fn improvement_passes_all_three_verdicts() {
+        // Before: retrograde, knees early. After: higher, still saturating.
+        let before = sweep("b", &[(100, 60.0), (200, 90.0), (400, 85.0), (800, 60.0)]);
+        let after = sweep(
+            "a",
+            &[(100, 62.0), (200, 115.0), (400, 150.0), (800, 152.0)],
+        );
+        let diff = RunDiff::compute(before, after);
+        let checks = diff.shape_checks();
+        assert_eq!(checks.len(), 3);
+        for c in &checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+    }
+
+    #[test]
+    fn regression_fails_the_direction_verdict() {
+        let before = sweep("b", &[(100, 60.0), (200, 100.0), (400, 105.0)]);
+        let after = sweep("a", &[(100, 55.0), (200, 90.0), (400, 60.0)]);
+        let diff = RunDiff::compute(before, after);
+        let direction = diff.check_curve_direction();
+        assert!(!direction.passed, "{}", direction.detail);
+    }
+
+    #[test]
+    fn single_sweep_shape_verdict() {
+        let collapse = sweep("over", &[(100, 60.0), (200, 90.0), (400, 50.0)]);
+        assert!(check_shape(&collapse, CurveShape::Retrograde).passed);
+        assert!(!check_shape(&collapse, CurveShape::Saturated).passed);
+    }
+}

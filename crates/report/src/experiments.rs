@@ -1,0 +1,112 @@
+//! Marked-section patching for hand-written docs with auto-generated
+//! numbers.
+//!
+//! `EXPERIMENTS.md` mixes prose (stable, hand-written) with headline
+//! numbers (regenerated from the artifact store). The generated part lives
+//! between a marker pair so regeneration is idempotent and never touches
+//! the prose: [`patch_marked_section`] replaces the block in place when the
+//! markers exist, or appends a fresh block at the end when they don't.
+
+/// Opening marker of the auto-generated block (HTML comment — invisible in
+/// rendered markdown).
+pub const BEGIN_MARK: &str = "<!-- BEGIN GENERATED: report-headlines -->";
+/// Closing marker of the auto-generated block.
+pub const END_MARK: &str = "<!-- END GENERATED: report-headlines -->";
+
+/// Replace the text between `begin` and `end` (exclusive) with `body`,
+/// keeping the markers; append a new marked block at the end when the
+/// markers are absent. Returns the patched document.
+pub fn patch_marked_section(text: &str, begin: &str, end: &str, body: &str) -> String {
+    match (text.find(begin), text.find(end)) {
+        (Some(b), Some(e)) if b < e => {
+            let mut out = String::with_capacity(text.len() + body.len());
+            out.push_str(&text[..b + begin.len()]);
+            out.push('\n');
+            out.push_str(body.trim_end());
+            out.push('\n');
+            out.push_str(&text[e..]);
+            out
+        }
+        _ => {
+            let mut out = text.trim_end().to_string();
+            out.push_str("\n\n");
+            out.push_str(begin);
+            out.push('\n');
+            out.push_str(body.trim_end());
+            out.push('\n');
+            out.push_str(end);
+            out.push('\n');
+            out
+        }
+    }
+}
+
+/// Render the standard headline block for a before/after diff: what the
+/// demo and doc-regeneration flows splice between the markers.
+pub fn headline_markdown(diff: &crate::diff::RunDiff) -> String {
+    let mut out = String::new();
+    out.push_str("_Auto-generated from the artifact store by `ntier-report` — do not edit._\n\n");
+    if let Some(pct) = diff.peak_delta_pct() {
+        out.push_str(&format!(
+            "- Peak throughput `{}` → `{}`: **{pct:+.1}%**\n",
+            diff.before.label, diff.after.label
+        ));
+    }
+    for (label, sweep) in [("before", &diff.before), ("after", &diff.after)] {
+        if let Some(p) = sweep.peak() {
+            out.push_str(&format!(
+                "- {label} `{}` peaks at {:.1} req/s ({} users); critical tier {}#{} at {:.0}% CPU\n",
+                sweep.label,
+                p.throughput,
+                p.users,
+                p.critical.0,
+                p.critical.1,
+                p.critical.2 * 100.0
+            ));
+        }
+        if let Some(k) = sweep.knee_users() {
+            out.push_str(&format!("- {label} USL knee: ~{k:.0} users\n"));
+        }
+    }
+    for c in diff.shape_checks() {
+        out.push_str(&format!(
+            "- shape `{}`: {} — {}\n",
+            c.name,
+            if c.passed { "pass" } else { "FAIL" },
+            c.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_replaces_between_markers_idempotently() {
+        let doc = format!(
+            "# Title\n\nprose before\n\n{BEGIN_MARK}\nold numbers\n{END_MARK}\n\nprose after\n"
+        );
+        let once = patch_marked_section(&doc, BEGIN_MARK, END_MARK, "new numbers");
+        assert!(once.contains("new numbers"));
+        assert!(!once.contains("old numbers"));
+        assert!(once.contains("prose before"));
+        assert!(once.contains("prose after"));
+        let twice = patch_marked_section(&once, BEGIN_MARK, END_MARK, "new numbers");
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn patch_appends_block_when_markers_absent() {
+        let doc = "# Title\n\njust prose\n";
+        let patched = patch_marked_section(doc, BEGIN_MARK, END_MARK, "numbers");
+        assert!(patched.contains(BEGIN_MARK));
+        assert!(patched.contains(END_MARK));
+        assert!(patched.contains("numbers"));
+        assert!(patched.starts_with("# Title"));
+        // And is then idempotent under replacement.
+        let again = patch_marked_section(&patched, BEGIN_MARK, END_MARK, "numbers");
+        assert_eq!(patched, again);
+    }
+}

@@ -1,0 +1,209 @@
+//! Rendering: diffs as plain text / markdown, and gnuplot artifacts.
+//!
+//! The rendered [`Report`] is the human-facing face of a [`RunDiff`]: a
+//! verdict banner, the per-workload delta table, the USL fits, and one line
+//! per shape check. [`write_gnuplot`] regenerates the `.dat`/`.gp` pair
+//! under the workspace root's `target/paper-results/report/` so the
+//! comparison can be replotted with stock gnuplot — same convention as the
+//! figure harnesses' JSON artifacts.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use crate::diff::RunDiff;
+use crate::workspace_root;
+
+/// A rendered report: title plus markdown body (plain text is the same
+/// content with the markup stripped down — the body avoids any markup that
+/// reads badly in a terminal).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Report heading.
+    pub title: String,
+    /// Markdown body lines.
+    pub lines: Vec<String>,
+    /// Whether every shape check passed.
+    pub passed: bool,
+}
+
+impl Report {
+    /// Render a before/after diff.
+    pub fn from_diff(title: impl Into<String>, diff: &RunDiff) -> Report {
+        let checks = diff.shape_checks();
+        let passed = checks.iter().all(|c| c.passed);
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "Comparing `{}` (before) vs `{}` (after).",
+            diff.before.label, diff.after.label
+        ));
+        if let Some(pct) = diff.peak_delta_pct() {
+            lines.push(format!("Peak throughput: {pct:+.1}%."));
+        }
+        lines.push(String::new());
+        lines.push("| users | before (req/s) | after (req/s) | delta |".into());
+        lines.push("|------:|---------------:|--------------:|------:|".into());
+        for &(users, b, a) in &diff.deltas {
+            let delta = if b > 0.0 {
+                format!("{:+.1}%", (a - b) / b * 100.0)
+            } else {
+                "n/a".into()
+            };
+            lines.push(format!("| {users} | {b:.1} | {a:.1} | {delta} |"));
+        }
+        lines.push(String::new());
+        for (label, usl) in [
+            (&diff.before.label, diff.before.usl),
+            (&diff.after.label, diff.after.usl),
+        ] {
+            match usl {
+                Some(f) => lines.push(format!(
+                    "USL `{label}`: lambda {:.3}, sigma {:.4}, kappa {:.2e}{}",
+                    f.lambda,
+                    f.sigma,
+                    f.kappa,
+                    f.knee()
+                        .map(|k| format!(", knee {:.0} users", k))
+                        .unwrap_or_else(|| ", no knee".into())
+                )),
+                None => lines.push(format!("USL `{label}`: not fittable")),
+            }
+        }
+        lines.push(String::new());
+        lines.push("Shape checks:".into());
+        for c in &checks {
+            lines.push(format!(
+                "- {} **{}** — {}",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.detail
+            ));
+        }
+        Report {
+            title: title.into(),
+            lines,
+            passed,
+        }
+    }
+
+    /// The report as markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = format!("## {}\n\n", self.title);
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "\nVerdict: **{}**\n",
+            if self.passed { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+
+    /// The report as terminal-friendly plain text.
+    pub fn plain_text(&self) -> String {
+        let md = self.markdown();
+        md.replace("## ", "").replace("**", "").replace('`', "")
+    }
+}
+
+/// Write the gnuplot artifact pair for a diff: `<name>.dat` (three columns:
+/// users, before, after) and `<name>.gp` (a plot script referencing it),
+/// both under `<workspace>/target/paper-results/report/`. Returns the two
+/// paths written.
+pub fn write_gnuplot(diff: &RunDiff, name: &str) -> io::Result<Vec<PathBuf>> {
+    let dir = workspace_root().join("target/paper-results/report");
+    fs::create_dir_all(&dir)?;
+    let dat = dir.join(format!("{name}.dat"));
+    let gp = dir.join(format!("{name}.gp"));
+    let mut data = format!("# users  {}  {}\n", diff.before.label, diff.after.label);
+    for &(users, b, a) in &diff.deltas {
+        data.push_str(&format!("{users} {b:.3} {a:.3}\n"));
+    }
+    fs::write(&dat, data)?;
+    let script = format!(
+        "set title '{name}: before vs after'\n\
+         set xlabel 'concurrent users'\n\
+         set ylabel 'throughput (req/s)'\n\
+         set key left top\n\
+         set term pngcairo size 900,600\n\
+         set output '{name}.png'\n\
+         plot '{dat}' using 1:2 with linespoints title '{before}', \\\n\
+         \x20    '{dat}' using 1:3 with linespoints title '{after}'\n",
+        name = name,
+        dat = dat
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("diff.dat"),
+        before = diff.before.label,
+        after = diff.after.label,
+    );
+    fs::write(&gp, script)?;
+    Ok(vec![dat, gp])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{SweepPoint, SweepSummary};
+    use crate::usl::UslFit;
+    use tiers::Tier;
+
+    fn sweep(label: &str, pts: &[(u32, f64)]) -> SweepSummary {
+        let points = pts
+            .iter()
+            .map(|&(users, tp)| SweepPoint {
+                users,
+                throughput: tp,
+                goodput: tp,
+                critical: (Tier::Db, 0, 0.85),
+            })
+            .collect();
+        let curve: Vec<(f64, f64)> = pts.iter().map(|&(u, t)| (u as f64, t)).collect();
+        SweepSummary {
+            label: label.into(),
+            points,
+            usl: UslFit::fit(&curve),
+        }
+    }
+
+    fn demo_diff() -> RunDiff {
+        RunDiff::compute(
+            sweep("conservative", &[(100, 50.0), (400, 120.0), (800, 110.0)]),
+            sweep("rule-of-thumb", &[(100, 55.0), (400, 160.0), (800, 170.0)]),
+        )
+    }
+
+    #[test]
+    fn markdown_report_carries_table_and_verdicts() {
+        let report = Report::from_diff("demo", &demo_diff());
+        let md = report.markdown();
+        assert!(md.contains("## demo"));
+        assert!(md.contains("| 400 | 120.0 | 160.0 |"));
+        assert!(md.contains("knee-location"));
+        assert!(md.contains("critical-tier"));
+        assert!(md.contains("curve-direction"));
+        assert!(md.contains("Verdict: **PASS**"), "{md}");
+        let plain = report.plain_text();
+        assert!(!plain.contains("**"));
+        assert!(plain.contains("Verdict: PASS"));
+    }
+
+    #[test]
+    fn gnuplot_artifacts_land_under_the_workspace_root() {
+        let diff = demo_diff();
+        let paths = write_gnuplot(&diff, "render-test").expect("writes");
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert!(p.starts_with(workspace_root().join("target")), "{p:?}");
+            assert!(p.exists());
+        }
+        let dat = fs::read_to_string(&paths[0]).expect("reads");
+        assert!(dat.contains("400 120.000 160.000"));
+        let gp = fs::read_to_string(&paths[1]).expect("reads");
+        assert!(gp.contains("render-test.dat"));
+        for p in paths {
+            let _ = fs::remove_file(p);
+        }
+    }
+}

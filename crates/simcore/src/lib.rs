@@ -22,11 +22,13 @@
 //! servers, clients) lives in the crates layered on top.
 
 pub mod engine;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod testkit;
 pub mod time;
 
 pub use engine::{Engine, EngineStats, EventQueue, Model, StepResult};
+pub use profile::{peak_rss_bytes, EngineProfile};
 pub use rng::RunRng;
 pub use time::SimTime;

@@ -268,6 +268,12 @@ pub struct SystemConfig {
     /// is purely passive — write-only accumulators fed from existing state
     /// transitions — so enabling it changes no simulation outcome.
     pub metrics: MetricsConfig,
+    /// Engine phase profiling (off by default). Like `metrics`, profiling is
+    /// purely observational — wall-clock timers and counters around the
+    /// event loop, no events, no RNG draws — so the simulation output of a
+    /// profiled run is bit-identical to an unprofiled one; the profile rides
+    /// along as [`RunOutput::profile`](crate::RunOutput).
+    pub profile: bool,
     /// Explicit tier-chain topology. `None` (the default) resolves to the
     /// paper's 4-tier chain built from `hardware`/`soft`/the GC fields at
     /// system-construction time, so late mutation of those fields still
@@ -293,6 +299,7 @@ impl SystemConfig {
             seed: 0x5eed_0001,
             trace: TraceConfig::Off,
             metrics: MetricsConfig::Off,
+            profile: false,
             topology: None,
         }
     }

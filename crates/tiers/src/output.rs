@@ -203,6 +203,13 @@ pub struct RunOutput {
     pub apache_probes: ApacheProbes,
     /// Simulation events processed (engine health metric).
     pub events_processed: u64,
+    /// Engine phase-timing profile (present when the trial ran with
+    /// `SystemConfig::profile` on). Transient observability: wall-clock
+    /// figures describe *this* execution, so the profile is deliberately
+    /// excluded from output digests and from artifact-store persistence —
+    /// the store's manifest records per-point wall-clock/events-per-sec
+    /// provenance instead.
+    pub profile: Option<simcore::EngineProfile>,
     /// Terminal outcomes over the measurement window: `completed` equals the
     /// `completed` field above; `timed_out + shed + failed` are the errors
     /// behind the availability figure; `retries` counts client re-issues.
@@ -415,6 +422,7 @@ mod tests {
             ],
             apache_probes: ApacheProbes::default(),
             events_processed: 0,
+            profile: None,
             outcomes: OutcomeTotals::default(),
             availability: 1.0,
         }

@@ -279,6 +279,10 @@ pub fn output_from_json(v: &Json) -> Result<RunOutput, String> {
             threads_tomcat: get_fs(probes, "threads_tomcat")?,
         },
         events_processed: get_u(v, "events_processed")?,
+        // Engine profiles are transient observability (wall-clock of one
+        // execution) and are never persisted; per-point perf provenance
+        // lives in the artifact-store manifest instead.
+        profile: None,
         outcomes: OutcomeTotals {
             completed: get_u(outcomes, "completed")?,
             timed_out: get_u(outcomes, "timed_out")?,

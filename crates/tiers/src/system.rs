@@ -1015,7 +1015,8 @@ mod run;
 
 pub use drain::{run_system_to_drain, DrainReport, NodeDrain};
 pub use run::{
-    run_system, run_system_full, run_system_metered, run_system_traced, try_run_system, RunTrace,
+    run_system, run_system_full, run_system_metered, run_system_profiled, run_system_traced,
+    try_run_system, RunTrace,
 };
 
 #[cfg(test)]

@@ -120,6 +120,7 @@ impl Ctx {
             nodes: self.final_nodes,
             apache_probes: self.final_probes.unwrap_or_default(),
             events_processed,
+            profile: None,
             outcomes,
             availability,
         }

@@ -92,6 +92,14 @@ pub fn try_run_system(cfg: SystemConfig) -> Result<RunOutput, TopologyError> {
     Ok(run_system(cfg))
 }
 
+/// Run one full trial with engine profiling enabled, returning the run
+/// summary with [`RunOutput::profile`] populated. Profiling is passive, so
+/// every other field is bit-identical to an unprofiled run.
+pub fn run_system_profiled(mut cfg: SystemConfig) -> RunOutput {
+    cfg.profile = true;
+    run_system(cfg)
+}
+
 /// Run one full trial, also returning the trace captured along the way.
 ///
 /// With `cfg.trace == TraceConfig::Off` the trace is empty and the run does
@@ -131,14 +139,19 @@ pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<Ru
     // and the measurement markers. Capacity only avoids reallocation; it
     // never changes pop order, so results are bit-identical either way.
     let capacity = event_capacity_hint(users);
+    let profiled = cfg.profile;
     let mut engine = Engine::with_capacity(System::new(cfg), capacity);
     if traced {
         engine.enable_telemetry();
+    }
+    if profiled {
+        engine.enable_profiling();
     }
     seed_engine_events(&mut engine);
     engine.run_until(trial_end);
     let events = engine.events_processed();
     let stats = engine.stats();
+    let profile = profiled.then(|| engine.profile());
     let mut system = engine.into_model();
     let tracer = system.ctx.tracer.take();
     let metrics = system.ctx.metrics_out.take();
@@ -146,7 +159,8 @@ pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<Ru
         .as_ref()
         .map(|t| (t.admitted(), t.rejected(), t.overwritten()))
         .unwrap_or((0, 0, 0));
-    let out = system.ctx.into_output(events);
+    let mut out = system.ctx.into_output(events);
+    out.profile = profile;
     let trace = RunTrace {
         spans: tracer.map(Tracer::into_spans).unwrap_or_default(),
         admitted,

@@ -124,10 +124,20 @@ fn run_golden(hw: HardwareConfig, users: u32) -> (u64, u64) {
 }
 
 fn run_golden_with(hw: HardwareConfig, users: u32, metrics: MetricsConfig) -> (u64, u64) {
+    run_golden_cfg(hw, users, metrics, false)
+}
+
+fn run_golden_cfg(
+    hw: HardwareConfig,
+    users: u32,
+    metrics: MetricsConfig,
+    profile: bool,
+) -> (u64, u64) {
     let mut cfg = SystemConfig::new(hw, SoftAllocation::rule_of_thumb(), users);
     cfg.workload = WorkloadConfig::quick(users);
     cfg.trace = TraceConfig::Sampled(0.25);
     cfg.metrics = metrics;
+    cfg.profile = profile;
     let (out, trace) = run_system_traced(cfg);
     let jsonl = export::to_jsonl(trace.spans.iter());
     assert!(!trace.spans.is_empty(), "sampled run produced no spans");
@@ -186,6 +196,42 @@ fn golden_digests_unchanged_with_metrics_enabled() {
     assert_eq!(
         trace, GOLD_1414_TRACE,
         "metrics collection perturbed 1/4/1/4 trace: got {trace:#018x}"
+    );
+}
+
+/// The engine profiler, like the metrics pipeline, is write-only
+/// observability: counters and monotonic clocks around existing event-loop
+/// phases, no events, no RNG draws. A profiled run must therefore reproduce
+/// the profiler-off golden digests bit for bit.
+#[test]
+fn golden_digests_unchanged_with_profiling_enabled() {
+    let (out, trace) = run_golden_cfg(
+        HardwareConfig::one_two_one_two(),
+        2000,
+        MetricsConfig::Off,
+        true,
+    );
+    assert_eq!(
+        out, GOLD_1212_OUT,
+        "engine profiling perturbed 1/2/1/2 output: got {out:#018x}"
+    );
+    assert_eq!(
+        trace, GOLD_1212_TRACE,
+        "engine profiling perturbed 1/2/1/2 trace: got {trace:#018x}"
+    );
+    let (out, trace) = run_golden_cfg(
+        HardwareConfig::one_four_one_four(),
+        2400,
+        MetricsConfig::Off,
+        true,
+    );
+    assert_eq!(
+        out, GOLD_1414_OUT,
+        "engine profiling perturbed 1/4/1/4 output: got {out:#018x}"
+    );
+    assert_eq!(
+        trace, GOLD_1414_TRACE,
+        "engine profiling perturbed 1/4/1/4 trace: got {trace:#018x}"
     );
 }
 
