@@ -1,14 +1,15 @@
 //! perf — the committed perf-trajectory suite.
 //!
 //! Runs a fixed suite — one representative configuration per figure
-//! harness plus one deliberately large stress topology — with engine
-//! profiling on, and writes a schema-versioned `BENCH_6.json` (see
+//! harness, one deliberately large stress topology, and one million-session
+//! closed-loop point — with engine profiling on, and writes a
+//! schema-versioned `BENCH_7.json` (see
 //! `ntier_report::bench_json`) with events/sec, wall-clock, event counts,
 //! and peak RSS per member, fingerprinted with the machine it ran on.
 //!
 //! ```text
 //! cargo run --release -p ntier-bench --bin perf -- --quick
-//!     regenerate the committed baseline at <workspace>/BENCH_6.json
+//!     regenerate the committed baseline at <workspace>/BENCH_7.json
 //!
 //! cargo run --release -p ntier-bench --bin perf -- --quick --check \
 //!     --out target/BENCH_fresh.json
@@ -38,7 +39,10 @@ struct Member {
 
 /// The fixed suite. Each figure harness is represented by one point of its
 /// grid (its most loaded paper configuration); `stress` is a deliberately
-/// large non-paper topology that leans on replica fan-out.
+/// large non-paper topology that leans on replica fan-out; `stress1m` is a
+/// million-session closed-loop run exercising lazy session materialization
+/// and the staged-arrival lane (sessions vastly outnumber service capacity,
+/// so it stresses queue depth, not throughput).
 fn suite() -> Vec<Member> {
     let m = |name, hw, soft, users| Member {
         name,
@@ -59,6 +63,7 @@ fn suite() -> Vec<Member> {
         m("fig10", h1414, SoftAllocation::conservative(), 5000),
         m("table1", h1212, rot, 2000),
         m("stress", HardwareConfig::new(1, 8, 1, 8), rot, 12000),
+        m("stress1m", HardwareConfig::new(1, 8, 1, 8), rot, 1_000_000),
     ]
 }
 
@@ -91,7 +96,11 @@ fn main() {
     let mut report = BenchReport::new(args.quick);
     for member in suite() {
         let spec = spec_scheduled(member.hw, member.soft, member.users, schedule);
-        let out = run_system_profiled(spec.to_config());
+        let mut cfg = spec.to_config();
+        if let Some(kind) = args.queue {
+            cfg.queue = kind;
+        }
+        let out = run_system_profiled(cfg);
         let profile = out.profile.as_ref().expect("profiled run");
         let entry = BenchEntry {
             name: member.name.to_string(),
@@ -116,7 +125,7 @@ fn main() {
 
     // Grade against the committed baseline *before* writing anything, so
     // `--check` without `--out` can never clobber the file it compares to.
-    let baseline_path = workspace_root().join("BENCH_6.json");
+    let baseline_path = workspace_root().join("BENCH_7.json");
     let out_path = out_flag.unwrap_or_else(|| {
         if check {
             workspace_root().join("target/BENCH_fresh.json")
@@ -160,6 +169,6 @@ fn main() {
     // The suite only measures quick schedules exactly like the committed
     // baseline when --quick is passed; remind once at the end too.
     if !args.quick && schedule == Schedule::Default {
-        eprintln!("[perf: measured the full schedule; do not commit this as BENCH_6.json]");
+        eprintln!("[perf: measured the full schedule; do not commit this as BENCH_7.json]");
     }
 }

@@ -25,6 +25,9 @@
 //!   bit-identical with or without the flag.
 //! * `--profile` — enable engine profiling on every run and print a
 //!   phase-timing/throughput summary after the tables. Also passive.
+//! * `--queue heap|calendar` — future-event-list backend for every run.
+//!   Both backends pop in the identical order (proven by differential and
+//!   golden tests), so this is a performance knob only.
 //!
 //! Unknown arguments are collected into [`BenchArgs::rest`] (libtest passes
 //! some through to bench binaries; examples parse their extra flags from
@@ -32,7 +35,7 @@
 
 use ntier_core::experiment::Schedule;
 use ntier_core::{HardwareConfig, MetricsSink, SoftAllocation, Tier, Topology, TopologyError};
-use simcore::SimTime;
+use simcore::{QueueKind, SimTime};
 use std::path::PathBuf;
 
 use crate::executor::Executor;
@@ -60,6 +63,10 @@ pub struct BenchArgs {
     /// phase-timing summary afterwards. Passive — the printed tables are
     /// bit-identical with or without it.
     pub profile: bool,
+    /// `--queue` future-event-list backend override (`None` keeps the
+    /// engine default). Semantics-neutral: outputs are bit-identical across
+    /// backends, only wall-clock performance changes.
+    pub queue: Option<QueueKind>,
     /// Arguments this parser did not recognize, in order.
     pub rest: Vec<String>,
 }
@@ -188,6 +195,11 @@ impl BenchArgs {
                     };
                     out.metrics = Some(MetricsSink::parse(&v)?);
                 }
+                "--queue" => match args.next().map(|v| v.parse::<QueueKind>()) {
+                    Some(Ok(kind)) => out.queue = Some(kind),
+                    Some(Err(e)) => return Err(e),
+                    None => return Err("--queue needs 'heap' or 'calendar'".into()),
+                },
                 "--quick" => out.quick = true,
                 "--profile" => out.profile = true,
                 _ => out.rest.push(arg),
@@ -271,6 +283,13 @@ mod tests {
         assert!(ok.profile);
         assert_eq!(ok.rest, vec!["--bench".to_string()]);
         assert!(!parse(&["--quick"]).expect("parses").profile);
+        assert!(parse(&["--queue", "ladder"]).is_err());
+        assert!(parse(&["--queue"]).is_err());
+        assert_eq!(
+            parse(&["--queue", "calendar"]).expect("parses").queue,
+            Some(QueueKind::Calendar)
+        );
+        assert_eq!(parse(&["--quick"]).expect("parses").queue, None);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use ntier_core::experiment::{ExperimentSpec, Schedule};
 use ntier_core::Strategy;
 use ntier_trace::json::{obj, Json};
 use ntier_trace::TraceConfig;
+use simcore::QueueKind;
 use tiers::topology::SelectPolicy;
 use tiers::{
     FaultSpec, HardwareConfig, MetricsConfig, RetryPolicy, ShedPolicy, SoftAllocation, Topology,
@@ -111,6 +112,12 @@ pub struct ExperimentPlan {
     /// off, but profiled plans always re-execute — phase timings describe
     /// *this* execution, not a store replay).
     pub profile: bool,
+    /// Future-event-list backend for every point. **Deliberately excluded
+    /// from the content digest** ([`spec_json`]): backend choice is proven
+    /// semantics-neutral (identical pop order, golden digests bit-identical),
+    /// so a store populated under one backend resumes cleanly under the
+    /// other — it is a performance knob, not a semantic one.
+    pub queue: QueueKind,
 }
 
 impl ExperimentPlan {
@@ -125,6 +132,7 @@ impl ExperimentPlan {
             trace: TraceConfig::Off,
             metrics: MetricsConfig::Off,
             profile: false,
+            queue: QueueKind::default(),
         }
     }
 
@@ -181,6 +189,13 @@ impl ExperimentPlan {
     /// Enable engine profiling on every point of the plan.
     pub fn with_profile(mut self, profile: bool) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Select the engine's future-event-list backend for every point.
+    /// Performance only — outputs and content digests are unchanged.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 

@@ -107,10 +107,11 @@ impl PlanResults {
 /// What executing one point yields.
 type PointYield = (RunOutput, Option<RunMetrics>, Option<RunTrace>, PointPerf);
 
-fn execute_point(point: &RunPoint, metrics: MetricsConfig, profile: bool) -> PointYield {
+fn execute_point(point: &RunPoint, plan: &ExperimentPlan) -> PointYield {
     let mut cfg = point.spec.to_config();
-    cfg.metrics = metrics;
-    cfg.profile = profile;
+    cfg.metrics = plan.metrics;
+    cfg.profile = plan.profile;
+    cfg.queue = plan.queue;
     let traced = cfg.trace.enabled();
     let (out, trace, m) = run_system_full(cfg);
     // The engine times run_until unconditionally, so perf provenance is
@@ -126,7 +127,7 @@ fn execute_point(point: &RunPoint, metrics: MetricsConfig, profile: bool) -> Poi
 pub fn run_plan(plan: &ExperimentPlan, executor: &Executor) -> PlanResults {
     let points = plan.expand();
     let yields = executor.run_ordered(points.iter().collect(), |p: &RunPoint| {
-        execute_point(p, plan.metrics, plan.profile)
+        execute_point(p, plan)
     });
     let executed = yields.len();
     let mut outputs = Vec::with_capacity(executed);
@@ -183,9 +184,7 @@ pub fn run_plan_with_store(
     }
     let skipped = points.len() - missing.len();
     let executed = missing.len();
-    let yields = executor.run_ordered(missing.clone(), |p: &RunPoint| {
-        execute_point(p, plan.metrics, plan.profile)
-    });
+    let yields = executor.run_ordered(missing.clone(), |p: &RunPoint| execute_point(p, plan));
     for (p, (out, m, t, pp)) in missing.iter().zip(yields) {
         if !store.contains(p.digest) {
             store.save_with_perf(p, &out, Some(pp))?;

@@ -1,4 +1,4 @@
-//! The committed perf-trajectory format (`BENCH_6.json`).
+//! The committed perf-trajectory format (`BENCH_7.json`).
 //!
 //! The `perf` binary in `ntier-bench` runs a fixed suite and writes one
 //! [`BenchReport`]: schema-versioned, fingerprinted (OS/arch/cores), one

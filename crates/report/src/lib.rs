@@ -15,7 +15,7 @@
 //!    and [`render::write_gnuplot`] regenerates `.dat`/`.gp` artifacts
 //!    under the workspace root's `target/paper-results/report/`.
 //! 3. **Perf trajectory** — [`BenchReport`] is the schema-versioned format
-//!    of the committed `BENCH_6.json`: per-suite events/sec, wall-clock,
+//!    of the committed `BENCH_7.json`: per-suite events/sec, wall-clock,
 //!    and peak RSS with a machine fingerprint and regression tolerances,
 //!    written and checked by the `perf` binary in `ntier-bench`.
 //! 4. **Doc regeneration** — [`experiments::patch_marked_section`] splices
@@ -92,7 +92,7 @@ impl From<io::Error> for ReportError {
 }
 
 /// The workspace root, independent of the current working directory.
-/// Report and bench artifacts are always anchored here so `BENCH_6.json`
+/// Report and bench artifacts are always anchored here so `BENCH_7.json`
 /// and `target/paper-results/report/` land in the same place whether a
 /// binary runs from the workspace root, a package directory, or CI.
 pub fn workspace_root() -> PathBuf {

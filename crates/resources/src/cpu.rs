@@ -305,9 +305,22 @@ impl PsCpu {
     }
 
     /// Collect every job whose service completed at or before `now`.
+    ///
+    /// Allocates a fresh vector per call; the hot path uses
+    /// [`pop_due_into`](Self::pop_due_into) with a reused scratch buffer.
     pub fn pop_due(&mut self, now: SimTime) -> Vec<JobId> {
+        let mut out = Vec::new();
+        self.pop_due_into(now, &mut out);
+        out
+    }
+
+    /// Collect completed jobs into `out` (appended), reusing its allocation.
+    ///
+    /// The internal completion buffer keeps its capacity, so a steady-state
+    /// completion-collection cycle allocates nothing.
+    pub fn pop_due_into(&mut self, now: SimTime, out: &mut Vec<JobId>) {
         self.advance(now);
-        std::mem::take(&mut self.completed)
+        out.append(&mut self.completed);
     }
 
     /// Stop all progress (stop-the-world GC). CPU counts as 100% busy.
@@ -380,14 +393,21 @@ impl PsCpu {
     /// work conservation (`work_done == work_submitted` once drained) keeps
     /// holding across crashes.
     pub fn abort_all(&mut self, now: SimTime) -> Vec<JobId> {
+        let mut out = Vec::new();
+        self.abort_all_into(now, &mut out);
+        out
+    }
+
+    /// [`abort_all`](Self::abort_all) into `out` (appended), reusing its
+    /// allocation.
+    pub fn abort_all_into(&mut self, now: SimTime, out: &mut Vec<JobId>) {
         self.advance(now);
-        let mut out = std::mem::take(&mut self.completed);
+        out.append(&mut self.completed);
         while let Some(Reverse((tag, job))) = self.heap.pop() {
             self.work_submitted -= (tag.as_f64() - self.virt).max(0.0);
             out.push(job);
         }
         self.active = 0;
-        out
     }
 
     /// Total useful service-seconds completed (excludes frozen time).

@@ -1,15 +1,20 @@
 //! The event-list simulation engine.
 //!
 //! The engine is generic over the model's event type. A [`Model`] is a plain
-//! mutable state machine; the engine owns the pending-event heap and the clock.
-//! Events scheduled for the same instant are delivered in insertion order
-//! (FIFO), which makes simulations deterministic and makes causality easy to
-//! reason about ("the release I scheduled before the acquire runs first").
+//! mutable state machine; the engine owns the pending-event queue and the
+//! clock. Events scheduled for the same instant are delivered in insertion
+//! order (FIFO), which makes simulations deterministic and makes causality
+//! easy to reason about ("the release I scheduled before the acquire runs
+//! first").
+//!
+//! The queue itself is backend-pluggable (binary heap or calendar queue, see
+//! [`crate::queue`]); the engine only ever asks for "the minimum pending
+//! event", so the backend choice is invisible here — and provably invisible
+//! to simulation output.
 
 use crate::profile::EngineProfile;
+use crate::queue::{EventQueue, PopNext, QueueKind, PROFILE_SAMPLE_MASK};
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A simulation model: the domain state machine driven by the engine.
 ///
@@ -31,178 +36,6 @@ pub trait Model {
     }
 }
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event;
-    /// ties broken by insertion sequence for FIFO same-time delivery.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// The pending-event set, exposed to models for scheduling.
-/// Phase timing samples one event cycle in this many: reading a monotonic
-/// clock several times per event costs more than dispatching most events,
-/// so timing every cycle would roughly double the event loop's cost. A
-/// deterministic 1-in-64 sample keeps the estimates accurate over any
-/// realistic run (tens of thousands of sampled cycles) at ~1/64 of the
-/// clock-read overhead. The sample is keyed on event/schedule indices —
-/// no randomness — so profiling stays bit-identical and repeatable.
-const PROFILE_SAMPLE_MASK: u64 = 63;
-
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    now: SimTime,
-    seq: u64,
-    high_water: usize,
-    timed: bool,
-    sched_secs: f64,
-    timed_pushes: u64,
-}
-
-impl<E> EventQueue<E> {
-    fn new() -> Self {
-        Self::with_capacity(1024)
-    }
-
-    fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            now: SimTime::ZERO,
-            seq: 0,
-            high_water: 0,
-            timed: false,
-            sched_secs: 0.0,
-            timed_pushes: 0,
-        }
-    }
-
-    /// Push onto the heap, maintaining the insertion sequence and high-water
-    /// mark. Timing (when profiling is on) wraps exactly this operation on a
-    /// deterministic 1-in-64 sample of pushes, so `sched_secs` holds sampled
-    /// heap-push seconds ([`Engine::profile`] scales them to an estimate).
-    #[inline]
-    fn push_at(&mut self, at: SimTime, event: E) {
-        if self.timed && self.seq & PROFILE_SAMPLE_MASK == 0 {
-            let t0 = std::time::Instant::now();
-            self.heap.push(Scheduled {
-                at,
-                seq: self.seq,
-                event,
-            });
-            self.sched_secs += t0.elapsed().as_secs_f64();
-            self.timed_pushes += 1;
-        } else {
-            self.heap.push(Scheduled {
-                at,
-                seq: self.seq,
-                event,
-            });
-        }
-        self.seq += 1;
-        self.high_water = self.high_water.max(self.heap.len());
-    }
-
-    /// Reserve room for at least `additional` more pending events.
-    ///
-    /// Pre-sizing is purely an allocation hint: heap layout never affects pop
-    /// order (the schedule is a strict total order on `(time, seq)`), so this
-    /// cannot change simulation results.
-    pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
-    }
-
-    /// Current allocated capacity of the pending-event heap.
-    #[inline]
-    pub fn capacity(&self) -> usize {
-        self.heap.capacity()
-    }
-
-    /// Current simulated time.
-    #[inline]
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Schedule `event` at absolute time `at`.
-    ///
-    /// # Panics
-    /// If `at` is before the current time.
-    #[inline]
-    pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(
-            at >= self.now,
-            "cannot schedule into the past: at={at} now={}",
-            self.now
-        );
-        self.push_at(at, event);
-    }
-
-    /// Schedule `event` after a delay relative to now.
-    #[inline]
-    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
-        self.push_at(self.now + delay, event);
-    }
-
-    /// Schedule `event` to run at the current instant, after all events already
-    /// queued for this instant (a "call me back immediately" idiom).
-    #[inline]
-    pub fn schedule_now(&mut self, event: E) {
-        self.schedule_after(SimTime::ZERO, event);
-    }
-
-    /// Number of pending events.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Whether no events are pending.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// Timestamp of the next pending event, if any.
-    #[inline]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
-    }
-
-    /// Largest number of events ever pending at once.
-    #[inline]
-    pub fn high_water(&self) -> usize {
-        self.high_water
-    }
-
-    /// Total events ever pushed onto this queue (the insertion sequence).
-    #[inline]
-    pub fn scheduled(&self) -> u64 {
-        self.seq
-    }
-}
-
 /// Outcome of [`Engine::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepResult {
@@ -219,12 +52,13 @@ pub enum StepResult {
 pub struct EngineStats {
     /// Total events processed.
     pub events_processed: u64,
-    /// Peak size of the pending-event heap.
-    pub heap_high_water: usize,
-    /// Allocated capacity of the pending-event heap at snapshot time. Compare
-    /// with `heap_high_water` to pre-size future runs of the same topology
-    /// via [`Engine::with_capacity`].
-    pub heap_capacity: usize,
+    /// Peak number of pending events, whatever the backend (staged arrivals
+    /// included).
+    pub queue_high_water: usize,
+    /// Allocated capacity of the pending-event backend at snapshot time.
+    /// Compare with `queue_high_water` to pre-size future runs of the same
+    /// topology via [`Engine::with_capacity`].
+    pub queue_capacity: usize,
     /// Wall-clock seconds spent inside `run_until`/`run_to_quiescence`.
     pub wall_secs: f64,
     /// Per-event-type counts (only populated with telemetry enabled; the
@@ -243,7 +77,7 @@ impl EngineStats {
     }
 }
 
-/// The simulation engine: owns the model, the clock, and the event heap.
+/// The simulation engine: owns the model, the clock, and the event queue.
 pub struct Engine<M: Model> {
     model: M,
     queue: EventQueue<M::Event>,
@@ -260,9 +94,25 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Create an engine around `model` with an empty queue at time zero.
     pub fn new(model: M) -> Self {
+        Self::with_queue(model, QueueKind::default(), 1024)
+    }
+
+    /// Create an engine whose event queue is pre-sized for `capacity` pending
+    /// events, avoiding reallocation churn in large closed-loop models where
+    /// the pending-event count scales with the population (e.g. one think
+    /// timer per emulated user).
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
+        Self::with_queue(model, QueueKind::default(), capacity)
+    }
+
+    /// Create an engine on an explicit queue backend, pre-sized for
+    /// `capacity` pending events. Backend choice is a pure performance knob:
+    /// both backends pop the identical `(time, seq)` sequence, so results
+    /// are bit-identical either way.
+    pub fn with_queue(model: M, kind: QueueKind, capacity: usize) -> Self {
         Engine {
             model,
-            queue: EventQueue::new(),
+            queue: EventQueue::new_with(kind, capacity),
             events_processed: 0,
             telemetry: false,
             profiling: false,
@@ -272,16 +122,6 @@ impl<M: Model> Engine<M> {
             dispatch_secs: 0.0,
             timed_events: 0,
         }
-    }
-
-    /// Create an engine whose event heap is pre-sized for `capacity` pending
-    /// events, avoiding reallocation churn in large closed-loop models where
-    /// the pending-event count scales with the population (e.g. one think
-    /// timer per emulated user).
-    pub fn with_capacity(model: M, capacity: usize) -> Self {
-        let mut e = Self::new(model);
-        e.queue = EventQueue::with_capacity(capacity);
-        e
     }
 
     /// Turn on per-event-type counting (one label lookup + linear-scan bump
@@ -302,15 +142,15 @@ impl<M: Model> Engine<M> {
     pub fn enable_profiling(&mut self) {
         self.profiling = true;
         self.telemetry = true;
-        self.queue.timed = true;
+        self.queue.set_timed(true);
     }
 
     /// Snapshot the run's telemetry.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             events_processed: self.events_processed,
-            heap_high_water: self.queue.high_water(),
-            heap_capacity: self.queue.capacity(),
+            queue_high_water: self.queue.high_water(),
+            queue_capacity: self.queue.capacity(),
             wall_secs: self.wall_secs,
             per_type: self.per_type.clone(),
         }
@@ -335,13 +175,13 @@ impl<M: Model> Engine<M> {
             pop_secs: scale(self.pop_secs, self.timed_events, self.events_processed),
             dispatch_secs: scale(self.dispatch_secs, self.timed_events, self.events_processed),
             sched_secs: scale(
-                self.queue.sched_secs,
-                self.queue.timed_pushes,
+                self.queue.sched_secs(),
+                self.queue.timed_pushes(),
                 self.queue.scheduled(),
             ),
             wall_secs: self.wall_secs,
-            heap_high_water: self.queue.high_water(),
-            heap_capacity: self.queue.capacity(),
+            queue_high_water: self.queue.high_water(),
+            queue_capacity: self.queue.capacity(),
             per_type: self.per_type.clone(),
             peak_rss_bytes: crate::profile::peak_rss_bytes(),
         }
@@ -364,7 +204,7 @@ impl<M: Model> Engine<M> {
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.queue.now
+        self.queue.now()
     }
 
     /// Total number of events processed so far.
@@ -384,18 +224,12 @@ impl<M: Model> Engine<M> {
 
     /// Process a single event, if one exists at or before `horizon`.
     pub fn step(&mut self, horizon: SimTime) -> StepResult {
-        match self.queue.heap.peek() {
-            None => StepResult::Exhausted,
-            Some(next) if next.at > horizon => StepResult::HorizonReached,
-            Some(_) => {
-                let sample = self.profiling && self.events_processed & PROFILE_SAMPLE_MASK == 0;
-                let t0 = sample.then(std::time::Instant::now);
-                let sched = self.queue.heap.pop().expect("peeked event vanished");
-                debug_assert!(
-                    sched.at >= self.queue.now,
-                    "event queue time went backwards"
-                );
-                self.queue.now = sched.at;
+        let sample = self.profiling && self.events_processed & PROFILE_SAMPLE_MASK == 0;
+        let t0 = sample.then(std::time::Instant::now);
+        match self.queue.pop_at_most(horizon) {
+            PopNext::Empty => StepResult::Exhausted,
+            PopNext::Beyond => StepResult::HorizonReached,
+            PopNext::Event(sched) => {
                 if self.telemetry {
                     let label = M::event_label(&sched.event);
                     match self.per_type.iter_mut().find(|(l, _)| *l == label) {
@@ -438,9 +272,7 @@ impl<M: Model> Engine<M> {
         self.wall_secs += started.elapsed().as_secs_f64();
         // Events remain beyond the horizon: advance the clock to the horizon
         // so that subsequent external scheduling is relative to it.
-        if self.queue.now < until {
-            self.queue.now = until;
-        }
+        self.queue.advance_to(until);
     }
 
     /// Run to quiescence (empty queue). Guards against runaway models with an
@@ -461,6 +293,7 @@ impl<M: Model> Engine<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::EventQueue;
 
     /// A toy model that records the order events arrive in.
     struct Recorder {
@@ -497,38 +330,55 @@ mod tests {
         })
     }
 
+    fn engine_on(kind: QueueKind) -> Engine<Recorder> {
+        Engine::with_queue(
+            Recorder {
+                seen: Vec::new(),
+                chain_remaining: 0,
+            },
+            kind,
+            16,
+        )
+    }
+
     #[test]
     fn events_pop_in_time_order() {
-        let mut e = engine();
-        e.schedule(SimTime::from_micros(30), Ev::Tag(3));
-        e.schedule(SimTime::from_micros(10), Ev::Tag(1));
-        e.schedule(SimTime::from_micros(20), Ev::Tag(2));
-        e.run_until(SimTime::MAX);
-        assert_eq!(e.model().seen, vec![(10, 1), (20, 2), (30, 3)]);
+        for kind in QueueKind::ALL {
+            let mut e = engine_on(kind);
+            e.schedule(SimTime::from_micros(30), Ev::Tag(3));
+            e.schedule(SimTime::from_micros(10), Ev::Tag(1));
+            e.schedule(SimTime::from_micros(20), Ev::Tag(2));
+            e.run_until(SimTime::MAX);
+            assert_eq!(e.model().seen, vec![(10, 1), (20, 2), (30, 3)]);
+        }
     }
 
     #[test]
     fn same_time_events_are_fifo() {
-        let mut e = engine();
-        for id in 0..100 {
-            e.schedule(SimTime::from_micros(5), Ev::Tag(id));
+        for kind in QueueKind::ALL {
+            let mut e = engine_on(kind);
+            for id in 0..100 {
+                e.schedule(SimTime::from_micros(5), Ev::Tag(id));
+            }
+            e.run_until(SimTime::MAX);
+            let ids: Vec<u32> = e.model().seen.iter().map(|&(_, id)| id).collect();
+            assert_eq!(ids, (0..100).collect::<Vec<_>>());
         }
-        e.run_until(SimTime::MAX);
-        let ids: Vec<u32> = e.model().seen.iter().map(|&(_, id)| id).collect();
-        assert_eq!(ids, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn horizon_stops_and_advances_clock() {
-        let mut e = engine();
-        e.schedule(SimTime::from_micros(10), Ev::Tag(1));
-        e.schedule(SimTime::from_micros(100), Ev::Tag(2));
-        e.run_until(SimTime::from_micros(50));
-        assert_eq!(e.model().seen, vec![(10, 1)]);
-        assert_eq!(e.now(), SimTime::from_micros(50));
-        // The future event is still pending and runs on the next call.
-        e.run_until(SimTime::MAX);
-        assert_eq!(e.model().seen.len(), 2);
+        for kind in QueueKind::ALL {
+            let mut e = engine_on(kind);
+            e.schedule(SimTime::from_micros(10), Ev::Tag(1));
+            e.schedule(SimTime::from_micros(100), Ev::Tag(2));
+            e.run_until(SimTime::from_micros(50));
+            assert_eq!(e.model().seen, vec![(10, 1)]);
+            assert_eq!(e.now(), SimTime::from_micros(50));
+            // The future event is still pending and runs on the next call.
+            e.run_until(SimTime::MAX);
+            assert_eq!(e.model().seen.len(), 2);
+        }
     }
 
     #[test]
@@ -565,12 +415,14 @@ mod tests {
                 }
             }
         }
-        let mut e = Engine::new(M { order: vec![] });
-        e.schedule(SimTime::ZERO, E2::First);
-        e.schedule(SimTime::ZERO, E2::Second);
-        e.run_until(SimTime::MAX);
-        // Injected runs after Second (FIFO at the same instant), not before.
-        assert_eq!(e.model().order, vec![1, 2, 3]);
+        for kind in QueueKind::ALL {
+            let mut e = Engine::with_queue(M { order: vec![] }, kind, 16);
+            e.schedule(SimTime::ZERO, E2::First);
+            e.schedule(SimTime::ZERO, E2::Second);
+            e.run_until(SimTime::MAX);
+            // Injected runs after Second (FIFO at the same instant), not before.
+            assert_eq!(e.model().order, vec![1, 2, 3]);
+        }
     }
 
     #[test]
@@ -633,7 +485,7 @@ mod tests {
         e.run_until(SimTime::MAX);
         let stats = e.stats();
         assert_eq!(stats.events_processed, 11);
-        assert!(stats.heap_high_water >= 2, "{}", stats.heap_high_water);
+        assert!(stats.queue_high_water >= 2, "{}", stats.queue_high_water);
         let get = |l: &str| {
             stats
                 .per_type
@@ -695,13 +547,17 @@ mod tests {
     }
 
     #[test]
-    fn with_capacity_presizes_heap_without_changing_results() {
-        let mut small = engine();
-        let mut big = Engine::with_capacity(
+    fn with_capacity_presizes_queue_without_changing_results() {
+        // Pinned to the heap backend: its capacity is a pre-allocated slot
+        // count, so pre-sizing is directly observable. (The calendar queue
+        // sizes its bucket array from occupancy instead.)
+        let mut small = engine_on(QueueKind::Heap);
+        let mut big = Engine::with_queue(
             Recorder {
                 seen: Vec::new(),
                 chain_remaining: 0,
             },
+            QueueKind::Heap,
             4096,
         );
         assert!(big.queue_mut().capacity() >= 4096);
@@ -712,13 +568,15 @@ mod tests {
             e.run_until(SimTime::MAX);
         }
         assert_eq!(small.model().seen, big.model().seen);
-        assert!(big.stats().heap_capacity >= 4096);
-        assert_eq!(big.stats().heap_high_water, 50);
+        assert!(big.stats().queue_capacity >= 4096);
+        assert_eq!(big.stats().queue_high_water, 50);
     }
 
     #[test]
     fn reserve_grows_capacity() {
-        let mut e = engine();
+        // Heap backend: reserve pre-allocates slots. (Calendar buckets
+        // ignore reserve by design — they size from occupancy.)
+        let mut e = engine_on(QueueKind::Heap);
         let before = e.queue_mut().capacity();
         e.queue_mut().reserve(before + 1000);
         assert!(e.queue_mut().capacity() > before);
@@ -728,8 +586,41 @@ mod tests {
     fn queue_introspection() {
         let mut e = engine();
         assert!(e.queue_mut().is_empty());
+        assert_eq!(e.queue_mut().kind(), QueueKind::default());
         e.schedule(SimTime::from_micros(7), Ev::Tag(0));
         assert_eq!(e.queue_mut().len(), 1);
         assert_eq!(e.queue_mut().peek_time(), Some(SimTime::from_micros(7)));
+    }
+
+    /// Staged arrivals flow through a full engine run exactly like pushed
+    /// ones: identical event history, counters, and telemetry on both
+    /// backends.
+    #[test]
+    fn staged_arrivals_run_bit_identically_to_pushed_ones() {
+        let run = |kind: QueueKind, stage: bool| {
+            let mut e = engine_on(kind);
+            e.model_mut().chain_remaining = 40;
+            let arrivals = [(70u64, 0u32), (10, 1), (10, 2), (35, 3), (0, 4)];
+            for &(at, id) in &arrivals {
+                if stage {
+                    e.queue_mut().stage(SimTime::from_micros(at), Ev::Tag(id));
+                } else {
+                    e.schedule(SimTime::from_micros(at), Ev::Tag(id));
+                }
+            }
+            // A chain pushed normally, interleaving with staged arrivals.
+            e.schedule(SimTime::ZERO, Ev::Chain);
+            e.run_until(SimTime::MAX);
+            (
+                e.model().seen.clone(),
+                e.events_processed(),
+                e.stats().queue_high_water,
+            )
+        };
+        let baseline = run(QueueKind::Heap, false);
+        for kind in QueueKind::ALL {
+            assert_eq!(run(kind, true), baseline, "staged run diverged on {kind}");
+            assert_eq!(run(kind, false), baseline, "pushed run diverged on {kind}");
+        }
     }
 }

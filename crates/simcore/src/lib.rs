@@ -9,7 +9,9 @@
 //! * [`Engine`] / [`EventQueue`] / [`Model`] — a classic event-list simulator:
 //!   the model is a plain `&mut` state machine, events are a user-defined enum,
 //!   and the engine pops events in `(time, insertion-order)` order. No `Rc`,
-//!   no `RefCell`, no dynamic dispatch on the hot path.
+//!   no `RefCell`, no dynamic dispatch on the hot path. The future-event list
+//!   is backend-pluggable ([`queue`]: binary heap or calendar queue, selected
+//!   by [`QueueKind`]) with provably identical pop order either way.
 //! * [`rng`] — deterministic, forkable random-number streams so that every
 //!   experiment is exactly reproducible and parallel parameter sweeps are
 //!   independent of scheduling order.
@@ -23,12 +25,16 @@
 
 pub mod engine;
 pub mod profile;
+pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod testkit;
 pub mod time;
 
-pub use engine::{Engine, EngineStats, EventQueue, Model, StepResult};
+pub use engine::{Engine, EngineStats, Model, StepResult};
 pub use profile::{peak_rss_bytes, EngineProfile};
+pub use queue::{
+    CalendarBackend, EventQueue, EventQueueBackend, HeapBackend, QueueKind, Scheduled,
+};
 pub use rng::RunRng;
 pub use time::SimTime;

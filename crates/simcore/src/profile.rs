@@ -5,8 +5,8 @@
 //! random numbers, schedules no events, and never touches model state, so a
 //! profiled run produces bit-identical simulation output to an unprofiled
 //! one. What it adds is wall-clock bookkeeping — how long the engine spent
-//! popping the heap versus dispatching into the model versus pushing new
-//! events — plus the per-event-kind counts the telemetry flag already
+//! popping the event queue versus dispatching into the model versus pushing
+//! new events — plus the per-event-kind counts the telemetry flag already
 //! collects, and a process-level peak-RSS reading.
 //!
 //! Everything is off by default
@@ -31,20 +31,21 @@ pub struct EngineProfile {
     pub events_processed: u64,
     /// Total events pushed onto the queue (including initial seeding).
     pub events_scheduled: u64,
-    /// Wall-clock seconds spent popping the heap and advancing the clock.
+    /// Wall-clock seconds spent popping the queue and advancing the clock.
     pub pop_secs: f64,
     /// Wall-clock seconds spent inside `Model::handle` (this *includes* the
     /// time the model spends scheduling follow-up events — `sched_secs` is
     /// the measured sub-phase).
     pub dispatch_secs: f64,
-    /// Wall-clock seconds spent pushing events onto the heap.
+    /// Wall-clock seconds spent pushing events onto the queue.
     pub sched_secs: f64,
     /// Wall-clock seconds spent inside `run_until`/`run_to_quiescence`.
     pub wall_secs: f64,
-    /// Peak size of the pending-event heap.
-    pub heap_high_water: usize,
-    /// Allocated capacity of the pending-event heap at snapshot time.
-    pub heap_capacity: usize,
+    /// Peak number of pending events, whatever the queue backend (staged
+    /// arrivals included).
+    pub queue_high_water: usize,
+    /// Allocated capacity of the pending-event backend at snapshot time.
+    pub queue_capacity: usize,
     /// Per-event-kind counts, in first-seen order (labels from
     /// [`Model::event_label`](crate::Model::event_label)).
     pub per_type: Vec<(&'static str, u64)>,
@@ -69,8 +70,8 @@ impl EngineProfile {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             events_processed: self.events_processed,
-            heap_high_water: self.heap_high_water,
-            heap_capacity: self.heap_capacity,
+            queue_high_water: self.queue_high_water,
+            queue_capacity: self.queue_capacity,
             wall_secs: self.wall_secs,
             per_type: self.per_type.clone(),
         }
@@ -93,8 +94,8 @@ impl EngineProfile {
             self.events_per_sec()
         ));
         s.push_str(&format!(
-            "  scheduled  {:>12}   heap high-water {} / capacity {}\n",
-            self.events_scheduled, self.heap_high_water, self.heap_capacity
+            "  scheduled  {:>12}   queue high-water {} / capacity {}\n",
+            self.events_scheduled, self.queue_high_water, self.queue_capacity
         ));
         s.push_str(&format!(
             "  wall       {:>12.3}s  pop {:.3}s ({:.1}%)  dispatch {:.3}s ({:.1}%)  sched {:.3}s ({:.1}%)\n",
@@ -148,12 +149,17 @@ pub fn peak_rss_bytes() -> Option<u64> {
 }
 
 /// Parse the `VmHWM:` line of a `/proc/<pid>/status` dump (kB → bytes).
+///
+/// A reading of 0 is treated as "no probe" rather than a measurement: no
+/// live process has a zero high-water mark, so a zero can only come from a
+/// broken or synthetic `/proc`, and reporting it as a number would poison
+/// `BENCH_*.json` peak-RSS deltas with garbage.
 #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
 fn parse_vm_hwm(status: &str) -> Option<u64> {
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmHWM:") {
             let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-            return Some(kb * 1024);
+            return if kb == 0 { None } else { Some(kb * 1024) };
         }
     }
     None
@@ -169,6 +175,8 @@ mod tests {
         assert_eq!(parse_vm_hwm(status), Some(98304 * 1024));
         assert_eq!(parse_vm_hwm("Name:\tx\n"), None);
         assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+        // A zero high-water mark is a broken probe, not a measurement.
+        assert_eq!(parse_vm_hwm("VmHWM:\t       0 kB\n"), None);
     }
 
     #[test]
@@ -200,8 +208,8 @@ mod tests {
             dispatch_secs: 0.3,
             sched_secs: 0.05,
             wall_secs: 0.5,
-            heap_high_water: 64,
-            heap_capacity: 128,
+            queue_high_water: 64,
+            queue_capacity: 128,
             per_type: vec![("ping", 600), ("pong", 400)],
             peak_rss_bytes: Some(2 * 1024 * 1024),
         };

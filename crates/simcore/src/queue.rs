@@ -1,0 +1,988 @@
+//! Pluggable future-event-list backends and the staged-arrivals lane.
+//!
+//! The engine's pending-event set is a strict total order on `(time,
+//! insertion-seq)`: earlier times first, FIFO among events scheduled for the
+//! same instant. *Which data structure maintains that order is a pure
+//! performance choice* — every backend must pop the exact same sequence, so
+//! swapping backends can never change simulation output. That invariant is
+//! what lets the backend be selected per run (`--queue heap|calendar`)
+//! without invalidating golden digests or content-addressed artifact stores.
+//!
+//! Two backends ship today:
+//!
+//! * [`HeapBackend`] — the classic binary heap: `O(log n)` push/pop,
+//!   excellent constants, no tuning. The default.
+//! * [`CalendarBackend`] — a calendar queue (Brown 1988): events hash into
+//!   time buckets ("days") of width `2^shift` µs; pops scan forward from the
+//!   current day. Push and pop are amortized `O(1)` when the bucket width
+//!   tracks the event-time spread, which the backend re-tunes on resize.
+//!
+//! # Adding a backend
+//!
+//! Implement [`EventQueueBackend`] for the new structure, add a variant to
+//! [`QueueKind`] and to the private dispatch enum inside [`EventQueue`], and
+//! extend the differential property tests in this module (and
+//! `tests/queue_backends.rs` at the workspace root) so the new backend is
+//! proven against the heap on randomized schedules, ties included. Dispatch
+//! is a two-armed `match` on a concrete enum rather than `dyn` — the pop/push
+//! pair runs hundreds of millions of times per run, and a vtable call per
+//! event is measurable where a predictable branch is not.
+//!
+//! # The staged-arrivals lane
+//!
+//! Closed-loop runs seed one arrival event per session before the run starts
+//! — at 1M users that is a million heap pushes (and a million live heap
+//! slots) before the first event fires. [`EventQueue::stage`] instead
+//! appends pre-run events to a plain vector with their insertion seq
+//! reserved as usual; the vector is sorted once by `(time, seq)` on the
+//! first pop and merged lazily with the backend at pop time (pop = min of
+//! the two fronts). Because the merge respects the same total order and the
+//! seqs are the ones the events would have had anyway, the pop sequence —
+//! and therefore every digest — is bit-identical to pushing everything up
+//! front, while the backend only ever holds the steady-state working set.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::str::FromStr;
+
+/// Which future-event-list backend an engine run uses.
+///
+/// Purely an execution/performance knob: both backends produce bit-identical
+/// pop order (proven by differential tests and per-backend golden digests),
+/// so this deliberately does **not** participate in experiment content
+/// addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// Binary-heap future event list: `O(log n)`, no tuning.
+    Heap,
+    /// Calendar queue: bucketed by time, amortized `O(1)` push/pop when
+    /// bucket width matches the event-time spread (self-tuned on resize).
+    /// The default: measured fastest at every point of the perf suite,
+    /// from 0.4M-event table runs to the 1M-session stress point (see
+    /// `DESIGN.md` §12 for the crossover measurement).
+    #[default]
+    Calendar,
+}
+
+impl QueueKind {
+    /// All backends, for "run the suite once per backend" loops.
+    pub const ALL: [QueueKind; 2] = [QueueKind::Heap, QueueKind::Calendar];
+}
+
+impl FromStr for QueueKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "heap" => Ok(QueueKind::Heap),
+            "calendar" => Ok(QueueKind::Calendar),
+            other => Err(format!(
+                "unknown queue backend '{other}' (expected 'heap' or 'calendar')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueKind::Heap => write!(f, "heap"),
+            QueueKind::Calendar => write!(f, "calendar"),
+        }
+    }
+}
+
+/// One pending event: the payload plus its total-order key `(at, seq)`.
+///
+/// `seq` is the queue-wide insertion sequence; it breaks same-time ties so
+/// delivery at one instant is FIFO in scheduling order.
+#[derive(Debug)]
+pub struct Scheduled<E> {
+    /// Absolute delivery time.
+    pub at: SimTime,
+    /// Queue-wide insertion sequence (same-time tie-break).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> Scheduled<E> {
+    /// The total-order key.
+    #[inline]
+    pub fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    /// Natural ascending order on `(at, seq)` — earliest first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A future-event-list backend: maintains pending [`Scheduled`] events and
+/// yields them in strictly ascending `(at, seq)` order.
+///
+/// The contract every implementation must honor (and the differential tests
+/// enforce): `pop_min` returns the pending event with the smallest key;
+/// `min_key`/`peek_min` report that key without removing it. Internal layout
+/// (heap shape, bucket widths, resize timing) must never influence the pop
+/// order, only its cost.
+pub trait EventQueueBackend<E> {
+    /// Insert one pending event.
+    fn push(&mut self, item: Scheduled<E>);
+    /// Key of the minimum pending event; may memoize the located position so
+    /// an immediately following [`pop_min`](Self::pop_min) is `O(1)`.
+    fn min_key(&mut self) -> Option<(SimTime, u64)>;
+    /// Key of the minimum pending event without any memoization (`&self`).
+    fn peek_min(&self) -> Option<(SimTime, u64)>;
+    /// Remove and return the minimum pending event.
+    fn pop_min(&mut self) -> Option<Scheduled<E>>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Allocated capacity (best effort; for telemetry).
+    fn capacity(&self) -> usize;
+    /// Pre-size for at least `additional` more events (may be a no-op for
+    /// backends that size themselves).
+    fn reserve(&mut self, additional: usize);
+}
+
+/// Binary-heap backend: `std::collections::BinaryHeap` over
+/// [`Reverse`](std::cmp::Reverse)d entries so the max-heap pops the minimum.
+#[derive(Debug)]
+pub struct HeapBackend<E> {
+    heap: BinaryHeap<std::cmp::Reverse<Scheduled<E>>>,
+}
+
+impl<E> HeapBackend<E> {
+    /// Create with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        HeapBackend {
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+}
+
+impl<E> EventQueueBackend<E> for HeapBackend<E> {
+    #[inline]
+    fn push(&mut self, item: Scheduled<E>) {
+        self.heap.push(std::cmp::Reverse(item));
+    }
+    #[inline]
+    fn min_key(&mut self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|r| r.0.key())
+    }
+    #[inline]
+    fn peek_min(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|r| r.0.key())
+    }
+    #[inline]
+    fn pop_min(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|r| r.0)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+    fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+    fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+}
+
+/// Smallest bucket-array size the calendar queue will shrink to.
+const MIN_BUCKETS: usize = 64;
+/// Largest bucket-array size (bounds the empty-bucket memory overhead; past
+/// this the queue degrades gracefully to a few events per bucket).
+const MAX_BUCKETS: usize = 1 << 19;
+/// Initial bucket width exponent: `2^12` µs ≈ 4 ms days, a reasonable prior
+/// for millisecond-scale service times; resize re-tunes it from the actual
+/// pending-event spread.
+const DEFAULT_SHIFT: u32 = 12;
+/// Bucket-width exponent ceiling (`2^40` µs ≈ 13 days of sim time per
+/// bucket — effectively "one bucket for everything").
+const MAX_SHIFT: u32 = 40;
+
+/// Calendar-queue backend (Brown 1988).
+///
+/// Events hash into `buckets.len()` (a power of two) time buckets by their
+/// "day" `at_µs >> shift`; each bucket is kept sorted ascending by
+/// `(at, seq)`, so a bucket's front is its minimum. A pop scans days forward
+/// from the last popped day (`cur_day`); within one "year" (`nbuckets` days)
+/// each day maps to a distinct bucket, so the first front whose day matches
+/// the scanned day is the global minimum. If a whole year is empty the pop
+/// falls back to a direct min-scan over bucket fronts and jumps `cur_day`
+/// there.
+///
+/// Determinism: pop order is decided *only* by `(at, seq)` comparisons —
+/// bucket count, width, and resize timing affect where events sit, never
+/// which one is the minimum — so the calendar queue pops the exact sequence
+/// the heap does. (The invariant that makes the day-scan sound: every
+/// pending event's day is ≥ `cur_day`, because the engine never schedules
+/// before `now` and `cur_day` only tracks popped minima.)
+#[derive(Debug)]
+pub struct CalendarBackend<E> {
+    buckets: Vec<VecDeque<Scheduled<E>>>,
+    /// `buckets.len() - 1`; bucket index = `day & mask`.
+    mask: u64,
+    /// Bucket width is `2^shift` microseconds.
+    shift: u32,
+    /// Day of the most recently popped event (lower bound on all pending days).
+    cur_day: u64,
+    len: usize,
+    /// Memoized location of the current minimum: `(bucket, at, seq)`. Kept
+    /// valid across pushes (a push either beats it and replaces it, or
+    /// cannot be the minimum); consumed by `pop_min`.
+    cached_min: Option<(usize, SimTime, u64)>,
+}
+
+impl<E> CalendarBackend<E> {
+    /// Create sized for roughly `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let nbuckets = capacity.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        CalendarBackend {
+            buckets: (0..nbuckets).map(|_| VecDeque::new()).collect(),
+            mask: (nbuckets - 1) as u64,
+            shift: DEFAULT_SHIFT,
+            cur_day: 0,
+            len: 0,
+            cached_min: None,
+        }
+    }
+
+    #[inline]
+    fn day_of(&self, at: SimTime) -> u64 {
+        at.as_micros() >> self.shift
+    }
+
+    /// Insert without resize checks or cache maintenance (rebuild path).
+    fn insert_item(&mut self, item: Scheduled<E>) {
+        let bucket = (self.day_of(item.at) & self.mask) as usize;
+        let key = item.key();
+        let deque = &mut self.buckets[bucket];
+        // Sorted-ascending insert. Same-time events arrive with monotone
+        // seq, so the common case is an append at the back, O(1).
+        let pos = deque.partition_point(|s| s.key() < key);
+        deque.insert(pos, item);
+        self.len += 1;
+    }
+
+    /// Locate the minimum event: `(bucket, at, seq)`.
+    fn locate_min(&self) -> (usize, SimTime, u64) {
+        debug_assert!(self.len > 0, "locate_min on empty calendar");
+        let nbuckets = self.buckets.len() as u64;
+        for day in self.cur_day..self.cur_day + nbuckets {
+            let bucket = (day & self.mask) as usize;
+            if let Some(front) = self.buckets[bucket].front() {
+                if self.day_of(front.at) == day {
+                    return (bucket, front.at, front.seq);
+                }
+            }
+        }
+        // Sparse year: nothing within `nbuckets` days of cur_day. Direct
+        // min-scan over bucket fronts (each front is its bucket's minimum).
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, d)| d.front().map(|f| (b, f.at, f.seq)))
+            .min_by_key(|&(_, at, seq)| (at, seq))
+            .expect("len > 0 but all buckets empty")
+    }
+
+    /// Rebuild with a new bucket count, re-tuning the bucket width to the
+    /// pending-event spread (aiming for ~1 event per bucket-day). Layout
+    /// changes only; pop order is unaffected by construction.
+    fn rebuild(&mut self, target_buckets: usize) {
+        let nbuckets = target_buckets
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let items: Vec<Scheduled<E>> = self.buckets.iter_mut().flat_map(|b| b.drain(..)).collect();
+        let old_shift = self.shift;
+        if let (Some(lo), Some(hi)) = (
+            items.iter().map(|s| s.at).min(),
+            items.iter().map(|s| s.at).max(),
+        ) {
+            let span = hi.as_micros() - lo.as_micros();
+            let per_event = (span / items.len() as u64).max(1);
+            self.shift = (63 - per_event.leading_zeros()).min(MAX_SHIFT);
+        }
+        // `cur_day` must stay a lower bound on every FUTURE push, not just
+        // the currently pending events: pushes land anywhere ≥ now, and now
+        // can be far below the minimum pending event (e.g. when only
+        // far-future markers remain while arrivals stream in from the
+        // staged lane). Jumping to the minimum pending day would start the
+        // pop scan past those later pushes and break pop order — so carry
+        // the old bound across the width change instead. Scanning extra
+        // empty days is at worst one sparse-year fallback, and the next pop
+        // re-anchors `cur_day`.
+        self.cur_day = (self.cur_day << old_shift) >> self.shift;
+        self.buckets = (0..nbuckets).map(|_| VecDeque::new()).collect();
+        self.mask = (nbuckets - 1) as u64;
+        self.cached_min = None;
+        self.len = 0;
+        for item in items {
+            self.insert_item(item);
+        }
+    }
+}
+
+impl<E> EventQueueBackend<E> for CalendarBackend<E> {
+    fn push(&mut self, item: Scheduled<E>) {
+        if self.len + 1 > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(self.len + 1);
+        }
+        let key = item.key();
+        let bucket = (self.day_of(item.at) & self.mask) as usize;
+        if let Some((_, at, seq)) = self.cached_min {
+            if key < (at, seq) {
+                self.cached_min = Some((bucket, item.at, item.seq));
+            }
+        }
+        let deque = &mut self.buckets[bucket];
+        let pos = deque.partition_point(|s| s.key() < key);
+        deque.insert(pos, item);
+        self.len += 1;
+    }
+
+    fn min_key(&mut self) -> Option<(SimTime, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some((_, at, seq)) = self.cached_min {
+            return Some((at, seq));
+        }
+        let found = self.locate_min();
+        self.cached_min = Some(found);
+        Some((found.1, found.2))
+    }
+
+    fn peek_min(&self) -> Option<(SimTime, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some((_, at, seq)) = self.cached_min {
+            return Some((at, seq));
+        }
+        let (_, at, seq) = self.locate_min();
+        Some((at, seq))
+    }
+
+    fn pop_min(&mut self) -> Option<Scheduled<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        let (bucket, at, _) = match self.cached_min.take() {
+            Some(found) => found,
+            None => self.locate_min(),
+        };
+        let item = self.buckets[bucket]
+            .pop_front()
+            .expect("minimum bucket empty");
+        debug_assert_eq!(item.at, at, "cached minimum out of date");
+        self.len -= 1;
+        self.cur_day = self.day_of(at);
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.len.max(MIN_BUCKETS));
+        }
+        Some(item)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.buckets.iter().map(|b| b.capacity()).sum::<usize>()
+    }
+
+    fn reserve(&mut self, _additional: usize) {
+        // The bucket array resizes itself from occupancy; per-bucket
+        // reservations would only pin memory without helping pop cost.
+    }
+}
+
+/// Backend dispatch. A concrete enum instead of `dyn EventQueueBackend` so
+/// the per-event push/pop stays a predictable branch, not a vtable call.
+#[derive(Debug)]
+pub(crate) enum BackendImpl<E> {
+    Heap(HeapBackend<E>),
+    Calendar(CalendarBackend<E>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $b:ident => $body:expr) => {
+        match $self {
+            BackendImpl::Heap($b) => $body,
+            BackendImpl::Calendar($b) => $body,
+        }
+    };
+}
+
+impl<E> EventQueueBackend<E> for BackendImpl<E> {
+    #[inline]
+    fn push(&mut self, item: Scheduled<E>) {
+        dispatch!(self, b => b.push(item))
+    }
+    #[inline]
+    fn min_key(&mut self) -> Option<(SimTime, u64)> {
+        dispatch!(self, b => b.min_key())
+    }
+    #[inline]
+    fn peek_min(&self) -> Option<(SimTime, u64)> {
+        dispatch!(self, b => b.peek_min())
+    }
+    #[inline]
+    fn pop_min(&mut self) -> Option<Scheduled<E>> {
+        dispatch!(self, b => b.pop_min())
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        dispatch!(self, b => b.len())
+    }
+    fn capacity(&self) -> usize {
+        dispatch!(self, b => b.capacity())
+    }
+    fn reserve(&mut self, additional: usize) {
+        dispatch!(self, b => b.reserve(additional))
+    }
+}
+
+impl<E> BackendImpl<E> {
+    pub(crate) fn new(kind: QueueKind, capacity: usize) -> Self {
+        match kind {
+            QueueKind::Heap => BackendImpl::Heap(HeapBackend::with_capacity(capacity)),
+            QueueKind::Calendar => BackendImpl::Calendar(CalendarBackend::with_capacity(capacity)),
+        }
+    }
+
+    pub(crate) fn kind(&self) -> QueueKind {
+        match self {
+            BackendImpl::Heap(_) => QueueKind::Heap,
+            BackendImpl::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+}
+
+/// Phase timing samples one push in this many when profiling (see the
+/// matching event-cycle sample in the engine): reading a monotonic clock
+/// several times per event costs more than dispatching most events, so
+/// timing every cycle would roughly double the event loop's cost. The
+/// sample is keyed on event/schedule indices — no randomness — so profiling
+/// stays bit-identical and repeatable.
+pub(crate) const PROFILE_SAMPLE_MASK: u64 = 63;
+
+/// Outcome of one [`EventQueue::pop_at_most`] attempt.
+pub(crate) enum PopNext<E> {
+    /// Nothing pending anywhere (backend and staged lane both empty).
+    Empty,
+    /// The earliest pending event lies beyond the horizon.
+    Beyond,
+    /// The popped minimum; the queue clock has advanced to its time.
+    Event(Scheduled<E>),
+}
+
+/// The pending-event set, exposed to models for scheduling.
+///
+/// Internally a pluggable [`EventQueueBackend`] (selected by [`QueueKind`])
+/// plus the staged-arrivals lane (see module docs); externally the same
+/// strict `(time, insertion-seq)` total order regardless of backend.
+pub struct EventQueue<E> {
+    backend: BackendImpl<E>,
+    /// Pre-run staged events; sorted *descending* by key on first pop so the
+    /// current front is `last()` and consuming it is a by-value `pop()`.
+    staged: Vec<Scheduled<E>>,
+    staged_sorted: bool,
+    /// Set on the first pop; staging afterwards is a contract violation.
+    started: bool,
+    now: SimTime,
+    seq: u64,
+    high_water: usize,
+    timed: bool,
+    sched_secs: f64,
+    timed_pushes: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Create a queue with the given backend, pre-sized for `capacity`
+    /// pending events.
+    pub fn new_with(kind: QueueKind, capacity: usize) -> Self {
+        EventQueue {
+            backend: BackendImpl::new(kind, capacity),
+            staged: Vec::new(),
+            staged_sorted: true,
+            started: false,
+            now: SimTime::ZERO,
+            seq: 0,
+            high_water: 0,
+            timed: false,
+            sched_secs: 0.0,
+            timed_pushes: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    #[inline]
+    pub fn kind(&self) -> QueueKind {
+        self.backend.kind()
+    }
+
+    /// Push onto the backend, maintaining the insertion sequence and
+    /// high-water mark. Timing (when profiling is on) wraps exactly this
+    /// operation on a deterministic 1-in-64 sample of pushes, so
+    /// `sched_secs` holds sampled push seconds (the engine's `profile()`
+    /// scales them to an estimate).
+    #[inline]
+    fn push_at(&mut self, at: SimTime, event: E) {
+        let item = Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        };
+        if self.timed && self.seq & PROFILE_SAMPLE_MASK == 0 {
+            let t0 = std::time::Instant::now();
+            self.backend.push(item);
+            self.sched_secs += t0.elapsed().as_secs_f64();
+            self.timed_pushes += 1;
+        } else {
+            self.backend.push(item);
+        }
+        self.seq += 1;
+        self.high_water = self.high_water.max(self.len());
+    }
+
+    /// Reserve room for at least `additional` more pending events.
+    ///
+    /// Pre-sizing is purely an allocation hint: backend layout never affects
+    /// pop order (the schedule is a strict total order on `(time, seq)`), so
+    /// this cannot change simulation results.
+    pub fn reserve(&mut self, additional: usize) {
+        self.backend.reserve(additional);
+    }
+
+    /// Current allocated capacity of the pending-event backend.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.backend.capacity()
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is before the current time.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        self.push_at(at, event);
+    }
+
+    /// Schedule `event` after a delay relative to now.
+    #[inline]
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.push_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` to run at the current instant, after all events already
+    /// queued for this instant (a "call me back immediately" idiom).
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_after(SimTime::ZERO, event);
+    }
+
+    /// Stage a pre-run event into the arrivals lane (see module docs).
+    ///
+    /// The event gets the same insertion seq a [`schedule`](Self::schedule)
+    /// call would have assigned, so the merged pop order — and every digest —
+    /// is bit-identical to pushing it, but the backend never holds it.
+    /// Intended for bulk arrival seeding: at 1M sessions this keeps a
+    /// million pre-run events out of the backend entirely.
+    ///
+    /// # Panics
+    /// If called after the first pop, or with `at` in the past.
+    pub fn stage(&mut self, at: SimTime, event: E) {
+        assert!(
+            !self.started,
+            "stage() is for pre-run seeding; the run has already started"
+        );
+        assert!(
+            at >= self.now,
+            "cannot stage into the past: at={at} now={}",
+            self.now
+        );
+        self.staged.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+        self.staged_sorted = false;
+        self.high_water = self.high_water.max(self.len());
+    }
+
+    /// Number of pending events (backend + staged lane).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.backend.len() + self.staged.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let staged_key = if self.staged_sorted {
+            self.staged.last().map(Scheduled::key)
+        } else {
+            self.staged.iter().map(Scheduled::key).min()
+        };
+        match (staged_key, self.backend.peek_min()) {
+            (None, b) => b.map(|(at, _)| at),
+            (s, None) => s.map(|(at, _)| at),
+            (Some(s), Some(b)) => Some(s.min(b).0),
+        }
+    }
+
+    /// Largest number of events ever pending at once.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total events ever pushed onto this queue (the insertion sequence).
+    #[inline]
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Pop the globally minimum pending event if it is at or before
+    /// `horizon`, advancing the queue clock to its time.
+    pub(crate) fn pop_at_most(&mut self, horizon: SimTime) -> PopNext<E> {
+        if !self.staged_sorted {
+            // One deferred sort instead of n backend pushes; descending so
+            // the front is `last()`.
+            self.staged.sort_by_key(|s| std::cmp::Reverse(s.key()));
+            self.staged_sorted = true;
+        }
+        self.started = true;
+        let staged_key = self.staged.last().map(Scheduled::key);
+        let from_staged = match (staged_key, self.backend.min_key()) {
+            (None, None) => return PopNext::Empty,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(s), Some(b)) => s < b,
+        };
+        let key = if from_staged {
+            staged_key.expect("staged front vanished")
+        } else {
+            self.backend.min_key().expect("backend min vanished")
+        };
+        if key.0 > horizon {
+            return PopNext::Beyond;
+        }
+        let item = if from_staged {
+            self.staged.pop().expect("staged front vanished")
+        } else {
+            self.backend.pop_min().expect("backend min vanished")
+        };
+        debug_assert!(item.at >= self.now, "event queue time went backwards");
+        self.now = item.at;
+        PopNext::Event(item)
+    }
+
+    /// Advance the clock to `t` if it is ahead (horizon handling).
+    pub(crate) fn advance_to(&mut self, t: SimTime) {
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    pub(crate) fn set_timed(&mut self, timed: bool) {
+        self.timed = timed;
+    }
+
+    pub(crate) fn sched_secs(&self) -> f64 {
+        self.sched_secs
+    }
+
+    pub(crate) fn timed_pushes(&self) -> u64 {
+        self.timed_pushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{check, Gen};
+
+    fn sched(at_us: u64, seq: u64) -> Scheduled<u64> {
+        Scheduled {
+            at: SimTime::from_micros(at_us),
+            seq,
+            event: seq,
+        }
+    }
+
+    /// Drive both backends through an identical randomized push/pop script
+    /// and assert identical pop sequences, ties included.
+    #[test]
+    fn backends_pop_identically_on_randomized_schedules() {
+        check(200, |g: &mut Gen| {
+            let mut heap = HeapBackend::with_capacity(8);
+            let mut cal = CalendarBackend::with_capacity(8);
+            let mut seq = 0u64;
+            let mut floor = 0u64; // pops only move time forward
+            let ops = g.usize_in(1, 401);
+            for _ in 0..ops {
+                if g.chance(0.03) {
+                    // Far-era flood: enough same-era far-future events to
+                    // force a grow-rebuild while everything pending is far
+                    // ahead of `floor` — the regression pattern where the
+                    // scan start used to jump past later nearby pushes.
+                    let era = floor + g.u64_in(5_000_000, 60_000_001);
+                    for _ in 0..g.usize_in(120, 400) {
+                        let at = era + g.u64_in(0, 100_001);
+                        heap.push(sched(at, seq));
+                        cal.push(sched(at, seq));
+                        seq += 1;
+                    }
+                } else if g.chance(0.6) {
+                    // Push: mostly nearby times, deliberate ties, occasional
+                    // far-future outliers to force sparse-year scans.
+                    let at = if g.chance(0.15) {
+                        floor // exact tie with the current minimum's era
+                    } else if g.chance(0.05) {
+                        floor + g.u64_in(1_000_000, 50_000_001)
+                    } else {
+                        floor + g.u64_in(0, 5_001)
+                    };
+                    let burst = g.usize_in(1, 4); // same-time FIFO bursts
+                    for _ in 0..burst {
+                        heap.push(sched(at, seq));
+                        cal.push(sched(at, seq));
+                        seq += 1;
+                    }
+                } else {
+                    assert_eq!(heap.min_key(), cal.min_key());
+                    assert_eq!(heap.peek_min(), cal.peek_min());
+                    let a = heap.pop_min().map(|s| (s.at, s.seq, s.event));
+                    let b = cal.pop_min().map(|s| (s.at, s.seq, s.event));
+                    assert_eq!(a, b);
+                    if let Some((at, _, _)) = a {
+                        floor = at.as_micros();
+                    }
+                }
+            }
+            // Drain whatever remains; order must still agree exactly.
+            loop {
+                let a = heap.pop_min().map(|s| (s.at, s.seq));
+                let b = cal.pop_min().map(|s| (s.at, s.seq));
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(heap.len(), 0);
+            assert_eq!(cal.len(), 0);
+        });
+    }
+
+    /// Regression: a grow-rebuild while only far-future events were pending
+    /// used to jump the calendar's scan start (`cur_day`) to the minimum
+    /// *pending* day. Events pushed afterwards at earlier times (legal: any
+    /// time ≥ now, and now can sit far below the pending minimum while
+    /// arrivals stream from the staged lane) then landed behind the scan
+    /// start, and the year-scan returned a later event first.
+    #[test]
+    fn pushes_behind_a_regrown_calendar_year_still_pop_first() {
+        let mut heap = HeapBackend::with_capacity(8);
+        let mut cal = CalendarBackend::with_capacity(8);
+        let mut seq = 0u64;
+        let mut push = |h: &mut HeapBackend<u64>, c: &mut CalendarBackend<u64>, at: u64| {
+            h.push(sched(at, seq));
+            c.push(sched(at, seq));
+            seq += 1;
+        };
+        // Anchor time low, then pop so `now` ≈ 1ms.
+        push(&mut heap, &mut cal, 1_000);
+        assert_eq!(
+            heap.pop_min().map(|s| s.key()),
+            cal.pop_min().map(|s| s.key())
+        );
+        // Far-future flood forces grow-rebuilds with nothing pending below
+        // 10 s; the width re-tune used to drag the scan start up there too.
+        for i in 0..300u64 {
+            push(&mut heap, &mut cal, 10_000_000 + i);
+        }
+        // A later push at 32.7 ms — ≥ now, far below every pending event —
+        // must still pop first on both backends.
+        push(&mut heap, &mut cal, 32_699);
+        assert_eq!(cal.peek_min(), Some((SimTime::from_micros(32_699), 301)));
+        loop {
+            let a = heap.pop_min().map(|s| s.key());
+            let b = cal.pop_min().map(|s| s.key());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_resize_preserves_order_through_grow_and_shrink() {
+        let mut cal = CalendarBackend::with_capacity(1);
+        // Push far more than the initial bucket count to force grows...
+        let n = 10_000u64;
+        for seq in 0..n {
+            // Reversed times so pops interleave eras; ties every 8th event.
+            let at = (n - seq) * 97 % 5_000;
+            cal.push(sched(at, seq));
+        }
+        // ...then drain fully, forcing shrinks on the way down.
+        let mut prev: Option<(SimTime, u64)> = None;
+        let mut popped = 0;
+        while let Some(s) = cal.pop_min() {
+            if let Some(p) = prev {
+                assert!(
+                    s.key() > p,
+                    "pop order regressed: {:?} after {:?}",
+                    s.key(),
+                    p
+                );
+            }
+            prev = Some(s.key());
+            popped += 1;
+        }
+        assert_eq!(popped, n);
+    }
+
+    #[test]
+    fn calendar_sparse_far_future_events_pop_correctly() {
+        let mut cal = CalendarBackend::<u64>::with_capacity(64);
+        // Events separated by far more than a bucket "year".
+        for (i, at) in [0u64, 3_600_000_000, 7_200_000_000, 7_200_000_001]
+            .iter()
+            .enumerate()
+        {
+            cal.push(sched(*at, i as u64));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop_min().map(|s| s.seq)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    /// The staged lane is indistinguishable from upfront pushes: same pop
+    /// sequence, same seqs, same counters — on both backends, with follow-up
+    /// events scheduled mid-run to interleave with still-staged arrivals.
+    #[test]
+    fn staged_lane_matches_upfront_pushes_exactly() {
+        check(100, |g: &mut Gen| {
+            for kind in QueueKind::ALL {
+                let mut staged = EventQueue::new_with(kind, 8);
+                let mut pushed = EventQueue::new_with(kind, 8);
+                let n = g.usize_in(1, 60);
+                let arrivals: Vec<u64> = (0..n)
+                    .map(|_| {
+                        if g.chance(0.2) {
+                            500
+                        } else {
+                            g.u64_in(0, 10_000)
+                        }
+                    })
+                    .collect();
+                for &at in &arrivals {
+                    staged.stage(SimTime::from_micros(at), at);
+                    pushed.schedule(SimTime::from_micros(at), at);
+                }
+                let mut chain = g.usize_in(0, 20);
+                loop {
+                    let a = match staged.pop_at_most(SimTime::MAX) {
+                        PopNext::Event(s) => Some((s.at, s.seq, s.event)),
+                        _ => None,
+                    };
+                    let b = match pushed.pop_at_most(SimTime::MAX) {
+                        PopNext::Event(s) => Some((s.at, s.seq, s.event)),
+                        _ => None,
+                    };
+                    assert_eq!(a, b, "backend {kind} diverged (seed {})", g.seed());
+                    let Some((at, _, _)) = a else { break };
+                    // Mid-run follow-ups land among still-staged arrivals.
+                    if chain > 0 {
+                        chain -= 1;
+                        let delta = SimTime::from_micros(g.u64_in(0, 3_000));
+                        staged.schedule_after(delta, at.as_micros() + 1);
+                        pushed.schedule_after(delta, at.as_micros() + 1);
+                    }
+                }
+                assert_eq!(staged.scheduled(), pushed.scheduled());
+                assert_eq!(staged.high_water(), pushed.high_water());
+                assert!(staged.is_empty() && pushed.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "run has already started")]
+    fn staging_after_the_first_pop_panics() {
+        let mut q = EventQueue::new_with(QueueKind::Heap, 4);
+        q.schedule(SimTime::from_micros(1), 1u64);
+        let _ = q.pop_at_most(SimTime::MAX);
+        q.stage(SimTime::from_micros(2), 2u64);
+    }
+
+    #[test]
+    fn peek_time_sees_staged_and_backend_events() {
+        let mut q = EventQueue::new_with(QueueKind::Calendar, 4);
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_micros(9), 0u64);
+        q.stage(SimTime::from_micros(4), 1u64);
+        // Staged lane not yet sorted; peek must still find the true minimum.
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(4)));
+        assert_eq!(q.len(), 2);
+        match q.pop_at_most(SimTime::MAX) {
+            PopNext::Event(s) => assert_eq!(s.at, SimTime::from_micros(4)),
+            _ => panic!("expected an event"),
+        }
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+    }
+
+    #[test]
+    fn queue_kind_parses_and_displays() {
+        assert_eq!("heap".parse::<QueueKind>(), Ok(QueueKind::Heap));
+        assert_eq!(" Calendar ".parse::<QueueKind>(), Ok(QueueKind::Calendar));
+        assert!("fibonacci".parse::<QueueKind>().is_err());
+        assert_eq!(QueueKind::Heap.to_string(), "heap");
+        assert_eq!(QueueKind::Calendar.to_string(), "calendar");
+        assert_eq!(QueueKind::default(), QueueKind::Calendar);
+    }
+}

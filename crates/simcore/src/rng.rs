@@ -77,6 +77,11 @@ impl Xoshiro256pp {
 
 /// A deterministic random stream with convenience samplers for the
 /// distributions the simulator needs.
+///
+/// `Clone` copies the full stream state: the clone continues the exact same
+/// sequence. Use [`fork`](Self::fork)/[`fork_indexed`](Self::fork_indexed)
+/// for *independent* sub-streams.
+#[derive(Clone)]
 pub struct RunRng {
     seed: u64,
     rng: Xoshiro256pp,

@@ -11,7 +11,7 @@ use crate::topology::Topology;
 use jvm_gc::GcConfig;
 use metrics::MetricsConfig;
 use ntier_trace::TraceConfig;
-use simcore::SimTime;
+use simcore::{QueueKind, SimTime};
 use std::str::FromStr;
 use workload::{RetryPolicy, WorkloadConfig};
 
@@ -274,6 +274,13 @@ pub struct SystemConfig {
     /// profiled run is bit-identical to an unprofiled one; the profile rides
     /// along as [`RunOutput::profile`](crate::RunOutput).
     pub profile: bool,
+    /// Future-event-list backend for the engine ([`QueueKind::default`] —
+    /// the calendar queue, the measured winner across the perf suite).
+    /// Backend choice is **semantics-neutral**: both backends pop
+    /// in the identical (time, seq) order, proven by differential and golden
+    /// tests, so this knob tunes performance only — it never changes a run's
+    /// output.
+    pub queue: QueueKind,
     /// Explicit tier-chain topology. `None` (the default) resolves to the
     /// paper's 4-tier chain built from `hardware`/`soft`/the GC fields at
     /// system-construction time, so late mutation of those fields still
@@ -300,8 +307,16 @@ impl SystemConfig {
             trace: TraceConfig::Off,
             metrics: MetricsConfig::Off,
             profile: false,
+            queue: QueueKind::default(),
             topology: None,
         }
+    }
+
+    /// Run this trial with the given future-event-list backend. Performance
+    /// only — the run output is bit-identical across backends.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Run this trial on an explicit topology instead of the default paper

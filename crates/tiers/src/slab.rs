@@ -1,14 +1,40 @@
-//! A minimal slab allocator for in-flight request/query state.
+//! A generational arena for in-flight request/query state.
 //!
-//! Requests churn at thousands per simulated second; a slab keeps their state
-//! in one contiguous allocation with O(1) insert/remove and stable `u32`
-//! handles (which double as CPU job ids).
+//! Requests churn at thousands per simulated second; the arena keeps their
+//! state in one contiguous allocation with O(1) insert/remove and stable
+//! `u32` handles (which double as CPU job ids). Two properties matter on the
+//! hot path:
+//!
+//! * **Intrusive free list.** A vacant slot stores the index of the next
+//!   free slot in place of a payload, so freeing and reusing a slot never
+//!   allocates — there is no side `Vec<u32>` of free indices growing and
+//!   shrinking with churn. Steady-state insert/remove touches exactly one
+//!   slot plus the free-list head.
+//! * **Generation counters.** Each slot remembers how many times it has
+//!   been reused. The simulation's own stale-handle defense (timeout
+//!   sequence numbers) guards the protocol layer; generations guard the
+//!   storage layer, turning any use-after-free of a *reused* slot into an
+//!   immediate panic instead of silent corruption, and giving tests a way
+//!   to observe reuse directly ([`Slab::generation`]).
 
-/// Slab of `T` with `u32` handles.
+/// Free-list terminator.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+enum Entry<T> {
+    /// Vacant; holds the next free slot index (or [`NIL`]).
+    Free(u32),
+    Occupied(T),
+}
+
+/// Generational arena of `T` with `u32` handles ("slab" by historical name).
 #[derive(Debug)]
 pub struct Slab<T> {
-    slots: Vec<Option<T>>,
-    free: Vec<u32>,
+    entries: Vec<Entry<T>>,
+    /// Per-slot reuse counts; bumped on remove.
+    generations: Vec<u32>,
+    /// Head of the intrusive free list ([`NIL`] when full).
+    free_head: u32,
     len: usize,
 }
 
@@ -16,8 +42,9 @@ impl<T> Slab<T> {
     /// New empty slab.
     pub fn new() -> Self {
         Slab {
-            slots: Vec::new(),
-            free: Vec::new(),
+            entries: Vec::new(),
+            generations: Vec::new(),
+            free_head: NIL,
             len: 0,
         }
     }
@@ -25,22 +52,39 @@ impl<T> Slab<T> {
     /// New slab with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
         Slab {
-            slots: Vec::with_capacity(cap),
-            free: Vec::new(),
+            entries: Vec::with_capacity(cap),
+            generations: Vec::with_capacity(cap),
+            free_head: NIL,
             len: 0,
         }
+    }
+
+    /// Reserve room for at least `additional` more live entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+        self.generations.reserve(additional);
+    }
+
+    /// Allocated slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
     }
 
     /// Insert a value, returning its handle.
     pub fn insert(&mut self, value: T) -> u32 {
         self.len += 1;
-        if let Some(idx) = self.free.pop() {
-            debug_assert!(self.slots[idx as usize].is_none());
-            self.slots[idx as usize] = Some(value);
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            match self.entries[idx as usize] {
+                Entry::Free(next) => self.free_head = next,
+                Entry::Occupied(_) => unreachable!("slab: occupied slot on free list"),
+            }
+            self.entries[idx as usize] = Entry::Occupied(value);
             idx
         } else {
-            let idx = self.slots.len() as u32;
-            self.slots.push(Some(value));
+            let idx = self.entries.len() as u32;
+            self.entries.push(Entry::Occupied(value));
+            self.generations.push(0);
             idx
         }
     }
@@ -50,29 +94,46 @@ impl<T> Slab<T> {
     /// # Panics
     /// If the handle is vacant (a use-after-free in the simulation logic).
     pub fn get(&self, idx: u32) -> &T {
-        self.slots[idx as usize]
-            .as_ref()
-            .expect("slab: access to vacant slot")
+        match &self.entries[idx as usize] {
+            Entry::Occupied(v) => v,
+            Entry::Free(_) => panic!("slab: access to vacant slot"),
+        }
     }
 
     /// Mutable access by handle.
     pub fn get_mut(&mut self, idx: u32) -> &mut T {
-        self.slots[idx as usize]
-            .as_mut()
-            .expect("slab: access to vacant slot")
+        match &mut self.entries[idx as usize] {
+            Entry::Occupied(v) => v,
+            Entry::Free(_) => panic!("slab: access to vacant slot"),
+        }
     }
 
-    /// Remove and return the value at `idx`.
+    /// Remove and return the value at `idx`, bumping the slot's generation.
     pub fn remove(&mut self, idx: u32) -> T {
-        let v = self.slots[idx as usize].take().expect("slab: double free");
-        self.free.push(idx);
-        self.len -= 1;
-        v
+        match std::mem::replace(&mut self.entries[idx as usize], Entry::Free(self.free_head)) {
+            Entry::Occupied(v) => {
+                self.free_head = idx;
+                self.generations[idx as usize] = self.generations[idx as usize].wrapping_add(1);
+                self.len -= 1;
+                v
+            }
+            Entry::Free(prev) => {
+                // Undo the replace so the free list is not corrupted, then die.
+                self.entries[idx as usize] = Entry::Free(prev);
+                panic!("slab: double free");
+            }
+        }
     }
 
     /// Whether the handle is occupied.
     pub fn contains(&self, idx: u32) -> bool {
-        self.slots.get(idx as usize).is_some_and(|s| s.is_some())
+        matches!(self.entries.get(idx as usize), Some(Entry::Occupied(_)))
+    }
+
+    /// How many times slot `idx` has been reused (bumped on each remove).
+    /// Handles minted before the current generation are stale.
+    pub fn generation(&self, idx: u32) -> u32 {
+        self.generations[idx as usize]
     }
 
     /// Number of live entries.
@@ -87,10 +148,13 @@ impl<T> Slab<T> {
 
     /// Iterate over live entries.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
-        self.slots
+        self.entries
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+            .filter_map(|(i, e)| match e {
+                Entry::Occupied(v) => Some((i as u32, v)),
+                Entry::Free(_) => None,
+            })
     }
 }
 
@@ -129,6 +193,35 @@ mod tests {
     }
 
     #[test]
+    fn free_list_is_lifo_and_allocation_free() {
+        let mut s = Slab::new();
+        let handles: Vec<u32> = (0..8).map(|i| s.insert(i)).collect();
+        let cap = s.capacity();
+        for &h in &handles {
+            s.remove(h);
+        }
+        // Reuse never grows the arena: most-recently-freed slot first.
+        for i in (0..8).rev() {
+            assert_eq!(s.insert(100), handles[i as usize]);
+        }
+        assert_eq!(s.capacity(), cap);
+    }
+
+    #[test]
+    fn generations_track_reuse() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        assert_eq!(s.generation(a), 0);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(a, b);
+        assert_eq!(s.generation(b), 1);
+        s.remove(b);
+        s.insert(3);
+        assert_eq!(s.generation(b), 2);
+    }
+
+    #[test]
     fn mutation() {
         let mut s = Slab::new();
         let a = s.insert(10);
@@ -145,6 +238,14 @@ mod tests {
         s.remove(a);
         let live: Vec<i32> = s.iter().map(|(_, &v)| v).collect();
         assert_eq!(live, vec![2, 3]);
+    }
+
+    #[test]
+    fn reserve_and_capacity() {
+        let mut s = Slab::<u8>::with_capacity(16);
+        assert!(s.capacity() >= 16);
+        s.reserve(100);
+        assert!(s.capacity() >= 100);
     }
 
     #[test]

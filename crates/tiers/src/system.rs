@@ -21,8 +21,9 @@ use crate::tier_nodes::{make_tier, TierNode};
 use crate::topology::{SelectPolicy, TierId};
 use metrics::{FailureKind, MetricsRegistry, RunMetrics, SlaModel};
 use ntier_trace::{Span, TraceId, Tracer, ENGINE_TRACE};
+use resources::JobId;
 use simcore::{Engine, EngineStats, EventQueue, Model, RunRng, SimTime};
-use workload::{InteractionCatalog, InteractionId, Mix, Session, SessionModel};
+use workload::{InteractionCatalog, InteractionId, Mix, SessionModel, SessionStore};
 
 /// A typed message addressed to one tier of the chain.
 #[derive(Debug, Clone, Copy)]
@@ -139,7 +140,10 @@ pub(crate) struct Ctx {
     pub cfg: SystemConfig,
     pub catalog: InteractionCatalog,
     pub mix: Mix,
-    pub sessions: Vec<Session>,
+    /// Compact per-session state, materialized lazily in chunks as sessions
+    /// are first touched (a 1M-user run no longer builds a million session
+    /// objects before the first event fires).
+    pub sessions: SessionStore,
     pub nodes: Vec<Node>,
     /// Chain links (index = tier id).
     pub links: Vec<TierLink>,
@@ -166,8 +170,14 @@ pub(crate) struct Ctx {
     /// Monotone deadline-timer sequence (0 is reserved for "disarmed").
     pub timeout_seq: u32,
     /// Per-session (interaction, attempt) to re-issue when `Ev::Reissue`
-    /// fires; meaningful only while a reissue is scheduled.
-    pub retry_pending: Vec<(InteractionId, u8)>,
+    /// fires; meaningful only while a reissue is scheduled. Interaction ids
+    /// are stored compactly as `u16` (the catalog is far smaller than that);
+    /// at 1M sessions this table is 4 MB instead of 16.
+    pub retry_pending: Vec<(u16, u8)>,
+    /// Reusable scratch for CPU completion/abort collection; always empty
+    /// between events. Kills the per-`CpuCheck` vector allocation — the
+    /// single most frequent event kind under load.
+    pub scratch_jobs: Vec<JobId>,
     /// Full-trial terminal outcomes and retry count (not window-scoped;
     /// the measurement-window view lives in [`Telemetry`]).
     pub outcomes: OutcomeTotals,
@@ -201,9 +211,15 @@ impl Ctx {
             MixKind::ReadWrite => Mix::read_write(&catalog),
         };
         let root = RunRng::new(cfg.seed);
-        let sessions = (0..cfg.workload.users)
-            .map(|i| Session::new(i, &root, SessionModel::Markov, cfg.workload.think_time))
-            .collect();
+        // Forked streams are order-independent, so the lazily-materialized
+        // store draws bit-identically to the eager per-session construction
+        // it replaced.
+        let sessions = SessionStore::new(
+            cfg.workload.users,
+            &root,
+            SessionModel::Markov,
+            cfg.workload.think_time,
+        );
 
         let n_tiers = topo.n_tiers();
         let mut nodes = Vec::new();
@@ -274,7 +290,8 @@ impl Ctx {
             rng_faults: root.fork("faults"),
             faults,
             timeout_seq: 0,
-            retry_pending: vec![(0, 0); users],
+            retry_pending: vec![(0u16, 0u8); users],
+            scratch_jobs: Vec::new(),
             outcomes: OutcomeTotals::default(),
             cfg,
             catalog,
@@ -620,7 +637,7 @@ impl Ctx {
         if self.draining {
             return;
         }
-        let interaction = self.sessions[s as usize].next_interaction(&self.catalog, &self.mix);
+        let interaction = self.sessions.next_interaction(s, &self.catalog, &self.mix);
         self.issue_request(s, interaction, 1, now, q);
     }
 
@@ -677,7 +694,7 @@ impl Ctx {
                 }
             }
             if !self.draining {
-                let think = self.sessions[session as usize].think_time();
+                let think = self.sessions.think_time(session);
                 q.schedule(now + think, Ev::ThinkDone(session));
             }
             self.free_request_arm(r);
@@ -702,13 +719,13 @@ impl Ctx {
         if will_retry {
             // The jitter draw comes from the session's own stream, and only
             // on an actual retry — healthy runs never touch it.
-            let u = self.sessions[session as usize].retry_jitter();
+            let u = self.sessions.retry_jitter(session);
             let delay = self
                 .cfg
                 .retry
                 .delay(attempt, u)
                 .expect("attempt below max_attempts");
-            self.retry_pending[session as usize] = (interaction, attempt + 1);
+            self.retry_pending[session as usize] = (interaction as u16, attempt + 1);
             self.outcomes.retries += 1;
             if self.measuring && now <= self.measure_end {
                 if let Some(m) = self.metrics.as_mut() {
@@ -719,7 +736,7 @@ impl Ctx {
             self.req_span(trace, track, ntier_trace::RETRY, now, now + delay);
             q.schedule(now + delay, Ev::Reissue(session));
         } else if !self.draining {
-            let think = self.sessions[session as usize].think_time();
+            let think = self.sessions.think_time(session);
             q.schedule(now + think, Ev::ThinkDone(session));
         }
         self.free_request_arm(r);
@@ -730,7 +747,7 @@ impl Ctx {
             return;
         }
         let (interaction, attempt) = self.retry_pending[s as usize];
-        self.issue_request(s, interaction, attempt, now, q);
+        self.issue_request(s, interaction as InteractionId, attempt, now, q);
     }
 
     /// A deadline fired. Stale timers (request gone, sequence mismatch after
@@ -841,7 +858,8 @@ impl Ctx {
     /// pool, routing, and arrival/departure accounting stay balanced.
     fn on_crash(&mut self, ni: usize, now: SimTime, q: &mut EventQueue<Ev>) {
         self.nodes[ni].up = false;
-        let aborted = self.nodes[ni].cpu.abort_all(now);
+        let mut aborted = std::mem::take(&mut self.scratch_jobs);
+        self.nodes[ni].cpu.abort_all_into(now, &mut aborted);
         self.nodes[ni].cpu_gen = self.nodes[ni].cpu_gen.wrapping_add(1);
         self.sync_jvm_active(ni);
         let (t, rep) = self.node_tier[ni];
@@ -866,7 +884,7 @@ impl Ctx {
         }
         let role = self.links[t].role;
         let hop = self.hop(2048);
-        for job in aborted {
+        for job in aborted.drain(..) {
             let Token::Query(qid) = Token::decode(job) else {
                 unreachable!("request token on a crashable tier");
             };
@@ -890,6 +908,7 @@ impl Ctx {
                 _ => unreachable!("crash scheduled on a request tier"),
             }
         }
+        self.scratch_jobs = aborted;
     }
 
     // ------------------------------------------------------------------
@@ -951,12 +970,14 @@ impl System {
         if self.ctx.nodes[ni].cpu_gen != gen {
             return; // stale
         }
-        let done = self.ctx.nodes[ni].cpu.pop_due(now);
+        let mut done = std::mem::take(&mut self.ctx.scratch_jobs);
+        self.ctx.nodes[ni].cpu.pop_due_into(now, &mut done);
         self.ctx.sync_jvm_active(ni);
         let (t, _) = self.ctx.node_tier[ni];
-        for job in done {
+        for job in done.drain(..) {
             self.tiers[t].cpu_done(Token::decode(job), ni, now, &mut self.ctx, q);
         }
+        self.ctx.scratch_jobs = done;
         self.ctx.reschedule_cpu(ni, now, q);
     }
 }

@@ -20,7 +20,7 @@ pub struct RunTrace {
     pub rejected: u64,
     /// Spans lost to ring-buffer overwrite (0 ⇒ the stream is complete).
     pub overwritten: u64,
-    /// Engine telemetry (event totals, heap high-water, wall-clock rate).
+    /// Engine telemetry (event totals, queue high-water, wall-clock rate).
     pub engine: EngineStats,
     /// Measurement window `[start, end)` the aggregates were taken over.
     pub window: (SimTime, SimTime),
@@ -33,14 +33,16 @@ impl RunTrace {
     }
 }
 
-/// Heap capacity estimate for a closed-loop run with `users` sessions.
+/// Queue capacity estimate for a closed-loop run with `users` sessions.
 ///
-/// Observed high-water marks sit a little above the session population
-/// (each session has at most one think/request event pending, plus CPU
-/// checks, GC ends, and sampling); `2×users` rounds up generously while
-/// staying far below the total events processed.
+/// Session arrivals stream in from the staged lane, so the backend never
+/// holds the whole pre-run population; at steady state each session keeps
+/// at most one think/request event pending, and the 25% headroom covers
+/// CPU checks, timeouts, GC ends, and sampling. Capacity only avoids
+/// reallocation; it never changes pop order.
 pub(super) fn event_capacity_hint(users: u32) -> usize {
-    (users as usize).saturating_mul(2).max(256)
+    let u = users as usize;
+    u.saturating_add(u / 4).max(256)
 }
 
 /// Seed the initial event population: session starts across the ramp, the
@@ -48,6 +50,12 @@ pub(super) fn event_capacity_hint(users: u32) -> usize {
 /// windows — the crash/recovery events. The healthy prefix is scheduled in
 /// exactly the order the runners always used, and a faults-free topology
 /// appends nothing, so healthy runs stay bit-identical.
+///
+/// Session arrivals go through the queue's **staged lane**
+/// ([`EventQueue::stage`]): they draw the same RNG stream and claim the
+/// same sequence numbers as direct pushes (so pop order is bit-identical),
+/// but sit in a flat sorted array the backend merges from lazily — a
+/// 1M-session run starts without pushing a million heap entries up front.
 pub(super) fn seed_engine_events(engine: &mut Engine<System>) {
     let cfg = engine.model().config();
     let ramp = cfg.workload.ramp_up;
@@ -68,7 +76,7 @@ pub(super) fn seed_engine_events(engine: &mut Engine<System>) {
     let mut start_rng = RunRng::new(seed).fork("session-starts");
     for s in 0..users {
         let at = SimTime::from_secs_f64(start_rng.uniform(0.0, ramp.as_secs_f64().max(1e-9)));
-        engine.schedule(at, Ev::ThinkDone(s));
+        engine.queue_mut().stage(at, Ev::ThinkDone(s));
     }
     engine.schedule(measure_start, Ev::BeginMeasure);
     engine.schedule(measure_end, Ev::EndMeasure);
@@ -134,13 +142,14 @@ pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<Ru
     let trial_end = cfg.workload.trial_end();
     let traced = cfg.trace.enabled();
 
-    // Pre-size the event heap for the closed-loop population: each session
+    // Pre-size the event queue for the closed-loop population: each session
     // keeps roughly one event in flight, plus per-node CPU checks, samples,
     // and the measurement markers. Capacity only avoids reallocation; it
     // never changes pop order, so results are bit-identical either way.
     let capacity = event_capacity_hint(users);
     let profiled = cfg.profile;
-    let mut engine = Engine::with_capacity(System::new(cfg), capacity);
+    let queue = cfg.queue;
+    let mut engine = Engine::with_queue(System::new(cfg), queue, capacity);
     if traced {
         engine.enable_telemetry();
     }

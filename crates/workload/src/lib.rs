@@ -27,4 +27,4 @@ pub use catalog::{Interaction, InteractionCatalog, InteractionId};
 pub use config::WorkloadConfig;
 pub use mix::Mix;
 pub use retry::RetryPolicy;
-pub use session::{Session, SessionModel};
+pub use session::{Session, SessionModel, SessionStore};

@@ -5,6 +5,19 @@
 //! first-order Markov model seeded by the mix ([`SessionModel::Markov`]) that
 //! captures browsing locality (after viewing a story you most likely view its
 //! comments or go back to a listing — as in the RUBBoS transition tables).
+//!
+//! Two representations share the exact same draw logic (and therefore the
+//! exact same random streams):
+//!
+//! * [`Session`] — one boxed-up emulated user; convenient for unit tests and
+//!   small hand-driven loops.
+//! * [`SessionStore`] — the hot-path representation: fixed-width ~48-byte
+//!   per-session records, materialized lazily in chunks on first touch. A
+//!   1M-session closed-loop run touches sessions as their arrivals fire
+//!   instead of allocating a million eagerly-constructed `Session`s up
+//!   front. Because per-session RNG streams are forked *order-independently*
+//!   from the run root (`fork_indexed("session", id)`), lazy materialization
+//!   is bit-identical to eager construction.
 
 use crate::catalog::{InteractionCatalog, InteractionId};
 use crate::mix::Mix;
@@ -17,6 +30,80 @@ pub enum SessionModel {
     Iid,
     /// First-order Markov chain with browsing locality.
     Markov,
+}
+
+/// Choose the next interaction for a session, advancing its RNG stream.
+///
+/// This free function is *the* definition of the session draw sequence —
+/// [`Session`] and [`SessionStore`] both delegate here, so the two
+/// representations cannot drift apart.
+fn choose_next(
+    rng: &mut RunRng,
+    model: SessionModel,
+    last: Option<InteractionId>,
+    catalog: &InteractionCatalog,
+    mix: &Mix,
+) -> InteractionId {
+    match (model, last) {
+        (SessionModel::Iid, _) | (SessionModel::Markov, None) => rng.weighted_index(mix.weights()),
+        (SessionModel::Markov, Some(prev)) => markov_step(rng, catalog, mix, prev),
+    }
+}
+
+/// Markov transition: with probability 0.55 follow a locality rule from
+/// the previous page; otherwise re-draw from the stationary mix. (Mixing
+/// back to the stationary distribution keeps long-run frequencies close
+/// to the mix weights while preserving short-range correlation.)
+fn markov_step(
+    rng: &mut RunRng,
+    catalog: &InteractionCatalog,
+    mix: &Mix,
+    prev: InteractionId,
+) -> InteractionId {
+    if !rng.chance(0.55) {
+        return rng.weighted_index(mix.weights());
+    }
+    let pick = |rng: &mut RunRng, names: &[&str]| -> Option<InteractionId> {
+        let candidates: Vec<InteractionId> = names
+            .iter()
+            .filter_map(|n| catalog.id_of(n))
+            .filter(|&id| mix.weights()[id] > 0.0)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.index(candidates.len())])
+        }
+    };
+    let followers: &[&str] = match catalog.get(prev).name {
+        "StoriesOfTheDay"
+        | "BrowseStoriesByCategory"
+        | "OlderStories"
+        | "BrowseStoriesByDate"
+        | "ReviewStories" => &["ViewStory", "ViewStory", "ViewComment"],
+        "ViewStory" => &[
+            "ViewComment",
+            "ViewComment",
+            "StoriesOfTheDay",
+            "ViewUserInfo",
+        ],
+        "ViewComment" => &[
+            "ViewStory",
+            "ViewComment",
+            "ViewUserInfo",
+            "StoriesOfTheDay",
+        ],
+        "BrowseCategories" => &["BrowseStoriesByCategory"],
+        "Home" => &["StoriesOfTheDay", "BrowseCategories", "SearchInStories"],
+        "SearchInStories" | "SearchInComments" | "SearchInUsers" => {
+            &["ViewStory", "ViewComment", "SearchInStories"]
+        }
+        "SubmitStory" => &["StoreStory"],
+        "SubmitComment" => &["StoreComment"],
+        "ModerateComment" => &["StoreModeratorLog"],
+        _ => &["StoriesOfTheDay", "Home"],
+    };
+    pick(rng, followers).unwrap_or_else(|| rng.weighted_index(mix.weights()))
 }
 
 /// One emulated user.
@@ -66,71 +153,135 @@ impl Session {
 
     /// Choose the next interaction.
     pub fn next_interaction(&mut self, catalog: &InteractionCatalog, mix: &Mix) -> InteractionId {
-        let next = match (self.model, self.last) {
-            (SessionModel::Iid, _) | (SessionModel::Markov, None) => {
-                self.rng.weighted_index(mix.weights())
-            }
-            (SessionModel::Markov, Some(prev)) => self.markov_step(catalog, mix, prev),
-        };
+        let next = choose_next(&mut self.rng, self.model, self.last, catalog, mix);
         self.last = Some(next);
         self.issued += 1;
         next
     }
+}
 
-    /// Markov transition: with probability 0.55 follow a locality rule from
-    /// the previous page; otherwise re-draw from the stationary mix. (Mixing
-    /// back to the stationary distribution keeps long-run frequencies close
-    /// to the mix weights while preserving short-range correlation.)
-    fn markov_step(
+/// Sessions per lazily-materialized [`SessionStore`] chunk.
+const CHUNK: usize = 1024;
+
+/// `last`-interaction sentinel for "no interaction yet".
+const NO_LAST: u16 = u16::MAX;
+
+/// Compact fixed-width per-session state (~48 bytes: the 40-byte RNG stream
+/// plus a u32 issue counter and a u16 last-interaction index).
+struct SessionState {
+    rng: RunRng,
+    issued: u32,
+    last: u16,
+}
+
+/// The hot-path session table: compact records, chunked lazy materialization.
+///
+/// Semantically identical to a `Vec<Session>` built eagerly at start-up —
+/// same forked RNG streams, same draw sequences — but a chunk of 1024
+/// sessions is only allocated and forked when one of its sessions is first
+/// touched (normally by its staged arrival event firing). Peak memory for
+/// the session table is ~48 bytes per *touched* session, and run start-up
+/// cost no longer scales with the population.
+pub struct SessionStore {
+    root: RunRng,
+    model: SessionModel,
+    think_mean_secs: f64,
+    users: u32,
+    chunks: Vec<Option<Box<[SessionState]>>>,
+}
+
+impl SessionStore {
+    /// Create the table for `users` sessions whose streams fork from `root`
+    /// exactly as [`Session::new`] would fork them.
+    pub fn new(users: u32, root: &RunRng, model: SessionModel, think_time: SimTime) -> Self {
+        let nchunks = (users as usize).div_ceil(CHUNK);
+        SessionStore {
+            root: root.clone(),
+            model,
+            think_mean_secs: think_time.as_secs_f64(),
+            users,
+            chunks: (0..nchunks).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of sessions in the table.
+    pub fn len(&self) -> usize {
+        self.users as usize
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users == 0
+    }
+
+    /// How many chunks have been materialized so far (observability/tests).
+    pub fn materialized_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn state(&mut self, id: u32) -> &mut SessionState {
+        assert!(
+            id < self.users,
+            "session {id} out of range ({})",
+            self.users
+        );
+        let chunk_idx = (id as usize) / CHUNK;
+        let slot = (id as usize) % CHUNK;
+        let chunk = &mut self.chunks[chunk_idx];
+        if chunk.is_none() {
+            let base = chunk_idx * CHUNK;
+            let n = CHUNK.min(self.users as usize - base);
+            let states: Vec<SessionState> = (0..n)
+                .map(|i| SessionState {
+                    rng: self.root.fork_indexed("session", (base + i) as u64),
+                    issued: 0,
+                    last: NO_LAST,
+                })
+                .collect();
+            *chunk = Some(states.into_boxed_slice());
+        }
+        &mut chunk.as_mut().expect("chunk just materialized")[slot]
+    }
+
+    /// Sample session `id`'s next think time.
+    pub fn think_time(&mut self, id: u32) -> SimTime {
+        let mean = self.think_mean_secs;
+        let s = self.state(id);
+        SimTime::from_secs_f64(s.rng.exp_mean(mean))
+    }
+
+    /// Draw a retry-backoff jitter `u ∈ [0,1)` from session `id`'s stream.
+    pub fn retry_jitter(&mut self, id: u32) -> f64 {
+        self.state(id).rng.uniform01()
+    }
+
+    /// Number of interactions session `id` has issued so far.
+    pub fn issued(&mut self, id: u32) -> u64 {
+        self.state(id).issued as u64
+    }
+
+    /// Choose session `id`'s next interaction.
+    pub fn next_interaction(
         &mut self,
+        id: u32,
         catalog: &InteractionCatalog,
         mix: &Mix,
-        prev: InteractionId,
     ) -> InteractionId {
-        if !self.rng.chance(0.55) {
-            return self.rng.weighted_index(mix.weights());
-        }
-        let pick = |rng: &mut RunRng, names: &[&str]| -> Option<InteractionId> {
-            let candidates: Vec<InteractionId> = names
-                .iter()
-                .filter_map(|n| catalog.id_of(n))
-                .filter(|&id| mix.weights()[id] > 0.0)
-                .collect();
-            if candidates.is_empty() {
-                None
-            } else {
-                Some(candidates[rng.index(candidates.len())])
-            }
+        debug_assert!(
+            catalog.len() < NO_LAST as usize,
+            "interaction ids must fit in u16"
+        );
+        let model = self.model;
+        let s = self.state(id);
+        let last = if s.last == NO_LAST {
+            None
+        } else {
+            Some(s.last as InteractionId)
         };
-        let followers: &[&str] = match catalog.get(prev).name {
-            "StoriesOfTheDay"
-            | "BrowseStoriesByCategory"
-            | "OlderStories"
-            | "BrowseStoriesByDate"
-            | "ReviewStories" => &["ViewStory", "ViewStory", "ViewComment"],
-            "ViewStory" => &[
-                "ViewComment",
-                "ViewComment",
-                "StoriesOfTheDay",
-                "ViewUserInfo",
-            ],
-            "ViewComment" => &[
-                "ViewStory",
-                "ViewComment",
-                "ViewUserInfo",
-                "StoriesOfTheDay",
-            ],
-            "BrowseCategories" => &["BrowseStoriesByCategory"],
-            "Home" => &["StoriesOfTheDay", "BrowseCategories", "SearchInStories"],
-            "SearchInStories" | "SearchInComments" | "SearchInUsers" => {
-                &["ViewStory", "ViewComment", "SearchInStories"]
-            }
-            "SubmitStory" => &["StoreStory"],
-            "SubmitComment" => &["StoreComment"],
-            "ModerateComment" => &["StoreModeratorLog"],
-            _ => &["StoriesOfTheDay", "Home"],
-        };
-        pick(&mut self.rng, followers).unwrap_or_else(|| self.rng.weighted_index(mix.weights()))
+        let next = choose_next(&mut s.rng, model, last, catalog, mix);
+        s.last = next as u16;
+        s.issued += 1;
+        next
     }
 }
 
@@ -239,5 +390,55 @@ mod tests {
         s.next_interaction(&c, &m);
         s.next_interaction(&c, &m);
         assert_eq!(s.issued(), 2);
+    }
+
+    /// The store draws the exact same streams as eagerly-built `Session`s —
+    /// per id, regardless of touch order — including across chunk
+    /// boundaries.
+    #[test]
+    fn store_matches_eager_sessions_in_any_touch_order() {
+        let c = InteractionCatalog::rubbos();
+        let m = Mix::browse_only(&c);
+        let root = RunRng::new(0x5eed_0001);
+        let users = (CHUNK + 7) as u32; // spans two chunks
+        let mut store =
+            SessionStore::new(users, &root, SessionModel::Markov, SimTime::from_secs(7));
+        // Touch in a scrambled order relative to construction order.
+        let ids = [CHUNK as u32 + 3, 0, 512, CHUNK as u32, 7, 1023];
+        for &id in &ids {
+            let mut eager = Session::new(id, &root, SessionModel::Markov, SimTime::from_secs(7));
+            for _ in 0..50 {
+                assert_eq!(
+                    store.next_interaction(id, &c, &m),
+                    eager.next_interaction(&c, &m),
+                    "session {id} diverged"
+                );
+                assert_eq!(store.think_time(id), eager.think_time(), "session {id}");
+                assert_eq!(store.retry_jitter(id), eager.retry_jitter(), "session {id}");
+            }
+            assert_eq!(store.issued(id), eager.issued());
+        }
+    }
+
+    #[test]
+    fn store_materializes_only_touched_chunks() {
+        let root = RunRng::new(7);
+        let users = (4 * CHUNK) as u32;
+        let mut store = SessionStore::new(users, &root, SessionModel::Iid, SimTime::from_secs(7));
+        assert_eq!(store.materialized_chunks(), 0);
+        assert_eq!(store.len(), users as usize);
+        store.think_time(0);
+        store.think_time(CHUNK as u32 - 1); // same chunk
+        assert_eq!(store.materialized_chunks(), 1);
+        store.think_time(3 * CHUNK as u32);
+        assert_eq!(store.materialized_chunks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn store_rejects_out_of_range_ids() {
+        let root = RunRng::new(7);
+        let mut store = SessionStore::new(4, &root, SessionModel::Iid, SimTime::from_secs(7));
+        store.think_time(4);
     }
 }

@@ -45,10 +45,10 @@ fn main() {
         trace.overwritten
     );
     println!(
-        "engine: {} events, heap high-water {} (capacity {}), {:.0} events/s wall-clock",
+        "engine: {} events, queue high-water {} (capacity {}), {:.0} events/s wall-clock",
         trace.engine.events_processed,
-        trace.engine.heap_high_water,
-        trace.engine.heap_capacity,
+        trace.engine.queue_high_water,
+        trace.engine.queue_capacity,
         trace.engine.events_per_sec()
     );
 

@@ -30,15 +30,18 @@ fn profile_is_coherent_with_the_run_it_measured() {
     assert!(profile.events_scheduled >= profile.events_processed);
     assert!(profile.wall_secs > 0.0);
     assert!(profile.events_per_sec() > 0.0);
-    assert!(profile.heap_high_water > 0);
+    assert!(profile.queue_high_water > 0);
     // Pop and dispatch are disjoint phases inside the run loop, estimated
     // from a 1-in-64 cycle sample whose cycles carry their own clock-read
     // cost — so the estimate can overshoot the wall clock somewhat, but
-    // must stay the same order of magnitude. Scheduling is a measured
-    // sub-phase of dispatch (plus pre-run seeding), not an addend.
+    // must stay the same order of magnitude. The faster the event loop,
+    // the larger the fixed clock-read cost looms in each sampled cycle
+    // (worse still on a loaded machine), so the bound is 3x, not tighter.
+    // Scheduling is a measured sub-phase of dispatch (plus pre-run
+    // seeding), not an addend.
     assert!(
-        profile.pop_secs + profile.dispatch_secs <= profile.wall_secs * 2.0,
-        "pop {} + dispatch {} not within 2x of wall {}",
+        profile.pop_secs + profile.dispatch_secs <= profile.wall_secs * 3.0,
+        "pop {} + dispatch {} not within 3x of wall {}",
         profile.pop_secs,
         profile.dispatch_secs,
         profile.wall_secs
