@@ -59,16 +59,24 @@ pub fn plan(name: &str, args: &BenchArgs) -> ExperimentPlan {
     p
 }
 
-/// A paper-chain variant with the CLI `--faults` crash windows attached;
-/// exits with the [`tiers::TopologyError`] message when a flag is out of
-/// scope (e.g. crashing the web tier).
+/// A paper-chain variant with the CLI `--faults` injections (crash, slow,
+/// drop) and `--retry`/`--retry-budget` overrides attached; exits with the
+/// [`tiers::TopologyError`] message when a flag is out of scope (e.g.
+/// crashing the web tier).
 pub fn variant(args: &BenchArgs, hw: HardwareConfig, soft: SoftAllocation) -> Variant {
     let mut topo = Topology::paper(hw, soft);
     if let Err(e) = args.apply_faults(&mut topo) {
         eprintln!("bench flags: {e}");
         std::process::exit(2);
     }
-    Variant::paper(hw, soft).with_topology(topo)
+    let mut v = Variant::paper(hw, soft).with_topology(topo);
+    if let Some(retry) = args.retry {
+        v = v.with_retry(retry);
+    }
+    if let Some(budget) = args.retry_budget {
+        v = v.with_retry_budget(budget);
+    }
+    v
 }
 
 /// Execute a plan with the shared CLI flags applied: `--threads` picks the

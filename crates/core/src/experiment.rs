@@ -10,7 +10,7 @@
 
 use ntier_trace::TraceConfig;
 use tiers::{
-    run_system, run_system_traced, HardwareConfig, RetryPolicy, RunOutput, RunTrace,
+    run_system, run_system_traced, HardwareConfig, RetryBudget, RetryPolicy, RunOutput, RunTrace,
     SoftAllocation, SystemConfig, Tier, Topology,
 };
 use workload::WorkloadConfig;
@@ -186,6 +186,9 @@ pub struct ExperimentSpec {
     pub topology: Option<Topology>,
     /// Client-side retry policy (disabled by default).
     pub retry: RetryPolicy,
+    /// Fleet-wide retry budget layered on the retry policy (disabled by
+    /// default).
+    pub retry_budget: RetryBudget,
 }
 
 impl ExperimentSpec {
@@ -200,6 +203,7 @@ impl ExperimentSpec {
             trace: TraceConfig::Off,
             topology: None,
             retry: RetryPolicy::disabled(),
+            retry_budget: RetryBudget::disabled(),
         }
     }
 
@@ -223,6 +227,7 @@ impl ExperimentSpec {
         cfg.trace = self.trace;
         cfg.topology = self.topology.clone();
         cfg.retry = self.retry;
+        cfg.retry_budget = self.retry_budget;
         cfg
     }
 }

@@ -48,11 +48,12 @@ pub use strategies::Strategy;
 // Re-export the simulator surface so downstream users need one import.
 pub use tiers::{
     run_system, run_system_full, run_system_metered, run_system_profiled, run_system_to_drain,
-    run_system_traced, try_run_system, CrashWindow, Diagnosis, DiagnosisRules, DrainReport,
-    EngineProfile, FaultSpec, HardwareConfig, MetricsConfig, MetricsSink, NodeDrain, NodeReport,
-    Outcome, OutcomeTotals, RetryPolicy, RunMetrics, RunOutput, RunTrace, SelectPolicy,
-    ServiceParams, ShedPolicy, SlowWindow, SoftAllocation, SystemConfig, Tier, TierId, TierSpec,
-    Topology, TopologyError, MAX_TIERS,
+    run_system_to_drain_metered, run_system_traced, try_run_system, BreakerSpec, BrownoutSpec,
+    CrashWindow, Diagnosis, DiagnosisRules, DrainReport, EngineProfile, FaultSpec, HardwareConfig,
+    HedgeSpec, MetricsConfig, MetricsSink, NodeDrain, NodeReport, Outcome, OutcomeTotals,
+    RetryBudget, RetryPolicy, RunMetrics, RunOutput, RunTrace, SelectPolicy, ServiceParams,
+    ShedPolicy, SlowWindow, SoftAllocation, SystemConfig, Tier, TierId, TierSpec, Topology,
+    TopologyError, MAX_TIERS,
 };
 // And the tracing surface (config + exporters) for traced runs.
 pub use ntier_trace::TraceConfig;

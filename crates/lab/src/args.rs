@@ -14,11 +14,21 @@
 //!   core; `1` forces a serial run).
 //! * `--store DIR` — resumable artifact store: points already in the
 //!   manifest are loaded instead of simulated.
-//! * `--faults TIER[:REPLICA]@FROM[-TO]` — crash one replica of `cmw` or
-//!   `db` at `FROM` seconds, recovering at `TO` (permanent if omitted).
-//!   Repeatable; comma-separated windows also accepted. Harnesses opt in
-//!   via [`BenchArgs::apply_faults`], which re-validates the topology and
-//!   surfaces a [`TopologyError`] instead of aborting deep in assembly.
+//! * `--faults SPEC[,SPEC…]` — inject faults into the backend tiers.
+//!   Three spec forms:
+//!   `TIER[:REPLICA]@FROM[-TO]` crashes one replica of `cmw` or `db` at
+//!   `FROM` seconds, recovering at `TO` (permanent if omitted);
+//!   `TIER[:REPLICA]@FROM[-TO]*MULT` slows the replica by the demand
+//!   multiplier `MULT` over the same window shape;
+//!   `TIER@drop=P` drops each arriving query on the tier's ingress wire
+//!   with probability `P`. Repeatable; comma-separated specs also
+//!   accepted. Harnesses opt in via [`BenchArgs::apply_faults`], which
+//!   re-validates the topology and surfaces a [`TopologyError`] instead
+//!   of aborting deep in assembly.
+//! * `--retry POLICY` — client retry policy: `off`, `naive:N`, or
+//!   `backoff:N:BASE_MS:MULT:JITTER` (via `RetryPolicy::from_str`).
+//! * `--retry-budget off|RATIO[:BURST]` — fleet-wide retry budget layered
+//!   on the policy (via `RetryBudget::from_str`).
 //! * `--metrics PATH[:WINDOW_MS]` — record the fine-grained windowed time
 //!   series during each run and write one CSV per run next to `PATH`
 //!   (see [`MetricsSink`]). Collection is passive: the printed tables are
@@ -34,9 +44,12 @@
 //! there), never treated as errors.
 
 use ntier_core::experiment::Schedule;
-use ntier_core::{HardwareConfig, MetricsSink, SoftAllocation, Tier, Topology, TopologyError};
+use ntier_core::{
+    HardwareConfig, MetricsSink, RetryPolicy, SoftAllocation, Tier, Topology, TopologyError,
+};
 use simcore::{QueueKind, SimTime};
 use std::path::PathBuf;
+use workload::RetryBudget;
 
 use crate::executor::Executor;
 
@@ -55,8 +68,12 @@ pub struct BenchArgs {
     pub threads: Option<usize>,
     /// `--store` artifact-store directory.
     pub store: Option<PathBuf>,
-    /// `--faults` crash windows, in flag order.
+    /// `--faults` injection specs, in flag order.
     pub faults: Vec<FaultFlag>,
+    /// `--retry` client retry-policy override.
+    pub retry: Option<RetryPolicy>,
+    /// `--retry-budget` fleet-wide budget override.
+    pub retry_budget: Option<RetryBudget>,
     /// `--metrics` CSV sink (window defaults to 100 ms).
     pub metrics: Option<MetricsSink>,
     /// `--profile` flag: enable engine profiling on every run and print a
@@ -71,24 +88,54 @@ pub struct BenchArgs {
     pub rest: Vec<String>,
 }
 
-/// One `--faults` crash window: which tier/replica goes down, and when.
+/// One `--faults` injection spec: which tier (and replica) is hit, and how.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultFlag {
-    /// Tier the window applies to.
+    /// Tier the fault applies to.
     pub tier: Tier,
-    /// Replica index within that tier.
+    /// Replica index within that tier (crash/slow; ignored for drops).
     pub replica: u16,
-    /// Crash instant, in seconds.
-    pub crash_at: f64,
-    /// Recovery instant, or `None` for a permanent crash.
-    pub recover_at: Option<f64>,
+    /// What is injected.
+    pub kind: FaultFlagKind,
+}
+
+/// The injection a [`FaultFlag`] performs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultFlagKind {
+    /// `TIER[:REPLICA]@FROM[-TO]`: replica crash, optional recovery.
+    Crash {
+        /// Crash instant, in seconds.
+        crash_at: f64,
+        /// Recovery instant, or `None` for a permanent crash.
+        recover_at: Option<f64>,
+    },
+    /// `TIER[:REPLICA]@FROM[-TO]*MULT`: slow-replica window.
+    Slow {
+        /// Slowdown start, in seconds.
+        from: f64,
+        /// Slowdown end, or `None` for the rest of the run.
+        until: Option<f64>,
+        /// Demand multiplier (> 1 ⇒ slower).
+        multiplier: f64,
+    },
+    /// `TIER@drop=P`: drop each query arriving on the tier's ingress wire
+    /// with probability `P`, for the whole run.
+    Drop {
+        /// Per-query drop probability.
+        prob: f64,
+    },
 }
 
 impl FaultFlag {
-    /// Parse one `TIER[:REPLICA]@FROM[-TO]` window, e.g. `cmw@60`,
-    /// `db:1@40-70`.
+    /// Parse one injection spec, e.g. `cmw@60`, `db:1@40-70`,
+    /// `db:1@40-70*5`, `db@drop=0.1`.
     fn parse(spec: &str) -> Result<Self, String> {
-        let err = || format!("--faults '{spec}' must be TIER[:REPLICA]@FROM[-TO]");
+        let err = || {
+            format!(
+                "--faults '{spec}' must be TIER[:REPLICA]@FROM[-TO][*MULT] \
+                 or TIER@drop=P"
+            )
+        };
         let (target, window) = spec.split_once('@').ok_or_else(err)?;
         let (tier_s, replica_s) = match target.split_once(':') {
             Some((t, r)) => (t, Some(r)),
@@ -105,20 +152,51 @@ impl FaultFlag {
             Some(r) => r.trim().parse().map_err(|_| err())?,
             None => 0,
         };
+        if let Some(p_s) = window.trim().strip_prefix("drop=") {
+            let prob: f64 = p_s.trim().parse().map_err(|_| err())?;
+            if !(0.0..=1.0).contains(&prob) || replica_s.is_some() {
+                return Err(err());
+            }
+            return Ok(FaultFlag {
+                tier,
+                replica: 0,
+                kind: FaultFlagKind::Drop { prob },
+            });
+        }
+        let (window, mult_s) = match window.split_once('*') {
+            Some((w, m)) => (w, Some(m)),
+            None => (window, None),
+        };
         let (from_s, to_s) = match window.split_once('-') {
             Some((f, t)) => (f, Some(t)),
             None => (window, None),
         };
-        let crash_at: f64 = from_s.trim().parse().map_err(|_| err())?;
-        let recover_at = match to_s {
+        let from: f64 = from_s.trim().parse().map_err(|_| err())?;
+        let until = match to_s {
             Some(t) => Some(t.trim().parse::<f64>().map_err(|_| err())?),
             None => None,
+        };
+        let kind = match mult_s {
+            Some(m) => {
+                let multiplier: f64 = m.trim().parse().map_err(|_| err())?;
+                if multiplier < 1.0 {
+                    return Err(err());
+                }
+                FaultFlagKind::Slow {
+                    from,
+                    until,
+                    multiplier,
+                }
+            }
+            None => FaultFlagKind::Crash {
+                crash_at: from,
+                recover_at: until,
+            },
         };
         Ok(FaultFlag {
             tier,
             replica,
-            crash_at,
-            recover_at,
+            kind,
         })
     }
 }
@@ -189,6 +267,16 @@ impl BenchArgs {
                         out.faults.push(FaultFlag::parse(part.trim())?);
                     }
                 }
+                "--retry" => match args.next().map(|v| v.parse::<RetryPolicy>()) {
+                    Some(Ok(policy)) => out.retry = Some(policy),
+                    Some(Err(e)) => return Err(e),
+                    None => return Err("--retry needs off | naive:N | backoff:…".into()),
+                },
+                "--retry-budget" => match args.next().map(|v| v.parse::<RetryBudget>()) {
+                    Some(Ok(budget)) => out.retry_budget = Some(budget),
+                    Some(Err(e)) => return Err(e),
+                    None => return Err("--retry-budget needs off | RATIO[:BURST]".into()),
+                },
                 "--metrics" => {
                     let Some(v) = args.next() else {
                         return Err("--metrics needs PATH[:WINDOW_MS]".into());
@@ -208,9 +296,10 @@ impl BenchArgs {
         Ok(out)
     }
 
-    /// Attach the `--faults` crash windows to `topo` and re-validate,
-    /// surfacing scope violations (e.g. crashing a Web tier) as a
-    /// [`TopologyError`] rather than a panic at system assembly.
+    /// Attach the `--faults` injections (crash windows, slow-replica
+    /// windows, wire drops) to `topo` and re-validate, surfacing scope
+    /// violations (e.g. crashing a Web tier) as a [`TopologyError`] rather
+    /// than a panic at system assembly.
     pub fn apply_faults(&self, topo: &mut Topology) -> Result<(), TopologyError> {
         for f in &self.faults {
             let Some(spec) = topo.tiers.iter_mut().find(|s| s.role == f.tier) else {
@@ -220,11 +309,27 @@ impl BenchArgs {
                 )));
             };
             let fault = std::mem::take(&mut spec.fault);
-            spec.fault = fault.with_crash(
-                f.replica,
-                SimTime::from_secs_f64(f.crash_at),
-                f.recover_at.map(SimTime::from_secs_f64),
-            );
+            spec.fault = match f.kind {
+                FaultFlagKind::Crash {
+                    crash_at,
+                    recover_at,
+                } => fault.with_crash(
+                    f.replica,
+                    SimTime::from_secs_f64(crash_at),
+                    recover_at.map(SimTime::from_secs_f64),
+                ),
+                FaultFlagKind::Slow {
+                    from,
+                    until,
+                    multiplier,
+                } => fault.with_slow(
+                    f.replica,
+                    SimTime::from_secs_f64(from),
+                    until.map(SimTime::from_secs_f64),
+                    multiplier,
+                ),
+                FaultFlagKind::Drop { prob } => fault.with_drop_prob(prob),
+            };
         }
         topo.validate()
     }
@@ -319,14 +424,71 @@ mod tests {
     #[test]
     fn fault_flag_parses_windows() {
         let f = FaultFlag::parse("db:1@40-70").expect("parses");
-        assert_eq!(f.tier, Tier::Db);
-        assert_eq!(f.replica, 1);
-        assert_eq!(f.crash_at, 40.0);
-        assert_eq!(f.recover_at, Some(70.0));
+        assert_eq!((f.tier, f.replica), (Tier::Db, 1));
+        assert_eq!(
+            f.kind,
+            FaultFlagKind::Crash {
+                crash_at: 40.0,
+                recover_at: Some(70.0)
+            }
+        );
         let f = FaultFlag::parse("cmw@60").expect("parses");
-        assert_eq!((f.tier, f.replica, f.recover_at), (Tier::Cmw, 0, None));
+        assert_eq!((f.tier, f.replica), (Tier::Cmw, 0));
+        assert_eq!(
+            f.kind,
+            FaultFlagKind::Crash {
+                crash_at: 60.0,
+                recover_at: None
+            }
+        );
         assert!(FaultFlag::parse("disk@40").is_err());
         assert!(FaultFlag::parse("db:1").is_err());
+    }
+
+    #[test]
+    fn fault_flag_parses_slow_and_drop() {
+        let f = FaultFlag::parse("db:1@40-70*5").expect("parses");
+        assert_eq!((f.tier, f.replica), (Tier::Db, 1));
+        assert_eq!(
+            f.kind,
+            FaultFlagKind::Slow {
+                from: 40.0,
+                until: Some(70.0),
+                multiplier: 5.0
+            }
+        );
+        let f = FaultFlag::parse("cmw@30*2.5").expect("parses");
+        assert_eq!(
+            f.kind,
+            FaultFlagKind::Slow {
+                from: 30.0,
+                until: None,
+                multiplier: 2.5
+            }
+        );
+        let f = FaultFlag::parse("db@drop=0.1").expect("parses");
+        assert_eq!((f.tier, f.replica), (Tier::Db, 0));
+        assert_eq!(f.kind, FaultFlagKind::Drop { prob: 0.1 });
+        // Sub-unity multipliers, out-of-range probabilities, and per-replica
+        // drops are rejected.
+        assert!(FaultFlag::parse("db@40-70*0.5").is_err());
+        assert!(FaultFlag::parse("db@drop=1.5").is_err());
+        assert!(FaultFlag::parse("db:1@drop=0.1").is_err());
+    }
+
+    #[test]
+    fn retry_flags_parse_policy_and_budget() {
+        let ok = parse(&["--retry", "naive:3", "--retry-budget", "0.1:20"]).expect("parses");
+        let retry = ok.retry.expect("policy set");
+        assert_eq!(retry.max_attempts, 3);
+        let budget = ok.retry_budget.expect("budget set");
+        assert_eq!((budget.ratio, budget.burst), (0.1, 20.0));
+        assert!(parse(&["--retry", "eager"]).is_err());
+        assert!(parse(&["--retry"]).is_err());
+        assert!(parse(&["--retry-budget", "-1"]).is_err());
+        let off = parse(&["--retry", "off", "--retry-budget", "off"]).expect("parses");
+        assert!(off.retry.expect("set").is_disabled());
+        assert!(off.retry_budget.expect("set").is_disabled());
     }
 
     #[test]
@@ -337,6 +499,13 @@ mod tests {
         let mut topo = Topology::paper(hw, soft);
         args.apply_faults(&mut topo).expect("db crash is in scope");
         assert_eq!(topo.tiers[3].fault.crashes.len(), 1);
+
+        // Slow and drop specs land on the fault schedule too.
+        let args = parse(&["--faults", "cmw@20-30*4,db@drop=0.05"]).expect("parses");
+        let mut topo = Topology::paper(hw, soft);
+        args.apply_faults(&mut topo).expect("slow+drop in scope");
+        assert_eq!(topo.tiers[2].fault.slow.len(), 1);
+        assert_eq!(topo.tiers[3].fault.drop_prob, 0.05);
 
         // Crashing the web tier is out of scope → TopologyError, not a panic.
         let bad = parse(&["--faults", "web@40"]).expect("parses");

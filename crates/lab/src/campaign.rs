@@ -1,0 +1,790 @@
+//! Deterministic chaos campaigns: a seeded fault-scenario distribution
+//! crossed with resilience-policy bundles, every point executed to full
+//! drain and judged by invariant oracles.
+//!
+//! A [`ChaosCampaign`] is the robustness counterpart of an
+//! [`ExperimentPlan`](crate::ExperimentPlan): instead of sweeping soft
+//! allocations it sweeps *injected faults* (replica crashes, slow-replica
+//! windows, wire drops) across *defense configurations* (naive retries vs.
+//! retry budgets + circuit breakers + hedging + brownout). Everything is
+//! derived from one seed — the same campaign always samples the same
+//! scenarios, and a parallel execution is bit-identical to a serial one —
+//! so a campaign run is a reproducible regression artifact, not a flaky
+//! stress test.
+//!
+//! Each point runs through [`run_system_to_drain_metered`] and is checked
+//! against three oracle families:
+//!
+//! 1. **Conservation** (must hold for every run, however broken the
+//!    policies): zero in-flight residue after drain, arrivals == departures
+//!    per node, every pool back to balance, and one terminal outcome per
+//!    admitted request.
+//! 2. **Availability floor**: the run's availability stays above a
+//!    configured minimum.
+//! 3. **Bounded recovery**: after the injected fault *clears*, the client's
+//!    bad-work fraction must subside within a bound; a run whose badput
+//!    persists to the end of the horizon is diagnosed as a
+//!    [`Diagnosis::MetastableFailure`] — the retry-storm signature.
+//!
+//! Oracles 2 and 3 are *expected* to fail on undefended bundles — that is
+//! the campaign's point. [`CampaignResults`] keeps per-point verdicts so a
+//! harness can assert "conservation everywhere, recovery under the
+//! defended bundle" without hard-coding which storm variant melts down.
+
+use metrics::{recovery_time_secs, Diagnosis, DiagnosisRules};
+use ntier_core::experiment::{ExperimentSpec, Schedule};
+use ntier_core::run_system_to_drain_metered;
+use simcore::{RunRng, SimTime};
+use tiers::{
+    BreakerSpec, BrownoutSpec, DrainReport, HardwareConfig, HedgeSpec, MetricsConfig, RetryBudget,
+    RetryPolicy, RunOutput, SoftAllocation, Tier, Topology,
+};
+
+use crate::digest::{digest_output, digest_str, Fnv64};
+use crate::executor::Executor;
+use crate::plan::spec_json;
+
+// ---------------------------------------------------------------------------
+// fault scenarios
+// ---------------------------------------------------------------------------
+
+/// The kind of fault a scenario injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Replica crash with recovery at the window end.
+    Crash,
+    /// Slow-replica window (demand multiplier).
+    Slow,
+    /// Wire drops on the tier's ingress for the whole run.
+    Drop,
+}
+
+/// One sampled fault scenario, resolved against a concrete topology.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Scenario index within the campaign.
+    pub index: usize,
+    /// Chain position of the faulted tier.
+    pub tier: usize,
+    /// Faulted replica (crash/slow only; 0 for drops).
+    pub replica: u16,
+    /// What is injected.
+    pub kind: FaultKind,
+    /// Fault start.
+    pub from: SimTime,
+    /// Fault end — the recovery clock starts here. `None` for drops, which
+    /// have no window (the recovery oracle is skipped for them).
+    pub until: Option<SimTime>,
+    /// Demand multiplier (slow) — 1.0 otherwise.
+    pub multiplier: f64,
+    /// Drop probability (drop) — 0.0 otherwise.
+    pub drop_prob: f64,
+}
+
+impl FaultScenario {
+    /// Short label, e.g. `crash:t3r0@12-18`.
+    pub fn label(&self) -> String {
+        let t = self.tier;
+        let r = self.replica;
+        match self.kind {
+            FaultKind::Crash => format!(
+                "crash:t{t}r{r}@{:.0}-{:.0}",
+                self.from.as_secs_f64(),
+                self.until.expect("crash has a window").as_secs_f64()
+            ),
+            FaultKind::Slow => format!(
+                "slow:t{t}r{r}@{:.0}-{:.0}x{:.0}",
+                self.from.as_secs_f64(),
+                self.until.expect("slow has a window").as_secs_f64(),
+                self.multiplier
+            ),
+            FaultKind::Drop => format!("drop:t{t}p{:.2}", self.drop_prob),
+        }
+    }
+
+    /// Inject this scenario into a topology's fault schedule.
+    pub fn apply(&self, topo: &mut Topology) {
+        let fault = std::mem::take(&mut topo.tiers[self.tier].fault);
+        topo.tiers[self.tier].fault = match self.kind {
+            FaultKind::Crash => fault.with_crash(self.replica, self.from, self.until),
+            FaultKind::Slow => {
+                fault.with_slow(self.replica, self.from, self.until, self.multiplier)
+            }
+            FaultKind::Drop => fault.with_drop_prob(self.drop_prob),
+        };
+    }
+}
+
+/// The distribution fault scenarios are sampled from. All draws come from a
+/// stream forked off the campaign seed, so the distribution is a pure
+/// function of `(seed, topology, scenario index)`.
+#[derive(Debug, Clone)]
+pub struct FaultDistribution {
+    /// Chain positions faults may target; empty ⇒ every backend (query)
+    /// tier, i.e. positions ≥ 2.
+    pub tiers: Vec<usize>,
+    /// Relative weights of crash / slow / drop scenarios.
+    pub weights: [f64; 3],
+    /// Fault start range, seconds (should sit inside the measurement
+    /// window so the recovery horizon is observable).
+    pub start: (f64, f64),
+    /// Fault duration range, seconds (crash/slow).
+    pub duration: (f64, f64),
+    /// Slow-replica demand multiplier range.
+    pub slow_mult: (f64, f64),
+    /// Wire-drop probability range.
+    pub drop_prob: (f64, f64),
+}
+
+impl Default for FaultDistribution {
+    /// Calibrated for the quick schedule (measurement window 10 s..40 s):
+    /// faults start at 12–18 s and clear by ~24 s, leaving 16+ s of
+    /// post-fault horizon for the recovery oracles.
+    fn default() -> Self {
+        FaultDistribution {
+            tiers: Vec::new(),
+            weights: [1.0, 1.0, 1.0],
+            start: (12.0, 18.0),
+            duration: (3.0, 6.0),
+            slow_mult: (4.0, 8.0),
+            drop_prob: (0.05, 0.20),
+        }
+    }
+}
+
+impl FaultDistribution {
+    /// Sample scenario `index` against `topo`. Faults target the backend
+    /// (query) tiers — chain positions ≥ 2 — where crashes and drops turn
+    /// into client-visible errors that feed retry storms.
+    pub fn sample(&self, rng: &RunRng, topo: &Topology, index: usize) -> FaultScenario {
+        let mut rng = rng.fork_indexed("chaos-scenario", index as u64);
+        let backend: Vec<usize> = if self.tiers.is_empty() {
+            (2..topo.tiers.len()).collect()
+        } else {
+            self.tiers.clone()
+        };
+        let tier = backend[rng.index(backend.len())];
+        let replicas = topo.tiers[tier].replicas;
+        let replica = rng.index(replicas.max(1)) as u16;
+        let total: f64 = self.weights.iter().sum();
+        let mut pick = rng.uniform(0.0, total.max(f64::MIN_POSITIVE));
+        let mut kind = FaultKind::Drop;
+        for (k, w) in [FaultKind::Crash, FaultKind::Slow, FaultKind::Drop]
+            .into_iter()
+            .zip(self.weights)
+        {
+            if pick < w {
+                kind = k;
+                break;
+            }
+            pick -= w;
+        }
+        let from = SimTime::from_secs_f64(rng.uniform(self.start.0, self.start.1));
+        let until = from + SimTime::from_secs_f64(rng.uniform(self.duration.0, self.duration.1));
+        match kind {
+            FaultKind::Crash => FaultScenario {
+                index,
+                tier,
+                replica,
+                kind,
+                from,
+                until: Some(until),
+                multiplier: 1.0,
+                drop_prob: 0.0,
+            },
+            FaultKind::Slow => FaultScenario {
+                index,
+                tier,
+                replica,
+                kind,
+                from,
+                until: Some(until),
+                multiplier: rng.uniform(self.slow_mult.0, self.slow_mult.1),
+                drop_prob: 0.0,
+            },
+            FaultKind::Drop => FaultScenario {
+                index,
+                tier,
+                replica: 0,
+                kind,
+                from: SimTime::ZERO,
+                until: None,
+                multiplier: 1.0,
+                drop_prob: rng.uniform(self.drop_prob.0, self.drop_prob.1),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// policy bundles
+// ---------------------------------------------------------------------------
+
+/// One resilience configuration under test: the client retry stack plus the
+/// in-tier defenses applied to the topology.
+#[derive(Debug, Clone)]
+pub struct PolicyBundle {
+    /// Report label, e.g. `naive` or `defended`.
+    pub name: String,
+    /// Client retry policy.
+    pub retry: RetryPolicy,
+    /// Fleet-wide retry budget layered on the policy.
+    pub retry_budget: RetryBudget,
+    /// Circuit breaker installed on every query (Cmw/Db) tier.
+    pub breaker: Option<BreakerSpec>,
+    /// Brownout degradation installed on every App tier.
+    pub brownout: Option<BrownoutSpec>,
+    /// Hedged requests on the front Web tier (skipped automatically when
+    /// the tier below has a single replica — nothing to hedge to).
+    pub hedge: Option<HedgeSpec>,
+}
+
+impl PolicyBundle {
+    /// No retries, no defenses: the control arm.
+    pub fn baseline() -> Self {
+        PolicyBundle {
+            name: "baseline".into(),
+            retry: RetryPolicy::disabled(),
+            retry_budget: RetryBudget::disabled(),
+            breaker: None,
+            brownout: None,
+            hedge: None,
+        }
+    }
+
+    /// Immediate retries with no budget and no defenses — the storm arm.
+    pub fn naive(attempts: u8) -> Self {
+        PolicyBundle {
+            name: "naive".into(),
+            retry: RetryPolicy::naive(attempts),
+            retry_budget: RetryBudget::disabled(),
+            breaker: None,
+            brownout: None,
+            hedge: None,
+        }
+    }
+
+    /// The same retry pressure defused by the full defense stack: a 10%
+    /// retry budget, error breakers on the query tiers, brownout on the
+    /// app tier, and a 1 s hedge at the front.
+    pub fn defended(attempts: u8) -> Self {
+        PolicyBundle {
+            name: "defended".into(),
+            retry: RetryPolicy::naive(attempts),
+            retry_budget: RetryBudget::new(0.1, 20.0),
+            breaker: Some(BreakerSpec::on_errors(0.5, SimTime::from_secs(1))),
+            brownout: Some(BrownoutSpec::new(8, 0.7)),
+            hedge: Some(HedgeSpec::after(SimTime::from_secs(1))),
+        }
+    }
+
+    /// Rename the bundle.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Install this bundle's in-tier defenses on a topology.
+    pub fn apply(&self, topo: &mut Topology) {
+        for spec in &mut topo.tiers {
+            match spec.role {
+                Tier::Cmw | Tier::Db => spec.breaker = self.breaker,
+                Tier::App => spec.brownout = self.brownout,
+                _ => {}
+            }
+        }
+        // Hedging needs fan-out below the front tier.
+        if topo.tiers.get(1).is_some_and(|t| t.replicas >= 2) {
+            topo.tiers[0].hedge = self.hedge;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// oracles
+// ---------------------------------------------------------------------------
+
+/// Thresholds for the per-run invariant oracles.
+#[derive(Debug, Clone)]
+pub struct OracleSpec {
+    /// Minimum acceptable availability (fraction of admitted requests that
+    /// completed).
+    pub availability_floor: f64,
+    /// Maximum acceptable time from fault-clear to sustained calm badput.
+    pub recovery_bound_secs: f64,
+    /// Diagnosis thresholds (metastability judgment, calm streaks).
+    pub rules: DiagnosisRules,
+}
+
+impl Default for OracleSpec {
+    fn default() -> Self {
+        OracleSpec {
+            availability_floor: 0.5,
+            recovery_bound_secs: 10.0,
+            rules: DiagnosisRules::default(),
+        }
+    }
+}
+
+/// Per-run oracle verdicts.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Conservation held: no in-flight residue, arrivals == departures per
+    /// node, pools balanced, one outcome per admitted request.
+    pub conservation_ok: bool,
+    /// The run's availability.
+    pub availability: f64,
+    /// `availability >= floor`.
+    pub availability_ok: bool,
+    /// Seconds from fault-clear to sustained calm; `None` when the run
+    /// never recovered within the horizon (or the fault never cleared).
+    pub recovery_secs: Option<f64>,
+    /// Recovery within the bound (vacuously true for windowless faults).
+    pub recovery_ok: bool,
+    /// Recovery-aware diagnosis of the run.
+    pub diagnosis: Diagnosis,
+    /// Human-readable oracle violations (empty = all oracles passed).
+    pub violations: Vec<String>,
+}
+
+/// Check the conservation contract on a drained run.
+fn conservation_violations(report: &DrainReport) -> Vec<String> {
+    let mut v = Vec::new();
+    if report.in_flight_requests != 0 {
+        v.push(format!(
+            "{} requests in flight after drain",
+            report.in_flight_requests
+        ));
+    }
+    if report.in_flight_queries != 0 {
+        v.push(format!(
+            "{} queries in flight after drain",
+            report.in_flight_queries
+        ));
+    }
+    for node in &report.nodes {
+        if node.arrivals != node.departures {
+            v.push(format!(
+                "{}: admitted {} != departed {}",
+                node.name, node.arrivals, node.departures
+            ));
+        }
+        if node.pool_in_use != 0 || node.pool_waiting != 0 {
+            v.push(format!("{}: thread pool not back to balance", node.name));
+        }
+        if node.conn_in_use != 0 || node.conn_waiting != 0 {
+            v.push(format!(
+                "{}: connection pool not back to balance",
+                node.name
+            ));
+        }
+    }
+    let front_tier = report.nodes[0]
+        .name
+        .rsplit_once('-')
+        .map(|(t, _)| t.to_string())
+        .unwrap_or_else(|| report.nodes[0].name.clone());
+    let front_arrivals: u64 = report
+        .nodes
+        .iter()
+        .filter(|n| n.name.starts_with(&front_tier))
+        .map(|n| n.arrivals)
+        .sum();
+    if report.outcomes.total() != front_arrivals {
+        v.push(format!(
+            "outcomes {} != front arrivals {}",
+            report.outcomes.total(),
+            front_arrivals
+        ));
+    }
+    v
+}
+
+// ---------------------------------------------------------------------------
+// the campaign
+// ---------------------------------------------------------------------------
+
+/// A seeded chaos campaign over one topology shape.
+#[derive(Debug, Clone)]
+pub struct ChaosCampaign {
+    /// Campaign name (report headings).
+    pub name: String,
+    /// Hardware topology of the paper chain under test.
+    pub hardware: HardwareConfig,
+    /// Soft allocation of the chain under test.
+    pub soft: SoftAllocation,
+    /// Closed-loop population.
+    pub users: u32,
+    /// Trial schedule (the default distribution targets `Quick`).
+    pub schedule: Schedule,
+    /// Campaign seed: scenarios and every run's workload derive from it.
+    pub seed: u64,
+    /// Number of fault scenarios to sample.
+    pub scenarios: usize,
+    /// Base chain every point starts from (`None` = the paper chain for
+    /// `hardware`/`soft`). This is where campaign-wide operating conditions
+    /// that are *not* defenses — front/app deadlines, shedding — live; the
+    /// scenario's fault and the bundle's policies are layered on top.
+    pub base_topology: Option<Topology>,
+    /// The fault distribution.
+    pub distribution: FaultDistribution,
+    /// Policy bundles crossed with every scenario.
+    pub bundles: Vec<PolicyBundle>,
+    /// Oracle thresholds.
+    pub oracles: OracleSpec,
+}
+
+impl ChaosCampaign {
+    /// Campaign on the paper chain with the default distribution and the
+    /// baseline / naive / defended bundle triple.
+    pub fn new(name: impl Into<String>, hardware: HardwareConfig, soft: SoftAllocation) -> Self {
+        ChaosCampaign {
+            name: name.into(),
+            hardware,
+            soft,
+            users: 300,
+            schedule: Schedule::Quick,
+            seed: 0xc405_0001,
+            scenarios: 3,
+            base_topology: None,
+            distribution: FaultDistribution::default(),
+            bundles: vec![
+                PolicyBundle::baseline(),
+                PolicyBundle::naive(3),
+                PolicyBundle::defended(3),
+            ],
+            oracles: OracleSpec::default(),
+        }
+    }
+
+    /// Set the closed-loop population.
+    pub fn with_users(mut self, users: u32) -> Self {
+        self.users = users;
+        self
+    }
+
+    /// Set the campaign seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of sampled scenarios.
+    pub fn with_scenarios(mut self, n: usize) -> Self {
+        self.scenarios = n;
+        self
+    }
+
+    /// Set the base chain (operating conditions like deadlines/shedding
+    /// that apply to every bundle).
+    pub fn with_base_topology(mut self, topo: Topology) -> Self {
+        self.base_topology = Some(topo);
+        self
+    }
+
+    /// Replace the bundle set.
+    pub fn with_bundles(mut self, bundles: Vec<PolicyBundle>) -> Self {
+        self.bundles = bundles;
+        self
+    }
+
+    /// Replace the oracle thresholds.
+    pub fn with_oracles(mut self, oracles: OracleSpec) -> Self {
+        self.oracles = oracles;
+        self
+    }
+
+    /// The base chain every point starts from.
+    fn base(&self) -> Topology {
+        self.base_topology
+            .clone()
+            .unwrap_or_else(|| Topology::paper(self.hardware, self.soft))
+    }
+
+    /// The sampled fault scenarios (pure: same campaign, same scenarios).
+    pub fn sample_scenarios(&self) -> Vec<FaultScenario> {
+        let topo = self.base();
+        let rng = RunRng::new(self.seed).fork("chaos-campaign");
+        (0..self.scenarios)
+            .map(|i| self.distribution.sample(&rng, &topo, i))
+            .collect()
+    }
+
+    /// Expand the campaign grid: scenario-major, bundles in declaration
+    /// order, each point carrying a fully resolved spec and content digest.
+    pub fn expand(&self) -> Vec<CampaignPoint> {
+        let scenarios = self.sample_scenarios();
+        let mut points = Vec::with_capacity(scenarios.len() * self.bundles.len());
+        for scenario in &scenarios {
+            for (b, bundle) in self.bundles.iter().enumerate() {
+                let mut topo = self.base();
+                scenario.apply(&mut topo);
+                bundle.apply(&mut topo);
+                topo.validate().expect("campaign grid stays in scope");
+                let mut spec = ExperimentSpec::new(self.hardware, self.soft, self.users);
+                spec.schedule = self.schedule;
+                spec.seed = self.seed;
+                spec.topology = Some(topo);
+                spec.retry = bundle.retry;
+                spec.retry_budget = bundle.retry_budget;
+                let digest = digest_str(&spec_json(&spec).to_compact());
+                points.push(CampaignPoint {
+                    index: points.len(),
+                    scenario: scenario.clone(),
+                    bundle: b,
+                    label: format!("{}/{}", scenario.label(), bundle.name),
+                    spec,
+                    digest,
+                });
+            }
+        }
+        points
+    }
+
+    /// Execute the campaign. Every point runs to full drain with windowed
+    /// metrics on; results come back in expansion order regardless of the
+    /// executor's parallelism, so the campaign digest is scheduler-proof.
+    pub fn run(&self, executor: &Executor) -> CampaignResults {
+        let points = self.expand();
+        let oracles = &self.oracles;
+        let judged = executor.run_ordered(points, |point| {
+            let mut cfg = point.spec.to_config();
+            cfg.metrics = MetricsConfig::windowed_default();
+            let (out, drain, metrics) = run_system_to_drain_metered(cfg);
+            let mut violations = conservation_violations(&drain);
+            let conservation_ok = violations.is_empty();
+            let availability = out.availability;
+            let availability_ok = availability >= oracles.availability_floor;
+            if !availability_ok {
+                violations.push(format!(
+                    "availability {:.2} below floor {:.2}",
+                    availability, oracles.availability_floor
+                ));
+            }
+            let (diagnosis, recovery_secs, recovery_ok) = match (&metrics, point.scenario.until) {
+                (Some(m), Some(clear)) => {
+                    let d = Diagnosis::of_recovery_with(m, clear, &oracles.rules);
+                    let t = recovery_time_secs(m, clear, &oracles.rules);
+                    let ok = t.is_some_and(|t| t <= oracles.recovery_bound_secs);
+                    (d, t, ok)
+                }
+                // Windowless faults (drops) never "clear": judge the run
+                // statically and skip the recovery oracle.
+                (Some(m), None) => (Diagnosis::of_run_with(m, &oracles.rules), None, true),
+                (None, _) => (Diagnosis::Healthy, None, true),
+            };
+            if !recovery_ok {
+                violations.push(match recovery_secs {
+                    Some(t) => format!(
+                        "recovered in {t:.1}s, bound {:.1}s",
+                        oracles.recovery_bound_secs
+                    ),
+                    None => "never recovered within the horizon".into(),
+                });
+            }
+            JudgedPoint {
+                point,
+                output: out,
+                oracles: OracleReport {
+                    conservation_ok,
+                    availability,
+                    availability_ok,
+                    recovery_secs,
+                    recovery_ok,
+                    diagnosis,
+                    violations,
+                },
+            }
+        });
+        CampaignResults {
+            bundles: self.bundles.iter().map(|b| b.name.clone()).collect(),
+            points: judged,
+        }
+    }
+}
+
+/// One fully resolved campaign trial.
+#[derive(Debug, Clone)]
+pub struct CampaignPoint {
+    /// Dense index in expansion order.
+    pub index: usize,
+    /// The injected fault scenario.
+    pub scenario: FaultScenario,
+    /// Index into the campaign's bundle list.
+    pub bundle: usize,
+    /// Report label, `<scenario>/<bundle>`.
+    pub label: String,
+    /// The resolved trial specification.
+    pub spec: ExperimentSpec,
+    /// Content address: FNV-1a over the spec's canonical JSON.
+    pub digest: u64,
+}
+
+/// A campaign point together with its run output and oracle verdicts.
+#[derive(Debug)]
+pub struct JudgedPoint {
+    /// The point that ran.
+    pub point: CampaignPoint,
+    /// The run summary.
+    pub output: RunOutput,
+    /// The oracle verdicts.
+    pub oracles: OracleReport,
+}
+
+/// Everything a campaign execution produced, in expansion order.
+#[derive(Debug)]
+pub struct CampaignResults {
+    /// Bundle names, in declaration order.
+    pub bundles: Vec<String>,
+    /// Judged points, scenario-major.
+    pub points: Vec<JudgedPoint>,
+}
+
+impl CampaignResults {
+    /// Combined digest over every point's content address and output — the
+    /// value the serial/parallel bit-identity checks compare.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for p in &self.points {
+            h.u64(p.point.digest);
+            h.u64(digest_output(&p.output));
+        }
+        h.finish()
+    }
+
+    /// Points of one bundle, in scenario order.
+    pub fn bundle_points(&self, name: &str) -> Vec<&JudgedPoint> {
+        let Some(b) = self.bundles.iter().position(|n| n == name) else {
+            return Vec::new();
+        };
+        self.points.iter().filter(|p| p.point.bundle == b).collect()
+    }
+
+    /// Points that broke the conservation contract (must always be empty —
+    /// a non-empty result is a simulator bug, not a policy failure).
+    pub fn conservation_violations(&self) -> Vec<&JudgedPoint> {
+        self.points
+            .iter()
+            .filter(|p| !p.oracles.conservation_ok)
+            .collect()
+    }
+
+    /// Points diagnosed as metastable failures, per bundle name.
+    pub fn metastable_points(&self, name: &str) -> Vec<&JudgedPoint> {
+        self.bundle_points(name)
+            .into_iter()
+            .filter(|p| matches!(p.oracles.diagnosis, Diagnosis::MetastableFailure { .. }))
+            .collect()
+    }
+
+    /// One line per point: label, outcome counts, oracle verdicts.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for p in &self.points {
+            let o = &p.output.outcomes;
+            s.push_str(&format!(
+                "{:<40} avail {:.2}  ok/to/fail {}/{}/{}  retries {}  {}  {}\n",
+                p.point.label,
+                p.oracles.availability,
+                o.completed,
+                o.timed_out,
+                o.failed,
+                o.retries,
+                p.oracles.diagnosis,
+                if p.oracles.violations.is_empty() {
+                    "oracles: pass".to_string()
+                } else {
+                    format!("oracles: {}", p.oracles.violations.join("; "))
+                }
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> ChaosCampaign {
+        ChaosCampaign::new(
+            "tiny",
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::rule_of_thumb(),
+        )
+        .with_users(150)
+        .with_scenarios(2)
+        .with_bundles(vec![PolicyBundle::baseline(), PolicyBundle::defended(3)])
+    }
+
+    #[test]
+    fn scenario_sampling_is_deterministic() {
+        let a = tiny_campaign().sample_scenarios();
+        let b = tiny_campaign().sample_scenarios();
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label(), y.label());
+        }
+        // A different seed draws different scenarios.
+        let c = tiny_campaign().with_seed(99).sample_scenarios();
+        assert_ne!(
+            a.iter().map(|s| s.label()).collect::<Vec<_>>(),
+            c.iter().map(|s| s.label()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scenarios_target_backend_tiers_with_valid_windows() {
+        let scenarios = tiny_campaign().with_scenarios(16).sample_scenarios();
+        for s in &scenarios {
+            assert!(s.tier >= 2, "{}: faults hit the query tiers", s.label());
+            match s.kind {
+                FaultKind::Crash | FaultKind::Slow => {
+                    let until = s.until.expect("windowed");
+                    assert!(until > s.from, "{}", s.label());
+                }
+                FaultKind::Drop => {
+                    assert!(s.until.is_none());
+                    assert!((0.0..=1.0).contains(&s.drop_prob));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_is_scenario_major_with_distinct_digests() {
+        let points = tiny_campaign().expand();
+        assert_eq!(points.len(), 4);
+        assert_eq!(
+            points.iter().map(|p| p.bundle).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1]
+        );
+        let mut ds: Vec<u64> = points.iter().map(|p| p.digest).collect();
+        ds.sort_unstable();
+        ds.dedup();
+        assert_eq!(ds.len(), 4, "every point has its own content address");
+    }
+
+    #[test]
+    fn bundle_application_respects_scope_rules() {
+        let mut topo = Topology::paper(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::rule_of_thumb(),
+        );
+        PolicyBundle::defended(3).apply(&mut topo);
+        topo.validate().expect("defended bundle is valid");
+        assert!(
+            topo.tiers[0].hedge.is_some(),
+            "web hedges over 2 app replicas"
+        );
+        assert!(topo.tiers[1].brownout.is_some(), "app tier browns out");
+        assert!(topo.tiers[2].breaker.is_some() && topo.tiers[3].breaker.is_some());
+        // Single app replica: the hedge is dropped, not invalid.
+        let mut hw = HardwareConfig::one_two_one_two();
+        hw.app = 1;
+        let mut solo = Topology::paper(hw, SoftAllocation::rule_of_thumb());
+        PolicyBundle::defended(3).apply(&mut solo);
+        assert!(solo.tiers[0].hedge.is_none());
+        solo.validate().expect("still valid");
+    }
+}

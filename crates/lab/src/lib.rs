@@ -26,13 +26,18 @@
 //! --faults/--metrics` surface.
 
 pub mod args;
+pub mod campaign;
 pub mod digest;
 pub mod executor;
 pub mod plan;
 pub mod runner;
 pub mod store;
 
-pub use args::{BenchArgs, FaultFlag};
+pub use args::{BenchArgs, FaultFlag, FaultFlagKind};
+pub use campaign::{
+    CampaignResults, ChaosCampaign, FaultDistribution, FaultKind, FaultScenario, JudgedPoint,
+    OracleReport, OracleSpec, PolicyBundle,
+};
 pub use digest::{digest_output, digest_outputs, digest_str, Fnv64};
 pub use executor::Executor;
 pub use plan::{spec_json, ExperimentPlan, RunPoint, Variant};

@@ -18,7 +18,8 @@ use ntier_trace::TraceConfig;
 use simcore::QueueKind;
 use tiers::topology::SelectPolicy;
 use tiers::{
-    FaultSpec, HardwareConfig, MetricsConfig, RetryPolicy, ShedPolicy, SoftAllocation, Topology,
+    FaultSpec, HardwareConfig, MetricsConfig, RetryBudget, RetryPolicy, ShedPolicy, SoftAllocation,
+    Topology,
 };
 
 use crate::digest::digest_str;
@@ -38,6 +39,8 @@ pub struct Variant {
     pub topology: Option<Topology>,
     /// Client-side retry policy.
     pub retry: RetryPolicy,
+    /// Fleet-wide retry budget layered on the retry policy.
+    pub retry_budget: RetryBudget,
     /// Workload override; `None` uses the plan's shared ramp.
     pub users: Option<Vec<u32>>,
 }
@@ -53,6 +56,7 @@ impl Variant {
             soft,
             topology: Some(topology),
             retry: RetryPolicy::disabled(),
+            retry_budget: RetryBudget::disabled(),
             users: None,
         }
     }
@@ -78,6 +82,12 @@ impl Variant {
     /// Same variant with a client retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Same variant with a fleet-wide retry budget.
+    pub fn with_retry_budget(mut self, budget: RetryBudget) -> Self {
+        self.retry_budget = budget;
         self
     }
 
@@ -213,6 +223,7 @@ impl ExperimentPlan {
                 spec.trace = self.trace;
                 spec.topology = variant.topology.clone();
                 spec.retry = variant.retry;
+                spec.retry_budget = variant.retry_budget;
                 let digest = digest_str(&spec_json(&spec).to_compact());
                 points.push(RunPoint {
                     index: points.len(),
@@ -323,6 +334,17 @@ pub fn spec_json(spec: &ExperimentSpec) -> Json {
             ]),
         ),
         (
+            "retry_budget",
+            if spec.retry_budget.is_disabled() {
+                Json::Str("off".into())
+            } else {
+                obj([
+                    ("ratio", Json::Num(spec.retry_budget.ratio)),
+                    ("burst", Json::Num(spec.retry_budget.burst)),
+                ])
+            },
+        ),
+        (
             "topology",
             match &spec.topology {
                 None => Json::Null,
@@ -396,6 +418,40 @@ fn tier_spec_json(t: &tiers::TierSpec) -> Json {
                     ]),
                 )]),
             },
+        ),
+        (
+            "breaker",
+            match &t.breaker {
+                None => Json::Null,
+                Some(b) => Json::Arr(
+                    [
+                        b.window.as_secs_f64(),
+                        b.min_samples as f64,
+                        b.error_threshold,
+                        b.latency_slo.as_secs_f64(),
+                        b.slow_threshold,
+                        b.open_for.as_secs_f64(),
+                        b.half_open_successes as f64,
+                    ]
+                    .map(Json::Num)
+                    .to_vec(),
+                ),
+            },
+        ),
+        (
+            "brownout",
+            match &t.brownout {
+                None => Json::Null,
+                Some(b) => Json::Arr(vec![
+                    Json::UInt(b.queue_threshold as u64),
+                    Json::Num(b.factor),
+                ]),
+            },
+        ),
+        (
+            "hedge",
+            t.hedge
+                .map_or(Json::Null, |h| Json::Num(h.delay.as_secs_f64())),
         ),
     ])
 }

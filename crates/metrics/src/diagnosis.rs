@@ -41,6 +41,14 @@ pub enum Diagnosis {
     /// Downstream CPU falls as load rises while front-tier linger occupancy
     /// climbs (only detectable across a sweep).
     BufferingEffect,
+    /// Bad work (timeouts / sheds / errors) keeps dominating the client's
+    /// terminal events long after the triggering fault cleared — the system
+    /// is stuck in a sustaining feedback loop (typically a retry storm)
+    /// rather than recovering on its own.
+    MetastableFailure {
+        /// Fraction of terminal events after the fault cleared that were bad.
+        badput_fraction: f64,
+    },
     /// No soft-resource pathology detected.
     Healthy,
 }
@@ -55,6 +63,13 @@ impl fmt::Display for Diagnosis {
                 write!(f, "over-allocated (GC share {:.0}%)", gc_fraction * 100.0)
             }
             Diagnosis::BufferingEffect => write!(f, "buffering effect (starved back-end)"),
+            Diagnosis::MetastableFailure { badput_fraction } => {
+                write!(
+                    f,
+                    "metastable failure ({:.0}% bad work after fault cleared)",
+                    badput_fraction * 100.0
+                )
+            }
             Diagnosis::Healthy => write!(f, "healthy"),
         }
     }
@@ -83,6 +98,14 @@ pub struct DiagnosisRules {
     pub linger_rise: f64,
     /// …and exceed this many workers in absolute terms.
     pub linger_floor: f64,
+    /// Recovery: a post-fault window is "calm" when its bad fraction
+    /// (timeouts + sheds + errors over all terminal events) stays below this.
+    pub metastable_badput: f64,
+    /// Recovery: this many consecutive calm windows declare recovery.
+    pub recovery_streak: usize,
+    /// Recovery: at least this many non-empty windows after the fault
+    /// cleared are required before metastability can be judged at all.
+    pub min_post_windows: usize,
     /// Episode machinery for saturation classification.
     pub detector: BottleneckDetector,
 }
@@ -97,6 +120,9 @@ impl Default for DiagnosisRules {
             cpu_drop: 0.03,
             linger_rise: 1.15,
             linger_floor: 1.0,
+            metastable_badput: 0.5,
+            recovery_streak: 3,
+            min_post_windows: 5,
             detector: BottleneckDetector::default(),
         }
     }
@@ -142,6 +168,88 @@ impl Diagnosis {
         }
         Self::of_run_with(runs[runs.len() - 1], rules)
     }
+
+    /// Diagnose a run that experienced a fault which *cleared* at
+    /// `fault_clear`, with default rules.
+    pub fn of_recovery(m: &RunMetrics, fault_clear: simcore::SimTime) -> Diagnosis {
+        Self::of_recovery_with(m, fault_clear, &DiagnosisRules::default())
+    }
+
+    /// Diagnose a run that experienced a transient fault. A healthy system
+    /// returns to mostly-good work shortly after the fault clears; when the
+    /// bad fraction instead stays above `rules.metastable_badput` through
+    /// the rest of the observation horizon, the run is classified as a
+    /// [`Diagnosis::MetastableFailure`]. Otherwise falls back to the single
+    /// run diagnosis.
+    pub fn of_recovery_with(
+        m: &RunMetrics,
+        fault_clear: simcore::SimTime,
+        rules: &DiagnosisRules,
+    ) -> Diagnosis {
+        let post = post_fault_fractions(m, fault_clear);
+        if post.len() >= rules.min_post_windows && recovery_window(&post, rules).is_none() {
+            let bad: f64 = post.iter().map(|&(b, _)| b).sum();
+            let total: f64 = post.iter().map(|&(_, t)| t).sum();
+            if total > 0.0 && bad / total >= rules.metastable_badput {
+                return Diagnosis::MetastableFailure {
+                    badput_fraction: bad / total,
+                };
+            }
+        }
+        Self::of_run_with(m, rules)
+    }
+}
+
+/// Time from `fault_clear` until the client's bad-work fraction stays calm
+/// (below `rules.metastable_badput`) for `rules.recovery_streak` consecutive
+/// non-empty windows, in seconds. `None` when the run never recovers within
+/// the observed horizon — the campaign oracle for *bounded recovery time*.
+pub fn recovery_time_secs(
+    m: &RunMetrics,
+    fault_clear: simcore::SimTime,
+    rules: &DiagnosisRules,
+) -> Option<f64> {
+    let post = post_fault_fractions(m, fault_clear);
+    let w = recovery_window(&post, rules)?;
+    Some(w as f64 * m.window.as_secs_f64())
+}
+
+/// Per-window `(bad, total)` terminal-event counts for the windows that start
+/// at or after `fault_clear`. Empty windows (no terminal events at all) are
+/// dropped: with nothing finishing they carry no signal either way.
+fn post_fault_fractions(m: &RunMetrics, fault_clear: simcore::SimTime) -> Vec<(f64, f64)> {
+    let width = m.window.as_secs_f64();
+    if width <= 0.0 {
+        return Vec::new();
+    }
+    let offset = fault_clear.saturating_sub(m.origin).as_secs_f64();
+    let first = (offset / width).ceil() as usize;
+    let c = &m.client;
+    (first..m.n_windows.min(c.completed.len()))
+        .map(|i| {
+            let bad = c.timed_out[i] + c.shed[i] + c.failed[i];
+            (bad, bad + c.completed[i])
+        })
+        .filter(|&(_, total)| total > 0.0)
+        .collect()
+}
+
+/// Index (into the post-fault series) of the first window of a
+/// `recovery_streak`-long run of calm windows, or `None`.
+fn recovery_window(post: &[(f64, f64)], rules: &DiagnosisRules) -> Option<usize> {
+    let streak = rules.recovery_streak.max(1);
+    let mut run = 0usize;
+    for (i, &(bad, total)) in post.iter().enumerate() {
+        if bad / total < rules.metastable_badput {
+            run += 1;
+            if run >= streak {
+                return Some(i + 1 - streak);
+            }
+        } else {
+            run = 0;
+        }
+    }
+    None
 }
 
 /// Mean of the steady (second) half of a window series — ramp transients and
@@ -359,5 +467,64 @@ mod tests {
     #[test]
     fn empty_sweep_is_healthy() {
         assert_eq!(Diagnosis::of_sweep(&[]), Diagnosis::Healthy);
+    }
+
+    /// A run whose client saw `bad` fraction of terminal events go bad in
+    /// every window from `bad_from` on (and all-good before).
+    fn faulted_run(n: usize, bad_from: usize, bad: f64) -> RunMetrics {
+        let mut c = client(n, 1.0);
+        for i in 0..n {
+            let b = if i >= bad_from { bad } else { 0.0 };
+            c.completed[i] = 10.0 * (1.0 - b);
+            c.good[i] = c.completed[i];
+            c.timed_out[i] = 10.0 * b;
+        }
+        RunMetrics {
+            window: SimTime::from_millis(100),
+            origin: SimTime::ZERO,
+            n_windows: n,
+            replicas: vec![replica(0, "apache-0", n, 0.3, 0.0)],
+            client: c,
+        }
+    }
+
+    #[test]
+    fn persistent_badput_after_fault_clear_is_metastable() {
+        // Fault cleared at window 10 but 90% of work keeps going bad.
+        let m = faulted_run(40, 5, 0.9);
+        let clear = SimTime::from_secs(1); // window 10 of 100 ms windows
+        match Diagnosis::of_recovery(&m, clear) {
+            Diagnosis::MetastableFailure { badput_fraction } => {
+                assert!((badput_fraction - 0.9).abs() < 1e-9)
+            }
+            d => panic!("expected MetastableFailure, got {d:?}"),
+        }
+        let rules = DiagnosisRules::default();
+        assert_eq!(recovery_time_secs(&m, clear, &rules), None);
+    }
+
+    #[test]
+    fn badput_that_subsides_after_clear_is_not_metastable() {
+        // Bad only during the fault [window 5, 10); clean afterwards.
+        let mut m = faulted_run(40, 5, 0.9);
+        for i in 10..40 {
+            m.client.completed[i] = 10.0;
+            m.client.good[i] = 10.0;
+            m.client.timed_out[i] = 0.0;
+        }
+        let clear = SimTime::from_secs(1);
+        assert_eq!(Diagnosis::of_recovery(&m, clear), Diagnosis::Healthy);
+        // Calm from the very first post-clear window: instant recovery.
+        let rules = DiagnosisRules::default();
+        let t = recovery_time_secs(&m, clear, &rules).expect("recovers");
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn short_post_fault_horizon_is_not_judged() {
+        // Only 3 windows after the clear point: below min_post_windows.
+        let m = faulted_run(40, 5, 0.9);
+        let clear = SimTime::from_secs_f64(3.7);
+        assert_eq!(Diagnosis::of_recovery(&m, clear), Diagnosis::Healthy);
     }
 }

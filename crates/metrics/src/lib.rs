@@ -43,7 +43,7 @@ pub mod timeseries;
 
 pub use bottleneck::{BottleneckDetector, SaturationClass, SystemVerdict};
 pub use density::UtilDensity;
-pub use diagnosis::{Diagnosis, DiagnosisRules};
+pub use diagnosis::{recovery_time_secs, Diagnosis, DiagnosisRules};
 pub use export::MetricsSink;
 pub use quantile::QuantileSketch;
 pub use revenue::{RevenueModel, RevenueStep};

@@ -172,6 +172,18 @@ impl SoftPool {
         self.capacity - self.in_use
     }
 
+    /// Instantaneous occupancy in `[0, 1]` (held units over capacity).
+    pub fn occupancy_now(&self) -> f64 {
+        self.in_use as f64 / self.capacity as f64
+    }
+
+    /// Instantaneous congestion: waiters per unit of capacity. Zero whenever
+    /// the queue is empty; admission policies (shed, fail-fast) use this as a
+    /// dimensionless pressure signal that compares across pool sizes.
+    pub fn pressure_now(&self) -> f64 {
+        self.waiters.len() as f64 / self.capacity as f64
+    }
+
     fn touch(&mut self, now: SimTime) {
         let occ = self.in_use as f64 / self.capacity as f64;
         // Fold the window integral before the level changes.
@@ -330,6 +342,8 @@ mod tests {
         assert_eq!(p.in_use(), 2);
         assert_eq!(p.waiting(), 2);
         assert_eq!(p.available(), 0);
+        assert_eq!(p.occupancy_now(), 1.0);
+        assert_eq!(p.pressure_now(), 1.0); // 2 waiters / 2 units
     }
 
     #[test]

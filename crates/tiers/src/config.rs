@@ -13,7 +13,7 @@ use metrics::MetricsConfig;
 use ntier_trace::TraceConfig;
 use simcore::{QueueKind, SimTime};
 use std::str::FromStr;
-use workload::{RetryPolicy, WorkloadConfig};
+use workload::{RetryBudget, RetryPolicy, WorkloadConfig};
 
 fn parse_fields(s: &str, sep: char, n: usize, what: &str) -> Result<Vec<usize>, String> {
     let parts: Vec<&str> = s.split(sep).collect();
@@ -260,6 +260,10 @@ pub struct SystemConfig {
     /// Client-side retry policy for failed/timed-out responses (disabled by
     /// default: a failure is final and the session goes back to thinking).
     pub retry: RetryPolicy,
+    /// Fleet-wide retry budget layered on top of `retry`: a token bucket
+    /// capping the fraction of traffic that may be retries (disabled by
+    /// default — no bucket arithmetic, bit-identical digests).
+    pub retry_budget: RetryBudget,
     /// RNG seed for the whole trial.
     pub seed: u64,
     /// Per-request distributed tracing (off by default; see `ntier-trace`).
@@ -303,6 +307,7 @@ impl SystemConfig {
             linger: LingerConfig::emulab_clients(),
             sla_thresholds: vec![0.5, 1.0, 2.0],
             retry: RetryPolicy::disabled(),
+            retry_budget: RetryBudget::disabled(),
             seed: 0x5eed_0001,
             trace: TraceConfig::Off,
             metrics: MetricsConfig::Off,

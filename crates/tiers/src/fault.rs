@@ -180,6 +180,13 @@ pub struct OutcomeTotals {
     pub failed: u64,
     /// Client re-issues triggered by the retry policy.
     pub retries: u64,
+    /// Work units served in brownout cheap mode (not a terminal state: a
+    /// degraded request still completes — this counts quality loss, like
+    /// `retries` counts re-issues).
+    pub degraded: u64,
+    /// Hedge re-issues at the front tier (not a terminal state: the hedged
+    /// request still ends in exactly one outcome, whichever leg wins).
+    pub hedged: u64,
 }
 
 impl OutcomeTotals {

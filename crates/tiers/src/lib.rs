@@ -43,6 +43,7 @@ pub mod nodes;
 pub mod output;
 pub mod persist;
 pub mod request;
+pub mod resilience;
 pub mod slab;
 pub mod system;
 mod tier_nodes;
@@ -57,10 +58,12 @@ pub use linger::LingerConfig;
 pub use metrics::{Diagnosis, DiagnosisRules, MetricsConfig, MetricsSink, RunMetrics};
 pub use output::{ApacheProbes, NodeReport, PoolReport, RunOutput};
 pub use persist::{output_from_json, output_to_json};
+pub use resilience::{BreakerPhase, BreakerSpec, BreakerState, BrownoutSpec, HedgeSpec};
 pub use simcore::EngineProfile;
 pub use system::{
     run_system, run_system_full, run_system_metered, run_system_profiled, run_system_to_drain,
-    run_system_traced, try_run_system, DrainReport, NodeDrain, RunTrace, System,
+    run_system_to_drain_metered, run_system_traced, try_run_system, DrainReport, NodeDrain,
+    RunTrace, System,
 };
 pub use topology::{SelectPolicy, TierId, TierSpec, Topology, MAX_TIERS};
-pub use workload::RetryPolicy;
+pub use workload::{RetryBudget, RetryPolicy};

@@ -4,6 +4,7 @@ use crate::config::{ServiceParams, SoftAllocation, SystemConfig};
 use crate::fault::{SlowWindow, TopologyError};
 use crate::ids::Tier;
 use crate::output::{NodeReport, PoolReport};
+use crate::resilience::BrownoutSpec;
 use crate::topology::{TierId, TierSpec};
 use jvm_gc::JvmGc;
 use metrics::{PoolSeries, ReplicaSeries, ServerLog, UtilDensity};
@@ -57,6 +58,9 @@ pub struct Node {
     /// Slow-replica degradation windows for this replica (from the fault
     /// spec); empty on healthy nodes — zero per-request cost.
     pub slow: Vec<SlowWindow>,
+    /// Brownout degradation policy from the tier spec (`None` = never
+    /// degrade; zero per-request cost).
+    pub brownout: Option<BrownoutSpec>,
     /// Jobs that timed out at this node over the whole trial.
     pub timed_out: u64,
     /// Requests shed at admission (front tier only).
@@ -102,6 +106,7 @@ impl Node {
             disk_window_start: SimTime::ZERO,
             up: true,
             slow: Vec::new(),
+            brownout: None,
             timed_out: 0,
             shed: 0,
             failed: 0,
@@ -120,6 +125,15 @@ impl Node {
             }
         }
         m
+    }
+
+    /// Brownout check at admission: `Some(factor)` when the CPU run queue is
+    /// at or above the policy threshold (serve this job in cheap mode),
+    /// `None` otherwise. Nodes without a brownout policy pay one `Option`
+    /// branch and do no float work.
+    pub fn brownout_mult(&self) -> Option<f64> {
+        let b = self.brownout.as_ref()?;
+        (self.cpu.active_jobs() >= b.queue_threshold).then_some(b.factor)
     }
 
     /// Build a node from a tier spec: the role decides which sub-resources
@@ -177,6 +191,7 @@ impl Node {
             .filter(|w| w.replica == idx)
             .copied()
             .collect();
+        n.brownout = spec.brownout;
         Ok(n)
     }
 

@@ -133,6 +133,8 @@ pub fn output_to_json(out: &RunOutput) -> Json {
                 ("shed", Json::UInt(out.outcomes.shed)),
                 ("failed", Json::UInt(out.outcomes.failed)),
                 ("retries", Json::UInt(out.outcomes.retries)),
+                ("degraded", Json::UInt(out.outcomes.degraded)),
+                ("hedged", Json::UInt(out.outcomes.hedged)),
             ]),
         ),
         ("availability", f(out.availability)),
@@ -289,6 +291,9 @@ pub fn output_from_json(v: &Json) -> Result<RunOutput, String> {
             shed: get_u(outcomes, "shed")?,
             failed: get_u(outcomes, "failed")?,
             retries: get_u(outcomes, "retries")?,
+            // Absent in artifacts written before the resilience layer.
+            degraded: get_u(outcomes, "degraded").unwrap_or(0),
+            hedged: get_u(outcomes, "hedged").unwrap_or(0),
         },
         availability: get_f(v, "availability")?,
     })

@@ -90,6 +90,14 @@ pub struct Request {
     /// The deadline fired while the request was at a point that cannot be
     /// cancelled synchronously; unwind at the next checkpoint.
     pub deadline_exceeded: bool,
+    /// Armed hedge-timer sequence number (0 = no hedge armed). Same monotone
+    /// generation guard as `timeout_seq`; a `HedgeFire` event only acts if
+    /// its sequence still matches.
+    pub hedge_seq: u32,
+    /// The request was rejected fail-fast by an open circuit breaker; such
+    /// responses carry no backend signal and are excluded from the breaker's
+    /// error/latency window (recording them would latch the breaker open).
+    pub fast_failed: bool,
 }
 
 impl Request {
@@ -119,6 +127,8 @@ impl Request {
             attempt: 1,
             timeout_seq: 0,
             deadline_exceeded: false,
+            hedge_seq: 0,
+            fast_failed: false,
         }
     }
 
@@ -168,6 +178,11 @@ pub struct Query {
     /// write broadcast's branches failed; the owning request fails when the
     /// error reply propagates up.
     pub failed: bool,
+    /// When the app tier issued this query (for breaker latency signals).
+    pub t_issued: SimTime,
+    /// The query was rejected fail-fast by an open breaker guarding the tier
+    /// below; excluded from breaker signal recording.
+    pub fast_failed: bool,
 }
 
 impl Query {
@@ -182,6 +197,8 @@ impl Query {
             t_enter_mw,
             t_enter_db: SimTime::ZERO,
             failed: false,
+            t_issued: t_enter_mw,
+            fast_failed: false,
         }
     }
 }

@@ -1,0 +1,432 @@
+//! Resilience policies: circuit breakers, brownout degradation, hedged
+//! requests.
+//!
+//! All three are **pure data on the topology** ([`crate::TierSpec`]) with
+//! disabled defaults, mirroring how faults, timeouts, and shedding already
+//! work: a topology that sets none of them builds a system that allocates no
+//! policy state, draws no randomness, schedules no events, and produces
+//! bit-identical golden digests. Enabled policies are fully deterministic —
+//! every decision derives from simulation time and counters, never from an
+//! RNG stream — so a resilient run is exactly reproducible from its seed.
+//!
+//! * [`BreakerSpec`]/[`BreakerState`] — a per-tier circuit breaker in the
+//!   classic closed → open → half-open shape. The breaker watches the calls
+//!   *entering* the tier it guards over a rolling window (the same 100 ms
+//!   granularity as the metrics pipeline) and trips on windowed error rate
+//!   or on a p95-style latency signal; while open, callers fail fast
+//!   instead of queueing into a dead or drowning tier.
+//! * [`BrownoutSpec`] — per-tier cheap-mode degradation: when the replica's
+//!   run queue crosses a threshold, service demand is multiplied by a
+//!   factor < 1 (think "serve the page without recommendations"). Work
+//!   served in cheap mode is surfaced through the `degraded` counter in
+//!   [`crate::OutcomeTotals`].
+//! * [`HedgeSpec`] — hedged requests at the web tier, in the
+//!   cancel-on-hedge ("tied request") form: when a forwarded request is
+//!   still *queued* at its backend replica after the hedge delay, the
+//!   queued leg is cancelled through the same pool-waiter unwind a timeout
+//!   uses and the request is re-issued to another live replica. Exactly one
+//!   leg is ever in service, so one logical interaction yields exactly one
+//!   outcome — whichever leg reaches service first wins.
+
+use simcore::SimTime;
+
+/// Circuit-breaker policy for the calls entering one tier.
+///
+/// Signals are accumulated over a rolling window of `window` width; the
+/// breaker trips when, with at least `min_samples` observations, either the
+/// error fraction reaches `error_threshold` or the fraction of calls slower
+/// than `latency_slo` reaches `slow_threshold` (with `slow_threshold =
+/// 0.05` the second condition reads "the window's p95 latency exceeds the
+/// SLO").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSpec {
+    /// Rolling evaluation window (matches the 100 ms metrics granularity
+    /// by default).
+    pub window: SimTime,
+    /// Minimum observations in the window before the breaker may trip.
+    pub min_samples: u32,
+    /// Error fraction that trips the breaker (in `(0, 1]`).
+    pub error_threshold: f64,
+    /// Latency above which a call counts as slow.
+    pub latency_slo: SimTime,
+    /// Slow fraction that trips the breaker (`0.05` ⇒ "p95 over SLO").
+    pub slow_threshold: f64,
+    /// How long an open breaker rejects before probing (half-open).
+    pub open_for: SimTime,
+    /// Consecutive half-open successes required to close again.
+    pub half_open_successes: u32,
+}
+
+impl BreakerSpec {
+    /// A breaker that trips when `error_threshold` of the calls in a 100 ms
+    /// window fail, stays open for `open_for`, and needs 5 clean probes to
+    /// close. The latency condition is effectively disabled.
+    pub fn on_errors(error_threshold: f64, open_for: SimTime) -> Self {
+        BreakerSpec {
+            window: SimTime::from_millis(100),
+            min_samples: 10,
+            error_threshold,
+            latency_slo: SimTime::from_secs_f64(3600.0),
+            slow_threshold: 1.1, // unreachable: latency never trips
+            open_for,
+            half_open_successes: 5,
+        }
+    }
+
+    /// Same breaker, additionally tripping when the windowed p95-style
+    /// latency signal exceeds `latency_slo` (5% of calls slower than it).
+    pub fn with_latency_slo(mut self, latency_slo: SimTime) -> Self {
+        self.latency_slo = latency_slo;
+        self.slow_threshold = 0.05;
+        self
+    }
+
+    /// Validity check used by `Topology::validate`.
+    pub(crate) fn invalid_reason(&self) -> Option<String> {
+        if self.window <= SimTime::ZERO {
+            return Some("breaker window must be positive".into());
+        }
+        if self.min_samples == 0 {
+            return Some("breaker min_samples must be >= 1".into());
+        }
+        if !(self.error_threshold > 0.0 && self.error_threshold <= 1.0) {
+            return Some(format!(
+                "breaker error threshold {} outside (0,1]",
+                self.error_threshold
+            ));
+        }
+        if self.slow_threshold.is_nan() || self.slow_threshold <= 0.0 {
+            return Some("breaker slow threshold must be positive".into());
+        }
+        if self.open_for <= SimTime::ZERO {
+            return Some("breaker open_for must be positive".into());
+        }
+        if self.half_open_successes == 0 {
+            return Some("breaker half_open_successes must be >= 1".into());
+        }
+        None
+    }
+}
+
+/// Observable phase of a circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Calls flow; signals accumulate toward a possible trip.
+    Closed,
+    /// Calls fail fast until the open interval elapses.
+    Open,
+    /// Probe traffic flows; one error re-trips, enough successes close.
+    HalfOpen,
+}
+
+/// Runtime state of one tier's circuit breaker. Deterministic: transitions
+/// depend only on simulation time and the recorded call outcomes.
+#[derive(Debug, Clone)]
+pub struct BreakerState {
+    /// The policy this state machine runs.
+    pub spec: BreakerSpec,
+    phase: BreakerPhase,
+    window_start: SimTime,
+    ops: u32,
+    errors: u32,
+    slow: u32,
+    open_until: SimTime,
+    probe_successes: u32,
+    /// Calls rejected (failed fast) by an open breaker, whole trial.
+    pub fast_fails: u64,
+    /// Closed/half-open → open transitions, whole trial.
+    pub trips: u64,
+}
+
+impl BreakerState {
+    /// Fresh breaker in the closed phase.
+    pub fn new(spec: BreakerSpec) -> Self {
+        BreakerState {
+            spec,
+            phase: BreakerPhase::Closed,
+            window_start: SimTime::ZERO,
+            ops: 0,
+            errors: 0,
+            slow: 0,
+            open_until: SimTime::ZERO,
+            probe_successes: 0,
+            fast_fails: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> BreakerPhase {
+        self.phase
+    }
+
+    /// Admission check for one call into the guarded tier. Returns `false`
+    /// when the caller must fail fast. An open breaker whose interval has
+    /// elapsed transitions to half-open and admits the probe.
+    pub fn admit(&mut self, now: SimTime) -> bool {
+        match self.phase {
+            BreakerPhase::Closed | BreakerPhase::HalfOpen => true,
+            BreakerPhase::Open => {
+                if now >= self.open_until {
+                    self.phase = BreakerPhase::HalfOpen;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    self.fast_fails += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of a call that was admitted (never of a fast
+    /// fail — a breaker feeding on its own rejections would latch open).
+    pub fn record(&mut self, now: SimTime, error: bool, latency: SimTime) {
+        match self.phase {
+            // Stragglers admitted before the trip carry no signal.
+            BreakerPhase::Open => {}
+            BreakerPhase::HalfOpen => {
+                if error {
+                    self.trip(now);
+                } else {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.spec.half_open_successes {
+                        self.phase = BreakerPhase::Closed;
+                        self.reset_window(now);
+                    }
+                }
+            }
+            BreakerPhase::Closed => {
+                if now >= self.window_start + self.spec.window {
+                    self.reset_window(now);
+                }
+                self.ops += 1;
+                if error {
+                    self.errors += 1;
+                }
+                if latency > self.spec.latency_slo {
+                    self.slow += 1;
+                }
+                if self.ops >= self.spec.min_samples {
+                    let n = self.ops as f64;
+                    if self.errors as f64 / n >= self.spec.error_threshold
+                        || self.slow as f64 / n >= self.spec.slow_threshold
+                    {
+                        self.trip(now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, now: SimTime) {
+        self.phase = BreakerPhase::Open;
+        self.open_until = now + self.spec.open_for;
+        self.trips += 1;
+        self.reset_window(now);
+    }
+
+    fn reset_window(&mut self, now: SimTime) {
+        self.window_start = now;
+        self.ops = 0;
+        self.errors = 0;
+        self.slow = 0;
+    }
+}
+
+/// Brownout degradation policy for one tier: when a replica's run queue
+/// reaches `queue_threshold` jobs, new work on that replica is served in
+/// cheap mode — its CPU demand is multiplied by `factor` (< 1) — and
+/// counted in the run's `degraded` total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutSpec {
+    /// Run-queue depth (jobs on the replica's CPU) that engages cheap mode.
+    pub queue_threshold: usize,
+    /// Demand multiplier in cheap mode, in `(0, 1)`.
+    pub factor: f64,
+}
+
+impl BrownoutSpec {
+    /// Cheap mode at `factor` of full demand once the run queue reaches
+    /// `queue_threshold` jobs.
+    pub fn new(queue_threshold: usize, factor: f64) -> Self {
+        BrownoutSpec {
+            queue_threshold,
+            factor,
+        }
+    }
+
+    /// Validity check used by `Topology::validate`.
+    pub(crate) fn invalid_reason(&self) -> Option<String> {
+        if self.queue_threshold == 0 {
+            return Some("brownout queue threshold must be >= 1".into());
+        }
+        if !(self.factor > 0.0 && self.factor < 1.0) {
+            return Some(format!(
+                "brownout factor {} outside (0,1) — cheap mode must cost less",
+                self.factor
+            ));
+        }
+        None
+    }
+}
+
+/// Hedged-request policy for the front tier (cancel-on-hedge form): a
+/// request still *queued* at its backend replica `delay` after being
+/// forwarded is pulled out of that queue (the loser leg, cancelled through
+/// the pool-waiter unwind timeouts already use) and re-issued to the next
+/// live replica. Requests already in service never hedge — the winning leg
+/// is the one that reached service first, and only it produces an outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeSpec {
+    /// How long a forwarded request may sit queued before hedging. Set it
+    /// near the backend's p95 queueing delay so only stragglers hedge.
+    pub delay: SimTime,
+}
+
+impl HedgeSpec {
+    /// Hedge after `delay`.
+    pub fn after(delay: SimTime) -> Self {
+        HedgeSpec { delay }
+    }
+
+    /// Validity check used by `Topology::validate`.
+    pub(crate) fn invalid_reason(&self) -> Option<String> {
+        if self.delay <= SimTime::ZERO {
+            return Some("hedge delay must be positive".into());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    fn spec() -> BreakerSpec {
+        BreakerSpec {
+            window: ms(100),
+            min_samples: 4,
+            error_threshold: 0.5,
+            latency_slo: ms(50),
+            slow_threshold: 0.5,
+            open_for: ms(200),
+            half_open_successes: 2,
+        }
+    }
+
+    #[test]
+    fn closed_breaker_admits_and_trips_on_error_rate() {
+        let mut b = BreakerState::new(spec());
+        assert_eq!(b.phase(), BreakerPhase::Closed);
+        for i in 0..4 {
+            assert!(b.admit(ms(i)));
+            b.record(ms(i), i % 2 == 0, ms(1)); // 50% errors
+        }
+        assert_eq!(b.phase(), BreakerPhase::Open);
+        assert_eq!(b.trips, 1);
+        assert!(!b.admit(ms(10)));
+        assert_eq!(b.fast_fails, 1);
+    }
+
+    #[test]
+    fn breaker_needs_min_samples_before_tripping() {
+        let mut b = BreakerState::new(spec());
+        for i in 0..3 {
+            b.record(ms(i), true, ms(1)); // 100% errors but only 3 samples
+        }
+        assert_eq!(b.phase(), BreakerPhase::Closed);
+        b.record(ms(3), true, ms(1));
+        assert_eq!(b.phase(), BreakerPhase::Open);
+    }
+
+    #[test]
+    fn latency_signal_trips_like_errors() {
+        let mut b = BreakerState::new(spec());
+        for i in 0..4 {
+            b.record(ms(i), false, ms(60)); // all slow, none failed
+        }
+        assert_eq!(b.phase(), BreakerPhase::Open);
+    }
+
+    #[test]
+    fn window_roll_forgets_old_errors() {
+        let mut b = BreakerState::new(spec());
+        b.record(ms(0), true, ms(1));
+        b.record(ms(1), true, ms(1));
+        // 150 ms later the window rolls; the two old errors are gone.
+        for i in 0..4 {
+            b.record(ms(150 + i), false, ms(1));
+        }
+        assert_eq!(b.phase(), BreakerPhase::Closed);
+    }
+
+    #[test]
+    fn open_breaker_goes_half_open_then_closes_on_probes() {
+        let mut b = BreakerState::new(spec());
+        for i in 0..4 {
+            b.record(ms(i), true, ms(1));
+        }
+        assert_eq!(b.phase(), BreakerPhase::Open);
+        assert!(!b.admit(ms(100)));
+        // Open interval elapsed: the next call is a probe.
+        assert!(b.admit(ms(250)));
+        assert_eq!(b.phase(), BreakerPhase::HalfOpen);
+        b.record(ms(260), false, ms(1));
+        assert_eq!(b.phase(), BreakerPhase::HalfOpen);
+        b.record(ms(270), false, ms(1));
+        assert_eq!(b.phase(), BreakerPhase::Closed);
+    }
+
+    #[test]
+    fn half_open_error_reopens() {
+        let mut b = BreakerState::new(spec());
+        for i in 0..4 {
+            b.record(ms(i), true, ms(1));
+        }
+        assert!(b.admit(ms(250)));
+        b.record(ms(260), true, ms(1));
+        assert_eq!(b.phase(), BreakerPhase::Open);
+        assert_eq!(b.trips, 2);
+        assert!(!b.admit(ms(300)));
+        // Stragglers recorded while open are ignored.
+        b.record(ms(310), true, ms(1));
+        assert_eq!(b.phase(), BreakerPhase::Open);
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        assert!(spec().invalid_reason().is_none());
+        let mut s = spec();
+        s.error_threshold = 0.0;
+        assert!(s.invalid_reason().is_some());
+        s = spec();
+        s.error_threshold = 1.5;
+        assert!(s.invalid_reason().is_some());
+        s = spec();
+        s.window = SimTime::ZERO;
+        assert!(s.invalid_reason().is_some());
+        s = spec();
+        s.open_for = SimTime::ZERO;
+        assert!(s.invalid_reason().is_some());
+        s = spec();
+        s.min_samples = 0;
+        assert!(s.invalid_reason().is_some());
+        s = spec();
+        s.half_open_successes = 0;
+        assert!(s.invalid_reason().is_some());
+
+        assert!(BrownoutSpec::new(8, 0.5).invalid_reason().is_none());
+        assert!(BrownoutSpec::new(0, 0.5).invalid_reason().is_some());
+        assert!(BrownoutSpec::new(8, 1.0).invalid_reason().is_some());
+        assert!(BrownoutSpec::new(8, 0.0).invalid_reason().is_some());
+        assert!(BrownoutSpec::new(8, f64::NAN).invalid_reason().is_some());
+
+        assert!(HedgeSpec::after(ms(30)).invalid_reason().is_none());
+        assert!(HedgeSpec::after(SimTime::ZERO).invalid_reason().is_some());
+    }
+}

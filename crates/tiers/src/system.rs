@@ -16,6 +16,7 @@ use crate::ids::{QueryId, ReqId, Tier, Token};
 use crate::nodes::{ApacheProbe, Node};
 use crate::output::{ApacheProbes, NodeReport, RunOutput, Telemetry};
 use crate::request::{QueryPhase, ReqPhase, Request};
+use crate::resilience::{BreakerState, HedgeSpec};
 use crate::slab::Slab;
 use crate::tier_nodes::{make_tier, TierNode};
 use crate::topology::{SelectPolicy, TierId};
@@ -23,7 +24,7 @@ use metrics::{FailureKind, MetricsRegistry, RunMetrics, SlaModel};
 use ntier_trace::{Span, TraceId, Tracer, ENGINE_TRACE};
 use resources::JobId;
 use simcore::{Engine, EngineStats, EventQueue, Model, RunRng, SimTime};
-use workload::{InteractionCatalog, InteractionId, Mix, SessionModel, SessionStore};
+use workload::{InteractionCatalog, InteractionId, Mix, RetryBucket, SessionModel, SessionStore};
 
 /// A typed message addressed to one tier of the chain.
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +96,15 @@ pub enum Ev {
         /// Flat node index.
         node: u16,
     },
+    /// The front tier's hedge delay elapsed for request `r`; stale (and
+    /// ignored) unless the request still exists, its armed hedge sequence
+    /// matches, and it is still queued for an app-tier thread.
+    HedgeFire {
+        /// The request the hedge was armed for.
+        r: ReqId,
+        /// Sequence number at arming time.
+        seq: u32,
+    },
 }
 
 /// Where one tier sits in the chain: its role, replica range in the flat
@@ -121,6 +131,8 @@ pub(crate) struct TierLink {
     pub timeout: Option<SimTime>,
     /// Admission control (meaningful only on the front tier).
     pub shed: ShedPolicy,
+    /// Hedged-request policy (meaningful only on the front tier).
+    pub hedge: Option<HedgeSpec>,
 }
 
 /// Mutable routing state per tier.
@@ -167,6 +179,12 @@ pub(crate) struct Ctx {
     pub rng_faults: RunRng,
     /// Per-tier fault specs (index = tier id).
     pub faults: Vec<FaultSpec>,
+    /// Per-tier circuit breakers (index = tier id; `None` = no breaker, one
+    /// `Option` branch per guarded call and nothing else).
+    pub breakers: Vec<Option<BreakerState>>,
+    /// Fleet-wide retry-budget token bucket (zero tokens and zero arithmetic
+    /// when the budget is disabled).
+    pub retry_bucket: RetryBucket,
     /// Monotone deadline-timer sequence (0 is reserved for "disarmed").
     pub timeout_seq: u32,
     /// Per-session (interaction, attempt) to re-issue when `Ev::Reissue`
@@ -242,9 +260,15 @@ impl Ctx {
                 linger: spec.linger,
                 timeout: spec.timeout,
                 shed: spec.shed,
+                hedge: spec.hedge,
             });
         }
         let faults = topo.tiers.iter().map(|s| s.fault.clone()).collect();
+        let breakers = topo
+            .tiers
+            .iter()
+            .map(|s| s.breaker.map(BreakerState::new))
+            .collect();
         let route = links
             .iter()
             .map(|l| RouteState {
@@ -289,6 +313,8 @@ impl Ctx {
             rng_route: root.fork("route"),
             rng_faults: root.fork("faults"),
             faults,
+            breakers,
+            retry_bucket: cfg.retry_budget.bucket(),
             timeout_seq: 0,
             retry_pending: vec![(0u16, 0u8); users],
             scratch_jobs: Vec::new(),
@@ -433,6 +459,103 @@ impl Ctx {
         let seq = self.timeout_seq;
         self.requests.get_mut(r).timeout_seq = seq;
         q.schedule(now + deadline, Ev::ReqTimeout { r, seq });
+    }
+
+    /// Whether tier `t`'s circuit breaker admits a new call at `now`
+    /// (always true without a breaker — one `Option` branch, no arithmetic).
+    pub fn breaker_admit(&mut self, t: TierId, now: SimTime) -> bool {
+        match self.breakers[t].as_mut() {
+            Some(b) => b.admit(now),
+            None => true,
+        }
+    }
+
+    /// Record one finished call against tier `t`'s breaker window. Callers
+    /// must not report fail-fast rejections here — a breaker fed its own
+    /// rejections would latch open.
+    pub fn breaker_record(&mut self, t: TierId, now: SimTime, error: bool, latency: SimTime) {
+        if let Some(b) = self.breakers[t].as_mut() {
+            b.record(now, error, latency);
+        }
+    }
+
+    /// Arm the front tier's hedge timer for `r` (no-op without a hedge
+    /// policy). Called when the front worker forwards the request downstream;
+    /// the timer re-dispatches the request to another app replica if it is
+    /// still queued for a thread when the delay elapses.
+    pub fn arm_hedge(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
+        let Some(h) = self.links[0].hedge else {
+            return;
+        };
+        // Hedge timers share the deadline sequence counter: both only need
+        // uniqueness to make stale events no-ops.
+        self.timeout_seq += 1;
+        let seq = self.timeout_seq;
+        self.requests.get_mut(r).hedge_seq = seq;
+        q.schedule(now + h.delay, Ev::HedgeFire { r, seq });
+    }
+
+    /// The hedge delay elapsed. If the request is still queued for an
+    /// app-tier thread ("tied request": the hedge cancels the queued leg the
+    /// instant it re-issues, so exactly one leg is ever in service and one
+    /// logical interaction still ends in exactly one [`Outcome`]), cancel the
+    /// waiter and re-dispatch to the next live app replica in ring order —
+    /// deterministic, no RNG draw. Requests already granted a thread are
+    /// never hedged: duplicating in-service work can't be cancelled cleanly.
+    fn on_hedge_fire(&mut self, r: ReqId, seq: u32, now: SimTime, q: &mut EventQueue<Ev>) {
+        if !self.requests.contains(r) || self.requests.get(r).hedge_seq != seq {
+            return;
+        }
+        self.requests.get_mut(r).hedge_seq = 0;
+        if self.requests.get(r).phase != ReqPhase::WaitAppThread {
+            return;
+        }
+        let app_t = self.req_tiers[1];
+        let (rep, trace) = {
+            let req = self.requests.get(r);
+            (req.route[app_t] as usize, req.trace)
+        };
+        let ni = self.links[app_t].base + rep;
+        let cancelled = self.nodes[ni]
+            .pool
+            .as_mut()
+            .expect("app tier has threads")
+            .cancel_waiter(now, r as u64);
+        if !cancelled {
+            // The pool granted the thread in this same instant (the
+            // PoolGranted event is in flight); the original leg won.
+            return;
+        }
+        // The cancelled leg departs its replica; the hedge leg arrives at the
+        // next live replica in ring order. Disarm any armed deadline — the
+        // stale timer would otherwise fire into the phase it was armed for;
+        // the app tier re-arms on arrival.
+        self.nodes[ni].departures += 1;
+        self.route_departed(app_t, rep);
+        let n = self.links[app_t].replicas;
+        let mut next_rep = (rep + 1) % n;
+        for i in 1..n {
+            let cand = (rep + i) % n;
+            if self.nodes[self.links[app_t].base + cand].up {
+                next_rep = cand;
+                break;
+            }
+        }
+        if self.links[app_t].select == SelectPolicy::LeastOutstanding {
+            self.route[app_t].outstanding[next_rep] += 1;
+        }
+        {
+            let req = self.requests.get_mut(r);
+            req.route[app_t] = next_rep as u16;
+            req.timeout_seq = 0;
+        }
+        self.outcomes.hedged += 1;
+        let track = self.links[0].name;
+        self.req_span(trace, track, ntier_trace::HEDGE, now, now);
+        q.schedule(
+            now + self.hop(512),
+            Ev::Tier(app_t as u8, TierMsg::ReqArrive(r)),
+        );
     }
 
     /// Whether a query dispatched to tier `t` is dropped on the wire. Draws
@@ -674,7 +797,7 @@ impl Ctx {
     }
 
     fn on_response_to_client(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (session, rt, outcome, attempt, interaction, trace) = {
+        let (session, rt, outcome, attempt, interaction, trace, fast_failed) = {
             let req = self.requests.get(r);
             (
                 req.session,
@@ -683,9 +806,24 @@ impl Ctx {
                 req.attempt,
                 req.interaction,
                 req.trace,
+                req.fast_failed,
             )
         };
         self.outcomes.count(outcome);
+        // Front-tier breaker signal: every response that actually traversed
+        // the system is one window sample. Shed and fast-failed responses
+        // never touched the backend and are excluded (recording the
+        // breaker's own rejections would latch it open).
+        if self.breakers[0].is_some() && !fast_failed && outcome != Outcome::Shed {
+            let latency = now.saturating_sub(self.requests.get(r).t_start);
+            self.breaker_record(0, now, outcome != Outcome::Completed, latency);
+        }
+        // Every terminal response earns the fleet `ratio` retry tokens;
+        // disabled budgets skip the arithmetic entirely.
+        if !self.cfg.retry_budget.is_disabled() {
+            let budget = self.cfg.retry_budget;
+            self.retry_bucket.deposit(&budget);
+        }
         if outcome == Outcome::Completed {
             if self.measuring && now <= self.measure_end {
                 self.telemetry.record(now, rt);
@@ -715,7 +853,10 @@ impl Ctx {
         }
         let will_retry = !self.draining
             && !self.cfg.retry.is_disabled()
-            && attempt < self.cfg.retry.max_attempts;
+            && attempt < self.cfg.retry.max_attempts
+            // The budget gate comes last so tokens are only spent on retries
+            // that would otherwise happen.
+            && (self.cfg.retry_budget.is_disabled() || self.retry_bucket.try_spend());
         if will_retry {
             // The jitter draw comes from the session's own stream, and only
             // on an actual retry — healthy runs never touch it.
@@ -775,12 +916,19 @@ impl Ctx {
                     .as_mut()
                     .expect("front tier has workers")
                     .cancel_waiter(now, r as u64);
-                debug_assert!(cancelled, "WaitWorker timeout but no queued waiter");
+                let track = self.links[0].name;
+                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now);
+                if !cancelled {
+                    // The pool granted this waiter at this same instant (the
+                    // grant event is still in flight), so the request is past
+                    // the queue: serve it late, exactly as if the deadline had
+                    // fired mid-slice.
+                    self.nodes[ni].timed_out += 1;
+                    return;
+                }
                 self.nodes[ni].departures += 1;
                 self.nodes[ni].timed_out += 1;
                 self.route_departed(0, rep);
-                let track = self.links[0].name;
-                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now);
                 // The linger arm never fires for a request without a worker.
                 self.free_request_arm(r);
                 let hop = self.hop(512);
@@ -815,7 +963,16 @@ impl Ctx {
                     .as_mut()
                     .expect("app tier has threads")
                     .cancel_waiter(now, r as u64);
-                debug_assert!(cancelled, "WaitAppThread timeout but no queued waiter");
+                if !cancelled {
+                    // Thread granted at this same instant (grant event in
+                    // flight): let the slice start and unwind at the next
+                    // checkpoint instead of error-replying a request that is
+                    // about to run.
+                    let req = self.requests.get_mut(r);
+                    req.outcome = Outcome::Completed;
+                    req.deadline_exceeded = true;
+                    return;
+                }
                 self.nodes[ni].departures += 1;
                 self.nodes[ni].timed_out += 1;
                 self.route_departed(app_t, rep);
@@ -836,7 +993,15 @@ impl Ctx {
                     .as_mut()
                     .expect("app tier has conns")
                     .cancel_waiter(now, r as u64);
-                debug_assert!(cancelled, "WaitDbConn timeout but no queued conn waiter");
+                if !cancelled {
+                    // Connection granted at this same instant (grant event in
+                    // flight): the query will be issued — unwind when it
+                    // completes.
+                    let req = self.requests.get_mut(r);
+                    req.deadline_exceeded = true;
+                    req.timeout_seq = 0;
+                    return;
+                }
                 self.fail_at_app(r, Outcome::TimedOut, now, q);
             }
             ReqPhase::AppCpu | ReqPhase::QueryInFlight => {
@@ -999,6 +1164,7 @@ impl Model for System {
             Ev::Reissue(s) => self.ctx.on_reissue(s, now, q),
             Ev::Crash { node } => self.ctx.on_crash(node as usize, now, q),
             Ev::Recover { node } => self.ctx.nodes[node as usize].up = true,
+            Ev::HedgeFire { r, seq } => self.ctx.on_hedge_fire(r, seq, now, q),
         }
     }
 
@@ -1026,6 +1192,7 @@ impl Model for System {
             Ev::Reissue(_) => "reissue",
             Ev::Crash { .. } => "crash",
             Ev::Recover { .. } => "recover",
+            Ev::HedgeFire { .. } => "hedge-fire",
         }
     }
 }
@@ -1034,7 +1201,7 @@ mod drain;
 mod report;
 mod run;
 
-pub use drain::{run_system_to_drain, DrainReport, NodeDrain};
+pub use drain::{run_system_to_drain, run_system_to_drain_metered, DrainReport, NodeDrain};
 pub use run::{
     run_system, run_system_full, run_system_metered, run_system_profiled, run_system_traced,
     try_run_system, RunTrace,

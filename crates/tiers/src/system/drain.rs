@@ -50,6 +50,17 @@ pub struct DrainReport {
 /// conservation snapshot ([`DrainReport`]) taken on the empty system:
 /// admitted == departed per tier node and every pool back to balance.
 pub fn run_system_to_drain(cfg: SystemConfig) -> (RunOutput, DrainReport) {
+    let (out, report, _) = run_system_to_drain_metered(cfg);
+    (out, report)
+}
+
+/// [`run_system_to_drain`] that also surfaces the windowed time series when
+/// `cfg.metrics` enables them — the combination the chaos campaigns need:
+/// conservation oracles from the drain snapshot *and* recovery oracles from
+/// the per-window client series of the same trial.
+pub fn run_system_to_drain_metered(
+    cfg: SystemConfig,
+) -> (RunOutput, DrainReport, Option<Box<RunMetrics>>) {
     let users = cfg.workload.users;
     let trial_end = cfg.workload.trial_end();
 
@@ -62,7 +73,8 @@ pub fn run_system_to_drain(cfg: SystemConfig) -> (RunOutput, DrainReport) {
     engine.model_mut().ctx.draining = true;
     engine.run_to_quiescence(100_000_000);
     let events = engine.events_processed();
-    let system = engine.into_model();
+    let mut system = engine.into_model();
+    let metrics = system.ctx.metrics_out.take();
     let report = DrainReport {
         in_flight_requests: system.ctx.requests.len(),
         in_flight_queries: system.ctx.queries.len(),
@@ -86,5 +98,5 @@ pub fn run_system_to_drain(cfg: SystemConfig) -> (RunOutput, DrainReport) {
         outcomes: system.ctx.outcomes,
     };
     let out = system.ctx.into_output(events);
-    (out, report)
+    (out, report, metrics)
 }

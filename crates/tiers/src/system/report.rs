@@ -91,10 +91,13 @@ impl Ctx {
         let satisfaction: Vec<f64> = (0..n_thresholds).map(|i| t.sla.satisfaction(i)).collect();
         let q = |p: f64| t.rt_hist.quantile(p).unwrap_or(0.0);
         let window_buckets = window as usize;
-        // Window-scoped outcomes; retries are only observable at the client,
-        // so the full-trial count is reported.
+        // Window-scoped outcomes; retries, brownout degradations and hedges
+        // are only observable at the client / inside the tiers, so the
+        // full-trial counts are reported.
         let mut outcomes = t.outcomes;
         outcomes.retries = self.outcomes.retries;
+        outcomes.degraded = self.outcomes.degraded;
+        outcomes.hedged = self.outcomes.hedged;
         let availability = t.sla.availability();
         RunOutput {
             label: self.cfg.label(),

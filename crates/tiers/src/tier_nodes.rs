@@ -85,6 +85,27 @@ impl WebNode {
                 return;
             }
         }
+        // Open front breaker: fail fast. Like a shed, the rejection never
+        // touches the worker pool; unlike a shed it reports as `Failed` (the
+        // client sees an error page, not an admission refusal) and is
+        // excluded from the breaker's own signal window.
+        if !ctx.breaker_admit(self.id, now) {
+            let trace = {
+                let req = ctx.requests.get_mut(r);
+                req.outcome = Outcome::Failed;
+                req.fast_failed = true;
+                req.trace
+            };
+            ctx.nodes[ni].departures += 1;
+            ctx.nodes[ni].failed += 1;
+            ctx.route_departed(self.id, rep);
+            let track = ctx.links[self.id].name;
+            ctx.req_span(trace, track, ntier_trace::BREAKER, now, now);
+            // No worker ⇒ no linger arm.
+            ctx.free_request_arm(r);
+            q.schedule(now + ctx.hop(512), Ev::ResponseToClient(r));
+            return;
+        }
         ctx.arm_timeout(r, self.id, now, q);
         let pool = ctx.nodes[ni].pool.as_mut().expect("front tier has workers");
         match pool.acquire(now, r as u64) {
@@ -132,6 +153,7 @@ impl WebNode {
             now + ctx.hop(512),
             Ev::Tier(down as u8, TierMsg::ReqArrive(r)),
         );
+        ctx.arm_hedge(r, now, q);
     }
 
     /// Post-CPU finished: send the response and linger on close.
@@ -289,7 +311,13 @@ impl AppNode {
                 inter.tomcat_ms * ctx.cfg.params.tomcat_scale,
             )
         };
-        let demand = ctx.jitter_ms(demand_ms);
+        let mut demand = ctx.jitter_ms(demand_ms);
+        // Brownout: under a deep run queue, serve the cheap variant of the
+        // page (fewer personalisation queries' worth of CPU).
+        if let Some(f) = ctx.nodes[ni].brownout_mult() {
+            demand *= f;
+            ctx.outcomes.degraded += 1;
+        }
         ctx.requests.get_mut(r).app_demand_secs = demand;
         ctx.nodes[ni].arrivals += 1;
         // The app deadline (if any) overrides the front tier's: innermost
@@ -408,8 +436,22 @@ impl AppNode {
         };
         let track = ctx.links[self.id].name;
         ctx.req_span(trace, track, ntier_trace::CONN_WAIT, t_wait, now);
-        let qid = ctx.queries.insert(Query::new(r, is_write, SimTime::ZERO));
+        let qid = {
+            let mut query = Query::new(r, is_write, SimTime::ZERO);
+            query.t_issued = now;
+            ctx.queries.insert(query)
+        };
         let down = ctx.links[self.id].down.expect("app tier has a downstream");
+        // Open breaker on the tier below: fail the query locally without
+        // touching the wire, routing state, or the downstream tier. The
+        // self-loop is immediate — failing fast is the point.
+        if !ctx.breaker_admit(down, now) {
+            let query = ctx.queries.get_mut(qid);
+            query.failed = true;
+            query.fast_failed = true;
+            q.schedule_now(Ev::Tier(self.id as u8, TierMsg::QueryDone(qid)));
+            return;
+        }
         if ctx.links[down].role == Tier::Cmw {
             // Middleware routes by query id; the replica is fixed at send.
             let rep = ctx.select_replica_up(down, qid as usize) as u16;
@@ -461,6 +503,16 @@ impl AppNode {
     fn query_done(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
         let query = ctx.queries.remove(qid);
         let r = query.req;
+        // Breaker signal for the tier below: one finished call per query.
+        // Fail-fast rejections (by this breaker or one further down) carry no
+        // backend signal and are skipped.
+        {
+            let down = ctx.links[self.id].down.expect("app tier has a downstream");
+            if ctx.breakers[down].is_some() && !query.fast_failed {
+                let latency = now.saturating_sub(query.t_issued);
+                ctx.breaker_record(down, now, query.failed, latency);
+            }
+        }
         let (ni, trace, t_issued, deadline) = {
             let req = ctx.requests.get_mut(r);
             req.queries_done += 1;
@@ -551,8 +603,13 @@ impl CmwNode {
             return;
         }
         ctx.jvm_alloc(ni, ctx.cfg.params.cjdbc_alloc_per_query, now, q);
-        let demand =
+        let mut demand =
             ctx.jitter_ms(ctx.cfg.params.cjdbc_ms_per_query / 2.0) * ctx.nodes[ni].demand_mult(now);
+        // Brownout: cheap-mode routing under a deep run queue.
+        if let Some(f) = ctx.nodes[ni].brownout_mult() {
+            demand *= f;
+            ctx.outcomes.degraded += 1;
+        }
         ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
     }
 
@@ -590,6 +647,19 @@ impl CmwNode {
             )
         };
         if done {
+            // Breaker signal for the database tier: one finished round-trip
+            // per query (broadcast writes count once, when the last branch
+            // lands).
+            let down = ctx.links[self.id]
+                .down
+                .expect("middleware has a downstream");
+            if ctx.breakers[down].is_some() {
+                let (failed, t_db) = {
+                    let query = ctx.queries.get(qid);
+                    (query.failed, query.t_enter_db)
+                };
+                ctx.breaker_record(down, now, failed, now.saturating_sub(t_db));
+            }
             // A failed branch (crashed/dropped replica, partial write) or a
             // middleware crash while the query was at the databases both
             // poison the result: error-reply instead of merging.
@@ -655,7 +725,20 @@ impl TierNode for CmwNode {
                 let down = ctx.links[self.id]
                     .down
                     .expect("middleware has a downstream");
-                if ctx.drop_query_to(down) {
+                if !ctx.breaker_admit(down, now) {
+                    // Open breaker on the database tier: error-reply without
+                    // touching the wire; tagged so neither this breaker nor
+                    // the middleware's own counts it as a backend signal.
+                    let (ni, rep) = {
+                        let query = ctx.queries.get_mut(qid);
+                        query.fast_failed = true;
+                        (
+                            ctx.links[self.id].base + query.mw_idx as usize,
+                            query.mw_idx as usize,
+                        )
+                    };
+                    self.fail_query(qid, ni, rep, now, ctx, q);
+                } else if ctx.drop_query_to(down) {
                     // Dropped on the middleware→database wire.
                     let (ni, rep) = {
                         let query = ctx.queries.get(qid);
@@ -708,7 +791,13 @@ impl DbNode {
             self.fail_query(qid, db, now, ctx, q);
             return;
         }
-        let demand = ctx.jitter_ms(demand_ms.max(0.05)) * ctx.nodes[ni].demand_mult(now);
+        let mut demand = ctx.jitter_ms(demand_ms.max(0.05)) * ctx.nodes[ni].demand_mult(now);
+        // Brownout: skip the expensive plan / serve a cached partial result
+        // when the run queue is deep.
+        if let Some(f) = ctx.nodes[ni].brownout_mult() {
+            demand *= f;
+            ctx.outcomes.degraded += 1;
+        }
         ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
     }
 

@@ -21,6 +21,7 @@
 use crate::config::{HardwareConfig, SoftAllocation};
 use crate::fault::{FaultSpec, ShedPolicy, TopologyError};
 use crate::ids::Tier;
+use crate::resilience::{BreakerSpec, BrownoutSpec, HedgeSpec};
 use jvm_gc::GcConfig;
 use simcore::SimTime;
 
@@ -76,6 +77,16 @@ pub struct TierSpec {
     pub timeout: Option<SimTime>,
     /// Admission control (front [`Tier::Web`] tier only).
     pub shed: ShedPolicy,
+    /// Circuit breaker guarding the calls entering this tier (front tier:
+    /// request admission; query tiers: queries dispatched to the tier).
+    /// Default `None` — zero cost, no state, bit-identical digests.
+    pub breaker: Option<BreakerSpec>,
+    /// Brownout cheap-mode degradation on this tier's replicas
+    /// ([`Tier::App`]/[`Tier::Cmw`]/[`Tier::Db`]). Default `None`.
+    pub brownout: Option<BrownoutSpec>,
+    /// Hedged-request policy (front [`Tier::Web`] tier only; needs ≥2
+    /// replicas on the next tier). Default `None`.
+    pub hedge: Option<HedgeSpec>,
 }
 
 impl TierSpec {
@@ -93,6 +104,9 @@ impl TierSpec {
             fault: FaultSpec::none(),
             timeout: None,
             shed: ShedPolicy::None,
+            breaker: None,
+            brownout: None,
+            hedge: None,
         }
     }
 
@@ -111,6 +125,9 @@ impl TierSpec {
             fault: FaultSpec::none(),
             timeout: None,
             shed: ShedPolicy::None,
+            breaker: None,
+            brownout: None,
+            hedge: None,
         }
     }
 
@@ -130,6 +147,9 @@ impl TierSpec {
             fault: FaultSpec::none(),
             timeout: None,
             shed: ShedPolicy::None,
+            breaker: None,
+            brownout: None,
+            hedge: None,
         }
     }
 
@@ -148,6 +168,9 @@ impl TierSpec {
             fault: FaultSpec::none(),
             timeout: None,
             shed: ShedPolicy::None,
+            breaker: None,
+            brownout: None,
+            hedge: None,
         }
     }
 
@@ -191,6 +214,24 @@ impl TierSpec {
     /// Set the admission-control policy (front [`Tier::Web`] tier only).
     pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
         self.shed = shed;
+        self
+    }
+
+    /// Guard the calls entering this tier with a circuit breaker.
+    pub fn with_breaker(mut self, breaker: BreakerSpec) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Enable brownout cheap-mode degradation on this tier.
+    pub fn with_brownout(mut self, brownout: BrownoutSpec) -> Self {
+        self.brownout = Some(brownout);
+        self
+    }
+
+    /// Enable hedged requests (front tier only).
+    pub fn with_hedge(mut self, hedge: HedgeSpec) -> Self {
+        self.hedge = Some(hedge);
         self
     }
 }
@@ -351,9 +392,9 @@ impl Topology {
                 "connection drops are only supported on Cmw/Db tiers".into()
             ));
         }
-        if !(0.0..1.0).contains(&t.fault.drop_prob) {
+        if !(0.0..=1.0).contains(&t.fault.drop_prob) {
             return Err(bad(format!(
-                "drop probability {} outside [0,1)",
+                "drop probability {} outside [0,1]",
                 t.fault.drop_prob
             )));
         }
@@ -406,6 +447,54 @@ impl Topology {
             return Err(bad(
                 "shedding is only supported on the front Web tier".into()
             ));
+        }
+        self.validate_resilience(i, t)?;
+        Ok(())
+    }
+
+    /// Check one tier's resilience policies (breaker/brownout/hedge) against
+    /// the scope rules of their dispatch-path enforcement points.
+    fn validate_resilience(&self, i: usize, t: &TierSpec) -> Result<(), TopologyError> {
+        let bad = |what: String| TopologyError::BadFault {
+            tier: i,
+            name: t.name.to_string(),
+            what,
+        };
+        if let Some(b) = &t.breaker {
+            if let Some(why) = b.invalid_reason() {
+                return Err(bad(why));
+            }
+            // Enforcement points exist at request admission (front tier) and
+            // on the query dispatch path (Cmw/Db); an App-tier breaker has
+            // no fail-fast site.
+            let guarded = i == 0 || matches!(t.role, Tier::Cmw | Tier::Db);
+            if !guarded {
+                return Err(bad(
+                    "breakers guard the front tier or the query (Cmw/Db) tiers".into(),
+                ));
+            }
+        }
+        if let Some(b) = &t.brownout {
+            if let Some(why) = b.invalid_reason() {
+                return Err(bad(why));
+            }
+            if !matches!(t.role, Tier::App | Tier::Cmw | Tier::Db) {
+                return Err(bad("brownout is only supported on App/Cmw/Db tiers".into()));
+            }
+        }
+        if let Some(h) = &t.hedge {
+            if let Some(why) = h.invalid_reason() {
+                return Err(bad(why));
+            }
+            if i != 0 || t.role != Tier::Web {
+                return Err(bad("hedging is only supported on the front Web tier".into()));
+            }
+            let downstream = self.tiers.get(i + 1).map_or(0, |n| n.replicas);
+            if downstream < 2 {
+                return Err(bad(format!(
+                    "hedging needs >= 2 replicas on the next tier, found {downstream}"
+                )));
+            }
         }
         Ok(())
     }
@@ -508,9 +597,32 @@ mod tests {
         t.tiers[3].fault =
             FaultSpec::none().with_crash(0, SimTime::from_secs(9), Some(SimTime::from_secs(3)));
         assert!(t.validate().is_err());
-        // Drop probability range.
+        // Drop probability range is inclusive: 0 and 1 are valid, anything
+        // outside [0,1] (or NaN) is rejected at validate time.
         let mut t = mk();
         t.tiers[3].fault = FaultSpec::none().with_drop_prob(1.5);
+        assert!(t.validate().is_err());
+        let mut t = mk();
+        t.tiers[3].fault = FaultSpec::none().with_drop_prob(-0.1);
+        assert!(t.validate().is_err());
+        let mut t = mk();
+        t.tiers[3].fault = FaultSpec::none().with_drop_prob(f64::NAN);
+        assert!(t.validate().is_err());
+        let mut t = mk();
+        t.tiers[3].fault = FaultSpec::none().with_drop_prob(1.0);
+        assert!(t.validate().is_ok(), "drop everything is a valid fault");
+        // Slow windows: multiplier must be positive and finite, and the
+        // window must not end before it starts.
+        let mut t = mk();
+        t.tiers[3].fault = FaultSpec::none().with_slow(0, SimTime::from_secs(5), None, 0.0);
+        assert!(t.validate().is_err());
+        let mut t = mk();
+        t.tiers[3].fault =
+            FaultSpec::none().with_slow(0, SimTime::from_secs(5), None, f64::INFINITY);
+        assert!(t.validate().is_err());
+        let mut t = mk();
+        t.tiers[3].fault =
+            FaultSpec::none().with_slow(0, SimTime::from_secs(9), Some(SimTime::from_secs(3)), 2.0);
         assert!(t.validate().is_err());
         // Timeouts are Web/App-only; shedding is front-tier-only.
         let mut t = mk();
@@ -519,5 +631,52 @@ mod tests {
         let mut t = mk();
         t.tiers[1].shed = ShedPolicy::QueueDepth(5);
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn resilience_specs_validate_scope_rules() {
+        let mk = || {
+            Topology::paper(
+                HardwareConfig::one_two_one_two(),
+                SoftAllocation::rule_of_thumb(),
+            )
+        };
+        // A full defended topology passes: front breaker + hedge, backend
+        // breaker, brownout on the middleware.
+        let mut t = mk();
+        t.tiers[0].breaker = Some(BreakerSpec::on_errors(0.5, SimTime::from_secs(1)));
+        t.tiers[0].hedge = Some(HedgeSpec::after(SimTime::from_millis(50)));
+        t.tiers[2].breaker = Some(
+            BreakerSpec::on_errors(0.5, SimTime::from_secs(1))
+                .with_latency_slo(SimTime::from_millis(500)),
+        );
+        t.tiers[2].brownout = Some(BrownoutSpec::new(16, 0.5));
+        assert!(t.validate().is_ok(), "{:?}", t.validate());
+        // Breakers have no enforcement point on the App tier.
+        let mut t = mk();
+        t.tiers[1].breaker = Some(BreakerSpec::on_errors(0.5, SimTime::from_secs(1)));
+        assert!(matches!(t.validate(), Err(TopologyError::BadFault { .. })));
+        // Malformed breaker parameters are caught at validate time.
+        let mut t = mk();
+        let mut b = BreakerSpec::on_errors(0.5, SimTime::from_secs(1));
+        b.error_threshold = 2.0;
+        t.tiers[0].breaker = Some(b);
+        assert!(t.validate().is_err());
+        // Brownout is backend-side only, and its factor must be < 1.
+        let mut t = mk();
+        t.tiers[0].brownout = Some(BrownoutSpec::new(16, 0.5));
+        assert!(t.validate().is_err());
+        let mut t = mk();
+        t.tiers[3].brownout = Some(BrownoutSpec::new(16, 1.5));
+        assert!(t.validate().is_err());
+        // Hedging is front-tier only and needs downstream fan-out.
+        let mut t = mk();
+        t.tiers[1].hedge = Some(HedgeSpec::after(SimTime::from_millis(50)));
+        assert!(t.validate().is_err());
+        let mut hw = HardwareConfig::one_two_one_two();
+        hw.app = 1;
+        let mut t = Topology::paper(hw, SoftAllocation::rule_of_thumb());
+        t.tiers[0].hedge = Some(HedgeSpec::after(SimTime::from_millis(50)));
+        assert!(t.validate().is_err(), "single app replica cannot hedge");
     }
 }

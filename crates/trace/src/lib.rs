@@ -59,6 +59,11 @@ pub const SHED: &str = "shed";
 /// Span name: a replica down window (engine-level, trace id 0), from crash
 /// to recovery (or to the end of the run for a permanent crash).
 pub const CRASH: &str = "crash";
+/// Span name: a request rejected fail-fast by an open circuit breaker.
+pub const BREAKER: &str = "breaker";
+/// Span name: a queued request re-dispatched to another replica after the
+/// hedge delay elapsed (tied request; the queued leg is cancelled).
+pub const HEDGE: &str = "hedge";
 
 /// The five Apache-side segment names that tile a request's end-to-end
 /// residence exactly: every boundary is a simulation event, so for each

@@ -26,5 +26,5 @@ pub mod session;
 pub use catalog::{Interaction, InteractionCatalog, InteractionId};
 pub use config::WorkloadConfig;
 pub use mix::Mix;
-pub use retry::RetryPolicy;
+pub use retry::{RetryBucket, RetryBudget, RetryPolicy};
 pub use session::{Session, SessionModel, SessionStore};

@@ -88,6 +88,223 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Canonical text form, round-tripping through the [`std::str::FromStr`]
+/// parser:
+/// `off`, `naive:N`, or `backoff:N:BASE_MS:MULT:JITTER`.
+impl std::fmt::Display for RetryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_disabled() {
+            write!(f, "off")
+        } else if self.backoff_base == SimTime::ZERO && self.jitter_frac == 0.0 {
+            write!(f, "naive:{}", self.max_attempts)
+        } else {
+            write!(
+                f,
+                "backoff:{}:{}:{}:{}",
+                self.max_attempts,
+                self.backoff_base.as_secs_f64() * 1e3,
+                self.backoff_mult,
+                self.jitter_frac
+            )
+        }
+    }
+}
+
+/// Parse `off`, `naive:N`, or `backoff:N:BASE_MS:MULT:JITTER` (base in
+/// milliseconds) — the `--retry` CLI syntax.
+impl std::str::FromStr for RetryPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err =
+            || format!("retry policy '{s}' must be off | naive:N | backoff:N:BASE_MS:MULT:JITTER");
+        let s = s.trim();
+        let mut parts = s.split(':');
+        match parts
+            .next()
+            .map(|p| p.trim().to_ascii_lowercase())
+            .as_deref()
+        {
+            Some("off") | Some("disabled") => {
+                if parts.next().is_some() {
+                    return Err(err());
+                }
+                Ok(RetryPolicy::disabled())
+            }
+            Some("naive") => {
+                let n: u8 = parts
+                    .next()
+                    .ok_or_else(err)?
+                    .trim()
+                    .parse()
+                    .map_err(|_| err())?;
+                if n < 1 || parts.next().is_some() {
+                    return Err(err());
+                }
+                Ok(RetryPolicy::naive(n))
+            }
+            Some("backoff") => {
+                let mut num = || -> Result<f64, String> {
+                    parts
+                        .next()
+                        .ok_or_else(err)?
+                        .trim()
+                        .parse()
+                        .map_err(|_| err())
+                };
+                let n = num()?;
+                let base_ms = num()?;
+                let mult = num()?;
+                let jitter = num()?;
+                if parts.next().is_some()
+                    || !(1.0..=255.0).contains(&n)
+                    || n.fract() != 0.0
+                    || base_ms.is_nan()
+                    || base_ms < 0.0
+                    || mult.is_nan()
+                    || mult < 1.0
+                    || !(0.0..=1.0).contains(&jitter)
+                {
+                    return Err(err());
+                }
+                Ok(RetryPolicy::backoff(
+                    n as u8,
+                    SimTime::from_secs_f64(base_ms / 1e3),
+                    mult,
+                    jitter,
+                ))
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
+/// Fleet-wide retry budget: a token bucket layered on top of
+/// [`RetryPolicy`] that caps the *fraction* of traffic that may be retries.
+/// Every completed attempt deposits `ratio` tokens (capped at `burst`);
+/// each retry spends one token; a drained bucket denies the retry and the
+/// client abandons the interaction instead. With `ratio = 0.1` at most
+/// ~10% of steady-state traffic can be retries — a transient fault can no
+/// longer amplify into a metastable retry storm.
+///
+/// Pure data with a disabled default (no bucket arithmetic at all), so
+/// budget-free runs stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    /// Tokens deposited per completed attempt (the steady-state retry
+    /// fraction cap). Non-finite ⇒ the budget is disabled.
+    pub ratio: f64,
+    /// Bucket capacity: the retry burst tolerated after a quiet period.
+    pub burst: f64,
+}
+
+impl RetryBudget {
+    /// No budget: every retry the policy allows is issued. Default.
+    pub fn disabled() -> Self {
+        RetryBudget {
+            ratio: f64::INFINITY,
+            burst: f64::INFINITY,
+        }
+    }
+
+    /// Budget allowing a steady retry fraction of `ratio` with a burst
+    /// allowance of `burst` tokens.
+    pub fn new(ratio: f64, burst: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio >= 0.0,
+            "retry budget ratio must be finite and >= 0"
+        );
+        assert!(
+            burst.is_finite() && burst >= 1.0,
+            "retry budget burst must be finite and >= 1"
+        );
+        RetryBudget { ratio, burst }
+    }
+
+    /// Whether the budget is a no-op.
+    pub fn is_disabled(&self) -> bool {
+        !self.ratio.is_finite()
+    }
+
+    /// Fresh runtime bucket, starting full (the burst allowance).
+    pub fn bucket(&self) -> RetryBucket {
+        RetryBucket {
+            tokens: if self.is_disabled() { 0.0 } else { self.burst },
+        }
+    }
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget::disabled()
+    }
+}
+
+/// Canonical text form: `off` or `RATIO[:BURST]`.
+impl std::fmt::Display for RetryBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_disabled() {
+            write!(f, "off")
+        } else {
+            write!(f, "{}:{}", self.ratio, self.burst)
+        }
+    }
+}
+
+/// Parse `off` or `RATIO[:BURST]` (burst defaults to 10).
+impl std::str::FromStr for RetryBudget {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("retry budget '{s}' must be off | RATIO[:BURST]");
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("off") || s.eq_ignore_ascii_case("disabled") {
+            return Ok(RetryBudget::disabled());
+        }
+        let (ratio_s, burst_s) = match s.split_once(':') {
+            Some((r, b)) => (r, Some(b)),
+            None => (s, None),
+        };
+        let ratio: f64 = ratio_s.trim().parse().map_err(|_| err())?;
+        let burst: f64 = match burst_s {
+            Some(b) => b.trim().parse().map_err(|_| err())?,
+            None => 10.0,
+        };
+        if !(ratio.is_finite() && ratio >= 0.0 && burst.is_finite() && burst >= 1.0) {
+            return Err(err());
+        }
+        Ok(RetryBudget::new(ratio, burst))
+    }
+}
+
+/// Runtime token bucket for one run's [`RetryBudget`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBucket {
+    tokens: f64,
+}
+
+impl RetryBucket {
+    /// Deposit for one completed attempt.
+    pub fn deposit(&mut self, budget: &RetryBudget) {
+        self.tokens = (self.tokens + budget.ratio).min(budget.burst);
+    }
+
+    /// Try to spend one token for a retry. `false` ⇒ the budget denies it.
+    pub fn try_spend(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +341,65 @@ mod tests {
     #[should_panic(expected = "multiplier")]
     fn shrinking_backoff_rejected() {
         let _ = RetryPolicy::backoff(3, SimTime::from_millis(10), 0.5, 0.0);
+    }
+
+    #[test]
+    fn retry_policy_round_trips_through_text() {
+        for p in [
+            RetryPolicy::disabled(),
+            RetryPolicy::naive(3),
+            RetryPolicy::backoff(4, SimTime::from_millis(200), 2.0, 0.5),
+        ] {
+            let s = p.to_string();
+            let back: RetryPolicy = s.parse().expect("round trip");
+            assert_eq!(back, p, "{s}");
+        }
+        assert_eq!("off".parse::<RetryPolicy>(), Ok(RetryPolicy::disabled()));
+        assert_eq!("naive:2".parse::<RetryPolicy>(), Ok(RetryPolicy::naive(2)));
+        let p: RetryPolicy = "backoff:3:100:2:0.25".parse().expect("parses");
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.backoff_base, SimTime::from_millis(100));
+        assert!(
+            "naive:0".parse::<RetryPolicy>().is_err(),
+            "zero attempts rejected"
+        );
+        assert!("naive".parse::<RetryPolicy>().is_err());
+        assert!("backoff:3:100:0.5:0".parse::<RetryPolicy>().is_err());
+        assert!("backoff:3:100:2:1.5".parse::<RetryPolicy>().is_err());
+        assert!("frobnicate".parse::<RetryPolicy>().is_err());
+    }
+
+    #[test]
+    fn retry_budget_round_trips_and_validates() {
+        assert!(RetryBudget::default().is_disabled());
+        assert_eq!("off".parse::<RetryBudget>(), Ok(RetryBudget::disabled()));
+        let b: RetryBudget = "0.1:20".parse().expect("parses");
+        assert_eq!(b, RetryBudget::new(0.1, 20.0));
+        assert_eq!(b.to_string().parse::<RetryBudget>(), Ok(b));
+        let b: RetryBudget = "0.2".parse().expect("parses");
+        assert_eq!(b.burst, 10.0);
+        assert!("-1".parse::<RetryBudget>().is_err());
+        assert!("0.1:0.5".parse::<RetryBudget>().is_err());
+        assert!("inf".parse::<RetryBudget>().is_err());
+    }
+
+    #[test]
+    fn retry_bucket_caps_the_retry_fraction() {
+        let budget = RetryBudget::new(0.5, 2.0);
+        let mut bucket = budget.bucket();
+        // Starts full at the burst allowance.
+        assert!(bucket.try_spend());
+        assert!(bucket.try_spend());
+        assert!(!bucket.try_spend(), "burst exhausted");
+        // Two deposits buy one retry at ratio 0.5.
+        bucket.deposit(&budget);
+        assert!(!bucket.try_spend());
+        bucket.deposit(&budget);
+        assert!(bucket.try_spend());
+        // Deposits cap at the burst.
+        for _ in 0..100 {
+            bucket.deposit(&budget);
+        }
+        assert!(bucket.tokens() <= 2.0);
     }
 }

@@ -289,6 +289,44 @@ fn deep_replication_conserves_flow() {
 }
 
 #[test]
+fn hedged_requests_conserve_flow_and_never_double_count() {
+    // Hedging re-dispatches a queued request to a sibling app replica; the
+    // tied-request design cancels the original leg at the same instant, so
+    // the app tier sees one extra arrival+departure pair per hedge while the
+    // client still receives exactly one terminal outcome per interaction.
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::new(400, 30, 20);
+    let mut topo = Topology::paper(hw, soft);
+    topo.tiers[2].fault = FaultSpec::none().with_slow(
+        0,
+        SimTime::from_secs(12),
+        Some(SimTime::from_secs(25)),
+        20.0,
+    );
+    topo.tiers[0].hedge = Some(HedgeSpec::after(SimTime::from_millis(200)));
+    let mut cfg = SystemConfig::new(hw, soft, 700).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(700);
+    let (out, report) = run_system_to_drain(cfg);
+
+    assert!(out.outcomes.hedged > 0, "scenario produced no hedges");
+    assert_conserved("hedged", &report);
+    // The outcome law counts *front-tier* arrivals: a hedge re-issue lands
+    // at the app tier only, so hedges must not inflate terminal outcomes.
+    assert_outcome_law("hedged", &report);
+    // `hedged` is a non-terminal counter: the terminal outcomes alone
+    // account for every admitted request, with hedges tallied separately.
+    assert_eq!(
+        report.outcomes.total(),
+        report.outcomes.completed
+            + report.outcomes.timed_out
+            + report.outcomes.shed
+            + report.outcomes.failed,
+        "hedged/retries must stay outside total()"
+    );
+    assert!(out.completed > 0);
+}
+
+#[test]
 fn three_tier_chain_conserves_flow() {
     let soft = SoftAllocation::rule_of_thumb();
     let topo = Topology::three_tier(1, 2, 2, soft, GcConfig::jdk6_server());

@@ -1,0 +1,265 @@
+//! Integration tests for the resilience control layer and the chaos-campaign
+//! engine: the retry-storm metastable failure and its defenses, breaker
+//! fail-fast behavior under an outage, hedging determinism, campaign
+//! scheduler-independence, and the zero-cost guarantee (resilience machinery
+//! configured but never triggered leaves a run bit-identical).
+
+use rubbos_ntier::ntier_lab::Executor;
+use rubbos_ntier::prelude::*;
+use rubbos_ntier::simcore::SimTime;
+use rubbos_ntier::workload::WorkloadConfig;
+
+/// The chaos drill's operating conditions: the paper's 1/2/1/2 chain with a
+/// 2 s client-visible deadline on the front tier, and users deep enough into
+/// the bistable region that a retrying population can hold the chain in the
+/// congested state.
+fn drill_campaign() -> ChaosCampaign {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::rule_of_thumb();
+    let mut base = Topology::paper(hw, soft);
+    base.tiers[0].timeout = Some(SimTime::from_secs(2));
+    let campaign = ChaosCampaign::new("resilience-test", hw, soft)
+        .with_users(5000)
+        .with_scenarios(1)
+        .with_base_topology(base)
+        .with_bundles(vec![PolicyBundle::naive(4), PolicyBundle::defended(4)]);
+    // One deterministic scenario: the sole C-JDBC replica slows 6x from
+    // 14 s to 20 s. The slowdown (not a crash, which fails fast) builds the
+    // backlog that tips the naive arm into the storm.
+    ChaosCampaign {
+        distribution: FaultDistribution {
+            tiers: vec![2],
+            weights: [0.0, 1.0, 0.0],
+            start: (14.0, 14.0),
+            duration: (6.0, 6.0),
+            slow_mult: (6.0, 6.0),
+            ..FaultDistribution::default()
+        },
+        ..campaign
+    }
+}
+
+/// The heart of the PR: unbudgeted immediate retries turn a 6-second
+/// slowdown into a self-sustaining outage (the congested state persists
+/// long after the fault cleared), while the defense stack — retry budget,
+/// breakers, brownout, hedging — rides through the same fault and recovers
+/// within the oracle bound.
+#[test]
+fn retry_storm_is_metastable_and_the_defense_stack_recovers() {
+    let campaign = drill_campaign();
+    let results = campaign.run(&Executor::serial());
+
+    // Conservation holds on every arm, melted down or not: a violation
+    // would be a simulator bug, not a policy failure.
+    assert!(
+        results.conservation_violations().is_empty(),
+        "conservation violated under the storm"
+    );
+
+    // The naive arm enters the metastable regime: bad work dominates after
+    // the fault cleared and the recovery oracle never fires.
+    let naive = results.bundle_points("naive")[0];
+    assert!(
+        matches!(
+            naive.oracles.diagnosis,
+            Diagnosis::MetastableFailure { badput_fraction } if badput_fraction > 0.5
+        ),
+        "naive arm should melt down, got: {}",
+        naive.oracles.diagnosis
+    );
+    assert_eq!(naive.oracles.recovery_secs, None);
+    assert!(!naive.oracles.recovery_ok);
+    assert!(
+        !naive.oracles.availability_ok,
+        "storm availability {} should breach the floor",
+        naive.oracles.availability
+    );
+    assert!(
+        !results.metastable_points("naive").is_empty(),
+        "campaign query should surface the metastable point"
+    );
+
+    // The defended arm sees the same fault and the same client pressure but
+    // stays out of the congested attractor and recovers within the bound.
+    let defended = results.bundle_points("defended")[0];
+    assert!(
+        !matches!(
+            defended.oracles.diagnosis,
+            Diagnosis::MetastableFailure { .. }
+        ),
+        "defended arm melted down: {}",
+        defended.oracles.diagnosis
+    );
+    assert!(defended.oracles.availability_ok);
+    assert!(
+        defended.oracles.recovery_ok,
+        "defended arm should recover within the bound, got {:?}",
+        defended.oracles.recovery_secs
+    );
+    assert!(results.metastable_points("defended").is_empty());
+    assert!(
+        defended.oracles.availability > naive.oracles.availability + 0.3,
+        "defense should dominate: defended {} vs naive {}",
+        defended.oracles.availability,
+        naive.oracles.availability
+    );
+}
+
+/// A campaign is a pure function of its seed: the same campaign executed
+/// serially and on a work-stealing pool produces bit-identical results,
+/// point for point.
+#[test]
+fn campaign_results_are_scheduler_independent() {
+    let campaign = ChaosCampaign::new(
+        "determinism",
+        HardwareConfig::one_two_one_two(),
+        SoftAllocation::rule_of_thumb(),
+    )
+    .with_users(300)
+    .with_scenarios(2)
+    .with_bundles(vec![PolicyBundle::baseline(), PolicyBundle::defended(3)]);
+
+    let serial = campaign.run(&Executor::serial());
+    let parallel = campaign.run(&Executor::with_threads(3));
+    assert_eq!(serial.digest(), parallel.digest());
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (s, p) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(s.point.label, p.point.label);
+        assert_eq!(s.oracles.availability, p.oracles.availability);
+        assert_eq!(s.oracles.recovery_secs, p.oracles.recovery_secs);
+    }
+    // And re-running serially is reproducible outright.
+    assert_eq!(serial.digest(), campaign.run(&Executor::serial()).digest());
+}
+
+/// Sampled fault scenarios are deterministic in the seed and land inside
+/// the declared envelope.
+#[test]
+fn fault_scenarios_sample_inside_the_declared_envelope() {
+    let campaign = drill_campaign().with_scenarios(8);
+    let a = campaign.sample_scenarios();
+    let b = campaign.sample_scenarios();
+    assert_eq!(a.len(), 8);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.label(), y.label(), "sampling must be reproducible");
+        assert_eq!(x.tier, 2, "distribution pins the C-JDBC tier");
+        assert!(x.from >= SimTime::from_secs(14) - SimTime::from_millis(1));
+        let until = x.until.expect("bounded windows");
+        assert!(until <= SimTime::from_secs(21));
+    }
+}
+
+/// An error breaker guarding a crashed backend converts queue-and-die into
+/// fail-fast: the guarded run must conserve flow, produce fast failures,
+/// and retain goodput after the replica recovers.
+#[test]
+fn breaker_fails_fast_through_a_backend_outage() {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::rule_of_thumb();
+    let mut topo = Topology::paper(hw, soft);
+    // Crash the sole C-JDBC replica mid-measurement; guard it with an
+    // error breaker so the app tier stops throwing work at the corpse.
+    topo.tiers[2].fault =
+        FaultSpec::none().with_crash(0, SimTime::from_secs(14), Some(SimTime::from_secs(20)));
+    topo.tiers[2].breaker = Some(BreakerSpec::on_errors(0.5, SimTime::from_secs(1)));
+    let mut cfg = SystemConfig::new(hw, soft, 600).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(600);
+    let (out, report) = run_system_to_drain(cfg);
+
+    assert!(out.outcomes.failed > 0, "outage produced no failures");
+    assert!(
+        out.outcomes.completed > 0,
+        "system should serve again after recovery"
+    );
+    assert_eq!(report.in_flight_requests, 0);
+    assert_eq!(report.in_flight_queries, 0);
+    for node in &report.nodes {
+        assert_eq!(node.arrivals, node.departures, "{}", node.name);
+    }
+    // The breaker is strictly better than letting every query ride into
+    // the crash: same fault without the breaker completes no more work.
+    let mut unguarded = Topology::paper(hw, soft);
+    unguarded.tiers[2].fault =
+        FaultSpec::none().with_crash(0, SimTime::from_secs(14), Some(SimTime::from_secs(20)));
+    let mut cfg2 = SystemConfig::new(hw, soft, 600).with_topology(unguarded);
+    cfg2.workload = WorkloadConfig::quick(600);
+    let (out2, _) = run_system_to_drain(cfg2);
+    assert!(
+        out.availability >= out2.availability - 0.02,
+        "breaker arm {} vs unguarded {}",
+        out.availability,
+        out2.availability
+    );
+}
+
+/// Hedged runs stay bit-deterministic (hedging is driven by the same seeded
+/// clock as everything else) and actually fire under a slow replica.
+#[test]
+fn hedged_runs_are_deterministic_and_hedges_fire() {
+    let run = || {
+        let hw = HardwareConfig::one_two_one_two();
+        // A tight app allocation: hedges are tied requests that only fire
+        // while a request is still *queued* for an app thread, so the pool
+        // has to actually fill up for the hedge timer to matter.
+        let soft = SoftAllocation::new(400, 30, 20);
+        let mut topo = Topology::paper(hw, soft);
+        // A slow C-JDBC window backs queries up behind the small conn pool,
+        // which fills the thread pools and builds the app-entry queue.
+        topo.tiers[2].fault = FaultSpec::none().with_slow(
+            0,
+            SimTime::from_secs(12),
+            Some(SimTime::from_secs(25)),
+            20.0,
+        );
+        topo.tiers[0].hedge = Some(HedgeSpec::after(SimTime::from_millis(200)));
+        let mut cfg = SystemConfig::new(hw, soft, 700).with_topology(topo);
+        cfg.workload = WorkloadConfig::quick(700);
+        run_system_to_drain(cfg)
+    };
+    let (a, ra) = run();
+    let (b, rb) = run();
+    assert!(
+        a.outcomes.hedged > 0,
+        "no hedges fired under a slow replica"
+    );
+    assert_eq!(a.outcomes.hedged, b.outcomes.hedged);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.rt_dist_counts, b.rt_dist_counts);
+    for (na, nb) in ra.nodes.iter().zip(&rb.nodes) {
+        assert_eq!(na.arrivals, nb.arrivals, "{}", na.name);
+    }
+}
+
+/// The zero-cost guarantee: resilience machinery that is configured but
+/// never triggered (a breaker that never opens, a brownout that never
+/// activates, a retry policy that never sees a failure, a budget nothing
+/// draws from) leaves the run bit-identical to a bare one.
+#[test]
+fn inert_resilience_machinery_is_bit_identical_to_baseline() {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::rule_of_thumb();
+    let bare = {
+        let mut cfg = SystemConfig::new(hw, soft, 400);
+        cfg.workload = WorkloadConfig::quick(400);
+        run_system(cfg)
+    };
+    let armed = {
+        let mut topo = Topology::paper(hw, soft);
+        // Thresholds no healthy run can reach.
+        topo.tiers[2].breaker = Some(BreakerSpec::on_errors(1.0, SimTime::from_secs(1)));
+        topo.tiers[1].brownout = Some(BrownoutSpec::new(100_000, 0.5));
+        let mut cfg = SystemConfig::new(hw, soft, 400).with_topology(topo);
+        cfg.workload = WorkloadConfig::quick(400);
+        cfg.retry = RetryPolicy::backoff(3, SimTime::from_millis(200), 2.0, 0.5);
+        cfg.retry_budget = RetryBudget::new(0.1, 10.0);
+        run_system(cfg)
+    };
+    assert_eq!(armed.outcomes.retries, 0, "healthy run retried");
+    assert_eq!(armed.outcomes.hedged, 0);
+    assert_eq!(bare.completed, armed.completed);
+    assert_eq!(bare.events_processed, armed.events_processed);
+    assert_eq!(bare.rt_dist_counts, armed.rt_dist_counts);
+    assert!((bare.mean_rt - armed.mean_rt).abs() < 1e-15);
+    assert_eq!(bare.throughput, armed.throughput);
+}
