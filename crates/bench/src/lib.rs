@@ -9,8 +9,12 @@
 //! The printed series and saved JSON artifacts land under
 //! `target/paper-results/`.
 
-use ntier_core::{ExperimentSpec, HardwareConfig, SoftAllocation, Topology};
+use metrics::slo_burn;
+use ntier_core::{
+    ExperimentSpec, HardwareConfig, MetricsConfig, SoftAllocation, Topology, TraceConfig,
+};
 use ntier_trace::json::Json;
+use ntier_trace::Bucket;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -55,6 +59,20 @@ pub fn plan(name: &str, args: &BenchArgs) -> ExperimentPlan {
     }
     if let Some(kind) = args.queue {
         p = p.with_queue(kind);
+    }
+    let flight = args.flight();
+    if flight.enabled() {
+        // The recorder classifies the spans the tracer records, so arming
+        // it from the CLI implies tracing every request.
+        p = p.with_flight(flight).with_trace(TraceConfig::Full);
+    }
+    if let Some(slo) = args.slo {
+        // The burn-rate alert stream reads per-window violation counts, so
+        // an SLO implies the windowed metrics pipeline.
+        p = p.with_slo(slo);
+        if p.metrics == MetricsConfig::Off {
+            p = p.with_metrics(MetricsConfig::windowed_default());
+        }
     }
     p
 }
@@ -108,10 +126,78 @@ pub fn execute(args: &BenchArgs, plan: &ExperimentPlan) -> PlanResults {
         );
     }
     dump_metrics(args, &results);
+    if args.slo.is_some() {
+        dump_alerts(&results);
+    }
+    if args.tail_sample.is_some() {
+        dump_flight(&results);
+    }
     if args.profile {
         dump_profiles(&results);
     }
     results
+}
+
+/// When `--slo` was given, print each point's burn-rate alert stream after
+/// the tables (empty stream ⇒ one quiet line, so absence is visible too).
+fn dump_alerts(results: &PlanResults) {
+    for (point, m) in results.points.iter().zip(&results.metrics) {
+        let Some(m) = m else { continue };
+        let alerts = slo_burn::alerts(&m.client, m.window.as_secs_f64());
+        println!("\n[slo {}]", point.label);
+        if alerts.is_empty() {
+            println!("no burn-rate alerts (error budget intact)");
+        } else {
+            print!("{}", slo_burn::render_alerts(&alerts));
+        }
+    }
+}
+
+/// When `--tail-sample` was given, print each executed point's critical-path
+/// profile (top buckets of the merged attribution) and its slowest retained
+/// exemplars with their dominant latency bucket.
+fn dump_flight(results: &PlanResults) {
+    for (point, trace) in results.points.iter().zip(&results.traces) {
+        let Some(flight) = trace.as_ref().and_then(|t| t.flight.as_deref()) else {
+            continue;
+        };
+        println!("\n[critical-path {}]", point.label);
+        let profile = flight.profile();
+        let mut ranked: Vec<Bucket> = Bucket::ALL.into_iter().collect();
+        ranked.sort_by_key(|b| std::cmp::Reverse(profile.get(*b)));
+        let top: Vec<String> = ranked
+            .iter()
+            .take(3)
+            .filter(|b| profile.get(**b) > 0)
+            .map(|b| format!("{} {:.0}%", b.label(), profile.fraction(*b) * 100.0))
+            .collect();
+        println!(
+            "retained {} exemplars across {} windows ({} truncated): {}",
+            flight.retained(),
+            flight.windows.len(),
+            flight.truncated_windows(),
+            if top.is_empty() {
+                "no classified latency".to_string()
+            } else {
+                top.join(", ")
+            }
+        );
+        for e in flight.slowest(3) {
+            let (b, us) = e.attribution.dominant();
+            println!(
+                "  trace {} {:.3}s [{}] dominant {} ({:.0}%)",
+                e.trace,
+                e.latency.as_secs_f64(),
+                e.kind.label(),
+                b.label(),
+                if e.attribution.latency_micros == 0 {
+                    0.0
+                } else {
+                    us as f64 / e.attribution.latency_micros as f64 * 100.0
+                }
+            );
+        }
+    }
 }
 
 /// When `--profile` was given, print each point's engine phase-timing

@@ -49,11 +49,11 @@ pub use strategies::Strategy;
 pub use tiers::{
     run_system, run_system_full, run_system_metered, run_system_profiled, run_system_to_drain,
     run_system_to_drain_metered, run_system_traced, try_run_system, BreakerSpec, BrownoutSpec,
-    CrashWindow, Diagnosis, DiagnosisRules, DrainReport, EngineProfile, FaultSpec, HardwareConfig,
-    HedgeSpec, MetricsConfig, MetricsSink, NodeDrain, NodeReport, Outcome, OutcomeTotals,
-    RetryBudget, RetryPolicy, RunMetrics, RunOutput, RunTrace, SelectPolicy, ServiceParams,
-    ShedPolicy, SlowWindow, SoftAllocation, SystemConfig, Tier, TierId, TierSpec, Topology,
-    TopologyError, MAX_TIERS,
+    Bucket, CrashWindow, Diagnosis, DiagnosisRules, DrainReport, EngineProfile, Evidence,
+    FaultSpec, FlightConfig, FlightSummary, HardwareConfig, HedgeSpec, MetricsConfig, MetricsSink,
+    NodeDrain, NodeReport, Outcome, OutcomeTotals, RetryBudget, RetryPolicy, RunMetrics, RunOutput,
+    RunTrace, SelectPolicy, ServiceParams, ShedPolicy, SloBurnSeries, SloPolicy, SlowWindow,
+    SoftAllocation, SystemConfig, Tier, TierId, TierSpec, Topology, TopologyError, MAX_TIERS,
 };
 // And the tracing surface (config + exporters) for traced runs.
 pub use ntier_trace::TraceConfig;

@@ -38,6 +38,11 @@
 //! * `--queue heap|calendar` — future-event-list backend for every run.
 //!   Both backends pop in the identical order (proven by differential and
 //!   golden tests), so this is a performance knob only.
+//! * `--tail-sample K` — arm the tail-sampling flight recorder: retain the
+//!   K slowest (plus all failed) traces per 100 ms window with their
+//!   critical-path attribution. Passive; requires tracing on the run.
+//! * `--slo P:MS` — latency objective (e.g. `99:500` = 99% within 500 ms)
+//!   feeding per-window violation counts and the burn-rate alert stream.
 //!
 //! Unknown arguments are collected into [`BenchArgs::rest`] (libtest passes
 //! some through to bench binaries; examples parse their extra flags from
@@ -45,7 +50,8 @@
 
 use ntier_core::experiment::Schedule;
 use ntier_core::{
-    HardwareConfig, MetricsSink, RetryPolicy, SoftAllocation, Tier, Topology, TopologyError,
+    FlightConfig, HardwareConfig, MetricsSink, RetryPolicy, SloPolicy, SoftAllocation, Tier,
+    Topology, TopologyError,
 };
 use simcore::{QueueKind, SimTime};
 use std::path::PathBuf;
@@ -84,6 +90,14 @@ pub struct BenchArgs {
     /// engine default). Semantics-neutral: outputs are bit-identical across
     /// backends, only wall-clock performance changes.
     pub queue: Option<QueueKind>,
+    /// `--tail-sample K`: arm the flight recorder, retaining the K slowest
+    /// (plus all failed) traces per window. Passive — run outputs are
+    /// bit-identical with or without it. Requires tracing to be enabled on
+    /// the run (the recorder consumes the tracer's span stream).
+    pub tail_sample: Option<u32>,
+    /// `--slo P:MS`: latency objective driving the burn-rate alert stream
+    /// (e.g. `99:500` = 99% of requests within 500 ms).
+    pub slo: Option<SloPolicy>,
     /// Arguments this parser did not recognize, in order.
     pub rest: Vec<String>,
 }
@@ -288,6 +302,21 @@ impl BenchArgs {
                     Some(Err(e)) => return Err(e),
                     None => return Err("--queue needs 'heap' or 'calendar'".into()),
                 },
+                "--tail-sample" => {
+                    let Some(v) = args.next() else {
+                        return Err("--tail-sample needs a per-window count K".into());
+                    };
+                    match v.trim().parse::<u32>() {
+                        Ok(k) if k >= 1 => out.tail_sample = Some(k),
+                        _ => return Err(format!("--tail-sample '{v}' must be a count ≥ 1")),
+                    }
+                }
+                "--slo" => {
+                    let Some(v) = args.next() else {
+                        return Err("--slo needs P:MS, e.g. 99:500".into());
+                    };
+                    out.slo = Some(SloPolicy::parse(&v)?);
+                }
                 "--quick" => out.quick = true,
                 "--profile" => out.profile = true,
                 _ => out.rest.push(arg),
@@ -366,6 +395,15 @@ impl BenchArgs {
             None => Executor::parallel(),
         }
     }
+
+    /// The flight-recorder configuration implied by `--tail-sample`
+    /// ([`FlightConfig::Off`] when the flag is absent).
+    pub fn flight(&self) -> FlightConfig {
+        match self.tail_sample {
+            Some(k) => FlightConfig::tail(k),
+            None => FlightConfig::Off,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -419,6 +457,24 @@ mod tests {
         assert_eq!(ok.metrics.unwrap().window, SimTime::from_millis(100));
         assert!(parse(&["--metrics"]).is_err());
         assert!(parse(&["--metrics", "x.csv:0"]).is_err());
+    }
+
+    #[test]
+    fn tail_sample_and_slo_flags() {
+        let ok = parse(&["--tail-sample", "8", "--slo", "99:500"]).expect("parses");
+        assert_eq!(ok.tail_sample, Some(8));
+        assert!(matches!(ok.flight(), FlightConfig::On { k_slowest: 8, .. }));
+        let slo = ok.slo.expect("policy set");
+        assert!((slo.target - 0.99).abs() < 1e-12);
+        assert!((slo.threshold_secs - 0.5).abs() < 1e-12);
+        assert!(parse(&["--tail-sample", "0"]).is_err());
+        assert!(parse(&["--tail-sample"]).is_err());
+        assert!(parse(&["--slo", "500"]).is_err());
+        assert!(parse(&["--slo"]).is_err());
+        let off = parse(&["--quick"]).expect("parses");
+        assert_eq!(off.tail_sample, None);
+        assert!(matches!(off.flight(), FlightConfig::Off));
+        assert_eq!(off.slo, None);
     }
 
     #[test]

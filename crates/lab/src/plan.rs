@@ -18,8 +18,8 @@ use ntier_trace::TraceConfig;
 use simcore::QueueKind;
 use tiers::topology::SelectPolicy;
 use tiers::{
-    FaultSpec, HardwareConfig, MetricsConfig, RetryBudget, RetryPolicy, ShedPolicy, SoftAllocation,
-    Topology,
+    FaultSpec, FlightConfig, HardwareConfig, MetricsConfig, RetryBudget, RetryPolicy, ShedPolicy,
+    SloPolicy, SoftAllocation, Topology,
 };
 
 use crate::digest::digest_str;
@@ -128,6 +128,16 @@ pub struct ExperimentPlan {
     /// so a store populated under one backend resumes cleanly under the
     /// other — it is a performance knob, not a semantic one.
     pub queue: QueueKind,
+    /// Tail-sampling flight recorder (passive; requires `trace` to be
+    /// enabled to arm). Summaries ride on the per-point [`tiers::RunTrace`],
+    /// so — like traces — they are only present for executed points, never
+    /// store replays. Excluded from the content digest.
+    pub flight: FlightConfig,
+    /// Latency SLO attached to the windowed metrics pipeline (per-window
+    /// violation counts feeding the burn-rate alert stream). Passive and
+    /// excluded from the content digest; has no effect unless `metrics` is
+    /// enabled.
+    pub slo: Option<SloPolicy>,
 }
 
 impl ExperimentPlan {
@@ -143,6 +153,8 @@ impl ExperimentPlan {
             metrics: MetricsConfig::Off,
             profile: false,
             queue: QueueKind::default(),
+            flight: FlightConfig::Off,
+            slo: None,
         }
     }
 
@@ -206,6 +218,20 @@ impl ExperimentPlan {
     /// Performance only — outputs and content digests are unchanged.
     pub fn with_queue(mut self, queue: QueueKind) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Arm the tail-sampling flight recorder on every point (passive; only
+    /// takes effect when the plan also enables tracing).
+    pub fn with_flight(mut self, flight: FlightConfig) -> Self {
+        self.flight = flight;
+        self
+    }
+
+    /// Attach a latency SLO to the windowed metrics of every point
+    /// (passive; only takes effect when the plan also enables metrics).
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = Some(slo);
         self
     }
 

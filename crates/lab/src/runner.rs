@@ -112,6 +112,8 @@ fn execute_point(point: &RunPoint, plan: &ExperimentPlan) -> PointYield {
     cfg.metrics = plan.metrics;
     cfg.profile = plan.profile;
     cfg.queue = plan.queue;
+    cfg.flight = plan.flight;
+    cfg.slo = plan.slo;
     let traced = cfg.trace.enabled();
     let (out, trace, m) = run_system_full(cfg);
     // The engine times run_until unconditionally, so perf provenance is

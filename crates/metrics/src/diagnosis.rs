@@ -22,7 +22,9 @@
 
 use crate::bottleneck::{BottleneckDetector, SaturationClass};
 use crate::timeseries::{ReplicaSeries, RunMetrics};
+use ntier_trace::{Bucket, Exemplar, FlightSummary};
 use std::fmt;
+use std::fmt::Write as _;
 
 /// The diagnosed condition of a run (or sweep).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -198,6 +200,105 @@ impl Diagnosis {
         }
         Self::of_run_with(m, rules)
     }
+
+    /// Critical-path buckets that corroborate this verdict: a request whose
+    /// dominant latency bucket is one of these is direct causal evidence for
+    /// the diagnosis (§III's pathologies each have a distinct signature —
+    /// pool wait for under-allocation, the surplus-thread overheads for the
+    /// over-allocation collapse, retry backoff for metastable storms).
+    pub fn supporting_buckets(&self) -> &'static [Bucket] {
+        match self {
+            Diagnosis::UnderAllocated { .. } | Diagnosis::BufferingEffect => &[
+                Bucket::ConnPoolWait,
+                Bucket::ThreadPoolWait,
+                Bucket::AcceptWait,
+            ],
+            // Over-allocation hurts through *both* §III-B mechanisms: the
+            // stop-the-world pauses of inflated heaps, and the run-queue
+            // inflation of hundreds of surplus threads contending for CPU.
+            Diagnosis::OverAllocated { .. } => &[Bucket::GcPause, Bucket::RunQueue],
+            Diagnosis::MetastableFailure { .. } => &[Bucket::RetryBackoff],
+            Diagnosis::Healthy => &[],
+        }
+    }
+
+    /// Exemplars from the flight recorder whose dominant critical-path
+    /// bucket matches this verdict, strongest first (by dominant fraction,
+    /// then latency). Truncated windows already dropped partially-evicted
+    /// traces, so every citation is backed by a complete span tree.
+    pub fn evidence<'a>(&self, flight: &'a FlightSummary) -> Vec<Evidence<'a>> {
+        let buckets = self.supporting_buckets();
+        let mut out: Vec<Evidence<'a>> = flight
+            .windows
+            .iter()
+            .flat_map(|w| w.exemplars.iter().map(move |e| (w.index, e)))
+            .filter_map(|(window, exemplar)| {
+                let (bucket, _) = exemplar.attribution.dominant();
+                buckets.contains(&bucket).then(|| Evidence {
+                    exemplar,
+                    window,
+                    bucket,
+                    fraction: exemplar.attribution.fraction(bucket),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.fraction
+                .total_cmp(&a.fraction)
+                .then(b.exemplar.latency.cmp(&a.exemplar.latency))
+                .then(a.exemplar.trace.cmp(&b.exemplar.trace))
+        });
+        out
+    }
+
+    /// Human-readable verdict with up to `n` cited exemplars, e.g.
+    ///
+    /// ```text
+    /// under-allocated (soft bottleneck at tier 1)
+    ///   evidence: trace 812 (2.143 s, slow) 81% conn-pool-wait [window 7]
+    /// ```
+    ///
+    /// Falls back to an explicit "no matching exemplar" line so a verdict
+    /// without causal backing is visible as such.
+    pub fn cite(&self, flight: &FlightSummary, n: usize) -> String {
+        let mut out = format!("{self}");
+        if self.supporting_buckets().is_empty() {
+            return out;
+        }
+        let evidence = self.evidence(flight);
+        if evidence.is_empty() {
+            out.push_str("\n  evidence: none (no retained exemplar matches the verdict)");
+            return out;
+        }
+        for e in evidence.iter().take(n.max(1)) {
+            let _ = write!(
+                out,
+                "\n  evidence: trace {} ({:.3} s, {}) {:.0}% {} [window {}]",
+                e.exemplar.trace,
+                e.exemplar.latency.as_secs_f64(),
+                e.exemplar.kind.label(),
+                e.fraction * 100.0,
+                e.bucket.label(),
+                e.window,
+            );
+        }
+        out
+    }
+}
+
+/// One flight-recorder exemplar cited as causal evidence for a
+/// [`Diagnosis`] verdict: the request's dominant critical-path bucket is in
+/// the verdict's [`Diagnosis::supporting_buckets`] set.
+#[derive(Debug, Clone)]
+pub struct Evidence<'a> {
+    /// The retained trace being cited.
+    pub exemplar: &'a Exemplar,
+    /// Index of the 100 ms window that retained it.
+    pub window: usize,
+    /// The request's dominant critical-path bucket.
+    pub bucket: Bucket,
+    /// Share of the request's latency spent in that bucket.
+    pub fraction: f64,
 }
 
 /// Time from `fault_clear` until the client's bad-work fraction stays calm
@@ -364,7 +465,11 @@ mod tests {
             shed: vec![0.0; n],
             failed: vec![0.0; n],
             retries: vec![0.0; n],
+            hedged: vec![0.0; n],
+            degraded: vec![0.0; n],
+            breaker_transitions: vec![0.0; n],
             quantiles: vec![[0.1, 0.2, 0.3]; n],
+            slo: None,
             overall: QuantileSketch::response_times(),
         }
     }
@@ -526,5 +631,82 @@ mod tests {
         let m = faulted_run(40, 5, 0.9);
         let clear = SimTime::from_secs_f64(3.7);
         assert_eq!(Diagnosis::of_recovery(&m, clear), Diagnosis::Healthy);
+    }
+
+    use ntier_trace::{Attribution, Bucket, Exemplar, ExemplarKind, FlightSummary, FlightWindow};
+
+    /// Exemplar whose latency is `dominant_us` in `bucket` + `rest_us` of
+    /// DB service.
+    fn exemplar(trace: u64, bucket: Bucket, dominant_us: u64, rest_us: u64) -> Exemplar {
+        let mut a = Attribution::default();
+        a.micros[bucket.index()] = dominant_us;
+        a.micros[Bucket::DbService.index()] += rest_us;
+        a.latency_micros = dominant_us + rest_us;
+        Exemplar {
+            trace,
+            latency: SimTime(a.latency_micros),
+            outcome: "completed",
+            ok: true,
+            kind: ExemplarKind::Slow,
+            spans: 5,
+            attribution: a,
+        }
+    }
+
+    fn summary(exemplars: Vec<Exemplar>) -> FlightSummary {
+        FlightSummary {
+            window: SimTime::from_millis(100),
+            origin: SimTime::ZERO,
+            classified: exemplars.len() as u64,
+            windows: vec![FlightWindow {
+                index: 0,
+                completed: exemplars.len() as u32,
+                failures: 0,
+                profile: Attribution::default(),
+                exemplars,
+                truncated: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn evidence_cites_matching_dominant_buckets_strongest_first() {
+        let d = Diagnosis::UnderAllocated { tier: 1 };
+        let s = summary(vec![
+            exemplar(1, Bucket::ConnPoolWait, 600_000, 400_000), // 60%
+            exemplar(2, Bucket::GcPause, 900_000, 100_000),      // wrong bucket
+            exemplar(3, Bucket::ThreadPoolWait, 900_000, 100_000), // 90%
+        ]);
+        let ev = d.evidence(&s);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].exemplar.trace, 3);
+        assert_eq!(ev[0].bucket, Bucket::ThreadPoolWait);
+        assert!((ev[0].fraction - 0.9).abs() < 1e-9);
+        assert_eq!(ev[1].exemplar.trace, 1);
+        // The GC exemplar instead backs an over-allocation verdict.
+        let gc = Diagnosis::OverAllocated { gc_fraction: 0.1 };
+        let ev = gc.evidence(&s);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].exemplar.trace, 2);
+    }
+
+    #[test]
+    fn cite_renders_evidence_or_says_none() {
+        let d = Diagnosis::UnderAllocated { tier: 1 };
+        let s = summary(vec![exemplar(7, Bucket::ConnPoolWait, 750_000, 250_000)]);
+        let text = d.cite(&s, 3);
+        assert!(text.starts_with("under-allocated"), "{text}");
+        assert!(
+            text.contains("evidence: trace 7") && text.contains("75% conn-pool-wait"),
+            "{text}"
+        );
+        // No matching exemplar: the gap is stated, not papered over.
+        let text = Diagnosis::MetastableFailure {
+            badput_fraction: 0.9,
+        }
+        .cite(&s, 3);
+        assert!(text.contains("evidence: none"), "{text}");
+        // Healthy verdicts need no evidence.
+        assert_eq!(Diagnosis::Healthy.cite(&s, 3), "healthy");
     }
 }

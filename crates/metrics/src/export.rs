@@ -15,7 +15,8 @@ use std::path::{Path, PathBuf};
 /// CSV header shared by every per-window dump.
 pub const CSV_HEADER: &str = "window,start_secs,scope,cpu_util,gc_fraction,run_queue,\
 threads_in_use,threads_waiting,threads_saturated,conns_in_use,conns_waiting,conns_saturated,\
-lingering,completed,good,bad,timed_out,shed,failed,retries,p50,p95,p99";
+lingering,completed,good,bad,timed_out,shed,failed,retries,hedged,degraded,\
+breaker_transitions,p50,p95,p99";
 
 fn num(v: f64) -> String {
     if v == 0.0 {
@@ -44,7 +45,7 @@ pub fn to_csv(m: &RunMetrics) -> String {
         for r in &m.replicas {
             let _ = writeln!(
                 out,
-                "{i},{t},{name},{cpu},{gc},{rq},{tiu},{tw},{ts},{ciu},{cw},{cs},{lin},,,,,,,,,,",
+                "{i},{t},{name},{cpu},{gc},{rq},{tiu},{tw},{ts},{ciu},{cw},{cs},{lin},,,,,,,,,,,,,",
                 name = r.name,
                 cpu = opt(Some(&r.cpu_util), i),
                 gc = opt(Some(&r.gc_fraction), i),
@@ -61,7 +62,7 @@ pub fn to_csv(m: &RunMetrics) -> String {
         let q = m.client.quantiles.get(i).copied().unwrap_or([0.0; 3]);
         let _ = writeln!(
             out,
-            "{i},{t},client,,,,,,,,,,,{c},{g},{b},{to},{sh},{fa},{re},{p50},{p95},{p99}",
+            "{i},{t},client,,,,,,,,,,,{c},{g},{b},{to},{sh},{fa},{re},{he},{de},{bt},{p50},{p95},{p99}",
             c = num(m.client.completed[i]),
             g = num(m.client.good[i]),
             b = num(bad_i),
@@ -69,6 +70,9 @@ pub fn to_csv(m: &RunMetrics) -> String {
             sh = num(m.client.shed[i]),
             fa = num(m.client.failed[i]),
             re = num(m.client.retries[i]),
+            he = num(m.client.hedged[i]),
+            de = num(m.client.degraded[i]),
+            bt = num(m.client.breaker_transitions[i]),
             p50 = num(q[0]),
             p95 = num(q[1]),
             p99 = num(q[2]),
@@ -104,6 +108,7 @@ pub fn to_jsonl(m: &RunMetrics) -> String {
             out,
             "{{\"window\":{i},\"start_secs\":{t},\"completed\":{c},\"good\":{g},\"bad\":{b},\
              \"timed_out\":{to},\"shed\":{sh},\"failed\":{fa},\"retries\":{re},\
+             \"hedged\":{he},\"degraded\":{de},\"breaker_transitions\":{bt},\
              \"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"replicas\":[",
             t = num(m.window_start_secs(i)),
             c = num(m.client.completed[i]),
@@ -113,6 +118,9 @@ pub fn to_jsonl(m: &RunMetrics) -> String {
             sh = num(m.client.shed[i]),
             fa = num(m.client.failed[i]),
             re = num(m.client.retries[i]),
+            he = num(m.client.hedged[i]),
+            de = num(m.client.degraded[i]),
+            bt = num(m.client.breaker_transitions[i]),
             p50 = num(q[0]),
             p95 = num(q[1]),
             p99 = num(q[2]),
@@ -435,7 +443,11 @@ mod tests {
                 shed: vec![0.0, 0.0],
                 failed: vec![0.0, 0.0],
                 retries: vec![0.0, 1.0],
+                hedged: vec![0.0, 1.0],
+                degraded: vec![0.0, 0.0],
+                breaker_transitions: vec![0.0, 2.0],
                 quantiles: vec![[0.1, 0.2, 0.3], [0.4, 0.5, 0.6]],
+                slo: None,
                 overall,
             },
         }
@@ -451,6 +463,12 @@ mod tests {
         assert_eq!(lines[0], CSV_HEADER);
         assert!(lines[1].starts_with("0,0,apache-0,0.500000,"));
         assert!(lines[3].starts_with("0,0,client,"));
+        // Resilience counters land in the second window's client row.
+        assert!(
+            lines[6].contains(",1.000000,0,2.000000,"),
+            "hedged/degraded/breaker columns: {}",
+            lines[6]
+        );
         let field_count = CSV_HEADER.split(',').count();
         for l in &lines[1..] {
             assert_eq!(l.split(',').count(), field_count, "{l}");
@@ -469,6 +487,8 @@ mod tests {
         }
         assert!(lines[0].contains("\"name\":\"apache-0\""));
         assert!(lines[1].contains("\"lingering\":3.000000"));
+        assert!(lines[1].contains("\"hedged\":1.000000"));
+        assert!(lines[1].contains("\"breaker_transitions\":2.000000"));
     }
 
     #[test]

@@ -38,18 +38,20 @@ pub mod revenue;
 pub mod rt_dist;
 pub mod server_log;
 pub mod sla;
+pub mod slo_burn;
 pub mod slo_series;
 pub mod timeseries;
 
 pub use bottleneck::{BottleneckDetector, SaturationClass, SystemVerdict};
 pub use density::UtilDensity;
-pub use diagnosis::{recovery_time_secs, Diagnosis, DiagnosisRules};
+pub use diagnosis::{recovery_time_secs, Diagnosis, DiagnosisRules, Evidence};
 pub use export::MetricsSink;
 pub use quantile::QuantileSketch;
 pub use revenue::{RevenueModel, RevenueStep};
 pub use rt_dist::RtDistribution;
 pub use server_log::ServerLog;
 pub use sla::{SlaCounts, SlaModel};
+pub use slo_burn::{BurnAlert, Severity, SloBurnSeries, SloPolicy};
 pub use slo_series::SloSeries;
 pub use timeseries::{
     ClientSeries, FailureKind, MetricsConfig, MetricsRegistry, PoolSeries, ReplicaSeries,

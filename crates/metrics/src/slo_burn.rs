@@ -1,0 +1,298 @@
+//! Burn-rate SLO alerting over the windowed client series.
+//!
+//! An [`SloPolicy`] states an objective — "`target` of requests finish
+//! within `threshold_secs`" (e.g. 99% within 500 ms). The error *budget* is
+//! `1 − target`; the **burn rate** of a window is the fraction of its
+//! requests that violated the objective divided by the budget, so burn 1.0
+//! exactly spends the budget, burn 14.4 exhausts a 30-day budget in ~2
+//! days. Following the SRE multiwindow recipe, [`alerts`] scans the series
+//! with two moving averages — a short window that must be hot (to page
+//! fast) and a long window that must also be hot (to suppress blips) — and
+//! emits a [`BurnAlert`] stream: `Page` for the fast-burn pair, `Ticket`
+//! for the slow-burn pair.
+//!
+//! The per-window violation counts come from
+//! [`MetricsRegistry::with_slo`](crate::MetricsRegistry::with_slo): one
+//! compare-and-increment on the existing completion hook, so the policy is
+//! as passive as the rest of the metrics layer.
+
+use crate::timeseries::ClientSeries;
+
+/// A latency service-level objective: `target` fraction of requests within
+/// `threshold_secs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Target success fraction, e.g. `0.99`.
+    pub target: f64,
+    /// Latency threshold in seconds, e.g. `0.5`.
+    pub threshold_secs: f64,
+}
+
+impl SloPolicy {
+    /// Construct, validating `0 < target < 1` and a positive threshold.
+    pub fn new(target: f64, threshold_secs: f64) -> Self {
+        assert!(
+            target > 0.0 && target < 1.0,
+            "SLO target must be a fraction in (0, 1)"
+        );
+        assert!(threshold_secs > 0.0, "SLO threshold must be positive");
+        SloPolicy {
+            target,
+            threshold_secs,
+        }
+    }
+
+    /// Parse the `P:MS` CLI form: percentile target and millisecond
+    /// threshold, e.g. `99:500` = 99% within 500 ms.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (p, ms) = s
+            .split_once(':')
+            .ok_or_else(|| format!("SLO '{s}' must be P:MS, e.g. 99:500"))?;
+        let p: f64 = p
+            .trim()
+            .parse()
+            .map_err(|_| format!("SLO '{s}': '{p}' is not a percentile"))?;
+        let ms: f64 = ms
+            .trim()
+            .parse()
+            .map_err(|_| format!("SLO '{s}': '{ms}' is not a millisecond count"))?;
+        if !(0.0..100.0).contains(&p) || p <= 0.0 {
+            return Err(format!("SLO '{s}': percentile must be in (0, 100)"));
+        }
+        if ms <= 0.0 {
+            return Err(format!("SLO '{s}': threshold must be positive"));
+        }
+        Ok(SloPolicy::new(p / 100.0, ms / 1e3))
+    }
+
+    /// The error budget `1 − target`.
+    pub fn budget(&self) -> f64 {
+        1.0 - self.target
+    }
+}
+
+impl std::fmt::Display for SloPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}% < {:.0}ms",
+            self.target * 100.0,
+            self.threshold_secs * 1e3
+        )
+    }
+}
+
+/// Per-window SLO violation counts attached to a [`ClientSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloBurnSeries {
+    /// The objective the counts were taken against.
+    pub policy: SloPolicy,
+    /// Responses over the threshold (plus failures) per window.
+    pub over: Vec<f64>,
+}
+
+/// Alert severity, mirroring the SRE workbook's paging/ticketing split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fast burn: the budget is being consumed at page-worthy speed.
+    Page,
+    /// Slow burn: sustained over-budget consumption worth a ticket.
+    Ticket,
+}
+
+impl Severity {
+    /// Stable label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Page => "page",
+            Severity::Ticket => "ticket",
+        }
+    }
+}
+
+/// One alert: at `window` the `severity` condition held with the given
+/// short-window burn rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnAlert {
+    /// Window index where the condition fired.
+    pub window: usize,
+    /// Window start in seconds from the measurement origin.
+    pub start_secs: f64,
+    /// Short-window average burn rate at that point.
+    pub burn: f64,
+    /// Paging vs ticketing condition.
+    pub severity: Severity,
+}
+
+/// Fast-burn threshold (×budget) over the short window pair.
+pub const PAGE_BURN: f64 = 14.4;
+/// Slow-burn threshold (×budget) over the long window pair.
+pub const TICKET_BURN: f64 = 3.0;
+
+/// Per-window burn rates: `violations / total / budget`, 0 for empty
+/// windows. `total` counts completions plus terminal failures — the same
+/// population the violation counter saw.
+pub fn burn_rates(client: &ClientSeries) -> Vec<f64> {
+    let Some(slo) = client.slo.as_ref() else {
+        return Vec::new();
+    };
+    let budget = slo.policy.budget();
+    slo.over
+        .iter()
+        .enumerate()
+        .map(|(i, &over)| {
+            let total = client.completed.get(i).copied().unwrap_or(0.0)
+                + client.timed_out.get(i).copied().unwrap_or(0.0)
+                + client.shed.get(i).copied().unwrap_or(0.0)
+                + client.failed.get(i).copied().unwrap_or(0.0);
+            if total <= 0.0 {
+                0.0
+            } else {
+                (over / total) / budget
+            }
+        })
+        .collect()
+}
+
+/// Multiwindow burn-rate alert stream. `window_secs` is the metrics window
+/// width; the short/long averaging windows are 5 and 30 metrics windows —
+/// at the default 100 ms cadence that is 0.5 s and 3 s of simulated time,
+/// scale-compressed from the SRE workbook's 5 m/1 h pair. An alert fires at
+/// the first window where both averages cross the severity threshold and
+/// re-arms once the short average drops back under.
+pub fn alerts(client: &ClientSeries, window_secs: f64) -> Vec<BurnAlert> {
+    let burns = burn_rates(client);
+    const SHORT: usize = 5;
+    const LONG: usize = 30;
+    let avg = |i: usize, span: usize| {
+        let lo = (i + 1).saturating_sub(span);
+        let s: f64 = burns[lo..=i].iter().sum();
+        s / (i - lo + 1) as f64
+    };
+    let mut out = Vec::new();
+    let mut paging = false;
+    let mut ticketing = false;
+    for i in 0..burns.len() {
+        let short = avg(i, SHORT);
+        let long = avg(i, LONG);
+        let page = short >= PAGE_BURN && long >= PAGE_BURN;
+        let ticket = short >= TICKET_BURN && long >= TICKET_BURN;
+        if page && !paging {
+            out.push(BurnAlert {
+                window: i,
+                start_secs: i as f64 * window_secs,
+                burn: short,
+                severity: Severity::Page,
+            });
+        } else if ticket && !page && !ticketing && !paging {
+            out.push(BurnAlert {
+                window: i,
+                start_secs: i as f64 * window_secs,
+                burn: short,
+                severity: Severity::Ticket,
+            });
+        }
+        paging = page;
+        ticketing = ticket;
+    }
+    out
+}
+
+/// Render an alert stream as one line per alert (dashboard text output).
+pub fn render_alerts(alerts: &[BurnAlert]) -> String {
+    let mut out = String::new();
+    for a in alerts {
+        out.push_str(&format!(
+            "[{}] t={:.1}s window {} burn {:.1}x budget\n",
+            a.severity.label(),
+            a.start_secs,
+            a.window,
+            a.burn
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::QuantileSketch;
+
+    fn client(completed: Vec<f64>, over: Vec<f64>) -> ClientSeries {
+        let n = completed.len();
+        ClientSeries {
+            threshold_secs: 0.5,
+            good: completed.clone(),
+            completed,
+            timed_out: vec![0.0; n],
+            shed: vec![0.0; n],
+            failed: vec![0.0; n],
+            retries: vec![0.0; n],
+            hedged: vec![0.0; n],
+            degraded: vec![0.0; n],
+            breaker_transitions: vec![0.0; n],
+            quantiles: vec![[0.0; 3]; n],
+            slo: Some(SloBurnSeries {
+                policy: SloPolicy::new(0.99, 0.5),
+                over,
+            }),
+            overall: QuantileSketch::response_times(),
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_the_cli_form() {
+        let p = SloPolicy::parse("99:500").expect("valid");
+        assert!((p.target - 0.99).abs() < 1e-12);
+        assert!((p.threshold_secs - 0.5).abs() < 1e-12);
+        assert!((p.budget() - 0.01).abs() < 1e-12);
+        assert_eq!(p.to_string(), "99% < 500ms");
+        assert!(SloPolicy::parse("99").is_err());
+        assert!(SloPolicy::parse("0:500").is_err());
+        assert!(SloPolicy::parse("99:-1").is_err());
+        assert!(SloPolicy::parse("150:500").is_err());
+    }
+
+    #[test]
+    fn burn_is_violation_fraction_over_budget() {
+        // 100 requests, 2 violations, budget 1% → burn 2.0.
+        let c = client(vec![100.0], vec![2.0]);
+        let b = burn_rates(&c);
+        assert_eq!(b.len(), 1);
+        assert!((b[0] - 2.0).abs() < 1e-9);
+        // No SLO series → empty.
+        let mut plain = client(vec![100.0], vec![0.0]);
+        plain.slo = None;
+        assert!(burn_rates(&plain).is_empty());
+    }
+
+    #[test]
+    fn sustained_fast_burn_pages_once() {
+        // 50% violating with 1% budget → burn 50 ≫ 14.4 in every window.
+        let n = 40;
+        let c = client(vec![100.0; n], vec![50.0; n]);
+        let a = alerts(&c, 0.1);
+        let pages: Vec<_> = a.iter().filter(|x| x.severity == Severity::Page).collect();
+        assert_eq!(pages.len(), 1, "hysteresis: one page, not one per window");
+        assert_eq!(pages[0].window, 0);
+    }
+
+    #[test]
+    fn slow_burn_tickets_without_paging() {
+        // 5% violating → burn 5: over ticket (3) but under page (14.4).
+        let n = 40;
+        let c = client(vec![100.0; n], vec![5.0; n]);
+        let a = alerts(&c, 0.1);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|x| x.severity == Severity::Ticket));
+        assert_eq!(a.len(), 1);
+        assert!(!render_alerts(&a).is_empty());
+    }
+
+    #[test]
+    fn healthy_series_raises_nothing() {
+        let c = client(vec![100.0; 40], vec![0.0; 40]);
+        assert!(alerts(&c, 0.1).is_empty());
+        assert_eq!(render_alerts(&[]), "");
+    }
+}

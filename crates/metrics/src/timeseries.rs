@@ -21,6 +21,7 @@
 //! unmetered one (asserted against the golden fixtures).
 
 use crate::quantile::QuantileSketch;
+use crate::slo_burn::{SloBurnSeries, SloPolicy};
 use crate::slo_series::SloSeries;
 use simcore::stats::IntervalSeries;
 use simcore::SimTime;
@@ -164,8 +165,18 @@ pub struct ClientSeries {
     pub failed: Vec<f64>,
     /// Client retries issued per window.
     pub retries: Vec<f64>,
+    /// Hedge re-issues fired per window (tied requests).
+    pub hedged: Vec<f64>,
+    /// Brownout cheap-mode activations per window (degraded work units).
+    pub degraded: Vec<f64>,
+    /// Circuit-breaker phase transitions per window (closed→open,
+    /// open→half-open, half-open→closed/open).
+    pub breaker_transitions: Vec<f64>,
     /// `[p50, p95, p99]` response time per window (zeros when empty).
     pub quantiles: Vec<[f64; 3]>,
+    /// Burn-rate SLO series, present when the run configured an
+    /// [`SloPolicy`]: per-window count of responses over the threshold.
+    pub slo: Option<SloBurnSeries>,
     /// Merged sketch over the whole measurement period.
     pub overall: QuantileSketch,
 }
@@ -260,6 +271,10 @@ pub struct MetricsRegistry {
     shed: IntervalSeries,
     failed: IntervalSeries,
     retries: IntervalSeries,
+    hedged: IntervalSeries,
+    degraded: IntervalSeries,
+    breaker_transitions: IntervalSeries,
+    slo_policy: Option<(SloPolicy, IntervalSeries)>,
     window_sketches: Vec<QuantileSketch>,
     overall: QuantileSketch,
 }
@@ -286,9 +301,22 @@ impl MetricsRegistry {
             shed: IntervalSeries::new(origin, window),
             failed: IntervalSeries::new(origin, window),
             retries: IntervalSeries::new(origin, window),
+            hedged: IntervalSeries::new(origin, window),
+            degraded: IntervalSeries::new(origin, window),
+            breaker_transitions: IntervalSeries::new(origin, window),
+            slo_policy: None,
             window_sketches: Vec::new(),
             overall: QuantileSketch::response_times(),
         }
+    }
+
+    /// Attach a burn-rate SLO policy: responses slower than its threshold
+    /// are additionally counted per window (passive — one compare and one
+    /// increment on the existing completion hook).
+    pub fn with_slo(mut self, policy: SloPolicy) -> Self {
+        let over = IntervalSeries::new(self.origin, self.window);
+        self.slo_policy = Some((policy, over));
+        self
     }
 
     /// Window width.
@@ -320,20 +348,45 @@ impl MetricsRegistry {
         }
         self.window_sketches[idx].add(rt_secs);
         self.overall.add(rt_secs);
+        if let Some((policy, over)) = self.slo_policy.as_mut() {
+            if rt_secs > policy.threshold_secs {
+                over.incr(now);
+            }
+        }
     }
 
-    /// Record a client-visible failure.
+    /// Record a client-visible failure. An error page is an SLO violation
+    /// (infinite response time), so it also counts against an attached
+    /// burn-rate policy.
     pub fn record_failure(&mut self, now: SimTime, kind: FailureKind) {
         match kind {
             FailureKind::TimedOut => self.timed_out.incr(now),
             FailureKind::Shed => self.shed.incr(now),
             FailureKind::Failed => self.failed.incr(now),
         }
+        if let Some((_, over)) = self.slo_policy.as_mut() {
+            over.incr(now);
+        }
     }
 
     /// Record a client retry being issued.
     pub fn record_retry(&mut self, now: SimTime) {
         self.retries.incr(now);
+    }
+
+    /// Record a hedge re-issue firing at the front tier.
+    pub fn record_hedge(&mut self, now: SimTime) {
+        self.hedged.incr(now);
+    }
+
+    /// Record one work unit served in brownout cheap mode.
+    pub fn record_degraded(&mut self, now: SimTime) {
+        self.degraded.incr(now);
+    }
+
+    /// Record a circuit-breaker phase transition on any tier.
+    pub fn record_breaker_transition(&mut self, now: SimTime) {
+        self.breaker_transitions.incr(now);
     }
 
     /// Attach the finished series of one replica (called at end-of-measure).
@@ -360,7 +413,14 @@ impl MetricsRegistry {
             shed: fit(self.shed.buckets(), n),
             failed: fit(self.failed.buckets(), n),
             retries: fit(self.retries.buckets(), n),
+            hedged: fit(self.hedged.buckets(), n),
+            degraded: fit(self.degraded.buckets(), n),
+            breaker_transitions: fit(self.breaker_transitions.buckets(), n),
             quantiles,
+            slo: self.slo_policy.map(|(policy, over)| SloBurnSeries {
+                policy,
+                over: fit(over.buckets(), n),
+            }),
             overall: self.overall,
         };
         RunMetrics {
@@ -448,6 +508,33 @@ mod tests {
         assert!((cpu[0] - 0.3).abs() < 1e-12 && (cpu[1] - 0.3).abs() < 1e-12);
         assert_eq!(m.tiers(), vec![1]);
         assert_eq!(m.cpu_series().len(), 2);
+    }
+
+    #[test]
+    fn resilience_counters_land_in_their_windows() {
+        let mut reg = MetricsRegistry::new(ms(100), SimTime::ZERO, ms(300), 1.0);
+        reg.record_hedge(ms(50));
+        reg.record_degraded(ms(150));
+        reg.record_degraded(ms(160));
+        reg.record_breaker_transition(ms(250));
+        let m = reg.finish();
+        assert_eq!(m.client.hedged, vec![1.0, 0.0, 0.0]);
+        assert_eq!(m.client.degraded, vec![0.0, 2.0, 0.0]);
+        assert_eq!(m.client.breaker_transitions, vec![0.0, 0.0, 1.0]);
+        assert!(m.client.slo.is_none());
+    }
+
+    #[test]
+    fn slo_policy_counts_over_threshold_and_failures() {
+        let policy = SloPolicy::new(0.99, 0.5);
+        let mut reg = MetricsRegistry::new(ms(100), SimTime::ZERO, ms(200), 1.0).with_slo(policy);
+        reg.record_response(ms(10), 0.2); // within SLO
+        reg.record_response(ms(20), 0.9); // over threshold
+        reg.record_failure(ms(150), FailureKind::Failed); // always a violation
+        let m = reg.finish();
+        let slo = m.client.slo.expect("policy attached");
+        assert_eq!(slo.policy, policy);
+        assert_eq!(slo.over, vec![1.0, 1.0]);
     }
 
     #[test]

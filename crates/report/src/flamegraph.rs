@@ -1,0 +1,233 @@
+//! Critical-path flamegraph artifacts from a flight-recorder summary.
+//!
+//! The flight recorder partitions every classified request's latency into
+//! the fixed attribution taxonomy (`ntier_trace::Bucket`). This module
+//! renders the run-aggregate partition two ways:
+//!
+//! * [`folded_stacks`] — the classic folded-stack format
+//!   (`frame;frame;frame count`), one line per non-empty bucket with the
+//!   two-level stack `request;<group>;<bucket>` and the microsecond total
+//!   as the count. Directly consumable by standard flamegraph tooling.
+//! * [`write_flamegraph`] — writes `<name>.dat` (the folded stacks) and a
+//!   **self-contained** `<name>.gp` under
+//!   `<workspace>/target/paper-results/report/`: the gnuplot script draws
+//!   the two-level icicle with pre-computed rectangles (no data-file
+//!   parsing, no gnuplot arithmetic), so `gnuplot <name>.gp` reproduces
+//!   the figure from the script alone.
+//!
+//! Like the rest of this crate, everything here is read-side: the summary
+//! was captured passively during the run and is only formatted here.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use ntier_trace::{Attribution, Bucket, FlightSummary};
+
+use crate::workspace_root;
+
+/// Fill color of a bucket's rectangle, keyed by its taxonomy group so the
+/// icicle reads at a glance: green = useful service, orange = soft-resource
+/// pool waits, pink = contention (run-queue/GC), gray = wire + retry
+/// overhead.
+fn color(b: Bucket) -> &'static str {
+    match b.group() {
+        "service" => "#66c2a5",
+        "pool-wait" => "#fc8d62",
+        "contention" => "#e78ac3",
+        _ => "#b3b3b3",
+    }
+}
+
+/// Group frames in display order (canonical bucket order groups them
+/// contiguously, so this is the order groups first appear in
+/// [`Bucket::ALL`]).
+fn groups() -> Vec<&'static str> {
+    let mut out = Vec::new();
+    for b in Bucket::ALL {
+        if !out.contains(&b.group()) {
+            out.push(b.group());
+        }
+    }
+    out
+}
+
+/// Run-aggregate folded stacks: `request;<group>;<bucket> <micros>`, one
+/// line per non-empty bucket in canonical order. Zero-latency summaries
+/// yield an empty string.
+pub fn folded_stacks(summary: &FlightSummary) -> String {
+    let profile = summary.profile();
+    let mut out = String::new();
+    for b in Bucket::ALL {
+        let us = profile.get(b);
+        if us > 0 {
+            out.push_str(&format!("request;{};{} {}\n", b.group(), b.label(), us));
+        }
+    }
+    out
+}
+
+/// Append the rectangle + (width permitting) label of one icicle cell to
+/// the gnuplot script. `x` is the cell's horizontal extent in [0, 1], `y`
+/// its row band.
+fn cell(
+    script: &mut String,
+    id: &mut usize,
+    x: (f64, f64),
+    y: (f64, f64),
+    label: &str,
+    fill: &'static str,
+) {
+    let ((x0, x1), (y0, y1)) = (x, y);
+    *id += 1;
+    script.push_str(&format!(
+        "set object {id} rect from {x0:.6},{y0} to {x1:.6},{y1} fc rgb '{fill}' fs solid 0.9 border rgb '#333333'\n"
+    ));
+    // Label only cells wide enough to hold text at the default term size.
+    if x1 - x0 >= 0.06 {
+        *id += 1;
+        script.push_str(&format!(
+            "set label {id} '{label}' at {:.6},{:.2} center font ',9'\n",
+            (x0 + x1) / 2.0,
+            (y0 + y1) / 2.0,
+        ));
+    }
+}
+
+/// Build the self-contained gnuplot icicle script for an aggregate
+/// attribution profile. Top row: taxonomy groups; bottom row: buckets,
+/// both width-proportional to their share of total classified latency.
+fn icicle_script(name: &str, profile: &Attribution) -> String {
+    let total = profile.total_micros().max(1) as f64;
+    let mut script = format!(
+        "set title '{name}: critical-path attribution ({:.3} s classified latency)'\n\
+         unset key\nunset xtics\nunset ytics\nunset border\n\
+         set xrange [0:1]\nset yrange [0:2.2]\n\
+         set term pngcairo size 1000,320\nset output '{name}.png'\n",
+        profile.latency_micros as f64 / 1e6
+    );
+    let mut id = 0;
+    // Top row: groups.
+    let mut x = 0.0;
+    for g in groups() {
+        let us: u64 = Bucket::ALL
+            .iter()
+            .filter(|b| b.group() == g)
+            .map(|&b| profile.get(b))
+            .sum();
+        if us == 0 {
+            continue;
+        }
+        let w = us as f64 / total;
+        let fill = color(
+            Bucket::ALL
+                .into_iter()
+                .find(|b| b.group() == g)
+                .expect("group from Bucket::ALL"),
+        );
+        cell(&mut script, &mut id, (x, x + w), (1.1, 2.1), g, fill);
+        x += w;
+    }
+    // Bottom row: buckets, grouped contiguously under their group cells.
+    let mut x = 0.0;
+    for g in groups() {
+        for b in Bucket::ALL.into_iter().filter(|b| b.group() == g) {
+            let us = profile.get(b);
+            if us == 0 {
+                continue;
+            }
+            let w = us as f64 / total;
+            cell(
+                &mut script,
+                &mut id,
+                (x, x + w),
+                (0.0, 1.0),
+                b.label(),
+                color(b),
+            );
+            x += w;
+        }
+    }
+    script.push_str("plot -1 notitle\n");
+    script
+}
+
+/// Write `<name>.dat` (folded stacks) and the self-contained `<name>.gp`
+/// icicle under `<workspace>/target/paper-results/report/`. Returns the two
+/// paths written.
+pub fn write_flamegraph(summary: &FlightSummary, name: &str) -> io::Result<Vec<PathBuf>> {
+    let dir = workspace_root().join("target/paper-results/report");
+    fs::create_dir_all(&dir)?;
+    let dat = dir.join(format!("{name}.dat"));
+    let gp = dir.join(format!("{name}.gp"));
+    fs::write(&dat, folded_stacks(summary))?;
+    fs::write(&gp, icicle_script(name, &summary.profile()))?;
+    Ok(vec![dat, gp])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntier_trace::FlightWindow;
+    use simcore::SimTime;
+
+    fn summary() -> FlightSummary {
+        let mut profile = Attribution::default();
+        profile.micros[Bucket::ConnPoolWait.index()] = 750_000;
+        profile.micros[Bucket::DbService.index()] = 200_000;
+        profile.micros[Bucket::Wire.index()] = 50_000;
+        profile.latency_micros = 1_000_000;
+        FlightSummary {
+            window: SimTime::from_millis(100),
+            origin: SimTime::ZERO,
+            classified: 1,
+            windows: vec![FlightWindow {
+                index: 0,
+                completed: 1,
+                failures: 0,
+                profile,
+                exemplars: Vec::new(),
+                truncated: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn folded_stacks_list_nonzero_buckets_in_canonical_order() {
+        let folded = folded_stacks(&summary());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            [
+                "request;service;db-service 200000",
+                "request;pool-wait;conn-pool-wait 750000",
+                "request;overhead;wire 50000",
+            ]
+        );
+    }
+
+    #[test]
+    fn icicle_script_is_self_contained() {
+        let gp = icicle_script("fg-test", &summary().profile());
+        // Rectangles are pre-computed — the script reads no data file.
+        assert!(gp.contains("set object"));
+        assert!(!gp.contains(".dat"));
+        // The dominant cell (75% pool wait) is wide enough to be labeled.
+        assert!(gp.contains("conn-pool-wait"));
+        // Widths are fractions of total latency.
+        assert!(gp.contains("rect from 0.200000,0 to 0.950000,1"));
+    }
+
+    #[test]
+    fn flamegraph_artifacts_land_under_the_workspace_root() {
+        let paths = write_flamegraph(&summary(), "flamegraph-test").expect("writes");
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert!(p.starts_with(workspace_root().join("target")), "{p:?}");
+            assert!(p.exists());
+        }
+        for p in paths {
+            let _ = fs::remove_file(p);
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //!    critical-tier identity, and curve direction.
 //! 2. **Rendering** — [`Report`] renders a diff as plain text or markdown,
 //!    and [`render::write_gnuplot`] regenerates `.dat`/`.gp` artifacts
-//!    under the workspace root's `target/paper-results/report/`.
+//!    under the workspace root's `target/paper-results/report/`;
+//!    [`flamegraph::write_flamegraph`] renders a flight-recorder summary
+//!    there too, as folded stacks plus a self-contained critical-path
+//!    icicle script.
 //! 3. **Perf trajectory** — [`BenchReport`] is the schema-versioned format
 //!    of the committed `BENCH_7.json`: per-suite events/sec, wall-clock,
 //!    and peak RSS with a machine fingerprint and regression tolerances,
@@ -28,6 +31,7 @@
 pub mod bench_json;
 pub mod diff;
 pub mod experiments;
+pub mod flamegraph;
 pub mod render;
 pub mod usl;
 
@@ -38,6 +42,7 @@ pub use diff::{
     check_shape, classify_curve, load_sweep, CurveShape, RunDiff, ShapeCheck, SweepPoint,
     SweepSummary,
 };
+pub use flamegraph::{folded_stacks, write_flamegraph};
 pub use render::{write_gnuplot, Report};
 pub use usl::UslFit;
 

@@ -9,8 +9,8 @@
 use crate::linger::LingerConfig;
 use crate::topology::Topology;
 use jvm_gc::GcConfig;
-use metrics::MetricsConfig;
-use ntier_trace::TraceConfig;
+use metrics::{MetricsConfig, SloPolicy};
+use ntier_trace::{FlightConfig, TraceConfig};
 use simcore::{QueueKind, SimTime};
 use std::str::FromStr;
 use workload::{RetryBudget, RetryPolicy, WorkloadConfig};
@@ -272,6 +272,21 @@ pub struct SystemConfig {
     /// is purely passive — write-only accumulators fed from existing state
     /// transitions — so enabling it changes no simulation outcome.
     pub metrics: MetricsConfig,
+    /// Tail-sampling flight recorder (off by default; requires `trace` to be
+    /// enabled to see any spans). Purely passive like `metrics`: it consumes
+    /// spans the tracer already records, draws no RNG, schedules no events,
+    /// and emits nothing — golden digests are bit-identical with it armed.
+    /// Its window width is aligned to the metrics window when windowed
+    /// metrics are also on, so exemplar links join on window index.
+    pub flight: FlightConfig,
+    /// Span-ring capacity override (`None` = `ntier_trace`'s default 1 M
+    /// spans). Observational only — a smaller ring just overwrites earlier,
+    /// which the flight recorder reports as window truncation.
+    pub trace_capacity: Option<usize>,
+    /// Burn-rate SLO policy for the windowed metrics (`None` = no extra
+    /// counting). Passive: adds one per-window over-threshold counter to the
+    /// registry, from which the alert stream is derived after the run.
+    pub slo: Option<SloPolicy>,
     /// Engine phase profiling (off by default). Like `metrics`, profiling is
     /// purely observational — wall-clock timers and counters around the
     /// event loop, no events, no RNG draws — so the simulation output of a
@@ -310,6 +325,9 @@ impl SystemConfig {
             retry_budget: RetryBudget::disabled(),
             seed: 0x5eed_0001,
             trace: TraceConfig::Off,
+            flight: FlightConfig::Off,
+            trace_capacity: None,
+            slo: None,
             metrics: MetricsConfig::Off,
             profile: false,
             queue: QueueKind::default(),

@@ -55,7 +55,11 @@ pub use fault::{
 };
 pub use ids::Tier;
 pub use linger::LingerConfig;
-pub use metrics::{Diagnosis, DiagnosisRules, MetricsConfig, MetricsSink, RunMetrics};
+pub use metrics::{
+    Diagnosis, DiagnosisRules, Evidence, MetricsConfig, MetricsSink, RunMetrics, SloBurnSeries,
+    SloPolicy,
+};
+pub use ntier_trace::{Bucket, FlightConfig, FlightSummary};
 pub use output::{ApacheProbes, NodeReport, PoolReport, RunOutput};
 pub use persist::{output_from_json, output_to_json};
 pub use resilience::{BreakerPhase, BreakerSpec, BreakerState, BrownoutSpec, HedgeSpec};

@@ -69,6 +69,11 @@ pub struct Request {
     /// Trace id when this request was admitted for tracing (0 = untraced;
     /// ids are monotone per trial, never reused even though slab slots are).
     pub trace: u64,
+    /// CPU demand submitted on behalf of this request (its queries charge
+    /// it too), per tier, in seconds. Maintained only while the flight
+    /// recorder is armed and flushed to it in one batch at the client
+    /// response — per-submit recorder charges would dominate its cost.
+    pub demand_secs: [f64; MAX_TIERS],
     /// When the app-tier thread was granted (first app CPU slice).
     pub t_thread_granted: SimTime,
     /// When the request started waiting for a DB connection.
@@ -118,6 +123,7 @@ impl Request {
             arms_remaining: 2,
             app_demand_secs: 0.0,
             trace: 0,
+            demand_secs: [0.0; MAX_TIERS],
             t_thread_granted: SimTime::ZERO,
             t_conn_wait_start: SimTime::ZERO,
             t_query_issued: SimTime::ZERO,

@@ -19,9 +19,11 @@ use crate::request::{QueryPhase, ReqPhase, Request};
 use crate::resilience::{BreakerState, HedgeSpec};
 use crate::slab::Slab;
 use crate::tier_nodes::{make_tier, TierNode};
-use crate::topology::{SelectPolicy, TierId};
+use crate::topology::{SelectPolicy, TierId, MAX_TIERS};
 use metrics::{FailureKind, MetricsRegistry, RunMetrics, SlaModel};
-use ntier_trace::{Span, TraceId, Tracer, ENGINE_TRACE};
+use ntier_trace::{
+    CompletionOutcome, FlightRecorder, Span, TraceId, Tracer, TrackRole, TrackRoles, ENGINE_TRACE,
+};
 use resources::JobId;
 use simcore::{Engine, EngineStats, EventQueue, Model, RunRng, SimTime};
 use workload::{InteractionCatalog, InteractionId, Mix, RetryBucket, SessionModel, SessionStore};
@@ -209,6 +211,11 @@ pub(crate) struct Ctx {
     pub metrics_out: Option<Box<RunMetrics>>,
     pub probes: Vec<ApacheProbe>,
     pub tracer: Option<Tracer>,
+    /// Tail-sampling flight recorder, armed only when both tracing and
+    /// [`SystemConfig::flight`] are enabled. Write-only during the run
+    /// (same passivity discipline as `metrics`): it consumes the same spans
+    /// the tracer records, draws no randomness, and schedules no events.
+    pub flight: Option<Box<FlightRecorder>>,
     pub next_trace: TraceId,
     pub measuring: bool,
     /// When true the closed loop is inert: completed sessions do not think
@@ -290,21 +297,42 @@ impl Ctx {
         let slo_threshold = *cfg.sla_thresholds.first().expect("non-empty thresholds");
         let telemetry = Telemetry::new(origin, sla.counters(), slo_threshold);
         let metrics = cfg.metrics.window().map(|window| {
-            Box::new(MetricsRegistry::new(
-                window,
-                origin,
-                cfg.workload.runtime,
-                slo_threshold,
-            ))
+            let m = MetricsRegistry::new(window, origin, cfg.workload.runtime, slo_threshold);
+            Box::new(match cfg.slo {
+                Some(policy) => m.with_slo(policy),
+                None => m,
+            })
         });
         let probes = (0..links[0].replicas)
             .map(|_| ApacheProbe::new(origin))
             .collect();
         let measure_end = cfg.workload.measure_end();
-        let tracer = cfg
-            .trace
-            .enabled()
-            .then(|| Tracer::new(cfg.trace, cfg.seed));
+        let tracer = cfg.trace.enabled().then(|| match cfg.trace_capacity {
+            Some(cap) => Tracer::with_capacity(cfg.trace, cfg.seed, cap),
+            None => Tracer::new(cfg.trace, cfg.seed),
+        });
+        // The flight recorder needs spans, so it rides on the tracer; its
+        // windows align with the metrics cadence when both are configured so
+        // exemplars link 1:1 to metric windows.
+        let flight = (tracer.is_some() && cfg.flight.enabled())
+            .then(|| {
+                let mut roles = TrackRoles::new();
+                for l in &links {
+                    let role = match l.role {
+                        Tier::Web => TrackRole::Web,
+                        Tier::App => TrackRole::App,
+                        Tier::Cmw => TrackRole::Mw,
+                        Tier::Db => TrackRole::Db,
+                    };
+                    roles.insert(l.name, role);
+                }
+                let fcfg = match cfg.metrics.window() {
+                    Some(w) => cfg.flight.with_window(w),
+                    None => cfg.flight,
+                };
+                FlightRecorder::new(fcfg, cfg.seed, origin, roles).map(Box::new)
+            })
+            .flatten();
 
         let users = cfg.workload.users as usize;
         Ok(Ctx {
@@ -335,6 +363,7 @@ impl Ctx {
             metrics_out: None,
             probes,
             tracer,
+            flight,
             next_trace: ENGINE_TRACE,
             measuring: false,
             draining: false,
@@ -464,18 +493,55 @@ impl Ctx {
     /// Whether tier `t`'s circuit breaker admits a new call at `now`
     /// (always true without a breaker — one `Option` branch, no arithmetic).
     pub fn breaker_admit(&mut self, t: TierId, now: SimTime) -> bool {
-        match self.breakers[t].as_mut() {
-            Some(b) => b.admit(now),
-            None => true,
+        let (ok, transitioned) = match self.breakers[t].as_mut() {
+            Some(b) => {
+                let before = b.phase();
+                let ok = b.admit(now);
+                (ok, b.phase() != before)
+            }
+            None => (true, false),
+        };
+        if transitioned {
+            self.note_breaker_transition(now);
         }
+        ok
     }
 
     /// Record one finished call against tier `t`'s breaker window. Callers
     /// must not report fail-fast rejections here — a breaker fed its own
     /// rejections would latch open.
     pub fn breaker_record(&mut self, t: TierId, now: SimTime, error: bool, latency: SimTime) {
-        if let Some(b) = self.breakers[t].as_mut() {
-            b.record(now, error, latency);
+        let transitioned = match self.breakers[t].as_mut() {
+            Some(b) => {
+                let before = b.phase();
+                b.record(now, error, latency);
+                b.phase() != before
+            }
+            None => false,
+        };
+        if transitioned {
+            self.note_breaker_transition(now);
+        }
+    }
+
+    /// A breaker changed phase (closed↔open↔half-open): surface it in the
+    /// windowed client series so operators can line trips up with latency.
+    fn note_breaker_transition(&mut self, now: SimTime) {
+        if self.measuring && now <= self.measure_end {
+            if let Some(m) = self.metrics.as_mut() {
+                m.record_breaker_transition(now);
+            }
+        }
+    }
+
+    /// A replica served work in brownout cheap mode: count it in the trial
+    /// totals and the windowed client series.
+    pub fn record_degraded(&mut self, now: SimTime) {
+        self.outcomes.degraded += 1;
+        if self.measuring && now <= self.measure_end {
+            if let Some(m) = self.metrics.as_mut() {
+                m.record_degraded(now);
+            }
         }
     }
 
@@ -550,6 +616,11 @@ impl Ctx {
             req.timeout_seq = 0;
         }
         self.outcomes.hedged += 1;
+        if self.measuring && now <= self.measure_end {
+            if let Some(m) = self.metrics.as_mut() {
+                m.record_hedge(now);
+            }
+        }
         let track = self.links[0].name;
         self.req_span(trace, track, ntier_trace::HEDGE, now, now);
         q.schedule(
@@ -643,6 +714,19 @@ impl Ctx {
         now: SimTime,
         q: &mut EventQueue<Ev>,
     ) {
+        if self.flight.as_deref().is_some_and(FlightRecorder::armed) {
+            // Queries charge their owning request: the request is alive for
+            // as long as any of its queries are in flight. Demand is
+            // accumulated on the request and flushed to the recorder in one
+            // batch at the client response, keeping this per-submit hot
+            // path to a slab hit and an array add.
+            let r = match tok {
+                Token::Req(r) => r,
+                Token::Query(qid) => self.queries.get(qid).req,
+            };
+            let (t, _) = self.node_tier[ni];
+            self.requests.get_mut(r).demand_secs[t] += demand_secs;
+        }
         self.nodes[ni].cpu.submit(now, tok.encode(), demand_secs);
         self.sync_jvm_active(ni);
         self.reschedule_cpu(ni, now, q);
@@ -671,13 +755,17 @@ impl Ctx {
             return;
         }
         if let Some(tr) = self.tracer.as_mut() {
-            tr.push(Span {
+            let span = Span {
                 trace,
                 track,
                 name,
                 start,
                 end,
-            });
+            };
+            tr.push(span);
+            if let Some(f) = self.flight.as_mut() {
+                f.observe(span);
+            }
         }
     }
 
@@ -698,14 +786,18 @@ impl Ctx {
             gc.pause
         };
         q.schedule(now + pause, Ev::GcEnd { node: ni as u16 });
+        let track = self.nodes[ni].track;
         if let Some(tr) = self.tracer.as_mut() {
             tr.push(Span {
                 trace: ENGINE_TRACE,
-                track: self.nodes[ni].track,
+                track,
                 name: ntier_trace::GC_PAUSE,
                 start: now,
                 end: now + pause,
             });
+            if let Some(f) = self.flight.as_mut() {
+                f.observe_gc(track, now, now + pause);
+            }
         }
     }
 
@@ -797,19 +889,55 @@ impl Ctx {
     }
 
     fn on_response_to_client(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
-        let (session, rt, outcome, attempt, interaction, trace, fast_failed) = {
+        let (session, t_start, rt, outcome, attempt, interaction, trace, fast_failed, demand) = {
             let req = self.requests.get(r);
             (
                 req.session,
+                req.t_start,
                 now.saturating_sub(req.t_start).as_secs_f64(),
                 req.outcome,
                 req.attempt,
                 req.interaction,
                 req.trace,
                 req.fast_failed,
+                req.demand_secs,
             )
         };
         self.outcomes.count(outcome);
+        if trace != ENGINE_TRACE {
+            if let Some(f) = self.flight.as_mut() {
+                let label = match outcome {
+                    Outcome::Completed => "completed",
+                    Outcome::TimedOut => "timed-out",
+                    Outcome::Shed => "shed",
+                    Outcome::Failed => "failed",
+                };
+                // Hand over the demand this request accumulated across its
+                // CPU submits (run-queue carve input) with the completion.
+                let mut dm = [("", 0.0f64); MAX_TIERS];
+                let mut n = 0;
+                for (t, link) in self.links.iter().enumerate() {
+                    if demand[t] > 0.0 {
+                        dm[n] = (link.name, demand[t]);
+                        n += 1;
+                    }
+                }
+                // Only responses inside the measurement window compete for
+                // retention; out-of-window traces just free their buffer.
+                let retain = self.measuring && now <= self.measure_end;
+                f.complete(
+                    trace,
+                    t_start,
+                    now,
+                    CompletionOutcome {
+                        ok: outcome == Outcome::Completed,
+                        label,
+                    },
+                    retain,
+                    &dm[..n],
+                );
+            }
+        }
         // Front-tier breaker signal: every response that actually traversed
         // the system is one window sample. Shed and fast-failed responses
         // never touched the backend and are excluded (recording the

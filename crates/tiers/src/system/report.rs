@@ -46,6 +46,11 @@ impl Ctx {
 
     pub(super) fn on_end_measure(&mut self, now: SimTime) {
         self.measuring = false;
+        // Completions after this instant can never be retained; stop the
+        // flight recorder's span/demand collection for the drain phase.
+        if let Some(f) = self.flight.as_mut() {
+            f.disarm();
+        }
         self.sample_all(now);
         let mut reports = Vec::with_capacity(self.nodes.len());
         for node in &mut self.nodes {

@@ -6,6 +6,7 @@
 //! engine in `ntier-lab`) can get all three from a single run.
 
 use super::*;
+use ntier_trace::FlightSummary;
 
 /// Everything a traced run captures beyond the aggregate [`RunOutput`]:
 /// the span stream, sampling/ring counters, and engine telemetry.
@@ -24,6 +25,10 @@ pub struct RunTrace {
     pub engine: EngineStats,
     /// Measurement window `[start, end)` the aggregates were taken over.
     pub window: (SimTime, SimTime),
+    /// Tail-sampled critical-path summary, present when
+    /// [`SystemConfig::flight`] and tracing were both enabled. Windows whose
+    /// exemplars lost spans to ring overwrite are marked truncated.
+    pub flight: Option<Box<FlightSummary>>,
 }
 
 impl RunTrace {
@@ -163,11 +168,43 @@ pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<Ru
     let profile = profiled.then(|| engine.profile());
     let mut system = engine.into_model();
     let tracer = system.ctx.tracer.take();
+    let recorder = system.ctx.flight.take();
     let metrics = system.ctx.metrics_out.take();
     let (admitted, rejected, overwritten) = tracer
         .as_ref()
         .map(|t| (t.admitted(), t.rejected(), t.overwritten()))
         .unwrap_or((0, 0, 0));
+    // An exemplar is only citable when every span it observed survived the
+    // ring; after any overwrite, cross-check retained traces against the
+    // surviving span counts (same relevance filter the recorder buffers
+    // with) so truncation is flagged, never silent.
+    let flight = recorder.map(|f| {
+        let summary = if overwritten > 0 {
+            // Only retained traces can be cited, so mark them in a bitmap
+            // (trace ids are dense) and count surviving spans for them
+            // alone — the ring scan stays a cheap lookup per span instead
+            // of a classify-and-hash of everything.
+            let mut retained: Vec<bool> = Vec::new();
+            for t in f.retained_traces() {
+                let i = t as usize;
+                if i >= retained.len() {
+                    retained.resize(i + 1, false);
+                }
+                retained[i] = true;
+            }
+            let mut surviving: Vec<u32> = vec![0; retained.len()];
+            for s in tracer.iter().flat_map(|t| t.iter()) {
+                let i = s.trace as usize;
+                if retained.get(i).copied().unwrap_or(false) && f.observes(s) {
+                    surviving[i] += 1;
+                }
+            }
+            f.finish(Some(&surviving))
+        } else {
+            f.finish(None)
+        };
+        Box::new(summary)
+    });
     let mut out = system.ctx.into_output(events);
     out.profile = profile;
     let trace = RunTrace {
@@ -177,6 +214,7 @@ pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<Ru
         overwritten,
         engine: stats,
         window: (measure_start, measure_end),
+        flight,
     };
     (out, trace, metrics)
 }

@@ -316,7 +316,7 @@ impl AppNode {
         // page (fewer personalisation queries' worth of CPU).
         if let Some(f) = ctx.nodes[ni].brownout_mult() {
             demand *= f;
-            ctx.outcomes.degraded += 1;
+            ctx.record_degraded(now);
         }
         ctx.requests.get_mut(r).app_demand_secs = demand;
         ctx.nodes[ni].arrivals += 1;
@@ -608,7 +608,7 @@ impl CmwNode {
         // Brownout: cheap-mode routing under a deep run queue.
         if let Some(f) = ctx.nodes[ni].brownout_mult() {
             demand *= f;
-            ctx.outcomes.degraded += 1;
+            ctx.record_degraded(now);
         }
         ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
     }
@@ -796,7 +796,7 @@ impl DbNode {
         // when the run queue is deep.
         if let Some(f) = ctx.nodes[ni].brownout_mult() {
             demand *= f;
-            ctx.outcomes.degraded += 1;
+            ctx.record_degraded(now);
         }
         ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
     }

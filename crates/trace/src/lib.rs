@@ -16,15 +16,28 @@
 //! * [`summary::summarize`] — reconstructs Table I per-tier RTT/TP/jobs from
 //!   the span tree of a single traced run, cross-checkable against the
 //!   aggregate `ServerLog` path.
+//! * [`critical::attribute`] — classifies every microsecond of a completed
+//!   request's latency into a fixed taxonomy (tier service, pool waits, GC,
+//!   run-queue, wire), summing to the latency exactly.
+//! * [`flight::FlightRecorder`] — tail-sampling reservoir retaining the K
+//!   slowest / all failed traces per window plus a uniform baseline, with
+//!   per-window critical-path profiles and exemplar links.
 //!
 //! The crate depends only on `simcore` and is `Off` by default everywhere —
 //! with tracing disabled no tracer exists and the simulator pays nothing.
 
+pub mod critical;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod summary;
 pub mod tracer;
 
+pub use critical::{attribute, Attribution, Bucket, GcTimeline, TrackRole, TrackRoles};
+pub use flight::{
+    CompletionOutcome, Exemplar, ExemplarKind, FlightConfig, FlightRecorder, FlightSummary,
+    FlightWindow,
+};
 pub use summary::{summarize, TierStats, TraceSummary};
 pub use tracer::{Span, TraceConfig, TraceId, Tracer, ENGINE_TRACE};
 

@@ -1,0 +1,136 @@
+//! "Why was this request slow?" — critical-path attribution on the paper's
+//! three soft-resource pathologies.
+//!
+//! Each scenario arms the tail-sampling flight recorder on top of full
+//! tracing, runs the scaled testbed into the pathology, and then:
+//!
+//! 1. diagnoses the run from its windowed series ([`Diagnosis`]),
+//! 2. cites the retained exemplars whose dominant critical-path bucket
+//!    supports the verdict ([`Diagnosis::cite`]),
+//! 3. prints the burn-rate SLO alert stream, and
+//! 4. writes per-window critical-path CSV/JSONL plus flamegraph artifacts
+//!    (`.dat` folded stacks + self-contained `.gp` icicle) under
+//!    `target/paper-results/report/`.
+//!
+//! ```text
+//! cargo run --release --example critical_path            # all three pathologies
+//! cargo run --release --example critical_path -- --quick # smaller populations (CI smoke)
+//! ```
+
+use rubbos_ntier::metrics::slo_burn;
+use rubbos_ntier::ntier_report::workspace_root;
+use rubbos_ntier::prelude::*;
+use rubbos_ntier::tiers::config::MixKind;
+use rubbos_ntier::workload::WorkloadConfig;
+use std::fs;
+
+/// Demand scale factor: same bottleneck structure as the full testbed at
+/// ~6× fewer events per simulated second (the integration tests' trick).
+const SCALE: f64 = 6.0;
+
+fn scaled_config(hw: HardwareConfig, soft: SoftAllocation, users: u32) -> SystemConfig {
+    let mut cfg = SystemConfig::new(hw, soft, users);
+    cfg.workload = WorkloadConfig::quick(users);
+    cfg.mix = MixKind::BrowseOnly;
+    let p = &mut cfg.params;
+    p.tomcat_scale *= SCALE;
+    p.mysql_scale *= SCALE;
+    p.cjdbc_ms_per_query *= SCALE;
+    p.apache_pre_ms *= SCALE;
+    p.apache_post_ms *= SCALE;
+    p.static_ms *= SCALE;
+    p.tomcat_alloc_per_req *= SCALE;
+    p.cjdbc_alloc_per_query *= SCALE;
+    cfg.linger.onset_users /= SCALE;
+    cfg.linger.tail_prob_per_user *= SCALE;
+    // The observability stack under demonstration — all passive.
+    cfg.trace = TraceConfig::Full;
+    cfg.flight = FlightConfig::tail(8);
+    cfg.metrics = MetricsConfig::windowed_default();
+    cfg.slo = Some(SloPolicy::new(0.99, 0.5));
+    cfg
+}
+
+/// Run one armed trial, returning its windowed series and flight summary.
+fn armed(hw: HardwareConfig, soft: SoftAllocation, users: u32) -> (RunMetrics, FlightSummary) {
+    let (_, trace, metrics) = run_system_full(scaled_config(hw, soft, users));
+    (
+        *metrics.expect("metrics armed"),
+        *trace.flight.expect("flight armed"),
+    )
+}
+
+/// Print one scenario's verdict + evidence + alerts, and write artifacts.
+fn report(name: &str, diagnosis: &Diagnosis, m: &RunMetrics, flight: &FlightSummary) {
+    println!("\n=== {name} ===");
+    println!("{}", diagnosis.cite(flight, 3));
+
+    let profile = flight.profile();
+    let (dom, us) = profile.dominant();
+    println!(
+        "aggregate critical path: {} holds {:.0}% of {:.1} s classified latency \
+         ({} exemplars, {} truncated windows)",
+        dom.label(),
+        if profile.latency_micros == 0 {
+            0.0
+        } else {
+            us as f64 / profile.latency_micros as f64 * 100.0
+        },
+        profile.latency_micros as f64 / 1e6,
+        flight.retained(),
+        flight.truncated_windows(),
+    );
+
+    let alerts = slo_burn::alerts(&m.client, m.window.as_secs_f64());
+    match alerts.len() {
+        0 => println!("slo: no burn-rate alerts (error budget intact)"),
+        _ => print!("slo:\n{}", slo_burn::render_alerts(&alerts)),
+    }
+
+    let dir = workspace_root().join("target/paper-results/report");
+    if fs::create_dir_all(&dir).is_ok() {
+        let csv = dir.join(format!("critical-path-{name}.csv"));
+        let jsonl = dir.join(format!("critical-path-{name}.jsonl"));
+        let _ = fs::write(&csv, flight.to_csv());
+        let _ = fs::write(&jsonl, flight.to_jsonl());
+        match write_flamegraph(flight, &format!("critical-path-{name}")) {
+            Ok(paths) => {
+                for p in paths.iter().chain([&csv, &jsonl]) {
+                    println!("[saved {}]", p.display());
+                }
+            }
+            Err(e) => eprintln!("flamegraph: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The scaled knees: ~980 users for 1/2/1/2, ~1060 for 1/4/1/4. Quick
+    // mode backs off the populations for the debug-build CI smoke.
+    let shrink = |u: u32| if quick { u * 3 / 4 } else { u };
+
+    // §III-A under-allocation: a 3-thread Tomcat pool saturates while every
+    // CPU idles — latency is conn/thread-pool wait, not service.
+    let hw = HardwareConfig::one_two_one_two();
+    let (m, flight) = armed(hw, SoftAllocation::new(400, 3, 100), shrink(980));
+    report("under-allocation", &Diagnosis::of_run(&m), &m, &flight);
+
+    // §III-B over-allocation: 200 DB connections per Tomcat inflate C-JDBC
+    // GC past collapse — latency is stop-the-world pauses.
+    let hw = HardwareConfig::one_four_one_four();
+    let (m, flight) = armed(hw, SoftAllocation::new(400, 200, 200), shrink(1060 + 150));
+    report("over-allocation", &Diagnosis::of_run(&m), &m, &flight);
+
+    // §III-C buffering effect: an 8-worker Apache pool starves the back-end
+    // as load rises — only visible across a sweep.
+    let soft = SoftAllocation::new(8, 30, 10);
+    let (lo, _) = armed(hw, soft, shrink(1060 - 200));
+    let (hi, flight) = armed(hw, soft, shrink(1060 + 200));
+    report(
+        "buffering-effect",
+        &Diagnosis::of_sweep(&[&lo, &hi]),
+        &hi,
+        &flight,
+    );
+}

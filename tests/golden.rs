@@ -146,6 +146,24 @@ fn run_golden_cfg(
     (digest_output(&out), digest_str(&jsonl))
 }
 
+/// Like [`run_golden_cfg`], but with the full observability stack armed:
+/// tail-sampling flight recorder + critical-path analysis + SLO violation
+/// counting on top of windowed metrics.
+fn run_golden_armed(hw: HardwareConfig, users: u32) -> (u64, u64) {
+    let mut cfg = SystemConfig::new(hw, SoftAllocation::rule_of_thumb(), users);
+    cfg.workload = WorkloadConfig::quick(users);
+    cfg.trace = TraceConfig::Sampled(0.25);
+    cfg.metrics = MetricsConfig::windowed_default();
+    cfg.flight = FlightConfig::tail(8);
+    cfg.slo = Some(SloPolicy::new(0.99, 0.5));
+    let (out, trace, _) = run_system_full(cfg);
+    let flight = trace.flight.as_ref().expect("flight recorder armed");
+    assert!(flight.classified > 0, "no requests classified");
+    assert!(flight.retained() > 0, "no exemplars retained");
+    let jsonl = export::to_jsonl(trace.spans.iter());
+    (digest_output(&out), digest_str(&jsonl))
+}
+
 // Golden digests captured on the pre-refactor monolithic `System`
 // (commit after PR 1). Do not update these constants without first
 // establishing that an output change is intended and understood.
@@ -279,6 +297,32 @@ fn golden_digests_identical_across_queue_backends() {
             "backend {kind} perturbed 1/4/1/4 trace: got {trace:#018x}"
         );
     }
+}
+
+/// The flight recorder + critical-path analysis + SLO counting are passive
+/// observers of spans and state transitions the run already produces: no
+/// events, no RNG draws, no timing changes. A fully armed run must therefore
+/// reproduce the instrumentation-off golden digests bit for bit.
+#[test]
+fn golden_digests_unchanged_with_flight_recorder_armed() {
+    let (out, trace) = run_golden_armed(HardwareConfig::one_two_one_two(), 2000);
+    assert_eq!(
+        out, GOLD_1212_OUT,
+        "flight recorder perturbed 1/2/1/2 output: got {out:#018x}"
+    );
+    assert_eq!(
+        trace, GOLD_1212_TRACE,
+        "flight recorder perturbed 1/2/1/2 trace: got {trace:#018x}"
+    );
+    let (out, trace) = run_golden_armed(HardwareConfig::one_four_one_four(), 2400);
+    assert_eq!(
+        out, GOLD_1414_OUT,
+        "flight recorder perturbed 1/4/1/4 output: got {out:#018x}"
+    );
+    assert_eq!(
+        trace, GOLD_1414_TRACE,
+        "flight recorder perturbed 1/4/1/4 trace: got {trace:#018x}"
+    );
 }
 
 #[test]
