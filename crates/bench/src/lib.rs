@@ -47,8 +47,9 @@ pub fn spec_scheduled(
 
 /// Start a figure's experiment plan from the shared CLI flags: the bench
 /// schedule (honoring `--quick`), passive windowed collection when
-/// `--metrics` was given, engine profiling when `--profile` was, and the
-/// `--queue` event-list backend when one was named. Add variants and the
+/// `--metrics` was given, engine profiling when `--profile` was, the
+/// `--queue` event-list backend when one was named, and the `--par-run`
+/// worker count for each point's sharded engine. Add variants and the
 /// workload ramp, then run it with [`execute`].
 pub fn plan(name: &str, args: &BenchArgs) -> ExperimentPlan {
     let mut p = ExperimentPlan::new(name)
@@ -59,6 +60,9 @@ pub fn plan(name: &str, args: &BenchArgs) -> ExperimentPlan {
     }
     if let Some(kind) = args.queue {
         p = p.with_queue(kind);
+    }
+    if let Some(n) = args.par_run {
+        p = p.with_par_run(n);
     }
     let flight = args.flight();
     if flight.enabled() {

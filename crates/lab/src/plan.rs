@@ -128,6 +128,13 @@ pub struct ExperimentPlan {
     /// so a store populated under one backend resumes cleanly under the
     /// other — it is a performance knob, not a semantic one.
     pub queue: QueueKind,
+    /// Worker threads for the sharded single-run engine on every point.
+    /// **Deliberately excluded from the content digest** ([`spec_json`]),
+    /// same rationale as `queue`: the shard layout is topology-fixed and
+    /// independent of the thread count, so every `par_run` value produces
+    /// bit-identical outputs (proven by the differential and golden suites)
+    /// — a performance knob, not a semantic one.
+    pub par_run: u32,
     /// Tail-sampling flight recorder (passive; requires `trace` to be
     /// enabled to arm). Summaries ride on the per-point [`tiers::RunTrace`],
     /// so — like traces — they are only present for executed points, never
@@ -153,6 +160,7 @@ impl ExperimentPlan {
             metrics: MetricsConfig::Off,
             profile: false,
             queue: QueueKind::default(),
+            par_run: 1,
             flight: FlightConfig::Off,
             slo: None,
         }
@@ -218,6 +226,14 @@ impl ExperimentPlan {
     /// Performance only — outputs and content digests are unchanged.
     pub fn with_queue(mut self, queue: QueueKind) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Set the worker-thread count for each point's sharded single-run
+    /// engine. Performance only — outputs and content digests are unchanged
+    /// for every value (the shard layout never depends on it).
+    pub fn with_par_run(mut self, threads: u32) -> Self {
+        self.par_run = threads.max(1);
         self
     }
 

@@ -112,6 +112,7 @@ fn execute_point(point: &RunPoint, plan: &ExperimentPlan) -> PointYield {
     cfg.metrics = plan.metrics;
     cfg.profile = plan.profile;
     cfg.queue = plan.queue;
+    cfg.par_run = plan.par_run;
     cfg.flight = plan.flight;
     cfg.slo = plan.slo;
     let traced = cfg.trace.enabled();

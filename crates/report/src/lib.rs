@@ -18,7 +18,7 @@
 //!    there too, as folded stacks plus a self-contained critical-path
 //!    icicle script.
 //! 3. **Perf trajectory** — [`BenchReport`] is the schema-versioned format
-//!    of the committed `BENCH_7.json`: per-suite events/sec, wall-clock,
+//!    of the committed `BENCH_8.json`: per-suite events/sec, wall-clock,
 //!    and peak RSS with a machine fingerprint and regression tolerances,
 //!    written and checked by the `perf` binary in `ntier-bench`.
 //! 4. **Doc regeneration** — [`experiments::patch_marked_section`] splices
@@ -36,7 +36,8 @@ pub mod render;
 pub mod usl;
 
 pub use bench_json::{
-    BenchComparison, BenchEntry, BenchReport, Fingerprint, Severity, BENCH_SCHEMA_VERSION,
+    BenchComparison, BenchEntry, BenchReport, Fingerprint, Severity, ShardEntry,
+    BENCH_SCHEMA_VERSION,
 };
 pub use diff::{
     check_shape, classify_curve, load_sweep, CurveShape, RunDiff, ShapeCheck, SweepPoint,
@@ -97,7 +98,7 @@ impl From<io::Error> for ReportError {
 }
 
 /// The workspace root, independent of the current working directory.
-/// Report and bench artifacts are always anchored here so `BENCH_7.json`
+/// Report and bench artifacts are always anchored here so `BENCH_8.json`
 /// and `target/paper-results/report/` land in the same place whether a
 /// binary runs from the workspace root, a package directory, or CI.
 pub fn workspace_root() -> PathBuf {

@@ -184,6 +184,8 @@ impl<M: Model> Engine<M> {
             queue_capacity: self.queue.capacity(),
             per_type: self.per_type.clone(),
             peak_rss_bytes: crate::profile::peak_rss_bytes(),
+            rounds: 0,
+            shards: Vec::new(),
         }
     }
 

@@ -27,14 +27,16 @@ pub mod engine;
 pub mod profile;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod testkit;
 pub mod time;
 
 pub use engine::{Engine, EngineStats, Model, StepResult};
-pub use profile::{peak_rss_bytes, EngineProfile};
+pub use profile::{peak_rss_bytes, EngineProfile, ShardLoad};
 pub use queue::{
     CalendarBackend, EventQueue, EventQueueBackend, HeapBackend, QueueKind, Scheduled,
 };
 pub use rng::RunRng;
+pub use shard::{shard_key, ShardIo, ShardModel, ShardedEngine, SHARD_KEY_BITS};
 pub use time::SimTime;

@@ -54,6 +54,54 @@ pub struct EngineProfile {
     /// kernel counter is a high-water mark for the whole process, so in a
     /// multi-run process it is cumulative across runs.
     pub peak_rss_bytes: Option<u64>,
+    /// Barrier rounds executed by a sharded run (0 for the serial engine).
+    pub rounds: u64,
+    /// Per-shard load attribution of a sharded run (empty for the serial
+    /// engine): events, wall-clock busy seconds inside rounds, and
+    /// wall-clock seconds stalled at round barriers.
+    pub shards: Vec<ShardLoad>,
+}
+
+/// One shard's share of a sharded run: how much it worked and how long it
+/// waited for the other shards at the round barriers. `stall / wall` is the
+/// *horizon-stall share* — the headline diagnostic for a parallel point that
+/// failed to speed up (short lookahead ⇒ many rounds ⇒ mostly stall).
+/// A parallel run times every round; the one-worker round loop estimates
+/// busy seconds from a deterministic 1-in-16 round sample (scaled back up),
+/// like the engine's pop/dispatch phase timings. On a host with fewer cores
+/// than workers the clocks include involuntary preemption, so read the
+/// figures as scheduler-level attribution, not pure simulation cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardLoad {
+    /// Shard index (shard 0 is the layout's front shard by convention).
+    pub shard: usize,
+    /// Events this shard processed.
+    pub events_processed: u64,
+    /// Wall-clock seconds spent processing rounds on this shard.
+    pub busy_secs: f64,
+    /// Wall-clock seconds this shard's worker spent waiting at barriers
+    /// (attributed evenly when one worker owns several shards).
+    pub stall_secs: f64,
+}
+
+impl ShardLoad {
+    /// Fraction of `wall_secs` this shard spent busy.
+    pub fn utilization(&self, wall_secs: f64) -> f64 {
+        if wall_secs > 0.0 {
+            self.busy_secs / wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of `wall_secs` this shard spent stalled at barriers.
+    pub fn stall_share(&self, wall_secs: f64) -> f64 {
+        if wall_secs > 0.0 {
+            self.stall_secs / wall_secs
+        } else {
+            0.0
+        }
+    }
 }
 
 impl EngineProfile {
@@ -113,6 +161,22 @@ impl EngineProfile {
                 b as f64 / (1024.0 * 1024.0)
             )),
             None => s.push_str("  peak rss        (no probe on this platform)\n"),
+        }
+        if !self.shards.is_empty() {
+            s.push_str(&format!(
+                "  rounds     {:>12}   across {} shards\n",
+                self.rounds,
+                self.shards.len()
+            ));
+            for sh in &self.shards {
+                s.push_str(&format!(
+                    "    shard {}  {:>12} events  util {:>5.1}%  stall {:>5.1}%\n",
+                    sh.shard,
+                    sh.events_processed,
+                    100.0 * sh.utilization(self.wall_secs),
+                    100.0 * sh.stall_share(self.wall_secs),
+                ));
+            }
         }
         if !self.per_type.is_empty() {
             let mut by_count: Vec<_> = self.per_type.clone();
@@ -212,6 +276,7 @@ mod tests {
             queue_capacity: 128,
             per_type: vec![("ping", 600), ("pong", 400)],
             peak_rss_bytes: Some(2 * 1024 * 1024),
+            ..Default::default()
         };
         let s = p.summary();
         assert!(s.contains("events/sec"));
@@ -220,5 +285,36 @@ mod tests {
         assert!(s.contains("2.0 MiB"));
         // Largest count listed first.
         assert!(s.find("ping").unwrap() < s.find("pong").unwrap());
+        // A serial profile renders no shard table.
+        assert!(!s.contains("shard"));
+
+        // A sharded profile adds the per-shard load rows.
+        let p = EngineProfile {
+            wall_secs: 2.0,
+            rounds: 42,
+            shards: vec![
+                ShardLoad {
+                    shard: 0,
+                    events_processed: 900,
+                    busy_secs: 1.5,
+                    stall_secs: 0.1,
+                },
+                ShardLoad {
+                    shard: 1,
+                    events_processed: 100,
+                    busy_secs: 0.2,
+                    stall_secs: 1.4,
+                },
+            ],
+            ..Default::default()
+        };
+        let s = p.summary();
+        assert!(s.contains("rounds"));
+        assert!(s.contains("across 2 shards"));
+        assert!(s.contains("shard 0"));
+        // shard 0: busy 1.5 of wall 2.0 ⇒ 75% utilization.
+        assert!(s.contains("util  75.0%"));
+        // shard 1: stalled 1.4 of wall 2.0 ⇒ 70% stall share.
+        assert!(s.contains("stall  70.0%"));
     }
 }

@@ -617,6 +617,66 @@ impl<E> EventQueue<E> {
         self.schedule_after(SimTime::ZERO, event);
     }
 
+    /// Push `event` at `at` under an externally assigned sequence key.
+    ///
+    /// This is the sharded engine's entry point: each shard owns a key
+    /// counter (tagged with its shard id in the high bits) so that events
+    /// arriving from several shards merge in one strict `(time, key)` total
+    /// order that is independent of thread scheduling. The queue's own
+    /// insertion counter is left untouched; a queue must be driven either
+    /// entirely through [`schedule`](Self::schedule) or entirely through the
+    /// keyed API — mixing the two would interleave two key spaces.
+    ///
+    /// # Panics
+    /// If `at` is before the current time.
+    #[inline]
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let item = Scheduled {
+            at,
+            seq: key,
+            event,
+        };
+        if self.timed && key & PROFILE_SAMPLE_MASK == 0 {
+            let t0 = std::time::Instant::now();
+            self.backend.push(item);
+            self.sched_secs += t0.elapsed().as_secs_f64();
+            self.timed_pushes += 1;
+        } else {
+            self.backend.push(item);
+        }
+        self.high_water = self.high_water.max(self.len());
+    }
+
+    /// Stage a pre-run event under an externally assigned key (the keyed
+    /// analogue of [`stage`](Self::stage); see [`push_keyed`](Self::push_keyed)
+    /// for the key contract).
+    ///
+    /// # Panics
+    /// If called after the first pop, or with `at` in the past.
+    pub fn stage_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        assert!(
+            !self.started,
+            "stage_keyed() is for pre-run seeding; the run has already started"
+        );
+        assert!(
+            at >= self.now,
+            "cannot stage into the past: at={at} now={}",
+            self.now
+        );
+        self.staged.push(Scheduled {
+            at,
+            seq: key,
+            event,
+        });
+        self.staged_sorted = false;
+        self.high_water = self.high_water.max(self.len());
+    }
+
     /// Stage a pre-run event into the arrivals lane (see module docs).
     ///
     /// The event gets the same insertion seq a [`schedule`](Self::schedule)

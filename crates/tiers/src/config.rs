@@ -205,6 +205,19 @@ pub struct ServiceParams {
     pub cjdbc_alloc_per_query: f64,
 }
 
+impl ServiceParams {
+    /// One-way delivery delay for a `bytes`-sized message crossing one tier
+    /// hop: `net_latency` plus serialization at gigabit line rate.
+    ///
+    /// Every cross-tier event in the system is scheduled at least one
+    /// 300-byte hop in the future, which makes `hop(300)` the cross-shard
+    /// *lookahead* of the horizon-sharded engine (DESIGN.md §15) — the
+    /// shard layout derives its round bound from this exact expression.
+    pub fn hop(&self, bytes: u64) -> SimTime {
+        self.net_latency + SimTime::from_secs_f64(bytes as f64 / 125_000_000.0)
+    }
+}
+
 impl Default for ServiceParams {
     fn default() -> Self {
         ServiceParams {
@@ -305,6 +318,13 @@ pub struct SystemConfig {
     /// system-construction time, so late mutation of those fields still
     /// takes effect (the ablation harness relies on this).
     pub topology: Option<Topology>,
+    /// Worker threads for the horizon-sharded engine (1 = serial rounds).
+    /// Like `queue`, this is **semantics-neutral** and excluded from run
+    /// digests: the shard layout is fixed by the topology alone and every
+    /// cross-shard event carries a deterministic `(time, key)`, so any
+    /// thread count reproduces the same bits (proven by the `par_run`
+    /// differential suite).
+    pub par_run: u32,
 }
 
 impl SystemConfig {
@@ -332,6 +352,7 @@ impl SystemConfig {
             profile: false,
             queue: QueueKind::default(),
             topology: None,
+            par_run: 1,
         }
     }
 
@@ -339,6 +360,13 @@ impl SystemConfig {
     /// only — the run output is bit-identical across backends.
     pub fn with_queue(mut self, queue: QueueKind) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Run this trial with `threads` workers driving the sharded engine.
+    /// Performance only — the run output is bit-identical for any value.
+    pub fn with_par_run(mut self, threads: u32) -> Self {
+        self.par_run = threads;
         self
     }
 

@@ -164,15 +164,27 @@ pub enum QueryPhase {
 }
 
 /// One in-flight SQL query.
+///
+/// A query that leaves its issuing tier's shard is *mirrored*: the accessing
+/// tier keeps its slab entry (keyed by the ids riding the wire structs below)
+/// and the serving tier inserts a local entry of its own, linked back through
+/// [`Query::upstream_qid`]. Everything the serving tier needs to execute —
+/// interaction id, trace id, write flag — rides the wire so no shard ever
+/// dereferences another shard's slab.
 #[derive(Debug, Clone)]
 pub struct Query {
-    /// Owning request.
+    /// Owning request (`NO_REQ` on serving-tier mirrors, whose owner lives
+    /// on the issuing shard).
     pub req: ReqId,
     /// Whether this is a write (broadcast to all replicas).
     pub is_write: bool,
     /// Current phase.
     pub phase: QueryPhase,
-    /// Middleware replica routing this query (unused in 3-tier chains).
+    /// Replica of the serving tier handling this query: on an issuing-tier
+    /// mirror, the middleware replica it was dispatched to (`NO_REPLICA`
+    /// until dispatch, or forever in 3-tier chains where the database
+    /// replica is settled per reply); on a serving-tier mirror, the local
+    /// replica index.
     pub mw_idx: u16,
     /// Outstanding database replies (1 for reads, replica count for writes).
     pub pending_replies: u8,
@@ -189,6 +201,23 @@ pub struct Query {
     /// The query was rejected fail-fast by an open breaker guarding the tier
     /// below; excluded from breaker signal recording.
     pub fast_failed: bool,
+    /// Slab id of the issuing tier's mirror of this query (`NO_QUERY` on
+    /// the issuing side itself). Echoed back on reply wires so the issuer
+    /// can find its mirror without a shared slab.
+    pub upstream_qid: QueryId,
+    /// Interaction type, copied from the owning request at issue time so
+    /// serving tiers can look up per-interaction demand locally.
+    pub interaction: InteractionId,
+    /// Trace id of the owning request (0 = untraced), copied at issue time
+    /// for span emission on serving shards.
+    pub trace: u64,
+    /// CPU demand charged at this query's own tier (seconds), accumulated
+    /// while flight-recorder charging is on; settled upstream via the reply
+    /// wires.
+    pub demand: f64,
+    /// Database CPU demand reported by reply wires from the tier below
+    /// (middleware mirrors only); forwarded upstream on completion.
+    pub db_demand: f64,
 }
 
 impl Query {
@@ -198,19 +227,95 @@ impl Query {
             req,
             is_write,
             phase: QueryPhase::MwPre,
-            mw_idx: 0,
+            mw_idx: NO_REPLICA,
             pending_replies: 0,
             t_enter_mw,
             t_enter_db: SimTime::ZERO,
             failed: false,
             t_issued: t_enter_mw,
             fast_failed: false,
+            upstream_qid: NO_QUERY,
+            interaction: 0,
+            trace: 0,
+            demand: 0.0,
+            db_demand: 0.0,
         }
     }
 }
 
 /// Dummy placeholder query id for requests with no outstanding query.
 pub const NO_QUERY: QueryId = u32::MAX;
+
+/// Dummy placeholder request id for serving-tier query mirrors.
+pub const NO_REQ: ReqId = u32::MAX;
+
+/// "No replica selected" sentinel for [`Query::mw_idx`].
+pub const NO_REPLICA: u16 = u16::MAX;
+
+/// A query dispatch crossing from the issuing tier to a serving tier.
+///
+/// The wire structs are the only payloads that cross shard boundaries in a
+/// sharded run: compact `Copy` values carrying everything the far side
+/// needs, so events stay small and no shard reads another's slabs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryWire {
+    /// The issuing tier's slab id for its mirror (echoed back on replies).
+    pub src_qid: QueryId,
+    /// Interaction type (serving tiers sample demand from it locally).
+    pub interaction: InteractionId,
+    /// Trace id of the owning request (0 = untraced).
+    pub trace: u64,
+    /// Whether this is a write (broadcast to all database replicas).
+    pub is_write: bool,
+}
+
+/// A database reply returning to the tier that dispatched the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryReplyWire {
+    /// The dispatching tier's slab id for its mirror.
+    pub dst_qid: QueryId,
+    /// Database replica that served (or failed) this branch; the dispatcher
+    /// settles its sender-side outstanding count with it.
+    pub rep: u16,
+    /// This branch failed (crashed or down replica).
+    pub failed: bool,
+    /// When the query arrived at the database (for residence bookkeeping and
+    /// breaker latency signals upstream).
+    pub t_enter_db: SimTime,
+    /// Database CPU demand charged to this branch (seconds).
+    pub demand: f64,
+}
+
+/// A middleware completion (success or failure) returning to the app tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryDoneWire {
+    /// The app tier's slab id for its mirror.
+    pub dst_qid: QueryId,
+    /// The query failed somewhere below the app tier.
+    pub failed: bool,
+    /// The failure was a fail-fast breaker rejection (excluded from breaker
+    /// signal recording upstream).
+    pub fast_failed: bool,
+    /// Middleware CPU demand charged to this query (seconds).
+    pub mw_demand: f64,
+    /// Database CPU demand accumulated below the middleware (seconds).
+    pub db_demand: f64,
+}
+
+impl QueryDoneWire {
+    /// A completion that never left the issuing shard (fail-fast and drop
+    /// paths): all state already lives on the local mirror, so the wire
+    /// carries nothing.
+    pub fn local(dst_qid: QueryId) -> Self {
+        QueryDoneWire {
+            dst_qid,
+            failed: false,
+            fast_failed: false,
+            mw_demand: 0.0,
+            db_demand: 0.0,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -260,5 +365,8 @@ mod tests {
         assert_eq!(q.phase, QueryPhase::MwPre);
         assert!(q.is_write);
         assert_eq!(q.pending_replies, 0);
+        assert_eq!(q.mw_idx, NO_REPLICA);
+        assert_eq!(q.upstream_qid, NO_QUERY);
+        assert_eq!(q.demand, 0.0);
     }
 }

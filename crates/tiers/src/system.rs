@@ -1,21 +1,23 @@
 //! The n-tier system model: typed message dispatch and request plumbing.
 //!
-//! One [`System`] is one trial: a closed-loop client population driving a
-//! chain of tier nodes assembled from a [`crate::topology::Topology`]. Each
+//! One [`System`] is one *shard* of one trial: a slice of the tier chain
+//! assembled from a [`crate::topology::Topology`], driven by the
+//! horizon-sharded engine ([`simcore::ShardedEngine`]; DESIGN.md §15). The
+//! front shard additionally owns the closed-loop client population. Each
 //! tier node (see `tier_nodes.rs`) handles the typed [`TierMsg`]s addressed
-//! to it; the [`Model`] implementation here is only a thin dispatcher that
-//! routes `Ev::Tier(id, msg)` to `tiers[id]` plus the tier-independent
-//! machinery (client think loop, CPU completion checks, GC, monitoring).
-//! CPU completions use a generation-guarded check event so each CPU keeps at
-//! most one live completion event regardless of how often its population
-//! changes.
+//! to it; the [`simcore::ShardModel`] implementation (see `system/dispatch.rs`)
+//! is only a thin dispatcher that routes `Ev::Tier(id, msg)` to `tiers[id]`
+//! plus the tier-independent machinery (client think loop, CPU completion
+//! checks, GC, monitoring). CPU completions use a generation-guarded check
+//! event so each CPU keeps at most one live completion event regardless of
+//! how often its population changes.
 
 use crate::config::{MixKind, SystemConfig};
 use crate::fault::{FaultSpec, Outcome, OutcomeTotals, ShedPolicy, TopologyError};
 use crate::ids::{QueryId, ReqId, Tier, Token};
 use crate::nodes::{ApacheProbe, Node};
 use crate::output::{ApacheProbes, NodeReport, RunOutput, Telemetry};
-use crate::request::{QueryPhase, ReqPhase, Request};
+use crate::request::{QueryDoneWire, QueryPhase, QueryReplyWire, QueryWire, ReqPhase, Request};
 use crate::resilience::{BreakerState, HedgeSpec};
 use crate::slab::Slab;
 use crate::tier_nodes::{make_tier, TierNode};
@@ -25,8 +27,11 @@ use ntier_trace::{
     CompletionOutcome, FlightRecorder, Span, TraceId, Tracer, TrackRole, TrackRoles, ENGINE_TRACE,
 };
 use resources::JobId;
-use simcore::{Engine, EngineStats, EventQueue, Model, RunRng, SimTime};
+use simcore::{RunRng, SimTime};
 use workload::{InteractionCatalog, InteractionId, Mix, RetryBucket, SessionModel, SessionStore};
+
+mod dispatch;
+pub(crate) use dispatch::{ObsMsg, ShardLayout, SimQueue};
 
 /// A typed message addressed to one tier of the chain.
 #[derive(Debug, Clone, Copy)]
@@ -41,14 +46,18 @@ pub enum TierMsg {
     ReqReply(ReqId),
     /// The worker's lingering close completed.
     LingerDone(ReqId),
-    /// A SQL query arrives at replica `1` of the tier.
-    QueryArrive(QueryId, u16),
-    /// Disk access for the query finished on replica `1`.
+    /// A SQL query arrives at replica `1` of the tier. The payload is a
+    /// self-contained wire record ([`QueryWire`]) because the sender's slab
+    /// may live on another shard.
+    QueryArrive(QueryWire, u16),
+    /// Disk access for the query finished on replica `1` (always
+    /// shard-local: the disk belongs to the node executing the query).
     DiskDone(QueryId, u16),
-    /// A downstream reply for the query reaches this tier.
-    QueryReply(QueryId),
-    /// The fully-assembled query result reaches this tier.
-    QueryDone(QueryId),
+    /// A downstream reply for the query reaches this tier (cross-shard wire;
+    /// `dst_qid` addresses the receiving tier's own slab).
+    QueryReply(QueryReplyWire),
+    /// The fully-assembled query result reaches this tier (cross-shard wire).
+    QueryDone(QueryDoneWire),
 }
 
 /// The event alphabet of the n-tier model.
@@ -150,8 +159,23 @@ pub(crate) struct RouteState {
 /// Shared simulation state every tier node operates on: configuration,
 /// sessions, the flat node vector, in-flight request/query slabs, RNG
 /// streams, telemetry, and the chain links/routing tables.
+///
+/// Every shard of a sharded run carries a full `Ctx` (the static tables are
+/// cheap and keeping indices global avoids a translation layer), but each
+/// shard only *mutates* state it owns: its `owned` node range, its own
+/// query slab, and — on the front shard — the sessions, requests, probes,
+/// client telemetry, and flight recorder.
 pub(crate) struct Ctx {
     pub cfg: SystemConfig,
+    /// This context's shard index in the [`ShardLayout`] (0 = front).
+    pub shard: usize,
+    /// Contiguous flat-node range owned by this shard (tiers are assigned
+    /// whole; replicas of one tier are contiguous in `nodes`).
+    pub owned: std::ops::Range<usize>,
+    /// This back shard must forward its spans/GC observations to the front
+    /// shard's flight recorder (set when the run has one; always false on
+    /// the front shard, which feeds its recorder directly).
+    pub forward_obs: bool,
     pub catalog: InteractionCatalog,
     pub mix: Mix,
     /// Compact per-session state, materialized lazily in chunks as sessions
@@ -227,7 +251,7 @@ pub(crate) struct Ctx {
 }
 
 impl Ctx {
-    fn new(cfg: SystemConfig) -> Result<Self, TopologyError> {
+    fn new(cfg: SystemConfig, shard: usize, layout: &ShardLayout) -> Result<Self, TopologyError> {
         let topo = cfg.effective_topology();
         topo.validate()?;
         let catalog = InteractionCatalog::rubbos();
@@ -238,9 +262,11 @@ impl Ctx {
         let root = RunRng::new(cfg.seed);
         // Forked streams are order-independent, so the lazily-materialized
         // store draws bit-identically to the eager per-session construction
-        // it replaced.
+        // it replaced. Only the front shard runs sessions; back shards carry
+        // an empty store (lazy chunks: zero users costs nothing).
+        let users_here = if shard == 0 { cfg.workload.users } else { 0 };
         let sessions = SessionStore::new(
-            cfg.workload.users,
+            users_here,
             &root,
             SessionModel::Markov,
             cfg.workload.think_time,
@@ -303,9 +329,13 @@ impl Ctx {
                 None => m,
             })
         });
-        let probes = (0..links[0].replicas)
-            .map(|_| ApacheProbe::new(origin))
-            .collect();
+        let probes = if shard == 0 {
+            (0..links[0].replicas)
+                .map(|_| ApacheProbe::new(origin))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let measure_end = cfg.workload.measure_end();
         let tracer = cfg.trace.enabled().then(|| match cfg.trace_capacity {
             Some(cap) => Tracer::with_capacity(cfg.trace, cfg.seed, cap),
@@ -333,13 +363,52 @@ impl Ctx {
                 FlightRecorder::new(fcfg, cfg.seed, origin, roles).map(Box::new)
             })
             .flatten();
+        // Back shards feed the front shard's recorder through the engine's
+        // observation channel instead of holding one themselves; whether to
+        // forward is decided from the same construction the front shard ran,
+        // so every shard agrees without communicating.
+        let forward_obs = shard != 0 && flight.is_some();
+        let flight = if shard == 0 { flight } else { None };
 
-        let users = cfg.workload.users as usize;
+        // Contiguous node range this shard owns (whole tiers, chain order).
+        let mut owned = nodes.len()..nodes.len();
+        for (ni, &s) in layout.shard_of_node.iter().enumerate() {
+            if s == shard {
+                if owned.is_empty() {
+                    owned.start = ni;
+                }
+                owned.end = ni + 1;
+            }
+        }
+
+        // Every shard forks its own RNG streams. The front shard keeps the
+        // historical labels; back shards get per-shard suffixed streams, so
+        // no draw on one shard can perturb another's sequence.
+        let (rng_demand, rng_linger, rng_route, rng_faults) = if shard == 0 {
+            (
+                root.fork("demand"),
+                root.fork("linger"),
+                root.fork("route"),
+                root.fork("faults"),
+            )
+        } else {
+            (
+                root.fork(&format!("demand/s{shard}")),
+                root.fork(&format!("linger/s{shard}")),
+                root.fork(&format!("route/s{shard}")),
+                root.fork(&format!("faults/s{shard}")),
+            )
+        };
+
+        let users = users_here as usize;
         Ok(Ctx {
-            rng_demand: root.fork("demand"),
-            rng_linger: root.fork("linger"),
-            rng_route: root.fork("route"),
-            rng_faults: root.fork("faults"),
+            shard,
+            owned,
+            forward_obs,
+            rng_demand,
+            rng_linger,
+            rng_route,
+            rng_faults,
             faults,
             breakers,
             retry_bucket: cfg.retry_budget.bucket(),
@@ -385,9 +454,12 @@ impl Ctx {
     }
 
     /// One-way hop delay for a message of `bytes` (latency + gigabit
-    /// serialization; per-message, uncontended).
+    /// serialization; per-message, uncontended). Delegates to
+    /// [`crate::config::ServiceParams::hop`], the same expression the shard
+    /// layout derives its lookahead from — no cross-shard event may ever be
+    /// scheduled closer than `hop(300)`.
     pub fn hop(&self, bytes: u64) -> SimTime {
-        self.cfg.params.net_latency + SimTime::from_secs_f64(bytes as f64 / 125_000_000.0)
+        self.cfg.params.hop(bytes)
     }
 
     /// Pick a replica of tier `t` for a message keyed by `key` (the query id
@@ -480,7 +552,7 @@ impl Ctx {
     /// Arm tier `t`'s request deadline for `r` (no-op without a configured
     /// timeout). Arming overwrites any outer deadline — the innermost armed
     /// deadline is the active one; stale timers no-op on sequence mismatch.
-    pub fn arm_timeout(&mut self, r: ReqId, t: TierId, now: SimTime, q: &mut EventQueue<Ev>) {
+    pub fn arm_timeout(&mut self, r: ReqId, t: TierId, now: SimTime, q: &mut SimQueue<'_, '_>) {
         let Some(deadline) = self.links[t].timeout else {
             return;
         };
@@ -549,7 +621,7 @@ impl Ctx {
     /// policy). Called when the front worker forwards the request downstream;
     /// the timer re-dispatches the request to another app replica if it is
     /// still queued for a thread when the delay elapses.
-    pub fn arm_hedge(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
+    pub fn arm_hedge(&mut self, r: ReqId, now: SimTime, q: &mut SimQueue<'_, '_>) {
         let Some(h) = self.links[0].hedge else {
             return;
         };
@@ -568,7 +640,7 @@ impl Ctx {
     /// waiter and re-dispatch to the next live app replica in ring order —
     /// deterministic, no RNG draw. Requests already granted a thread are
     /// never hedged: duplicating in-service work can't be cancelled cleanly.
-    fn on_hedge_fire(&mut self, r: ReqId, seq: u32, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn on_hedge_fire(&mut self, r: ReqId, seq: u32, now: SimTime, q: &mut SimQueue<'_, '_>) {
         if !self.requests.contains(r) || self.requests.get(r).hedge_seq != seq {
             return;
         }
@@ -622,7 +694,7 @@ impl Ctx {
             }
         }
         let track = self.links[0].name;
-        self.req_span(trace, track, ntier_trace::HEDGE, now, now);
+        self.req_span(trace, track, ntier_trace::HEDGE, now, now, q);
         q.schedule(
             now + self.hop(512),
             Ev::Tier(app_t as u8, TierMsg::ReqArrive(r)),
@@ -648,7 +720,7 @@ impl Ctx {
         r: ReqId,
         outcome: Outcome,
         now: SimTime,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
         // The chain is validated as Web→App[→Cmw]→Db, so the app tier is the
         // second request-carrying tier.
@@ -676,7 +748,7 @@ impl Ctx {
             _ => ntier_trace::CRASH,
         };
         let track = self.links[app_t].name;
-        self.req_span(trace, track, name, now, now);
+        self.req_span(trace, track, name, now, now, q);
         let pool = self.nodes[ni].pool.as_mut().expect("app tier has threads");
         if let Some(next) = pool.release(now) {
             q.schedule_now(Ev::Tier(app_t as u8, TierMsg::PoolGranted(next as ReqId)));
@@ -691,7 +763,7 @@ impl Ctx {
     }
 
     /// Bump the node's CPU generation and schedule a fresh completion check.
-    pub fn reschedule_cpu(&mut self, ni: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+    pub fn reschedule_cpu(&mut self, ni: usize, now: SimTime, q: &mut SimQueue<'_, '_>) {
         let node = &mut self.nodes[ni];
         node.cpu_gen = node.cpu_gen.wrapping_add(1);
         if let Some(t) = node.cpu.next_completion(now) {
@@ -712,20 +784,27 @@ impl Ctx {
         tok: Token,
         demand_secs: f64,
         now: SimTime,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
-        if self.flight.as_deref().is_some_and(FlightRecorder::armed) {
-            // Queries charge their owning request: the request is alive for
-            // as long as any of its queries are in flight. Demand is
-            // accumulated on the request and flushed to the recorder in one
-            // batch at the client response, keeping this per-submit hot
-            // path to a slab hit and an array add.
-            let r = match tok {
-                Token::Req(r) => r,
-                Token::Query(qid) => self.queries.get(qid).req,
-            };
-            let (t, _) = self.node_tier[ni];
-            self.requests.get_mut(r).demand_secs[t] += demand_secs;
+        // Demand attribution for the flight recorder. Requests charge their
+        // own per-tier array directly (front shard only — requests never
+        // leave it); queries accumulate on the local mirror and settle
+        // upstream via the reply wires, so no shard writes another's slabs.
+        // Either way the accumulation is flushed to the recorder in one
+        // batch at the client response, keeping this per-submit hot path to
+        // a slab hit and an add.
+        match tok {
+            Token::Req(r) => {
+                if self.flight.as_deref().is_some_and(FlightRecorder::armed) {
+                    let (t, _) = self.node_tier[ni];
+                    self.requests.get_mut(r).demand_secs[t] += demand_secs;
+                }
+            }
+            Token::Query(qid) => {
+                if self.forward_obs || self.flight.as_deref().is_some_and(FlightRecorder::armed) {
+                    self.queries.get_mut(qid).demand += demand_secs;
+                }
+            }
         }
         self.nodes[ni].cpu.submit(now, tok.encode(), demand_secs);
         self.sync_jvm_active(ni);
@@ -742,7 +821,10 @@ impl Ctx {
     }
 
     /// Push a request-level span segment; no-op for untraced requests
-    /// (`trace == 0`) or when the tracer is off.
+    /// (`trace == 0`) or when the tracer is off. On the front shard the span
+    /// also feeds the flight recorder directly; back shards forward it over
+    /// the engine's observation channel instead (delivered to the front in
+    /// deterministic `(time, key)` order under the lookahead rule).
     pub fn req_span(
         &mut self,
         trace: TraceId,
@@ -750,6 +832,7 @@ impl Ctx {
         name: &'static str,
         start: SimTime,
         end: SimTime,
+        q: &mut SimQueue<'_, '_>,
     ) {
         if trace == ENGINE_TRACE {
             return;
@@ -765,13 +848,15 @@ impl Ctx {
             tr.push(span);
             if let Some(f) = self.flight.as_mut() {
                 f.observe(span);
+            } else if self.forward_obs {
+                q.observe_front(ObsMsg::Span(span));
             }
         }
     }
 
     /// Record a transient JVM allocation, triggering stop-the-world GC when
     /// the free heap is exhausted.
-    pub fn jvm_alloc(&mut self, ni: usize, bytes: f64, now: SimTime, q: &mut EventQueue<Ev>) {
+    pub fn jvm_alloc(&mut self, ni: usize, bytes: f64, now: SimTime, q: &mut SimQueue<'_, '_>) {
         let pause = {
             let node = &mut self.nodes[ni];
             let Some(jvm) = node.jvm.as_mut() else {
@@ -797,6 +882,12 @@ impl Ctx {
             });
             if let Some(f) = self.flight.as_mut() {
                 f.observe_gc(track, now, now + pause);
+            } else if self.forward_obs {
+                q.observe_front(ObsMsg::Gc {
+                    track,
+                    start: now,
+                    end: now + pause,
+                });
             }
         }
     }
@@ -817,29 +908,38 @@ impl Ctx {
         qid: QueryId,
         db_t: TierId,
         now: SimTime,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
         let db_count = self.links[db_t].replicas;
         let hop = self.hop(300);
-        let is_write = {
+        let wire = {
             let query = self.queries.get_mut(qid);
             query.phase = QueryPhase::AtDb;
-            query.is_write
+            QueryWire {
+                src_qid: qid,
+                interaction: query.interaction,
+                trace: query.trace,
+                is_write: query.is_write,
+            }
         };
-        if is_write {
+        if wire.is_write {
             self.queries.get_mut(qid).pending_replies = db_count as u8;
             for db in 0..db_count {
                 q.schedule(
                     now + hop,
-                    Ev::Tier(db_t as u8, TierMsg::QueryArrive(qid, db as u16)),
+                    Ev::Tier(db_t as u8, TierMsg::QueryArrive(wire, db as u16)),
                 );
             }
         } else {
+            // Sender-side replica selection: the routing table for the tier
+            // below is owned by this (the accessing) shard, so the pick and
+            // the least-outstanding increment both happen here; the chosen
+            // replica is echoed back on the reply wire to settle the count.
             self.queries.get_mut(qid).pending_replies = 1;
             let db = self.select_replica_up(db_t, qid as usize) as u16;
             q.schedule(
                 now + hop,
-                Ev::Tier(db_t as u8, TierMsg::QueryArrive(qid, db)),
+                Ev::Tier(db_t as u8, TierMsg::QueryArrive(wire, db)),
             );
         }
     }
@@ -848,7 +948,7 @@ impl Ctx {
     // client
     // ------------------------------------------------------------------
 
-    fn on_think_done(&mut self, s: u32, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn on_think_done(&mut self, s: u32, now: SimTime, q: &mut SimQueue<'_, '_>) {
         if self.draining {
             return;
         }
@@ -865,7 +965,7 @@ impl Ctx {
         interaction: InteractionId,
         attempt: u8,
         now: SimTime,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
         let mut req = Request::new(s, interaction, now);
         req.attempt = attempt;
@@ -888,7 +988,7 @@ impl Ctx {
         q.schedule(now + self.hop(512), Ev::Tier(0, TierMsg::ReqArrive(r)));
     }
 
-    fn on_response_to_client(&mut self, r: ReqId, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn on_response_to_client(&mut self, r: ReqId, now: SimTime, q: &mut SimQueue<'_, '_>) {
         let (session, t_start, rt, outcome, attempt, interaction, trace, fast_failed, demand) = {
             let req = self.requests.get(r);
             (
@@ -1002,7 +1102,7 @@ impl Ctx {
                 }
             }
             let track = self.links[0].name;
-            self.req_span(trace, track, ntier_trace::RETRY, now, now + delay);
+            self.req_span(trace, track, ntier_trace::RETRY, now, now + delay, q);
             q.schedule(now + delay, Ev::Reissue(session));
         } else if !self.draining {
             let think = self.sessions.think_time(session);
@@ -1011,7 +1111,7 @@ impl Ctx {
         self.free_request_arm(r);
     }
 
-    fn on_reissue(&mut self, s: u32, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn on_reissue(&mut self, s: u32, now: SimTime, q: &mut SimQueue<'_, '_>) {
         if self.draining {
             return;
         }
@@ -1024,7 +1124,7 @@ impl Ctx {
     /// the request currently holds, or mark it for unwinding at the next
     /// checkpoint when it cannot be cancelled synchronously (CPU slice in the
     /// processor-sharing queue, query outstanding below).
-    fn on_req_timeout(&mut self, r: ReqId, seq: u32, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn on_req_timeout(&mut self, r: ReqId, seq: u32, now: SimTime, q: &mut SimQueue<'_, '_>) {
         if !self.requests.contains(r) || self.requests.get(r).timeout_seq != seq {
             return;
         }
@@ -1045,7 +1145,7 @@ impl Ctx {
                     .expect("front tier has workers")
                     .cancel_waiter(now, r as u64);
                 let track = self.links[0].name;
-                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now);
+                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now, q);
                 if !cancelled {
                     // The pool granted this waiter at this same instant (the
                     // grant event is still in flight), so the request is past
@@ -1073,7 +1173,7 @@ impl Ctx {
                 };
                 self.nodes[self.links[0].base + rep].timed_out += 1;
                 let track = self.links[0].name;
-                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now);
+                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now, q);
             }
             ReqPhase::WaitAppThread => {
                 // Queued for a servlet thread: cancel the waiter (no thread
@@ -1105,7 +1205,7 @@ impl Ctx {
                 self.nodes[ni].timed_out += 1;
                 self.route_departed(app_t, rep);
                 let track = self.links[app_t].name;
-                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now);
+                self.req_span(trace, track, ntier_trace::TIMEOUT, now, now, q);
                 let up = self.links[app_t].up.expect("app tier has an upstream");
                 let hop = self.hop(2048);
                 q.schedule(now + hop, Ev::Tier(up as u8, TierMsg::ReqReply(r)));
@@ -1149,7 +1249,7 @@ impl Ctx {
     /// its CPU. Lost queries travel *up* through the normal reply events with
     /// the failure flag set — work is never yanked out asynchronously, so
     /// pool, routing, and arrival/departure accounting stay balanced.
-    fn on_crash(&mut self, ni: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn on_crash(&mut self, ni: usize, now: SimTime, q: &mut SimQueue<'_, '_>) {
         self.nodes[ni].up = false;
         let mut aborted = std::mem::take(&mut self.scratch_jobs);
         self.nodes[ni].cpu.abort_all_into(now, &mut aborted);
@@ -1181,22 +1281,43 @@ impl Ctx {
             let Token::Query(qid) = Token::decode(job) else {
                 unreachable!("request token on a crashable tier");
             };
-            self.queries.get_mut(qid).failed = true;
             self.nodes[ni].departures += 1;
             self.nodes[ni].failed += 1;
             let up = self.links[t].up.expect("crashable tiers have an upstream");
+            // Sender-side routing: the accessing shard's outstanding count
+            // is settled when the failure wire lands there, never here.
             match role {
                 // Middleware jobs (routing or merge CPU) have no database
                 // work outstanding — fail straight back to the app tier.
                 Tier::Cmw => {
-                    self.route_departed(t, rep as usize);
-                    q.schedule(now + hop, Ev::Tier(up as u8, TierMsg::QueryDone(qid)));
+                    let wire = {
+                        let query = self.queries.get_mut(qid);
+                        query.failed = true;
+                        QueryDoneWire {
+                            dst_qid: query.upstream_qid,
+                            failed: true,
+                            fast_failed: query.fast_failed,
+                            mw_demand: query.demand,
+                            db_demand: query.db_demand,
+                        }
+                    };
+                    self.queries.remove(qid);
+                    q.schedule(now + hop, Ev::Tier(up as u8, TierMsg::QueryDone(wire)));
                 }
                 Tier::Db => {
-                    if !self.queries.get(qid).is_write {
-                        self.route_departed(t, rep as usize);
-                    }
-                    q.schedule(now + hop, Ev::Tier(up as u8, TierMsg::QueryReply(qid)));
+                    let wire = {
+                        let query = self.queries.get_mut(qid);
+                        query.failed = true;
+                        QueryReplyWire {
+                            dst_qid: query.upstream_qid,
+                            rep,
+                            failed: true,
+                            t_enter_db: query.t_enter_db,
+                            demand: query.demand,
+                        }
+                    };
+                    self.queries.remove(qid);
+                    q.schedule(now + hop, Ev::Tier(up as u8, TierMsg::QueryReply(wire)));
                 }
                 _ => unreachable!("crash scheduled on a request tier"),
             }
@@ -1208,7 +1329,7 @@ impl Ctx {
     // CPU / GC machinery
     // ------------------------------------------------------------------
 
-    fn on_gc_end(&mut self, ni: usize, now: SimTime, q: &mut EventQueue<Ev>) {
+    fn on_gc_end(&mut self, ni: usize, now: SimTime, q: &mut SimQueue<'_, '_>) {
         let node = &mut self.nodes[ni];
         node.jvm
             .as_mut()
@@ -1219,16 +1340,21 @@ impl Ctx {
     }
 }
 
-/// The complete n-tier system state (implements [`Model`]): the shared
-/// engine context (`Ctx`) plus one tier node per chain position.
+/// One shard of the n-tier system (implements [`simcore::ShardModel`]; see
+/// `system/dispatch.rs`): the shared engine context (`Ctx`) plus one tier
+/// node per chain position, plus the shard layout the whole run was cut by.
+///
+/// A serial run is simply the one-shard special case (topologies with zero
+/// lookahead collapse to it automatically).
 pub struct System {
     ctx: Ctx,
     tiers: Vec<Box<dyn TierNode>>,
+    layout: ShardLayout,
 }
 
 impl System {
-    /// Build a system from a configuration (no events scheduled yet). The
-    /// tier chain comes from [`SystemConfig::effective_topology`].
+    /// Build the front shard from a configuration (no events scheduled yet).
+    /// The tier chain comes from [`SystemConfig::effective_topology`].
     ///
     /// # Panics
     /// On an invalid topology; use [`System::try_new`] to handle the error.
@@ -1236,17 +1362,36 @@ impl System {
         System::try_new(cfg).unwrap_or_else(|e| panic!("invalid topology: {e}"))
     }
 
-    /// Build a system, surfacing topology/fault-spec validation errors
-    /// instead of panicking.
+    /// Build the front shard, surfacing topology/fault-spec validation
+    /// errors instead of panicking.
     pub fn try_new(cfg: SystemConfig) -> Result<Self, TopologyError> {
-        let ctx = Ctx::new(cfg)?;
+        let topo = cfg.effective_topology();
+        topo.validate()?;
+        let layout = ShardLayout::new(&topo, &cfg.params);
+        System::shard(cfg, 0, layout)
+    }
+
+    /// Build every shard of the topology's layout, in shard order (shard 0
+    /// is the front). The returned vector is what
+    /// [`simcore::ShardedEngine::new`] takes.
+    pub(crate) fn shards(cfg: SystemConfig) -> Result<Vec<System>, TopologyError> {
+        let topo = cfg.effective_topology();
+        topo.validate()?;
+        let layout = ShardLayout::new(&topo, &cfg.params);
+        (0..layout.n_shards())
+            .map(|s| System::shard(cfg.clone(), s, layout.clone()))
+            .collect()
+    }
+
+    fn shard(cfg: SystemConfig, s: usize, layout: ShardLayout) -> Result<Self, TopologyError> {
+        let ctx = Ctx::new(cfg, s, &layout)?;
         let tiers = ctx
             .links
             .iter()
             .enumerate()
             .map(|(t, l)| make_tier(l.role, t))
             .collect();
-        Ok(System { ctx, tiers })
+        Ok(System { ctx, tiers, layout })
     }
 
     /// The configuration this system was built from.
@@ -1254,74 +1399,15 @@ impl System {
         &self.ctx.cfg
     }
 
-    /// Number of requests currently in flight.
+    /// The shard layout this system was cut by.
+    pub(crate) fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Number of requests currently in flight (front shard only — requests
+    /// live on the shard that owns the client loop).
     pub fn in_flight(&self) -> usize {
         self.ctx.requests.len()
-    }
-
-    fn on_cpu_check(&mut self, ni: usize, gen: u32, now: SimTime, q: &mut EventQueue<Ev>) {
-        if self.ctx.nodes[ni].cpu_gen != gen {
-            return; // stale
-        }
-        let mut done = std::mem::take(&mut self.ctx.scratch_jobs);
-        self.ctx.nodes[ni].cpu.pop_due_into(now, &mut done);
-        self.ctx.sync_jvm_active(ni);
-        let (t, _) = self.ctx.node_tier[ni];
-        for job in done.drain(..) {
-            self.tiers[t].cpu_done(Token::decode(job), ni, now, &mut self.ctx, q);
-        }
-        self.ctx.scratch_jobs = done;
-        self.ctx.reschedule_cpu(ni, now, q);
-    }
-}
-
-impl Model for System {
-    type Event = Ev;
-
-    fn handle(&mut self, now: SimTime, event: Ev, q: &mut EventQueue<Ev>) {
-        match event {
-            Ev::ThinkDone(s) => self.ctx.on_think_done(s, now, q),
-            Ev::Tier(t, msg) => self.tiers[t as usize].handle(msg, now, &mut self.ctx, q),
-            Ev::ResponseToClient(r) => self.ctx.on_response_to_client(r, now, q),
-            Ev::CpuCheck { node, gen } => self.on_cpu_check(node as usize, gen, now, q),
-            Ev::GcEnd { node } => self.ctx.on_gc_end(node as usize, now, q),
-            Ev::Sample => self.ctx.on_sample(now, q),
-            Ev::BeginMeasure => self.ctx.on_begin_measure(now, q),
-            Ev::EndMeasure => self.ctx.on_end_measure(now),
-            Ev::ReqTimeout { r, seq } => self.ctx.on_req_timeout(r, seq, now, q),
-            Ev::Reissue(s) => self.ctx.on_reissue(s, now, q),
-            Ev::Crash { node } => self.ctx.on_crash(node as usize, now, q),
-            Ev::Recover { node } => self.ctx.nodes[node as usize].up = true,
-            Ev::HedgeFire { r, seq } => self.ctx.on_hedge_fire(r, seq, now, q),
-        }
-    }
-
-    fn event_label(event: &Ev) -> &'static str {
-        match event {
-            Ev::ThinkDone(_) => "think-done",
-            Ev::Tier(_, msg) => match msg {
-                TierMsg::ReqArrive(_) => "req-arrive",
-                TierMsg::PoolGranted(_) => "pool-granted",
-                TierMsg::ConnGranted(_) => "conn-granted",
-                TierMsg::ReqReply(_) => "req-reply",
-                TierMsg::LingerDone(_) => "linger-done",
-                TierMsg::QueryArrive(..) => "query-arrive",
-                TierMsg::DiskDone(..) => "disk-done",
-                TierMsg::QueryReply(_) => "query-reply",
-                TierMsg::QueryDone(_) => "query-done",
-            },
-            Ev::ResponseToClient(_) => "response-to-client",
-            Ev::CpuCheck { .. } => "cpu-check",
-            Ev::GcEnd { .. } => "gc-end",
-            Ev::Sample => "sample",
-            Ev::BeginMeasure => "begin-measure",
-            Ev::EndMeasure => "end-measure",
-            Ev::ReqTimeout { .. } => "req-timeout",
-            Ev::Reissue(_) => "reissue",
-            Ev::Crash { .. } => "crash",
-            Ev::Recover { .. } => "recover",
-            Ev::HedgeFire { .. } => "hedge-fire",
-        }
     }
 }
 
@@ -1502,18 +1588,13 @@ mod tests {
     fn no_requests_leak() {
         let cfg = quick_cfg(60);
         let trial_end = cfg.workload.trial_end();
-        let mut engine = Engine::new(System::new(cfg.clone()));
-        let mut rng = RunRng::new(cfg.seed).fork("session-starts");
-        for s in 0..cfg.workload.users {
-            let at = SimTime::from_secs_f64(rng.uniform(0.0, cfg.workload.ramp_up.as_secs_f64()));
-            engine.schedule(at, Ev::ThinkDone(s));
-        }
-        engine.schedule(cfg.workload.measure_start(), Ev::BeginMeasure);
-        engine.schedule(cfg.workload.measure_end(), Ev::EndMeasure);
+        let mut engine = run::build_engine(cfg);
+        run::seed_engine_events(&mut engine);
         engine.run_until(trial_end);
         // Drain: no new think events fire after trial end... they do (closed
         // loop), so instead verify in-flight population is bounded by users.
-        assert!(engine.model().in_flight() <= 60);
+        // Requests live on the front shard only.
+        assert!(engine.model(0).in_flight() <= 60);
     }
 
     #[test]

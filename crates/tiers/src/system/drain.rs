@@ -2,7 +2,7 @@
 //! in-flight request, and snapshot pool balance and outcome totals on the
 //! empty system. Pure code motion out of `system.rs`.
 
-use super::run::{event_capacity_hint, seed_engine_events};
+use super::run::{build_engine, merge_shards, seed_engine_events};
 use super::*;
 
 /// Pool balance and conservation counters of one server at drain.
@@ -61,28 +61,30 @@ pub fn run_system_to_drain(cfg: SystemConfig) -> (RunOutput, DrainReport) {
 pub fn run_system_to_drain_metered(
     cfg: SystemConfig,
 ) -> (RunOutput, DrainReport, Option<Box<RunMetrics>>) {
-    let users = cfg.workload.users;
     let trial_end = cfg.workload.trial_end();
 
-    let capacity = event_capacity_hint(users);
-    let mut engine = Engine::with_capacity(System::new(cfg), capacity);
+    let mut engine = build_engine(cfg);
     seed_engine_events(&mut engine);
     engine.run_until(trial_end);
     // Freeze the closed loop: in-flight requests complete, nothing new
-    // starts, so the queue runs dry.
-    engine.model_mut().ctx.draining = true;
+    // starts, so every shard's queue runs dry. Only the front shard issues
+    // requests, but the flag is replicated for uniformity.
+    for shard in 0..engine.n_shards() {
+        engine.model_mut(shard).ctx.draining = true;
+    }
     engine.run_to_quiescence(100_000_000);
     let events = engine.events_processed();
-    let mut system = engine.into_model();
-    let metrics = system.ctx.metrics_out.take();
-    let report = DrainReport {
-        in_flight_requests: system.ctx.requests.len(),
-        in_flight_queries: system.ctx.queries.len(),
-        nodes: system
-            .ctx
-            .nodes
-            .iter()
-            .map(|n| NodeDrain {
+    let shards = engine.into_models();
+    // Conservation counters live on the owning shard: snapshot each shard's
+    // owned node range (owned ranges partition the chain in chain order) and
+    // sum the in-flight query mirrors before the telemetry merge.
+    let mut nodes = Vec::new();
+    let mut in_flight_queries = 0;
+    for sys in &shards {
+        in_flight_queries += sys.ctx.queries.len();
+        for ni in sys.ctx.owned.clone() {
+            let n = &sys.ctx.nodes[ni];
+            nodes.push(NodeDrain {
                 name: n.name(),
                 arrivals: n.arrivals,
                 departures: n.departures,
@@ -93,8 +95,15 @@ pub fn run_system_to_drain_metered(
                 timed_out: n.timed_out,
                 shed: n.shed,
                 failed: n.failed,
-            })
-            .collect(),
+            });
+        }
+    }
+    let (mut system, _tracers) = merge_shards(shards);
+    let metrics = system.ctx.metrics_out.take();
+    let report = DrainReport {
+        in_flight_requests: system.ctx.requests.len(),
+        in_flight_queries,
+        nodes,
         outcomes: system.ctx.outcomes,
     };
     let out = system.ctx.into_output(events);

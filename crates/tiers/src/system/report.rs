@@ -11,7 +11,9 @@ impl Ctx {
     // ------------------------------------------------------------------
 
     pub(super) fn sample_all(&mut self, now: SimTime) {
-        for ni in 0..self.nodes.len() {
+        // Each shard samples only the replicas it owns; the merged run sees
+        // every node exactly once (owned ranges partition the chain).
+        for ni in self.owned.clone() {
             self.nodes[ni].sample(now);
         }
         let front_base = self.links[0].base;
@@ -22,7 +24,7 @@ impl Ctx {
         }
     }
 
-    pub(super) fn on_sample(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
+    pub(super) fn on_sample(&mut self, now: SimTime, q: &mut SimQueue<'_, '_>) {
         self.sample_all(now);
         // The final sample of the window is taken by EndMeasure itself.
         if now + SimTime::from_secs(1) < self.measure_end {
@@ -30,15 +32,15 @@ impl Ctx {
         }
     }
 
-    pub(super) fn on_begin_measure(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
+    pub(super) fn on_begin_measure(&mut self, now: SimTime, q: &mut SimQueue<'_, '_>) {
         self.measuring = true;
-        for node in &mut self.nodes {
-            node.begin_measurement(now);
+        for ni in self.owned.clone() {
+            self.nodes[ni].begin_measurement(now);
         }
         if self.metrics.is_some() {
             let width = self.cfg.metrics.window().expect("metrics enabled");
-            for node in &mut self.nodes {
-                node.enable_metrics(now, width);
+            for ni in self.owned.clone() {
+                self.nodes[ni].enable_metrics(now, width);
             }
         }
         q.schedule(now + SimTime::from_secs(1), Ev::Sample);
@@ -52,19 +54,23 @@ impl Ctx {
             f.disarm();
         }
         self.sample_all(now);
-        let mut reports = Vec::with_capacity(self.nodes.len());
-        for node in &mut self.nodes {
-            reports.push(node.report(now));
+        let mut reports = Vec::with_capacity(self.owned.len());
+        for ni in self.owned.clone() {
+            reports.push(self.nodes[ni].report(now));
         }
         self.final_nodes = reports;
         if let Some(mut registry) = self.metrics.take() {
             let n = registry.n_windows();
-            for node in &mut self.nodes {
-                if let Some(series) = node.collect_metrics(now, n) {
+            for ni in self.owned.clone() {
+                if let Some(series) = self.nodes[ni].collect_metrics(now, n) {
                     registry.push_replica(series);
                 }
             }
             self.metrics_out = Some(Box::new(registry.finish()));
+        }
+        // Front-tier worker probes exist only on the front shard.
+        if self.probes.is_empty() {
+            return;
         }
         let window_buckets = self.cfg.workload.runtime.as_secs_f64() as usize;
         let probe = &self.probes[0];

@@ -7,6 +7,7 @@
 
 use super::*;
 use ntier_trace::FlightSummary;
+use simcore::{EngineStats, ShardedEngine};
 
 /// Everything a traced run captures beyond the aggregate [`RunOutput`]:
 /// the span stream, sampling/ring counters, and engine telemetry.
@@ -61,8 +62,8 @@ pub(super) fn event_capacity_hint(users: u32) -> usize {
 /// same sequence numbers as direct pushes (so pop order is bit-identical),
 /// but sit in a flat sorted array the backend merges from lazily — a
 /// 1M-session run starts without pushing a million heap entries up front.
-pub(super) fn seed_engine_events(engine: &mut Engine<System>) {
-    let cfg = engine.model().config();
+pub(super) fn seed_engine_events(engine: &mut ShardedEngine<System>) {
+    let cfg = engine.model(0).config();
     let ramp = cfg.workload.ramp_up;
     let users = cfg.workload.users;
     let measure_start = cfg.workload.measure_start();
@@ -70,7 +71,7 @@ pub(super) fn seed_engine_events(engine: &mut Engine<System>) {
     let seed = cfg.seed;
     let mut crashes = Vec::new();
     {
-        let ctx = &engine.model().ctx;
+        let ctx = &engine.model(0).ctx;
         for (t, f) in ctx.faults.iter().enumerate() {
             for w in &f.crashes {
                 let ni = (ctx.links[t].base + w.replica as usize) as u16;
@@ -81,16 +82,79 @@ pub(super) fn seed_engine_events(engine: &mut Engine<System>) {
     let mut start_rng = RunRng::new(seed).fork("session-starts");
     for s in 0..users {
         let at = SimTime::from_secs_f64(start_rng.uniform(0.0, ramp.as_secs_f64().max(1e-9)));
-        engine.queue_mut().stage(at, Ev::ThinkDone(s));
+        engine.stage(0, at, Ev::ThinkDone(s));
     }
-    engine.schedule(measure_start, Ev::BeginMeasure);
-    engine.schedule(measure_end, Ev::EndMeasure);
-    for (at, node, recover) in crashes {
-        engine.schedule(at, Ev::Crash { node });
-        if let Some(back) = recover {
-            engine.schedule(back, Ev::Recover { node });
+    // Every shard runs its own sampling loop over the nodes it owns, and
+    // every shard carries a replica of the liveness flags — so the window
+    // markers and the crash/recovery flips are seeded everywhere. The owner
+    // shard runs the full crash path; the rest only flip `up` (the
+    // dispatcher's owner check keys off the layout).
+    for shard in 0..engine.n_shards() {
+        engine.schedule(shard, measure_start, Ev::BeginMeasure);
+        engine.schedule(shard, measure_end, Ev::EndMeasure);
+        for &(at, node, recover) in &crashes {
+            engine.schedule(shard, at, Ev::Crash { node });
+            if let Some(back) = recover {
+                engine.schedule(shard, back, Ev::Recover { node });
+            }
         }
     }
+}
+
+/// Build the sharded engine for `cfg`: one [`System`] shard per layout slot,
+/// worker threads capped by `cfg.par_run`, cross-shard horizon from the
+/// layout's lookahead. A single-shard layout (zero lookahead, or a chain
+/// with no query tiers) degenerates to the classic serial run.
+pub(super) fn build_engine(cfg: SystemConfig) -> ShardedEngine<System> {
+    let users = cfg.workload.users;
+    let threads = cfg.par_run.max(1) as usize;
+    let queue = cfg.queue;
+    let shards = System::shards(cfg).expect("invalid topology");
+    let lookahead = shards[0].layout().lookahead;
+    let mut engine = ShardedEngine::new(shards, lookahead, threads, queue, 1024);
+    // Pre-size the front queue for the closed-loop population (capacity
+    // only avoids reallocation; it never changes pop order).
+    engine.reserve(0, event_capacity_hint(users));
+    engine
+}
+
+/// Fold the back shards' telemetry into the front shard after a run:
+/// node reports and windowed replica series concatenate in shard order
+/// (owned ranges partition the chain in chain order, so this is global
+/// chain order), cross-shard client counters (brownout degradations,
+/// breaker transitions) sum elementwise, and every shard's span ring is
+/// returned (front first) for the trace stream.
+pub(super) fn merge_shards(shards: Vec<System>) -> (System, Vec<Tracer>) {
+    let mut iter = shards.into_iter();
+    let mut front = iter.next().expect("at least one shard");
+    let mut tracers = Vec::new();
+    if let Some(tr) = front.ctx.tracer.take() {
+        tracers.push(tr);
+    }
+    for mut sys in iter {
+        front.ctx.final_nodes.append(&mut sys.ctx.final_nodes);
+        front.ctx.outcomes.degraded += sys.ctx.outcomes.degraded;
+        if let Some(tr) = sys.ctx.tracer.take() {
+            tracers.push(tr);
+        }
+        if let Some(m) = sys.ctx.metrics_out.take() {
+            if let Some(fm) = front.ctx.metrics_out.as_mut() {
+                fm.replicas.extend(m.replicas);
+                for (a, b) in fm.client.degraded.iter_mut().zip(&m.client.degraded) {
+                    *a += b;
+                }
+                for (a, b) in fm
+                    .client
+                    .breaker_transitions
+                    .iter_mut()
+                    .zip(&m.client.breaker_transitions)
+                {
+                    *a += b;
+                }
+            }
+        }
+    }
+    (front, tracers)
 }
 
 /// Run one full trial and return its observables.
@@ -141,20 +205,12 @@ pub fn run_system_metered(mut cfg: SystemConfig) -> (RunOutput, RunMetrics) {
 /// Shared trial runner: build, seed, run to `trial_end`, and tear down into
 /// the run summary plus whatever optional instrumentation was enabled.
 pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<RunMetrics>>) {
-    let users = cfg.workload.users;
     let measure_start = cfg.workload.measure_start();
     let measure_end = cfg.workload.measure_end();
     let trial_end = cfg.workload.trial_end();
     let traced = cfg.trace.enabled();
-
-    // Pre-size the event queue for the closed-loop population: each session
-    // keeps roughly one event in flight, plus per-node CPU checks, samples,
-    // and the measurement markers. Capacity only avoids reallocation; it
-    // never changes pop order, so results are bit-identical either way.
-    let capacity = event_capacity_hint(users);
     let profiled = cfg.profile;
-    let queue = cfg.queue;
-    let mut engine = Engine::with_queue(System::new(cfg), queue, capacity);
+    let mut engine = build_engine(cfg);
     if traced {
         engine.enable_telemetry();
     }
@@ -163,17 +219,22 @@ pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<Ru
     }
     seed_engine_events(&mut engine);
     engine.run_until(trial_end);
+    // Deliver any observations still buffered from the final partial round
+    // (back-shard spans and GC windows bound for the flight recorder).
+    engine.finish_observations();
     let events = engine.events_processed();
     let stats = engine.stats();
     let profile = profiled.then(|| engine.profile());
-    let mut system = engine.into_model();
-    let tracer = system.ctx.tracer.take();
+    let (mut system, tracers) = merge_shards(engine.into_models());
     let recorder = system.ctx.flight.take();
     let metrics = system.ctx.metrics_out.take();
-    let (admitted, rejected, overwritten) = tracer
-        .as_ref()
-        .map(|t| (t.admitted(), t.rejected(), t.overwritten()))
-        .unwrap_or((0, 0, 0));
+    // Head-sampling admit decisions all happen on the front shard; span
+    // rings overwrite independently per shard.
+    let (admitted, rejected) = tracers
+        .first()
+        .map(|t| (t.admitted(), t.rejected()))
+        .unwrap_or((0, 0));
+    let overwritten: u64 = tracers.iter().map(|t| t.overwritten()).sum();
     // An exemplar is only citable when every span it observed survived the
     // ring; after any overwrite, cross-check retained traces against the
     // surviving span counts (same relevance filter the recorder buffers
@@ -193,7 +254,7 @@ pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<Ru
                 retained[i] = true;
             }
             let mut surviving: Vec<u32> = vec![0; retained.len()];
-            for s in tracer.iter().flat_map(|t| t.iter()) {
+            for s in tracers.iter().flat_map(|t| t.iter()) {
                 let i = s.trace as usize;
                 if retained.get(i).copied().unwrap_or(false) && f.observes(s) {
                     surviving[i] += 1;
@@ -208,7 +269,7 @@ pub fn run_system_full(cfg: SystemConfig) -> (RunOutput, RunTrace, Option<Box<Ru
     let mut out = system.ctx.into_output(events);
     out.profile = profile;
     let trace = RunTrace {
-        spans: tracer.map(Tracer::into_spans).unwrap_or_default(),
+        spans: tracers.into_iter().flat_map(Tracer::into_spans).collect(),
         admitted,
         rejected,
         overwritten,

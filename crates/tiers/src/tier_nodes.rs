@@ -14,19 +14,31 @@
 
 use crate::fault::Outcome;
 use crate::ids::{QueryId, ReqId, Tier, Token};
-use crate::request::{Query, QueryPhase, ReqPhase};
-use crate::system::{Ctx, Ev, TierMsg};
+use crate::request::{
+    Query, QueryDoneWire, QueryPhase, QueryReplyWire, QueryWire, ReqPhase, NO_REPLICA, NO_REQ,
+};
+use crate::system::{Ctx, Ev, SimQueue, TierMsg};
 use crate::topology::TierId;
-use simcore::{EventQueue, SimTime};
+use simcore::SimTime;
 
 /// One position in the tier chain: consumes the typed messages addressed to
 /// it and reacts to its servers' CPU completions.
-pub(crate) trait TierNode {
+///
+/// `Send` because each node rides its owning shard onto a worker thread
+/// under `--par-run`; the nodes are stateless, so this is free.
+pub(crate) trait TierNode: Send {
     /// Handle a message addressed to this tier.
-    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>);
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>);
 
     /// A CPU job finished on node `ni` (one of this tier's replicas).
-    fn cpu_done(&self, tok: Token, ni: usize, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>);
+    fn cpu_done(
+        &self,
+        tok: Token,
+        ni: usize,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut SimQueue<'_, '_>,
+    );
 }
 
 /// Instantiate the node implementation for a tier role at chain position
@@ -51,7 +63,7 @@ struct WebNode {
 }
 
 impl WebNode {
-    fn req_arrive(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn req_arrive(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         let rep = {
             let req = ctx.requests.get_mut(r);
             req.t_arrive_front = now;
@@ -78,7 +90,7 @@ impl WebNode {
                 ctx.nodes[ni].shed += 1;
                 ctx.route_departed(self.id, rep);
                 let track = ctx.links[self.id].name;
-                ctx.req_span(trace, track, ntier_trace::SHED, now, now);
+                ctx.req_span(trace, track, ntier_trace::SHED, now, now, q);
                 // No worker ⇒ no linger arm.
                 ctx.free_request_arm(r);
                 q.schedule(now + ctx.hop(512), Ev::ResponseToClient(r));
@@ -100,7 +112,7 @@ impl WebNode {
             ctx.nodes[ni].failed += 1;
             ctx.route_departed(self.id, rep);
             let track = ctx.links[self.id].name;
-            ctx.req_span(trace, track, ntier_trace::BREAKER, now, now);
+            ctx.req_span(trace, track, ntier_trace::BREAKER, now, now, q);
             // No worker ⇒ no linger arm.
             ctx.free_request_arm(r);
             q.schedule(now + ctx.hop(512), Ev::ResponseToClient(r));
@@ -114,7 +126,7 @@ impl WebNode {
         }
     }
 
-    fn start_pre(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn start_pre(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         let demand = ctx.jitter_ms(ctx.cfg.params.apache_pre_ms);
         let (ni, trace, t_arrive) = {
             let req = ctx.requests.get_mut(r);
@@ -127,12 +139,12 @@ impl WebNode {
             )
         };
         let track = ctx.links[self.id].name;
-        ctx.req_span(trace, track, ntier_trace::ACCEPT_WAIT, t_arrive, now);
+        ctx.req_span(trace, track, ntier_trace::ACCEPT_WAIT, t_arrive, now, q);
         ctx.cpu_submit(ni, Token::Req(r), demand, now, q);
     }
 
     /// Pre-CPU finished: forward to the downstream (app) tier.
-    fn forward_downstream(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn forward_downstream(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         let (rep, trace, t_worker) = {
             let req = ctx.requests.get_mut(r);
             req.phase = ReqPhase::WaitAppThread;
@@ -144,7 +156,7 @@ impl WebNode {
             )
         };
         let track = ctx.links[self.id].name;
-        ctx.req_span(trace, track, ntier_trace::WORKER_PRE, t_worker, now);
+        ctx.req_span(trace, track, ntier_trace::WORKER_PRE, t_worker, now, q);
         ctx.probes[rep].interacting += 1;
         let down = ctx.links[self.id]
             .down
@@ -157,7 +169,7 @@ impl WebNode {
     }
 
     /// Post-CPU finished: send the response and linger on close.
-    fn finish(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn finish(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         let (rep, response_kb, trace, t_arrive, t_post, served) = {
             let req = ctx.requests.get(r);
             (
@@ -177,8 +189,8 @@ impl WebNode {
             ctx.probes[rep].processed.incr(now);
         }
         let track = ctx.links[self.id].name;
-        ctx.req_span(trace, track, ntier_trace::WORKER_POST, t_post, now);
-        ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_arrive, now);
+        ctx.req_span(trace, track, ntier_trace::WORKER_POST, t_post, now, q);
+        ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_arrive, now, q);
         {
             let req = ctx.requests.get_mut(r);
             req.t_front_done = now;
@@ -204,14 +216,14 @@ impl WebNode {
         );
     }
 
-    fn linger_done(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn linger_done(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         let rep = ctx.requests.get(r).route[self.id] as usize;
         let (trace, t_done) = {
             let req = ctx.requests.get(r);
             (req.trace, req.t_front_done)
         };
         let track = ctx.links[self.id].name;
-        ctx.req_span(trace, track, ntier_trace::LINGER_CLOSE, t_done, now);
+        ctx.req_span(trace, track, ntier_trace::LINGER_CLOSE, t_done, now, q);
         // Worker busy-time probes (Fig. 7(b)/(e)).
         {
             let req = ctx.requests.get(r);
@@ -236,7 +248,7 @@ impl WebNode {
     }
 
     /// The downstream tier's response arrived: run post-processing CPU.
-    fn req_reply(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn req_reply(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         let (ni, demand_ms, rep, trace, t_interact) = {
             let req = ctx.requests.get_mut(r);
             req.backend_interact_secs += now.saturating_sub(req.t_backend_start).as_secs_f64();
@@ -253,7 +265,14 @@ impl WebNode {
             )
         };
         let track = ctx.links[self.id].name;
-        ctx.req_span(trace, track, ntier_trace::TOMCAT_INTERACT, t_interact, now);
+        ctx.req_span(
+            trace,
+            track,
+            ntier_trace::TOMCAT_INTERACT,
+            t_interact,
+            now,
+            q,
+        );
         ctx.probes[rep].interacting -= 1;
         let demand = ctx.jitter_ms(demand_ms);
         ctx.cpu_submit(ni, Token::Req(r), demand, now, q);
@@ -261,7 +280,7 @@ impl WebNode {
 }
 
 impl TierNode for WebNode {
-    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         match msg {
             TierMsg::ReqArrive(r) => self.req_arrive(r, now, ctx, q),
             TierMsg::PoolGranted(r) => self.start_pre(r, now, ctx, q),
@@ -277,7 +296,7 @@ impl TierNode for WebNode {
         _ni: usize,
         now: SimTime,
         ctx: &mut Ctx,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
         let Token::Req(r) = tok else {
             unreachable!("token {tok:?} on web tier")
@@ -301,7 +320,7 @@ struct AppNode {
 }
 
 impl AppNode {
-    fn req_arrive(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn req_arrive(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         let (ni, demand_ms) = {
             let req = ctx.requests.get_mut(r);
             req.t_arrive_app = now;
@@ -331,7 +350,7 @@ impl AppNode {
     }
 
     /// Run the next CPU slice (slices interleave with queries).
-    fn start_slice(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn start_slice(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         let (ni, slice_demand, slice_alloc, first_slice) = {
             let req = ctx.requests.get_mut(r);
             // Only the first slice enters through the thread-pool queue;
@@ -356,14 +375,14 @@ impl AppNode {
                 (req.trace, req.t_arrive_app)
             };
             let track = ctx.links[self.id].name;
-            ctx.req_span(trace, track, ntier_trace::THREAD_WAIT, t_arrive, now);
+            ctx.req_span(trace, track, ntier_trace::THREAD_WAIT, t_arrive, now, q);
         }
         ctx.jvm_alloc(ni, slice_alloc, now, q);
         ctx.cpu_submit(ni, Token::Req(r), slice_demand, now, q);
     }
 
     /// A CPU slice completed: issue the next query or finish.
-    fn after_slice(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn after_slice(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         if ctx.requests.get(r).deadline_exceeded {
             // A deadline fired mid-slice; this is the unwind checkpoint.
             ctx.fail_at_app(r, Outcome::TimedOut, now, q);
@@ -400,8 +419,8 @@ impl AppNode {
             };
             ctx.nodes[ni].log.record(t_arrive, now);
             let track = ctx.links[self.id].name;
-            ctx.req_span(trace, track, ntier_trace::SERVICE, t_granted, now);
-            ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_arrive, now);
+            ctx.req_span(trace, track, ntier_trace::SERVICE, t_granted, now, q);
+            ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_arrive, now, q);
             if ctx.links[self.id].timeout.is_some() {
                 // The app tier armed the active deadline; its residence is
                 // over, so disarm (a front-tier deadline, if configured,
@@ -422,11 +441,11 @@ impl AppNode {
         }
     }
 
-    fn issue_query(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
-        let is_write = {
+    fn issue_query(&self, r: ReqId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
+        let (is_write, interaction) = {
             let req = ctx.requests.get(r);
             let inter = ctx.catalog.get(req.interaction);
-            req.queries_done < inter.write_queries
+            (req.queries_done < inter.write_queries, req.interaction)
         };
         let (trace, t_wait) = {
             let req = ctx.requests.get_mut(r);
@@ -435,10 +454,12 @@ impl AppNode {
             (req.trace, req.t_conn_wait_start)
         };
         let track = ctx.links[self.id].name;
-        ctx.req_span(trace, track, ntier_trace::CONN_WAIT, t_wait, now);
+        ctx.req_span(trace, track, ntier_trace::CONN_WAIT, t_wait, now, q);
         let qid = {
             let mut query = Query::new(r, is_write, SimTime::ZERO);
             query.t_issued = now;
+            query.interaction = interaction;
+            query.trace = trace;
             ctx.queries.insert(query)
         };
         let down = ctx.links[self.id].down.expect("app tier has a downstream");
@@ -449,7 +470,10 @@ impl AppNode {
             let query = ctx.queries.get_mut(qid);
             query.failed = true;
             query.fast_failed = true;
-            q.schedule_now(Ev::Tier(self.id as u8, TierMsg::QueryDone(qid)));
+            q.schedule_now(Ev::Tier(
+                self.id as u8,
+                TierMsg::QueryDone(QueryDoneWire::local(qid)),
+            ));
             return;
         }
         if ctx.links[down].role == Tier::Cmw {
@@ -462,12 +486,21 @@ impl AppNode {
                 ctx.queries.get_mut(qid).failed = true;
                 q.schedule(
                     now + ctx.hop(300),
-                    Ev::Tier(self.id as u8, TierMsg::QueryDone(qid)),
+                    Ev::Tier(self.id as u8, TierMsg::QueryDone(QueryDoneWire::local(qid))),
                 );
             } else {
+                // Sender-side routing: remember the pick so the outstanding
+                // count settles here when the middleware's answer lands.
+                ctx.queries.get_mut(qid).mw_idx = rep;
+                let wire = QueryWire {
+                    src_qid: qid,
+                    interaction,
+                    trace,
+                    is_write,
+                };
                 q.schedule(
                     now + ctx.hop(300),
-                    Ev::Tier(down as u8, TierMsg::QueryArrive(qid, rep)),
+                    Ev::Tier(down as u8, TierMsg::QueryArrive(wire, rep)),
                 );
             }
         } else if ctx.drop_query_to(down) {
@@ -475,7 +508,7 @@ impl AppNode {
             ctx.queries.get_mut(qid).failed = true;
             q.schedule(
                 now + ctx.hop(300),
-                Ev::Tier(self.id as u8, TierMsg::QueryDone(qid)),
+                Ev::Tier(self.id as u8, TierMsg::QueryDone(QueryDoneWire::local(qid))),
             );
         } else {
             // 3-tier chain: the app tier talks to the databases directly.
@@ -483,35 +516,72 @@ impl AppNode {
         }
     }
 
-    /// A database replied directly (3-tier chains, no middleware).
-    fn query_reply(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
-        let done = {
+    /// A database replied directly (3-tier chains, no middleware). The wire
+    /// merges the branch's outcome into the app-side query and settles the
+    /// sender-side replica pick for reads.
+    fn query_reply(
+        &self,
+        rw: QueryReplyWire,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut SimQueue<'_, '_>,
+    ) {
+        let qid = rw.dst_qid;
+        let (done, is_write, r) = {
             let query = ctx.queries.get_mut(qid);
             query.pending_replies -= 1;
-            query.pending_replies == 0
+            query.failed |= rw.failed;
+            query.t_enter_db = rw.t_enter_db;
+            (query.pending_replies == 0, query.is_write, query.req)
         };
+        let down = ctx.links[self.id].down.expect("app tier has a downstream");
+        // Reads settle the replica pick made at dispatch; broadcast writes
+        // bypass least-outstanding bookkeeping entirely.
+        if !is_write {
+            ctx.route_departed(down, rw.rep as usize);
+        }
+        // Demand observed at the database settles into the request's
+        // attribution vector here (back shards never touch `requests`).
+        if rw.demand != 0.0 {
+            ctx.requests.get_mut(r).demand_secs[down] += rw.demand;
+        }
         if done {
             // The result set is consumed by the JDBC driver while the app
             // thread and DB connection stay occupied.
             q.schedule(
                 now + ctx.cfg.params.query_result_hold,
-                Ev::Tier(self.id as u8, TierMsg::QueryDone(qid)),
+                Ev::Tier(self.id as u8, TierMsg::QueryDone(QueryDoneWire::local(qid))),
             );
         }
     }
 
-    fn query_done(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
-        let query = ctx.queries.remove(qid);
+    fn query_done(&self, dw: QueryDoneWire, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
+        let qid = dw.dst_qid;
+        let mut query = ctx.queries.remove(qid);
+        query.failed |= dw.failed;
+        query.fast_failed |= dw.fast_failed;
         let r = query.req;
+        let down = ctx.links[self.id].down.expect("app tier has a downstream");
+        // Sender-side routing: settle the middleware pick recorded at issue
+        // (4-tier wire sends only; drops and fail-fasts never recorded one).
+        if query.mw_idx != NO_REPLICA {
+            ctx.route_departed(down, query.mw_idx as usize);
+        }
         // Breaker signal for the tier below: one finished call per query.
         // Fail-fast rejections (by this breaker or one further down) carry no
         // backend signal and are skipped.
-        {
-            let down = ctx.links[self.id].down.expect("app tier has a downstream");
-            if ctx.breakers[down].is_some() && !query.fast_failed {
-                let latency = now.saturating_sub(query.t_issued);
-                ctx.breaker_record(down, now, query.failed, latency);
-            }
+        if ctx.breakers[down].is_some() && !query.fast_failed {
+            let latency = now.saturating_sub(query.t_issued);
+            ctx.breaker_record(down, now, query.failed, latency);
+        }
+        // Downstream service demand rides the wire home: middleware CPU to
+        // the middleware tier, database CPU to the tier below it.
+        if dw.mw_demand != 0.0 {
+            ctx.requests.get_mut(r).demand_secs[down] += dw.mw_demand;
+        }
+        if dw.db_demand != 0.0 {
+            let db_t = ctx.links[down].down.unwrap_or(down);
+            ctx.requests.get_mut(r).demand_secs[db_t] += dw.db_demand;
         }
         let (ni, trace, t_issued, deadline) = {
             let req = ctx.requests.get_mut(r);
@@ -526,7 +596,7 @@ impl AppNode {
         // The fan-out child as the app thread sees it: DB connection held
         // from issue to reply consumption (the paper's `t1'`/`t2'` periods).
         let track = ctx.links[self.id].name;
-        ctx.req_span(trace, track, ntier_trace::QUERY, t_issued, now);
+        ctx.req_span(trace, track, ntier_trace::QUERY, t_issued, now, q);
         let pool = ctx.nodes[ni]
             .conn_pool
             .as_mut()
@@ -545,13 +615,13 @@ impl AppNode {
 }
 
 impl TierNode for AppNode {
-    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         match msg {
             TierMsg::ReqArrive(r) => self.req_arrive(r, now, ctx, q),
             TierMsg::PoolGranted(r) => self.start_slice(r, now, ctx, q),
             TierMsg::ConnGranted(r) => self.issue_query(r, now, ctx, q),
-            TierMsg::QueryReply(qid) => self.query_reply(qid, now, ctx, q),
-            TierMsg::QueryDone(qid) => self.query_done(qid, now, ctx, q),
+            TierMsg::QueryReply(rw) => self.query_reply(rw, now, ctx, q),
+            TierMsg::QueryDone(dw) => self.query_done(dw, now, ctx, q),
             other => unreachable!("app tier got {other:?}"),
         }
     }
@@ -562,7 +632,7 @@ impl TierNode for AppNode {
         _ni: usize,
         now: SimTime,
         ctx: &mut Ctx,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
         let Token::Req(r) = tok else {
             unreachable!("token {tok:?} on app tier")
@@ -584,22 +654,27 @@ struct CmwNode {
 impl CmwNode {
     fn query_arrive(
         &self,
-        qid: QueryId,
+        wire: QueryWire,
         rep: u16,
         now: SimTime,
         ctx: &mut Ctx,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
-        {
-            let query = ctx.queries.get_mut(qid);
-            query.t_enter_mw = now;
+        // Insert the local mirror of the app-side query: a serving shard
+        // never dereferences the issuing shard's slabs, so everything the
+        // middleware needs rides the wire in.
+        let qid = {
+            let mut query = Query::new(NO_REQ, wire.is_write, now);
+            query.upstream_qid = wire.src_qid;
+            query.interaction = wire.interaction;
+            query.trace = wire.trace;
             query.mw_idx = rep;
-            query.phase = QueryPhase::MwPre;
-        }
+            ctx.queries.insert(query)
+        };
         let ni = ctx.links[self.id].base + rep as usize;
         ctx.nodes[ni].arrivals += 1;
         if !ctx.nodes[ni].up {
-            self.fail_query(qid, ni, rep as usize, now, ctx, q);
+            self.fail_query(qid, ni, now, ctx, q);
             return;
         }
         ctx.jvm_alloc(ni, ctx.cfg.params.cjdbc_alloc_per_query, now, q);
@@ -613,46 +688,71 @@ impl CmwNode {
         ctx.cpu_submit(ni, Token::Query(qid), demand, now, q);
     }
 
-    /// Fail query `qid` at middleware replica `rep`: settle the node's
+    /// Fail query `qid` at middleware node `ni`: settle the node's
     /// conservation counters and error-reply to the app tier (no merge CPU).
+    /// The issuing shard's outstanding count settles when the wire lands.
     fn fail_query(
         &self,
         qid: QueryId,
         ni: usize,
-        rep: usize,
         now: SimTime,
         ctx: &mut Ctx,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
-        ctx.queries.get_mut(qid).failed = true;
+        let wire = {
+            let query = ctx.queries.get_mut(qid);
+            query.failed = true;
+            QueryDoneWire {
+                dst_qid: query.upstream_qid,
+                failed: true,
+                fast_failed: query.fast_failed,
+                mw_demand: query.demand,
+                db_demand: query.db_demand,
+            }
+        };
+        ctx.queries.remove(qid);
         ctx.nodes[ni].departures += 1;
         ctx.nodes[ni].failed += 1;
-        ctx.route_departed(self.id, rep);
         let up = ctx.links[self.id].up.expect("middleware has an upstream");
         q.schedule(
             now + ctx.hop(2048),
-            Ev::Tier(up as u8, TierMsg::QueryDone(qid)),
+            Ev::Tier(up as u8, TierMsg::QueryDone(wire)),
         );
     }
 
     /// A database reply reached the middleware.
-    fn query_reply(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
-        let (done, ni, rep) = {
+    fn query_reply(
+        &self,
+        rw: QueryReplyWire,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut SimQueue<'_, '_>,
+    ) {
+        let qid = rw.dst_qid;
+        let (done, ni, is_write) = {
             let query = ctx.queries.get_mut(qid);
             query.pending_replies -= 1;
+            query.failed |= rw.failed;
+            query.t_enter_db = rw.t_enter_db;
+            query.db_demand += rw.demand;
             (
                 query.pending_replies == 0,
                 ctx.links[self.id].base + query.mw_idx as usize,
-                query.mw_idx as usize,
+                query.is_write,
             )
         };
+        let down = ctx.links[self.id]
+            .down
+            .expect("middleware has a downstream");
+        // Reads settle the replica pick made at dispatch; broadcast writes
+        // bypass least-outstanding bookkeeping entirely.
+        if !is_write {
+            ctx.route_departed(down, rw.rep as usize);
+        }
         if done {
             // Breaker signal for the database tier: one finished round-trip
             // per query (broadcast writes count once, when the last branch
             // lands).
-            let down = ctx.links[self.id]
-                .down
-                .expect("middleware has a downstream");
             if ctx.breakers[down].is_some() {
                 let (failed, t_db) = {
                     let query = ctx.queries.get(qid);
@@ -664,7 +764,7 @@ impl CmwNode {
             // middleware crash while the query was at the databases both
             // poison the result: error-reply instead of merging.
             if ctx.queries.get(qid).failed || !ctx.nodes[ni].up {
-                self.fail_query(qid, ni, rep, now, ctx, q);
+                self.fail_query(qid, ni, now, ctx, q);
                 return;
             }
             ctx.queries.get_mut(qid).phase = QueryPhase::MwPost;
@@ -675,36 +775,42 @@ impl CmwNode {
     }
 
     /// Merge CPU done: reply to the app tier.
-    fn reply(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
-        let (ni, rep, trace, t_enter) = {
+    fn reply(&self, qid: QueryId, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
+        let (wire, ni, trace, t_enter) = {
             let query = ctx.queries.get(qid);
             (
+                QueryDoneWire {
+                    dst_qid: query.upstream_qid,
+                    failed: false,
+                    fast_failed: false,
+                    mw_demand: query.demand,
+                    db_demand: query.db_demand,
+                },
                 ctx.links[self.id].base + query.mw_idx as usize,
-                query.mw_idx as usize,
-                ctx.requests.get(query.req).trace,
+                query.trace,
                 query.t_enter_mw,
             )
         };
         ctx.nodes[ni].log.record(t_enter, now);
         let track = ctx.links[self.id].name;
-        ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_enter, now);
+        ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_enter, now, q);
         // The result set travels back and is consumed by the JDBC driver
         // while the app thread and DB connection stay occupied.
         let up = ctx.links[self.id].up.expect("middleware has an upstream");
         q.schedule(
             now + ctx.hop(2048) + ctx.cfg.params.query_result_hold,
-            Ev::Tier(up as u8, TierMsg::QueryDone(qid)),
+            Ev::Tier(up as u8, TierMsg::QueryDone(wire)),
         );
         ctx.nodes[ni].departures += 1;
-        ctx.route_departed(self.id, rep);
+        ctx.queries.remove(qid);
     }
 }
 
 impl TierNode for CmwNode {
-    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         match msg {
-            TierMsg::QueryArrive(qid, rep) => self.query_arrive(qid, rep, now, ctx, q),
-            TierMsg::QueryReply(qid) => self.query_reply(qid, now, ctx, q),
+            TierMsg::QueryArrive(wire, rep) => self.query_arrive(wire, rep, now, ctx, q),
+            TierMsg::QueryReply(rw) => self.query_reply(rw, now, ctx, q),
             other => unreachable!("middleware tier got {other:?}"),
         }
     }
@@ -715,7 +821,7 @@ impl TierNode for CmwNode {
         _ni: usize,
         now: SimTime,
         ctx: &mut Ctx,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
         let Token::Query(qid) = tok else {
             unreachable!("token {tok:?} on middleware tier")
@@ -729,25 +835,16 @@ impl TierNode for CmwNode {
                     // Open breaker on the database tier: error-reply without
                     // touching the wire; tagged so neither this breaker nor
                     // the middleware's own counts it as a backend signal.
-                    let (ni, rep) = {
+                    let ni = {
                         let query = ctx.queries.get_mut(qid);
                         query.fast_failed = true;
-                        (
-                            ctx.links[self.id].base + query.mw_idx as usize,
-                            query.mw_idx as usize,
-                        )
+                        ctx.links[self.id].base + query.mw_idx as usize
                     };
-                    self.fail_query(qid, ni, rep, now, ctx, q);
+                    self.fail_query(qid, ni, now, ctx, q);
                 } else if ctx.drop_query_to(down) {
                     // Dropped on the middleware→database wire.
-                    let (ni, rep) = {
-                        let query = ctx.queries.get(qid);
-                        (
-                            ctx.links[self.id].base + query.mw_idx as usize,
-                            query.mw_idx as usize,
-                        )
-                    };
-                    self.fail_query(qid, ni, rep, now, ctx, q);
+                    let ni = ctx.links[self.id].base + ctx.queries.get(qid).mw_idx as usize;
+                    self.fail_query(qid, ni, now, ctx, q);
                 } else {
                     ctx.dispatch_query_to_db(qid, down, now, q);
                 }
@@ -770,18 +867,26 @@ struct DbNode {
 impl DbNode {
     fn query_arrive(
         &self,
-        qid: QueryId,
+        wire: QueryWire,
         db: u16,
         now: SimTime,
         ctx: &mut Ctx,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
-        let demand_ms = {
-            let query = ctx.queries.get_mut(qid);
+        // Insert the local mirror (one per broadcast branch for writes); the
+        // database never dereferences the issuing shard's slabs.
+        let qid = {
+            let mut query = Query::new(NO_REQ, wire.is_write, SimTime::ZERO);
+            query.upstream_qid = wire.src_qid;
+            query.interaction = wire.interaction;
+            query.trace = wire.trace;
+            query.phase = QueryPhase::AtDb;
             query.t_enter_db = now;
-            let req = ctx.requests.get(query.req);
-            ctx.catalog.get(req.interaction).mysql_ms_per_query * ctx.cfg.params.mysql_scale
+            query.t_issued = now;
+            ctx.queries.insert(query)
         };
+        let demand_ms =
+            ctx.catalog.get(wire.interaction).mysql_ms_per_query * ctx.cfg.params.mysql_scale;
         let ni = ctx.links[self.id].base + db as usize;
         ctx.nodes[ni].arrivals += 1;
         if !ctx.nodes[ni].up {
@@ -802,30 +907,35 @@ impl DbNode {
     }
 
     /// Fail query `qid` at replica `db` (crashed replica): settle the node's
-    /// counters and send an error reply upstream.
+    /// counters and send an error reply upstream. The issuing shard settles
+    /// its own outstanding count when the wire lands there.
     fn fail_query(
         &self,
         qid: QueryId,
         db: u16,
         now: SimTime,
         ctx: &mut Ctx,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
         let ni = ctx.links[self.id].base + db as usize;
-        let is_write = {
+        let wire = {
             let query = ctx.queries.get_mut(qid);
             query.failed = true;
-            query.is_write
+            QueryReplyWire {
+                dst_qid: query.upstream_qid,
+                rep: db,
+                failed: true,
+                t_enter_db: query.t_enter_db,
+                demand: query.demand,
+            }
         };
+        ctx.queries.remove(qid);
         ctx.nodes[ni].departures += 1;
         ctx.nodes[ni].failed += 1;
-        if !is_write {
-            ctx.route_departed(self.id, db as usize);
-        }
         let up = ctx.links[self.id].up.expect("db tier has an upstream");
         q.schedule(
             now + ctx.hop(2048),
-            Ev::Tier(up as u8, TierMsg::QueryReply(qid)),
+            Ev::Tier(up as u8, TierMsg::QueryReply(wire)),
         );
     }
 
@@ -836,7 +946,7 @@ impl DbNode {
         db: u16,
         now: SimTime,
         ctx: &mut Ctx,
-        q: &mut EventQueue<Ev>,
+        q: &mut SimQueue<'_, '_>,
     ) {
         if ctx.rng_route.chance(ctx.cfg.params.disk_miss_prob) {
             let ni = ctx.links[self.id].base + db as usize;
@@ -848,7 +958,7 @@ impl DbNode {
         }
     }
 
-    fn finish(&self, qid: QueryId, db: u16, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn finish(&self, qid: QueryId, db: u16, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         let ni = ctx.links[self.id].base + db as usize;
         if !ctx.nodes[ni].up {
             // The replica crashed while this query was at the disk (CPU
@@ -857,41 +967,50 @@ impl DbNode {
             self.fail_query(qid, db, now, ctx, q);
             return;
         }
-        let (trace, t_enter, is_write) = {
+        let (wire, trace, t_enter) = {
             let query = ctx.queries.get(qid);
             (
-                ctx.requests.get(query.req).trace,
+                QueryReplyWire {
+                    dst_qid: query.upstream_qid,
+                    rep: db,
+                    failed: false,
+                    t_enter_db: query.t_enter_db,
+                    demand: query.demand,
+                },
+                query.trace,
                 query.t_enter_db,
-                query.is_write,
             )
         };
         ctx.nodes[ni].log.record(t_enter, now);
         let track = ctx.links[self.id].name;
-        ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_enter, now);
+        ctx.req_span(trace, track, ntier_trace::RESIDENCE, t_enter, now, q);
         let up = ctx.links[self.id].up.expect("db tier has an upstream");
         q.schedule(
             now + ctx.hop(2048),
-            Ev::Tier(up as u8, TierMsg::QueryReply(qid)),
+            Ev::Tier(up as u8, TierMsg::QueryReply(wire)),
         );
         ctx.nodes[ni].departures += 1;
-        // Writes broadcast to every replica and bypass replica selection, so
-        // only reads participate in least-outstanding bookkeeping.
-        if !is_write {
-            ctx.route_departed(self.id, db as usize);
-        }
+        ctx.queries.remove(qid);
     }
 }
 
 impl TierNode for DbNode {
-    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn handle(&self, msg: TierMsg, now: SimTime, ctx: &mut Ctx, q: &mut SimQueue<'_, '_>) {
         match msg {
-            TierMsg::QueryArrive(qid, db) => self.query_arrive(qid, db, now, ctx, q),
+            TierMsg::QueryArrive(wire, db) => self.query_arrive(wire, db, now, ctx, q),
             TierMsg::DiskDone(qid, db) => self.finish(qid, db, now, ctx, q),
             other => unreachable!("db tier got {other:?}"),
         }
     }
 
-    fn cpu_done(&self, tok: Token, ni: usize, now: SimTime, ctx: &mut Ctx, q: &mut EventQueue<Ev>) {
+    fn cpu_done(
+        &self,
+        tok: Token,
+        ni: usize,
+        now: SimTime,
+        ctx: &mut Ctx,
+        q: &mut SimQueue<'_, '_>,
+    ) {
         let Token::Query(qid) = tok else {
             unreachable!("token {tok:?} on db tier")
         };

@@ -164,13 +164,18 @@ fn run_golden_armed(hw: HardwareConfig, users: u32) -> (u64, u64) {
     (digest_output(&out), digest_str(&jsonl))
 }
 
-// Golden digests captured on the pre-refactor monolithic `System`
-// (commit after PR 1). Do not update these constants without first
-// establishing that an output change is intended and understood.
-const GOLD_1212_OUT: u64 = 0x49aaac2d95ef2e16;
-const GOLD_1212_TRACE: u64 = 0x04d970b5354833f6;
-const GOLD_1414_OUT: u64 = 0x5fb07b7d54800d05;
-const GOLD_1414_TRACE: u64 = 0x5bda3f2ae814fa47;
+// Golden digests captured when the engine moved to the horizon-sharded
+// runner (mirrored queries, sender-side routing, per-shard RNG forks —
+// see DESIGN.md §15; the previous constants dated from the pre-refactor
+// monolithic `System`). Do not update these constants without first
+// establishing that an output change is intended and understood. In
+// particular, `--par-run N` must NOT change them for any `N`: the shard
+// layout is topology-fixed, so every thread count replays the identical
+// event merge (tests/par_run.rs proves this field by field).
+const GOLD_1212_OUT: u64 = 0xc0182045b7981689;
+const GOLD_1212_TRACE: u64 = 0x53d94fa0985c5de6;
+const GOLD_1414_OUT: u64 = 0x779ff0ce572132ed;
+const GOLD_1414_TRACE: u64 = 0x259708a55379e7fe;
 
 #[test]
 fn golden_1_2_1_2_rule_of_thumb() {
@@ -297,6 +302,56 @@ fn golden_digests_identical_across_queue_backends() {
             "backend {kind} perturbed 1/4/1/4 trace: got {trace:#018x}"
         );
     }
+}
+
+/// `--par-run N` is the other pure performance knob: the shard layout is
+/// fixed by the topology alone, so every worker count executes the same
+/// rounds over the same (time, key)-ordered event merge and must reproduce
+/// the serial golden digests bit for bit. This is the end-to-end half of
+/// the proof; tests/par_run.rs compares the full observable surface field
+/// by field across topologies and fault campaigns.
+#[test]
+fn golden_digests_identical_under_par_run() {
+    for par in [2u32, 4, 8] {
+        let mut cfg = SystemConfig::new(
+            HardwareConfig::one_two_one_two(),
+            SoftAllocation::rule_of_thumb(),
+            2000,
+        );
+        cfg.workload = WorkloadConfig::quick(2000);
+        cfg.trace = TraceConfig::Sampled(0.25);
+        cfg.par_run = par;
+        let (out, trace) = run_system_traced(cfg);
+        let jsonl = export::to_jsonl(trace.spans.iter());
+        let (out, trace) = (digest_output(&out), digest_str(&jsonl));
+        assert_eq!(
+            out, GOLD_1212_OUT,
+            "par_run={par} perturbed 1/2/1/2 output: got {out:#018x}"
+        );
+        assert_eq!(
+            trace, GOLD_1212_TRACE,
+            "par_run={par} perturbed 1/2/1/2 trace: got {trace:#018x}"
+        );
+    }
+    let mut cfg = SystemConfig::new(
+        HardwareConfig::one_four_one_four(),
+        SoftAllocation::rule_of_thumb(),
+        2400,
+    );
+    cfg.workload = WorkloadConfig::quick(2400);
+    cfg.trace = TraceConfig::Sampled(0.25);
+    cfg.par_run = 4;
+    let (out, trace) = run_system_traced(cfg);
+    let jsonl = export::to_jsonl(trace.spans.iter());
+    let (out, trace) = (digest_output(&out), digest_str(&jsonl));
+    assert_eq!(
+        out, GOLD_1414_OUT,
+        "par_run=4 perturbed 1/4/1/4 output: got {out:#018x}"
+    );
+    assert_eq!(
+        trace, GOLD_1414_TRACE,
+        "par_run=4 perturbed 1/4/1/4 trace: got {trace:#018x}"
+    );
 }
 
 /// The flight recorder + critical-path analysis + SLO counting are passive

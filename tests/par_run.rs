@@ -1,0 +1,207 @@
+//! Differential suite for the horizon-sharded single-run engine: `--par-run
+//! N` must be **bit-identical** to the serial run for every `N`.
+//!
+//! The shard layout is fixed by the topology alone (DESIGN.md §15), every
+//! cross-shard event carries a deterministic `(time, key)`, and the round
+//! schedule depends only on queue contents — so the worker-thread count can
+//! change nothing but wall-clock. These tests prove that field by field:
+//! the full `RunOutput` (Debug formatting covers every field, and Rust's
+//! shortest-roundtrip float formatting makes it bit-faithful), the trace
+//! JSONL byte stream, the windowed-metrics CSV, the drain-time conservation
+//! report, and the sampling/ring counters — across topologies, fault
+//! campaigns, retry storms, and every passive-observability combination.
+//!
+//! The tiny-lookahead case drops `net_latency` to zero, shrinking the
+//! cross-shard horizon to the 300-byte serialization time (~2.4 µs) — the
+//! maximal barrier-churn regime, where a scheduling bug would have the most
+//! rounds per simulated second in which to show itself.
+
+mod common;
+
+use rubbos_ntier::jvm_gc::GcConfig;
+use rubbos_ntier::metrics::export::to_csv;
+use rubbos_ntier::ntier_trace::export;
+use rubbos_ntier::prelude::*;
+use rubbos_ntier::simcore::SimTime;
+use rubbos_ntier::workload::WorkloadConfig;
+
+/// Render a run's full observable surface as comparable strings:
+/// (RunOutput minus the wall-clock profile, trace JSONL + counters,
+/// metrics CSV). Wall-clock fields are the *only* exclusions — they are
+/// measurements of the host, not of the simulation.
+fn observables(mut cfg: SystemConfig, par_run: u32) -> (String, String, String) {
+    cfg.par_run = par_run;
+    let (mut out, trace, metrics) = run_system_full(cfg);
+    // The profile carries host wall-clock (and per-shard stall attribution
+    // that exists only to describe the host execution); everything else in
+    // RunOutput is simulation output and must match bit for bit.
+    out.profile = None;
+    let jsonl = export::to_jsonl(trace.spans.iter());
+    let trace_side = format!(
+        "admitted={} rejected={} overwritten={} events={}\n{jsonl}",
+        trace.admitted, trace.rejected, trace.overwritten, trace.engine.events_processed,
+    );
+    let csv = metrics.map(|m| to_csv(&m)).unwrap_or_default();
+    (format!("{out:?}"), trace_side, csv)
+}
+
+/// Assert serial vs `par_run` ∈ {2, 4, 8} equality on all three surfaces.
+fn assert_par_matches_serial(cfg: &SystemConfig, label: &str) {
+    let serial = observables(cfg.clone(), 1);
+    for par in [2, 4, 8] {
+        let sharded = observables(cfg.clone(), par);
+        assert_eq!(
+            serial.0, sharded.0,
+            "{label}: RunOutput diverged at par_run={par}"
+        );
+        assert_eq!(
+            serial.1, sharded.1,
+            "{label}: trace stream diverged at par_run={par}"
+        );
+        assert_eq!(
+            serial.2, sharded.2,
+            "{label}: metrics CSV diverged at par_run={par}"
+        );
+    }
+}
+
+/// The paper 1/2/1/2 chain with the full passive-observability stack armed:
+/// sampled tracing, windowed metrics, engine profiling, the tail-sampling
+/// flight recorder, and an SLO. Everything that could possibly interleave
+/// with the shard rounds is on.
+#[test]
+fn par_run_matches_serial_with_everything_armed() {
+    let mut cfg = common::scaled_config(
+        HardwareConfig::one_two_one_two(),
+        SoftAllocation::rule_of_thumb(),
+        900,
+    );
+    cfg.trace = TraceConfig::Sampled(0.25);
+    cfg.metrics = MetricsConfig::windowed_default();
+    cfg.flight = FlightConfig::tail(4);
+    cfg.slo = Some(SloPolicy::new(0.99, 0.5));
+    cfg.profile = true;
+    assert_par_matches_serial(&cfg, "1/2/1/2 armed");
+}
+
+/// The wider 1/4/1/4 chain (more replicas per back shard).
+#[test]
+fn par_run_matches_serial_on_1414() {
+    let mut cfg = common::scaled_config(
+        HardwareConfig::one_four_one_four(),
+        SoftAllocation::rule_of_thumb(),
+        1000,
+    );
+    cfg.trace = TraceConfig::Full;
+    assert_par_matches_serial(&cfg, "1/4/1/4");
+}
+
+/// A 3-tier chain (no clustering middleware): one fewer shard, app queries
+/// go straight to the DB shard.
+#[test]
+fn par_run_matches_serial_on_three_tier() {
+    let soft = SoftAllocation::rule_of_thumb();
+    let topo = Topology::three_tier(1, 2, 2, soft, GcConfig::jdk6_server());
+    let mut cfg =
+        SystemConfig::new(HardwareConfig::one_two_one_two(), soft, 400).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(400);
+    common::scale_params(&mut cfg);
+    cfg.trace = TraceConfig::Sampled(0.5);
+    cfg.metrics = MetricsConfig::windowed_default();
+    assert_par_matches_serial(&cfg, "3-tier");
+}
+
+/// Every fault mechanism at once: DB crash + recovery + cold-cache slow
+/// window, middleware wire drops, an app deadline, front-tier shedding, and
+/// backoff retries. Crash/Recover events are replicated to every shard
+/// (owner runs the crash path, the rest flip the liveness bit), so this is
+/// the test that would catch a replication-ordering bug.
+#[test]
+fn par_run_matches_serial_under_faults() {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::rule_of_thumb();
+    let mut topo = Topology::paper(hw, soft);
+    topo.tiers[0].shed = ShedPolicy::QueueDepth(60);
+    topo.tiers[1].timeout = Some(SimTime::from_secs_f64(2.0));
+    topo.tiers[2].fault = FaultSpec::none().with_drop_prob(0.01);
+    topo.tiers[3].fault = FaultSpec::none()
+        .with_crash(
+            1,
+            SimTime::from_secs_f64(15.0),
+            Some(SimTime::from_secs_f64(25.0)),
+        )
+        .with_slow(
+            1,
+            SimTime::from_secs_f64(25.0),
+            Some(SimTime::from_secs_f64(32.0)),
+            5.0,
+        );
+    let mut cfg = SystemConfig::new(hw, soft, 900).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(900);
+    common::scale_params(&mut cfg);
+    cfg.retry = RetryPolicy::backoff(3, SimTime::from_secs_f64(0.3), 2.0, 0.5);
+    cfg.trace = TraceConfig::Sampled(0.25);
+    cfg.metrics = MetricsConfig::windowed_default();
+    assert_par_matches_serial(&cfg, "faulted");
+}
+
+/// A retry storm: a permanent mid-run DB crash with naive retries and a
+/// retry budget — failure wires, breaker transitions, and budget tokens all
+/// crossing shard boundaries under load.
+#[test]
+fn par_run_matches_serial_under_retry_storm() {
+    let hw = HardwareConfig::one_two_one_two();
+    let soft = SoftAllocation::rule_of_thumb();
+    let mut topo = Topology::paper(hw, soft);
+    topo.tiers[1].timeout = Some(SimTime::from_secs_f64(1.5));
+    topo.tiers[3].fault = FaultSpec::none().with_crash(0, SimTime::from_secs_f64(18.0), None);
+    let mut cfg = SystemConfig::new(hw, soft, 1000).with_topology(topo);
+    cfg.workload = WorkloadConfig::quick(1000);
+    common::scale_params(&mut cfg);
+    cfg.retry = RetryPolicy::naive(3);
+    cfg.retry_budget = RetryBudget::new(0.2, 20.0);
+    cfg.metrics = MetricsConfig::windowed_default();
+    assert_par_matches_serial(&cfg, "retry storm");
+}
+
+/// Zero `net_latency` shrinks the lookahead to the 300-byte wire
+/// serialization time (~2.4 µs): thousands of barrier rounds per simulated
+/// second, the regime where any horizon off-by-one would surface.
+#[test]
+fn par_run_matches_serial_with_tiny_lookahead() {
+    let mut cfg = common::scaled_config(
+        HardwareConfig::one_two_one_two(),
+        SoftAllocation::rule_of_thumb(),
+        500,
+    );
+    cfg.params.net_latency = SimTime::ZERO;
+    cfg.trace = TraceConfig::Sampled(0.5);
+    assert_par_matches_serial(&cfg, "tiny lookahead");
+}
+
+/// The drain-time conservation report is gathered per shard before the
+/// telemetry merge; it must also be thread-count-invariant.
+#[test]
+fn par_run_matches_serial_through_drain() {
+    let base = common::scaled_config(
+        HardwareConfig::one_two_one_two(),
+        SoftAllocation::rule_of_thumb(),
+        700,
+    );
+    let drain = |par: u32| {
+        let (out, report) = run_system_to_drain(base.clone().with_par_run(par));
+        (format!("{out:?}"), format!("{report:?}"))
+    };
+    let (serial_out, serial_report) = drain(1);
+    for par in [2, 4] {
+        let (out, report) = drain(par);
+        assert_eq!(serial_out, out, "drain RunOutput diverged at par_run={par}");
+        assert_eq!(
+            serial_report, report,
+            "DrainReport diverged at par_run={par}"
+        );
+        // A clean drain on any thread count: nothing in flight anywhere.
+        assert!(report.contains("in_flight_requests: 0"));
+        assert!(report.contains("in_flight_queries: 0"));
+    }
+}

@@ -61,6 +61,49 @@ fn profile_is_coherent_with_the_run_it_measured() {
     assert_eq!(plain.events_processed, out.events_processed);
 }
 
+/// The sharded engine's per-shard load attribution must cohere with the
+/// global totals it is an attribution *of*: shard events partition the
+/// processed total, rounds are counted, and no shard's busy time exceeds
+/// the run's wall clock. Holds for any worker count — including one, since
+/// the layout (and thus the rounds) never depends on it.
+#[test]
+fn shard_profile_partitions_the_run() {
+    let hw = HardwareConfig::one_two_one_two();
+    for par in [1, 4] {
+        let cfg = scaled_config(hw, SoftAllocation::rule_of_thumb(), 600).with_par_run(par);
+        let out = run_system_profiled(cfg);
+        let profile = out.profile.as_ref().expect("profiled run carries profile");
+        // Paper chain: front (web+app), cmw, db — three shards.
+        assert_eq!(profile.shards.len(), 3, "par_run={par}");
+        assert!(profile.rounds > 0, "par_run={par}: no rounds counted");
+        let shard_events: u64 = profile.shards.iter().map(|s| s.events_processed).sum();
+        assert_eq!(
+            shard_events, profile.events_processed,
+            "par_run={par}: shard events do not partition the total"
+        );
+        for s in &profile.shards {
+            assert!(
+                s.events_processed > 0,
+                "par_run={par}: idle shard {}",
+                s.shard
+            );
+            assert!(
+                s.busy_secs <= profile.wall_secs * 1.5,
+                "par_run={par}: shard {} busy {} vs wall {}",
+                s.shard,
+                s.busy_secs,
+                profile.wall_secs
+            );
+            assert!(s.utilization(profile.wall_secs) >= 0.0);
+            assert!(s.stall_share(profile.wall_secs) >= 0.0);
+        }
+        // Stall only exists where workers wait for each other.
+        if par == 1 {
+            assert!(profile.shards.iter().all(|s| s.stall_secs == 0.0));
+        }
+    }
+}
+
 /// Profiling is a few counter increments and two monotonic clock reads per
 /// event — it must not meaningfully slow the engine. Timing in CI is noisy
 /// and debug builds skew the ratio (the instrumentation is not optimized
